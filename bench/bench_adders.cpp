@@ -1,0 +1,110 @@
+// E1 — "superposition addition": the circuits behind quint arithmetic.
+// Regenerates the Draper-vs-Cuccaro resource table (gate count, CX-basis
+// depth, ancillas) across register widths, then times circuit construction
+// and simulation. Paper shape: both are polynomial; Draper needs no
+// ancilla but O(n^2) gates, Cuccaro is O(n) gates with one ancilla.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qutes/algorithms/adders.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/transpiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::circ;
+using namespace qutes::algo;
+
+std::vector<std::size_t> iota(std::size_t begin, std::size_t count) {
+  std::vector<std::size_t> v(count);
+  for (std::size_t i = 0; i < count; ++i) v[i] = begin + i;
+  return v;
+}
+
+QuantumCircuit build_draper(std::size_t n) {
+  QuantumCircuit c(2 * n);
+  append_draper_adder(c, iota(0, n), iota(n, n));
+  return c;
+}
+
+QuantumCircuit build_cuccaro(std::size_t n) {
+  QuantumCircuit c(2 * n + 1);
+  append_cuccaro_adder(c, iota(0, n), iota(n, n), 2 * n);
+  return c;
+}
+
+void print_summary() {
+  std::printf("=== E1: adder resources (b += a, width n) ===\n");
+  std::printf("%4s | %14s %14s %8s | %14s %14s %8s\n", "n", "draper_gates",
+              "draper_depth", "anc", "cuccaro_gates", "cuccaro_depth", "anc");
+  for (std::size_t n = 2; n <= 10; ++n) {
+    const QuantumCircuit draper = decompose_to_basis(build_draper(n));
+    const QuantumCircuit cuccaro = decompose_to_basis(build_cuccaro(n));
+    std::printf("%4zu | %14zu %14zu %8d | %14zu %14zu %8d\n", n,
+                draper.gate_count(), draper.depth(), 0, cuccaro.gate_count(),
+                cuccaro.depth(), 1);
+  }
+  std::printf("shape check: draper gates ~ O(n^2) with 0 ancillas; "
+              "cuccaro gates ~ O(n) with 1 ancilla\n\n");
+}
+
+void BM_DraperBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_draper(n));
+  }
+}
+BENCHMARK(BM_DraperBuild)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_CuccaroBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_cuccaro(n));
+  }
+}
+BENCHMARK(BM_CuccaroBuild)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_DraperSimulate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  QuantumCircuit c(2 * n);
+  for (std::size_t q = 0; q < 2 * n; ++q) c.h(q);
+  append_draper_adder(c, iota(0, n), iota(n, n));
+  Executor ex({.shots = 1, .seed = 11, .noise = {}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.run_single(c));
+  }
+}
+BENCHMARK(BM_DraperSimulate)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_CuccaroSimulate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  QuantumCircuit c(2 * n + 1);
+  for (std::size_t q = 0; q < 2 * n; ++q) c.h(q);
+  append_cuccaro_adder(c, iota(0, n), iota(n, n), 2 * n);
+  Executor ex({.shots = 1, .seed = 11, .noise = {}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.run_single(c));
+  }
+}
+BENCHMARK(BM_CuccaroSimulate)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_ConstantAddViaDsl(benchmark::State& state) {
+  // The language-level path: quint += constant.
+  for (auto _ : state) {
+    QuantumCircuit c(6);
+    append_draper_add_const(c, iota(0, 6), 23);
+    benchmark::DoNotOptimize(c.size());
+  }
+}
+BENCHMARK(BM_ConstantAddViaDsl);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

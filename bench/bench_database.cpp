@@ -1,0 +1,114 @@
+// E9 (extension; paper §6 future work) — Grover database operations:
+// filter search over a loaded table and Durr-Hoyer minimum finding.
+// Regenerates the oracle-call table quantum-vs-classical: equality search
+// ~ sqrt(N) oracle calls vs N probes; minimum finding ~ 22.5 sqrt(N) vs
+// N - 1 comparisons; correctness rates across random tables.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "qutes/algorithms/database.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/rng.hpp"
+#include "qutes/lang/compiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::algo;
+
+std::vector<std::uint64_t> random_table(std::size_t size, std::uint64_t seed,
+                                        std::uint64_t range) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> table(size);
+  for (auto& v : table) v = rng.below(range);
+  return table;
+}
+
+void print_summary() {
+  std::printf("=== E9a: equality search over a table (unique key) ===\n");
+  std::printf("%6s | %12s %10s | %10s\n", "N", "grover_q", "P(hit)", "classical");
+  for (std::size_t n : {4u, 8u, 16u, 32u}) {
+    auto table = random_table(n, 100 + n, 50);
+    table[n / 2] = 63;  // unique planted key
+    const QuantumDatabase db(table);
+    const GroverResult result = db.run_equal(63, 7);
+    std::printf("%6zu | %12zu %10.3f | %10zu\n", n, result.oracle_calls,
+                result.success_probability, n);
+  }
+  std::printf("shape check: grover_q ~ pi/4 sqrt(N); classical = N probes\n");
+
+  std::printf("\n=== E9b: Durr-Hoyer minimum over random tables ===\n");
+  std::printf("%6s | %14s %14s %8s | %12s\n", "N", "oracle_calls", "rounds",
+              "exact", "classical");
+  for (std::size_t n : {4u, 8u, 16u}) {
+    std::size_t calls = 0, rounds = 0, exact = 0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      const auto table =
+          random_table(n, 33 * static_cast<std::uint64_t>(t) + n, 60);
+      const ExtremumResult r =
+          find_minimum(table, static_cast<std::uint64_t>(t) + 1);
+      calls += r.oracle_calls;
+      rounds += r.grover_rounds;
+      exact += r.exact;
+    }
+    std::printf("%6zu | %14.1f %14.1f %7zu/%d | %12zu\n", n,
+                static_cast<double>(calls) / trials,
+                static_cast<double>(rounds) / trials, exact, trials, n - 1);
+  }
+  std::printf("shape check: oracle_calls grows ~ sqrt(N); exact rate high\n\n");
+}
+
+void BM_EqualitySearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto table = random_table(n, 5, 50);
+  table[1] = 63;
+  const QuantumDatabase db(table);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.run_equal(63, seed++));
+  }
+}
+BENCHMARK(BM_EqualitySearch)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ClassicalSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto table = random_table(n, 5, 50);
+  table[n - 1] = 63;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(std::find(table.begin(), table.end(), 63));
+  }
+}
+BENCHMARK(BM_ClassicalSearch)->Arg(16)->Arg(4096);
+
+void BM_QuantumMinimum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto table = random_table(n, 9, 60);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_minimum(table, seed++));
+  }
+}
+BENCHMARK(BM_QuantumMinimum)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DslQmin(benchmark::State& state) {
+  const std::string source = "print qmin([21, 8, 30, 3, 17, 11, 25, 6]);";
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    qutes::lang::RunOptions options;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(qutes::lang::run_source(source, options));
+  }
+}
+BENCHMARK(BM_DslQmin);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// E2 — Grover substring search (the `in` operator). Regenerates the
+// quantum-vs-classical query table: oracle calls ~ floor(pi/4 sqrt(N/M))
+// with success probability > 1/2 at the optimum, vs N classical probes.
+// Paper shape: sqrt scaling of quantum queries; high hit rates.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "qutes/algorithms/counting.hpp"
+#include "qutes/algorithms/grover.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/rng.hpp"
+#include "qutes/lang/compiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::algo;
+
+std::string random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string s(n, '0');
+  for (char& c : s) c = rng.below(2) ? '1' : '0';
+  return s;
+}
+
+void print_summary() {
+  std::printf("=== E2: Grover substring search vs classical scan ===\n");
+  std::printf("%6s %4s | %8s %8s %11s %8s | %10s\n", "text_n", "m", "pos",
+              "matches", "grover_q", "P(hit)", "classical");
+  for (std::size_t n : {8u, 12u, 16u, 24u, 32u}) {
+    const std::string text = random_bits(n, 1000 + n);
+    const std::string pattern = text.substr(n / 2, 3);  // guaranteed present
+    const SubstringSearch search(text, pattern);
+    const GroverResult result = search.run(/*seed=*/n);
+    // Classical scan: worst case examines every window.
+    const std::size_t classical = n - pattern.size() + 1;
+    std::printf("%6zu %4zu | %8zu %8zu %11zu %8.3f | %10zu\n", n, pattern.size(),
+                static_cast<std::size_t>(result.outcome), search.matches().size(),
+                result.oracle_calls, result.success_probability, classical);
+  }
+  std::printf("shape check: grover_q ~ sqrt(positions / matches), P(hit) > 0.5\n");
+
+  std::printf("\n--- iteration scaling, single marked state ---\n");
+  std::printf("%8s %12s %16s\n", "qubits", "N", "grover_iters");
+  for (std::size_t bits = 4; bits <= 20; bits += 4) {
+    std::printf("%8zu %12llu %16zu\n", bits,
+                static_cast<unsigned long long>(dim_of(bits)),
+                optimal_grover_iterations(dim_of(bits), 1));
+  }
+  std::printf("shape check: iterations quadruple per +4 qubits (sqrt(N))\n");
+
+  // Quantum counting closes the loop: it supplies the M that the iteration
+  // formula needs, via QPE over the Grover operator.
+  std::printf("\n--- quantum counting (N = 8, t = 5 counting bits) ---\n");
+  std::printf("%10s | %16s\n", "true M", "median estimate");
+  for (std::size_t m : {1u, 2u, 3u, 4u}) {
+    std::vector<std::uint64_t> marked;
+    for (std::size_t i = 0; i < m; ++i) marked.push_back(2 * i + 1);
+    std::vector<double> estimates;
+    for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+      estimates.push_back(
+          algo::run_quantum_counting(3, marked, 5, 100 * seed + m)
+              .estimated_marked);
+    }
+    std::sort(estimates.begin(), estimates.end());
+    std::printf("%10zu | %16.2f\n", m, estimates[estimates.size() / 2]);
+  }
+  std::printf("shape check: estimates track the planted counts\n\n");
+}
+
+void BM_SubstringSearchRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string text = random_bits(n, 77);
+  const std::string pattern = text.substr(n / 3, 3);
+  const SubstringSearch search(text, pattern);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.run(seed++));
+  }
+  state.counters["oracle_calls"] =
+      static_cast<double>(search.run(1).oracle_calls);
+}
+BENCHMARK(BM_SubstringSearchRun)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_ClassicalScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string text = random_bits(n, 77);
+  const std::string pattern = text.substr(n / 3, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text.find(pattern));
+  }
+}
+BENCHMARK(BM_ClassicalScan)->Arg(8)->Arg(16)->Arg(4096);
+
+void BM_GroverMarkedValue(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t marked[] = {dim_of(bits) - 1};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_grover(bits, marked, seed++));
+  }
+}
+BENCHMARK(BM_GroverMarkedValue)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_DslInOperator(benchmark::State& state) {
+  // Full pipeline cost of the language-level `in`.
+  const std::string source =
+      "qustring t = \"0110100110\"q; bool hit = \"101\" in t;";
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    qutes::lang::RunOptions options;
+    options.seed = seed++;
+    benchmark::DoNotOptimize(qutes::lang::run_source(source, options));
+  }
+}
+BENCHMARK(BM_DslInOperator);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

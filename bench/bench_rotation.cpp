@@ -1,0 +1,98 @@
+// E3 — constant-depth cyclic shift (Faro-Pavone-Viola) vs the linear-depth
+// classical-style baseline. Regenerates the depth/gate tables across
+// register sizes and shift amounts; the paper's claim is that the rotation
+// circuit's depth does not grow with n while the baseline's does.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qutes/algorithms/rotation.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/transpiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::circ;
+using namespace qutes::algo;
+
+std::vector<std::size_t> iota(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+void print_summary() {
+  std::printf("=== E3: cyclic shift depth, constant vs linear (k = n/2) ===\n");
+  std::printf("%4s %4s | %12s %12s | %12s %12s | %12s %12s\n", "n", "k",
+              "const_depth", "const_gates", "lin_depth", "lin_gates",
+              "constCX_d", "linCX_d");
+  for (std::size_t n = 4; n <= 20; n += 2) {
+    const std::size_t k = n / 2;
+    QuantumCircuit constant(n), linear(n);
+    append_rotate_constant_depth(constant, iota(n), k);
+    append_rotate_linear_depth(linear, iota(n), k);
+    const QuantumCircuit const_cx = decompose_to_basis(constant);
+    const QuantumCircuit lin_cx = decompose_to_basis(linear);
+    std::printf("%4zu %4zu | %12zu %12zu | %12zu %12zu | %12zu %12zu\n", n, k,
+                constant.depth(), constant.gate_count(), linear.depth(),
+                linear.gate_count(), const_cx.depth(), lin_cx.depth());
+  }
+  std::printf("shape check: const_depth stays at 2 (SWAP layers) for every n; "
+              "lin_depth grows ~ k*(n-1)\n\n");
+}
+
+void BM_BuildConstantDepth(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto qubits = iota(n);
+  for (auto _ : state) {
+    QuantumCircuit c(n);
+    append_rotate_constant_depth(c, qubits, n / 2);
+    benchmark::DoNotOptimize(c.size());
+  }
+}
+BENCHMARK(BM_BuildConstantDepth)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_BuildLinearDepth(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto qubits = iota(n);
+  for (auto _ : state) {
+    QuantumCircuit c(n);
+    append_rotate_linear_depth(c, qubits, n / 2);
+    benchmark::DoNotOptimize(c.size());
+  }
+}
+BENCHMARK(BM_BuildLinearDepth)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SimulateConstantDepth(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  QuantumCircuit c(n);
+  for (std::size_t q = 0; q < n; ++q) c.h(q);
+  append_rotate_constant_depth(c, iota(n), n / 2);
+  Executor ex({.shots = 1, .seed = 7, .noise = {}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.run_single(c));
+  }
+}
+BENCHMARK(BM_SimulateConstantDepth)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SimulateLinearDepth(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  QuantumCircuit c(n);
+  for (std::size_t q = 0; q < n; ++q) c.h(q);
+  append_rotate_linear_depth(c, iota(n), n / 2);
+  Executor ex({.shots = 1, .seed = 7, .noise = {}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.run_single(c));
+  }
+}
+BENCHMARK(BM_SimulateLinearDepth)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

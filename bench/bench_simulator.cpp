@@ -1,0 +1,135 @@
+// E7 — substrate viability: state-vector kernel throughput. Regenerates the
+// gate-cost table (time per gate vs qubit count; the shape is ~2^n per
+// 1-qubit gate) that justifies using this simulator as the Qiskit-Aer
+// replacement for every other experiment.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "qutes/common/rng.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::sim;
+
+void print_summary() {
+  std::printf("=== E7: single-qubit gate cost vs register size ===\n");
+  std::printf("%6s %14s | %14s %16s\n", "n", "amplitudes", "h_gate_us",
+              "amps_per_us");
+  for (std::size_t n = 8; n <= 22; n += 2) {
+    StateVector sv(n);
+    const int reps = n <= 16 ? 200 : 20;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) sv.apply_1q(gates::H(), r % n);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / reps;
+    std::printf("%6zu %14llu | %14.2f %16.1f\n", n,
+                static_cast<unsigned long long>(sv.dim()), us,
+                static_cast<double>(sv.dim()) / us);
+  }
+  std::printf("shape check: h_gate_us doubles per qubit (O(2^n) amplitudes), "
+              "amps_per_us roughly flat once out of cache-resident sizes\n\n");
+}
+
+void BM_Hadamard(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector sv(n);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    sv.apply_1q(gates::H(), q);
+    q = (q + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_Hadamard)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Arg(22);
+
+void BM_CxGate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector sv(n);
+  for (std::size_t q = 0; q < n; ++q) sv.apply_1q(gates::H(), q);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    sv.apply_controlled_1q(gates::X(), q, (q + 1) % n);
+    q = (q + 1) % n;
+  }
+}
+BENCHMARK(BM_CxGate)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_Toffoli(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector sv(n);
+  for (std::size_t q = 0; q < n; ++q) sv.apply_1q(gates::H(), q);
+  const std::size_t controls[2] = {0, 1};
+  for (auto _ : state) {
+    sv.apply_multi_controlled_1q(gates::X(), controls, 2);
+  }
+}
+BENCHMARK(BM_Toffoli)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_PhaseKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector sv(n);
+  for (std::size_t q = 0; q < n; ++q) sv.apply_1q(gates::H(), q);
+  for (auto _ : state) {
+    sv.apply_phase(0.1, 3);
+  }
+}
+BENCHMARK(BM_PhaseKernel)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_SwapKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector sv(n);
+  for (std::size_t q = 0; q < n; ++q) sv.apply_1q(gates::H(), q);
+  for (auto _ : state) {
+    sv.apply_swap(0, n - 1);
+  }
+}
+BENCHMARK(BM_SwapKernel)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_Probability(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector sv(n);
+  for (std::size_t q = 0; q < n; ++q) sv.apply_1q(gates::H(), q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv.probability_one(n / 2));
+  }
+}
+BENCHMARK(BM_Probability)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_SampleCounts(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector sv(n);
+  for (std::size_t q = 0; q < n; ++q) sv.apply_1q(gates::H(), q);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv.sample_counts(1024, rng));
+  }
+}
+BENCHMARK(BM_SampleCounts)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_MeasureCollapse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    StateVector sv(n);
+    for (std::size_t q = 0; q < n; ++q) sv.apply_1q(gates::H(), q);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sv.measure(0, rng));
+  }
+}
+BENCHMARK(BM_MeasureCollapse)->Arg(12)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E10 (ablation) — what each transpiler pass buys. DESIGN.md calls out the
+// lowering/optimization design choices; this bench quantifies them on
+// representative workloads (the circuits other experiments use):
+//   * peephole optimization: gate-count reduction on redundancy-heavy code;
+//   * 1q fusion: gate/depth reduction on basis-lowered circuits;
+//   * V-chain MCX lowering: linear Toffoli growth vs control count;
+//   * linear routing: SWAP overhead vs circuit connectivity.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qutes/algorithms/grover.hpp"
+#include "qutes/algorithms/qft.hpp"
+#include "qutes/circuit/routing.hpp"
+#include "qutes/circuit/transpiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::circ;
+
+QuantumCircuit grover_workload(std::size_t n) {
+  const std::uint64_t marked[] = {1};
+  return algo::build_grover_circuit(n, marked);
+}
+
+void print_summary() {
+  std::printf("=== E10: transpiler ablation ===\n");
+  std::printf("--- MCX lowering: Toffoli count vs controls (V-chain) ---\n");
+  std::printf("%10s | %8s %8s %10s\n", "controls", "ccx", "ancilla", "depth");
+  for (std::size_t k : {3u, 5u, 7u, 9u, 11u}) {
+    QuantumCircuit c(k + 1);
+    std::vector<std::size_t> controls(k);
+    for (std::size_t i = 0; i < k; ++i) controls[i] = i;
+    c.mcx(controls, k);
+    const QuantumCircuit lowered = decompose_multicontrolled(c);
+    std::printf("%10zu | %8zu %8zu %10zu\n", k, lowered.count_ops().at("ccx"),
+                lowered.num_qubits() - c.num_qubits(), lowered.depth());
+  }
+  std::printf("shape check: ccx = 2(k-2)+1 — linear, not exponential\n");
+
+  std::printf("\n--- fusion + peephole on basis-lowered Grover circuits ---\n");
+  std::printf("%4s | %10s %10s | %10s %10s | %8s\n", "n", "raw_gates",
+              "raw_depth", "opt_gates", "opt_depth", "saved");
+  for (std::size_t n : {3u, 4u, 5u, 6u}) {
+    const QuantumCircuit base = decompose_to_basis(grover_workload(n));
+    const QuantumCircuit fused = optimize(fuse_single_qubit_gates(base));
+    const double saved =
+        100.0 * (1.0 - static_cast<double>(fused.gate_count()) /
+                           static_cast<double>(base.gate_count()));
+    std::printf("%4zu | %10zu %10zu | %10zu %10zu | %7.1f%%\n", n,
+                base.gate_count(), base.depth(), fused.gate_count(),
+                fused.depth(), saved);
+  }
+
+  std::printf("\n--- linear routing overhead (QFT, all-to-all -> line) ---\n");
+  std::printf("%4s | %12s %10s | %12s %10s\n", "n", "gates", "depth",
+              "routed_gates", "swaps");
+  for (std::size_t n : {4u, 6u, 8u, 10u}) {
+    const QuantumCircuit qft = decompose_to_basis(algo::make_qft(n));
+    const RoutingResult routed = route_linear(qft);
+    std::printf("%4zu | %12zu %10zu | %12zu %10zu\n", n, qft.gate_count(),
+                qft.depth(), routed.circuit.gate_count(), routed.swaps_inserted);
+  }
+  std::printf("shape check: SWAP overhead grows with the QFT's long-range "
+              "CX pattern (~n^2 total)\n\n");
+}
+
+void BM_PeepholeOptimize(benchmark::State& state) {
+  const QuantumCircuit base =
+      decompose_to_basis(grover_workload(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize(base));
+  }
+}
+BENCHMARK(BM_PeepholeOptimize)->Arg(3)->Arg(5);
+
+void BM_Fusion(benchmark::State& state) {
+  const QuantumCircuit base =
+      decompose_to_basis(grover_workload(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuse_single_qubit_gates(base));
+  }
+}
+BENCHMARK(BM_Fusion)->Arg(3)->Arg(5);
+
+void BM_BasisLowering(benchmark::State& state) {
+  const QuantumCircuit base = grover_workload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompose_to_basis(base));
+  }
+}
+BENCHMARK(BM_BasisLowering)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_RouteLinear(benchmark::State& state) {
+  const QuantumCircuit qft =
+      decompose_to_basis(algo::make_qft(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_linear(qft));
+  }
+}
+BENCHMARK(BM_RouteLinear)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

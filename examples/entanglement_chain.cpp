@@ -1,0 +1,69 @@
+// Entanglement propagation (paper Section 5): the entanglement-swap protocol
+// written directly in Qutes — Bell pairs, mid-circuit measurement, and
+// classically-conditioned corrections via ordinary if statements — plus the
+// library-level chain with its fidelity diagnostics.
+#include <iostream>
+
+#include "qutes/algorithms/entanglement.hpp"
+#include "qutes/lang/compiler.hpp"
+
+int main() {
+  try {
+    // --- DSL surface -------------------------------------------------------------
+    // Two Bell links (a,b) and (c,d); Bell-measure (b,c); correct d. After
+    // the protocol, a and d are maximally correlated even though they never
+    // interacted.
+    const std::string source = R"qutes(
+      qubit a = |0>;
+      qubit b = |0>;
+      qubit c = |0>;
+      qubit d = |0>;
+
+      bell(a, b);
+      bell(c, d);
+      barrier;
+
+      // Bell measurement on the middle qubits.
+      cx(b, c);
+      hadamard b;
+      bool mz = b;     // automatic measurement
+      bool mx = c;
+
+      // Corrections on the far endpoint.
+      if (mx) { not d; }
+      if (mz) { pauliz d; }
+
+      // The endpoints now form a Bell pair: measuring both must agree.
+      bool va = a;
+      bool vd = d;
+      if (va == vd) {
+        print "endpoints correlated";
+      } else {
+        print "endpoints DISAGREE (bug!)";
+      }
+    )qutes";
+
+    // Run several trajectories: the endpoint agreement must hold for every
+    // random measurement outcome.
+    std::cout << "--- Qutes program, 5 seeds ---\n";
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      qutes::lang::RunOptions options;
+      options.seed = seed;
+      const auto run = qutes::lang::run_source(source, options);
+      std::cout << "seed " << seed << ": " << run.output;
+    }
+
+    // --- library level: longer chains --------------------------------------------
+    std::cout << "\n--- entanglement chain (library) ---\n";
+    for (std::size_t links : {2u, 4u, 8u}) {
+      const auto result = qutes::algo::run_entanglement_chain(links, /*seed=*/links);
+      std::cout << links << " links (" << result.chain_qubits << " qubits): "
+                << "endpoint <ZZ> = " << result.zz_correlation
+                << ", Bell fidelity = " << result.bell_fidelity << "\n";
+    }
+  } catch (const qutes::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

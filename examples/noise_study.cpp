@@ -1,0 +1,70 @@
+// Noise study: how entanglement quality degrades on NISQ-style hardware —
+// cross-validating the two noise engines the library ships:
+//   * exact channel evolution on the DensityMatrix,
+//   * Monte-Carlo trajectories on the StateVector (what the Executor uses).
+// The observable is the Bell-pair fidelity under growing depolarizing noise.
+#include <cstdio>
+#include <iostream>
+
+#include "qutes/common/rng.hpp"
+#include "qutes/sim/density_matrix.hpp"
+#include "qutes/sim/noise.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::sim;
+
+/// Ideal Bell pair for fidelity references.
+StateVector ideal_bell() {
+  StateVector psi(2);
+  psi.apply_1q(gates::H(), 0);
+  psi.apply_controlled_1q(gates::X(), 0, 1);
+  return psi;
+}
+
+/// Exact: prepare Bell, depolarize both qubits with probability p.
+double exact_fidelity(double p) {
+  DensityMatrix rho(2);
+  rho.apply_1q(gates::H(), 0);
+  const std::size_t c[1] = {0};
+  rho.apply_multi_controlled_1q(gates::X(), c, 1);
+  rho.apply_depolarizing(0, p);
+  rho.apply_depolarizing(1, p);
+  return rho.fidelity(ideal_bell());
+}
+
+/// Trajectory average of the same experiment.
+double trajectory_fidelity(double p, int trials, std::uint64_t seed) {
+  const StateVector reference = ideal_bell();
+  Rng rng(seed);
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    StateVector psi(2);
+    psi.apply_1q(gates::H(), 0);
+    psi.apply_controlled_1q(gates::X(), 0, 1);
+    apply_depolarizing(psi, 0, p, rng);
+    apply_depolarizing(psi, 1, p, rng);
+    total += psi.fidelity(reference);
+  }
+  return total / trials;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Bell-pair fidelity under per-qubit depolarizing noise\n");
+  std::printf("%8s | %14s %20s %10s\n", "p", "exact (rho)", "trajectory (20k avg)",
+              "|diff|");
+  for (const double p : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    const double exact = exact_fidelity(p);
+    const double sampled = trajectory_fidelity(p, 20000, 42);
+    std::printf("%8.2f | %14.4f %20.4f %10.4f\n", p, exact, sampled,
+                std::abs(exact - sampled));
+  }
+  std::printf("\nThe two noise engines agree: the Monte-Carlo unraveling the\n"
+              "Executor uses converges to the exact channel the density\n"
+              "matrix computes.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduce everything: configure, build, run the full test suite, and
+# regenerate every experiment table (E1..E10). Outputs land in
+# test_output.txt and bench_output.txt at the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  echo "===== $b =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "Done. See test_output.txt and bench_output.txt."

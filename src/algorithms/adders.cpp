@@ -1,0 +1,175 @@
+#include "qutes/algorithms/adders.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qutes/algorithms/qft.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+namespace {
+
+void check_disjoint(std::span<const std::size_t> a, std::span<const std::size_t> b,
+                    const char* what) {
+  for (std::size_t qa : a) {
+    for (std::size_t qb : b) {
+      if (qa == qb) throw InvalidArgument(std::string(what) + ": overlapping registers");
+    }
+  }
+}
+
+/// Phase additions of value `a_bit_weight * |source bit>` onto the Fourier
+/// frame of b. Inside QFT(b), adding x means phasing qubit j of b by
+/// 2 pi x / 2^{j+1} ... standard Draper kick.
+void draper_kicks(circ::QuantumCircuit& circuit, std::span<const std::size_t> a,
+                  std::span<const std::size_t> b, double sign) {
+  const std::size_t nb = b.size();
+  for (std::size_t j = 0; j < nb; ++j) {
+    // b[j] (Fourier mode j) accumulates phase from every a-bit i with
+    // i <= j: angle = sign * pi / 2^{j-i}.
+    for (std::size_t i = 0; i < a.size() && i <= j; ++i) {
+      const double angle = sign * M_PI / static_cast<double>(1ULL << (j - i));
+      circuit.cp(angle, a[i], b[j]);
+    }
+  }
+}
+
+}  // namespace
+
+void append_draper_adder(circ::QuantumCircuit& circuit, std::span<const std::size_t> a,
+                         std::span<const std::size_t> b) {
+  if (a.empty() || b.empty()) throw InvalidArgument("draper_adder: empty register");
+  if (a.size() > b.size()) {
+    throw InvalidArgument("draper_adder: |a| must not exceed |b|");
+  }
+  check_disjoint(a, b, "draper_adder");
+  append_qft(circuit, b, /*do_swaps=*/false);
+  draper_kicks(circuit, a, b, +1.0);
+  append_iqft(circuit, b, /*do_swaps=*/false);
+}
+
+void append_draper_subtractor(circ::QuantumCircuit& circuit,
+                              std::span<const std::size_t> a,
+                              std::span<const std::size_t> b) {
+  if (a.empty() || b.empty()) throw InvalidArgument("draper_subtractor: empty register");
+  if (a.size() > b.size()) {
+    throw InvalidArgument("draper_subtractor: |a| must not exceed |b|");
+  }
+  check_disjoint(a, b, "draper_subtractor");
+  append_qft(circuit, b, /*do_swaps=*/false);
+  draper_kicks(circuit, a, b, -1.0);
+  append_iqft(circuit, b, /*do_swaps=*/false);
+}
+
+namespace {
+
+void draper_const(circ::QuantumCircuit& circuit, std::span<const std::size_t> b,
+                  std::uint64_t k, double sign) {
+  if (b.empty()) throw InvalidArgument("draper_const: empty register");
+  append_qft(circuit, b, /*do_swaps=*/false);
+  const std::size_t n = b.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    // Fourier mode j picks up angle 2 pi k / 2^{j+1}; only the low j+1 bits
+    // of k contribute mod 2 pi.
+    double angle = 0.0;
+    for (std::size_t i = 0; i <= j; ++i) {
+      if (test_bit(k, i)) angle += M_PI / static_cast<double>(1ULL << (j - i));
+    }
+    if (angle != 0.0) circuit.p(sign * angle, b[j]);
+  }
+  append_iqft(circuit, b, /*do_swaps=*/false);
+}
+
+}  // namespace
+
+void append_draper_add_const(circ::QuantumCircuit& circuit,
+                             std::span<const std::size_t> b, std::uint64_t k) {
+  draper_const(circuit, b, k, +1.0);
+}
+
+void append_draper_sub_const(circ::QuantumCircuit& circuit,
+                             std::span<const std::size_t> b, std::uint64_t k) {
+  draper_const(circuit, b, k, -1.0);
+}
+
+void append_cuccaro_adder(circ::QuantumCircuit& circuit, std::span<const std::size_t> a,
+                          std::span<const std::size_t> b, std::size_t ancilla) {
+  const std::size_t n = a.size();
+  if (n == 0 || b.size() != n) {
+    throw InvalidArgument("cuccaro_adder: registers must be equal-sized, nonempty");
+  }
+  check_disjoint(a, b, "cuccaro_adder");
+  for (std::size_t q : a) {
+    if (q == ancilla) throw InvalidArgument("cuccaro_adder: ancilla inside a");
+  }
+  for (std::size_t q : b) {
+    if (q == ancilla) throw InvalidArgument("cuccaro_adder: ancilla inside b");
+  }
+
+  const auto maj = [&](std::size_t c, std::size_t bq, std::size_t aq) {
+    circuit.cx(aq, bq);
+    circuit.cx(aq, c);
+    circuit.ccx(c, bq, aq);
+  };
+  const auto uma = [&](std::size_t c, std::size_t bq, std::size_t aq) {
+    circuit.ccx(c, bq, aq);
+    circuit.cx(aq, c);
+    circuit.cx(c, bq);
+  };
+
+  // MAJ ripple up: carry flows through the a register.
+  maj(ancilla, b[0], a[0]);
+  for (std::size_t i = 1; i < n; ++i) maj(a[i - 1], b[i], a[i]);
+  // (A carry-out qubit would take a CX(a[n-1], carry) here; addition is
+  // mod 2^n so we skip it.)
+  // UMA ripple down: restores a, leaves the sum in b.
+  for (std::size_t i = n; i-- > 1;) uma(a[i - 1], b[i], a[i]);
+  uma(ancilla, b[0], a[0]);
+}
+
+void append_cuccaro_subtractor(circ::QuantumCircuit& circuit,
+                               std::span<const std::size_t> a,
+                               std::span<const std::size_t> b, std::size_t ancilla) {
+  // b -= a: run the exact inverse gate sequence of the adder.
+  const std::size_t width =
+      std::max(ancilla, std::max(*std::max_element(a.begin(), a.end()),
+                                 *std::max_element(b.begin(), b.end()))) + 1;
+  circ::QuantumCircuit scratch(width);
+  append_cuccaro_adder(scratch, a, b, ancilla);
+  const circ::QuantumCircuit inv = scratch.inverse();
+  for (const auto& in : inv.instructions()) circuit.append(in);
+}
+
+void append_negate(circ::QuantumCircuit& circuit, std::span<const std::size_t> b) {
+  // -x = ~x + 1 (mod 2^n).
+  for (std::size_t q : b) circuit.x(q);
+  append_draper_add_const(circuit, b, 1);
+}
+
+void append_mul_const_accumulate(circ::QuantumCircuit& circuit,
+                                 std::span<const std::size_t> b,
+                                 std::span<const std::size_t> out, std::uint64_t k) {
+  if (out.empty()) throw InvalidArgument("mul_const: empty output");
+  check_disjoint(b, out, "mul_const");
+  // out += sum_i b_i * (k << i): for each source bit, a controlled constant
+  // addition in the Fourier frame of out.
+  append_qft(circuit, out, /*do_swaps=*/false);
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const std::uint64_t shifted = (i < 64) ? (k << i) : 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      double angle = 0.0;
+      for (std::size_t bit = 0; bit <= j; ++bit) {
+        if (test_bit(shifted, bit)) {
+          angle += M_PI / static_cast<double>(1ULL << (j - bit));
+        }
+      }
+      if (angle != 0.0) circuit.cp(angle, b[i], out[j]);
+    }
+  }
+  append_iqft(circuit, out, /*do_swaps=*/false);
+}
+
+}  // namespace qutes::algo

@@ -1,0 +1,43 @@
+#include "qutes/algorithms/bernstein_vazirani.hpp"
+
+#include "qutes/algorithms/oracles.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+circ::QuantumCircuit build_bernstein_vazirani_circuit(std::size_t num_inputs,
+                                                      std::uint64_t secret) {
+  if (num_inputs == 0) throw InvalidArgument("bernstein-vazirani: no inputs");
+  if (secret >= dim_of(num_inputs)) {
+    throw InvalidArgument("bernstein-vazirani: secret does not fit the register");
+  }
+  circ::QuantumCircuit circuit;
+  const auto& x = circuit.add_register("x", num_inputs);
+  const auto& y = circuit.add_register("y", 1);
+  circuit.add_classical_register("c", num_inputs);
+
+  std::vector<std::size_t> inputs(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) inputs[i] = x[i];
+
+  for (std::size_t q : inputs) circuit.h(q);
+  circuit.x(y[0]);
+  circuit.h(y[0]);
+  append_parity_bit_oracle(circuit, inputs, y[0], secret);
+  for (std::size_t q : inputs) circuit.h(q);
+
+  std::vector<std::size_t> clbits(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) clbits[i] = i;
+  circuit.measure(inputs, clbits);
+  return circuit;
+}
+
+std::uint64_t run_bernstein_vazirani(std::size_t num_inputs, std::uint64_t secret,
+                                     std::uint64_t seed) {
+  const auto circuit = build_bernstein_vazirani_circuit(num_inputs, secret);
+  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  return executor.run_single(circuit).clbits;
+}
+
+}  // namespace qutes::algo

@@ -1,0 +1,250 @@
+#include "qutes/algorithms/database.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "qutes/algorithms/oracles.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+void append_less_than_oracle(circ::QuantumCircuit& circuit,
+                             std::span<const std::size_t> qubits,
+                             std::uint64_t bound) {
+  const std::size_t n = qubits.size();
+  if (n == 0) throw InvalidArgument("less-than oracle: empty register");
+  if (bound >= dim_of(n)) {
+    throw InvalidArgument("less-than oracle: bound must fit the register");
+  }
+  if (bound == 0) return;  // nothing is < 0
+
+  // x < bound  iff  for some position p with bound[p] == 1:
+  //   x[j] == bound[j] for all j > p, and x[p] == 0.
+  // These prefix classes are disjoint, so one phase flip each marks exactly
+  // the states below the bound.
+  for (std::size_t p = n; p-- > 0;) {
+    if (!test_bit(bound, p)) continue;
+    // Build the control pattern over qubits p..n-1: bit p must be 0, bits
+    // above must equal the bound's bits. X-conjugate zeros, then MCZ.
+    std::vector<std::size_t> involved;
+    std::vector<std::size_t> flipped;
+    for (std::size_t j = p; j < n; ++j) {
+      involved.push_back(qubits[j]);
+      const bool want_one = j == p ? false : test_bit(bound, j);
+      if (!want_one) flipped.push_back(qubits[j]);
+    }
+    for (std::size_t q : flipped) circuit.x(q);
+    if (involved.size() == 1) {
+      circuit.z(involved[0]);
+    } else {
+      circuit.mcz(std::span<const std::size_t>(involved.data(), involved.size() - 1),
+                  involved.back());
+    }
+    for (std::size_t q : flipped) circuit.x(q);
+  }
+}
+
+QuantumDatabase::QuantumDatabase(std::vector<std::uint64_t> values)
+    : values_(std::move(values)) {
+  if (values_.empty()) throw InvalidArgument("QuantumDatabase: empty table");
+  index_bits_ = bits_for(values_.size() - 1);
+  std::uint64_t widest = 0;
+  for (std::uint64_t v : values_) widest = std::max(widest, v);
+  value_bits_ = bits_for(widest);
+}
+
+void QuantumDatabase::append_load(circ::QuantumCircuit& circuit,
+                                  std::span<const std::size_t> index,
+                                  std::span<const std::size_t> value,
+                                  std::uint64_t pad_value) const {
+  const std::uint64_t index_space = dim_of(index_bits_);
+  for (std::uint64_t i = 0; i < index_space; ++i) {
+    const std::uint64_t entry = i < values_.size() ? values_[i] : pad_value;
+    if (entry == 0) continue;
+    for (std::size_t b = 0; b < index.size(); ++b) {
+      if (!test_bit(i, b)) circuit.x(index[b]);
+    }
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      if (test_bit(entry, j)) circuit.mcx(index, value[j]);
+    }
+    for (std::size_t b = 0; b < index.size(); ++b) {
+      if (!test_bit(i, b)) circuit.x(index[b]);
+    }
+  }
+}
+
+circ::QuantumCircuit QuantumDatabase::build_filter_circuit(
+    std::uint64_t pad_value, std::size_t iterations,
+    const std::function<void(circ::QuantumCircuit&,
+                             std::span<const std::size_t>)>& oracle) const {
+  circ::QuantumCircuit circuit;
+  const auto& idx = circuit.add_register("idx", index_bits_);
+  const auto& val = circuit.add_register("val", value_bits_);
+  circuit.add_classical_register("pos", index_bits_);
+
+  std::vector<std::size_t> index(index_bits_), value(value_bits_);
+  for (std::size_t i = 0; i < index_bits_; ++i) index[i] = idx[i];
+  for (std::size_t j = 0; j < value_bits_; ++j) value[j] = val[j];
+
+  for (std::size_t q : index) circuit.h(q);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    append_load(circuit, index, value, pad_value);
+    oracle(circuit, value);
+    append_load(circuit, index, value, pad_value);  // self-inverse uncompute
+    append_diffusion(circuit, index);
+  }
+  std::vector<std::size_t> clbits(index_bits_);
+  for (std::size_t i = 0; i < index_bits_; ++i) clbits[i] = i;
+  circuit.measure(index, clbits);
+  return circuit;
+}
+
+circ::QuantumCircuit QuantumDatabase::build_equal_circuit(std::uint64_t key,
+                                                          std::size_t iterations) const {
+  if (key >= dim_of(value_bits_) && value_bits_ < 64) {
+    // Key wider than any entry: nothing can match; zero iterations suffice.
+    iterations = 0;
+  } else if (iterations == 0) {
+    const auto matches = static_cast<std::uint64_t>(
+        std::count(values_.begin(), values_.end(), key));
+    iterations =
+        optimal_grover_iterations(dim_of(index_bits_),
+                                  std::max<std::uint64_t>(matches, 1));
+  }
+  // Padding loads the complement of the key, which can never match.
+  const std::uint64_t pad = ~key & (dim_of(value_bits_) - 1);
+  const std::uint64_t safe_key = key & (dim_of(value_bits_) - 1);
+  return build_filter_circuit(
+      pad, iterations,
+      [safe_key](circ::QuantumCircuit& c, std::span<const std::size_t> value) {
+        append_phase_oracle_value(c, value, safe_key);
+      });
+}
+
+circ::QuantumCircuit QuantumDatabase::build_less_than_circuit(
+    std::uint64_t bound, std::size_t iterations) const {
+  if (bound >= dim_of(value_bits_)) {
+    throw InvalidArgument("less-than search: bound exceeds the value register");
+  }
+  // Padding loads all-ones, which is never strictly below any valid bound.
+  const std::uint64_t pad = dim_of(value_bits_) - 1;
+  return build_filter_circuit(
+      pad, iterations,
+      [bound](circ::QuantumCircuit& c, std::span<const std::size_t> value) {
+        append_less_than_oracle(c, value, bound);
+      });
+}
+
+GroverResult QuantumDatabase::run_equal(std::uint64_t key, std::uint64_t seed,
+                                        std::size_t iterations) const {
+  const circ::QuantumCircuit circuit = build_equal_circuit(key, iterations);
+  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  const auto traj = executor.run_single(circuit);
+  const std::uint64_t pos = traj.clbits & (dim_of(index_bits_) - 1);
+
+  GroverResult result;
+  result.outcome = pos;
+  result.hit = pos < values_.size() && values_[pos] == key;
+  // Recompute the iteration count the circuit was built with.
+  const auto matches =
+      static_cast<std::uint64_t>(std::count(values_.begin(), values_.end(), key));
+  result.iterations = iterations != 0
+                          ? iterations
+                          : optimal_grover_iterations(
+                                dim_of(index_bits_),
+                                std::max<std::uint64_t>(matches, 1));
+  result.oracle_calls = result.iterations;
+  // Exact success probability: fraction of matching indices among the
+  // outcome distribution — recompute from a measurement-free run.
+  circ::QuantumCircuit unm;
+  unm.add_register("idx", index_bits_);
+  unm.add_register("val", value_bits_);
+  for (const auto& in : circuit.instructions()) {
+    if (in.type != circ::GateType::Measure) unm.append(in);
+  }
+  const auto pure = executor.run_single(unm);
+  double p = 0.0;
+  for (std::uint64_t basis = 0; basis < pure.state.dim(); ++basis) {
+    const std::uint64_t i = basis & (dim_of(index_bits_) - 1);
+    if (i < values_.size() && values_[i] == key) {
+      p += std::norm(pure.state.amplitude(basis));
+    }
+  }
+  result.success_probability = p;
+  return result;
+}
+
+namespace {
+
+ExtremumResult durr_hoyer(std::span<const std::uint64_t> values, std::uint64_t seed,
+                          bool maximize) {
+  if (values.empty()) throw InvalidArgument("extremum of an empty table");
+
+  // Minimization runs on the raw values; maximization on their bitwise
+  // complement within the value register width.
+  std::uint64_t widest = 0;
+  for (std::uint64_t v : values) widest = std::max(widest, v);
+  const std::uint64_t mask = dim_of(bits_for(widest)) - 1;
+  std::vector<std::uint64_t> table(values.begin(), values.end());
+  if (maximize) {
+    for (std::uint64_t& v : table) v = ~v & mask;
+  }
+  const QuantumDatabase db(table);
+
+  Rng rng(seed);
+  ExtremumResult result;
+  std::uint64_t best_index = rng.below(table.size());
+  std::uint64_t best_value = table[best_index];
+
+  // BBHT schedule: iteration counts drawn uniformly from a window that
+  // grows by lambda on failure; overall budget O(sqrt(N)) oracle calls.
+  const double lambda = 1.34;
+  double window = 1.0;
+  const double budget =
+      22.5 * std::sqrt(static_cast<double>(dim_of(db.index_qubits()))) + 10.0;
+
+  while (result.oracle_calls < static_cast<std::size_t>(budget)) {
+    if (best_value == 0) break;  // nothing can be smaller
+    const auto iterations = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(window) + 1));
+    const circ::QuantumCircuit circuit =
+        db.build_less_than_circuit(best_value, iterations);
+    circ::Executor executor({.shots = 1, .seed = rng(), .noise = {}});
+    const auto traj = executor.run_single(circuit);
+    const std::uint64_t pos = traj.clbits & (dim_of(db.index_qubits()) - 1);
+    result.oracle_calls += iterations;
+    ++result.grover_rounds;
+
+    if (pos < table.size() && table[pos] < best_value) {
+      best_value = table[pos];
+      best_index = pos;
+      window = 1.0;
+    } else {
+      window = std::min(lambda * window,
+                        std::sqrt(static_cast<double>(dim_of(db.index_qubits()))));
+    }
+  }
+
+  result.index = best_index;
+  result.value = maximize ? (~best_value & mask) : best_value;
+  const std::uint64_t truth =
+      maximize ? *std::max_element(values.begin(), values.end())
+               : *std::min_element(values.begin(), values.end());
+  result.exact = result.value == truth;
+  return result;
+}
+
+}  // namespace
+
+ExtremumResult find_minimum(std::span<const std::uint64_t> values, std::uint64_t seed) {
+  return durr_hoyer(values, seed, /*maximize=*/false);
+}
+
+ExtremumResult find_maximum(std::span<const std::uint64_t> values, std::uint64_t seed) {
+  return durr_hoyer(values, seed, /*maximize=*/true);
+}
+
+}  // namespace qutes::algo

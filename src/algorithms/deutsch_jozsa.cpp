@@ -1,0 +1,97 @@
+#include "qutes/algorithms/deutsch_jozsa.hpp"
+
+#include "qutes/algorithms/oracles.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+namespace {
+
+bool evaluate_oracle(const DjOracle& oracle, std::uint64_t x) {
+  switch (oracle.kind) {
+    case DjOracleKind::Constant0: return false;
+    case DjOracleKind::Constant1: return true;
+    case DjOracleKind::BalancedParity:
+      return std::popcount(x & oracle.mask) % 2 == 1;
+    case DjOracleKind::TruthTable:
+      return oracle.truth_table[x];
+  }
+  return false;
+}
+
+}  // namespace
+
+circ::QuantumCircuit build_deutsch_jozsa_circuit(std::size_t num_inputs,
+                                                 const DjOracle& oracle) {
+  if (num_inputs == 0) throw InvalidArgument("deutsch-jozsa: no inputs");
+  if (oracle.kind == DjOracleKind::BalancedParity && oracle.mask == 0) {
+    throw InvalidArgument("deutsch-jozsa: zero parity mask is constant, not balanced");
+  }
+  if (oracle.kind == DjOracleKind::TruthTable &&
+      oracle.truth_table.size() != dim_of(num_inputs)) {
+    throw InvalidArgument("deutsch-jozsa: truth table size mismatch");
+  }
+
+  circ::QuantumCircuit circuit;
+  const auto& x = circuit.add_register("x", num_inputs);
+  const auto& y = circuit.add_register("y", 1);
+  circuit.add_classical_register("c", num_inputs);
+
+  std::vector<std::size_t> inputs(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) inputs[i] = x[i];
+
+  // |x> = H^n |0>, |y> = |->.
+  for (std::size_t q : inputs) circuit.h(q);
+  circuit.x(y[0]);
+  circuit.h(y[0]);
+
+  switch (oracle.kind) {
+    case DjOracleKind::Constant0:
+      append_constant_bit_oracle(circuit, y[0], false);
+      break;
+    case DjOracleKind::Constant1:
+      append_constant_bit_oracle(circuit, y[0], true);
+      break;
+    case DjOracleKind::BalancedParity:
+      append_parity_bit_oracle(circuit, inputs, y[0], oracle.mask);
+      break;
+    case DjOracleKind::TruthTable:
+      append_truth_table_bit_oracle(circuit, inputs, y[0], oracle.truth_table);
+      break;
+  }
+
+  for (std::size_t q : inputs) circuit.h(q);
+  std::vector<std::size_t> clbits(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) clbits[i] = i;
+  circuit.measure(inputs, clbits);
+  return circuit;
+}
+
+DjResult run_deutsch_jozsa(std::size_t num_inputs, const DjOracle& oracle,
+                           std::uint64_t seed) {
+  const circ::QuantumCircuit circuit = build_deutsch_jozsa_circuit(num_inputs, oracle);
+  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  const auto traj = executor.run_single(circuit);
+  DjResult result;
+  result.measured = traj.clbits;
+  result.constant = traj.clbits == 0;
+  return result;
+}
+
+std::size_t classical_deutsch_jozsa_queries(std::size_t num_inputs,
+                                            const DjOracle& oracle) {
+  // Deterministic strategy: evaluate f on successive inputs; stop as soon as
+  // two values differ (balanced) or half-plus-one agree (constant).
+  const std::uint64_t half = dim_of(num_inputs) / 2;
+  const bool first = evaluate_oracle(oracle, 0);
+  std::size_t queries = 1;
+  for (std::uint64_t x = 1; x <= half; ++x) {
+    ++queries;
+    if (evaluate_oracle(oracle, x) != first) return queries;  // balanced
+  }
+  return queries;  // constant after 2^{n-1} + 1 agreeing answers
+}
+
+}  // namespace qutes::algo

@@ -1,0 +1,102 @@
+#include "qutes/algorithms/entanglement.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "qutes/algorithms/state_prep.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+void append_bell_pair(circ::QuantumCircuit& circuit, std::size_t a, std::size_t b) {
+  circuit.h(a);
+  circuit.cx(a, b);
+}
+
+void append_ghz(circ::QuantumCircuit& circuit, std::span<const std::size_t> qubits) {
+  if (qubits.empty()) throw InvalidArgument("ghz: empty register");
+  circuit.h(qubits[0]);
+  for (std::size_t i = 0; i + 1 < qubits.size(); ++i) {
+    circuit.cx(qubits[i], qubits[i + 1]);
+  }
+}
+
+void append_w_state(circ::QuantumCircuit& circuit,
+                    std::span<const std::size_t> qubits) {
+  const std::size_t n = qubits.size();
+  if (n == 0) throw InvalidArgument("w state: empty register");
+  std::vector<double> probs(dim_of(n), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    probs[std::uint64_t{1} << i] = 1.0 / static_cast<double>(n);
+  }
+  append_state_prep(circuit, qubits, probs);
+}
+
+circ::QuantumCircuit build_entanglement_chain_circuit(std::size_t num_links) {
+  if (num_links == 0) throw InvalidArgument("entanglement chain: no links");
+  const std::size_t n = 2 * num_links;
+  circ::QuantumCircuit circuit;
+  const auto& q = circuit.add_register("chain", n);
+  // Two classical bits per interior junction.
+  const std::size_t junctions = num_links - 1;
+  if (junctions > 0) circuit.add_classical_register("bm", 2 * junctions);
+
+  // L adjacent Bell pairs.
+  for (std::size_t link = 0; link < num_links; ++link) {
+    append_bell_pair(circuit, q[2 * link], q[2 * link + 1]);
+  }
+  circuit.barrier();
+
+  // Swap entanglement across each junction: Bell-measure (b, c) of the
+  // neighbouring pairs (a,b), (c,d); correct d.
+  for (std::size_t j = 1; j <= junctions; ++j) {
+    const std::size_t b = q[2 * j - 1];
+    const std::size_t c = q[2 * j];
+    const std::size_t d = q[2 * j + 1];
+    const std::size_t bit_z = 2 * (j - 1);      // outcome of the H-side qubit
+    const std::size_t bit_x = 2 * (j - 1) + 1;  // outcome of the CX target
+
+    circuit.cx(b, c);
+    circuit.h(b);
+    circuit.measure(b, bit_z);
+    circuit.measure(c, bit_x);
+    circuit.x(d);
+    circuit.c_if(bit_x, 1);
+    circuit.z(d);
+    circuit.c_if(bit_z, 1);
+  }
+  return circuit;
+}
+
+ChainResult run_entanglement_chain(std::size_t num_links, std::uint64_t seed) {
+  const auto circuit = build_entanglement_chain_circuit(num_links);
+  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  const auto traj = executor.run_single(circuit);
+
+  const std::size_t n = 2 * num_links;
+  const std::size_t first = 0;
+  const std::size_t last = n - 1;
+
+  ChainResult result;
+  result.chain_qubits = n;
+  result.zz_correlation = traj.state.expectation_zz(first, last);
+
+  // The interior qubits have collapsed, so exactly four basis amplitudes can
+  // be nonzero — one per endpoint combination. Project them out and compare
+  // with Phi+ = (|00> + |11>)/sqrt(2).
+  std::array<sim::cplx, 4> endpoint{};
+  for (std::uint64_t basis = 0; basis < traj.state.dim(); ++basis) {
+    const sim::cplx a = traj.state.amplitude(basis);
+    if (std::norm(a) == 0.0) continue;
+    const std::size_t key = (test_bit(basis, first) ? 1u : 0u) |
+                            (test_bit(basis, last) ? 2u : 0u);
+    endpoint[key] += a;  // interior bits are fixed, so no cross terms
+  }
+  const sim::cplx overlap = (endpoint[0] + endpoint[3]) / std::sqrt(2.0);
+  result.bell_fidelity = std::norm(overlap);
+  return result;
+}
+
+}  // namespace qutes::algo

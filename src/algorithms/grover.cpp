@@ -1,0 +1,224 @@
+#include "qutes/algorithms/grover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qutes/algorithms/oracles.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+void append_diffusion(circ::QuantumCircuit& circuit,
+                      std::span<const std::size_t> qubits) {
+  if (qubits.empty()) throw InvalidArgument("diffusion: empty register");
+  for (std::size_t q : qubits) circuit.h(q);
+  for (std::size_t q : qubits) circuit.x(q);
+  if (qubits.size() == 1) {
+    circuit.z(qubits[0]);
+  } else {
+    circuit.mcz(qubits.subspan(0, qubits.size() - 1), qubits.back());
+  }
+  for (std::size_t q : qubits) circuit.x(q);
+  for (std::size_t q : qubits) circuit.h(q);
+}
+
+std::size_t optimal_grover_iterations(std::uint64_t search_space,
+                                      std::uint64_t num_marked) {
+  if (num_marked == 0) return 1;
+  // With half or more of the space marked, amplification over-rotates
+  // (one iteration can land exactly on zero overlap); measuring the uniform
+  // superposition directly already succeeds with probability >= 1/2.
+  if (2 * num_marked >= search_space) return 0;
+  const double theta =
+      std::asin(std::sqrt(static_cast<double>(num_marked) /
+                          static_cast<double>(search_space)));
+  const auto iters =
+      static_cast<std::size_t>(std::floor(M_PI / (4.0 * theta)));
+  return iters == 0 ? 1 : iters;
+}
+
+circ::QuantumCircuit build_grover_circuit(std::size_t num_qubits,
+                                          std::span<const std::uint64_t> marked,
+                                          std::size_t iterations) {
+  if (num_qubits == 0) throw InvalidArgument("grover: empty register");
+  if (marked.empty()) throw InvalidArgument("grover: no marked states");
+  circ::QuantumCircuit circuit;
+  const auto& q = circuit.add_register("q", num_qubits);
+  circuit.add_classical_register("c", num_qubits);
+  std::vector<std::size_t> qubits(num_qubits);
+  for (std::size_t i = 0; i < num_qubits; ++i) qubits[i] = q[i];
+
+  if (iterations == 0) {
+    iterations = optimal_grover_iterations(dim_of(num_qubits), marked.size());
+  }
+  for (std::size_t qq : qubits) circuit.h(qq);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    append_phase_oracle_values(circuit, qubits, marked);
+    append_diffusion(circuit, qubits);
+  }
+  std::vector<std::size_t> clbits(num_qubits);
+  for (std::size_t i = 0; i < num_qubits; ++i) clbits[i] = i;
+  circuit.measure(qubits, clbits);
+  return circuit;
+}
+
+GroverResult run_grover(std::size_t num_qubits, std::span<const std::uint64_t> marked,
+                        std::uint64_t seed, std::size_t iterations) {
+  if (iterations == 0) {
+    iterations = optimal_grover_iterations(dim_of(num_qubits), marked.size());
+  }
+  const circ::QuantumCircuit circuit = build_grover_circuit(num_qubits, marked,
+                                                            iterations);
+  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+
+  // Exact success probability from the pre-measurement state: strip the
+  // final measurements and inspect amplitudes.
+  circ::QuantumCircuit unm;
+  unm.add_register("q", num_qubits);
+  for (const auto& in : circuit.instructions()) {
+    if (in.type != circ::GateType::Measure) unm.append(in);
+  }
+  auto traj = executor.run_single(unm);
+  double p_success = 0.0;
+  for (std::uint64_t v : marked) p_success += std::norm(traj.state.amplitude(v));
+
+  Rng rng(seed);
+  const std::uint64_t outcome = traj.state.measure_all(rng);
+
+  GroverResult result;
+  result.outcome = outcome;
+  result.hit = std::find(marked.begin(), marked.end(), outcome) != marked.end();
+  result.success_probability = p_success;
+  result.iterations = iterations;
+  result.oracle_calls = iterations;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Substring search
+// ---------------------------------------------------------------------------
+
+SubstringSearch::SubstringSearch(std::string text, std::string pattern)
+    : text_(std::move(text)), pattern_(std::move(pattern)) {
+  if (pattern_.empty() || text_.size() < pattern_.size()) {
+    throw InvalidArgument("substring search: pattern must be nonempty and fit the text");
+  }
+  for (char c : text_) {
+    if (c != '0' && c != '1') throw InvalidArgument("text must be a bitstring");
+  }
+  for (char c : pattern_) {
+    if (c != '0' && c != '1') throw InvalidArgument("pattern must be a bitstring");
+  }
+  positions_ = text_.size() - pattern_.size() + 1;
+  index_bits_ = bits_for(positions_ - 1);
+  for (std::uint64_t i = 0; i < positions_; ++i) {
+    if (text_.compare(i, pattern_.size(), pattern_) == 0) matches_.push_back(i);
+  }
+}
+
+void SubstringSearch::append_window_load(circ::QuantumCircuit& circuit,
+                                         std::span<const std::size_t> index,
+                                         std::span<const std::size_t> window) const {
+  // For every candidate index value i, write the text window (or the
+  // pattern's complement for padding indices) into the window register,
+  // controlled on the index register holding i. Self-inverse by
+  // construction (only MCX targets the window), so the same routine
+  // uncomputes.
+  const std::uint64_t index_space = dim_of(index_bits_);
+  const std::size_t m = pattern_.size();
+  for (std::uint64_t i = 0; i < index_space; ++i) {
+    // X-conjugate the index register so the controls test "index == i".
+    for (std::size_t b = 0; b < index.size(); ++b) {
+      if (!test_bit(i, b)) circuit.x(index[b]);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const bool bit = i < positions_ ? text_[i + j] == '1' : pattern_[j] == '0';
+      if (bit) circuit.mcx(index, window[j]);
+    }
+    for (std::size_t b = 0; b < index.size(); ++b) {
+      if (!test_bit(i, b)) circuit.x(index[b]);
+    }
+  }
+}
+
+void SubstringSearch::append_oracle(circ::QuantumCircuit& circuit,
+                                    std::span<const std::size_t> window) const {
+  // Phase-flip window == pattern.
+  std::uint64_t value = 0;
+  for (std::size_t j = 0; j < pattern_.size(); ++j) {
+    if (pattern_[j] == '1') value = set_bit(value, j);
+  }
+  append_phase_oracle_value(circuit, window, value);
+}
+
+circ::QuantumCircuit SubstringSearch::build_circuit(std::size_t iterations) const {
+  circ::QuantumCircuit circuit;
+  const auto& idx = circuit.add_register("idx", index_bits_);
+  const auto& win = circuit.add_register("win", pattern_.size());
+  circuit.add_classical_register("pos", index_bits_);
+
+  std::vector<std::size_t> index(index_bits_), window(pattern_.size());
+  for (std::size_t i = 0; i < index_bits_; ++i) index[i] = idx[i];
+  for (std::size_t j = 0; j < pattern_.size(); ++j) window[j] = win[j];
+
+  if (iterations == 0) {
+    const std::uint64_t space = dim_of(index_bits_);
+    iterations = optimal_grover_iterations(space, std::max<std::size_t>(
+                                                      matches_.size(), 1));
+  }
+
+  for (std::size_t q : index) circuit.h(q);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    append_window_load(circuit, index, window);
+    append_oracle(circuit, window);
+    append_window_load(circuit, index, window);  // self-inverse: uncompute
+    append_diffusion(circuit, index);
+  }
+  std::vector<std::size_t> clbits(index_bits_);
+  for (std::size_t i = 0; i < index_bits_; ++i) clbits[i] = i;
+  circuit.measure(index, clbits);
+  return circuit;
+}
+
+GroverResult SubstringSearch::run(std::uint64_t seed, std::size_t iterations) const {
+  if (iterations == 0) {
+    iterations = optimal_grover_iterations(dim_of(index_bits_),
+                                           std::max<std::size_t>(matches_.size(), 1));
+  }
+  circ::QuantumCircuit circuit = build_circuit(iterations);
+
+  // Pre-measurement state for the exact success probability.
+  circ::QuantumCircuit unm;
+  unm.add_register("idx", index_bits_);
+  unm.add_register("win", pattern_.size());
+  for (const auto& in : circuit.instructions()) {
+    if (in.type != circ::GateType::Measure) unm.append(in);
+  }
+  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  auto traj = executor.run_single(unm);
+
+  double p_success = 0.0;
+  for (std::uint64_t basis = 0; basis < traj.state.dim(); ++basis) {
+    const std::uint64_t pos = basis & (dim_of(index_bits_) - 1);
+    const bool marked =
+        std::find(matches_.begin(), matches_.end(), pos) != matches_.end();
+    if (marked) p_success += std::norm(traj.state.amplitude(basis));
+  }
+
+  Rng rng(seed);
+  const std::uint64_t basis = traj.state.measure_all(rng);
+  const std::uint64_t pos = basis & (dim_of(index_bits_) - 1);
+
+  GroverResult result;
+  result.outcome = pos;
+  result.hit = pos < positions_ &&
+               text_.compare(pos, pattern_.size(), pattern_) == 0;
+  result.success_probability = p_success;
+  result.iterations = iterations;
+  result.oracle_calls = iterations;
+  return result;
+}
+
+}  // namespace qutes::algo

@@ -1,0 +1,91 @@
+#include "qutes/algorithms/oracles.hpp"
+
+#include <algorithm>
+
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/common/rng.hpp"
+
+namespace qutes::algo {
+
+void append_phase_oracle_value(circ::QuantumCircuit& circuit,
+                               std::span<const std::size_t> qubits,
+                               std::uint64_t value) {
+  if (qubits.empty()) throw InvalidArgument("phase oracle: empty register");
+  if (value >= dim_of(qubits.size())) {
+    throw InvalidArgument("phase oracle: value does not fit the register");
+  }
+  // Map |value> to |11...1>, phase it, map back.
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    if (!test_bit(value, i)) circuit.x(qubits[i]);
+  }
+  if (qubits.size() == 1) {
+    circuit.z(qubits[0]);
+  } else {
+    const auto controls = qubits.subspan(0, qubits.size() - 1);
+    circuit.mcz(controls, qubits.back());
+  }
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    if (!test_bit(value, i)) circuit.x(qubits[i]);
+  }
+}
+
+void append_phase_oracle_values(circ::QuantumCircuit& circuit,
+                                std::span<const std::size_t> qubits,
+                                std::span<const std::uint64_t> values) {
+  for (std::uint64_t v : values) append_phase_oracle_value(circuit, qubits, v);
+}
+
+void append_parity_bit_oracle(circ::QuantumCircuit& circuit,
+                              std::span<const std::size_t> inputs, std::size_t output,
+                              std::uint64_t mask) {
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (test_bit(mask, i)) circuit.cx(inputs[i], output);
+  }
+}
+
+void append_constant_bit_oracle(circ::QuantumCircuit& circuit, std::size_t output,
+                                bool value) {
+  if (value) circuit.x(output);
+}
+
+void append_truth_table_bit_oracle(circ::QuantumCircuit& circuit,
+                                   std::span<const std::size_t> inputs,
+                                   std::size_t output,
+                                   const std::vector<bool>& truth_table) {
+  if (truth_table.size() != dim_of(inputs.size())) {
+    throw InvalidArgument("truth table size must be 2^|inputs|");
+  }
+  for (std::uint64_t x = 0; x < truth_table.size(); ++x) {
+    if (!truth_table[x]) continue;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (!test_bit(x, i)) circuit.x(inputs[i]);
+    }
+    if (inputs.empty()) {
+      circuit.x(output);
+    } else {
+      circuit.mcx(inputs, output);
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (!test_bit(x, i)) circuit.x(inputs[i]);
+    }
+  }
+}
+
+std::vector<bool> random_balanced_truth_table(std::size_t num_inputs,
+                                              std::uint64_t seed) {
+  const std::uint64_t size = dim_of(num_inputs);
+  std::vector<bool> table(size, false);
+  std::fill(table.begin(), table.begin() + static_cast<std::ptrdiff_t>(size / 2), true);
+  // Fisher-Yates with the library RNG so tables are reproducible.
+  Rng rng(seed);
+  for (std::uint64_t i = size; i-- > 1;) {
+    const std::uint64_t j = rng.below(i + 1);
+    const bool tmp = table[i];
+    table[i] = table[j];
+    table[j] = tmp;
+  }
+  return table;
+}
+
+}  // namespace qutes::algo

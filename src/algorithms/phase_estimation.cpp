@@ -1,0 +1,51 @@
+#include "qutes/algorithms/phase_estimation.hpp"
+
+#include <cmath>
+
+#include "qutes/algorithms/qft.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+circ::QuantumCircuit build_phase_estimation_circuit(std::size_t precision_bits,
+                                                    double phi) {
+  if (precision_bits == 0) throw InvalidArgument("qpe: no counting qubits");
+  circ::QuantumCircuit circuit;
+  const auto& count = circuit.add_register("count", precision_bits);
+  const auto& eigen = circuit.add_register("eigen", 1);
+  circuit.add_classical_register("c", precision_bits);
+
+  std::vector<std::size_t> counting(precision_bits);
+  for (std::size_t i = 0; i < precision_bits; ++i) counting[i] = count[i];
+
+  // Eigenstate of P(lambda) with eigenvalue e^{i lambda}: |1>.
+  circuit.x(eigen[0]);
+  for (std::size_t q : counting) circuit.h(q);
+  // Counting qubit k controls P applied 2^k times.
+  for (std::size_t k = 0; k < precision_bits; ++k) {
+    const double angle = 2.0 * M_PI * phi * static_cast<double>(1ULL << k);
+    circuit.cp(angle, counting[k], eigen[0]);
+  }
+  append_iqft(circuit, counting, /*do_swaps=*/true);
+
+  std::vector<std::size_t> clbits(precision_bits);
+  for (std::size_t i = 0; i < precision_bits; ++i) clbits[i] = i;
+  circuit.measure(counting, clbits);
+  return circuit;
+}
+
+PhaseEstimate run_phase_estimation(std::size_t precision_bits, double phi,
+                                   std::uint64_t seed) {
+  const auto circuit = build_phase_estimation_circuit(precision_bits, phi);
+  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  const auto traj = executor.run_single(circuit);
+  PhaseEstimate est;
+  est.raw = traj.clbits;
+  est.phi = static_cast<double>(est.raw) /
+            static_cast<double>(dim_of(precision_bits));
+  return est;
+}
+
+}  // namespace qutes::algo

@@ -1,0 +1,55 @@
+#include "qutes/algorithms/qft.hpp"
+
+#include <cmath>
+
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+void append_qft(circ::QuantumCircuit& circuit, std::span<const std::size_t> qubits,
+                bool do_swaps) {
+  if (qubits.empty()) throw InvalidArgument("append_qft: empty register");
+  const std::size_t n = qubits.size();
+  // Process from the most-significant qubit down; each qubit gets an H then
+  // accumulates controlled phases from every lower bit.
+  for (std::size_t j = n; j-- > 0;) {
+    circuit.h(qubits[j]);
+    for (std::size_t k = j; k-- > 0;) {
+      const double angle = M_PI / static_cast<double>(1ULL << (j - k));
+      circuit.cp(angle, qubits[k], qubits[j]);
+    }
+  }
+  if (do_swaps) {
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      circuit.swap(qubits[i], qubits[n - 1 - i]);
+    }
+  }
+}
+
+void append_iqft(circ::QuantumCircuit& circuit, std::span<const std::size_t> qubits,
+                 bool do_swaps) {
+  if (qubits.empty()) throw InvalidArgument("append_iqft: empty register");
+  const std::size_t n = qubits.size();
+  if (do_swaps) {
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      circuit.swap(qubits[i], qubits[n - 1 - i]);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      const double angle = -M_PI / static_cast<double>(1ULL << (j - k));
+      circuit.cp(angle, qubits[k], qubits[j]);
+    }
+    circuit.h(qubits[j]);
+  }
+}
+
+circ::QuantumCircuit make_qft(std::size_t num_qubits, bool do_swaps) {
+  circ::QuantumCircuit circuit(num_qubits);
+  std::vector<std::size_t> qubits(num_qubits);
+  for (std::size_t i = 0; i < num_qubits; ++i) qubits[i] = i;
+  append_qft(circuit, qubits, do_swaps);
+  return circuit;
+}
+
+}  // namespace qutes::algo

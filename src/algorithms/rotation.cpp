@@ -1,0 +1,60 @@
+#include "qutes/algorithms/rotation.hpp"
+
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+namespace {
+
+/// One layer of disjoint SWAPs reversing qubits[begin..end).
+void append_reversal(circ::QuantumCircuit& circuit, std::span<const std::size_t> qubits,
+                     std::size_t begin, std::size_t end) {
+  while (begin + 1 < end) {
+    circuit.swap(qubits[begin], qubits[end - 1]);
+    ++begin;
+    --end;
+  }
+}
+
+}  // namespace
+
+void append_rotate_constant_depth(circ::QuantumCircuit& circuit,
+                                  std::span<const std::size_t> qubits, std::size_t k) {
+  const std::size_t n = qubits.size();
+  if (n == 0) throw InvalidArgument("rotate: empty register");
+  k %= n;
+  if (k == 0) return;
+  // Left-rotate by k == reverse the two blocks, then reverse the whole:
+  // [A|B] -> [A^R|B^R] -> (whole)^R = [B|A].
+  // Block split: moving each qubit i -> (i + k) mod n means block A is the
+  // first n-k qubits (they shift up by k) and block B the last k.
+  append_reversal(circuit, qubits, 0, n - k);
+  append_reversal(circuit, qubits, n - k, n);
+  append_reversal(circuit, qubits, 0, n);
+}
+
+void append_rotate_linear_depth(circ::QuantumCircuit& circuit,
+                                std::span<const std::size_t> qubits, std::size_t k) {
+  const std::size_t n = qubits.size();
+  if (n == 0) throw InvalidArgument("rotate: empty register");
+  k %= n;
+  // One position per pass: bubble the top element down with n-1 sequential
+  // adjacent swaps (deliberately serial — this is the classical-style
+  // baseline the paper contrasts against).
+  for (std::size_t pass = 0; pass < k; ++pass) {
+    for (std::size_t i = n - 1; i-- > 0;) {
+      circuit.swap(qubits[i], qubits[i + 1]);
+    }
+  }
+}
+
+void append_rotate_right_constant_depth(circ::QuantumCircuit& circuit,
+                                        std::span<const std::size_t> qubits,
+                                        std::size_t k) {
+  const std::size_t n = qubits.size();
+  if (n == 0) throw InvalidArgument("rotate: empty register");
+  k %= n;
+  append_rotate_constant_depth(circuit, qubits, (n - k) % n);
+}
+
+}  // namespace qutes::algo

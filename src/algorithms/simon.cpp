@@ -1,0 +1,107 @@
+#include "qutes/algorithms/simon.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+bool Gf2System::add(std::uint64_t equation) {
+  for (const std::uint64_t row : rows_) {
+    const auto leading = std::uint64_t{1} << (63 - std::countl_zero(row));
+    if (equation & leading) equation ^= row;
+  }
+  if (equation == 0) return false;
+  rows_.push_back(equation);
+  return true;
+}
+
+std::vector<std::uint64_t> Gf2System::nullspace(std::size_t n) const {
+  // n is small in practice (the circuit is 2n qubits); enumerate.
+  std::vector<std::uint64_t> solutions;
+  for (std::uint64_t s = 1; s < dim_of(n); ++s) {
+    bool ok = true;
+    for (const std::uint64_t row : rows_) {
+      if (std::popcount(row & s) % 2 != 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) solutions.push_back(s);
+  }
+  return solutions;
+}
+
+circ::QuantumCircuit build_simon_circuit(std::size_t num_bits, std::uint64_t secret) {
+  if (num_bits == 0 || num_bits > 6) {
+    throw InvalidArgument("simon: 1..6 input bits (the circuit uses 2n qubits)");
+  }
+  if (secret == 0 || secret >= dim_of(num_bits)) {
+    throw InvalidArgument("simon: secret must be nonzero and fit num_bits");
+  }
+  circ::QuantumCircuit circuit;
+  const auto& x = circuit.add_register("x", num_bits);
+  const auto& y = circuit.add_register("y", num_bits);
+  circuit.add_classical_register("c", num_bits);
+
+  std::vector<std::size_t> inputs(num_bits), outputs(num_bits);
+  for (std::size_t i = 0; i < num_bits; ++i) inputs[i] = x[i];
+  for (std::size_t i = 0; i < num_bits; ++i) outputs[i] = y[i];
+
+  for (std::size_t q : inputs) circuit.h(q);
+
+  // QROM load of f(v) = min(v, v ^ secret) — constant on {v, v^secret}.
+  for (std::uint64_t v = 0; v < dim_of(num_bits); ++v) {
+    const std::uint64_t fv = std::min(v, v ^ secret);
+    if (fv == 0) continue;
+    for (std::size_t b = 0; b < num_bits; ++b) {
+      if (!test_bit(v, b)) circuit.x(inputs[b]);
+    }
+    for (std::size_t j = 0; j < num_bits; ++j) {
+      if (test_bit(fv, j)) circuit.mcx(inputs, outputs[j]);
+    }
+    for (std::size_t b = 0; b < num_bits; ++b) {
+      if (!test_bit(v, b)) circuit.x(inputs[b]);
+    }
+  }
+
+  for (std::size_t q : inputs) circuit.h(q);
+  std::vector<std::size_t> clbits(num_bits);
+  for (std::size_t i = 0; i < num_bits; ++i) clbits[i] = i;
+  circuit.measure(inputs, clbits);
+  return circuit;
+}
+
+SimonResult run_simon(std::size_t num_bits, std::uint64_t secret, std::uint64_t seed) {
+  const circ::QuantumCircuit circuit = build_simon_circuit(num_bits, secret);
+  SimonResult result;
+  Gf2System system;
+  Rng rng(seed);
+
+  // Expected O(n) rounds; budget generously before declaring failure.
+  const std::size_t budget = 20 * num_bits + 20;
+  while (result.quantum_queries < budget && system.rank() + 1 < num_bits) {
+    circ::Executor executor({.shots = 1, .seed = rng(), .noise = {}});
+    const auto traj = executor.run_single(circuit);
+    ++result.quantum_queries;
+    const std::uint64_t sample = traj.clbits & (dim_of(num_bits) - 1);
+    if (sample != 0) system.add(sample);
+  }
+  if (num_bits == 1) {
+    // Rank 0 suffices: the only nonzero candidate is s = 1.
+    result.recovered = 1;
+    result.success = secret == 1;
+    return result;
+  }
+  const auto candidates = system.nullspace(num_bits);
+  if (candidates.size() == 1) {
+    result.recovered = candidates.front();
+    result.success = result.recovered == secret;
+  }
+  return result;
+}
+
+}  // namespace qutes::algo

@@ -1,0 +1,102 @@
+#include "qutes/algorithms/state_prep.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::algo {
+
+namespace {
+
+/// Multi-controlled RY via the half-angle MCX conjugation:
+/// MCRY(theta) = RY(theta/2) . MCX . RY(-theta/2) . MCX (target rotations).
+void append_mcry(circ::QuantumCircuit& circuit, double theta,
+                 std::span<const std::size_t> controls, std::size_t target) {
+  if (controls.empty()) {
+    circuit.ry(theta, target);
+    return;
+  }
+  circuit.ry(theta / 2, target);
+  circuit.mcx(controls, target);
+  circuit.ry(-theta / 2, target);
+  circuit.mcx(controls, target);
+}
+
+}  // namespace
+
+void append_state_prep(circ::QuantumCircuit& circuit,
+                       std::span<const std::size_t> qubits,
+                       std::span<const double> probabilities) {
+  const std::size_t n = qubits.size();
+  if (n == 0) throw InvalidArgument("state_prep: empty register");
+  if (probabilities.size() != dim_of(n)) {
+    throw InvalidArgument("state_prep: need 2^n probabilities");
+  }
+  const double total = std::accumulate(probabilities.begin(), probabilities.end(), 0.0);
+  if (std::abs(total - 1.0) > 1e-9) {
+    throw InvalidArgument("state_prep: probabilities must sum to 1");
+  }
+
+  // Process MSB down. For each assignment h of the already-fixed high bits,
+  // rotate the current qubit by the conditional branching angle.
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t target_bit = n - 1 - step;        // logical bit index
+    const std::size_t num_fixed = step;                 // higher bits already set
+    const std::uint64_t assignments = dim_of(num_fixed);
+    for (std::uint64_t h = 0; h < assignments; ++h) {
+      // Mass of probability in the 0- and 1-branch of the target bit, given
+      // the high bits spell h (h's bit k corresponds to logical bit n-1-k).
+      double m0 = 0.0, m1 = 0.0;
+      for (std::uint64_t idx = 0; idx < probabilities.size(); ++idx) {
+        bool matches = true;
+        for (std::size_t k = 0; k < num_fixed; ++k) {
+          const std::size_t logical = n - 1 - k;
+          if (test_bit(idx, logical) != test_bit(h, num_fixed - 1 - k)) {
+            matches = false;
+            break;
+          }
+        }
+        if (!matches) continue;
+        (test_bit(idx, target_bit) ? m1 : m0) += probabilities[idx];
+      }
+      if (m0 + m1 <= 0.0) continue;  // unreachable branch: nothing to rotate
+      const double theta = 2.0 * std::atan2(std::sqrt(m1), std::sqrt(m0));
+      if (std::abs(theta) < 1e-15) continue;
+
+      // Controls: the fixed higher qubits, X-conjugated to match pattern h.
+      std::vector<std::size_t> controls;
+      std::vector<std::size_t> flipped;
+      for (std::size_t k = 0; k < num_fixed; ++k) {
+        const std::size_t logical = n - 1 - k;
+        controls.push_back(qubits[logical]);
+        if (!test_bit(h, num_fixed - 1 - k)) flipped.push_back(qubits[logical]);
+      }
+      for (std::size_t q : flipped) circuit.x(q);
+      append_mcry(circuit, theta, controls, qubits[target_bit]);
+      for (std::size_t q : flipped) circuit.x(q);
+    }
+  }
+}
+
+void append_uniform_superposition(circ::QuantumCircuit& circuit,
+                                  std::span<const std::size_t> qubits,
+                                  std::span<const std::uint64_t> values) {
+  if (values.empty()) throw InvalidArgument("uniform superposition: no values");
+  std::vector<double> probs(dim_of(qubits.size()), 0.0);
+  for (std::uint64_t v : values) {
+    if (v >= probs.size()) {
+      throw InvalidArgument("uniform superposition: value does not fit the register");
+    }
+    if (probs[v] != 0.0) {
+      throw InvalidArgument("uniform superposition: duplicate value " +
+                            std::to_string(v));
+    }
+    probs[v] = 1.0 / static_cast<double>(values.size());
+  }
+  append_state_prep(circuit, qubits, probs);
+}
+
+}  // namespace qutes::algo

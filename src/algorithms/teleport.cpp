@@ -1,0 +1,50 @@
+#include "qutes/algorithms/teleport.hpp"
+
+#include <cmath>
+
+#include "qutes/algorithms/entanglement.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+
+namespace qutes::algo {
+
+circ::QuantumCircuit build_teleport_circuit(double theta, double phi, double lambda) {
+  circ::QuantumCircuit circuit;
+  const auto& q = circuit.add_register("q", 3);
+  circuit.add_classical_register("c", 2);
+
+  circuit.u(theta, phi, lambda, q[0]);  // message
+  append_bell_pair(circuit, q[1], q[2]);
+  circuit.cx(q[0], q[1]);
+  circuit.h(q[0]);
+  circuit.measure(q[0], 0);
+  circuit.measure(q[1], 1);
+  circuit.x(q[2]);
+  circuit.c_if(1, 1);
+  circuit.z(q[2]);
+  circuit.c_if(0, 1);
+  return circuit;
+}
+
+double run_teleport_fidelity(double theta, double phi, double lambda,
+                             std::uint64_t seed) {
+  const auto circuit = build_teleport_circuit(theta, phi, lambda);
+  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  const auto traj = executor.run_single(circuit);
+
+  // Ideal received state: U|0> = (cos(t/2), e^{i phi} sin(t/2)).
+  const sim::cplx alpha{std::cos(theta / 2), 0.0};
+  const sim::cplx beta = std::exp(sim::cplx{0, phi}) * std::sin(theta / 2);
+
+  // q0/q1 collapsed; project out the qubit-2 sub-state.
+  sim::cplx a0{}, a1{};
+  for (std::uint64_t basis = 0; basis < traj.state.dim(); ++basis) {
+    const sim::cplx a = traj.state.amplitude(basis);
+    if (std::norm(a) == 0.0) continue;
+    if (test_bit(basis, 2)) a1 += a;
+    else a0 += a;
+  }
+  return std::norm(std::conj(alpha) * a0 + std::conj(beta) * a1);
+}
+
+}  // namespace qutes::algo

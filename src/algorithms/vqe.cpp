@@ -1,0 +1,163 @@
+#include "qutes/algorithms/vqe.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/common/rng.hpp"
+#include "qutes/sim/observables.hpp"
+
+namespace qutes::algo {
+
+double Hamiltonian::energy(const sim::StateVector& psi) const {
+  double total = 0.0;
+  for (const Term& term : terms) {
+    total += term.coefficient * sim::expectation_pauli(psi, term.pauli);
+  }
+  return total;
+}
+
+namespace {
+
+/// Dense matrix of a Pauli string (MSB-first), as action on basis states:
+/// P|j> = phase * |j'>; accumulate coefficient * P into `matrix`.
+void accumulate_term(std::vector<sim::cplx>& matrix, std::uint64_t dim,
+                     const Hamiltonian::Term& term, std::size_t n) {
+  for (std::uint64_t j = 0; j < dim; ++j) {
+    std::uint64_t target = j;
+    sim::cplx phase{1.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t qubit = n - 1 - i;
+      const bool bit = test_bit(j, qubit);
+      switch (term.pauli[i]) {
+        case 'I': break;
+        case 'Z': if (bit) phase = -phase; break;
+        case 'X': target = flip_bit(target, qubit); break;
+        case 'Y':
+          target = flip_bit(target, qubit);
+          phase *= bit ? sim::cplx{0.0, -1.0} : sim::cplx{0.0, 1.0};
+          break;
+        default:
+          throw InvalidArgument("bad Pauli character in Hamiltonian term");
+      }
+    }
+    matrix[target + dim * j] += term.coefficient * phase;
+  }
+}
+
+}  // namespace
+
+double Hamiltonian::exact_ground_energy(std::size_t num_qubits) const {
+  const std::uint64_t dim = dim_of(num_qubits);
+  if (dim > 256) throw InvalidArgument("exact diagonalization limited to 8 qubits");
+  std::vector<sim::cplx> h(dim * dim, sim::cplx{});
+  double bound = 0.0;
+  for (const Term& term : terms) {
+    if (term.pauli.size() != num_qubits) {
+      throw InvalidArgument("Hamiltonian term width mismatch");
+    }
+    accumulate_term(h, dim, term, num_qubits);
+    bound += std::abs(term.coefficient);
+  }
+
+  // Power iteration on (bound * I - H): its top eigenvalue is
+  // bound - lambda_min(H).
+  Rng rng(12345);
+  std::vector<sim::cplx> v(dim);
+  for (auto& x : v) x = sim::cplx{rng.uniform() - 0.5, rng.uniform() - 0.5};
+  const auto normalize = [&](std::vector<sim::cplx>& vec) {
+    double norm2 = 0.0;
+    for (const auto& x : vec) norm2 += std::norm(x);
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (auto& x : vec) x *= inv;
+  };
+  normalize(v);
+
+  std::vector<sim::cplx> w(dim);
+  double eigen = 0.0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    for (std::uint64_t r = 0; r < dim; ++r) {
+      sim::cplx acc = bound * v[r];
+      for (std::uint64_t cidx = 0; cidx < dim; ++cidx) {
+        acc -= h[r + dim * cidx] * v[cidx];
+      }
+      w[r] = acc;
+    }
+    // Rayleigh quotient (v normalized, matrix Hermitian).
+    sim::cplx rq{};
+    for (std::uint64_t r = 0; r < dim; ++r) rq += std::conj(v[r]) * w[r];
+    const double next = rq.real();
+    v = w;
+    normalize(v);
+    if (iter > 10 && std::abs(next - eigen) < 1e-13) {
+      eigen = next;
+      break;
+    }
+    eigen = next;
+  }
+  return bound - eigen;
+}
+
+circ::QuantumCircuit build_ry_ansatz(std::size_t num_qubits, std::size_t layers,
+                                     std::span<const double> parameters) {
+  if (num_qubits == 0) throw InvalidArgument("ansatz: no qubits");
+  const std::size_t expected = num_qubits * (layers + 1);
+  if (parameters.size() != expected) {
+    throw InvalidArgument("ansatz expects " + std::to_string(expected) +
+                          " parameters");
+  }
+  circ::QuantumCircuit circuit(num_qubits);
+  std::size_t p = 0;
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (std::size_t q = 0; q < num_qubits; ++q) circuit.ry(parameters[p++], q);
+    for (std::size_t q = 0; q + 1 < num_qubits; ++q) circuit.cx(q, q + 1);
+  }
+  for (std::size_t q = 0; q < num_qubits; ++q) circuit.ry(parameters[p++], q);
+  return circuit;
+}
+
+VqeResult run_vqe(const Hamiltonian& hamiltonian, std::size_t num_qubits,
+                  VqeOptions options) {
+  const std::size_t count = num_qubits * (options.layers + 1);
+  Rng rng(options.seed);
+  std::vector<double> params(count);
+  for (double& p : params) p = (rng.uniform() - 0.5) * 0.2;
+
+  VqeResult result;
+  const auto evaluate = [&](const std::vector<double>& p) {
+    const circ::QuantumCircuit ansatz =
+        build_ry_ansatz(num_qubits, options.layers, p);
+    circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+    ++result.evaluations;
+    return hamiltonian.energy(ex.run_single(ansatz).state);
+  };
+
+  double energy = evaluate(params);
+  double step = options.initial_step;
+  while (result.sweeps < options.max_sweeps && step > options.tolerance) {
+    ++result.sweeps;
+    bool improved = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      for (const double delta : {step, -step}) {
+        std::vector<double> trial = params;
+        trial[i] += delta;
+        const double e = evaluate(trial);
+        if (e < energy - 1e-12) {
+          energy = e;
+          params = std::move(trial);
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) step *= 0.5;
+  }
+
+  result.energy = energy;
+  result.parameters = std::move(params);
+  return result;
+}
+
+}  // namespace qutes::algo

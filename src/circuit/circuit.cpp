@@ -1,0 +1,451 @@
+#include "qutes/circuit/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qutes/common/error.hpp"
+
+namespace qutes::circ {
+
+std::size_t fixed_arity(GateType type) noexcept {
+  switch (type) {
+    case GateType::H: case GateType::X: case GateType::Y: case GateType::Z:
+    case GateType::S: case GateType::Sdg: case GateType::T: case GateType::Tdg:
+    case GateType::SX: case GateType::RX: case GateType::RY: case GateType::RZ:
+    case GateType::P: case GateType::U:
+    case GateType::Measure: case GateType::Reset:
+      return 1;
+    case GateType::CX: case GateType::CY: case GateType::CZ: case GateType::CH:
+    case GateType::CP: case GateType::CRZ: case GateType::SWAP:
+      return 2;
+    case GateType::CCX: case GateType::CSWAP:
+      return 3;
+    case GateType::GlobalPhase:
+      return 0;
+    case GateType::MCX: case GateType::MCZ: case GateType::MCP:
+    case GateType::Barrier:
+      return 0;  // variadic
+  }
+  return 0;
+}
+
+std::size_t param_count(GateType type) noexcept {
+  switch (type) {
+    case GateType::RX: case GateType::RY: case GateType::RZ: case GateType::P:
+    case GateType::CP: case GateType::CRZ: case GateType::MCP:
+    case GateType::GlobalPhase:
+      return 1;
+    case GateType::U:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+const char* gate_name(GateType type) noexcept {
+  switch (type) {
+    case GateType::H: return "h";
+    case GateType::X: return "x";
+    case GateType::Y: return "y";
+    case GateType::Z: return "z";
+    case GateType::S: return "s";
+    case GateType::Sdg: return "sdg";
+    case GateType::T: return "t";
+    case GateType::Tdg: return "tdg";
+    case GateType::SX: return "sx";
+    case GateType::RX: return "rx";
+    case GateType::RY: return "ry";
+    case GateType::RZ: return "rz";
+    case GateType::P: return "p";
+    case GateType::U: return "u";
+    case GateType::CX: return "cx";
+    case GateType::CY: return "cy";
+    case GateType::CZ: return "cz";
+    case GateType::CH: return "ch";
+    case GateType::CP: return "cp";
+    case GateType::CRZ: return "crz";
+    case GateType::SWAP: return "swap";
+    case GateType::CCX: return "ccx";
+    case GateType::CSWAP: return "cswap";
+    case GateType::MCX: return "mcx";
+    case GateType::MCZ: return "mcz";
+    case GateType::MCP: return "mcp";
+    case GateType::Measure: return "measure";
+    case GateType::Reset: return "reset";
+    case GateType::Barrier: return "barrier";
+    case GateType::GlobalPhase: return "gphase";
+  }
+  return "?";
+}
+
+bool is_unitary_gate(GateType type) noexcept {
+  switch (type) {
+    case GateType::Measure: case GateType::Reset: case GateType::Barrier:
+      return false;
+    default:
+      return true;
+  }
+}
+
+QuantumCircuit::QuantumCircuit(std::size_t num_qubits, std::size_t num_clbits) {
+  if (num_qubits > 0) add_register("q", num_qubits);
+  if (num_clbits > 0) add_classical_register("c", num_clbits);
+}
+
+QuantumRegister& QuantumCircuit::add_register(const std::string& name, std::size_t size) {
+  if (size == 0) throw CircuitError("empty quantum register '" + name + "'");
+  for (const auto& r : qregs_) {
+    if (r.name == name) throw CircuitError("duplicate quantum register '" + name + "'");
+  }
+  qregs_.push_back(QuantumRegister{name, num_qubits_, size});
+  num_qubits_ += size;
+  return qregs_.back();
+}
+
+ClassicalRegister& QuantumCircuit::add_classical_register(const std::string& name,
+                                                          std::size_t size) {
+  if (size == 0) throw CircuitError("empty classical register '" + name + "'");
+  for (const auto& r : cregs_) {
+    if (r.name == name) throw CircuitError("duplicate classical register '" + name + "'");
+  }
+  cregs_.push_back(ClassicalRegister{name, num_clbits_, size});
+  num_clbits_ += size;
+  return cregs_.back();
+}
+
+void QuantumCircuit::check_qubit(std::size_t q) const {
+  if (q >= num_qubits_) {
+    throw CircuitError("qubit " + std::to_string(q) + " out of range (n=" +
+                       std::to_string(num_qubits_) + ")");
+  }
+}
+
+void QuantumCircuit::check_clbit(std::size_t c) const {
+  if (c >= num_clbits_) {
+    throw CircuitError("clbit " + std::to_string(c) + " out of range (n=" +
+                       std::to_string(num_clbits_) + ")");
+  }
+}
+
+void QuantumCircuit::check_distinct(std::span<const std::size_t> qubits) const {
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    check_qubit(qubits[i]);
+    for (std::size_t j = i + 1; j < qubits.size(); ++j) {
+      if (qubits[i] == qubits[j]) {
+        throw CircuitError("duplicate qubit operand " + std::to_string(qubits[i]));
+      }
+    }
+  }
+}
+
+QuantumCircuit& QuantumCircuit::append(Instruction instr) {
+  const std::size_t arity = fixed_arity(instr.type);
+  if (arity != 0 && instr.qubits.size() != arity) {
+    throw CircuitError(std::string("gate ") + gate_name(instr.type) + " expects " +
+                       std::to_string(arity) + " qubits, got " +
+                       std::to_string(instr.qubits.size()));
+  }
+  if (instr.params.size() != param_count(instr.type)) {
+    throw CircuitError(std::string("gate ") + gate_name(instr.type) + " expects " +
+                       std::to_string(param_count(instr.type)) + " params");
+  }
+  switch (instr.type) {
+    case GateType::MCX: case GateType::MCZ: case GateType::MCP:
+      if (instr.qubits.size() < 2) {
+        throw CircuitError("multi-controlled gate needs >= 1 control + target");
+      }
+      break;
+    case GateType::Measure:
+      if (instr.clbits.size() != instr.qubits.size()) {
+        throw CircuitError("measure needs one clbit per qubit");
+      }
+      for (std::size_t c : instr.clbits) check_clbit(c);
+      break;
+    default:
+      break;
+  }
+  if (instr.type == GateType::Barrier) {
+    // Barrier over everything when no operands given.
+    if (instr.qubits.empty()) {
+      instr.qubits.resize(num_qubits_);
+      for (std::size_t q = 0; q < num_qubits_; ++q) instr.qubits[q] = q;
+    }
+  }
+  check_distinct(instr.qubits);
+  if (instr.condition) check_clbit(instr.condition->clbit);
+  instructions_.push_back(std::move(instr));
+  return *this;
+}
+
+// Small helpers keep the builder bodies one line each.
+namespace {
+Instruction make(GateType t, std::initializer_list<std::size_t> qs,
+                 std::initializer_list<double> ps = {}) {
+  Instruction in;
+  in.type = t;
+  in.qubits = qs;
+  in.params = ps;
+  return in;
+}
+}  // namespace
+
+QuantumCircuit& QuantumCircuit::h(std::size_t q) { return append(make(GateType::H, {q})); }
+QuantumCircuit& QuantumCircuit::x(std::size_t q) { return append(make(GateType::X, {q})); }
+QuantumCircuit& QuantumCircuit::y(std::size_t q) { return append(make(GateType::Y, {q})); }
+QuantumCircuit& QuantumCircuit::z(std::size_t q) { return append(make(GateType::Z, {q})); }
+QuantumCircuit& QuantumCircuit::s(std::size_t q) { return append(make(GateType::S, {q})); }
+QuantumCircuit& QuantumCircuit::sdg(std::size_t q) { return append(make(GateType::Sdg, {q})); }
+QuantumCircuit& QuantumCircuit::t(std::size_t q) { return append(make(GateType::T, {q})); }
+QuantumCircuit& QuantumCircuit::tdg(std::size_t q) { return append(make(GateType::Tdg, {q})); }
+QuantumCircuit& QuantumCircuit::sx(std::size_t q) { return append(make(GateType::SX, {q})); }
+
+QuantumCircuit& QuantumCircuit::rx(double theta, std::size_t q) {
+  return append(make(GateType::RX, {q}, {theta}));
+}
+QuantumCircuit& QuantumCircuit::ry(double theta, std::size_t q) {
+  return append(make(GateType::RY, {q}, {theta}));
+}
+QuantumCircuit& QuantumCircuit::rz(double theta, std::size_t q) {
+  return append(make(GateType::RZ, {q}, {theta}));
+}
+QuantumCircuit& QuantumCircuit::p(double lambda, std::size_t q) {
+  return append(make(GateType::P, {q}, {lambda}));
+}
+QuantumCircuit& QuantumCircuit::u(double theta, double phi, double lambda, std::size_t q) {
+  return append(make(GateType::U, {q}, {theta, phi, lambda}));
+}
+QuantumCircuit& QuantumCircuit::cx(std::size_t c, std::size_t t) {
+  return append(make(GateType::CX, {c, t}));
+}
+QuantumCircuit& QuantumCircuit::cy(std::size_t c, std::size_t t) {
+  return append(make(GateType::CY, {c, t}));
+}
+QuantumCircuit& QuantumCircuit::cz(std::size_t c, std::size_t t) {
+  return append(make(GateType::CZ, {c, t}));
+}
+QuantumCircuit& QuantumCircuit::ch(std::size_t c, std::size_t t) {
+  return append(make(GateType::CH, {c, t}));
+}
+QuantumCircuit& QuantumCircuit::cp(double lambda, std::size_t c, std::size_t t) {
+  return append(make(GateType::CP, {c, t}, {lambda}));
+}
+QuantumCircuit& QuantumCircuit::crz(double theta, std::size_t c, std::size_t t) {
+  return append(make(GateType::CRZ, {c, t}, {theta}));
+}
+QuantumCircuit& QuantumCircuit::swap(std::size_t a, std::size_t b) {
+  return append(make(GateType::SWAP, {a, b}));
+}
+QuantumCircuit& QuantumCircuit::ccx(std::size_t c0, std::size_t c1, std::size_t t) {
+  return append(make(GateType::CCX, {c0, c1, t}));
+}
+QuantumCircuit& QuantumCircuit::cswap(std::size_t c, std::size_t a, std::size_t b) {
+  return append(make(GateType::CSWAP, {c, a, b}));
+}
+
+QuantumCircuit& QuantumCircuit::mcx(std::span<const std::size_t> controls,
+                                    std::size_t target) {
+  Instruction in;
+  in.type = GateType::MCX;
+  in.qubits.assign(controls.begin(), controls.end());
+  in.qubits.push_back(target);
+  return append(std::move(in));
+}
+
+QuantumCircuit& QuantumCircuit::mcz(std::span<const std::size_t> controls,
+                                    std::size_t target) {
+  Instruction in;
+  in.type = GateType::MCZ;
+  in.qubits.assign(controls.begin(), controls.end());
+  in.qubits.push_back(target);
+  return append(std::move(in));
+}
+
+QuantumCircuit& QuantumCircuit::mcp(double lambda, std::span<const std::size_t> controls,
+                                    std::size_t target) {
+  Instruction in;
+  in.type = GateType::MCP;
+  in.qubits.assign(controls.begin(), controls.end());
+  in.qubits.push_back(target);
+  in.params = {lambda};
+  return append(std::move(in));
+}
+
+QuantumCircuit& QuantumCircuit::measure(std::size_t qubit, std::size_t clbit) {
+  Instruction in;
+  in.type = GateType::Measure;
+  in.qubits = {qubit};
+  in.clbits = {clbit};
+  return append(std::move(in));
+}
+
+QuantumCircuit& QuantumCircuit::measure(std::span<const std::size_t> qubits,
+                                        std::span<const std::size_t> clbits) {
+  if (qubits.size() != clbits.size()) {
+    throw CircuitError("measure: qubit/clbit count mismatch");
+  }
+  for (std::size_t i = 0; i < qubits.size(); ++i) measure(qubits[i], clbits[i]);
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::measure_all() {
+  if (num_clbits_ < num_qubits_) {
+    const std::size_t missing = num_qubits_ - num_clbits_;
+    add_classical_register("meas", missing);
+  }
+  for (std::size_t q = 0; q < num_qubits_; ++q) measure(q, q);
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::reset(std::size_t qubit) {
+  return append(make(GateType::Reset, {qubit}));
+}
+
+QuantumCircuit& QuantumCircuit::barrier() {
+  Instruction in;
+  in.type = GateType::Barrier;
+  return append(std::move(in));
+}
+
+QuantumCircuit& QuantumCircuit::c_if(std::size_t clbit, int value) {
+  if (instructions_.empty()) throw CircuitError("c_if on an empty circuit");
+  check_clbit(clbit);
+  if (value != 0 && value != 1) throw CircuitError("c_if value must be 0 or 1");
+  instructions_.back().condition = Condition{clbit, value};
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::compose(const QuantumCircuit& other,
+                                        std::span<const std::size_t> qubit_map,
+                                        std::span<const std::size_t> clbit_map) {
+  if (qubit_map.size() != other.num_qubits()) {
+    throw CircuitError("compose: qubit map size mismatch");
+  }
+  if (other.num_clbits() > 0 && clbit_map.size() != other.num_clbits()) {
+    throw CircuitError("compose: clbit map size mismatch");
+  }
+  for (const Instruction& src : other.instructions_) {
+    Instruction in = src;
+    for (std::size_t& q : in.qubits) q = qubit_map[q];
+    for (std::size_t& c : in.clbits) c = clbit_map[c];
+    if (in.condition) in.condition->clbit = clbit_map[in.condition->clbit];
+    append(std::move(in));
+  }
+  global_phase_ += other.global_phase_;
+  return *this;
+}
+
+namespace {
+
+/// Inverse of a single unitary instruction.
+Instruction invert_instruction(const Instruction& in) {
+  Instruction out = in;
+  switch (in.type) {
+    case GateType::S: out.type = GateType::Sdg; break;
+    case GateType::Sdg: out.type = GateType::S; break;
+    case GateType::T: out.type = GateType::Tdg; break;
+    case GateType::Tdg: out.type = GateType::T; break;
+    case GateType::SX:
+      // sqrt(X)^-1 has no named gate here; express as RX(-pi/2) + phase.
+      out.type = GateType::RX;
+      out.params = {-M_PI / 2};
+      break;
+    case GateType::RX: case GateType::RY: case GateType::RZ: case GateType::P:
+    case GateType::CP: case GateType::CRZ: case GateType::MCP:
+    case GateType::GlobalPhase:
+      out.params[0] = -in.params[0];
+      break;
+    case GateType::U:
+      // U(t,p,l)^-1 = U(-t,-l,-p)
+      out.params = {-in.params[0], -in.params[2], -in.params[1]};
+      break;
+    default:
+      break;  // self-inverse (H, X, Y, Z, CX, CZ, SWAP, CCX, ...)
+  }
+  return out;
+}
+
+}  // namespace
+
+QuantumCircuit QuantumCircuit::inverse() const {
+  QuantumCircuit inv;
+  inv.num_qubits_ = num_qubits_;
+  inv.num_clbits_ = num_clbits_;
+  inv.qregs_ = qregs_;
+  inv.cregs_ = cregs_;
+  inv.global_phase_ = -global_phase_;
+  for (auto it = instructions_.rbegin(); it != instructions_.rend(); ++it) {
+    if (!is_unitary_gate(it->type) && it->type != GateType::Barrier) {
+      throw CircuitError("inverse of a non-unitary circuit (contains " +
+                         std::string(gate_name(it->type)) + ")");
+    }
+    if (it->condition) throw CircuitError("inverse of a conditioned instruction");
+    inv.instructions_.push_back(it->type == GateType::Barrier ? *it
+                                                              : invert_instruction(*it));
+  }
+  // SX inversion may add a global phase of pi/4 per occurrence:
+  // SX = e^{i pi/4} RX(pi/2), so SX^-1 = e^{-i pi/4} RX(-pi/2).
+  for (const Instruction& in : instructions_) {
+    if (in.type == GateType::SX) inv.global_phase_ -= M_PI / 4;
+  }
+  return inv;
+}
+
+QuantumCircuit QuantumCircuit::repeat(std::size_t power) const {
+  QuantumCircuit out;
+  out.num_qubits_ = num_qubits_;
+  out.num_clbits_ = num_clbits_;
+  out.qregs_ = qregs_;
+  out.cregs_ = cregs_;
+  for (std::size_t i = 0; i < power; ++i) {
+    out.instructions_.insert(out.instructions_.end(), instructions_.begin(),
+                             instructions_.end());
+    out.global_phase_ += global_phase_;
+  }
+  return out;
+}
+
+std::size_t QuantumCircuit::depth() const {
+  std::vector<std::size_t> qubit_level(num_qubits_, 0);
+  std::vector<std::size_t> clbit_level(num_clbits_, 0);
+  std::size_t max_depth = 0;
+  for (const Instruction& in : instructions_) {
+    std::size_t level = 0;
+    for (std::size_t q : in.qubits) level = std::max(level, qubit_level[q]);
+    for (std::size_t c : in.clbits) level = std::max(level, clbit_level[c]);
+    if (in.condition) level = std::max(level, clbit_level[in.condition->clbit]);
+    // Barriers synchronize their operands but do not add a layer.
+    const std::size_t next = in.type == GateType::Barrier ? level : level + 1;
+    for (std::size_t q : in.qubits) qubit_level[q] = next;
+    for (std::size_t c : in.clbits) clbit_level[c] = next;
+    if (in.condition) clbit_level[in.condition->clbit] = next;
+    max_depth = std::max(max_depth, next);
+  }
+  return max_depth;
+}
+
+std::size_t QuantumCircuit::gate_count() const {
+  std::size_t n = 0;
+  for (const Instruction& in : instructions_) {
+    if (in.type != GateType::Barrier) ++n;
+  }
+  return n;
+}
+
+std::map<std::string, std::size_t> QuantumCircuit::count_ops() const {
+  std::map<std::string, std::size_t> counts;
+  for (const Instruction& in : instructions_) ++counts[gate_name(in.type)];
+  return counts;
+}
+
+std::size_t QuantumCircuit::multi_qubit_gate_count() const {
+  std::size_t n = 0;
+  for (const Instruction& in : instructions_) {
+    if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase &&
+        in.qubits.size() >= 2) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace qutes::circ

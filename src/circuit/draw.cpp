@@ -1,0 +1,125 @@
+#include "qutes/circuit/draw.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace qutes::circ {
+
+namespace {
+
+/// Label for the "body" cell of an instruction on its target qubit.
+std::string body_label(const Instruction& in) {
+  switch (in.type) {
+    case GateType::Measure: return "M";
+    case GateType::Reset: return "|0>";
+    case GateType::Barrier: return "|";
+    case GateType::CX: case GateType::CCX: case GateType::MCX: return "(+)";
+    case GateType::CZ: case GateType::MCZ: return "Z";
+    case GateType::CY: return "Y";
+    case GateType::CH: return "H";
+    case GateType::SWAP: case GateType::CSWAP: return "x";
+    default: break;
+  }
+  std::string name = gate_name(in.type);
+  for (char& c : name) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  if (!in.params.empty()) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "(%.3g", in.params[0]);
+    name += buf;
+    name += ")";
+  }
+  return name;
+}
+
+/// Which operands of the instruction are controls (render '*')?
+std::size_t control_count(const Instruction& in) {
+  switch (in.type) {
+    case GateType::CX: case GateType::CY: case GateType::CZ: case GateType::CH:
+    case GateType::CP: case GateType::CRZ:
+      return 1;
+    case GateType::CCX:
+      return 2;
+    case GateType::CSWAP:
+      return 1;
+    case GateType::MCX: case GateType::MCZ: case GateType::MCP:
+      return in.qubits.size() - 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+std::string draw(const QuantumCircuit& circuit) {
+  const std::size_t n = circuit.num_qubits();
+  if (n == 0) return "(empty circuit)\n";
+
+  // Layer assignment identical to depth(): an instruction goes one past the
+  // deepest layer currently occupied on any of its operands.
+  std::vector<std::size_t> qubit_level(n, 0);
+  std::vector<std::vector<const Instruction*>> layers;
+  for (const Instruction& in : circuit.instructions()) {
+    std::size_t level = 0;
+    for (std::size_t q : in.qubits) level = std::max(level, qubit_level[q]);
+    if (layers.size() <= level) layers.resize(level + 1);
+    layers[level].push_back(&in);
+    for (std::size_t q : in.qubits) qubit_level[q] = level + 1;
+  }
+
+  // Row labels: "name[i]: ".
+  std::vector<std::string> labels(n);
+  for (const auto& r : circuit.qregs()) {
+    for (std::size_t i = 0; i < r.size; ++i) {
+      labels[r[i]] = r.name + "[" + std::to_string(i) + "]";
+    }
+  }
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+
+  // Cells: per layer, per qubit, a label; empty = wire.
+  std::vector<std::string> rows(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    std::string padded = labels[q];
+    padded.resize(label_width, ' ');
+    rows[q] = padded + ": -";
+  }
+
+  for (const auto& layer : layers) {
+    std::vector<std::string> cells(n);
+    for (const Instruction* in : layer) {
+      const std::size_t ctrls = control_count(*in);
+      for (std::size_t i = 0; i < in->qubits.size(); ++i) {
+        const std::size_t q = in->qubits[i];
+        if (in->type == GateType::Barrier) {
+          cells[q] = "|";
+        } else if (i < ctrls) {
+          cells[q] = "*";
+        } else if ((in->type == GateType::SWAP) ||
+                   (in->type == GateType::CSWAP && i >= 1)) {
+          cells[q] = "x";
+        } else {
+          cells[q] = body_label(*in);
+        }
+      }
+    }
+    std::size_t width = 1;
+    for (const auto& c : cells) width = std::max(width, c.size());
+    for (std::size_t q = 0; q < n; ++q) {
+      std::string cell = cells[q].empty() ? std::string(width, '-') : cells[q];
+      while (cell.size() < width) cell += '-';
+      rows[q] += cell + "-";
+    }
+  }
+
+  std::ostringstream out;
+  for (const auto& row : rows) out << row << "\n";
+  if (circuit.num_clbits() > 0) {
+    out << std::string(label_width, ' ') << "  c: " << circuit.num_clbits()
+        << " classical bit(s)\n";
+  }
+  return out.str();
+}
+
+}  // namespace qutes::circ

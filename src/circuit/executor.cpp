@@ -1,0 +1,236 @@
+#include "qutes/circuit/executor.hpp"
+
+#include <cmath>
+
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::circ {
+
+namespace {
+
+using sim::gates::H;
+using sim::gates::I;
+using sim::gates::P;
+using sim::gates::RX;
+using sim::gates::RY;
+using sim::gates::RZ;
+using sim::gates::S;
+using sim::gates::Sdg;
+using sim::gates::SX;
+using sim::gates::T;
+using sim::gates::Tdg;
+using sim::gates::U;
+using sim::gates::X;
+using sim::gates::Y;
+using sim::gates::Z;
+
+void apply_controlled(sim::StateVector& sv, const Instruction& in,
+                      const sim::Matrix2& u) {
+  const auto controls =
+      std::span<const std::size_t>(in.qubits.data(), in.qubits.size() - 1);
+  sv.apply_multi_controlled_1q(u, controls, in.target());
+}
+
+}  // namespace
+
+void apply_instruction(sim::StateVector& sv, const Instruction& in,
+                       std::uint64_t& clbits, Rng& rng) {
+  switch (in.type) {
+    case GateType::H: sv.apply_1q(H(), in.qubits[0]); break;
+    case GateType::X: sv.apply_1q(X(), in.qubits[0]); break;
+    case GateType::Y: sv.apply_1q(Y(), in.qubits[0]); break;
+    case GateType::Z: sv.apply_phase(M_PI, in.qubits[0]); break;
+    case GateType::S: sv.apply_phase(M_PI / 2, in.qubits[0]); break;
+    case GateType::Sdg: sv.apply_phase(-M_PI / 2, in.qubits[0]); break;
+    case GateType::T: sv.apply_phase(M_PI / 4, in.qubits[0]); break;
+    case GateType::Tdg: sv.apply_phase(-M_PI / 4, in.qubits[0]); break;
+    case GateType::SX: sv.apply_1q(SX(), in.qubits[0]); break;
+    case GateType::RX: sv.apply_1q(RX(in.params[0]), in.qubits[0]); break;
+    case GateType::RY: sv.apply_1q(RY(in.params[0]), in.qubits[0]); break;
+    case GateType::RZ: sv.apply_1q(RZ(in.params[0]), in.qubits[0]); break;
+    case GateType::P: sv.apply_phase(in.params[0], in.qubits[0]); break;
+    case GateType::U:
+      sv.apply_1q(U(in.params[0], in.params[1], in.params[2]), in.qubits[0]);
+      break;
+    case GateType::CX:
+      sv.apply_controlled_1q(X(), in.qubits[0], in.qubits[1]);
+      break;
+    case GateType::CY:
+      sv.apply_controlled_1q(Y(), in.qubits[0], in.qubits[1]);
+      break;
+    case GateType::CZ:
+      sv.apply_cphase(M_PI, in.qubits[0], in.qubits[1]);
+      break;
+    case GateType::CH:
+      sv.apply_controlled_1q(H(), in.qubits[0], in.qubits[1]);
+      break;
+    case GateType::CP:
+      sv.apply_cphase(in.params[0], in.qubits[0], in.qubits[1]);
+      break;
+    case GateType::CRZ:
+      sv.apply_controlled_1q(RZ(in.params[0]), in.qubits[0], in.qubits[1]);
+      break;
+    case GateType::SWAP:
+      sv.apply_swap(in.qubits[0], in.qubits[1]);
+      break;
+    case GateType::CCX: case GateType::MCX:
+      apply_controlled(sv, in, X());
+      break;
+    case GateType::MCZ:
+      apply_controlled(sv, in, Z());
+      break;
+    case GateType::MCP:
+      apply_controlled(sv, in, P(in.params[0]));
+      break;
+    case GateType::CSWAP: {
+      // CSWAP(c; a, b) == CCX(c,a;b) CCX(c,b;a) CCX(c,a;b); use the
+      // controlled-X form directly: swap = 3 CX, each gains the control.
+      const std::size_t c = in.qubits[0], a = in.qubits[1], b = in.qubits[2];
+      const std::size_t ca[2] = {c, a};
+      const std::size_t cb[2] = {c, b};
+      sv.apply_multi_controlled_1q(X(), ca, b);
+      sv.apply_multi_controlled_1q(X(), cb, a);
+      sv.apply_multi_controlled_1q(X(), ca, b);
+      break;
+    }
+    case GateType::Measure:
+      for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+        const int bit = sv.measure(in.qubits[i], rng);
+        if (bit) {
+          clbits = set_bit(clbits, in.clbits[i]);
+        } else {
+          clbits = clear_bit(clbits, in.clbits[i]);
+        }
+      }
+      break;
+    case GateType::Reset:
+      sv.reset_qubit(in.qubits[0], rng);
+      break;
+    case GateType::Barrier:
+      break;
+    case GateType::GlobalPhase:
+      sv.apply_global_phase(in.params[0]);
+      break;
+  }
+}
+
+bool Executor::is_static(const QuantumCircuit& circuit) {
+  // Static = every measurement's qubit is never touched again afterwards and
+  // no instruction is conditioned or a reset. We use the simpler sufficient
+  // condition: no condition, no reset, and measurements only at positions
+  // after which their qubits appear in no further instruction.
+  std::vector<std::size_t> last_use(circuit.num_qubits(), 0);
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (instrs[i].condition) return false;
+    if (instrs[i].type == GateType::Reset) return false;
+    if (instrs[i].type == GateType::Barrier) continue;
+    for (std::size_t q : instrs[i].qubits) last_use[q] = i;
+  }
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (instrs[i].type != GateType::Measure) continue;
+    for (std::size_t q : instrs[i].qubits) {
+      if (last_use[q] != i) return false;  // qubit reused after measurement
+    }
+  }
+  return true;
+}
+
+ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
+  if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
+  Rng rng(options_.seed);
+  ExecutionResult result;
+
+  const bool fast = !options_.noise.enabled() && is_static(circuit);
+  if (fast) {
+    // Evolve once, skipping measurements, then sample the measured qubits.
+    sim::StateVector sv(circuit.num_qubits());
+    std::uint64_t scratch = 0;
+    // clbit -> qubit wiring from the measure instructions.
+    std::vector<std::optional<std::size_t>> wire(circuit.num_clbits());
+    for (const Instruction& in : circuit.instructions()) {
+      if (in.type == GateType::Measure) {
+        for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+          wire[in.clbits[i]] = in.qubits[i];
+        }
+        continue;
+      }
+      apply_instruction(sv, in, scratch, rng);
+    }
+    for (std::size_t s = 0; s < options_.shots; ++s) {
+      const std::uint64_t basis = sv.sample(rng);
+      std::string key(circuit.num_clbits(), '0');
+      for (std::size_t c = 0; c < circuit.num_clbits(); ++c) {
+        const bool bit = wire[c] && test_bit(basis, *wire[c]);
+        key[circuit.num_clbits() - 1 - c] = bit ? '1' : '0';
+      }
+      ++result.counts[key];
+      if (options_.record_memory) result.memory.push_back(key);
+    }
+    result.trajectories = 1;
+    result.fast_path = true;
+    return result;
+  }
+
+  for (std::size_t s = 0; s < options_.shots; ++s) {
+    sim::StateVector sv(circuit.num_qubits());
+    std::uint64_t clbits = 0;
+    for (const Instruction& in : circuit.instructions()) {
+      if (in.condition &&
+          static_cast<int>(test_bit(clbits, in.condition->clbit)) !=
+              in.condition->value) {
+        continue;
+      }
+      if (in.type == GateType::Measure && options_.noise.readout_error > 0.0) {
+        for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+          int bit = sv.measure(in.qubits[i], rng);
+          bit = sim::apply_readout_error(bit, options_.noise.readout_error, rng);
+          clbits = bit ? set_bit(clbits, in.clbits[i]) : clear_bit(clbits, in.clbits[i]);
+        }
+      } else {
+        apply_instruction(sv, in, clbits, rng);
+      }
+      if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
+        if (in.qubits.size() == 1 && options_.noise.depolarizing_1q > 0.0) {
+          sim::apply_depolarizing(sv, in.qubits[0], options_.noise.depolarizing_1q, rng);
+        } else if (in.qubits.size() >= 2 && options_.noise.depolarizing_2q > 0.0) {
+          for (std::size_t q : in.qubits) {
+            sim::apply_depolarizing(sv, q, options_.noise.depolarizing_2q, rng);
+          }
+        }
+        if (options_.noise.amplitude_damping > 0.0) {
+          for (std::size_t q : in.qubits) {
+            sim::apply_amplitude_damping(sv, q, options_.noise.amplitude_damping, rng);
+          }
+        }
+      }
+    }
+    const std::string key = to_bitstring(clbits, circuit.num_clbits());
+    ++result.counts[key];
+    if (options_.record_memory) result.memory.push_back(key);
+  }
+  result.trajectories = options_.shots;
+  result.fast_path = false;
+  return result;
+}
+
+Executor::Trajectory Executor::run_single(const QuantumCircuit& circuit) const {
+  if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
+  Rng rng(options_.seed);
+  Trajectory traj{sim::StateVector(circuit.num_qubits()), 0};
+  for (const Instruction& in : circuit.instructions()) {
+    if (in.condition &&
+        static_cast<int>(test_bit(traj.clbits, in.condition->clbit)) !=
+            in.condition->value) {
+      continue;
+    }
+    apply_instruction(traj.state, in, traj.clbits, rng);
+  }
+  if (circuit.global_phase() != 0.0) {
+    traj.state.apply_global_phase(circuit.global_phase());
+  }
+  return traj;
+}
+
+}  // namespace qutes::circ

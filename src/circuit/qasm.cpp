@@ -1,0 +1,427 @@
+#include "qutes/circuit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "qutes/circuit/transpiler.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::circ::qasm {
+
+namespace {
+
+std::string format_param(double v) {
+  // Render common multiples of pi symbolically for readability; otherwise
+  // full-precision decimal.
+  static const struct { double value; const char* text; } table[] = {
+      {M_PI, "pi"},         {-M_PI, "-pi"},       {M_PI / 2, "pi/2"},
+      {-M_PI / 2, "-pi/2"}, {M_PI / 4, "pi/4"},   {-M_PI / 4, "-pi/4"},
+      {M_PI / 8, "pi/8"},   {-M_PI / 8, "-pi/8"}, {2 * M_PI, "2*pi"},
+  };
+  for (const auto& e : table) {
+    if (std::abs(v - e.value) < 1e-15) return e.text;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Map a flat qubit index to "regname[i]".
+std::string qubit_ref(const QuantumCircuit& c, std::size_t q) {
+  for (const auto& r : c.qregs()) {
+    if (q >= r.offset && q < r.offset + r.size) {
+      return r.name + "[" + std::to_string(q - r.offset) + "]";
+    }
+  }
+  throw CircuitError("qubit " + std::to_string(q) + " not in any register");
+}
+
+std::string clbit_ref(const QuantumCircuit& c, std::size_t b) {
+  for (const auto& r : c.cregs()) {
+    if (b >= r.offset && b < r.offset + r.size) {
+      return r.name + "[" + std::to_string(b - r.offset) + "]";
+    }
+  }
+  throw CircuitError("clbit " + std::to_string(b) + " not in any register");
+}
+
+}  // namespace
+
+std::string export_circuit(const QuantumCircuit& circuit) {
+  // QASM 2 has no multi-controlled primitives: lower them first.
+  const QuantumCircuit c = decompose_multicontrolled(circuit);
+
+  std::ostringstream out;
+  out << "OPENQASM 2.0;\n";
+  out << "include \"qelib1.inc\";\n";
+  for (const auto& r : c.qregs()) {
+    out << "qreg " << r.name << "[" << r.size << "];\n";
+  }
+  for (const auto& r : c.cregs()) {
+    out << "creg " << r.name << "[" << r.size << "];\n";
+  }
+  for (const Instruction& in : c.instructions()) {
+    if (in.condition) {
+      out << "if (" << clbit_ref(c, in.condition->clbit) << " == "
+          << in.condition->value << ") ";
+    }
+    switch (in.type) {
+      case GateType::Measure:
+        for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+          out << "measure " << qubit_ref(c, in.qubits[i]) << " -> "
+              << clbit_ref(c, in.clbits[i]) << ";\n";
+        }
+        continue;
+      case GateType::Barrier: {
+        out << "barrier";
+        for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+          out << (i ? ", " : " ") << qubit_ref(c, in.qubits[i]);
+        }
+        out << ";\n";
+        continue;
+      }
+      case GateType::GlobalPhase:
+        // No QASM2 representation; drop (unobservable).
+        continue;
+      default:
+        break;
+    }
+    out << gate_name(in.type);
+    if (!in.params.empty()) {
+      out << "(";
+      for (std::size_t i = 0; i < in.params.size(); ++i) {
+        out << (i ? ", " : "") << format_param(in.params[i]);
+      }
+      out << ")";
+    }
+    for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+      out << (i ? ", " : " ") << qubit_ref(c, in.qubits[i]);
+    }
+    out << ";\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Importer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal arithmetic-expression evaluator for gate parameters: numbers,
+/// `pi`, + - * /, unary minus, parentheses.
+class ParamParser {
+public:
+  explicit ParamParser(const std::string& text) : text_(text) {}
+
+  double parse() {
+    const double v = expr();
+    skip_ws();
+    if (pos_ != text_.size()) throw CircuitError("trailing junk in parameter: " + text_);
+    return v;
+  }
+
+private:
+  double expr() {
+    double v = term();
+    for (;;) {
+      skip_ws();
+      if (consume('+')) v += term();
+      else if (consume('-')) v -= term();
+      else return v;
+    }
+  }
+  double term() {
+    double v = unary();
+    for (;;) {
+      skip_ws();
+      if (consume('*')) v *= unary();
+      else if (consume('/')) v /= unary();
+      else return v;
+    }
+  }
+  double unary() {
+    skip_ws();
+    if (consume('-')) return -unary();
+    if (consume('+')) return unary();
+    return primary();
+  }
+  double primary() {
+    skip_ws();
+    if (consume('(')) {
+      const double v = expr();
+      skip_ws();
+      if (!consume(')')) throw CircuitError("expected ')' in parameter");
+      return v;
+    }
+    if (pos_ + 1 < text_.size() && text_.compare(pos_, 2, "pi") == 0) {
+      pos_ += 2;
+      return M_PI;
+    }
+    std::size_t used = 0;
+    const double v = std::stod(text_.substr(pos_), &used);
+    if (used == 0) throw CircuitError("bad parameter: " + text_);
+    pos_ += used;
+    return v;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+struct BitRef {
+  std::string reg;
+  long index = -1;  // -1 = whole register
+};
+
+/// "q[3]" or "q" -> BitRef.
+BitRef parse_bit_ref(const std::string& text, std::size_t line_no) {
+  const auto lb = text.find('[');
+  if (lb == std::string::npos) return BitRef{text, -1};
+  const auto rb = text.find(']', lb);
+  if (rb == std::string::npos) {
+    throw CircuitError("line " + std::to_string(line_no) + ": missing ']'");
+  }
+  return BitRef{text.substr(0, lb), std::stol(text.substr(lb + 1, rb - lb - 1))};
+}
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream stream(text);
+  while (std::getline(stream, part, delim)) parts.push_back(part);
+  return parts;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+const std::map<std::string, GateType>& name_to_gate() {
+  static const std::map<std::string, GateType> table = {
+      {"h", GateType::H},       {"x", GateType::X},     {"y", GateType::Y},
+      {"z", GateType::Z},       {"s", GateType::S},     {"sdg", GateType::Sdg},
+      {"t", GateType::T},       {"tdg", GateType::Tdg}, {"sx", GateType::SX},
+      {"rx", GateType::RX},     {"ry", GateType::RY},   {"rz", GateType::RZ},
+      {"p", GateType::P},       {"u1", GateType::P},    {"u", GateType::U},
+      {"u3", GateType::U},      {"cx", GateType::CX},   {"CX", GateType::CX},
+      {"cy", GateType::CY},     {"cz", GateType::CZ},   {"ch", GateType::CH},
+      {"cp", GateType::CP},     {"cu1", GateType::CP},  {"crz", GateType::CRZ},
+      {"swap", GateType::SWAP}, {"ccx", GateType::CCX}, {"cswap", GateType::CSWAP},
+  };
+  return table;
+}
+
+}  // namespace
+
+QuantumCircuit import_circuit(const std::string& source) {
+  QuantumCircuit circuit;
+  std::map<std::string, QuantumRegister> qregs;
+  std::map<std::string, ClassicalRegister> cregs;
+
+  auto resolve_q = [&](const BitRef& ref, std::size_t line_no) -> std::vector<std::size_t> {
+    const auto it = qregs.find(ref.reg);
+    if (it == qregs.end()) {
+      throw CircuitError("line " + std::to_string(line_no) + ": unknown qreg '" +
+                         ref.reg + "'");
+    }
+    if (ref.index < 0) {
+      std::vector<std::size_t> all(it->second.size);
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = it->second[i];
+      return all;
+    }
+    if (static_cast<std::size_t>(ref.index) >= it->second.size) {
+      throw CircuitError("line " + std::to_string(line_no) + ": index out of range");
+    }
+    return {it->second[static_cast<std::size_t>(ref.index)]};
+  };
+  auto resolve_c = [&](const BitRef& ref, std::size_t line_no) -> std::vector<std::size_t> {
+    const auto it = cregs.find(ref.reg);
+    if (it == cregs.end()) {
+      throw CircuitError("line " + std::to_string(line_no) + ": unknown creg '" +
+                         ref.reg + "'");
+    }
+    if (ref.index < 0) {
+      std::vector<std::size_t> all(it->second.size);
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = it->second[i];
+      return all;
+    }
+    if (static_cast<std::size_t>(ref.index) >= it->second.size) {
+      throw CircuitError("line " + std::to_string(line_no) + ": index out of range");
+    }
+    return {it->second[static_cast<std::size_t>(ref.index)]};
+  };
+
+  // Strip comments, then split on ';'. Track line numbers approximately by
+  // counting newlines up to each statement.
+  std::string clean;
+  clean.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      if (i < source.size()) clean += '\n';
+      continue;
+    }
+    clean += source[i];
+  }
+
+  std::size_t line_no = 1;
+  std::size_t stmt_start = 0;
+  for (std::size_t i = 0; i <= clean.size(); ++i) {
+    if (i < clean.size() && clean[i] != ';') {
+      if (clean[i] == '\n') ++line_no;
+      continue;
+    }
+    std::string stmt = trim(clean.substr(stmt_start, i - stmt_start));
+    stmt_start = i + 1;
+    if (stmt.empty()) continue;
+
+    // Header and include lines.
+    if (stmt.rfind("OPENQASM", 0) == 0 || stmt.rfind("include", 0) == 0) continue;
+
+    // Optional if(...) prefix.
+    std::optional<Condition> condition;
+    if (stmt.rfind("if", 0) == 0) {
+      const auto lp = stmt.find('(');
+      const auto rp = stmt.find(')', lp);
+      if (lp == std::string::npos || rp == std::string::npos) {
+        throw CircuitError("line " + std::to_string(line_no) + ": malformed if");
+      }
+      const std::string cond = stmt.substr(lp + 1, rp - lp - 1);
+      const auto eq = cond.find("==");
+      if (eq == std::string::npos) {
+        throw CircuitError("line " + std::to_string(line_no) + ": if needs ==");
+      }
+      const BitRef ref = parse_bit_ref(trim(cond.substr(0, eq)), line_no);
+      const int value = std::stoi(trim(cond.substr(eq + 2)));
+      const auto bits = resolve_c(ref, line_no);
+      if (bits.size() != 1) {
+        throw CircuitError("line " + std::to_string(line_no) +
+                           ": only single-bit conditions are supported");
+      }
+      condition = Condition{bits[0], value};
+      stmt = trim(stmt.substr(rp + 1));
+    }
+
+    // Declarations.
+    if (stmt.rfind("qreg", 0) == 0 || stmt.rfind("creg", 0) == 0) {
+      const bool quantum = stmt[0] == 'q';
+      const BitRef ref = parse_bit_ref(trim(stmt.substr(4)), line_no);
+      if (ref.index < 0) {
+        throw CircuitError("line " + std::to_string(line_no) + ": register needs a size");
+      }
+      const auto size = static_cast<std::size_t>(ref.index);
+      if (quantum) {
+        qregs[ref.reg] = circuit.add_register(ref.reg, size);
+      } else {
+        cregs[ref.reg] = circuit.add_classical_register(ref.reg, size);
+      }
+      continue;
+    }
+
+    // measure q[i] -> c[j]
+    if (stmt.rfind("measure", 0) == 0) {
+      const auto arrow = stmt.find("->");
+      if (arrow == std::string::npos) {
+        throw CircuitError("line " + std::to_string(line_no) + ": measure needs ->");
+      }
+      const auto qs = resolve_q(parse_bit_ref(trim(stmt.substr(7, arrow - 7)), line_no),
+                                line_no);
+      const auto cs = resolve_c(parse_bit_ref(trim(stmt.substr(arrow + 2)), line_no),
+                                line_no);
+      if (qs.size() != cs.size()) {
+        throw CircuitError("line " + std::to_string(line_no) +
+                           ": measure width mismatch");
+      }
+      for (std::size_t k = 0; k < qs.size(); ++k) {
+        circuit.measure(qs[k], cs[k]);
+        if (condition) circuit.c_if(condition->clbit, condition->value);
+      }
+      continue;
+    }
+
+    if (stmt.rfind("reset", 0) == 0) {
+      for (std::size_t q : resolve_q(parse_bit_ref(trim(stmt.substr(5)), line_no),
+                                     line_no)) {
+        circuit.reset(q);
+        if (condition) circuit.c_if(condition->clbit, condition->value);
+      }
+      continue;
+    }
+
+    if (stmt.rfind("barrier", 0) == 0) {
+      Instruction in;
+      in.type = GateType::Barrier;
+      const std::string args = trim(stmt.substr(7));
+      if (!args.empty()) {
+        for (const std::string& piece : split(args, ',')) {
+          for (std::size_t q : resolve_q(parse_bit_ref(trim(piece), line_no), line_no)) {
+            in.qubits.push_back(q);
+          }
+        }
+      }
+      circuit.append(std::move(in));
+      continue;
+    }
+
+    // Plain gate: name[(params)] operand(, operand)*
+    std::size_t name_end = 0;
+    while (name_end < stmt.size() &&
+           (std::isalnum(static_cast<unsigned char>(stmt[name_end])) ||
+            stmt[name_end] == '_')) {
+      ++name_end;
+    }
+    const std::string name = stmt.substr(0, name_end);
+    const auto git = name_to_gate().find(name);
+    if (git == name_to_gate().end()) {
+      throw CircuitError("line " + std::to_string(line_no) + ": unknown gate '" +
+                         name + "'");
+    }
+    std::string rest = trim(stmt.substr(name_end));
+    std::vector<double> params;
+    if (!rest.empty() && rest[0] == '(') {
+      const auto rp = rest.find(')');
+      if (rp == std::string::npos) {
+        throw CircuitError("line " + std::to_string(line_no) + ": missing ')'");
+      }
+      for (const std::string& piece : split(rest.substr(1, rp - 1), ',')) {
+        params.push_back(ParamParser(trim(piece)).parse());
+      }
+      rest = trim(rest.substr(rp + 1));
+    }
+    Instruction in;
+    in.type = git->second;
+    in.params = std::move(params);
+    for (const std::string& piece : split(rest, ',')) {
+      const auto qs = resolve_q(parse_bit_ref(trim(piece), line_no), line_no);
+      if (qs.size() != 1) {
+        throw CircuitError("line " + std::to_string(line_no) +
+                           ": whole-register gate broadcast is not supported");
+      }
+      in.qubits.push_back(qs[0]);
+    }
+    in.condition = condition;
+    circuit.append(std::move(in));
+  }
+  return circuit;
+}
+
+}  // namespace qutes::circ::qasm

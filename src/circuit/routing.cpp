@@ -1,0 +1,165 @@
+#include "qutes/circuit/routing.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "qutes/common/error.hpp"
+
+namespace qutes::circ {
+
+namespace {
+
+bool near_zero(double v) { return std::abs(v) < 1e-12; }
+
+}  // namespace
+
+EulerAngles decompose_1q_unitary(const sim::Matrix2& u) {
+  if (!u.is_unitary(1e-9)) {
+    throw CircuitError("decompose_1q_unitary: matrix is not unitary");
+  }
+  const sim::cplx a = u.m[0], b = u.m[1], c = u.m[2];
+  EulerAngles angles;
+  angles.theta = 2.0 * std::atan2(std::abs(c), std::abs(a));
+  if (std::abs(c) < 1e-12) {
+    // Diagonal: U = e^{i alpha} diag(1, e^{i lambda}).
+    angles.phase = std::arg(a);
+    angles.phi = 0.0;
+    angles.lambda = std::arg(u.m[3]) - angles.phase;
+  } else if (std::abs(a) < 1e-12) {
+    // Anti-diagonal: theta = pi; split the off-diagonal phases.
+    angles.lambda = 0.0;
+    angles.phase = std::arg(-b);
+    angles.phi = std::arg(c) - angles.phase;
+  } else {
+    angles.phase = std::arg(a);
+    angles.phi = std::arg(c) - angles.phase;
+    angles.lambda = std::arg(-b) - angles.phase;
+  }
+  return angles;
+}
+
+sim::Matrix2 matrix_of_1q(const Instruction& in) {
+  using namespace sim::gates;
+  switch (in.type) {
+    case GateType::H: return H();
+    case GateType::X: return X();
+    case GateType::Y: return Y();
+    case GateType::Z: return Z();
+    case GateType::S: return S();
+    case GateType::Sdg: return Sdg();
+    case GateType::T: return T();
+    case GateType::Tdg: return Tdg();
+    case GateType::SX: return SX();
+    case GateType::RX: return RX(in.params[0]);
+    case GateType::RY: return RY(in.params[0]);
+    case GateType::RZ: return RZ(in.params[0]);
+    case GateType::P: return P(in.params[0]);
+    case GateType::U: return U(in.params[0], in.params[1], in.params[2]);
+    default:
+      throw CircuitError(std::string("matrix_of_1q: not a 1-qubit unitary: ") +
+                         gate_name(in.type));
+  }
+}
+
+QuantumCircuit fuse_single_qubit_gates(const QuantumCircuit& circuit) {
+  QuantumCircuit out;
+  for (const auto& r : circuit.qregs()) out.add_register(r.name, r.size);
+  for (const auto& r : circuit.cregs()) out.add_classical_register(r.name, r.size);
+  out.add_global_phase(circuit.global_phase());
+
+  std::vector<std::optional<sim::Matrix2>> pending(circuit.num_qubits());
+
+  const auto flush = [&](std::size_t q) {
+    if (!pending[q]) return;
+    const EulerAngles angles = decompose_1q_unitary(*pending[q]);
+    pending[q].reset();
+    if (!near_zero(angles.phase)) out.add_global_phase(angles.phase);
+    if (near_zero(angles.theta) && near_zero(angles.phi) && near_zero(angles.lambda)) {
+      return;  // run multiplied to the identity
+    }
+    out.u(angles.theta, angles.phi, angles.lambda, q);
+  };
+
+  for (const Instruction& in : circuit.instructions()) {
+    const bool fusable = in.qubits.size() == 1 && is_unitary_gate(in.type) &&
+                         in.type != GateType::GlobalPhase && !in.condition;
+    if (fusable) {
+      const sim::Matrix2 m = matrix_of_1q(in);
+      const std::size_t q = in.qubits[0];
+      pending[q] = pending[q] ? (m * *pending[q]) : m;
+      continue;
+    }
+    for (std::size_t q : in.qubits) flush(q);
+    out.append(in);
+  }
+  for (std::size_t q = 0; q < circuit.num_qubits(); ++q) flush(q);
+  return out;
+}
+
+RoutingResult route_linear(const QuantumCircuit& circuit, bool restore_layout) {
+  const std::size_t n = circuit.num_qubits();
+  RoutingResult result;
+  QuantumCircuit& out = result.circuit;
+  for (const auto& r : circuit.qregs()) out.add_register(r.name, r.size);
+  for (const auto& r : circuit.cregs()) out.add_classical_register(r.name, r.size);
+  out.add_global_phase(circuit.global_phase());
+
+  std::vector<std::size_t> l2p(n), p2l(n);
+  for (std::size_t i = 0; i < n; ++i) l2p[i] = p2l[i] = i;
+
+  const auto physical_swap = [&](std::size_t pa, std::size_t pb) {
+    out.swap(pa, pb);
+    ++result.swaps_inserted;
+    const std::size_t la = p2l[pa];
+    const std::size_t lb = p2l[pb];
+    std::swap(p2l[pa], p2l[pb]);
+    l2p[la] = pb;
+    l2p[lb] = pa;
+  };
+
+  for (const Instruction& src : circuit.instructions()) {
+    if (src.type == GateType::Barrier) {
+      Instruction in = src;
+      for (std::size_t& q : in.qubits) q = l2p[q];
+      out.append(std::move(in));
+      continue;
+    }
+    if (src.qubits.size() > 2) {
+      throw CircuitError(std::string("route_linear: lower ") + gate_name(src.type) +
+                         " to <= 2-qubit gates first");
+    }
+    if (src.qubits.size() == 2 && is_unitary_gate(src.type)) {
+      std::size_t pa = l2p[src.qubits[0]];
+      const std::size_t pb = l2p[src.qubits[1]];
+      // Bubble the first operand next to the second.
+      while (pa + 1 < pb) {
+        physical_swap(pa, pa + 1);
+        ++pa;
+      }
+      while (pa > pb + 1) {
+        physical_swap(pa, pa - 1);
+        --pa;
+      }
+    }
+    Instruction in = src;
+    for (std::size_t& q : in.qubits) q = l2p[q];
+    out.append(std::move(in));
+  }
+
+  if (restore_layout) {
+    // Bubble every logical qubit back to its home wire with adjacent swaps.
+    for (std::size_t home = 0; home < n; ++home) {
+      std::size_t at = l2p[home];
+      while (at > home) {
+        physical_swap(at, at - 1);
+        --at;
+      }
+      // l2p[home] can only be >= home here: wires below `home` already hold
+      // their final logical qubits.
+    }
+  }
+  result.final_layout = l2p;
+  return result;
+}
+
+}  // namespace qutes::circ

@@ -1,0 +1,36 @@
+#include "qutes/common/rng.hpp"
+
+#ifdef __SIZEOF_INT128__
+using uint128 = unsigned __int128;
+#endif
+
+namespace qutes {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+#ifdef __SIZEOF_INT128__
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  uint128 m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+#else
+  // Rejection sampling fallback.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t x;
+  do {
+    x = (*this)();
+  } while (x >= limit);
+  return x % bound;
+#endif
+}
+
+}  // namespace qutes

@@ -1,0 +1,60 @@
+// Quantum register adders — the circuits behind Qutes' `quint + quint` and
+// `quint += int` operations ("superposition addition" in the paper).
+//
+// Two constructions with opposite tradeoffs (bench_adders quantifies them):
+//  * Draper (quant-ph/0008033): QFT-based, b += a in-place with zero
+//    ancillas, O(n^2) controlled phases.
+//  * Cuccaro (quant-ph/0410184): ripple-carry MAJ/UMA chain, one clean
+//    ancilla, O(n) CX/CCX — the "hardware-friendly" baseline.
+// All arithmetic is modulo 2^n where n = |b|.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// b += a (mod 2^|b|), Draper. Registers must be disjoint; |a| <= |b|.
+void append_draper_adder(circ::QuantumCircuit& circuit, std::span<const std::size_t> a,
+                         std::span<const std::size_t> b);
+
+/// b -= a (mod 2^|b|), Draper (inverse phases).
+void append_draper_subtractor(circ::QuantumCircuit& circuit,
+                              std::span<const std::size_t> a,
+                              std::span<const std::size_t> b);
+
+/// b += k (mod 2^|b|) for a classical constant: pure phase kicks inside the
+/// QFT frame, no extra register at all.
+void append_draper_add_const(circ::QuantumCircuit& circuit,
+                             std::span<const std::size_t> b, std::uint64_t k);
+
+/// b -= k (mod 2^|b|).
+void append_draper_sub_const(circ::QuantumCircuit& circuit,
+                             std::span<const std::size_t> b, std::uint64_t k);
+
+/// b += a (mod 2^n), Cuccaro ripple-carry. |a| == |b| == n; `ancilla` must be
+/// a clean |0> qubit distinct from both registers (returned clean).
+void append_cuccaro_adder(circ::QuantumCircuit& circuit, std::span<const std::size_t> a,
+                          std::span<const std::size_t> b, std::size_t ancilla);
+
+/// b -= a via the exact inverse of the Cuccaro chain.
+void append_cuccaro_subtractor(circ::QuantumCircuit& circuit,
+                               std::span<const std::size_t> a,
+                               std::span<const std::size_t> b, std::size_t ancilla);
+
+/// Negate a register two's-complement style: b := -b (mod 2^n).
+void append_negate(circ::QuantumCircuit& circuit, std::span<const std::size_t> b);
+
+/// b *= k (mod 2^|b|) for an odd classical constant, via shift-and-add on a
+/// scratch copy is not needed: repeated Draper constant additions of
+/// k * 2^i conditioned on bit i of the original value require a copy, so
+/// this helper instead multiplies by composing controlled constant adds
+/// into `out` (|out| clean qubits): out += b * k.
+void append_mul_const_accumulate(circ::QuantumCircuit& circuit,
+                                 std::span<const std::size_t> b,
+                                 std::span<const std::size_t> out, std::uint64_t k);
+
+}  // namespace qutes::algo

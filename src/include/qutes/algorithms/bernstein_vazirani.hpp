@@ -1,0 +1,22 @@
+// Bernstein-Vazirani: recover a hidden parity mask with one oracle query
+// (a natural extension of the paper's Deutsch-Jozsa showcase; implemented
+// as part of the algorithm library the DSL exposes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Build the circuit: H^n, parity oracle for `secret`, H^n, measure.
+[[nodiscard]] circ::QuantumCircuit build_bernstein_vazirani_circuit(
+    std::size_t num_inputs, std::uint64_t secret);
+
+/// One-query recovery of `secret`. Deterministic on a noiseless simulator.
+[[nodiscard]] std::uint64_t run_bernstein_vazirani(std::size_t num_inputs,
+                                                   std::uint64_t secret,
+                                                   std::uint64_t seed = 7);
+
+}  // namespace qutes::algo

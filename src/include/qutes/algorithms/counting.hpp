@@ -1,0 +1,46 @@
+// Quantum counting: estimate the number M of marked states among N = 2^n
+// by phase-estimating the Grover iteration operator G, whose eigenvalues
+// e^{+-2i theta} satisfy sin^2(theta) = M / N.
+//
+// Complements E2: Grover's optimal iteration count needs M, and quantum
+// counting is how M is obtained quantumly. The controlled Grover iteration
+// is built gate-by-gate (CH/CX/MCZ-with-extra-control), exploiting that the
+// X-conjugation layers of the oracle and diffusion cancel on the
+// control-off branch, so only the phase cores need the control.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Append one Grover iteration (phase oracle for `marked` + diffusion) over
+/// `qubits`, all controlled on `control`.
+void append_controlled_grover_iteration(circ::QuantumCircuit& circuit,
+                                        std::size_t control,
+                                        std::span<const std::size_t> qubits,
+                                        std::span<const std::uint64_t> marked);
+
+/// Build the counting circuit: `precision_bits` counting qubits +
+/// `num_qubits` search qubits; QPE over powers of the Grover operator;
+/// measurement of the counting register.
+[[nodiscard]] circ::QuantumCircuit build_counting_circuit(
+    std::size_t num_qubits, std::span<const std::uint64_t> marked,
+    std::size_t precision_bits);
+
+struct CountingResult {
+  double estimated_marked = 0.0;  ///< M^ = N sin^2(pi raw / 2^t)
+  std::uint64_t raw = 0;          ///< measured counting-register value
+  std::size_t true_marked = 0;
+  std::size_t search_space = 0;
+};
+
+/// Run quantum counting once and decode the estimate.
+[[nodiscard]] CountingResult run_quantum_counting(
+    std::size_t num_qubits, std::span<const std::uint64_t> marked,
+    std::size_t precision_bits, std::uint64_t seed = 7);
+
+}  // namespace qutes::algo

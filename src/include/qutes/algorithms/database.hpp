@@ -1,0 +1,92 @@
+// Grover-backed database operations — the paper's future-work items
+// ("generalizing Grover's algorithm for database operations governed by
+// arbitrary filter functions" and "native operations for calculating the
+// maximum and minimum of a set"), implemented here.
+//
+// A QuantumDatabase loads a classical table into a value register entangled
+// with an index register (QROM-style multiplexed loads, the same
+// construction the substring search uses), then amplifies indices whose
+// value satisfies a filter:
+//   * equality   (value == key)
+//   * threshold  (value < bound)  — the comparator behind min-finding
+// Minimum/maximum finding runs the Durr-Hoyer / BBHT adaptive scheme on top
+// of the threshold filter: repeatedly amplify "strictly better than the
+// best seen", with exponentially growing random iteration counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "qutes/algorithms/grover.hpp"
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Phase-flip every basis state |x> of `qubits` with x < bound (strict,
+/// unsigned). O(n) multi-controlled-Z prefix oracles. bound == 0 marks
+/// nothing; bound >= 2^n marks everything (rejected: use a smaller bound).
+void append_less_than_oracle(circ::QuantumCircuit& circuit,
+                             std::span<const std::size_t> qubits,
+                             std::uint64_t bound);
+
+class QuantumDatabase {
+public:
+  /// Table of unsigned entries; value register width = bits of the largest.
+  explicit QuantumDatabase(std::vector<std::uint64_t> values);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] std::size_t index_qubits() const noexcept { return index_bits_; }
+  [[nodiscard]] std::size_t value_qubits() const noexcept { return value_bits_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& values() const noexcept {
+    return values_;
+  }
+
+  /// Search circuit for entries equal to `key`; `iterations` 0 = optimal
+  /// (computed from the classical match count, as the DSL runtime does).
+  [[nodiscard]] circ::QuantumCircuit build_equal_circuit(
+      std::uint64_t key, std::size_t iterations = 0) const;
+
+  /// Search circuit for entries strictly below `bound` with an explicit
+  /// iteration count (callers doing adaptive search pick their own counts).
+  [[nodiscard]] circ::QuantumCircuit build_less_than_circuit(
+      std::uint64_t bound, std::size_t iterations) const;
+
+  /// Run the equality search; `hit` is classically verified.
+  [[nodiscard]] GroverResult run_equal(std::uint64_t key, std::uint64_t seed = 7,
+                                       std::size_t iterations = 0) const;
+
+private:
+  void append_load(circ::QuantumCircuit& circuit,
+                   std::span<const std::size_t> index,
+                   std::span<const std::size_t> value,
+                   std::uint64_t pad_value) const;
+  [[nodiscard]] circ::QuantumCircuit build_filter_circuit(
+      std::uint64_t pad_value, std::size_t iterations,
+      const std::function<void(circ::QuantumCircuit&,
+                               std::span<const std::size_t>)>& oracle) const;
+
+  std::vector<std::uint64_t> values_;
+  std::size_t index_bits_ = 0;
+  std::size_t value_bits_ = 0;
+};
+
+struct ExtremumResult {
+  std::uint64_t value = 0;
+  std::uint64_t index = 0;
+  std::size_t oracle_calls = 0;    ///< total Grover iterations across rounds
+  std::size_t grover_rounds = 0;   ///< circuit executions
+  bool exact = false;              ///< classically verified optimum
+};
+
+/// Durr-Hoyer quantum minimum over a classical table.
+[[nodiscard]] ExtremumResult find_minimum(std::span<const std::uint64_t> values,
+                                          std::uint64_t seed = 7);
+
+/// Maximum via min over complemented values.
+[[nodiscard]] ExtremumResult find_maximum(std::span<const std::uint64_t> values,
+                                          std::uint64_t seed = 7);
+
+}  // namespace qutes::algo

@@ -1,0 +1,56 @@
+// Deutsch-Jozsa: decide constant-vs-balanced with a single oracle query
+// (paper Section 5 showcases this in Qutes).
+//
+// The promise function f : {0,1}^n -> {0,1} is supplied either as a parity
+// mask (balanced), a constant, or an arbitrary truth table. The circuit
+// measures all-zeros on the input register iff f is constant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+enum class DjOracleKind { Constant0, Constant1, BalancedParity, TruthTable };
+
+struct DjOracle {
+  DjOracleKind kind = DjOracleKind::Constant0;
+  std::uint64_t mask = 0;           ///< BalancedParity: f(x) = mask . x, mask != 0
+  std::vector<bool> truth_table;    ///< TruthTable: size 2^n
+
+  static DjOracle constant(bool value) {
+    return {value ? DjOracleKind::Constant1 : DjOracleKind::Constant0, 0, {}};
+  }
+  static DjOracle balanced(std::uint64_t mask) {
+    return {DjOracleKind::BalancedParity, mask, {}};
+  }
+  static DjOracle table(std::vector<bool> tt) {
+    return {DjOracleKind::TruthTable, 0, std::move(tt)};
+  }
+};
+
+/// Build the n-input Deutsch-Jozsa circuit: inputs in register "x",
+/// the |-> ancilla in register "y", measurement of x into "c".
+[[nodiscard]] circ::QuantumCircuit build_deutsch_jozsa_circuit(std::size_t num_inputs,
+                                                               const DjOracle& oracle);
+
+struct DjResult {
+  bool constant = false;           ///< the algorithm's verdict
+  std::uint64_t measured = 0;      ///< raw input-register measurement
+  std::size_t oracle_calls = 1;    ///< always 1 — the quantum advantage
+};
+
+/// Run the algorithm once (it is deterministic for promise-satisfying f).
+[[nodiscard]] DjResult run_deutsch_jozsa(std::size_t num_inputs, const DjOracle& oracle,
+                                         std::uint64_t seed = 7);
+
+/// Classical deterministic baseline: probe f until the constant/balanced
+/// question is settled; returns the number of queries used (worst case
+/// 2^{n-1} + 1).
+[[nodiscard]] std::size_t classical_deutsch_jozsa_queries(std::size_t num_inputs,
+                                                          const DjOracle& oracle);
+
+}  // namespace qutes::algo

@@ -1,0 +1,50 @@
+// Entanglement primitives: Bell pairs and the entanglement-swapping chain
+// the paper showcases as "entanglement propagation" (Section 5, after Zangi
+// et al. 2023).
+//
+// The chain starts from L adjacent Bell pairs on 2L qubits; Bell
+// measurements on each interior pair, with classically-conditioned X/Z
+// corrections, teleport the entanglement outward until the two endpoint
+// qubits — which never interacted — share a Bell state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Append H + CX preparing (|00> + |11>)/sqrt(2) on (a, b).
+void append_bell_pair(circ::QuantumCircuit& circuit, std::size_t a, std::size_t b);
+
+/// GHZ over any number of qubits: H on the first, CX chain down the rest.
+void append_ghz(circ::QuantumCircuit& circuit, std::span<const std::size_t> qubits);
+
+/// W state (|10..0> + |01..0> + ... + |0..01>)/sqrt(n) via amplitude state
+/// preparation. The other entangled-state family: GHZ loses all
+/// entanglement when one qubit is measured; W keeps it.
+void append_w_state(circ::QuantumCircuit& circuit, std::span<const std::size_t> qubits);
+
+/// Build the full propagation circuit over `num_links` Bell pairs
+/// (2 * num_links qubits). Interior qubits are Bell-measured into classical
+/// bits; corrections are applied to the far endpoint via c_if. num_links >= 1.
+[[nodiscard]] circ::QuantumCircuit build_entanglement_chain_circuit(
+    std::size_t num_links);
+
+struct ChainResult {
+  /// <Z Z> correlator between the endpoints after propagation (1 = Bell).
+  double zz_correlation = 0.0;
+  /// Fidelity of the endpoint pair with the ideal Bell state Phi+.
+  double bell_fidelity = 0.0;
+  std::size_t chain_qubits = 0;
+};
+
+/// Run one trajectory and verify the endpoints: computes the endpoint ZZ
+/// correlator and the fidelity with Phi+ (tracing is unnecessary because all
+/// interior qubits have collapsed).
+[[nodiscard]] ChainResult run_entanglement_chain(std::size_t num_links,
+                                                 std::uint64_t seed = 7);
+
+}  // namespace qutes::algo

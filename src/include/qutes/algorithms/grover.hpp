@@ -1,0 +1,102 @@
+// Grover search, including the quantum substring search the Qutes `in`
+// operator compiles to (paper Section 5, Figure listing).
+//
+// The substring machinery follows the window-superposition construction:
+//   1. an index register of l = ceil(log2 P) qubits is put into uniform
+//      superposition over candidate positions (P = n - m + 1);
+//   2. a window-load unitary W writes text[i .. i+m) into an m-qubit window
+//      register, entangled with each index i (positions i >= P load the
+//      bitwise complement of the pattern so they can never match);
+//   3. the oracle phase-flips states whose window equals the pattern;
+//   4. W^dagger uncomputes the window and the standard diffusion operator
+//      acts on the index register alone.
+// After ~ pi/4 * sqrt(2^l / M) iterations a measurement of the index
+// register yields a match position with high probability.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qutes/circuit/circuit.hpp"
+#include "qutes/common/rng.hpp"
+
+namespace qutes::algo {
+
+/// Standard diffusion (inversion about the mean) on `qubits`:
+/// H^n X^n MCZ X^n H^n.
+void append_diffusion(circ::QuantumCircuit& circuit,
+                      std::span<const std::size_t> qubits);
+
+/// floor(pi/4 * sqrt(N / M)) with a minimum of 1; the optimal Grover
+/// iteration count for M marked states out of N.
+[[nodiscard]] std::size_t optimal_grover_iterations(std::uint64_t search_space,
+                                                    std::uint64_t num_marked);
+
+/// Build a complete Grover circuit over `num_qubits` qubits that marks the
+/// listed basis states, with `iterations` rounds (0 = use the optimum), and
+/// a final measurement of every qubit.
+[[nodiscard]] circ::QuantumCircuit build_grover_circuit(
+    std::size_t num_qubits, std::span<const std::uint64_t> marked,
+    std::size_t iterations = 0);
+
+/// Result of a Grover run.
+struct GroverResult {
+  std::uint64_t outcome = 0;      ///< measured basis state / position
+  bool hit = false;               ///< outcome is genuinely marked / a match
+  double success_probability = 0; ///< exact P(measuring a marked state)
+  std::size_t iterations = 0;
+  std::size_t oracle_calls = 0;
+};
+
+/// Run Grover over the marked-value set and report the measured outcome plus
+/// the exact success probability (read off the pre-measurement state).
+[[nodiscard]] GroverResult run_grover(std::size_t num_qubits,
+                                      std::span<const std::uint64_t> marked,
+                                      std::uint64_t seed = 7,
+                                      std::size_t iterations = 0);
+
+// ---- substring search -------------------------------------------------------
+
+/// Quantum substring search of `pattern` in `text` (both '0'/'1' strings).
+class SubstringSearch {
+public:
+  SubstringSearch(std::string text, std::string pattern);
+
+  /// Positions where the pattern classically matches (ground truth).
+  [[nodiscard]] const std::vector<std::uint64_t>& matches() const noexcept {
+    return matches_;
+  }
+
+  [[nodiscard]] std::size_t index_qubits() const noexcept { return index_bits_; }
+  [[nodiscard]] std::size_t total_qubits() const noexcept {
+    return index_bits_ + pattern_.size();
+  }
+
+  /// The full search circuit: prep, `iterations` Grover rounds (0 = optimal),
+  /// and measurement of the index register.
+  [[nodiscard]] circ::QuantumCircuit build_circuit(std::size_t iterations = 0) const;
+
+  /// Execute and report the measured position. `hit` is set by classically
+  /// verifying the reported position — exactly what the Qutes runtime does
+  /// for the `in` operator.
+  [[nodiscard]] GroverResult run(std::uint64_t seed = 7,
+                                 std::size_t iterations = 0) const;
+
+private:
+  void append_window_load(circ::QuantumCircuit& circuit,
+                          std::span<const std::size_t> index,
+                          std::span<const std::size_t> window) const;
+  void append_oracle(circ::QuantumCircuit& circuit,
+                     std::span<const std::size_t> window) const;
+
+  std::string text_;
+  std::string pattern_;
+  std::size_t positions_ = 0;   // P = n - m + 1
+  std::size_t index_bits_ = 0;  // ceil(log2 P)
+  std::vector<std::uint64_t> matches_;
+};
+
+}  // namespace qutes::algo

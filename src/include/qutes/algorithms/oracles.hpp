@@ -1,0 +1,53 @@
+// Oracle constructions shared by the search/query algorithms.
+//
+// Two families:
+//  * phase oracles  — flip the sign of marked basis states (Grover);
+//  * bit oracles    — XOR f(x) into an output qubit (Deutsch-Jozsa,
+//    Bernstein-Vazirani).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Phase-flip the single basis state |value> of `qubits`: X-conjugated MCZ.
+void append_phase_oracle_value(circ::QuantumCircuit& circuit,
+                               std::span<const std::size_t> qubits,
+                               std::uint64_t value);
+
+/// Phase-flip every state listed in `values` (sequential value oracles;
+/// exact, O(|values| * n)).
+void append_phase_oracle_values(circ::QuantumCircuit& circuit,
+                                std::span<const std::size_t> qubits,
+                                std::span<const std::uint64_t> values);
+
+/// Bit oracle for f(x) = mask . x (mod 2) (inner-product / parity family —
+/// the balanced functions used by Deutsch-Jozsa and Bernstein-Vazirani):
+/// CX from every mask bit into `output`.
+void append_parity_bit_oracle(circ::QuantumCircuit& circuit,
+                              std::span<const std::size_t> inputs, std::size_t output,
+                              std::uint64_t mask);
+
+/// Bit oracle for constant f: f == 1 applies X(output), f == 0 nothing.
+void append_constant_bit_oracle(circ::QuantumCircuit& circuit, std::size_t output,
+                                bool value);
+
+/// Bit oracle from an explicit truth table (size 2^|inputs|): one
+/// multi-controlled X per 1-entry. Exponential in general — intended for
+/// tests and small registers.
+void append_truth_table_bit_oracle(circ::QuantumCircuit& circuit,
+                                   std::span<const std::size_t> inputs,
+                                   std::size_t output,
+                                   const std::vector<bool>& truth_table);
+
+/// Random balanced truth table over n inputs (exactly 2^{n-1} ones),
+/// deterministic in `seed`.
+[[nodiscard]] std::vector<bool> random_balanced_truth_table(std::size_t num_inputs,
+                                                            std::uint64_t seed);
+
+}  // namespace qutes::algo

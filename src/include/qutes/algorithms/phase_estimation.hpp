@@ -1,0 +1,29 @@
+// Quantum phase estimation for a single-qubit phase gate P(2 pi phi): given
+// the eigenstate |1>, a t-bit counting register estimates phi to t bits.
+// Exercises the QFT substrate end-to-end and backs the DSL's planned
+// arithmetic extensions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Build the QPE circuit: `precision_bits` counting qubits, one eigenstate
+/// qubit prepared in |1>, controlled-P(2 pi phi * 2^k) ladder, inverse QFT,
+/// measurement of the counting register.
+[[nodiscard]] circ::QuantumCircuit build_phase_estimation_circuit(
+    std::size_t precision_bits, double phi);
+
+struct PhaseEstimate {
+  std::uint64_t raw = 0;   ///< measured counting-register value
+  double phi = 0.0;        ///< raw / 2^t
+};
+
+/// Run QPE once and decode the estimate.
+[[nodiscard]] PhaseEstimate run_phase_estimation(std::size_t precision_bits, double phi,
+                                                 std::uint64_t seed = 7);
+
+}  // namespace qutes::algo

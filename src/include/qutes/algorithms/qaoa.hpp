@@ -1,0 +1,57 @@
+// QAOA for MaxCut — the combinatorial-optimization workflow the paper's
+// introduction names as a quantum application area. Builds on the same
+// hybrid loop as VQE: cost unitaries from ZZ terms (CX-RZ-CX), RX mixers,
+// classical coordinate descent over the angles, then sampling for the best
+// cut.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+struct MaxCutInstance {
+  std::size_t num_vertices = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  /// Number of cut edges for an assignment (bit v = side of vertex v).
+  [[nodiscard]] std::size_t cut_value(std::uint64_t assignment) const;
+
+  /// Exhaustive optimum (instances here are small).
+  [[nodiscard]] std::size_t max_cut_brute_force() const;
+};
+
+/// The p-layer QAOA circuit: H^n, then per layer exp(-i gamma C) as
+/// CX-RZ-CX per edge and exp(-i beta B) as RX(2 beta) per vertex.
+[[nodiscard]] circ::QuantumCircuit build_qaoa_circuit(
+    const MaxCutInstance& instance, std::span<const double> gammas,
+    std::span<const double> betas);
+
+struct QaoaResult {
+  double expected_cut = 0.0;        ///< <C> at the optimized angles
+  std::uint64_t best_assignment = 0;
+  std::size_t best_cut = 0;         ///< best cut among sampled assignments
+  std::vector<double> gammas;
+  std::vector<double> betas;
+  std::size_t evaluations = 0;
+};
+
+struct QaoaOptions {
+  std::size_t layers = 2;
+  std::size_t max_sweeps = 60;
+  double initial_step = 0.4;
+  double tolerance = 1e-6;
+  std::size_t sample_shots = 256;
+  std::uint64_t seed = 7;
+};
+
+/// Optimize the angles, then sample assignments and report the best cut.
+[[nodiscard]] QaoaResult run_qaoa(const MaxCutInstance& instance,
+                                  QaoaOptions options = {});
+
+}  // namespace qutes::algo

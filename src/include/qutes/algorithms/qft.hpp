@@ -1,0 +1,27 @@
+// Quantum Fourier transform on a register slice.
+//
+// Little-endian convention: QFT maps |x> to (1/sqrt(2^n)) sum_k
+// e^{2 pi i x k / 2^n} |k> with qubits[0] the LSB of x. Used directly by the
+// Draper adder and phase estimation, and exposed as a Qutes builtin.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Append the QFT over `qubits` (in-place). `do_swaps` controls the final
+/// bit-reversal swap network; the Draper adder skips it.
+void append_qft(circ::QuantumCircuit& circuit, std::span<const std::size_t> qubits,
+                bool do_swaps = true);
+
+/// Append the inverse QFT over `qubits`.
+void append_iqft(circ::QuantumCircuit& circuit, std::span<const std::size_t> qubits,
+                 bool do_swaps = true);
+
+/// Convenience: an n-qubit circuit containing just the QFT.
+[[nodiscard]] circ::QuantumCircuit make_qft(std::size_t num_qubits, bool do_swaps = true);
+
+}  // namespace qutes::algo

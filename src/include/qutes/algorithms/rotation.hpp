@@ -1,0 +1,36 @@
+// Cyclic rotation (shift) of a quantum register — the paper's showcased
+// constant-time operation (Section 5, after Faro, Pavone & Viola 2024).
+//
+// rotate_left by k maps qubit i's state to qubit (i + k) mod n. Because a
+// rotation is a permutation, it decomposes into two reversals
+// (rotate_k = reverse_all . (reverse_prefix ++ reverse_suffix)), and a
+// reversal is one layer of disjoint SWAPs — so the whole rotation is at
+// most TWO swap layers regardless of n: constant depth. The classical-style
+// baseline ripples k single-position shifts of n-1 sequential swaps each,
+// for Theta(k * n) depth. bench_rotation reproduces the paper's
+// constant-vs-linear claim from these two constructions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Constant-depth cyclic left rotation by `k` positions (toward higher
+/// indices): two parallel SWAP layers.
+void append_rotate_constant_depth(circ::QuantumCircuit& circuit,
+                                  std::span<const std::size_t> qubits, std::size_t k);
+
+/// Linear-depth baseline: k sequential single-step rotations, each a ripple
+/// of n-1 adjacent SWAPs.
+void append_rotate_linear_depth(circ::QuantumCircuit& circuit,
+                                std::span<const std::size_t> qubits, std::size_t k);
+
+/// Right rotation = left rotation by n - k.
+void append_rotate_right_constant_depth(circ::QuantumCircuit& circuit,
+                                        std::span<const std::size_t> qubits,
+                                        std::size_t k);
+
+}  // namespace qutes::algo

@@ -1,0 +1,48 @@
+// Simon's algorithm: recover a hidden XOR period s (f(x) = f(x ^ s)) with
+// O(n) quantum queries, versus exponentially many classically. Rounds out
+// the query-complexity family (Deutsch-Jozsa, Bernstein-Vazirani) the DSL's
+// algorithm library exposes.
+//
+// The oracle computes f(x) = min(x, x ^ s) into an n-qubit output register
+// (a canonical 2-to-1 function with period s), loaded QROM-style. Each
+// quantum round yields a y with y . s = 0 (mod 2); rounds accumulate until
+// the equations have rank n-1, then s is the unique nonzero solution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Incremental GF(2) row space: tracks the rank of the collected equations.
+class Gf2System {
+public:
+  /// Insert an equation; returns true if it increased the rank.
+  bool add(std::uint64_t equation);
+  [[nodiscard]] std::size_t rank() const noexcept { return rows_.size(); }
+  /// All s in (0, 2^n) with row . s == 0 for every stored row.
+  [[nodiscard]] std::vector<std::uint64_t> nullspace(std::size_t n) const;
+
+private:
+  std::vector<std::uint64_t> rows_;  // reduced rows, distinct leading bits
+};
+
+/// One Simon round: H^n, oracle, H^n, measure the input register.
+[[nodiscard]] circ::QuantumCircuit build_simon_circuit(std::size_t num_bits,
+                                                       std::uint64_t secret);
+
+struct SimonResult {
+  std::uint64_t recovered = 0;
+  std::size_t quantum_queries = 0;
+  bool success = false;
+};
+
+/// Full driver: repeat rounds until rank n-1 (or the query budget runs
+/// out), then solve. `secret` must be nonzero and fit in `num_bits`.
+[[nodiscard]] SimonResult run_simon(std::size_t num_bits, std::uint64_t secret,
+                                    std::uint64_t seed = 7);
+
+}  // namespace qutes::algo

@@ -1,0 +1,33 @@
+// Amplitude state preparation (the substrate behind Qutes superposition
+// literals like `[0, 3]q`).
+//
+// Implements the multiplexed-RY construction (Shende-Bullock-Markov style,
+// restricted to non-negative real amplitudes): processing qubits MSB-down,
+// each step applies RY rotations controlled on every assignment of the
+// already-prepared higher bits. Multi-controlled RY is emitted as the
+// standard MCX-conjugated half-angle pair, so the output circuit uses only
+// gates the IR already knows. Cost is O(2^n) rotations — exact and fine for
+// the small registers DSL literals create.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Prepare the state with Pr(basis i) = probabilities[i] (all amplitudes
+/// chosen real non-negative). `probabilities` must have length 2^|qubits|
+/// and sum to 1 (checked to 1e-9). Qubits must start in |0...0>.
+void append_state_prep(circ::QuantumCircuit& circuit,
+                       std::span<const std::size_t> qubits,
+                       std::span<const double> probabilities);
+
+/// Prepare the equal superposition of the listed (distinct) basis values.
+void append_uniform_superposition(circ::QuantumCircuit& circuit,
+                                  std::span<const std::size_t> qubits,
+                                  std::span<const std::uint64_t> values);
+
+}  // namespace qutes::algo

@@ -1,0 +1,22 @@
+// Single-qubit quantum teleportation with classically-conditioned
+// corrections — the canonical exercise of mid-circuit measurement + c_if,
+// and the building block behind the entanglement-swap chain.
+#pragma once
+
+#include <cstdint>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::algo {
+
+/// Build the 3-qubit teleport circuit. The message qubit (q0) is prepared
+/// with U(theta, phi, lambda); after the protocol q2 carries that state.
+[[nodiscard]] circ::QuantumCircuit build_teleport_circuit(double theta, double phi,
+                                                          double lambda);
+
+/// Run once and return the fidelity of the received qubit with the sent
+/// state (exactly 1 on a noiseless simulator).
+[[nodiscard]] double run_teleport_fidelity(double theta, double phi, double lambda,
+                                           std::uint64_t seed = 7);
+
+}  // namespace qutes::algo

@@ -1,0 +1,63 @@
+// Hybrid variational eigensolver (VQE) driver — the quantum-classical
+// collaboration workflow the paper's introduction motivates ("hybrid
+// workflows in fields like machine learning"). A classical coordinate
+// -descent optimizer drives a parameterized ansatz circuit; energies are
+// Pauli-string expectations read from the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qutes/circuit/circuit.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace qutes::algo {
+
+/// Observable: sum_k coefficient_k * PauliString_k (strings MSB-first, one
+/// character per qubit, over {I, X, Y, Z}).
+struct Hamiltonian {
+  struct Term {
+    double coefficient = 0.0;
+    std::string pauli;
+  };
+  std::vector<Term> terms;
+
+  /// <psi| H |psi>.
+  [[nodiscard]] double energy(const sim::StateVector& psi) const;
+
+  /// Exact ground-state energy by dense diagonalization (power iteration on
+  /// a shifted matrix); intended for validation at small n.
+  [[nodiscard]] double exact_ground_energy(std::size_t num_qubits) const;
+};
+
+/// Hardware-efficient ansatz: `layers` repetitions of per-qubit RY
+/// rotations followed by a CX entangling ladder, then one final RY layer.
+/// Parameter count: num_qubits * (layers + 1).
+[[nodiscard]] circ::QuantumCircuit build_ry_ansatz(std::size_t num_qubits,
+                                                   std::size_t layers,
+                                                   std::span<const double> parameters);
+
+struct VqeResult {
+  double energy = 0.0;
+  std::vector<double> parameters;
+  std::size_t evaluations = 0;  ///< circuit simulations performed
+  std::size_t sweeps = 0;       ///< optimizer sweeps over the parameters
+};
+
+struct VqeOptions {
+  std::size_t layers = 1;
+  std::size_t max_sweeps = 60;
+  double initial_step = 0.7;
+  double tolerance = 1e-7;
+  std::uint64_t seed = 7;  ///< initial-parameter randomization
+};
+
+/// Minimize <H> over the ansatz parameters with adaptive coordinate
+/// descent. Deterministic given the seed.
+[[nodiscard]] VqeResult run_vqe(const Hamiltonian& hamiltonian,
+                                std::size_t num_qubits, VqeOptions options = {});
+
+}  // namespace qutes::algo

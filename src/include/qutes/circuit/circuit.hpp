@@ -1,0 +1,150 @@
+// QuantumCircuit: the gate-level IR every upper layer targets.
+//
+// This is the Qiskit-QuantumCircuit replacement. A circuit owns a flat qubit
+// index space carved into named registers (one per Qutes variable, mirroring
+// the paper's QuantumCircuitHandler), a classical bit space for measurement
+// results, and an ordered instruction list. Builder methods are fluent and
+// validate operands eagerly so a malformed circuit fails at construction,
+// not at execution.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qutes/circuit/instruction.hpp"
+
+namespace qutes::circ {
+
+/// A contiguous run of qubits with a name; purely descriptive (QASM output,
+/// drawing) — instructions address flat indices.
+struct QuantumRegister {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+
+  [[nodiscard]] std::size_t operator[](std::size_t i) const { return offset + i; }
+};
+
+struct ClassicalRegister {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+
+  [[nodiscard]] std::size_t operator[](std::size_t i) const { return offset + i; }
+};
+
+class QuantumCircuit {
+public:
+  QuantumCircuit() = default;
+  /// Anonymous circuit with `num_qubits` qubits in one register "q" and
+  /// `num_clbits` classical bits in register "c".
+  explicit QuantumCircuit(std::size_t num_qubits, std::size_t num_clbits = 0);
+
+  // ---- register management -------------------------------------------------
+
+  /// Append a named quantum register; returns it (with its flat offset).
+  QuantumRegister& add_register(const std::string& name, std::size_t size);
+  ClassicalRegister& add_classical_register(const std::string& name, std::size_t size);
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t num_clbits() const noexcept { return num_clbits_; }
+  [[nodiscard]] const std::vector<QuantumRegister>& qregs() const noexcept { return qregs_; }
+  [[nodiscard]] const std::vector<ClassicalRegister>& cregs() const noexcept { return cregs_; }
+
+  [[nodiscard]] const std::vector<Instruction>& instructions() const noexcept {
+    return instructions_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return instructions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return instructions_.empty(); }
+  [[nodiscard]] double global_phase() const noexcept { return global_phase_; }
+  void add_global_phase(double lambda) noexcept { global_phase_ += lambda; }
+
+  // ---- fluent gate builders -------------------------------------------------
+
+  QuantumCircuit& h(std::size_t q);
+  QuantumCircuit& x(std::size_t q);
+  QuantumCircuit& y(std::size_t q);
+  QuantumCircuit& z(std::size_t q);
+  QuantumCircuit& s(std::size_t q);
+  QuantumCircuit& sdg(std::size_t q);
+  QuantumCircuit& t(std::size_t q);
+  QuantumCircuit& tdg(std::size_t q);
+  QuantumCircuit& sx(std::size_t q);
+  QuantumCircuit& rx(double theta, std::size_t q);
+  QuantumCircuit& ry(double theta, std::size_t q);
+  QuantumCircuit& rz(double theta, std::size_t q);
+  QuantumCircuit& p(double lambda, std::size_t q);
+  QuantumCircuit& u(double theta, double phi, double lambda, std::size_t q);
+  QuantumCircuit& cx(std::size_t control, std::size_t target);
+  QuantumCircuit& cy(std::size_t control, std::size_t target);
+  QuantumCircuit& cz(std::size_t control, std::size_t target);
+  QuantumCircuit& ch(std::size_t control, std::size_t target);
+  QuantumCircuit& cp(double lambda, std::size_t control, std::size_t target);
+  QuantumCircuit& crz(double theta, std::size_t control, std::size_t target);
+  QuantumCircuit& swap(std::size_t a, std::size_t b);
+  QuantumCircuit& ccx(std::size_t c0, std::size_t c1, std::size_t target);
+  QuantumCircuit& cswap(std::size_t control, std::size_t a, std::size_t b);
+  QuantumCircuit& mcx(std::span<const std::size_t> controls, std::size_t target);
+  QuantumCircuit& mcz(std::span<const std::size_t> controls, std::size_t target);
+  QuantumCircuit& mcp(double lambda, std::span<const std::size_t> controls,
+                      std::size_t target);
+  QuantumCircuit& measure(std::size_t qubit, std::size_t clbit);
+  /// Measure a run of qubits into a run of clbits, index-aligned.
+  QuantumCircuit& measure(std::span<const std::size_t> qubits,
+                          std::span<const std::size_t> clbits);
+  /// Measure every qubit into the same-numbered clbit (grows clbits if needed).
+  QuantumCircuit& measure_all();
+  QuantumCircuit& reset(std::size_t qubit);
+  QuantumCircuit& barrier();
+
+  /// Attach a classical condition to the most recently appended instruction.
+  QuantumCircuit& c_if(std::size_t clbit, int value);
+
+  /// Append a raw instruction (validated).
+  QuantumCircuit& append(Instruction instr);
+
+  /// Inline `other`, mapping its qubit i to `qubit_map[i]` and its clbit j to
+  /// `clbit_map[j]`. Maps must cover the other circuit's spaces.
+  QuantumCircuit& compose(const QuantumCircuit& other,
+                          std::span<const std::size_t> qubit_map,
+                          std::span<const std::size_t> clbit_map = {});
+
+  /// Adjoint of this circuit. Requires a purely unitary circuit (no
+  /// measure/reset); barriers are kept in place.
+  [[nodiscard]] QuantumCircuit inverse() const;
+
+  /// `power` sequential repetitions of this circuit.
+  [[nodiscard]] QuantumCircuit repeat(std::size_t power) const;
+
+  // ---- metrics ---------------------------------------------------------------
+
+  /// Circuit depth: longest chain of instructions over shared qubits/clbits.
+  /// Barriers synchronize but contribute no depth.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Total non-structural instruction count (excludes barriers).
+  [[nodiscard]] std::size_t gate_count() const;
+
+  /// Count per mnemonic, e.g. {"h": 4, "cx": 3, "measure": 2}.
+  [[nodiscard]] std::map<std::string, std::size_t> count_ops() const;
+
+  /// Count of two-or-more-qubit unitary gates (entangling cost proxy).
+  [[nodiscard]] std::size_t multi_qubit_gate_count() const;
+
+private:
+  void check_qubit(std::size_t q) const;
+  void check_clbit(std::size_t c) const;
+  void check_distinct(std::span<const std::size_t> qubits) const;
+
+  std::size_t num_qubits_ = 0;
+  std::size_t num_clbits_ = 0;
+  double global_phase_ = 0.0;
+  std::vector<QuantumRegister> qregs_;
+  std::vector<ClassicalRegister> cregs_;
+  std::vector<Instruction> instructions_;
+};
+
+}  // namespace qutes::circ

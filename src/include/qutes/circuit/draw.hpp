@@ -1,0 +1,17 @@
+// ASCII rendering of circuits, for the CLI's --draw flag and debugging.
+//
+// Layout: one text row per qubit plus one shared classical row; gates are
+// packed into depth layers (the same layering depth() computes), controls
+// render as '*', X-targets as '(+)', measurements as 'M'.
+#pragma once
+
+#include <string>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::circ {
+
+/// Render `circuit` as ASCII art. Rows are labeled with register names.
+[[nodiscard]] std::string draw(const QuantumCircuit& circuit);
+
+}  // namespace qutes::circ

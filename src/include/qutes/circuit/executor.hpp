@@ -1,0 +1,68 @@
+// Executor: runs a QuantumCircuit on the dense state-vector simulator.
+//
+// Replaces the Qiskit Aer backend in the paper's stack. Two paths:
+//  * static circuits (no mid-circuit measurement feeding gates, no reset,
+//    no conditions, no noise) evolve the state once and sample `shots`
+//    outcomes from the final distribution;
+//  * dynamic circuits re-run one full trajectory per shot, honoring
+//    measurement collapse, reset, c_if conditions, and noise channels.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "qutes/circuit/circuit.hpp"
+#include "qutes/common/rng.hpp"
+#include "qutes/sim/noise.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace qutes::circ {
+
+struct ExecutionOptions {
+  std::size_t shots = 1024;
+  std::uint64_t seed = 0x5eed0f5eedULL;
+  sim::NoiseModel noise;
+  /// Also record the per-shot bitstrings, in shot order (Aer "memory").
+  bool record_memory = false;
+};
+
+struct ExecutionResult {
+  /// Histogram over classical registers, MSB-first (clbit N-1 leftmost).
+  sim::Counts counts;
+  /// Per-shot outcomes when options.record_memory is set (else empty).
+  std::vector<std::string> memory;
+  /// Number of trajectories actually simulated (1 for the static fast path).
+  std::size_t trajectories = 0;
+  /// Whether the static fast path was taken.
+  bool fast_path = false;
+};
+
+class Executor {
+public:
+  explicit Executor(ExecutionOptions options = {}) : options_(options) {}
+
+  /// Run with sampling; returns the counts histogram.
+  [[nodiscard]] ExecutionResult run(const QuantumCircuit& circuit) const;
+
+  /// Run a single trajectory and return the final state plus the classical
+  /// bits (as a packed integer, clbit 0 = LSB). Useful for tests that
+  /// inspect amplitudes.
+  struct Trajectory {
+    sim::StateVector state;
+    std::uint64_t clbits = 0;
+  };
+  [[nodiscard]] Trajectory run_single(const QuantumCircuit& circuit) const;
+
+  /// True if `circuit` qualifies for the sample-from-final-state fast path.
+  [[nodiscard]] static bool is_static(const QuantumCircuit& circuit);
+
+private:
+  ExecutionOptions options_;
+};
+
+/// Apply one instruction to a state (measure writes into `clbits`). Exposed
+/// for the language runtime, which executes instructions as it logs them.
+void apply_instruction(sim::StateVector& sv, const Instruction& instr,
+                       std::uint64_t& clbits, Rng& rng);
+
+}  // namespace qutes::circ

@@ -1,0 +1,63 @@
+// Circuit instruction set.
+//
+// One Instruction is one timeline entry of a QuantumCircuit: a gate, a
+// measurement, a reset, or a barrier. Multi-controlled gates store their
+// controls inline (qubits = [controls..., target]) so the transpiler can
+// lower them late, exactly like Qiskit's mcx/mcp instructions.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qutes::circ {
+
+enum class GateType {
+  // 1-qubit, no parameter
+  H, X, Y, Z, S, Sdg, T, Tdg, SX,
+  // 1-qubit, parameterized
+  RX, RY, RZ, P, U,
+  // 2-qubit
+  CX, CY, CZ, CH, CP, CRZ, SWAP,
+  // 3-qubit
+  CCX, CSWAP,
+  // n-qubit (qubits = [controls..., target])
+  MCX, MCZ, MCP,
+  // non-unitary / structural
+  Measure, Reset, Barrier, GlobalPhase,
+};
+
+/// Number of qubit operands a gate type takes, or 0 if variadic (MC*,
+/// Barrier) — callers must size those explicitly.
+[[nodiscard]] std::size_t fixed_arity(GateType type) noexcept;
+
+/// Number of double parameters the gate carries.
+[[nodiscard]] std::size_t param_count(GateType type) noexcept;
+
+/// Lower-case mnemonic ("h", "cx", "mcp", "measure", ...).
+[[nodiscard]] const char* gate_name(GateType type) noexcept;
+
+/// True for purely unitary operations (excludes Measure/Reset/Barrier).
+[[nodiscard]] bool is_unitary_gate(GateType type) noexcept;
+
+/// Classical condition attached to an instruction: execute only when the
+/// given classical bit currently holds `value` (OpenQASM `if` semantics,
+/// restricted to single bits as emitted by the Qutes compiler).
+struct Condition {
+  std::size_t clbit = 0;
+  int value = 1;
+};
+
+struct Instruction {
+  GateType type;
+  std::vector<std::size_t> qubits;  // for MC*: [controls..., target]
+  std::vector<double> params;
+  std::vector<std::size_t> clbits;  // Measure: destination bits, 1:1 with qubits
+  std::optional<Condition> condition;
+
+  /// Target qubit of a (multi-)controlled instruction: the last operand.
+  [[nodiscard]] std::size_t target() const { return qubits.back(); }
+};
+
+}  // namespace qutes::circ

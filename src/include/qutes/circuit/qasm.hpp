@@ -1,0 +1,26 @@
+// OpenQASM 2.0 interchange.
+//
+// The paper lists "export Qutes code to ... QASM" as future work; we
+// implement it (plus an importer, so circuits round-trip). The dialect is
+// OpenQASM 2.0 with qelib1.inc gate names, extended with single-bit
+// conditions `if (c[i] == v)` — the only conditional form the Qutes
+// compiler emits. Multi-controlled gates are lowered to the qelib1 basis
+// before emission.
+#pragma once
+
+#include <string>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::circ::qasm {
+
+/// Serialize a circuit to OpenQASM 2.0. Multi-controlled instructions are
+/// decomposed first; register names are preserved.
+[[nodiscard]] std::string export_circuit(const QuantumCircuit& circuit);
+
+/// Parse OpenQASM 2.0 (the subset produced by export_circuit plus common
+/// hand-written programs: qreg/creg, qelib1 gates, measure, reset, barrier,
+/// single-bit if). Throws CircuitError with a line number on malformed input.
+[[nodiscard]] QuantumCircuit import_circuit(const std::string& source);
+
+}  // namespace qutes::circ::qasm

@@ -1,0 +1,20 @@
+// Qiskit source export (paper §6: "establishing methods to export Qutes
+// code to widely used quantum programming languages, particularly Qiskit
+// and QASM"). QASM lives in qasm.hpp; this emits a runnable Python script
+// that rebuilds the circuit with qiskit.QuantumCircuit calls — the shape a
+// user pastes into a notebook to continue on IBM tooling.
+#pragma once
+
+#include <string>
+
+#include "qutes/circuit/circuit.hpp"
+
+namespace qutes::circ::qiskit {
+
+/// Emit a self-contained Python script: imports, register construction,
+/// one builder call per instruction (multi-controlled gates are lowered
+/// first), and a __main__ guard that prints the circuit. Single-bit
+/// conditions map to `.c_if(clbit, value)`.
+[[nodiscard]] std::string export_circuit(const QuantumCircuit& circuit);
+
+}  // namespace qutes::circ::qiskit

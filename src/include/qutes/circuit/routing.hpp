@@ -1,0 +1,59 @@
+// Hardware-aware passes: single-qubit gate fusion and routing to a
+// linear-nearest-neighbor coupling map.
+//
+// The paper claims Qutes inherits "hardware-agnostic capabilities" from its
+// backend; these passes are the backend half of that story — the step
+// between the abstract circuit the compiler emits and what a
+// restricted-connectivity device can execute.
+//
+//  * fuse_single_qubit_gates: collapse maximal runs of adjacent 1-qubit
+//    unitaries on one wire into a single U(theta, phi, lambda) (ZYZ
+//    decomposition, global phase tracked in the circuit).
+//  * route_linear: insert SWAPs so every 2-qubit gate acts on adjacent
+//    qubits of a line 0-1-2-...-n-1. Input must already be lowered to at
+//    most 2-qubit gates (run decompose_to_basis or decompose_multicontrolled
+//    + CCX lowering first). With restore_layout, trailing SWAPs undo the
+//    permutation so the routed circuit is semantically identical.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qutes/circuit/circuit.hpp"
+#include "qutes/sim/matrix.hpp"
+
+namespace qutes::circ {
+
+/// ZYZ decomposition: U = e^{i phase} * U3(theta, phi, lambda).
+struct EulerAngles {
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+  double phase = 0.0;
+};
+
+/// Decompose an arbitrary single-qubit unitary (checked) into Euler angles.
+[[nodiscard]] EulerAngles decompose_1q_unitary(const sim::Matrix2& u);
+
+/// The 2x2 matrix of any single-qubit unitary instruction in the IR.
+[[nodiscard]] sim::Matrix2 matrix_of_1q(const Instruction& instruction);
+
+/// Fuse maximal runs of adjacent single-qubit unitaries per wire into one U
+/// gate (identity runs vanish entirely). Barriers, measurements, resets,
+/// conditions, and multi-qubit gates break runs.
+[[nodiscard]] QuantumCircuit fuse_single_qubit_gates(const QuantumCircuit& circuit);
+
+struct RoutingResult {
+  QuantumCircuit circuit;
+  /// final_layout[logical] = physical wire holding that logical qubit at the
+  /// end (identity when restore_layout was requested).
+  std::vector<std::size_t> final_layout;
+  std::size_t swaps_inserted = 0;
+};
+
+/// Route onto the line topology. Throws CircuitError if the input still has
+/// gates on 3+ qubits.
+[[nodiscard]] RoutingResult route_linear(const QuantumCircuit& circuit,
+                                         bool restore_layout = true);
+
+}  // namespace qutes::circ

@@ -1,0 +1,70 @@
+// Bit-manipulation helpers used throughout the simulator and circuit layers.
+//
+// States are indexed little-endian: qubit 0 is the least-significant bit of
+// the basis-state index (the Qiskit convention, so our QASM interoperates).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qutes {
+
+/// Number of basis states spanned by `n` qubits (2^n).
+[[nodiscard]] constexpr std::uint64_t dim_of(std::size_t n) noexcept {
+  return std::uint64_t{1} << n;
+}
+
+/// True if bit `q` of `index` is set.
+[[nodiscard]] constexpr bool test_bit(std::uint64_t index, std::size_t q) noexcept {
+  return (index >> q) & 1ULL;
+}
+
+/// `index` with bit `q` set.
+[[nodiscard]] constexpr std::uint64_t set_bit(std::uint64_t index, std::size_t q) noexcept {
+  return index | (std::uint64_t{1} << q);
+}
+
+/// `index` with bit `q` cleared.
+[[nodiscard]] constexpr std::uint64_t clear_bit(std::uint64_t index, std::size_t q) noexcept {
+  return index & ~(std::uint64_t{1} << q);
+}
+
+/// `index` with bit `q` flipped.
+[[nodiscard]] constexpr std::uint64_t flip_bit(std::uint64_t index, std::size_t q) noexcept {
+  return index ^ (std::uint64_t{1} << q);
+}
+
+/// Insert a zero bit at position `q`, shifting higher bits left. Maps an
+/// index over n-1 qubits to an index over n qubits whose bit q is 0 — the
+/// core of strided single-qubit gate kernels.
+[[nodiscard]] constexpr std::uint64_t insert_zero_bit(std::uint64_t index,
+                                                      std::size_t q) noexcept {
+  const std::uint64_t low_mask = (std::uint64_t{1} << q) - 1;
+  return ((index & ~low_mask) << 1) | (index & low_mask);
+}
+
+/// Number of bits needed to represent `value` (at least 1).
+[[nodiscard]] constexpr std::size_t bits_for(std::uint64_t value) noexcept {
+  return value == 0 ? 1 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+/// Render the low `n` bits of `index` as a bitstring, most-significant bit
+/// first (so qubit n-1 prints leftmost, matching Qiskit's counts keys).
+[[nodiscard]] inline std::string to_bitstring(std::uint64_t index, std::size_t n) {
+  std::string s(n, '0');
+  for (std::size_t q = 0; q < n; ++q) {
+    if (test_bit(index, q)) s[n - 1 - q] = '1';
+  }
+  return s;
+}
+
+/// Parse a bitstring (MSB first) back into an index.
+[[nodiscard]] inline std::uint64_t from_bitstring(const std::string& bits) {
+  std::uint64_t v = 0;
+  for (char c : bits) v = (v << 1) | static_cast<std::uint64_t>(c == '1');
+  return v;
+}
+
+}  // namespace qutes

@@ -1,0 +1,67 @@
+// Error hierarchy shared by every Qutes-C++ layer.
+//
+// All exceptions thrown by the library derive from qutes::Error so that a
+// host application can catch one type. Layer-specific subclasses carry the
+// context a user needs to act on the failure (e.g. source location for
+// language errors, qubit indices for simulator errors).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace qutes {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violation of an API precondition (bad qubit index, size mismatch, ...).
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the simulator layer (norm loss, measuring an impossible
+/// outcome, resource exhaustion).
+class SimulationError : public Error {
+public:
+  explicit SimulationError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the circuit layer (unknown gate arity, register overflow,
+/// malformed QASM, ...).
+class CircuitError : public Error {
+public:
+  explicit CircuitError(const std::string& what) : Error(what) {}
+};
+
+/// Location of a token/AST node in Qutes source code. Lines and columns are
+/// 1-based; a zero line means "no location" (synthesized node).
+struct SourceLocation {
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return line != 0; }
+  [[nodiscard]] std::string to_string() const {
+    if (!valid()) return "<builtin>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+/// Raised by the language front end (lex/parse/type/runtime errors in a
+/// Qutes program). Carries the offending source location.
+class LangError : public Error {
+public:
+  LangError(const std::string& what, SourceLocation loc)
+      : Error(loc.valid() ? loc.to_string() + ": " + what : what), loc_(loc) {}
+
+  [[nodiscard]] SourceLocation location() const noexcept { return loc_; }
+
+private:
+  SourceLocation loc_;
+};
+
+}  // namespace qutes

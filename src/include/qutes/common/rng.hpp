@@ -1,0 +1,68 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Simulation results must be reproducible across runs given a seed, so the
+// library owns its generator instead of relying on implementation-defined
+// std::default_random_engine behaviour. The generator is xoshiro256**
+// (Blackman & Vigna), seeded through splitmix64 — the de-facto standard for
+// non-cryptographic HPC workloads: 4 words of state, sub-nanosecond output,
+// passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace qutes {
+
+/// splitmix64 step; used to expand a single 64-bit seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator, so it plugs
+/// into <random> distributions when needed.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed0f5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace qutes

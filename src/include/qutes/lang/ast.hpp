@@ -1,0 +1,278 @@
+// Abstract syntax tree of a Qutes program.
+//
+// Classic virtual-visitor hierarchy: the interpreter (pass 2) and the symbol
+// collector (pass 1) are visitors, mirroring the paper's two AST traversals.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qutes/common/error.hpp"
+#include "qutes/lang/qtype.hpp"
+
+namespace qutes::lang {
+
+// ---- operators ---------------------------------------------------------------
+
+enum class UnaryOp { Neg, Not, BitNot };
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Mod, Shl, Shr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+  In,  ///< substring search: pattern in qustring (compiles to Grover)
+};
+
+[[nodiscard]] const char* unary_op_name(UnaryOp op) noexcept;
+[[nodiscard]] const char* binary_op_name(BinaryOp op) noexcept;
+
+// ---- expressions ---------------------------------------------------------------
+
+struct IntLitExpr;
+struct FloatLitExpr;
+struct BoolLitExpr;
+struct StringLitExpr;
+struct QuantumIntLitExpr;
+struct QuantumStringLitExpr;
+struct KetLitExpr;
+struct ArrayLitExpr;
+struct VarRefExpr;
+struct IndexExpr;
+struct CallExpr;
+struct UnaryExpr;
+struct BinaryExpr;
+
+class ExprVisitor {
+public:
+  virtual ~ExprVisitor() = default;
+  virtual void visit(IntLitExpr&) = 0;
+  virtual void visit(FloatLitExpr&) = 0;
+  virtual void visit(BoolLitExpr&) = 0;
+  virtual void visit(StringLitExpr&) = 0;
+  virtual void visit(QuantumIntLitExpr&) = 0;
+  virtual void visit(QuantumStringLitExpr&) = 0;
+  virtual void visit(KetLitExpr&) = 0;
+  virtual void visit(ArrayLitExpr&) = 0;
+  virtual void visit(VarRefExpr&) = 0;
+  virtual void visit(IndexExpr&) = 0;
+  virtual void visit(CallExpr&) = 0;
+  virtual void visit(UnaryExpr&) = 0;
+  virtual void visit(BinaryExpr&) = 0;
+};
+
+struct Expr {
+  SourceLocation location;
+  virtual ~Expr() = default;
+  virtual void accept(ExprVisitor& visitor) = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr final : Expr {
+  std::int64_t value = 0;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+struct FloatLitExpr final : Expr {
+  double value = 0.0;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+struct BoolLitExpr final : Expr {
+  bool value = false;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+struct StringLitExpr final : Expr {
+  std::string value;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+/// `5q`: a quint initialized to basis state |5>.
+struct QuantumIntLitExpr final : Expr {
+  std::int64_t value = 0;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+/// `"0101"q`: a qustring initialized to the given bitstring.
+struct QuantumStringLitExpr final : Expr {
+  std::string bits;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+enum class KetKind { Zero, One, Plus, Minus };
+
+/// `|0>`, `|1>`, `|+>`, `|->`: a single qubit in the named state.
+struct KetLitExpr final : Expr {
+  KetKind kind = KetKind::Zero;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+/// `[a, b, c]` (classical array) or `[0, 3]q` (equal superposition of the
+/// listed basis values, prepared on a fresh quint).
+struct ArrayLitExpr final : Expr {
+  std::vector<ExprPtr> elements;
+  bool superposition = false;  ///< trailing 'q'
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+struct VarRefExpr final : Expr {
+  std::string name;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+struct IndexExpr final : Expr {
+  ExprPtr target;
+  ExprPtr index;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+struct CallExpr final : Expr {
+  std::string callee;
+  std::vector<ExprPtr> args;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+struct UnaryExpr final : Expr {
+  UnaryOp op = UnaryOp::Neg;
+  ExprPtr operand;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+struct BinaryExpr final : Expr {
+  BinaryOp op = BinaryOp::Add;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  void accept(ExprVisitor& v) override { v.visit(*this); }
+};
+
+// ---- statements ---------------------------------------------------------------
+
+struct VarDeclStmt;
+struct AssignStmt;
+struct ExprStmt;
+struct BlockStmt;
+struct IfStmt;
+struct WhileStmt;
+struct ForeachStmt;
+struct FuncDeclStmt;
+struct ReturnStmt;
+struct PrintStmt;
+struct BarrierStmt;
+struct GateStmt;
+
+class StmtVisitor {
+public:
+  virtual ~StmtVisitor() = default;
+  virtual void visit(VarDeclStmt&) = 0;
+  virtual void visit(AssignStmt&) = 0;
+  virtual void visit(ExprStmt&) = 0;
+  virtual void visit(BlockStmt&) = 0;
+  virtual void visit(IfStmt&) = 0;
+  virtual void visit(WhileStmt&) = 0;
+  virtual void visit(ForeachStmt&) = 0;
+  virtual void visit(FuncDeclStmt&) = 0;
+  virtual void visit(ReturnStmt&) = 0;
+  virtual void visit(PrintStmt&) = 0;
+  virtual void visit(BarrierStmt&) = 0;
+  virtual void visit(GateStmt&) = 0;
+};
+
+struct Stmt {
+  SourceLocation location;
+  virtual ~Stmt() = default;
+  virtual void accept(StmtVisitor& visitor) = 0;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct VarDeclStmt final : Stmt {
+  QType type;
+  std::string name;
+  ExprPtr init;  // may be null
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+struct AssignStmt final : Stmt {
+  ExprPtr lvalue;                      ///< VarRefExpr or IndexExpr
+  std::optional<BinaryOp> compound;    ///< nullopt for '=', op for '+=' etc.
+  ExprPtr value;
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+struct ExprStmt final : Stmt {
+  ExprPtr expr;
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+struct BlockStmt final : Stmt {
+  std::vector<StmtPtr> statements;
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+struct IfStmt final : Stmt {
+  ExprPtr condition;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  // may be null
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+struct WhileStmt final : Stmt {
+  ExprPtr condition;
+  StmtPtr body;
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+struct ForeachStmt final : Stmt {
+  std::string var_name;
+  ExprPtr iterable;
+  StmtPtr body;
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+struct Param {
+  QType type;
+  std::string name;
+};
+
+struct FuncDeclStmt final : Stmt {
+  QType return_type;
+  std::string name;
+  std::vector<Param> params;
+  std::unique_ptr<BlockStmt> body;
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+struct ReturnStmt final : Stmt {
+  ExprPtr value;  // may be null
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+struct PrintStmt final : Stmt {
+  ExprPtr value;
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+struct BarrierStmt final : Stmt {
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+/// The built-in gate statements: `hadamard q;`, `not a, b;`, ...
+enum class GateKind { Not, PauliY, PauliZ, Hadamard, Phase, SGate, TGate,
+                      MeasureStmt, ResetStmt };
+
+[[nodiscard]] const char* gate_kind_name(GateKind kind) noexcept;
+
+struct GateStmt final : Stmt {
+  GateKind gate = GateKind::Not;
+  std::vector<ExprPtr> operands;
+  void accept(StmtVisitor& v) override { v.visit(*this); }
+};
+
+/// A parsed program: top-level statements (including function declarations).
+struct Program {
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace qutes::lang

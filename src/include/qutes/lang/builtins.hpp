@@ -1,0 +1,29 @@
+// Built-in functions of the Qutes runtime — the paper's "common quantum
+// operations as built-in language features": gate application in expression
+// form (cx, ccx, cz, swap, mcz, p, rx/ry/rz), measurement, QFT, Bell pairs,
+// Grover position search (indexof), and introspection (len, depth,
+// gate_count).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qutes/common/error.hpp"
+#include "qutes/lang/value.hpp"
+
+namespace qutes::lang {
+
+class Interpreter;
+
+using BuiltinFn = std::function<ValuePtr(Interpreter&, std::vector<ValuePtr>&,
+                                         SourceLocation)>;
+
+/// Name -> implementation for every builtin. Stable across calls.
+[[nodiscard]] const std::map<std::string, BuiltinFn>& builtin_table();
+
+/// True if `name` names a builtin (user functions may not shadow these).
+[[nodiscard]] bool is_builtin(const std::string& name);
+
+}  // namespace qutes::lang

@@ -1,0 +1,50 @@
+// TypeCastingHandler — the paper's component mediating every
+// classical<->quantum conversion:
+//  * promotion  (classical -> quantum): encodes the classical value into a
+//    fresh register of the program circuit;
+//  * measurement (quantum -> classical): appends measurements, collapses the
+//    live state, and returns the classical result;
+//  * coercion: the general assignment/declaration conversion combining both
+//    directions plus the classical widenings.
+#pragma once
+
+#include <string>
+
+#include "qutes/lang/circuit_handler.hpp"
+#include "qutes/lang/value.hpp"
+
+namespace qutes::lang {
+
+class TypeCastingHandler {
+public:
+  explicit TypeCastingHandler(QuantumCircuitHandler& handler) : handler_(handler) {}
+
+  /// Promote a classical scalar to its quantum counterpart on a fresh
+  /// register named after the destination variable. `width_hint` overrides
+  /// the inferred quint width (0 = infer from the value, minimum 1).
+  [[nodiscard]] ValuePtr promote(const Value& classical, const std::string& name,
+                                 std::size_t width_hint, SourceLocation loc);
+
+  /// Measure a quantum value into its classical counterpart
+  /// (qubit -> bool, quint -> int, qustring -> string).
+  [[nodiscard]] ValuePtr measure_to_classical(const Value& quantum);
+
+  /// Coerce `value` for binding to a `target`-typed variable called `name`.
+  /// Quantum -> quantum of the same kind aliases (no cloning); classical ->
+  /// quantum promotes; quantum -> classical measures; classical widenings
+  /// (int -> float, etc.) convert. Throws LangError on impossible casts.
+  [[nodiscard]] ValuePtr coerce(const ValuePtr& value, const QType& target,
+                                const std::string& name, SourceLocation loc);
+
+  /// Boolean of a condition expression: quantum operands are measured first
+  /// (the paper's rule for if/while).
+  [[nodiscard]] bool condition_bool(const Value& value, SourceLocation loc);
+
+  /// Quint width that promotion would choose for an integer value.
+  [[nodiscard]] static std::size_t width_for_int(std::int64_t value);
+
+private:
+  QuantumCircuitHandler& handler_;
+};
+
+}  // namespace qutes::lang

@@ -1,0 +1,107 @@
+// QuantumCircuitHandler — the runtime quantum engine behind the interpreter
+// (the paper's class of the same name).
+//
+// Responsibilities:
+//  * own the program's single QuantumCircuit log (one quantum register per
+//    declared variable, as in the paper) AND a live state vector, applied in
+//    lock-step — the live state is what gives mid-program measurement
+//    (quantum conditions, print) real semantics;
+//  * allocate registers as quantum variables are declared;
+//  * record+execute gates, measurements, resets, and inlined sub-circuits
+//    (the Grover machinery behind the `in` operator).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qutes/circuit/circuit.hpp"
+#include "qutes/common/rng.hpp"
+#include "qutes/lang/value.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace qutes::lang {
+
+class QuantumCircuitHandler {
+public:
+  explicit QuantumCircuitHandler(std::uint64_t seed = 0x5eed0f5eedULL);
+
+  /// Allocate `width` fresh |0> qubits as a named register (the name is
+  /// uniquified if reused — shadowing, loops). Returns the register slice.
+  QuantumRef allocate(const std::string& name, std::size_t width, TypeKind kind);
+
+  /// The instruction log (exportable to QASM, measurable for depth/size).
+  [[nodiscard]] const circ::QuantumCircuit& circuit() const noexcept {
+    return circuit_;
+  }
+  [[nodiscard]] const sim::StateVector& state() const;
+  [[nodiscard]] bool has_state() const noexcept { return state_.has_value(); }
+  [[nodiscard]] std::size_t num_qubits() const noexcept {
+    return circuit_.num_qubits();
+  }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  // ---- gate recording (logged + applied live) -------------------------------
+
+  /// Append a unitary instruction to the log and apply it to the live state.
+  void apply(circ::Instruction instruction);
+
+  // Convenience wrappers over apply() for the common single-qubit gates,
+  // broadcasting across a register slice.
+  void h(const QuantumRef& ref);
+  void x(const QuantumRef& ref);
+  void y(const QuantumRef& ref);
+  void z(const QuantumRef& ref);
+  void s(const QuantumRef& ref);
+  void t(const QuantumRef& ref);
+  void phase(double lambda, const QuantumRef& ref);
+  void cx(std::size_t control, std::size_t target);
+  void swap(std::size_t a, std::size_t b);
+  void barrier();
+
+  /// Encode the low `ref.width` bits of `value` with X gates (register must
+  /// be fresh |0>s).
+  void encode_bits(const QuantumRef& ref, std::uint64_t value);
+
+  /// CX fan-out copy of computational-basis content from src into a fresh
+  /// dst (entangles; this is reversible-arithmetic copying, not cloning).
+  void copy_basis(const QuantumRef& src, const QuantumRef& dst);
+
+  /// Measure the register: logs measure instructions into a fresh classical
+  /// register, collapses the live state, returns the packed outcome
+  /// (ref qubit i -> bit i).
+  std::uint64_t measure(const QuantumRef& ref);
+
+  /// Reset all qubits of the register to |0> (logged + applied).
+  void reset(const QuantumRef& ref);
+
+  /// Inline a self-contained sub-circuit: every register of `sub` is
+  /// reallocated here with `prefix`-qualified names, instructions are
+  /// remapped, logged, and executed live (including mid-circuit
+  /// measurements and c_if). Returns the sub-circuit's classical bits after
+  /// execution, packed little-endian in sub-circuit clbit order.
+  std::uint64_t compose_inline(const circ::QuantumCircuit& sub,
+                               const std::string& prefix);
+
+  /// Flat qubit indices of a register slice.
+  [[nodiscard]] static std::vector<std::size_t> qubits_of(const QuantumRef& ref);
+
+  /// Number of classical bits consumed so far (measurement history size).
+  [[nodiscard]] std::size_t num_clbits() const noexcept {
+    return circuit_.num_clbits();
+  }
+
+private:
+  std::string unique_name(const std::string& base, const char* fallback);
+
+  circ::QuantumCircuit circuit_;
+  std::optional<sim::StateVector> state_;
+  Rng rng_;
+  std::map<std::string, std::size_t> name_counters_;
+  std::vector<int> clbit_values_;  ///< live values of measured classical bits
+};
+
+}  // namespace qutes::lang

@@ -1,0 +1,56 @@
+// Compiler facade: the one-call public API for running Qutes programs.
+//
+//   auto result = qutes::lang::run_source("quint x = 5q; x += 3; print x;");
+//   result.output    -> "0\n" / "8\n" (measured)
+//   result.circuit   -> the full circuit the program compiled to
+//
+// Internals follow the paper's pipeline: lex -> parse -> pass 1
+// (SymbolCollector) -> pass 2 (Interpreter with live circuit+state).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "qutes/circuit/circuit.hpp"
+#include "qutes/lang/ast.hpp"
+#include "qutes/lang/diagnostics.hpp"
+#include "qutes/lang/symbol_table.hpp"
+
+namespace qutes::lang {
+
+struct RunOptions {
+  std::uint64_t seed = 0x5eed0f5eedULL;
+  std::ostream* echo = nullptr;   ///< mirror print output here (e.g. &std::cout)
+  std::ostream* trace = nullptr;  ///< statement-level debug trace destination
+  bool include_stdlib = true;     ///< load the Qutes standard library first
+};
+
+struct RunResult {
+  std::string output;             ///< everything `print` produced
+  circ::QuantumCircuit circuit;   ///< the compiled circuit log
+  std::size_t num_qubits = 0;
+  std::size_t circuit_depth = 0;
+  std::size_t gate_count = 0;
+};
+
+/// Parse only (lex + parse + pass 1); useful for front-end tests and for
+/// measuring compile time without execution. Throws LangError on malformed
+/// programs.
+struct CompileResult {
+  Program program;
+  Program stdlib_program;  ///< owns the standard library's AST (if loaded)
+  FunctionTable functions; ///< stdlib + user functions
+  DiagnosticEngine diagnostics;
+};
+[[nodiscard]] CompileResult compile_source(const std::string& source,
+                                           bool include_stdlib = true);
+
+/// Full pipeline: compile then interpret. Throws LangError on any language
+/// error (with source location).
+[[nodiscard]] RunResult run_source(const std::string& source, RunOptions options = {});
+
+/// Read a .qut file and run it.
+[[nodiscard]] RunResult run_file(const std::string& path, RunOptions options = {});
+
+}  // namespace qutes::lang

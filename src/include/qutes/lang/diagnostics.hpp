@@ -1,0 +1,46 @@
+// Diagnostic collection for the front end.
+//
+// Hard errors throw LangError immediately; the collector gathers
+// non-fatal findings (warnings from pass 1: shadowing, suspicious casts,
+// unused variables) so the CLI can print them without aborting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qutes/common/error.hpp"
+
+namespace qutes::lang {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Warning;
+  std::string message;
+  SourceLocation location;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class DiagnosticEngine {
+public:
+  void report(Severity severity, std::string message, SourceLocation location);
+  void warn(std::string message, SourceLocation location) {
+    report(Severity::Warning, std::move(message), location);
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool has_errors() const noexcept { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const noexcept { return error_count_; }
+
+  /// All diagnostics rendered one per line.
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace qutes::lang

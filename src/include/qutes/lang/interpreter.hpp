@@ -1,0 +1,127 @@
+// Pass 2 of the paper's two-pass compilation: the tree-walking interpreter.
+//
+// Classical operations execute natively; quantum operations are recorded
+// into the QuantumCircuitHandler and applied to its live state in lock-step,
+// so quantum values used in classical contexts (conditions, print,
+// comparisons) trigger real measurements with real collapse — the paper's
+// automatic-measurement rule.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "qutes/lang/ast.hpp"
+#include "qutes/lang/casting_handler.hpp"
+#include "qutes/lang/circuit_handler.hpp"
+#include "qutes/lang/diagnostics.hpp"
+#include "qutes/lang/symbol_table.hpp"
+
+namespace qutes::lang {
+
+struct InterpreterOptions {
+  std::uint64_t seed = 0x5eed0f5eedULL;
+  /// Mirror `print` output here as well as capturing it (nullptr = capture
+  /// only).
+  std::ostream* echo = nullptr;
+  /// Statement-level execution trace (the paper's "quantum specific
+  /// debugging tools" direction): one line per executed statement with the
+  /// source location and running circuit size, written to `trace`.
+  std::ostream* trace = nullptr;
+};
+
+class Interpreter final : public ExprVisitor, public StmtVisitor {
+public:
+  explicit Interpreter(InterpreterOptions options = {});
+
+  /// Run a program (pass 1 must already have filled `functions`).
+  void run(Program& program, FunctionTable& functions);
+
+  // ---- services used by builtins & the compiler facade ---------------------
+  [[nodiscard]] QuantumCircuitHandler& handler() noexcept { return handler_; }
+  [[nodiscard]] TypeCastingHandler& casting() noexcept { return casting_; }
+  [[nodiscard]] const std::string captured_output() const { return captured_.str(); }
+  void emit_output(const std::string& text);
+
+  /// Evaluate an expression to a value (used recursively and by builtins).
+  ValuePtr evaluate(Expr& expr);
+
+  /// Call a user function with already-evaluated arguments (by reference).
+  ValuePtr call_user_function(FuncDeclStmt& fn, std::vector<ValuePtr> args,
+                              SourceLocation loc);
+
+  /// Render a value for `print`: quantum operands are measured first.
+  [[nodiscard]] std::string render_for_print(const ValuePtr& value);
+
+  /// Grover position search (the `indexof` builtin): like the `in` operator
+  /// but returning the matched position (-1 on miss).
+  [[nodiscard]] ValuePtr index_of(const ValuePtr& pattern, const ValuePtr& text,
+                                  SourceLocation loc);
+
+  // ---- visitor interface ----------------------------------------------------
+  void visit(IntLitExpr&) override;
+  void visit(FloatLitExpr&) override;
+  void visit(BoolLitExpr&) override;
+  void visit(StringLitExpr&) override;
+  void visit(QuantumIntLitExpr&) override;
+  void visit(QuantumStringLitExpr&) override;
+  void visit(KetLitExpr&) override;
+  void visit(ArrayLitExpr&) override;
+  void visit(VarRefExpr&) override;
+  void visit(IndexExpr&) override;
+  void visit(CallExpr&) override;
+  void visit(UnaryExpr&) override;
+  void visit(BinaryExpr&) override;
+
+  void visit(VarDeclStmt&) override;
+  void visit(AssignStmt&) override;
+  void visit(ExprStmt&) override;
+  void visit(BlockStmt&) override;
+  void visit(IfStmt&) override;
+  void visit(WhileStmt&) override;
+  void visit(ForeachStmt&) override;
+  void visit(FuncDeclStmt&) override;
+  void visit(ReturnStmt&) override;
+  void visit(PrintStmt&) override;
+  void visit(BarrierStmt&) override;
+  void visit(GateStmt&) override;
+
+private:
+  struct ReturnSignal {
+    ValuePtr value;
+  };
+
+  void execute(Stmt& stmt);
+  ValuePtr evaluate_binary(BinaryOp op, const ValuePtr& lhs, const ValuePtr& rhs,
+                           SourceLocation loc);
+  ValuePtr quantum_add_sub(BinaryOp op, const ValuePtr& lhs, const ValuePtr& rhs,
+                           SourceLocation loc);
+  ValuePtr quantum_shift(BinaryOp op, const ValuePtr& lhs, const ValuePtr& rhs,
+                         SourceLocation loc, bool in_place);
+  ValuePtr substring_in(const ValuePtr& pattern, const ValuePtr& text,
+                        SourceLocation loc, bool want_index);
+  ValuePtr classical_binary(BinaryOp op, const ValuePtr& lhs, const ValuePtr& rhs,
+                            SourceLocation loc);
+  void compound_quantum_assign(Symbol& symbol, BinaryOp op, const ValuePtr& rhs,
+                               SourceLocation loc);
+  /// Resolve an lvalue expression to its storage slot.
+  ValuePtr& resolve_slot(Expr& lvalue);
+
+  ValuePtr classical_of(const ValuePtr& value);  ///< measure iff quantum
+
+  friend struct BuiltinAccess;
+
+  std::shared_ptr<Scope> scope_;
+  FunctionTable* functions_ = nullptr;
+  QuantumCircuitHandler handler_;
+  TypeCastingHandler casting_;
+  DiagnosticEngine diagnostics_;
+  std::ostringstream captured_;
+  std::ostream* echo_ = nullptr;
+  std::ostream* trace_ = nullptr;
+  ValuePtr result_;  ///< expression result channel for the visitor
+  std::size_t call_depth_ = 0;
+};
+
+}  // namespace qutes::lang

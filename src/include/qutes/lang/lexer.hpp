@@ -1,0 +1,46 @@
+// Hand-written lexer for Qutes source (replaces the paper's ANTLR-generated
+// front end).
+//
+// Notable lexemes beyond the usual C-family set:
+//   5q        quantum integer literal (basis state |5>)
+//   "0101"q   quantum string literal (a qustring initializer)
+//   |0> |1> |+> |->   single-qubit ket literals
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qutes/lang/token.hpp"
+
+namespace qutes::lang {
+
+class Lexer {
+public:
+  explicit Lexer(std::string source);
+
+  /// Tokenize the whole input; the final token is always Eof. Throws
+  /// LangError on an invalid character or malformed literal.
+  [[nodiscard]] std::vector<Token> tokenize();
+
+private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept;
+  char advance() noexcept;
+  [[nodiscard]] bool match(char expected) noexcept;
+  void skip_whitespace_and_comments();
+  [[nodiscard]] SourceLocation here() const noexcept;
+
+  Token lex_number();
+  Token lex_string();
+  Token lex_identifier_or_keyword();
+  Token lex_ket();
+
+  std::string source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+/// Convenience: lex a full source string.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace qutes::lang

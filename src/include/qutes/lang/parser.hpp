@@ -1,0 +1,65 @@
+// Recursive-descent parser for Qutes (grammar in DESIGN.md §3).
+#pragma once
+
+#include <vector>
+
+#include "qutes/lang/ast.hpp"
+#include "qutes/lang/token.hpp"
+
+namespace qutes::lang {
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> tokens);
+
+  /// Parse a whole program. Throws LangError at the first syntax error.
+  [[nodiscard]] Program parse_program();
+
+private:
+  // token stream helpers
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  [[nodiscard]] bool check(TokenType type) const;
+  bool match(TokenType type);
+  const Token& expect(TokenType type, const char* context);
+  const Token& advance();
+  [[noreturn]] void fail(const std::string& message) const;
+
+  // grammar productions
+  StmtPtr statement();
+  StmtPtr declaration_or_function();   // after a leading type token
+  StmtPtr var_declaration(QType type, Token name);
+  StmtPtr function_declaration(QType type, Token name);
+  StmtPtr if_statement();
+  StmtPtr while_statement();
+  StmtPtr foreach_statement();
+  StmtPtr return_statement();
+  StmtPtr print_statement();
+  StmtPtr gate_statement(GateKind kind);
+  std::unique_ptr<BlockStmt> block();
+  StmtPtr assignment_or_expr_statement();
+
+  [[nodiscard]] bool at_type_token() const;
+  QType parse_type();
+
+  // expression ladder
+  ExprPtr expression();
+  ExprPtr logic_or();
+  ExprPtr logic_and();
+  ExprPtr equality();
+  ExprPtr comparison();
+  ExprPtr containment();  // 'in'
+  ExprPtr shift();
+  ExprPtr term();
+  ExprPtr factor();
+  ExprPtr unary();
+  ExprPtr postfix();
+  ExprPtr primary();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: lex + parse.
+[[nodiscard]] Program parse(const std::string& source);
+
+}  // namespace qutes::lang

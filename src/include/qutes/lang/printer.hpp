@@ -1,0 +1,19 @@
+// AST pretty-printer: renders a parsed program back to canonical Qutes
+// source. Backs the `qutes fmt` CLI subcommand and doubles as a parser
+// round-trip oracle in the tests (parse . format . parse == parse).
+#pragma once
+
+#include <string>
+
+#include "qutes/lang/ast.hpp"
+
+namespace qutes::lang {
+
+/// Canonical source text of an expression (no trailing newline).
+[[nodiscard]] std::string format_expression(Expr& expr);
+
+/// Canonical source text of a whole program (2-space indents, one statement
+/// per line, normalized spacing).
+[[nodiscard]] std::string format_program(Program& program);
+
+}  // namespace qutes::lang

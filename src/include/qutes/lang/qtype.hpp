@@ -1,0 +1,56 @@
+// The Qutes type lattice: classical types (bool, int, float, string),
+// quantum types (qubit, quint, qustring), arrays of either, and void for
+// functions. Mirrors the paper's Section 4.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace qutes::lang {
+
+enum class TypeKind {
+  Void, Bool, Int, Float, String, Qubit, Quint, Qustring, Array,
+};
+
+struct QType {
+  TypeKind kind = TypeKind::Void;
+  TypeKind element = TypeKind::Void;  ///< element kind when kind == Array
+  std::size_t quint_width = 0;        ///< declared quint width; 0 = infer
+
+  [[nodiscard]] static QType scalar(TypeKind k) { return {k, TypeKind::Void, 0}; }
+  [[nodiscard]] static QType array_of(TypeKind elem) {
+    return {TypeKind::Array, elem, 0};
+  }
+  [[nodiscard]] static QType quint(std::size_t width) {
+    return {TypeKind::Quint, TypeKind::Void, width};
+  }
+
+  [[nodiscard]] bool is_array() const noexcept { return kind == TypeKind::Array; }
+  [[nodiscard]] bool is_quantum() const noexcept {
+    const TypeKind k = is_array() ? element : kind;
+    return k == TypeKind::Qubit || k == TypeKind::Quint || k == TypeKind::Qustring;
+  }
+  [[nodiscard]] bool is_classical_scalar() const noexcept {
+    return kind == TypeKind::Bool || kind == TypeKind::Int ||
+           kind == TypeKind::Float || kind == TypeKind::String;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const QType& a, const QType& b) noexcept {
+    return a.kind == b.kind && a.element == b.element;
+  }
+};
+
+/// The classical type a quantum type measures into (paper: automatic
+/// measurement on quantum->classical flow): qubit -> bool, quint -> int,
+/// qustring -> string. Classical kinds map to themselves.
+[[nodiscard]] TypeKind measured_kind(TypeKind quantum) noexcept;
+
+/// The quantum type a classical type promotes to (paper: type promotion):
+/// bool -> qubit, int -> quint, string -> qustring.
+[[nodiscard]] TypeKind promoted_kind(TypeKind classical) noexcept;
+
+[[nodiscard]] const char* type_kind_name(TypeKind kind) noexcept;
+
+}  // namespace qutes::lang

@@ -1,0 +1,23 @@
+// The Qutes standard library (paper §6: "developing a comprehensive
+// standard library containing essential quantum functions and algorithms").
+//
+// The library is written in Qutes itself — the functions below are parsed
+// by the same front end and their bodies run through the same interpreter
+// as user code, which both dogfoods the language and keeps the library
+// trivially extensible. compile_source() loads it ahead of the user
+// program unless RunOptions disables it; user programs may call any of
+// these but may not redefine them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qutes::lang {
+
+/// Full source text of the standard library.
+[[nodiscard]] const std::string& stdlib_source();
+
+/// Names defined by the standard library (for diagnostics/tools).
+[[nodiscard]] const std::vector<std::string>& stdlib_function_names();
+
+}  // namespace qutes::lang

@@ -1,0 +1,41 @@
+// Pass 1 of the paper's two-pass compilation: walk the AST instantiating
+// symbols — function declarations into the FunctionTable, plus structural
+// validation that doesn't need runtime values (duplicate parameters,
+// function declarations only at top level, return placement).
+#pragma once
+
+#include "qutes/lang/ast.hpp"
+#include "qutes/lang/diagnostics.hpp"
+#include "qutes/lang/symbol_table.hpp"
+
+namespace qutes::lang {
+
+class SymbolCollector final : public StmtVisitor {
+public:
+  SymbolCollector(FunctionTable& functions, DiagnosticEngine& diagnostics)
+      : functions_(functions), diagnostics_(diagnostics) {}
+
+  /// Run pass 1 over the program. Throws LangError on structural errors.
+  void collect(Program& program);
+
+  void visit(VarDeclStmt&) override;
+  void visit(AssignStmt&) override;
+  void visit(ExprStmt&) override;
+  void visit(BlockStmt&) override;
+  void visit(IfStmt&) override;
+  void visit(WhileStmt&) override;
+  void visit(ForeachStmt&) override;
+  void visit(FuncDeclStmt&) override;
+  void visit(ReturnStmt&) override;
+  void visit(PrintStmt&) override;
+  void visit(BarrierStmt&) override;
+  void visit(GateStmt&) override;
+
+private:
+  FunctionTable& functions_;
+  DiagnosticEngine& diagnostics_;
+  bool at_top_level_ = true;
+  bool inside_function_ = false;
+};
+
+}  // namespace qutes::lang

@@ -1,0 +1,63 @@
+// Symbols and lexical scopes.
+//
+// Mirrors the paper's Symbol class: each symbol carries a name, a type, and
+// its scope; pass 1 (SymbolCollector) instantiates them, pass 2 (the
+// interpreter) binds runtime values. Scopes form a parent chain; variables
+// bind shared_ptr<Value> so function parameters alias caller storage
+// (pass-by-reference semantics, paper §4).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qutes/common/error.hpp"
+#include "qutes/lang/ast.hpp"
+#include "qutes/lang/value.hpp"
+
+namespace qutes::lang {
+
+struct Symbol {
+  std::string name;
+  QType type;
+  SourceLocation declared_at;
+  ValuePtr value;  ///< bound during interpretation
+};
+
+class Scope {
+public:
+  explicit Scope(std::shared_ptr<Scope> parent = nullptr)
+      : parent_(std::move(parent)) {}
+
+  /// Declare in this scope; throws LangError on redeclaration here.
+  Symbol& declare(const std::string& name, QType type, SourceLocation loc);
+
+  /// Look up through the parent chain; nullptr if absent.
+  [[nodiscard]] Symbol* lookup(const std::string& name);
+
+  /// Look up in this scope only.
+  [[nodiscard]] Symbol* lookup_local(const std::string& name);
+
+  [[nodiscard]] const std::shared_ptr<Scope>& parent() const noexcept {
+    return parent_;
+  }
+
+private:
+  std::shared_ptr<Scope> parent_;
+  std::map<std::string, Symbol> symbols_;
+};
+
+/// Function registry built by pass 1. Functions are global (no overloading,
+/// like the paper's implementation).
+class FunctionTable {
+public:
+  void declare(FuncDeclStmt& decl);
+  [[nodiscard]] FuncDeclStmt* lookup(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return functions_.size(); }
+
+private:
+  std::map<std::string, FuncDeclStmt*> functions_;
+};
+
+}  // namespace qutes::lang

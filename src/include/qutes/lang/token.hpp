@@ -1,0 +1,50 @@
+// Token vocabulary of the Qutes language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qutes/common/error.hpp"
+
+namespace qutes::lang {
+
+enum class TokenType {
+  // literals
+  IntLit, FloatLit, StringLit, QuantumIntLit, QuantumStringLit,
+  KetZero, KetOne, KetPlus, KetMinus,
+  // identifiers & type keywords
+  Identifier,
+  KwBool, KwInt, KwFloat, KwString, KwQubit, KwQuint, KwQustring, KwVoid,
+  // value keywords
+  KwTrue, KwFalse,
+  // control keywords
+  KwIf, KwElse, KwWhile, KwForeach, KwIn, KwReturn, KwPrint, KwBarrier,
+  // gate-statement keywords (the paper's built-in quantum operations)
+  KwNot, KwPauliY, KwPauliZ, KwHadamard, KwPhase, KwSGate, KwTGate,
+  KwMeasure, KwReset,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon,
+  // operators
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  ShlAssign, ShrAssign,
+  Plus, Minus, Star, Slash, Percent,
+  Shl, Shr,
+  EqEq, NotEq, Lt, LtEq, Gt, GtEq,
+  AndAnd, OrOr, Bang, Tilde,
+  // end of input
+  Eof,
+};
+
+/// Human-readable token-type name for diagnostics.
+[[nodiscard]] const char* token_type_name(TokenType type) noexcept;
+
+struct Token {
+  TokenType type = TokenType::Eof;
+  std::string text;          ///< raw lexeme (identifier name, literal text)
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  SourceLocation location;
+};
+
+}  // namespace qutes::lang

@@ -1,0 +1,104 @@
+// Exact mixed-state simulation via the density matrix.
+//
+// Complements the trajectory (Monte-Carlo) noise path: where the
+// StateVector unravels channels stochastically, the DensityMatrix applies
+// them exactly — rho -> sum_k K_k rho K_k^dagger — so tests can verify the
+// trajectory average against the closed-form channel, and noise experiments
+// (E4) can report exact fidelities instead of sampled ones.
+//
+// Implementation note: rho over n qubits is stored flat as a 2n-qubit
+// "vector" rho_{ij} with row index i in the low n bits and column index j
+// in the high n bits. A unitary U on qubit q then acts as U on (virtual)
+// qubit q and conj(U) on virtual qubit q + n, which lets every kernel reuse
+// the strided single-qubit update shape.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qutes/common/rng.hpp"
+#include "qutes/sim/matrix.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace qutes::sim {
+
+class DensityMatrix {
+public:
+  /// |0...0><0...0| on `num_qubits` qubits (1..13; the matrix is 4^n entries).
+  explicit DensityMatrix(std::size_t num_qubits);
+
+  /// rho = |psi><psi|.
+  static DensityMatrix from_statevector(const StateVector& psi);
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::uint64_t dim() const noexcept { return dim_; }
+
+  /// Element <i| rho |j>.
+  [[nodiscard]] cplx element(std::uint64_t row, std::uint64_t column) const;
+
+  // ---- evolution -------------------------------------------------------------
+
+  /// rho -> U rho U^dagger for a single-qubit U on `target`.
+  void apply_1q(const Matrix2& u, std::size_t target);
+
+  /// Controlled/multi-controlled single-qubit unitary.
+  void apply_multi_controlled_1q(const Matrix2& u,
+                                 std::span<const std::size_t> controls,
+                                 std::size_t target);
+
+  /// SWAP two qubits.
+  void apply_swap(std::size_t a, std::size_t b);
+
+  /// Exact Kraus channel on one qubit: rho -> sum_k K_k rho K_k^dagger.
+  /// Completeness (sum K^dagger K = I) is checked to 1e-9.
+  void apply_channel(std::span<const Matrix2> kraus, std::size_t target);
+
+  // Convenience channels (exact counterparts of qutes::sim noise.hpp).
+  void apply_depolarizing(std::size_t target, double p);
+  void apply_bit_flip(std::size_t target, double p);
+  void apply_phase_flip(std::size_t target, double p);
+  void apply_amplitude_damping(std::size_t target, double gamma);
+  void apply_phase_damping(std::size_t target, double gamma);
+
+  // ---- measurement -------------------------------------------------------------
+
+  /// P(qubit = 1) = Tr(P1 rho).
+  [[nodiscard]] double probability_one(std::size_t qubit) const;
+
+  /// Diagonal of rho: the outcome distribution over basis states.
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// Projective measurement with collapse; returns 0/1.
+  int measure(std::size_t qubit, Rng& rng);
+
+  // ---- diagnostics ----------------------------------------------------------------
+
+  /// Tr(rho) — should stay 1.
+  [[nodiscard]] double trace() const;
+
+  /// Tr(rho^2) — 1 for pure states, 1/2^n for the maximally mixed state.
+  [[nodiscard]] double purity() const;
+
+  /// <psi| rho |psi> — fidelity against a pure reference state.
+  [[nodiscard]] double fidelity(const StateVector& psi) const;
+
+  /// True if rho is Hermitian within `tol` (sanity invariant).
+  [[nodiscard]] bool is_hermitian(double tol = 1e-9) const;
+
+private:
+  /// Apply u to the row index bit `q` (and nothing to columns).
+  void apply_to_rows(const Matrix2& u, std::size_t q,
+                     std::span<const std::size_t> controls);
+  /// Apply conj(u) to the column index bit `q`.
+  void apply_to_columns(const Matrix2& u, std::size_t q,
+                        std::span<const std::size_t> controls);
+
+  std::size_t num_qubits_;
+  std::uint64_t dim_;
+  std::vector<cplx> rho_;  // rho_[row + dim_ * column]
+};
+
+}  // namespace qutes::sim

@@ -1,0 +1,86 @@
+// Small dense complex matrices and the standard gate set.
+//
+// The simulator applies 2x2 (single-qubit) and 4x4 (two-qubit) unitaries;
+// anything larger is expressed through controls on these primitives. The
+// matrices live in std::array so gate application stays allocation-free.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+
+namespace qutes::sim {
+
+using cplx = std::complex<double>;
+
+/// Row-major 2x2 complex matrix: { m00, m01, m10, m11 }.
+struct Matrix2 {
+  std::array<cplx, 4> m{};
+
+  [[nodiscard]] cplx operator()(std::size_t r, std::size_t c) const noexcept {
+    return m[r * 2 + c];
+  }
+
+  /// Hermitian adjoint (conjugate transpose).
+  [[nodiscard]] Matrix2 adjoint() const noexcept;
+
+  /// Matrix product this * rhs.
+  [[nodiscard]] Matrix2 operator*(const Matrix2& rhs) const noexcept;
+
+  /// Max-norm distance to another matrix.
+  [[nodiscard]] double distance(const Matrix2& rhs) const noexcept;
+
+  /// True if U * U^dagger == I within tolerance.
+  [[nodiscard]] bool is_unitary(double tol = 1e-12) const noexcept;
+};
+
+/// Row-major 4x4 complex matrix, basis order |q1 q0> = |00>,|01>,|10>,|11>
+/// with q0 the low (first/target) qubit of the pair.
+struct Matrix4 {
+  std::array<cplx, 16> m{};
+
+  [[nodiscard]] cplx operator()(std::size_t r, std::size_t c) const noexcept {
+    return m[r * 4 + c];
+  }
+
+  [[nodiscard]] Matrix4 adjoint() const noexcept;
+  [[nodiscard]] Matrix4 operator*(const Matrix4& rhs) const noexcept;
+  [[nodiscard]] bool is_unitary(double tol = 1e-12) const noexcept;
+};
+
+/// Tensor product (kron) b (x) a: `a` acts on the low qubit, `b` on the high
+/// qubit, matching the little-endian basis order of Matrix4.
+[[nodiscard]] Matrix4 kron(const Matrix2& b, const Matrix2& a) noexcept;
+
+// ---- standard gates -------------------------------------------------------
+// Free functions (not globals) so there is no static-initialization order to
+// worry about; all are constexpr-friendly in spirit but std::complex
+// arithmetic is not constexpr until C++23, so they are plain inline.
+
+namespace gates {
+
+[[nodiscard]] Matrix2 I() noexcept;
+[[nodiscard]] Matrix2 X() noexcept;
+[[nodiscard]] Matrix2 Y() noexcept;
+[[nodiscard]] Matrix2 Z() noexcept;
+[[nodiscard]] Matrix2 H() noexcept;
+[[nodiscard]] Matrix2 S() noexcept;
+[[nodiscard]] Matrix2 Sdg() noexcept;
+[[nodiscard]] Matrix2 T() noexcept;
+[[nodiscard]] Matrix2 Tdg() noexcept;
+[[nodiscard]] Matrix2 SX() noexcept;
+
+/// Rotation about X by theta: exp(-i theta X / 2).
+[[nodiscard]] Matrix2 RX(double theta) noexcept;
+/// Rotation about Y by theta: exp(-i theta Y / 2).
+[[nodiscard]] Matrix2 RY(double theta) noexcept;
+/// Rotation about Z by theta: exp(-i theta Z / 2).
+[[nodiscard]] Matrix2 RZ(double theta) noexcept;
+/// Phase gate diag(1, e^{i lambda}).
+[[nodiscard]] Matrix2 P(double lambda) noexcept;
+/// Generic Euler-angle unitary U(theta, phi, lambda) (OpenQASM u3).
+[[nodiscard]] Matrix2 U(double theta, double phi, double lambda) noexcept;
+
+}  // namespace gates
+
+}  // namespace qutes::sim

@@ -1,0 +1,53 @@
+// Stochastic (Monte-Carlo trajectory) noise channels for the state-vector
+// simulator.
+//
+// A dense state-vector cannot represent mixed states, so channels are
+// unravelled per-trajectory: each application samples one Kraus branch and
+// applies it as a (renormalized) unitary/projection. Averaged over shots
+// this reproduces the channel exactly — the standard "quantum trajectory"
+// technique used by Aer's statevector noise path.
+#pragma once
+
+#include <cstddef>
+
+#include "qutes/common/rng.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace qutes::sim {
+
+/// Per-gate noise parameters. Probabilities must each lie in [0, 1].
+struct NoiseModel {
+  /// Symmetric depolarizing probability applied after every 1-qubit gate.
+  double depolarizing_1q = 0.0;
+  /// Depolarizing probability applied to both qubits after a 2-qubit gate.
+  double depolarizing_2q = 0.0;
+  /// Probability a measurement result is reported flipped.
+  double readout_error = 0.0;
+  /// Amplitude damping (T1 relaxation) probability per gate.
+  double amplitude_damping = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return depolarizing_1q > 0.0 || depolarizing_2q > 0.0 || readout_error > 0.0 ||
+           amplitude_damping > 0.0;
+  }
+};
+
+/// Apply one depolarizing event to `qubit` with probability `p`: with p/3
+/// each, an X, Y, or Z error.
+void apply_depolarizing(StateVector& sv, std::size_t qubit, double p, Rng& rng);
+
+/// Apply a bit-flip channel: X with probability `p`.
+void apply_bit_flip(StateVector& sv, std::size_t qubit, double p, Rng& rng);
+
+/// Apply a phase-flip channel: Z with probability `p`.
+void apply_phase_flip(StateVector& sv, std::size_t qubit, double p, Rng& rng);
+
+/// Amplitude-damping trajectory with damping parameter `gamma`: the qubit
+/// decays toward |0> (Kraus branch chosen by the qubit's excited
+/// population).
+void apply_amplitude_damping(StateVector& sv, std::size_t qubit, double gamma, Rng& rng);
+
+/// Flip a classical measurement outcome with probability `p`.
+[[nodiscard]] int apply_readout_error(int outcome, double p, Rng& rng);
+
+}  // namespace qutes::sim

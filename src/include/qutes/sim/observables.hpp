@@ -1,0 +1,20 @@
+// Pauli-string observables: <psi| P |psi> for P a tensor product of
+// I/X/Y/Z. The standard measurement post-processing used throughout
+// variational and verification workflows; here it backs the noise studies
+// and gives tests a richer oracle than single-qubit <Z>.
+#pragma once
+
+#include <string>
+
+#include "qutes/sim/statevector.hpp"
+
+namespace qutes::sim {
+
+/// Expectation of the Pauli string over the state. `pauli` is MSB-first
+/// (its first character acts on qubit n-1, matching bitstring rendering)
+/// and must have exactly num_qubits() characters from {I, X, Y, Z}.
+/// The input state is not modified.
+[[nodiscard]] double expectation_pauli(const StateVector& state,
+                                       const std::string& pauli);
+
+}  // namespace qutes::sim

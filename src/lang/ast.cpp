@@ -1,0 +1,51 @@
+#include "qutes/lang/ast.hpp"
+
+namespace qutes::lang {
+
+const char* unary_op_name(UnaryOp op) noexcept {
+  switch (op) {
+    case UnaryOp::Neg: return "-";
+    case UnaryOp::Not: return "!";
+    case UnaryOp::BitNot: return "~";
+  }
+  return "?";
+}
+
+const char* binary_op_name(BinaryOp op) noexcept {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Mod: return "%";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::And: return "&&";
+    case BinaryOp::Or: return "||";
+    case BinaryOp::In: return "in";
+  }
+  return "?";
+}
+
+const char* gate_kind_name(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::Not: return "not";
+    case GateKind::PauliY: return "pauliy";
+    case GateKind::PauliZ: return "pauliz";
+    case GateKind::Hadamard: return "hadamard";
+    case GateKind::Phase: return "phase";
+    case GateKind::SGate: return "sgate";
+    case GateKind::TGate: return "tgate";
+    case GateKind::MeasureStmt: return "measure";
+    case GateKind::ResetStmt: return "reset";
+  }
+  return "?";
+}
+
+}  // namespace qutes::lang

@@ -1,0 +1,180 @@
+#include "qutes/lang/casting_handler.hpp"
+
+#include "qutes/common/bitops.hpp"
+
+namespace qutes::lang {
+
+std::size_t TypeCastingHandler::width_for_int(std::int64_t value) {
+  if (value < 0) {
+    throw LangError("negative values cannot be encoded into a quint", {});
+  }
+  return bits_for(static_cast<std::uint64_t>(value));
+}
+
+ValuePtr TypeCastingHandler::promote(const Value& classical, const std::string& name,
+                                     std::size_t width_hint, SourceLocation loc) {
+  switch (classical.kind()) {
+    case TypeKind::Bool: {
+      const QuantumRef ref = handler_.allocate(name, 1, TypeKind::Qubit);
+      if (classical.as_bool()) handler_.encode_bits(ref, 1);
+      return Value::make_quantum(ref);
+    }
+    case TypeKind::Int: {
+      const std::int64_t v = classical.as_int();
+      if (v < 0) throw LangError("cannot promote a negative int to quint", loc);
+      const std::size_t width =
+          width_hint > 0 ? width_hint : width_for_int(v);
+      if (static_cast<std::uint64_t>(v) >= dim_of(width) && width < 64) {
+        throw LangError("value " + std::to_string(v) + " does not fit quint<" +
+                            std::to_string(width) + ">",
+                        loc);
+      }
+      const QuantumRef ref = handler_.allocate(name, width, TypeKind::Quint);
+      handler_.encode_bits(ref, static_cast<std::uint64_t>(v));
+      return Value::make_quantum(ref);
+    }
+    case TypeKind::String: {
+      const std::string& bits = classical.as_string();
+      if (bits.empty()) throw LangError("cannot promote an empty string", loc);
+      for (char c : bits) {
+        if (c != '0' && c != '1') {
+          throw LangError("only bitstrings promote to qustring", loc);
+        }
+      }
+      const QuantumRef ref = handler_.allocate(name, bits.size(), TypeKind::Qustring);
+      std::uint64_t value = 0;
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] == '1') value = set_bit(value, i);
+      }
+      handler_.encode_bits(ref, value);
+      return Value::make_quantum(ref);
+    }
+    default:
+      throw LangError(std::string("cannot promote ") + classical.type().to_string() +
+                          " to a quantum type",
+                      loc);
+  }
+}
+
+ValuePtr TypeCastingHandler::measure_to_classical(const Value& quantum) {
+  const QuantumRef& ref = quantum.as_quantum();
+  const std::uint64_t outcome = handler_.measure(ref);
+  switch (ref.kind) {
+    case TypeKind::Qubit:
+      return Value::make_bool(outcome != 0);
+    case TypeKind::Quint:
+      return Value::make_int(static_cast<std::int64_t>(outcome));
+    case TypeKind::Qustring: {
+      std::string bits(ref.width, '0');
+      for (std::size_t i = 0; i < ref.width; ++i) {
+        if (test_bit(outcome, i)) bits[i] = '1';
+      }
+      return Value::make_string(std::move(bits));
+    }
+    default:
+      throw LangError("internal: measuring a non-quantum reference", {});
+  }
+}
+
+ValuePtr TypeCastingHandler::coerce(const ValuePtr& value, const QType& target,
+                                    const std::string& name, SourceLocation loc) {
+  const QType& source = value->type();
+  if (target.kind == TypeKind::Void) {
+    throw LangError("cannot bind a value to void", loc);
+  }
+
+  // Arrays: element kinds must agree exactly (element coercion happens when
+  // the literal is evaluated against the declared type by the interpreter).
+  if (target.is_array()) {
+    if (!value->is_array()) {
+      throw LangError("expected an array initializer for '" + name + "'", loc);
+    }
+    return value;
+  }
+  if (value->is_array()) {
+    throw LangError("cannot assign an array to scalar '" + name + "'", loc);
+  }
+
+  // Quantum target.
+  if (target.is_quantum()) {
+    if (value->is_quantum()) {
+      const QuantumRef& ref = value->as_quantum();
+      // qubit -> quint widening is allowed (a 1-qubit register is a quint).
+      const bool same = ref.kind == target.kind ||
+                        (ref.kind == TypeKind::Qubit && target.kind == TypeKind::Quint);
+      if (!same) {
+        throw LangError("cannot bind " + source.to_string() + " to " +
+                            target.to_string() + " '" + name + "'",
+                        loc);
+      }
+      return value;  // alias — no cloning
+    }
+    // classical -> quantum: promotion (paper's TypeCastingHandler path).
+    Value widened = *value;
+    if (target.kind == TypeKind::Qubit && value->kind() == TypeKind::Int) {
+      const std::int64_t v = value->as_int();
+      if (v != 0 && v != 1) {
+        throw LangError("only 0/1 promote to a qubit", loc);
+      }
+      widened = Value(QType::scalar(TypeKind::Bool), v != 0);
+    }
+    if (target.kind == TypeKind::Quint && value->kind() == TypeKind::Bool) {
+      widened = Value(QType::scalar(TypeKind::Int),
+                      static_cast<std::int64_t>(value->as_bool() ? 1 : 0));
+    }
+    const TypeKind want = promoted_kind(widened.kind());
+    if (want != target.kind) {
+      throw LangError("cannot promote " + source.to_string() + " to " +
+                          target.to_string(),
+                      loc);
+    }
+    return promote(widened, name, target.quint_width, loc);
+  }
+
+  // Classical target from quantum source: automatic measurement.
+  ValuePtr classical = value;
+  if (value->is_quantum()) classical = measure_to_classical(*value);
+
+  // Classical conversions.
+  if (classical->kind() == target.kind) return classical;
+  switch (target.kind) {
+    case TypeKind::Float:
+      if (classical->kind() == TypeKind::Int) {
+        return Value::make_float(classical->as_float());
+      }
+      break;
+    case TypeKind::Int:
+      if (classical->kind() == TypeKind::Bool) {
+        return Value::make_int(classical->as_bool() ? 1 : 0);
+      }
+      break;
+    case TypeKind::Bool:
+      if (classical->kind() == TypeKind::Int) {
+        return Value::make_bool(classical->as_int() != 0);
+      }
+      break;
+    default:
+      break;
+  }
+  throw LangError("cannot convert " + classical->type().to_string() + " to " +
+                      target.to_string() + " for '" + name + "'",
+                  loc);
+}
+
+bool TypeCastingHandler::condition_bool(const Value& value, SourceLocation loc) {
+  if (value.is_quantum()) {
+    const ValuePtr measured = measure_to_classical(value);
+    return condition_bool(*measured, loc);
+  }
+  switch (value.kind()) {
+    case TypeKind::Bool: return value.as_bool();
+    case TypeKind::Int: return value.as_int() != 0;
+    case TypeKind::Float: return value.as_float() != 0.0;
+    case TypeKind::String: return !value.as_string().empty();
+    default:
+      throw LangError("cannot use " + value.type().to_string() + " as a condition",
+                      loc);
+  }
+}
+
+}  // namespace qutes::lang

@@ -1,0 +1,53 @@
+#include "qutes/lang/compiler.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "qutes/lang/interpreter.hpp"
+#include "qutes/lang/lexer.hpp"
+#include "qutes/lang/parser.hpp"
+#include "qutes/lang/stdlib.hpp"
+#include "qutes/lang/symbol_collector.hpp"
+
+namespace qutes::lang {
+
+CompileResult compile_source(const std::string& source, bool include_stdlib) {
+  CompileResult result;
+  if (include_stdlib) {
+    // The stdlib is pure function declarations: collecting it registers its
+    // functions; there are no top-level effects to execute.
+    result.stdlib_program = parse(stdlib_source());
+    SymbolCollector stdlib_collector(result.functions, result.diagnostics);
+    stdlib_collector.collect(result.stdlib_program);
+  }
+  result.program = parse(source);
+  SymbolCollector collector(result.functions, result.diagnostics);
+  collector.collect(result.program);
+  return result;
+}
+
+RunResult run_source(const std::string& source, RunOptions options) {
+  CompileResult compiled = compile_source(source, options.include_stdlib);
+
+  Interpreter interpreter(
+      {.seed = options.seed, .echo = options.echo, .trace = options.trace});
+  interpreter.run(compiled.program, compiled.functions);
+
+  RunResult result;
+  result.output = interpreter.captured_output();
+  result.circuit = interpreter.handler().circuit();
+  result.num_qubits = result.circuit.num_qubits();
+  result.circuit_depth = result.circuit.depth();
+  result.gate_count = result.circuit.gate_count();
+  return result;
+}
+
+RunResult run_file(const std::string& path, RunOptions options) {
+  std::ifstream file(path);
+  if (!file) throw Error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return run_source(buffer.str(), options);
+}
+
+}  // namespace qutes::lang

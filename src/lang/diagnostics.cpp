@@ -1,0 +1,28 @@
+#include "qutes/lang/diagnostics.hpp"
+
+#include <sstream>
+
+namespace qutes::lang {
+
+std::string Diagnostic::to_string() const {
+  const char* tag = severity == Severity::Error ? "error"
+                    : severity == Severity::Warning ? "warning"
+                                                    : "note";
+  std::ostringstream out;
+  out << location.to_string() << ": " << tag << ": " << message;
+  return out.str();
+}
+
+void DiagnosticEngine::report(Severity severity, std::string message,
+                              SourceLocation location) {
+  if (severity == Severity::Error) ++error_count_;
+  diagnostics_.push_back(Diagnostic{severity, std::move(message), location});
+}
+
+std::string DiagnosticEngine::to_string() const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics_) out << d.to_string() << "\n";
+  return out.str();
+}
+
+}  // namespace qutes::lang

@@ -1,0 +1,341 @@
+#include "qutes/lang/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace qutes::lang {
+
+const char* token_type_name(TokenType type) noexcept {
+  switch (type) {
+    case TokenType::IntLit: return "integer literal";
+    case TokenType::FloatLit: return "float literal";
+    case TokenType::StringLit: return "string literal";
+    case TokenType::QuantumIntLit: return "quantum integer literal";
+    case TokenType::QuantumStringLit: return "quantum string literal";
+    case TokenType::KetZero: return "|0>";
+    case TokenType::KetOne: return "|1>";
+    case TokenType::KetPlus: return "|+>";
+    case TokenType::KetMinus: return "|->";
+    case TokenType::Identifier: return "identifier";
+    case TokenType::KwBool: return "'bool'";
+    case TokenType::KwInt: return "'int'";
+    case TokenType::KwFloat: return "'float'";
+    case TokenType::KwString: return "'string'";
+    case TokenType::KwQubit: return "'qubit'";
+    case TokenType::KwQuint: return "'quint'";
+    case TokenType::KwQustring: return "'qustring'";
+    case TokenType::KwVoid: return "'void'";
+    case TokenType::KwTrue: return "'true'";
+    case TokenType::KwFalse: return "'false'";
+    case TokenType::KwIf: return "'if'";
+    case TokenType::KwElse: return "'else'";
+    case TokenType::KwWhile: return "'while'";
+    case TokenType::KwForeach: return "'foreach'";
+    case TokenType::KwIn: return "'in'";
+    case TokenType::KwReturn: return "'return'";
+    case TokenType::KwPrint: return "'print'";
+    case TokenType::KwBarrier: return "'barrier'";
+    case TokenType::KwNot: return "'not'";
+    case TokenType::KwPauliY: return "'pauliy'";
+    case TokenType::KwPauliZ: return "'pauliz'";
+    case TokenType::KwHadamard: return "'hadamard'";
+    case TokenType::KwPhase: return "'phase'";
+    case TokenType::KwSGate: return "'sgate'";
+    case TokenType::KwTGate: return "'tgate'";
+    case TokenType::KwMeasure: return "'measure'";
+    case TokenType::KwReset: return "'reset'";
+    case TokenType::LParen: return "'('";
+    case TokenType::RParen: return "')'";
+    case TokenType::LBrace: return "'{'";
+    case TokenType::RBrace: return "'}'";
+    case TokenType::LBracket: return "'['";
+    case TokenType::RBracket: return "']'";
+    case TokenType::Comma: return "','";
+    case TokenType::Semicolon: return "';'";
+    case TokenType::Assign: return "'='";
+    case TokenType::PlusAssign: return "'+='";
+    case TokenType::MinusAssign: return "'-='";
+    case TokenType::StarAssign: return "'*='";
+    case TokenType::SlashAssign: return "'/='";
+    case TokenType::PercentAssign: return "'%='";
+    case TokenType::ShlAssign: return "'<<='";
+    case TokenType::ShrAssign: return "'>>='";
+    case TokenType::Plus: return "'+'";
+    case TokenType::Minus: return "'-'";
+    case TokenType::Star: return "'*'";
+    case TokenType::Slash: return "'/'";
+    case TokenType::Percent: return "'%'";
+    case TokenType::Shl: return "'<<'";
+    case TokenType::Shr: return "'>>'";
+    case TokenType::EqEq: return "'=='";
+    case TokenType::NotEq: return "'!='";
+    case TokenType::Lt: return "'<'";
+    case TokenType::LtEq: return "'<='";
+    case TokenType::Gt: return "'>'";
+    case TokenType::GtEq: return "'>='";
+    case TokenType::AndAnd: return "'&&'";
+    case TokenType::OrOr: return "'||'";
+    case TokenType::Bang: return "'!'";
+    case TokenType::Tilde: return "'~'";
+    case TokenType::Eof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenType>& keywords() {
+  static const std::map<std::string, TokenType> table = {
+      {"bool", TokenType::KwBool},         {"int", TokenType::KwInt},
+      {"float", TokenType::KwFloat},       {"string", TokenType::KwString},
+      {"qubit", TokenType::KwQubit},       {"quint", TokenType::KwQuint},
+      {"qustring", TokenType::KwQustring}, {"void", TokenType::KwVoid},
+      {"true", TokenType::KwTrue},         {"false", TokenType::KwFalse},
+      {"if", TokenType::KwIf},             {"else", TokenType::KwElse},
+      {"while", TokenType::KwWhile},       {"foreach", TokenType::KwForeach},
+      {"in", TokenType::KwIn},             {"return", TokenType::KwReturn},
+      {"print", TokenType::KwPrint},       {"barrier", TokenType::KwBarrier},
+      {"not", TokenType::KwNot},           {"pauliy", TokenType::KwPauliY},
+      {"pauliz", TokenType::KwPauliZ},     {"hadamard", TokenType::KwHadamard},
+      {"phase", TokenType::KwPhase},       {"sgate", TokenType::KwSGate},
+      {"tgate", TokenType::KwTGate},       {"measure", TokenType::KwMeasure},
+      {"reset", TokenType::KwReset},
+  };
+  return table;
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string source) : source_(std::move(source)) {}
+
+char Lexer::peek(std::size_t ahead) const noexcept {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() noexcept {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) noexcept {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+SourceLocation Lexer::here() const noexcept { return {line_, column_}; }
+
+void Lexer::skip_whitespace_and_comments() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLocation start = here();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') throw LangError("unterminated block comment", start);
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lex_number() {
+  const SourceLocation loc = here();
+  std::string text;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  bool is_float = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  }
+  Token token;
+  token.location = loc;
+  token.text = text;
+  if (is_float) {
+    token.type = TokenType::FloatLit;
+    token.float_value = std::stod(text);
+  } else if (peek() == 'q' &&
+             !std::isalnum(static_cast<unsigned char>(peek(1))) && peek(1) != '_') {
+    advance();  // consume the q suffix
+    token.type = TokenType::QuantumIntLit;
+    token.int_value = std::stoll(text);
+  } else {
+    token.type = TokenType::IntLit;
+    token.int_value = std::stoll(text);
+  }
+  return token;
+}
+
+Token Lexer::lex_string() {
+  const SourceLocation loc = here();
+  advance();  // opening quote
+  std::string text;
+  for (;;) {
+    const char c = peek();
+    if (c == '\0' || c == '\n') throw LangError("unterminated string literal", loc);
+    if (c == '"') break;
+    if (c == '\\') {
+      advance();
+      const char esc = advance();
+      switch (esc) {
+        case 'n': text += '\n'; break;
+        case 't': text += '\t'; break;
+        case '"': text += '"'; break;
+        case '\\': text += '\\'; break;
+        default:
+          throw LangError(std::string("unknown escape '\\") + esc + "'", loc);
+      }
+      continue;
+    }
+    text += advance();
+  }
+  advance();  // closing quote
+  Token token;
+  token.location = loc;
+  token.text = text;
+  if (peek() == 'q' &&
+      !std::isalnum(static_cast<unsigned char>(peek(1))) && peek(1) != '_') {
+    advance();
+    for (char c : text) {
+      if (c != '0' && c != '1') {
+        throw LangError("quantum string literals must be bitstrings", loc);
+      }
+    }
+    token.type = TokenType::QuantumStringLit;
+  } else {
+    token.type = TokenType::StringLit;
+  }
+  return token;
+}
+
+Token Lexer::lex_identifier_or_keyword() {
+  const SourceLocation loc = here();
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    text += advance();
+  }
+  Token token;
+  token.location = loc;
+  token.text = text;
+  const auto it = keywords().find(text);
+  token.type = it != keywords().end() ? it->second : TokenType::Identifier;
+  return token;
+}
+
+Token Lexer::lex_ket() {
+  const SourceLocation loc = here();
+  advance();  // '|'
+  const char inner = advance();
+  if (!match('>')) throw LangError("malformed ket literal", loc);
+  Token token;
+  token.location = loc;
+  token.text = std::string("|") + inner + ">";
+  switch (inner) {
+    case '0': token.type = TokenType::KetZero; break;
+    case '1': token.type = TokenType::KetOne; break;
+    case '+': token.type = TokenType::KetPlus; break;
+    case '-': token.type = TokenType::KetMinus; break;
+    default: throw LangError("malformed ket literal", loc);
+  }
+  return token;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    skip_whitespace_and_comments();
+    const SourceLocation loc = here();
+    const char c = peek();
+    if (c == '\0') {
+      tokens.push_back(Token{TokenType::Eof, "", 0, 0.0, loc});
+      return tokens;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tokens.push_back(lex_number());
+      continue;
+    }
+    if (c == '"') {
+      tokens.push_back(lex_string());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tokens.push_back(lex_identifier_or_keyword());
+      continue;
+    }
+    // Ket literal: '|' followed by one of 0/1/+/- and '>'.
+    if (c == '|' && (peek(1) == '0' || peek(1) == '1' || peek(1) == '+' ||
+                     peek(1) == '-') && peek(2) == '>') {
+      tokens.push_back(lex_ket());
+      continue;
+    }
+
+    advance();
+    const auto simple = [&](TokenType type) {
+      tokens.push_back(Token{type, std::string(1, c), 0, 0.0, loc});
+    };
+    switch (c) {
+      case '(': simple(TokenType::LParen); break;
+      case ')': simple(TokenType::RParen); break;
+      case '{': simple(TokenType::LBrace); break;
+      case '}': simple(TokenType::RBrace); break;
+      case '[': simple(TokenType::LBracket); break;
+      case ']': simple(TokenType::RBracket); break;
+      case ',': simple(TokenType::Comma); break;
+      case ';': simple(TokenType::Semicolon); break;
+      case '~': simple(TokenType::Tilde); break;
+      case '+': simple(match('=') ? TokenType::PlusAssign : TokenType::Plus); break;
+      case '-': simple(match('=') ? TokenType::MinusAssign : TokenType::Minus); break;
+      case '*': simple(match('=') ? TokenType::StarAssign : TokenType::Star); break;
+      case '/': simple(match('=') ? TokenType::SlashAssign : TokenType::Slash); break;
+      case '%': simple(match('=') ? TokenType::PercentAssign : TokenType::Percent); break;
+      case '=': simple(match('=') ? TokenType::EqEq : TokenType::Assign); break;
+      case '!': simple(match('=') ? TokenType::NotEq : TokenType::Bang); break;
+      case '<':
+        if (match('<')) {
+          simple(match('=') ? TokenType::ShlAssign : TokenType::Shl);
+        } else {
+          simple(match('=') ? TokenType::LtEq : TokenType::Lt);
+        }
+        break;
+      case '>':
+        if (match('>')) {
+          simple(match('=') ? TokenType::ShrAssign : TokenType::Shr);
+        } else {
+          simple(match('=') ? TokenType::GtEq : TokenType::Gt);
+        }
+        break;
+      case '&':
+        if (match('&')) simple(TokenType::AndAnd);
+        else throw LangError("single '&' is not an operator", loc);
+        break;
+      case '|':
+        if (match('|')) simple(TokenType::OrOr);
+        else throw LangError("single '|' is not an operator (kets are |0>,|1>,|+>,|->)", loc);
+        break;
+      default:
+        throw LangError(std::string("unexpected character '") + c + "'", loc);
+    }
+  }
+}
+
+std::vector<Token> tokenize(const std::string& source) {
+  return Lexer(source).tokenize();
+}
+
+}  // namespace qutes::lang

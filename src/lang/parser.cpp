@@ -1,0 +1,546 @@
+#include "qutes/lang/parser.hpp"
+
+#include "qutes/lang/lexer.hpp"
+
+namespace qutes::lang {
+
+namespace {
+
+template <typename NodeT>
+std::unique_ptr<NodeT> make_node(SourceLocation loc) {
+  auto node = std::make_unique<NodeT>();
+  node->location = loc;
+  return node;
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[i];
+}
+
+bool Parser::check(TokenType type) const { return peek().type == type; }
+
+bool Parser::match(TokenType type) {
+  if (!check(type)) return false;
+  ++pos_;
+  return true;
+}
+
+const Token& Parser::advance() {
+  const Token& token = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+const Token& Parser::expect(TokenType type, const char* context) {
+  if (!check(type)) {
+    fail(std::string("expected ") + token_type_name(type) + " " + context + ", found " +
+         token_type_name(peek().type));
+  }
+  return advance();
+}
+
+void Parser::fail(const std::string& message) const {
+  throw LangError(message, peek().location);
+}
+
+bool Parser::at_type_token() const {
+  switch (peek().type) {
+    case TokenType::KwBool: case TokenType::KwInt: case TokenType::KwFloat:
+    case TokenType::KwString: case TokenType::KwQubit: case TokenType::KwQuint:
+    case TokenType::KwQustring: case TokenType::KwVoid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+QType Parser::parse_type() {
+  TypeKind kind;
+  switch (advance().type) {
+    case TokenType::KwBool: kind = TypeKind::Bool; break;
+    case TokenType::KwInt: kind = TypeKind::Int; break;
+    case TokenType::KwFloat: kind = TypeKind::Float; break;
+    case TokenType::KwString: kind = TypeKind::String; break;
+    case TokenType::KwQubit: kind = TypeKind::Qubit; break;
+    case TokenType::KwQuint: kind = TypeKind::Quint; break;
+    case TokenType::KwQustring: kind = TypeKind::Qustring; break;
+    case TokenType::KwVoid: kind = TypeKind::Void; break;
+    default: fail("expected a type name");
+  }
+  QType type = QType::scalar(kind);
+  // quint<N>: explicit register width.
+  if (kind == TypeKind::Quint && check(TokenType::Lt) &&
+      peek(1).type == TokenType::IntLit && peek(2).type == TokenType::Gt) {
+    advance();
+    const Token& width = advance();
+    advance();
+    if (width.int_value <= 0 || width.int_value > 24) {
+      throw LangError("quint width must be in [1, 24]", width.location);
+    }
+    type.quint_width = static_cast<std::size_t>(width.int_value);
+  }
+  // T[]: array of T.
+  if (check(TokenType::LBracket) && peek(1).type == TokenType::RBracket) {
+    advance();
+    advance();
+    type = QType::array_of(kind);
+  }
+  return type;
+}
+
+Program Parser::parse_program() {
+  Program program;
+  while (!check(TokenType::Eof)) {
+    program.statements.push_back(statement());
+  }
+  return program;
+}
+
+StmtPtr Parser::statement() {
+  const SourceLocation loc = peek().location;
+  switch (peek().type) {
+    case TokenType::KwIf: return if_statement();
+    case TokenType::KwWhile: return while_statement();
+    case TokenType::KwForeach: return foreach_statement();
+    case TokenType::KwReturn: return return_statement();
+    case TokenType::KwPrint: return print_statement();
+    case TokenType::LBrace: return block();
+    case TokenType::KwBarrier: {
+      advance();
+      expect(TokenType::Semicolon, "after 'barrier'");
+      return make_node<BarrierStmt>(loc);
+    }
+    case TokenType::KwNot: advance(); return gate_statement(GateKind::Not);
+    case TokenType::KwPauliY: advance(); return gate_statement(GateKind::PauliY);
+    case TokenType::KwPauliZ: advance(); return gate_statement(GateKind::PauliZ);
+    case TokenType::KwHadamard: advance(); return gate_statement(GateKind::Hadamard);
+    case TokenType::KwPhase: advance(); return gate_statement(GateKind::Phase);
+    case TokenType::KwSGate: advance(); return gate_statement(GateKind::SGate);
+    case TokenType::KwTGate: advance(); return gate_statement(GateKind::TGate);
+    case TokenType::KwReset: advance(); return gate_statement(GateKind::ResetStmt);
+    case TokenType::KwMeasure:
+      // `measure q;` is a statement; `measure` is NOT an expression keyword
+      // (the builtin function `measure(q)` covers expression contexts).
+      if (peek(1).type != TokenType::LParen) {
+        advance();
+        return gate_statement(GateKind::MeasureStmt);
+      }
+      return assignment_or_expr_statement();
+    default:
+      if (at_type_token()) return declaration_or_function();
+      return assignment_or_expr_statement();
+  }
+}
+
+StmtPtr Parser::declaration_or_function() {
+  const QType type = parse_type();
+  Token name = expect(TokenType::Identifier, "after type");
+  if (check(TokenType::LParen)) return function_declaration(type, std::move(name));
+  return var_declaration(type, std::move(name));
+}
+
+StmtPtr Parser::var_declaration(QType type, Token name) {
+  auto node = make_node<VarDeclStmt>(name.location);
+  node->type = type;
+  node->name = name.text;
+  if (match(TokenType::Assign)) node->init = expression();
+  expect(TokenType::Semicolon, "after variable declaration");
+  return node;
+}
+
+StmtPtr Parser::function_declaration(QType type, Token name) {
+  auto node = make_node<FuncDeclStmt>(name.location);
+  node->return_type = type;
+  node->name = name.text;
+  expect(TokenType::LParen, "after function name");
+  if (!check(TokenType::RParen)) {
+    do {
+      Param param;
+      param.type = parse_type();
+      param.name = expect(TokenType::Identifier, "in parameter list").text;
+      node->params.push_back(std::move(param));
+    } while (match(TokenType::Comma));
+  }
+  expect(TokenType::RParen, "after parameters");
+  node->body = block();
+  return node;
+}
+
+std::unique_ptr<BlockStmt> Parser::block() {
+  const SourceLocation loc = peek().location;
+  expect(TokenType::LBrace, "to open a block");
+  auto node = make_node<BlockStmt>(loc);
+  while (!check(TokenType::RBrace) && !check(TokenType::Eof)) {
+    node->statements.push_back(statement());
+  }
+  expect(TokenType::RBrace, "to close a block");
+  return node;
+}
+
+StmtPtr Parser::if_statement() {
+  const SourceLocation loc = advance().location;  // 'if'
+  expect(TokenType::LParen, "after 'if'");
+  auto node = make_node<IfStmt>(loc);
+  node->condition = expression();
+  expect(TokenType::RParen, "after if condition");
+  node->then_branch = statement();
+  if (match(TokenType::KwElse)) node->else_branch = statement();
+  return node;
+}
+
+StmtPtr Parser::while_statement() {
+  const SourceLocation loc = advance().location;  // 'while'
+  expect(TokenType::LParen, "after 'while'");
+  auto node = make_node<WhileStmt>(loc);
+  node->condition = expression();
+  expect(TokenType::RParen, "after while condition");
+  node->body = statement();
+  return node;
+}
+
+StmtPtr Parser::foreach_statement() {
+  const SourceLocation loc = advance().location;  // 'foreach'
+  auto node = make_node<ForeachStmt>(loc);
+  node->var_name = expect(TokenType::Identifier, "after 'foreach'").text;
+  expect(TokenType::KwIn, "in foreach");
+  node->iterable = expression();
+  node->body = statement();
+  return node;
+}
+
+StmtPtr Parser::return_statement() {
+  const SourceLocation loc = advance().location;  // 'return'
+  auto node = make_node<ReturnStmt>(loc);
+  if (!check(TokenType::Semicolon)) node->value = expression();
+  expect(TokenType::Semicolon, "after return");
+  return node;
+}
+
+StmtPtr Parser::print_statement() {
+  const SourceLocation loc = advance().location;  // 'print'
+  auto node = make_node<PrintStmt>(loc);
+  node->value = expression();
+  expect(TokenType::Semicolon, "after print");
+  return node;
+}
+
+StmtPtr Parser::gate_statement(GateKind kind) {
+  const SourceLocation loc = peek().location;
+  auto node = make_node<GateStmt>(loc);
+  node->gate = kind;
+  node->operands.push_back(expression());
+  while (match(TokenType::Comma)) node->operands.push_back(expression());
+  expect(TokenType::Semicolon, "after gate statement");
+  return node;
+}
+
+StmtPtr Parser::assignment_or_expr_statement() {
+  const SourceLocation loc = peek().location;
+  ExprPtr expr = expression();
+
+  std::optional<BinaryOp> compound;
+  bool is_assign = false;
+  switch (peek().type) {
+    case TokenType::Assign: is_assign = true; break;
+    case TokenType::PlusAssign: is_assign = true; compound = BinaryOp::Add; break;
+    case TokenType::MinusAssign: is_assign = true; compound = BinaryOp::Sub; break;
+    case TokenType::StarAssign: is_assign = true; compound = BinaryOp::Mul; break;
+    case TokenType::SlashAssign: is_assign = true; compound = BinaryOp::Div; break;
+    case TokenType::PercentAssign: is_assign = true; compound = BinaryOp::Mod; break;
+    case TokenType::ShlAssign: is_assign = true; compound = BinaryOp::Shl; break;
+    case TokenType::ShrAssign: is_assign = true; compound = BinaryOp::Shr; break;
+    default: break;
+  }
+  if (is_assign) {
+    advance();
+    if (dynamic_cast<VarRefExpr*>(expr.get()) == nullptr &&
+        dynamic_cast<IndexExpr*>(expr.get()) == nullptr) {
+      throw LangError("assignment target must be a variable or array element", loc);
+    }
+    auto node = make_node<AssignStmt>(loc);
+    node->lvalue = std::move(expr);
+    node->compound = compound;
+    node->value = expression();
+    expect(TokenType::Semicolon, "after assignment");
+    return node;
+  }
+
+  auto node = make_node<ExprStmt>(loc);
+  node->expr = std::move(expr);
+  expect(TokenType::Semicolon, "after expression");
+  return node;
+}
+
+// ---- expressions ---------------------------------------------------------------
+
+ExprPtr Parser::expression() { return logic_or(); }
+
+ExprPtr Parser::logic_or() {
+  ExprPtr lhs = logic_and();
+  while (check(TokenType::OrOr)) {
+    const SourceLocation loc = advance().location;
+    auto node = make_node<BinaryExpr>(loc);
+    node->op = BinaryOp::Or;
+    node->lhs = std::move(lhs);
+    node->rhs = logic_and();
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::logic_and() {
+  ExprPtr lhs = equality();
+  while (check(TokenType::AndAnd)) {
+    const SourceLocation loc = advance().location;
+    auto node = make_node<BinaryExpr>(loc);
+    node->op = BinaryOp::And;
+    node->lhs = std::move(lhs);
+    node->rhs = equality();
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::equality() {
+  ExprPtr lhs = comparison();
+  while (check(TokenType::EqEq) || check(TokenType::NotEq)) {
+    const Token& op = advance();
+    auto node = make_node<BinaryExpr>(op.location);
+    node->op = op.type == TokenType::EqEq ? BinaryOp::Eq : BinaryOp::Ne;
+    node->lhs = std::move(lhs);
+    node->rhs = comparison();
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::comparison() {
+  ExprPtr lhs = containment();
+  for (;;) {
+    BinaryOp op;
+    switch (peek().type) {
+      case TokenType::Lt: op = BinaryOp::Lt; break;
+      case TokenType::LtEq: op = BinaryOp::Le; break;
+      case TokenType::Gt: op = BinaryOp::Gt; break;
+      case TokenType::GtEq: op = BinaryOp::Ge; break;
+      default: return lhs;
+    }
+    const SourceLocation loc = advance().location;
+    auto node = make_node<BinaryExpr>(loc);
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = containment();
+    lhs = std::move(node);
+  }
+}
+
+ExprPtr Parser::containment() {
+  ExprPtr lhs = shift();
+  while (check(TokenType::KwIn)) {
+    const SourceLocation loc = advance().location;
+    auto node = make_node<BinaryExpr>(loc);
+    node->op = BinaryOp::In;
+    node->lhs = std::move(lhs);
+    node->rhs = shift();
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::shift() {
+  ExprPtr lhs = term();
+  while (check(TokenType::Shl) || check(TokenType::Shr)) {
+    const Token& op = advance();
+    auto node = make_node<BinaryExpr>(op.location);
+    node->op = op.type == TokenType::Shl ? BinaryOp::Shl : BinaryOp::Shr;
+    node->lhs = std::move(lhs);
+    node->rhs = term();
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::term() {
+  ExprPtr lhs = factor();
+  while (check(TokenType::Plus) || check(TokenType::Minus)) {
+    const Token& op = advance();
+    auto node = make_node<BinaryExpr>(op.location);
+    node->op = op.type == TokenType::Plus ? BinaryOp::Add : BinaryOp::Sub;
+    node->lhs = std::move(lhs);
+    node->rhs = factor();
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::factor() {
+  ExprPtr lhs = unary();
+  for (;;) {
+    BinaryOp op;
+    switch (peek().type) {
+      case TokenType::Star: op = BinaryOp::Mul; break;
+      case TokenType::Slash: op = BinaryOp::Div; break;
+      case TokenType::Percent: op = BinaryOp::Mod; break;
+      default: return lhs;
+    }
+    const SourceLocation loc = advance().location;
+    auto node = make_node<BinaryExpr>(loc);
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = unary();
+    lhs = std::move(node);
+  }
+}
+
+ExprPtr Parser::unary() {
+  UnaryOp op;
+  switch (peek().type) {
+    case TokenType::Minus: op = UnaryOp::Neg; break;
+    case TokenType::Bang: op = UnaryOp::Not; break;
+    case TokenType::Tilde: op = UnaryOp::BitNot; break;
+    default: return postfix();
+  }
+  const SourceLocation loc = advance().location;
+  auto node = make_node<UnaryExpr>(loc);
+  node->op = op;
+  node->operand = unary();
+  return node;
+}
+
+ExprPtr Parser::postfix() {
+  ExprPtr expr = primary();
+  for (;;) {
+    if (check(TokenType::LBracket)) {
+      const SourceLocation loc = advance().location;
+      auto node = make_node<IndexExpr>(loc);
+      node->target = std::move(expr);
+      node->index = expression();
+      expect(TokenType::RBracket, "after index");
+      expr = std::move(node);
+    } else if (check(TokenType::LParen)) {
+      auto* ref = dynamic_cast<VarRefExpr*>(expr.get());
+      if (ref == nullptr) {
+        throw LangError("only named functions can be called", peek().location);
+      }
+      const SourceLocation loc = advance().location;
+      auto node = make_node<CallExpr>(loc);
+      node->callee = ref->name;
+      if (!check(TokenType::RParen)) {
+        do {
+          node->args.push_back(expression());
+        } while (match(TokenType::Comma));
+      }
+      expect(TokenType::RParen, "after call arguments");
+      expr = std::move(node);
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr Parser::primary() {
+  const Token& token = peek();
+  switch (token.type) {
+    case TokenType::IntLit: {
+      advance();
+      auto node = make_node<IntLitExpr>(token.location);
+      node->value = token.int_value;
+      return node;
+    }
+    case TokenType::FloatLit: {
+      advance();
+      auto node = make_node<FloatLitExpr>(token.location);
+      node->value = token.float_value;
+      return node;
+    }
+    case TokenType::KwTrue: case TokenType::KwFalse: {
+      advance();
+      auto node = make_node<BoolLitExpr>(token.location);
+      node->value = token.type == TokenType::KwTrue;
+      return node;
+    }
+    case TokenType::StringLit: {
+      advance();
+      auto node = make_node<StringLitExpr>(token.location);
+      node->value = token.text;
+      return node;
+    }
+    case TokenType::QuantumIntLit: {
+      advance();
+      auto node = make_node<QuantumIntLitExpr>(token.location);
+      node->value = token.int_value;
+      return node;
+    }
+    case TokenType::QuantumStringLit: {
+      advance();
+      auto node = make_node<QuantumStringLitExpr>(token.location);
+      node->bits = token.text;
+      return node;
+    }
+    case TokenType::KetZero: case TokenType::KetOne:
+    case TokenType::KetPlus: case TokenType::KetMinus: {
+      advance();
+      auto node = make_node<KetLitExpr>(token.location);
+      switch (token.type) {
+        case TokenType::KetZero: node->kind = KetKind::Zero; break;
+        case TokenType::KetOne: node->kind = KetKind::One; break;
+        case TokenType::KetPlus: node->kind = KetKind::Plus; break;
+        default: node->kind = KetKind::Minus; break;
+      }
+      return node;
+    }
+    case TokenType::LBracket: {
+      advance();
+      auto node = make_node<ArrayLitExpr>(token.location);
+      if (!check(TokenType::RBracket)) {
+        do {
+          node->elements.push_back(expression());
+        } while (match(TokenType::Comma));
+      }
+      expect(TokenType::RBracket, "after array literal");
+      // A trailing bare identifier `q` marks a superposition literal.
+      if (check(TokenType::Identifier) && peek().text == "q") {
+        advance();
+        node->superposition = true;
+      }
+      return node;
+    }
+    case TokenType::Identifier: {
+      advance();
+      auto node = make_node<VarRefExpr>(token.location);
+      node->name = token.text;
+      return node;
+    }
+    case TokenType::KwMeasure: {
+      // `measure(expr)` is the builtin call form; the statement keyword form
+      // (`measure q;`) never reaches primary().
+      if (peek(1).type != TokenType::LParen) break;
+      advance();
+      auto node = make_node<VarRefExpr>(token.location);
+      node->name = "measure";
+      return node;
+    }
+    case TokenType::LParen: {
+      advance();
+      ExprPtr inner = expression();
+      expect(TokenType::RParen, "after parenthesized expression");
+      return inner;
+    }
+    default:
+      break;
+  }
+  throw LangError(std::string("unexpected ") + token_type_name(token.type) +
+                      " in expression",
+                  token.location);
+}
+
+Program parse(const std::string& source) {
+  return Parser(tokenize(source)).parse_program();
+}
+
+}  // namespace qutes::lang

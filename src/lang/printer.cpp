@@ -1,0 +1,227 @@
+#include "qutes/lang/printer.hpp"
+
+#include <sstream>
+
+namespace qutes::lang {
+
+namespace {
+
+class ExprPrinter final : public ExprVisitor {
+public:
+  std::string text;
+
+  static std::string print(Expr& expr) {
+    ExprPrinter printer;
+    expr.accept(printer);
+    return printer.text;
+  }
+
+  void visit(IntLitExpr& e) override { text = std::to_string(e.value); }
+
+  void visit(FloatLitExpr& e) override {
+    std::ostringstream out;
+    out << e.value;
+    text = out.str();
+    // Keep the float-ness visible for round-tripping.
+    if (text.find('.') == std::string::npos &&
+        text.find('e') == std::string::npos) {
+      text += ".0";
+    }
+  }
+
+  void visit(BoolLitExpr& e) override { text = e.value ? "true" : "false"; }
+
+  void visit(StringLitExpr& e) override { text = quote(e.value); }
+
+  void visit(QuantumIntLitExpr& e) override {
+    text = std::to_string(e.value) + "q";
+  }
+
+  void visit(QuantumStringLitExpr& e) override { text = quote(e.bits) + "q"; }
+
+  void visit(KetLitExpr& e) override {
+    switch (e.kind) {
+      case KetKind::Zero: text = "|0>"; break;
+      case KetKind::One: text = "|1>"; break;
+      case KetKind::Plus: text = "|+>"; break;
+      case KetKind::Minus: text = "|->"; break;
+    }
+  }
+
+  void visit(ArrayLitExpr& e) override {
+    std::string out = "[";
+    for (std::size_t i = 0; i < e.elements.size(); ++i) {
+      out += (i ? ", " : "");
+      out += print(*e.elements[i]);
+    }
+    out += "]";
+    if (e.superposition) out += "q";
+    text = std::move(out);
+  }
+
+  void visit(VarRefExpr& e) override { text = e.name; }
+
+  void visit(IndexExpr& e) override {
+    text = print(*e.target) + "[" + print(*e.index) + "]";
+  }
+
+  void visit(CallExpr& e) override {
+    std::string out = e.callee + "(";
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      out += (i ? ", " : "");
+      out += print(*e.args[i]);
+    }
+    text = out + ")";
+  }
+
+  void visit(UnaryExpr& e) override {
+    text = std::string(unary_op_name(e.op)) + maybe_paren(*e.operand);
+  }
+
+  void visit(BinaryExpr& e) override {
+    text = maybe_paren(*e.lhs) + " " + binary_op_name(e.op) + " " +
+           maybe_paren(*e.rhs);
+  }
+
+private:
+  static std::string quote(const std::string& raw) {
+    std::string out = "\"";
+    for (char c : raw) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c; break;
+      }
+    }
+    return out + "\"";
+  }
+
+  /// Nested operator expressions get explicit parentheses — the formatter
+  /// canonicalizes precedence rather than reconstructing it.
+  static std::string maybe_paren(Expr& expr) {
+    const bool compound = dynamic_cast<BinaryExpr*>(&expr) != nullptr ||
+                          dynamic_cast<UnaryExpr*>(&expr) != nullptr;
+    const std::string inner = print(expr);
+    return compound ? "(" + inner + ")" : inner;
+  }
+};
+
+class StmtPrinter final : public StmtVisitor {
+public:
+  explicit StmtPrinter(int indent) : indent_(indent) {}
+
+  std::string text;
+
+  static std::string print(Stmt& stmt, int indent) {
+    StmtPrinter printer(indent);
+    stmt.accept(printer);
+    return printer.text;
+  }
+
+  void visit(VarDeclStmt& s) override {
+    std::string line = pad() + s.type.to_string() + " " + s.name;
+    if (s.init) line += " = " + ExprPrinter::print(*s.init);
+    text = line + ";\n";
+  }
+
+  void visit(AssignStmt& s) override {
+    std::string op = "=";
+    if (s.compound) op = std::string(binary_op_name(*s.compound)) + "=";
+    text = pad() + ExprPrinter::print(*s.lvalue) + " " + op + " " +
+           ExprPrinter::print(*s.value) + ";\n";
+  }
+
+  void visit(ExprStmt& s) override {
+    text = pad() + ExprPrinter::print(*s.expr) + ";\n";
+  }
+
+  void visit(BlockStmt& s) override {
+    std::string out = pad() + "{\n";
+    for (const StmtPtr& child : s.statements) {
+      out += print(*child, indent_ + 1);
+    }
+    text = out + pad() + "}\n";
+  }
+
+  void visit(IfStmt& s) override {
+    std::string out =
+        pad() + "if (" + ExprPrinter::print(*s.condition) + ")" + body_of(*s.then_branch);
+    if (s.else_branch) {
+      out += pad() + "else" + body_of(*s.else_branch);
+    }
+    text = std::move(out);
+  }
+
+  void visit(WhileStmt& s) override {
+    text = pad() + "while (" + ExprPrinter::print(*s.condition) + ")" +
+           body_of(*s.body);
+  }
+
+  void visit(ForeachStmt& s) override {
+    text = pad() + "foreach " + s.var_name + " in " +
+           ExprPrinter::print(*s.iterable) + body_of(*s.body);
+  }
+
+  void visit(FuncDeclStmt& s) override {
+    std::string out = pad() + s.return_type.to_string() + " " + s.name + "(";
+    for (std::size_t i = 0; i < s.params.size(); ++i) {
+      out += (i ? ", " : "");
+      out += s.params[i].type.to_string() + " " + s.params[i].name;
+    }
+    out += ")" + body_of(*s.body);
+    text = std::move(out);
+  }
+
+  void visit(ReturnStmt& s) override {
+    text = pad() + "return" +
+           (s.value ? " " + ExprPrinter::print(*s.value) : std::string()) + ";\n";
+  }
+
+  void visit(PrintStmt& s) override {
+    text = pad() + "print " + ExprPrinter::print(*s.value) + ";\n";
+  }
+
+  void visit(BarrierStmt&) override { text = pad() + "barrier;\n"; }
+
+  void visit(GateStmt& s) override {
+    std::string out = pad() + gate_kind_name(s.gate) + " ";
+    for (std::size_t i = 0; i < s.operands.size(); ++i) {
+      out += (i ? ", " : "");
+      out += ExprPrinter::print(*s.operands[i]);
+    }
+    text = out + ";\n";
+  }
+
+private:
+  [[nodiscard]] std::string pad() const { return std::string(2 * indent_, ' '); }
+
+  /// Bodies always render as blocks (canonical form).
+  std::string body_of(Stmt& stmt) {
+    if (auto* block = dynamic_cast<BlockStmt*>(&stmt)) {
+      std::string out = " {\n";
+      for (const StmtPtr& child : block->statements) {
+        out += print(*child, indent_ + 1);
+      }
+      return out + pad() + "}\n";
+    }
+    return " {\n" + print(stmt, indent_ + 1) + pad() + "}\n";
+  }
+
+  int indent_;
+};
+
+}  // namespace
+
+std::string format_expression(Expr& expr) { return ExprPrinter::print(expr); }
+
+std::string format_program(Program& program) {
+  std::string out;
+  for (const StmtPtr& stmt : program.statements) {
+    out += StmtPrinter::print(*stmt, 0);
+  }
+  return out;
+}
+
+}  // namespace qutes::lang

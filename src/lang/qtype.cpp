@@ -1,0 +1,46 @@
+#include "qutes/lang/qtype.hpp"
+
+namespace qutes::lang {
+
+const char* type_kind_name(TypeKind kind) noexcept {
+  switch (kind) {
+    case TypeKind::Void: return "void";
+    case TypeKind::Bool: return "bool";
+    case TypeKind::Int: return "int";
+    case TypeKind::Float: return "float";
+    case TypeKind::String: return "string";
+    case TypeKind::Qubit: return "qubit";
+    case TypeKind::Quint: return "quint";
+    case TypeKind::Qustring: return "qustring";
+    case TypeKind::Array: return "array";
+  }
+  return "?";
+}
+
+std::string QType::to_string() const {
+  if (is_array()) return std::string(type_kind_name(element)) + "[]";
+  if (kind == TypeKind::Quint && quint_width > 0) {
+    return "quint<" + std::to_string(quint_width) + ">";
+  }
+  return type_kind_name(kind);
+}
+
+TypeKind measured_kind(TypeKind quantum) noexcept {
+  switch (quantum) {
+    case TypeKind::Qubit: return TypeKind::Bool;
+    case TypeKind::Quint: return TypeKind::Int;
+    case TypeKind::Qustring: return TypeKind::String;
+    default: return quantum;
+  }
+}
+
+TypeKind promoted_kind(TypeKind classical) noexcept {
+  switch (classical) {
+    case TypeKind::Bool: return TypeKind::Qubit;
+    case TypeKind::Int: return TypeKind::Quint;
+    case TypeKind::String: return TypeKind::Qustring;
+    default: return classical;
+  }
+}
+
+}  // namespace qutes::lang

@@ -1,0 +1,94 @@
+#include "qutes/lang/symbol_collector.hpp"
+
+#include <set>
+
+namespace qutes::lang {
+
+void SymbolCollector::collect(Program& program) {
+  at_top_level_ = true;
+  inside_function_ = false;
+  for (const StmtPtr& stmt : program.statements) stmt->accept(*this);
+}
+
+void SymbolCollector::visit(VarDeclStmt& stmt) {
+  if (stmt.type.kind == TypeKind::Void) {
+    throw LangError("variables cannot be void", stmt.location);
+  }
+  if (stmt.type.kind == TypeKind::Qustring && !stmt.init) {
+    throw LangError("qustring '" + stmt.name + "' needs an initializer (its length)",
+                    stmt.location);
+  }
+}
+
+void SymbolCollector::visit(AssignStmt&) {}
+void SymbolCollector::visit(ExprStmt&) {}
+
+void SymbolCollector::visit(BlockStmt& stmt) {
+  const bool saved = at_top_level_;
+  at_top_level_ = false;
+  for (const StmtPtr& child : stmt.statements) child->accept(*this);
+  at_top_level_ = saved;
+}
+
+void SymbolCollector::visit(IfStmt& stmt) {
+  const bool saved = at_top_level_;
+  at_top_level_ = false;
+  stmt.then_branch->accept(*this);
+  if (stmt.else_branch) stmt.else_branch->accept(*this);
+  at_top_level_ = saved;
+}
+
+void SymbolCollector::visit(WhileStmt& stmt) {
+  const bool saved = at_top_level_;
+  at_top_level_ = false;
+  stmt.body->accept(*this);
+  at_top_level_ = saved;
+}
+
+void SymbolCollector::visit(ForeachStmt& stmt) {
+  const bool saved = at_top_level_;
+  at_top_level_ = false;
+  stmt.body->accept(*this);
+  at_top_level_ = saved;
+}
+
+void SymbolCollector::visit(FuncDeclStmt& stmt) {
+  if (!at_top_level_) {
+    throw LangError("functions must be declared at the top level", stmt.location);
+  }
+  std::set<std::string> seen;
+  for (const Param& param : stmt.params) {
+    if (param.type.kind == TypeKind::Void) {
+      throw LangError("parameter '" + param.name + "' cannot be void", stmt.location);
+    }
+    if (!seen.insert(param.name).second) {
+      throw LangError("duplicate parameter '" + param.name + "'", stmt.location);
+    }
+  }
+  functions_.declare(stmt);
+
+  const bool saved_top = at_top_level_;
+  const bool saved_inside = inside_function_;
+  at_top_level_ = false;
+  inside_function_ = true;
+  stmt.body->accept(*this);
+  at_top_level_ = saved_top;
+  inside_function_ = saved_inside;
+}
+
+void SymbolCollector::visit(ReturnStmt& stmt) {
+  if (!inside_function_) {
+    throw LangError("'return' outside of a function", stmt.location);
+  }
+}
+
+void SymbolCollector::visit(PrintStmt&) {}
+void SymbolCollector::visit(BarrierStmt&) {}
+
+void SymbolCollector::visit(GateStmt& stmt) {
+  if (stmt.operands.empty()) {
+    throw LangError("gate statement needs at least one operand", stmt.location);
+  }
+}
+
+}  // namespace qutes::lang

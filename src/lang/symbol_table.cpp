@@ -1,0 +1,40 @@
+#include "qutes/lang/symbol_table.hpp"
+
+namespace qutes::lang {
+
+Symbol& Scope::declare(const std::string& name, QType type, SourceLocation loc) {
+  const auto [it, inserted] = symbols_.try_emplace(name, Symbol{name, type, loc, nullptr});
+  if (!inserted) {
+    throw LangError("redeclaration of '" + name + "' (first declared at " +
+                        it->second.declared_at.to_string() + ")",
+                    loc);
+  }
+  return it->second;
+}
+
+Symbol* Scope::lookup(const std::string& name) {
+  for (Scope* scope = this; scope != nullptr; scope = scope->parent_.get()) {
+    const auto it = scope->symbols_.find(name);
+    if (it != scope->symbols_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+Symbol* Scope::lookup_local(const std::string& name) {
+  const auto it = symbols_.find(name);
+  return it != symbols_.end() ? &it->second : nullptr;
+}
+
+void FunctionTable::declare(FuncDeclStmt& decl) {
+  const auto [it, inserted] = functions_.try_emplace(decl.name, &decl);
+  if (!inserted) {
+    throw LangError("redefinition of function '" + decl.name + "'", decl.location);
+  }
+}
+
+FuncDeclStmt* FunctionTable::lookup(const std::string& name) const {
+  const auto it = functions_.find(name);
+  return it != functions_.end() ? it->second : nullptr;
+}
+
+}  // namespace qutes::lang

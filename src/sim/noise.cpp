@@ -1,0 +1,66 @@
+#include "qutes/sim/noise.hpp"
+
+#include <cmath>
+
+#include "qutes/common/error.hpp"
+
+namespace qutes::sim {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    throw InvalidArgument(std::string(what) + ": probability out of [0,1]");
+  }
+}
+
+}  // namespace
+
+void apply_depolarizing(StateVector& sv, std::size_t qubit, double p, Rng& rng) {
+  check_probability(p, "apply_depolarizing");
+  if (rng.uniform() >= p) return;
+  switch (rng.below(3)) {
+    case 0: sv.apply_1q(gates::X(), qubit); break;
+    case 1: sv.apply_1q(gates::Y(), qubit); break;
+    default: sv.apply_1q(gates::Z(), qubit); break;
+  }
+}
+
+void apply_bit_flip(StateVector& sv, std::size_t qubit, double p, Rng& rng) {
+  check_probability(p, "apply_bit_flip");
+  if (rng.uniform() < p) sv.apply_1q(gates::X(), qubit);
+}
+
+void apply_phase_flip(StateVector& sv, std::size_t qubit, double p, Rng& rng) {
+  check_probability(p, "apply_phase_flip");
+  if (rng.uniform() < p) sv.apply_1q(gates::Z(), qubit);
+}
+
+void apply_amplitude_damping(StateVector& sv, std::size_t qubit, double gamma, Rng& rng) {
+  check_probability(gamma, "apply_amplitude_damping");
+  if (gamma == 0.0) return;
+  // Kraus operators: K0 = diag(1, sqrt(1-gamma)), K1 = sqrt(gamma) |0><1|.
+  // Branch K1 fires with probability gamma * P(|1>).
+  const double p1 = sv.probability_one(qubit);
+  const double p_decay = gamma * p1;
+  if (rng.uniform() < p_decay) {
+    // Project onto |1>, then flip to |0> — the decay branch.
+    // (measure() would be probabilistic; here the branch choice has already
+    // been made, so project deterministically via K1.)
+    Matrix2 k1{{cplx{}, cplx{1.0}, cplx{}, cplx{}}};  // |0><1|
+    sv.apply_1q(k1, qubit);
+    sv.normalize();
+  } else {
+    Matrix2 k0{{cplx{1.0}, cplx{}, cplx{}, cplx{std::sqrt(1.0 - gamma)}}};
+    sv.apply_1q(k0, qubit);
+    sv.normalize();
+  }
+}
+
+int apply_readout_error(int outcome, double p, Rng& rng) {
+  check_probability(p, "apply_readout_error");
+  if (rng.uniform() < p) return outcome ^ 1;
+  return outcome;
+}
+
+}  // namespace qutes::sim

@@ -1,0 +1,54 @@
+#include "qutes/sim/observables.hpp"
+
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::sim {
+
+double expectation_pauli(const StateVector& state, const std::string& pauli) {
+  const std::size_t n = state.num_qubits();
+  if (pauli.size() != n) {
+    throw InvalidArgument("pauli string length must equal the qubit count");
+  }
+
+  // Rotate each non-diagonal factor into the Z basis on a working copy:
+  // X = H Z H, Y = (S H)^dagger... -> apply Sdg then H so Y-measurement
+  // becomes Z-measurement.
+  StateVector work = state;
+  std::uint64_t mask = 0;  // qubits participating in the parity
+  for (std::size_t i = 0; i < n; ++i) {
+    const char op = pauli[i];
+    const std::size_t qubit = n - 1 - i;  // MSB-first string
+    switch (op) {
+      case 'I':
+        break;
+      case 'Z':
+        mask |= std::uint64_t{1} << qubit;
+        break;
+      case 'X':
+        work.apply_1q(gates::H(), qubit);
+        mask |= std::uint64_t{1} << qubit;
+        break;
+      case 'Y':
+        work.apply_1q(gates::Sdg(), qubit);
+        work.apply_1q(gates::H(), qubit);
+        mask |= std::uint64_t{1} << qubit;
+        break;
+      default:
+        throw InvalidArgument(std::string("bad Pauli character '") + op + "'");
+    }
+  }
+  if (mask == 0) return 1.0;  // identity string
+
+  double expectation = 0.0;
+  const auto amps = work.amplitudes();
+  for (std::uint64_t basis = 0; basis < work.dim(); ++basis) {
+    const double p = std::norm(amps[basis]);
+    if (p == 0.0) continue;
+    const bool odd = std::popcount(basis & mask) % 2 == 1;
+    expectation += odd ? -p : p;
+  }
+  return expectation;
+}
+
+}  // namespace qutes::sim

@@ -1,0 +1,346 @@
+#include "qutes/sim/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes::sim {
+
+namespace {
+
+// Below this many amplitudes the OpenMP fork/join overhead exceeds the work.
+constexpr std::uint64_t kParallelThreshold = std::uint64_t{1} << 14;
+
+// Probabilities below this are treated as impossible outcomes when
+// collapsing; guards against dividing by ~0 norms from roundoff.
+constexpr double kProbEpsilon = 1e-15;
+
+}  // namespace
+
+StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits == 0) throw InvalidArgument("StateVector needs at least 1 qubit");
+  if (num_qubits > 30) {
+    throw SimulationError("refusing to allocate a state over " +
+                          std::to_string(num_qubits) + " qubits (> 30)");
+  }
+  amps_.assign(dim_of(num_qubits), cplx{});
+  amps_[0] = cplx{1.0, 0.0};
+}
+
+StateVector StateVector::from_amplitudes(std::vector<cplx> amplitudes) {
+  const std::size_t n = amplitudes.size();
+  if (n < 2 || (n & (n - 1)) != 0) {
+    throw InvalidArgument("amplitude count must be a power of two >= 2");
+  }
+  double norm2 = 0.0;
+  for (const cplx& a : amplitudes) norm2 += std::norm(a);
+  if (std::abs(norm2 - 1.0) > 1e-8) {
+    throw InvalidArgument("amplitudes are not normalized (|psi|^2 = " +
+                          std::to_string(norm2) + ")");
+  }
+  StateVector sv(bits_for(n - 1));
+  sv.amps_ = std::move(amplitudes);
+  return sv;
+}
+
+cplx StateVector::amplitude(std::uint64_t index) const {
+  if (index >= dim()) throw InvalidArgument("basis index out of range");
+  return amps_[index];
+}
+
+void StateVector::set_basis_state(std::uint64_t index) {
+  if (index >= dim()) throw InvalidArgument("basis index out of range");
+  std::fill(amps_.begin(), amps_.end(), cplx{});
+  amps_[index] = cplx{1.0, 0.0};
+}
+
+void StateVector::add_qubits(std::size_t count) {
+  if (count == 0) return;
+  if (num_qubits_ + count > 30) {
+    throw SimulationError("register growth past 30 qubits");
+  }
+  // New qubits sit at the high end in |0>, so the existing amplitudes keep
+  // their indices and the tail is zero.
+  num_qubits_ += count;
+  amps_.resize(dim_of(num_qubits_), cplx{});
+}
+
+void StateVector::check_qubit(std::size_t q, const char* what) const {
+  if (q >= num_qubits_) {
+    throw InvalidArgument(std::string(what) + ": qubit " + std::to_string(q) +
+                          " out of range (n=" + std::to_string(num_qubits_) + ")");
+  }
+}
+
+void StateVector::apply_1q(const Matrix2& u, std::size_t target) {
+  check_qubit(target, "apply_1q");
+  const std::uint64_t half = dim() >> 1;
+  const cplx u00 = u.m[0], u01 = u.m[1], u10 = u.m[2], u11 = u.m[3];
+  cplx* amps = amps_.data();
+#pragma omp parallel for schedule(static) if (half >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(half); ++i) {
+    const std::uint64_t i0 = insert_zero_bit(static_cast<std::uint64_t>(i), target);
+    const std::uint64_t i1 = set_bit(i0, target);
+    const cplx a0 = amps[i0];
+    const cplx a1 = amps[i1];
+    amps[i0] = u00 * a0 + u01 * a1;
+    amps[i1] = u10 * a0 + u11 * a1;
+  }
+}
+
+void StateVector::apply_controlled_1q(const Matrix2& u, std::size_t control,
+                                      std::size_t target) {
+  const std::size_t ctrl[1] = {control};
+  apply_multi_controlled_1q(u, ctrl, target);
+}
+
+void StateVector::apply_multi_controlled_1q(const Matrix2& u,
+                                            std::span<const std::size_t> controls,
+                                            std::size_t target) {
+  if (controls.empty()) {
+    apply_1q(u, target);
+    return;
+  }
+  check_qubit(target, "apply_multi_controlled_1q");
+  std::uint64_t ctrl_mask = 0;
+  for (std::size_t c : controls) {
+    check_qubit(c, "apply_multi_controlled_1q");
+    if (c == target) throw InvalidArgument("control equals target");
+    ctrl_mask |= std::uint64_t{1} << c;
+  }
+  const std::uint64_t half = dim() >> 1;
+  const cplx u00 = u.m[0], u01 = u.m[1], u10 = u.m[2], u11 = u.m[3];
+  cplx* amps = amps_.data();
+#pragma omp parallel for schedule(static) if (half >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(half); ++i) {
+    const std::uint64_t i0 = insert_zero_bit(static_cast<std::uint64_t>(i), target);
+    if ((i0 & ctrl_mask) != ctrl_mask) continue;
+    const std::uint64_t i1 = set_bit(i0, target);
+    const cplx a0 = amps[i0];
+    const cplx a1 = amps[i1];
+    amps[i0] = u00 * a0 + u01 * a1;
+    amps[i1] = u10 * a0 + u11 * a1;
+  }
+}
+
+void StateVector::apply_2q(const Matrix4& u, std::size_t q0, std::size_t q1) {
+  check_qubit(q0, "apply_2q");
+  check_qubit(q1, "apply_2q");
+  if (q0 == q1) throw InvalidArgument("apply_2q: identical qubits");
+  const std::uint64_t quarter = dim() >> 2;
+  const std::size_t lo = std::min(q0, q1);
+  const std::size_t hi = std::max(q0, q1);
+  cplx* amps = amps_.data();
+#pragma omp parallel for schedule(static) if (quarter >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(quarter); ++i) {
+    // Spread i over the non-participating bits, then enumerate the 4 basis
+    // combinations of (q1, q0).
+    const std::uint64_t base =
+        insert_zero_bit(insert_zero_bit(static_cast<std::uint64_t>(i), lo), hi);
+    std::array<std::uint64_t, 4> idx;
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      std::uint64_t j = base;
+      if (b & 1) j = set_bit(j, q0);
+      if (b & 2) j = set_bit(j, q1);
+      idx[b] = j;
+    }
+    const std::array<cplx, 4> in{amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]};
+    for (std::size_t r = 0; r < 4; ++r) {
+      cplx acc = 0.0;
+      for (std::size_t c = 0; c < 4; ++c) acc += u(r, c) * in[c];
+      amps[idx[r]] = acc;
+    }
+  }
+}
+
+void StateVector::apply_swap(std::size_t a, std::size_t b) {
+  check_qubit(a, "apply_swap");
+  check_qubit(b, "apply_swap");
+  if (a == b) return;
+  const std::uint64_t quarter = dim() >> 2;
+  const std::size_t lo = std::min(a, b);
+  const std::size_t hi = std::max(a, b);
+  cplx* amps = amps_.data();
+#pragma omp parallel for schedule(static) if (quarter >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(quarter); ++i) {
+    const std::uint64_t base =
+        insert_zero_bit(insert_zero_bit(static_cast<std::uint64_t>(i), lo), hi);
+    const std::uint64_t i01 = set_bit(base, a);
+    const std::uint64_t i10 = set_bit(base, b);
+    std::swap(amps[i01], amps[i10]);
+  }
+}
+
+void StateVector::apply_phase(double lambda, std::size_t target) {
+  check_qubit(target, "apply_phase");
+  const cplx phase = std::exp(cplx{0.0, lambda});
+  const std::uint64_t half = dim() >> 1;
+  cplx* amps = amps_.data();
+#pragma omp parallel for schedule(static) if (half >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(half); ++i) {
+    const std::uint64_t i1 =
+        set_bit(insert_zero_bit(static_cast<std::uint64_t>(i), target), target);
+    amps[i1] *= phase;
+  }
+}
+
+void StateVector::apply_cphase(double lambda, std::size_t control, std::size_t target) {
+  check_qubit(control, "apply_cphase");
+  check_qubit(target, "apply_cphase");
+  if (control == target) throw InvalidArgument("apply_cphase: identical qubits");
+  const cplx phase = std::exp(cplx{0.0, lambda});
+  const std::uint64_t mask =
+      (std::uint64_t{1} << control) | (std::uint64_t{1} << target);
+  const std::uint64_t n = dim();
+  cplx* amps = amps_.data();
+#pragma omp parallel for schedule(static) if (n >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if ((static_cast<std::uint64_t>(i) & mask) == mask) amps[i] *= phase;
+  }
+}
+
+void StateVector::apply_global_phase(double lambda) {
+  const cplx phase = std::exp(cplx{0.0, lambda});
+  for (cplx& a : amps_) a *= phase;
+}
+
+double StateVector::probability_one(std::size_t qubit) const {
+  check_qubit(qubit, "probability_one");
+  const std::uint64_t n = dim();
+  const cplx* amps = amps_.data();
+  double p = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : p) if (n >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if (test_bit(static_cast<std::uint64_t>(i), qubit)) p += std::norm(amps[i]);
+  }
+  return p;
+}
+
+std::vector<double> StateVector::probabilities() const {
+  std::vector<double> probs(dim());
+  for (std::uint64_t i = 0; i < dim(); ++i) probs[i] = std::norm(amps_[i]);
+  return probs;
+}
+
+int StateVector::measure(std::size_t qubit, Rng& rng) {
+  const double p1 = probability_one(qubit);
+  const int outcome = rng.uniform() < p1 ? 1 : 0;
+  const double p = outcome ? p1 : 1.0 - p1;
+  if (p < kProbEpsilon) {
+    throw SimulationError("measured an outcome with vanishing probability");
+  }
+  const double scale = 1.0 / std::sqrt(p);
+  const std::uint64_t n = dim();
+  cplx* amps = amps_.data();
+#pragma omp parallel for schedule(static) if (n >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if (test_bit(static_cast<std::uint64_t>(i), qubit) == (outcome == 1)) {
+      amps[i] *= scale;
+    } else {
+      amps[i] = cplx{};
+    }
+  }
+  return outcome;
+}
+
+std::uint64_t StateVector::measure_all(Rng& rng) {
+  const std::uint64_t outcome = sample(rng);
+  set_basis_state(outcome);
+  return outcome;
+}
+
+std::uint64_t StateVector::sample(Rng& rng) const {
+  double r = rng.uniform();
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    r -= std::norm(amps_[i]);
+    if (r <= 0.0) return i;
+  }
+  // Roundoff pushed the cumulative sum slightly under 1; return the last
+  // state with nonzero probability.
+  for (std::uint64_t i = dim(); i-- > 0;) {
+    if (std::norm(amps_[i]) > 0.0) return i;
+  }
+  throw SimulationError("sampling from a zero state");
+}
+
+Counts StateVector::sample_counts(std::size_t shots, Rng& rng,
+                                  std::span<const std::size_t> qubits) const {
+  // Build the cumulative distribution once; each shot is then a binary
+  // search instead of a linear scan.
+  std::vector<double> cdf(dim());
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    acc += std::norm(amps_[i]);
+    cdf[i] = acc;
+  }
+  Counts counts;
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double r = rng.uniform() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    std::uint64_t idx = static_cast<std::uint64_t>(it - cdf.begin());
+    if (idx >= dim()) idx = dim() - 1;
+    std::string key;
+    if (qubits.empty()) {
+      key = to_bitstring(idx, num_qubits_);
+    } else {
+      key.resize(qubits.size());
+      for (std::size_t q = 0; q < qubits.size(); ++q) {
+        key[qubits.size() - 1 - q] = test_bit(idx, qubits[q]) ? '1' : '0';
+      }
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+void StateVector::reset_qubit(std::size_t qubit, Rng& rng) {
+  if (measure(qubit, rng) == 1) apply_1q(gates::X(), qubit);
+}
+
+double StateVector::norm() const {
+  double n2 = 0.0;
+  for (const cplx& a : amps_) n2 += std::norm(a);
+  return std::sqrt(n2);
+}
+
+void StateVector::normalize() {
+  const double n = norm();
+  if (n < kProbEpsilon) throw SimulationError("normalizing a zero state");
+  const double inv = 1.0 / n;
+  for (cplx& a : amps_) a *= inv;
+}
+
+cplx StateVector::inner_product(const StateVector& other) const {
+  if (dim() != other.dim()) {
+    throw InvalidArgument("inner_product: dimension mismatch");
+  }
+  cplx acc = 0.0;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    acc += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return acc;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  return std::norm(inner_product(other));
+}
+
+double StateVector::expectation_z(std::size_t qubit) const {
+  return 1.0 - 2.0 * probability_one(qubit);
+}
+
+double StateVector::expectation_zz(std::size_t a, std::size_t b) const {
+  check_qubit(a, "expectation_zz");
+  check_qubit(b, "expectation_zz");
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    const bool parity = test_bit(i, a) ^ test_bit(i, b);
+    acc += (parity ? -1.0 : 1.0) * std::norm(amps_[i]);
+  }
+  return acc;
+}
+
+}  // namespace qutes::sim

@@ -1,0 +1,75 @@
+// Unit tests for the bit-twiddling helpers every kernel relies on.
+#include <gtest/gtest.h>
+
+#include "qutes/common/bitops.hpp"
+
+namespace {
+
+using namespace qutes;
+
+TEST(BitOps, DimOf) {
+  EXPECT_EQ(dim_of(0), 1u);
+  EXPECT_EQ(dim_of(1), 2u);
+  EXPECT_EQ(dim_of(10), 1024u);
+  EXPECT_EQ(dim_of(30), 1u << 30);
+}
+
+TEST(BitOps, TestSetClearFlip) {
+  const std::uint64_t x = 0b1010;
+  EXPECT_TRUE(test_bit(x, 1));
+  EXPECT_FALSE(test_bit(x, 0));
+  EXPECT_EQ(set_bit(x, 0), 0b1011u);
+  EXPECT_EQ(clear_bit(x, 1), 0b1000u);
+  EXPECT_EQ(flip_bit(x, 3), 0b0010u);
+  EXPECT_EQ(flip_bit(x, 2), 0b1110u);
+}
+
+TEST(BitOps, InsertZeroBitAtLsb) {
+  // Inserting at position 0 shifts everything left.
+  EXPECT_EQ(insert_zero_bit(0b101, 0), 0b1010u);
+}
+
+TEST(BitOps, InsertZeroBitMiddle) {
+  // 0b11 with a zero inserted at position 1 -> 0b101.
+  EXPECT_EQ(insert_zero_bit(0b11, 1), 0b101u);
+}
+
+TEST(BitOps, InsertZeroBitEnumeratesPairs) {
+  // For every i in [0, 2^{n-1}), insert_zero_bit(i, q) must produce exactly
+  // the indices with bit q == 0, without repeats.
+  const std::size_t n = 5;
+  for (std::size_t q = 0; q < n; ++q) {
+    std::vector<bool> seen(dim_of(n), false);
+    for (std::uint64_t i = 0; i < dim_of(n - 1); ++i) {
+      const std::uint64_t idx = insert_zero_bit(i, q);
+      EXPECT_FALSE(test_bit(idx, q));
+      EXPECT_LT(idx, dim_of(n));
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+}
+
+TEST(BitOps, BitsFor) {
+  EXPECT_EQ(bits_for(0), 1u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 2u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 3u);
+  EXPECT_EQ(bits_for(255), 8u);
+  EXPECT_EQ(bits_for(256), 9u);
+}
+
+TEST(BitOps, ToBitstringMsbFirst) {
+  EXPECT_EQ(to_bitstring(0b110, 3), "110");
+  EXPECT_EQ(to_bitstring(1, 4), "0001");
+  EXPECT_EQ(to_bitstring(0, 2), "00");
+}
+
+TEST(BitOps, FromBitstringRoundTrip) {
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(from_bitstring(to_bitstring(v, 6)), v);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+// TypeCastingHandler + QuantumCircuitHandler unit tests: promotion encodes
+// the right basis state, measurement demotes to the right classical type,
+// coercion rules, and the handler's register/measurement bookkeeping.
+#include <gtest/gtest.h>
+
+#include "qutes/common/bitops.hpp"
+#include "qutes/lang/casting_handler.hpp"
+#include "qutes/lang/circuit_handler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::lang;
+
+TEST(Handler, AllocateGrowsStateAndRegisters) {
+  QuantumCircuitHandler handler(1);
+  const QuantumRef a = handler.allocate("a", 2, TypeKind::Quint);
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(a.width, 2u);
+  const QuantumRef b = handler.allocate("b", 3, TypeKind::Quint);
+  EXPECT_EQ(b.offset, 2u);
+  EXPECT_EQ(handler.num_qubits(), 5u);
+  EXPECT_EQ(handler.circuit().qregs().size(), 2u);
+  EXPECT_NEAR(handler.state().norm(), 1.0, 1e-12);
+}
+
+TEST(Handler, NameUniquification) {
+  QuantumCircuitHandler handler(1);
+  handler.allocate("x", 1, TypeKind::Qubit);
+  handler.allocate("x", 1, TypeKind::Qubit);
+  handler.allocate("x", 1, TypeKind::Qubit);
+  const auto& regs = handler.circuit().qregs();
+  EXPECT_EQ(regs[0].name, "x");
+  EXPECT_EQ(regs[1].name, "x_1");
+  EXPECT_EQ(regs[2].name, "x_2");
+}
+
+TEST(Handler, EncodeAndMeasureRoundTrip) {
+  QuantumCircuitHandler handler(1);
+  const QuantumRef ref = handler.allocate("v", 5, TypeKind::Quint);
+  handler.encode_bits(ref, 21);
+  EXPECT_EQ(handler.measure(ref), 21u);
+  // Measure instructions recorded with a classical register.
+  EXPECT_EQ(handler.circuit().count_ops().at("measure"), 5u);
+  EXPECT_EQ(handler.num_clbits(), 5u);
+}
+
+TEST(Handler, EncodeValidatesWidth) {
+  QuantumCircuitHandler handler(1);
+  const QuantumRef ref = handler.allocate("v", 2, TypeKind::Quint);
+  EXPECT_THROW(handler.encode_bits(ref, 4), LangError);
+}
+
+TEST(Handler, CopyBasisDuplicatesBasisContent) {
+  QuantumCircuitHandler handler(1);
+  const QuantumRef src = handler.allocate("s", 3, TypeKind::Quint);
+  handler.encode_bits(src, 5);
+  const QuantumRef dst = handler.allocate("d", 3, TypeKind::Quint);
+  handler.copy_basis(src, dst);
+  EXPECT_EQ(handler.measure(dst), 5u);
+  EXPECT_EQ(handler.measure(src), 5u);  // source unchanged
+}
+
+TEST(Handler, ResetReturnsToZero) {
+  QuantumCircuitHandler handler(1);
+  const QuantumRef ref = handler.allocate("r", 2, TypeKind::Quint);
+  handler.encode_bits(ref, 3);
+  handler.reset(ref);
+  EXPECT_EQ(handler.measure(ref), 0u);
+}
+
+TEST(Handler, ComposeInlineMapsRegistersAndClbits) {
+  QuantumCircuitHandler handler(1);
+  handler.allocate("existing", 2, TypeKind::Quint);
+
+  circ::QuantumCircuit sub;
+  sub.add_register("q", 2);
+  sub.add_classical_register("c", 2);
+  sub.x(0);
+  sub.measure(0, 0);
+  sub.measure(1, 1);
+
+  const std::uint64_t bits = handler.compose_inline(sub, "inl");
+  EXPECT_EQ(bits, 1u);  // qubit0 was X'd -> clbit0 = 1
+  // The registers were cloned with the prefix.
+  bool found = false;
+  for (const auto& reg : handler.circuit().qregs()) {
+    if (reg.name == "inl_q") found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(handler.num_qubits(), 4u);
+}
+
+TEST(Handler, ComposeInlineHonorsConditions) {
+  QuantumCircuitHandler handler(1);
+  circ::QuantumCircuit sub;
+  sub.add_register("q", 2);
+  sub.add_classical_register("c", 2);
+  sub.x(0);
+  sub.measure(0, 0);
+  sub.x(1).c_if(0, 1);   // fires: clbit0 == 1
+  sub.measure(1, 1);
+  const std::uint64_t bits = handler.compose_inline(sub, "cond");
+  EXPECT_EQ(bits, 0b11u);
+}
+
+TEST(Handler, QubitBudget) {
+  QuantumCircuitHandler handler(1);
+  handler.allocate("small", 4, TypeKind::Quint);
+  // 4 + 23 exceeds the 26-qubit budget; must throw BEFORE allocating.
+  EXPECT_THROW(handler.allocate("big", 23, TypeKind::Quint), LangError);
+  EXPECT_EQ(handler.num_qubits(), 4u);
+}
+
+// ---- casting -----------------------------------------------------------------------
+
+TEST(Casting, WidthForInt) {
+  EXPECT_EQ(TypeCastingHandler::width_for_int(0), 1u);
+  EXPECT_EQ(TypeCastingHandler::width_for_int(1), 1u);
+  EXPECT_EQ(TypeCastingHandler::width_for_int(5), 3u);
+  EXPECT_EQ(TypeCastingHandler::width_for_int(255), 8u);
+  EXPECT_THROW((void)TypeCastingHandler::width_for_int(-1), LangError);
+}
+
+TEST(Casting, PromoteIntEncodesValue) {
+  QuantumCircuitHandler handler(1);
+  TypeCastingHandler casting(handler);
+  const Value six(QType::scalar(TypeKind::Int), std::int64_t{6});
+  const ValuePtr q = casting.promote(six, "x", 0, {});
+  EXPECT_EQ(q->as_quantum().width, 3u);
+  EXPECT_EQ(handler.measure(q->as_quantum()), 6u);
+}
+
+TEST(Casting, PromoteWithWidthHint) {
+  QuantumCircuitHandler handler(1);
+  TypeCastingHandler casting(handler);
+  const Value three(QType::scalar(TypeKind::Int), std::int64_t{3});
+  const ValuePtr q = casting.promote(three, "x", 7, {});
+  EXPECT_EQ(q->as_quantum().width, 7u);
+  const Value big(QType::scalar(TypeKind::Int), std::int64_t{100});
+  EXPECT_THROW((void)casting.promote(big, "y", 3, {}), LangError);
+}
+
+TEST(Casting, PromoteBoolAndString) {
+  QuantumCircuitHandler handler(1);
+  TypeCastingHandler casting(handler);
+  const Value t(QType::scalar(TypeKind::Bool), true);
+  const ValuePtr q = casting.promote(t, "b", 0, {});
+  EXPECT_EQ(q->as_quantum().kind, TypeKind::Qubit);
+  EXPECT_EQ(handler.measure(q->as_quantum()), 1u);
+
+  const Value bits(QType::scalar(TypeKind::String), std::string("101"));
+  const ValuePtr s = casting.promote(bits, "s", 0, {});
+  EXPECT_EQ(s->as_quantum().kind, TypeKind::Qustring);
+  EXPECT_EQ(s->as_quantum().width, 3u);
+  // char 0 = qubit 0: "101" -> bits 0 and 2 set -> 0b101 = 5.
+  EXPECT_EQ(handler.measure(s->as_quantum()), 5u);
+}
+
+TEST(Casting, PromoteRejectsBadInputs) {
+  QuantumCircuitHandler handler(1);
+  TypeCastingHandler casting(handler);
+  const Value neg(QType::scalar(TypeKind::Int), std::int64_t{-2});
+  EXPECT_THROW((void)casting.promote(neg, "x", 0, {}), LangError);
+  const Value notbits(QType::scalar(TypeKind::String), std::string("abc"));
+  EXPECT_THROW((void)casting.promote(notbits, "s", 0, {}), LangError);
+  const Value f(QType::scalar(TypeKind::Float), 1.5);
+  EXPECT_THROW((void)casting.promote(f, "f", 0, {}), LangError);
+}
+
+TEST(Casting, MeasureToClassicalTypes) {
+  QuantumCircuitHandler handler(1);
+  TypeCastingHandler casting(handler);
+  const Value v(QType::scalar(TypeKind::Int), std::int64_t{9});
+  const ValuePtr q = casting.promote(v, "x", 0, {});
+  const ValuePtr c = casting.measure_to_classical(*q);
+  EXPECT_EQ(c->kind(), TypeKind::Int);
+  EXPECT_EQ(c->as_int(), 9);
+}
+
+TEST(Casting, CoerceAliasesMatchingQuantum) {
+  QuantumCircuitHandler handler(1);
+  TypeCastingHandler casting(handler);
+  const Value v(QType::scalar(TypeKind::Int), std::int64_t{2});
+  const ValuePtr q = casting.promote(v, "x", 0, {});
+  const ValuePtr alias = casting.coerce(q, QType::scalar(TypeKind::Quint), "y", {});
+  EXPECT_EQ(alias.get(), q.get());  // same storage: no cloning
+}
+
+TEST(Casting, CoerceClassicalWidenings) {
+  QuantumCircuitHandler handler(1);
+  TypeCastingHandler casting(handler);
+  const ValuePtr i = Value::make_int(3);
+  const ValuePtr f = casting.coerce(i, QType::scalar(TypeKind::Float), "f", {});
+  EXPECT_EQ(f->kind(), TypeKind::Float);
+  EXPECT_DOUBLE_EQ(f->as_float(), 3.0);
+  const ValuePtr b = casting.coerce(i, QType::scalar(TypeKind::Bool), "b", {});
+  EXPECT_TRUE(b->as_bool());
+  EXPECT_THROW((void)casting.coerce(f, QType::scalar(TypeKind::String), "s", {}),
+               LangError);
+}
+
+TEST(Casting, ConditionBoolRules) {
+  QuantumCircuitHandler handler(1);
+  TypeCastingHandler casting(handler);
+  EXPECT_TRUE(casting.condition_bool(Value(QType::scalar(TypeKind::Int),
+                                           std::int64_t{2}), {}));
+  EXPECT_FALSE(casting.condition_bool(Value(QType::scalar(TypeKind::Float), 0.0), {}));
+  EXPECT_TRUE(casting.condition_bool(Value(QType::scalar(TypeKind::String),
+                                           std::string("x")), {}));
+  // Quantum condition: measures.
+  const Value one(QType::scalar(TypeKind::Int), std::int64_t{1});
+  const ValuePtr q = casting.promote(one, "c", 0, {});
+  EXPECT_TRUE(casting.condition_bool(*q, {}));
+}
+
+TEST(Value, DisplayStrings) {
+  EXPECT_EQ(Value::make_bool(true)->to_display_string(), "true");
+  EXPECT_EQ(Value::make_int(-4)->to_display_string(), "-4");
+  EXPECT_EQ(Value::make_string("hi")->to_display_string(), "hi");
+  const auto arr = Value::make_array(TypeKind::Int,
+                                     {Value::make_int(1), Value::make_int(2)});
+  EXPECT_EQ(arr->to_display_string(), "[1, 2]");
+}
+
+TEST(Value, CheckedAccessorsThrowOnMismatch) {
+  const ValuePtr i = Value::make_int(1);
+  EXPECT_THROW((void)i->as_string(), LangError);
+  EXPECT_THROW((void)i->as_quantum(), LangError);
+  EXPECT_NO_THROW((void)i->as_float());  // int widens to float
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Tests for the QuantumCircuit IR: builders, validation, registers,
+// composition, inversion, and the depth/size metrics.
+#include <gtest/gtest.h>
+
+#include "qutes/circuit/circuit.hpp"
+#include "qutes/common/error.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::circ;
+
+TEST(Circuit, AnonymousConstruction) {
+  QuantumCircuit c(3, 2);
+  EXPECT_EQ(c.num_qubits(), 3u);
+  EXPECT_EQ(c.num_clbits(), 2u);
+  ASSERT_EQ(c.qregs().size(), 1u);
+  EXPECT_EQ(c.qregs()[0].name, "q");
+}
+
+TEST(Circuit, NamedRegistersGetFlatOffsets) {
+  QuantumCircuit c;
+  const auto& a = c.add_register("a", 2);
+  const auto& b = c.add_register("b", 3);
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(b.offset, 2u);
+  EXPECT_EQ(b[1], 3u);
+  EXPECT_EQ(c.num_qubits(), 5u);
+}
+
+TEST(Circuit, DuplicateRegisterRejected) {
+  QuantumCircuit c;
+  c.add_register("r", 1);
+  EXPECT_THROW(c.add_register("r", 2), CircuitError);
+  EXPECT_THROW(c.add_register("empty", 0), CircuitError);
+}
+
+TEST(Circuit, FluentBuildersAppend) {
+  QuantumCircuit c(3, 3);
+  c.h(0).cx(0, 1).ccx(0, 1, 2).rz(0.5, 2).measure(2, 0);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.instructions()[1].type, GateType::CX);
+  EXPECT_EQ(c.instructions()[3].params[0], 0.5);
+}
+
+TEST(Circuit, OperandValidation) {
+  QuantumCircuit c(2, 1);
+  EXPECT_THROW(c.h(2), CircuitError);                // out of range
+  EXPECT_THROW(c.cx(0, 0), CircuitError);            // duplicate operand
+  EXPECT_THROW(c.measure(0, 1), CircuitError);       // clbit out of range
+  EXPECT_THROW(c.cswap(1, 1, 0), CircuitError);      // duplicate
+}
+
+TEST(Circuit, McxStoresControlsThenTarget) {
+  QuantumCircuit c(4);
+  const std::size_t controls[3] = {0, 1, 2};
+  c.mcx(controls, 3);
+  const Instruction& in = c.instructions()[0];
+  EXPECT_EQ(in.type, GateType::MCX);
+  EXPECT_EQ(in.qubits.size(), 4u);
+  EXPECT_EQ(in.target(), 3u);
+}
+
+TEST(Circuit, CIfAttachesToLastInstruction) {
+  QuantumCircuit c(1, 1);
+  c.x(0).c_if(0, 1);
+  ASSERT_TRUE(c.instructions()[0].condition.has_value());
+  EXPECT_EQ(c.instructions()[0].condition->clbit, 0u);
+  EXPECT_EQ(c.instructions()[0].condition->value, 1);
+  QuantumCircuit empty(1, 1);
+  EXPECT_THROW(empty.c_if(0, 1), CircuitError);
+  EXPECT_THROW(c.x(0).c_if(0, 7), CircuitError);
+}
+
+TEST(Circuit, MeasureAllGrowsClbits) {
+  QuantumCircuit c(3);
+  c.measure_all();
+  EXPECT_EQ(c.num_clbits(), 3u);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Circuit, DepthSerialVsParallel) {
+  QuantumCircuit serial(1);
+  serial.h(0).x(0).z(0);
+  EXPECT_EQ(serial.depth(), 3u);
+
+  QuantumCircuit parallel(3);
+  parallel.h(0).h(1).h(2);
+  EXPECT_EQ(parallel.depth(), 1u);
+
+  QuantumCircuit mixed(2);
+  mixed.h(0).h(1).cx(0, 1).x(0);
+  EXPECT_EQ(mixed.depth(), 3u);
+}
+
+TEST(Circuit, BarrierSynchronizesWithoutDepth) {
+  QuantumCircuit c(2);
+  c.h(0);
+  c.barrier();
+  c.h(1);
+  // h(1) is forced after the barrier, which sits after h(0): depth 2.
+  EXPECT_EQ(c.depth(), 2u);
+  EXPECT_EQ(c.gate_count(), 2u);  // barrier not counted
+}
+
+TEST(Circuit, CountOps) {
+  QuantumCircuit c(2, 1);
+  c.h(0).h(1).cx(0, 1).measure(1, 0);
+  const auto counts = c.count_ops();
+  EXPECT_EQ(counts.at("h"), 2u);
+  EXPECT_EQ(counts.at("cx"), 1u);
+  EXPECT_EQ(counts.at("measure"), 1u);
+  EXPECT_EQ(c.multi_qubit_gate_count(), 1u);
+}
+
+TEST(Circuit, ComposeRemapsOperands) {
+  QuantumCircuit inner(2, 1);
+  inner.h(0).cx(0, 1).measure(1, 0);
+
+  QuantumCircuit outer(4, 2);
+  const std::size_t qmap[2] = {2, 3};
+  const std::size_t cmap[1] = {1};
+  outer.compose(inner, qmap, cmap);
+  ASSERT_EQ(outer.size(), 3u);
+  EXPECT_EQ(outer.instructions()[0].qubits[0], 2u);
+  EXPECT_EQ(outer.instructions()[1].qubits[1], 3u);
+  EXPECT_EQ(outer.instructions()[2].clbits[0], 1u);
+}
+
+TEST(Circuit, ComposeSizeMismatchRejected) {
+  QuantumCircuit inner(2);
+  inner.h(0);
+  QuantumCircuit outer(4);
+  const std::size_t bad[1] = {0};
+  EXPECT_THROW(outer.compose(inner, bad), CircuitError);
+}
+
+TEST(Circuit, InverseReversesAndNegatesAngles) {
+  QuantumCircuit c(2);
+  c.h(0).rz(0.7, 0).cx(0, 1).t(1);
+  const QuantumCircuit inv = c.inverse();
+  ASSERT_EQ(inv.size(), 4u);
+  EXPECT_EQ(inv.instructions()[0].type, GateType::Tdg);
+  EXPECT_EQ(inv.instructions()[1].type, GateType::CX);
+  EXPECT_EQ(inv.instructions()[2].type, GateType::RZ);
+  EXPECT_DOUBLE_EQ(inv.instructions()[2].params[0], -0.7);
+  EXPECT_EQ(inv.instructions()[3].type, GateType::H);
+}
+
+TEST(Circuit, InverseRejectsNonUnitary) {
+  QuantumCircuit c(1, 1);
+  c.h(0).measure(0, 0);
+  EXPECT_THROW((void)c.inverse(), CircuitError);
+}
+
+TEST(Circuit, RepeatConcatenates) {
+  QuantumCircuit c(1);
+  c.h(0).t(0);
+  const QuantumCircuit r = c.repeat(3);
+  EXPECT_EQ(r.size(), 6u);
+  EXPECT_EQ(r.num_qubits(), 1u);
+}
+
+TEST(Circuit, GateMetadata) {
+  EXPECT_EQ(fixed_arity(GateType::H), 1u);
+  EXPECT_EQ(fixed_arity(GateType::CX), 2u);
+  EXPECT_EQ(fixed_arity(GateType::CCX), 3u);
+  EXPECT_EQ(fixed_arity(GateType::MCX), 0u);  // variadic
+  EXPECT_EQ(param_count(GateType::U), 3u);
+  EXPECT_EQ(param_count(GateType::CP), 1u);
+  EXPECT_STREQ(gate_name(GateType::Sdg), "sdg");
+  EXPECT_TRUE(is_unitary_gate(GateType::SWAP));
+  EXPECT_FALSE(is_unitary_gate(GateType::Measure));
+}
+
+TEST(Circuit, BadArityRejected) {
+  QuantumCircuit c(3);
+  Instruction in;
+  in.type = GateType::CX;
+  in.qubits = {0};
+  EXPECT_THROW(c.append(in), CircuitError);
+  Instruction mc;
+  mc.type = GateType::MCX;
+  mc.qubits = {0};  // needs >= 2
+  EXPECT_THROW(c.append(mc), CircuitError);
+  Instruction p;
+  p.type = GateType::P;
+  p.qubits = {0};   // missing parameter
+  EXPECT_THROW(c.append(p), CircuitError);
+}
+
+}  // namespace

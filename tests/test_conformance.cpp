@@ -1,0 +1,137 @@
+// E8 — language-feature conformance suite: one test per feature the paper
+// claims for Qutes in its comparative analysis (Section 2.2) and type-system
+// description (Section 4). Each test is a tiny Qutes program whose
+// observable behaviour demonstrates the feature.
+#include <gtest/gtest.h>
+
+#include "qutes/lang/compiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::lang;
+
+std::string run(const std::string& source, std::uint64_t seed = 7) {
+  RunOptions options;
+  options.seed = seed;
+  return run_source(source, options).output;
+}
+
+// "supporting type promotion between classical and quantum types"
+TEST(Conformance, TypePromotionClassicalToQuantum) {
+  EXPECT_EQ(run("int c = 6; quint q = c; print q;"), "6\n");
+  EXPECT_EQ(run("bool c = true; qubit q = c; print q;"), "true\n");
+  EXPECT_EQ(run("string c = \"011\"; qustring q = c; print q;"), "011\n");
+}
+
+// "enabling quantum-to-classical conversions via measurement"
+TEST(Conformance, QuantumToClassicalViaMeasurement) {
+  EXPECT_EQ(run("quint q = 5q; int c = q; print c;"), "5\n");
+}
+
+// "robust operations like automatic measurement" for conditions
+TEST(Conformance, AutomaticMeasurementInConditions) {
+  EXPECT_EQ(run("qubit q = |1>; if (q) print \"measured 1\";"), "measured 1\n");
+  EXPECT_EQ(run("quint q = 2q; while (q > 2) { } print \"terminated\";"),
+            "terminated\n");
+}
+
+// "versatile data types, including qubit, quint, and qustring"
+TEST(Conformance, AllThreeQuantumTypes) {
+  EXPECT_EQ(run("qubit a = |1>; quint b = 3q; qustring c = \"10\"q; "
+                "print a; print b; print c;"),
+            "true\n3\n10\n");
+}
+
+// "supports arrays of both classical and quantum data types"
+TEST(Conformance, ClassicalAndQuantumArrays) {
+  EXPECT_EQ(run("int[] xs = [4, 5]; print xs[0] + xs[1];"), "9\n");
+  EXPECT_EQ(run("qubit[] qs = [|1>, |0>]; print qs[0]; print qs[1];"),
+            "true\nfalse\n");
+}
+
+// arrays: "indexed access ... read or modify elements"
+TEST(Conformance, ArrayIndexedReadWrite) {
+  EXPECT_EQ(run("int[] xs = [1, 2, 3]; xs[1] = 20; print xs[1];"), "20\n");
+}
+
+// arrays: "ability to iterate through arrays"
+TEST(Conformance, ForeachIteration) {
+  EXPECT_EQ(run("int total = 0; foreach x in [1, 2, 3, 4] { total += x; } "
+                "print total;"),
+            "10\n");
+}
+
+// "functions can accept multiple parameters and return values,
+//  accommodating both classical and quantum types"
+TEST(Conformance, FunctionsWithMixedTypes) {
+  EXPECT_EQ(run("int addmeasured(quint q, int k) { int m = q; return m + k; } "
+                "quint v = 4q; print addmeasured(v, 2);"),
+            "6\n");
+}
+
+// "variables are always passed by reference"
+TEST(Conformance, PassByReference) {
+  EXPECT_EQ(run("void gate_it(qubit q) { not q; } "
+                "qubit v = |0>; gate_it(v); print v;"),
+            "true\n");
+}
+
+// control structures: if / if-else / while / foreach
+TEST(Conformance, ControlStructures) {
+  EXPECT_EQ(run("int x = 3; if (x > 2) print \"gt\"; else print \"le\";"), "gt\n");
+  EXPECT_EQ(run("int n = 0; while (n < 3) n += 1; print n;"), "3\n");
+}
+
+// "superposition addition" as a language-level operation
+TEST(Conformance, SuperpositionAddition) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::string out =
+        run("quint s = [0, 2]q; quint<3> t = s + 1; print t;", seed);
+    EXPECT_TRUE(out == "1\n" || out == "3\n") << out;
+  }
+}
+
+// "cyclic permutation" as a language-level operation
+TEST(Conformance, CyclicPermutationOperator) {
+  EXPECT_EQ(run("quint<4> x = 3q; x <<= 2; print x;"), "12\n");
+}
+
+// quantum gates exposed as language statements
+TEST(Conformance, GateStatements) {
+  EXPECT_EQ(run("qubit q = |0>; not q; pauliz q; pauliy q; hadamard q; "
+                "hadamard q; pauliy q; not q; print q;"),
+            "false\n");
+}
+
+// Grover's search surfaced through the `in` operator
+TEST(Conformance, GroverInOperator) {
+  EXPECT_EQ(run("qustring t = \"00100\"q; print \"1\" in t;"), "true\n");
+}
+
+// classical data types: bool, int, float, string
+TEST(Conformance, ClassicalTypes) {
+  EXPECT_EQ(run("bool b = true; int i = 2; float f = 0.5; string s = \"x\"; "
+                "print b; print i; print f; print s;"),
+            "true\n2\n0.5\nx\n");
+}
+
+// no-cloning respected: quantum assignment aliases instead of copying
+TEST(Conformance, NoCloningAliasSemantics) {
+  // b aliases a, so flipping b flips a.
+  EXPECT_EQ(run("qubit a = |0>; qubit b = a; not b; print a;"), "true\n");
+}
+
+// comments (line and block) are part of the surface syntax
+TEST(Conformance, Comments) {
+  EXPECT_EQ(run("// line\n/* block */ print 1;"), "1\n");
+}
+
+// barrier statement reaches the circuit log
+TEST(Conformance, BarrierStatement) {
+  RunOptions options;
+  const auto result = run_source("qubit q = |0>; barrier; not q;", options);
+  EXPECT_EQ(result.circuit.count_ops().count("barrier"), 1u);
+}
+
+}  // namespace

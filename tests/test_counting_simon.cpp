@@ -1,0 +1,173 @@
+// Quantum counting and Simon's algorithm tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "qutes/algorithms/counting.hpp"
+#include "qutes/algorithms/grover.hpp"
+#include "qutes/algorithms/oracles.hpp"
+#include "qutes/algorithms/simon.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::algo;
+
+// ---- controlled Grover iteration -----------------------------------------------
+
+TEST(ControlledGrover, ControlOffIsIdentity) {
+  circ::QuantumCircuit c;
+  c.add_register("ctl", 1);
+  c.add_register("q", 3);
+  std::vector<std::size_t> qubits = {1, 2, 3};
+  for (std::size_t q : qubits) c.h(q);
+  circ::QuantumCircuit ref = c;
+
+  const std::uint64_t marked[] = {5};
+  append_controlled_grover_iteration(c, 0, qubits, marked);
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  EXPECT_NEAR(ex.run_single(c).state.fidelity(ex.run_single(ref).state), 1.0, 1e-9);
+}
+
+TEST(ControlledGrover, ControlOnMatchesPlainIteration) {
+  // With the control in |1>, the controlled iteration must act exactly like
+  // the plain oracle+diffusion (exact amplitudes — the Z correction makes
+  // the phases match, not just the fidelity).
+  circ::QuantumCircuit controlled;
+  controlled.add_register("ctl", 1);
+  controlled.add_register("q", 3);
+  controlled.x(0);
+  std::vector<std::size_t> qubits = {1, 2, 3};
+  for (std::size_t q : qubits) controlled.h(q);
+  const std::uint64_t marked[] = {3, 6};
+  append_controlled_grover_iteration(controlled, 0, qubits, marked);
+
+  circ::QuantumCircuit plain;
+  plain.add_register("ctl", 1);
+  plain.add_register("q", 3);
+  plain.x(0);
+  for (std::size_t q : qubits) plain.h(q);
+  append_phase_oracle_values(plain, qubits, marked);
+  append_diffusion(plain, qubits);
+  // append_diffusion implements -(2|s><s| - I); the controlled version
+  // corrects that sign (Z on the control), so match it with a global phase.
+  plain.add_global_phase(M_PI);
+
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto a = ex.run_single(controlled);
+  const auto b = ex.run_single(plain);
+  for (std::uint64_t i = 0; i < a.state.dim(); ++i) {
+    EXPECT_NEAR(std::abs(a.state.amplitude(i) - b.state.amplitude(i)), 0.0, 1e-9)
+        << "basis " << i;
+  }
+}
+
+// ---- quantum counting --------------------------------------------------------------
+
+class CountingSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CountingSweep, EstimatesMarkedCount) {
+  // n = 3 search qubits (N = 8), t = 5 counting bits; plant M marked states.
+  const std::size_t m = GetParam();
+  std::vector<std::uint64_t> marked;
+  for (std::size_t i = 0; i < m; ++i) marked.push_back(i * 2 + 1);
+  // QPE rounds the eigenphase to t bits and lands on a neighbour with
+  // nontrivial probability: use the median over several shots.
+  std::vector<double> estimates;
+  for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+    estimates.push_back(
+        run_quantum_counting(3, marked, 5, 100 * seed + m).estimated_marked);
+  }
+  std::sort(estimates.begin(), estimates.end());
+  EXPECT_NEAR(estimates[estimates.size() / 2], static_cast<double>(m), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(MarkedCounts, CountingSweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Counting, ZeroMarkedGivesZero) {
+  const std::vector<std::uint64_t> none;
+  const CountingResult result = run_quantum_counting(3, none, 5, 3);
+  EXPECT_NEAR(result.estimated_marked, 0.0, 0.4);
+}
+
+TEST(Counting, EstimateFeedsGroverIterationChoice) {
+  // End-to-end: count M, derive the iteration count, run Grover with it.
+  const std::uint64_t marked[] = {2, 5};
+  const CountingResult counted = run_quantum_counting(3, marked, 5, 9);
+  const auto m_hat = static_cast<std::uint64_t>(
+      std::max(1.0, std::round(counted.estimated_marked)));
+  const std::size_t iterations = optimal_grover_iterations(8, m_hat);
+  const GroverResult grover = run_grover(3, marked, 4, iterations);
+  EXPECT_GT(grover.success_probability, 0.6);
+}
+
+TEST(Counting, Validation) {
+  const std::uint64_t marked[] = {0};
+  EXPECT_THROW((void)build_counting_circuit(0, marked, 3), Error);
+  EXPECT_THROW((void)build_counting_circuit(3, marked, 0), Error);
+  const std::uint64_t bad[] = {99};
+  circ::QuantumCircuit c(4);
+  std::vector<std::size_t> qs = {1, 2, 3};
+  EXPECT_THROW(append_controlled_grover_iteration(c, 0, qs, bad), Error);
+}
+
+// ---- GF(2) system ---------------------------------------------------------------------
+
+TEST(Gf2, RankTracking) {
+  Gf2System system;
+  EXPECT_TRUE(system.add(0b101));
+  EXPECT_TRUE(system.add(0b011));
+  EXPECT_FALSE(system.add(0b110));  // = 101 ^ 011: dependent
+  EXPECT_EQ(system.rank(), 2u);
+  EXPECT_FALSE(system.add(0));
+}
+
+TEST(Gf2, NullspaceOfFullRankMinusOne) {
+  Gf2System system;
+  // Equations orthogonal to s = 0b110 over 3 bits: y in {000, 001, 110, 111}.
+  system.add(0b001);
+  system.add(0b110);
+  const auto solutions = system.nullspace(3);
+  ASSERT_EQ(solutions.size(), 1u);
+  EXPECT_EQ(solutions[0], 0b110u);
+}
+
+// ---- Simon ---------------------------------------------------------------------------
+
+TEST(Simon, SamplesAreOrthogonalToTheSecret) {
+  const std::uint64_t secret = 0b101;
+  const auto circuit = build_simon_circuit(3, secret);
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    circ::Executor ex({.shots = 1, .seed = rng(), .noise = {}});
+    const std::uint64_t y = ex.run_single(circuit).clbits & 7u;
+    EXPECT_EQ(std::popcount(y & secret) % 2, 0) << "y=" << y;
+  }
+}
+
+class SimonSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimonSweep, RecoversTheSecret) {
+  const std::uint64_t secret = GetParam();
+  const std::size_t n = bits_for(secret) < 3 ? 3 : bits_for(secret);
+  const SimonResult result = run_simon(n, secret, secret * 13 + 7);
+  EXPECT_TRUE(result.success) << "secret=" << secret;
+  EXPECT_EQ(result.recovered, secret);
+  // O(n) quantum queries — far below the 2^{n-1}+1 classical bound.
+  EXPECT_LT(result.quantum_queries, 20 * n + 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Secrets, SimonSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 9u, 12u, 15u));
+
+TEST(Simon, Validation) {
+  EXPECT_THROW((void)build_simon_circuit(3, 0), Error);   // zero secret
+  EXPECT_THROW((void)build_simon_circuit(3, 8), Error);   // doesn't fit
+  EXPECT_THROW((void)build_simon_circuit(9, 1), Error);   // too wide
+}
+
+}  // namespace

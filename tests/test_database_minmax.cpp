@@ -1,0 +1,196 @@
+// Quantum database operations (paper §6 future work): less-than comparator
+// oracle, equality/filter search over loaded tables, and Durr-Hoyer
+// minimum/maximum finding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qutes/algorithms/database.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::algo;
+
+std::vector<std::size_t> iota(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+// ---- less-than oracle --------------------------------------------------------------
+
+class LessThanOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LessThanOracle, MarksExactlyTheStatesBelow) {
+  const std::uint64_t bound = GetParam();
+  const std::size_t n = 4;
+  circ::QuantumCircuit c(n);
+  for (std::size_t q : iota(n)) c.h(q);
+  append_less_than_oracle(c, iota(n), bound);
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto traj = ex.run_single(c);
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    const double expected = (x < bound ? -1.0 : 1.0) / 4.0;
+    EXPECT_NEAR(traj.state.amplitude(x).real(), expected, 1e-9)
+        << "bound=" << bound << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, LessThanOracle,
+                         ::testing::Values(0u, 1u, 2u, 5u, 7u, 8u, 11u, 15u));
+
+TEST(LessThanOracle, Validation) {
+  circ::QuantumCircuit c(3);
+  EXPECT_THROW(append_less_than_oracle(c, iota(3), 8), Error);
+  const std::vector<std::size_t> none;
+  EXPECT_THROW(append_less_than_oracle(c, none, 1), Error);
+}
+
+TEST(LessThanOracle, SelfInverse) {
+  circ::QuantumCircuit c(4);
+  for (std::size_t q : iota(4)) c.ry(0.2 + 0.1 * static_cast<double>(q), q);
+  circ::QuantumCircuit ref = c;
+  append_less_than_oracle(c, iota(4), 11);
+  append_less_than_oracle(c, iota(4), 11);
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  EXPECT_NEAR(ex.run_single(c).state.fidelity(ex.run_single(ref).state), 1.0, 1e-9);
+}
+
+// ---- database equality search --------------------------------------------------------
+
+TEST(Database, RegisterSizing) {
+  const QuantumDatabase db({3, 7, 1, 12, 5});
+  EXPECT_EQ(db.size(), 5u);
+  EXPECT_EQ(db.index_qubits(), 3u);  // 5 entries -> 3 bits
+  EXPECT_EQ(db.value_qubits(), 4u);  // widest entry 12 -> 4 bits
+  EXPECT_THROW(QuantumDatabase({}), Error);
+}
+
+TEST(Database, EqualitySearchFindsUniqueEntry) {
+  const QuantumDatabase db({9, 4, 13, 2, 7, 11, 0, 6});
+  int hits = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const GroverResult result = db.run_equal(13, seed);
+    EXPECT_GT(result.success_probability, 0.9);
+    if (result.hit) {
+      EXPECT_EQ(result.outcome, 2u);
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 8);
+}
+
+TEST(Database, EqualitySearchMultipleMatches) {
+  const QuantumDatabase db({5, 3, 5, 1, 5, 7, 5, 2});  // four 5s out of 8
+  const GroverResult result = db.run_equal(5, 3);
+  // M/N = 1/2: optimum is 0 iterations; uniform measurement succeeds half
+  // the time and success_probability reports exactly that.
+  EXPECT_NEAR(result.success_probability, 0.5, 1e-9);
+  EXPECT_EQ(result.oracle_calls, 0u);
+}
+
+TEST(Database, AbsentKeyNeverVerifies) {
+  const QuantumDatabase db({1, 2, 3, 4});
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const GroverResult result = db.run_equal(7, seed);
+    EXPECT_FALSE(result.hit);
+    EXPECT_NEAR(result.success_probability, 0.0, 1e-9);
+  }
+}
+
+TEST(Database, PaddingIndicesCannotFalsePositive) {
+  // 5 entries padded to 8 index states; the key occurs once.
+  const QuantumDatabase db({2, 9, 4, 9, 9});
+  // Key 4 at index 2 only; padding loads ~4 which never equals 4.
+  const GroverResult result = db.run_equal(4, 11);
+  EXPECT_GT(result.success_probability, 0.6);
+  if (result.hit) {
+    EXPECT_EQ(result.outcome, 2u);
+  }
+}
+
+TEST(Database, LessThanSearchAmplifiesSmallEntries) {
+  const QuantumDatabase db({12, 3, 14, 9, 13, 15, 11, 10});  // 3 and 9 below 10
+  const circ::QuantumCircuit circuit = db.build_less_than_circuit(
+      10, optimal_grover_iterations(8, 2));
+  circ::Executor ex({.shots = 1, .seed = 4, .noise = {}});
+  // Strip measurement, inspect index distribution.
+  circ::QuantumCircuit unm;
+  unm.add_register("idx", db.index_qubits());
+  unm.add_register("val", db.value_qubits());
+  for (const auto& in : circuit.instructions()) {
+    if (in.type != circ::GateType::Measure) unm.append(in);
+  }
+  const auto traj = ex.run_single(unm);
+  double p_below = 0.0;
+  for (std::uint64_t basis = 0; basis < traj.state.dim(); ++basis) {
+    const std::uint64_t idx = basis & 7u;
+    if (idx < db.size() && db.values()[idx] < 10) {
+      p_below += std::norm(traj.state.amplitude(basis));
+    }
+  }
+  EXPECT_GT(p_below, 0.9);
+}
+
+// ---- Durr-Hoyer minimum / maximum ------------------------------------------------------
+
+class MinimumSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinimumSweep, FindsTheTrueMinimum) {
+  // Reproducible pseudo-random tables of varying size.
+  Rng rng(GetParam());
+  const std::size_t size = 4 + rng.below(12);
+  std::vector<std::uint64_t> values(size);
+  for (auto& v : values) v = rng.below(30);
+  const ExtremumResult result = find_minimum(values, GetParam() * 31 + 5);
+  EXPECT_TRUE(result.exact) << "seed " << GetParam();
+  EXPECT_GT(result.grover_rounds, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimumSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Minimum, SingletonAndUniform) {
+  const std::vector<std::uint64_t> one = {7};
+  EXPECT_EQ(find_minimum(one).value, 7u);
+  const std::vector<std::uint64_t> flat = {4, 4, 4, 4};
+  EXPECT_EQ(find_minimum(flat).value, 4u);
+}
+
+TEST(Minimum, ZeroShortCircuits) {
+  const std::vector<std::uint64_t> values = {5, 0, 9, 3};
+  const ExtremumResult result = find_minimum(values, 2);
+  EXPECT_EQ(result.value, 0u);
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(Maximum, FindsTheTrueMaximum) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed + 100);
+    std::vector<std::uint64_t> values(10);
+    for (auto& v : values) v = rng.below(25);
+    const ExtremumResult result = find_maximum(values, seed);
+    EXPECT_TRUE(result.exact) << "seed " << seed;
+  }
+}
+
+TEST(Minimum, OracleBudgetIsSublinearInTableSize) {
+  // The oracle-call budget follows the Durr-Hoyer O(sqrt(N)) bound — far
+  // below the classical N-1 comparisons for large N.
+  Rng rng(5);
+  std::vector<std::uint64_t> values(16);
+  for (auto& v : values) v = rng.below(60);
+  const ExtremumResult result = find_minimum(values, 77);
+  EXPECT_TRUE(result.exact);
+  EXPECT_LT(result.oracle_calls, 23u * 4u + 11u);  // 22.5 sqrt(16) + slack
+}
+
+TEST(Extremum, EmptyTableRejected) {
+  const std::vector<std::uint64_t> none;
+  EXPECT_THROW((void)find_minimum(none), Error);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// DSL surface of the paper's §6 extensions: database builtins
+// (qmin/qmax/qsearch), debugging tools (dump_state, prob, --trace), and the
+// statement trace plumbing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qutes/lang/compiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::lang;
+
+std::string run(const std::string& source, std::uint64_t seed = 7) {
+  RunOptions options;
+  options.seed = seed;
+  return run_source(source, options).output;
+}
+
+// ---- database builtins ---------------------------------------------------------
+
+TEST(DbBuiltins, QminQmaxOnIntArrays) {
+  EXPECT_EQ(run("print qmin([9, 4, 13, 2, 7]);"), "2\n");
+  EXPECT_EQ(run("print qmax([9, 4, 13, 2, 7]);"), "13\n");
+  EXPECT_EQ(run("int[] xs = [5, 5, 5]; print qmin(xs); print qmax(xs);"), "5\n5\n");
+}
+
+TEST(DbBuiltins, QminAcrossSeedsIsAlwaysExact) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(run("print qmin([21, 8, 30, 3, 17, 11, 25, 6]);", seed), "3\n");
+    EXPECT_EQ(run("print qmax([21, 8, 30, 3, 17, 11, 25, 6]);", seed), "30\n");
+  }
+}
+
+TEST(DbBuiltins, QsearchFindsIndex) {
+  EXPECT_EQ(run("print qsearch([9, 4, 13, 2], 13);"), "2\n");
+  EXPECT_EQ(run("print qsearch([9, 4, 13, 2], 99);"), "-1\n");
+}
+
+TEST(DbBuiltins, QsearchInlinesARealCircuit) {
+  RunOptions options;
+  options.seed = 3;
+  const auto result =
+      run_source("int idx = qsearch([9, 4, 13, 2, 7, 11, 0, 6], 11);", options);
+  EXPECT_GT(result.num_qubits, 5u);   // index + value registers allocated
+  EXPECT_GT(result.gate_count, 40u);  // loads + oracle + diffusion
+  bool found_register = false;
+  for (const auto& reg : result.circuit.qregs()) {
+    if (reg.name.find("qsearch") != std::string::npos) found_register = true;
+  }
+  EXPECT_TRUE(found_register);
+}
+
+TEST(DbBuiltins, Validation) {
+  EXPECT_THROW(run("print qmin(3);"), LangError);
+  EXPECT_THROW(run("print qmin([-1, 2]);"), LangError);
+  EXPECT_THROW(run("int[] e; print qmin(e);"), LangError);
+}
+
+// ---- debugging tools -------------------------------------------------------------
+
+TEST(Debug, DumpStateShowsAmplitudes) {
+  EXPECT_EQ(run("print dump_state();"), "(no qubits)\n");
+  const std::string out = run("qubit q = |1>; print dump_state();");
+  EXPECT_NE(out.find("|1>"), std::string::npos);
+  const std::string plus = run("qubit q = |+>; print dump_state();");
+  EXPECT_NE(plus.find("|0>"), std::string::npos);
+  EXPECT_NE(plus.find("|1>"), std::string::npos);
+  EXPECT_NE(plus.find("0.7071"), std::string::npos);
+}
+
+TEST(Debug, ProbReadsWithoutCollapsing) {
+  // prob() twice on |+> gives 0.5 both times (a measurement would pin it).
+  EXPECT_EQ(run("qubit q = |+>; print prob(q); print prob(q);"), "0.5\n0.5\n");
+  EXPECT_EQ(run("qubit q = |1>; print prob(q);"), "1\n");
+}
+
+TEST(Debug, ProbAppendsNothingToTheCircuit) {
+  RunOptions options;
+  const auto result = run_source("qubit q = |+>; float p = prob(q);", options);
+  EXPECT_EQ(result.circuit.count_ops().count("measure"), 0u);
+}
+
+TEST(Debug, TraceEmitsOneLinePerStatement) {
+  RunOptions options;
+  std::ostringstream trace;
+  options.trace = &trace;
+  (void)run_source("int x = 1; x += 2; print x;", options);
+  const std::string text = trace.str();
+  EXPECT_NE(text.find("[trace] 1:"), std::string::npos);
+  EXPECT_NE(text.find("decl"), std::string::npos);
+  EXPECT_NE(text.find("assign"), std::string::npos);
+  EXPECT_NE(text.find("print"), std::string::npos);
+  // Three top-level statements -> at least three trace lines.
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_GE(lines, 3u);
+}
+
+TEST(Debug, TraceReportsCircuitGrowth) {
+  RunOptions options;
+  std::ostringstream trace;
+  options.trace = &trace;
+  (void)run_source("qubit q = |0>; hadamard q; hadamard q;", options);
+  const std::string text = trace.str();
+  EXPECT_NE(text.find("qubits=0"), std::string::npos);  // before the decl
+  EXPECT_NE(text.find("qubits=1 gates=1"), std::string::npos);  // after first H
+}
+
+TEST(Debug, TraceOffByDefault) {
+  RunOptions options;
+  const auto result = run_source("print 1;", options);
+  EXPECT_EQ(result.output, "1\n");  // no trace text mixed into output
+}
+
+}  // namespace

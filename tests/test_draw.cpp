@@ -1,0 +1,59 @@
+// Smoke tests for the ASCII drawer: row labels, gate glyphs, layering.
+#include <gtest/gtest.h>
+
+#include "qutes/circuit/draw.hpp"
+
+namespace {
+
+using namespace qutes::circ;
+
+TEST(Draw, EmptyCircuit) {
+  QuantumCircuit c;
+  EXPECT_NE(draw(c).find("empty"), std::string::npos);
+}
+
+TEST(Draw, LabelsEveryQubitRow) {
+  QuantumCircuit c;
+  c.add_register("data", 2);
+  c.add_register("anc", 1);
+  const std::string art = draw(c);
+  EXPECT_NE(art.find("data[0]"), std::string::npos);
+  EXPECT_NE(art.find("data[1]"), std::string::npos);
+  EXPECT_NE(art.find("anc[0]"), std::string::npos);
+}
+
+TEST(Draw, GateGlyphs) {
+  QuantumCircuit c(3, 1);
+  c.h(0).cx(0, 1).ccx(0, 1, 2).swap(0, 2).measure(2, 0);
+  const std::string art = draw(c);
+  EXPECT_NE(art.find("H"), std::string::npos);
+  EXPECT_NE(art.find("(+)"), std::string::npos);  // CX/CCX target
+  EXPECT_NE(art.find("*"), std::string::npos);    // control dot
+  EXPECT_NE(art.find("x"), std::string::npos);    // swap ends
+  EXPECT_NE(art.find("M"), std::string::npos);    // measure
+}
+
+TEST(Draw, ParameterizedGatesShowAngle) {
+  QuantumCircuit c(1);
+  c.rz(0.5, 0);
+  EXPECT_NE(draw(c).find("RZ(0.5)"), std::string::npos);
+}
+
+TEST(Draw, OneLinePerQubit) {
+  QuantumCircuit c(4);
+  c.h(0);
+  const std::string art = draw(c);
+  std::size_t lines = 0;
+  for (char ch : art) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(Draw, ClassicalSummaryLine) {
+  QuantumCircuit c(1, 3);
+  c.h(0);
+  EXPECT_NE(draw(c).find("3 classical bit(s)"), std::string::npos);
+}
+
+}  // namespace

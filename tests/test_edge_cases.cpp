@@ -1,0 +1,222 @@
+// Edge-case battery across the stack: parser/interpreter corner cases,
+// boundary widths, alias semantics, and importer/drawer oddities that the
+// per-module suites don't reach.
+#include <gtest/gtest.h>
+
+#include "qutes/circuit/draw.hpp"
+#include "qutes/circuit/qasm.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/lang/compiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::lang;
+
+std::string run(const std::string& source, std::uint64_t seed = 7) {
+  RunOptions options;
+  options.seed = seed;
+  return run_source(source, options).output;
+}
+
+// ---- parser / lexer corners ---------------------------------------------------
+
+TEST(Edge, DeeplyNestedExpressions) {
+  std::string expr = "1";
+  for (int i = 0; i < 60; ++i) expr = "(" + expr + " + 1)";
+  EXPECT_EQ(run("print " + expr + ";"), "61\n");
+}
+
+TEST(Edge, DeeplyNestedBlocks) {
+  std::string source;
+  for (int i = 0; i < 50; ++i) source += "{ ";
+  source += "print 1;";
+  for (int i = 0; i < 50; ++i) source += " }";
+  EXPECT_EQ(run(source), "1\n");
+}
+
+TEST(Edge, LongIdentifiers) {
+  const std::string name(200, 'x');
+  EXPECT_EQ(run("int " + name + " = 5; print " + name + ";"), "5\n");
+}
+
+TEST(Edge, ChainedElse) {
+  EXPECT_EQ(run("int x = 2;"
+                "if (x == 1) print \"a\";"
+                "else if (x == 2) print \"b\";"
+                "else if (x == 3) print \"c\";"
+                "else print \"d\";"),
+            "b\n");
+}
+
+TEST(Edge, DanglingElseBindsToNearestIf) {
+  // `else` must attach to the inner if.
+  EXPECT_EQ(run("if (true) if (false) print \"inner\"; else print \"else\";"),
+            "else\n");
+}
+
+TEST(Edge, EmptyBlocksAndFunctions) {
+  EXPECT_EQ(run("{} if (true) {} void f() {} f(); print 1;"), "1\n");
+}
+
+TEST(Edge, CommentsEverywhere) {
+  EXPECT_EQ(run("int /*a*/ x /*b*/ = /*c*/ 1 /*d*/; // e\nprint x;"), "1\n");
+}
+
+// ---- classical semantics corners -------------------------------------------------
+
+TEST(Edge, NegativeModuloAndDivision) {
+  EXPECT_EQ(run("print -7 / 2; print -7 % 2;"), "-3\n-1\n");  // C++ semantics
+}
+
+TEST(Edge, FloatPrinting) {
+  EXPECT_EQ(run("print 0.5; print 2.0; print 1.25 + 1.25;"), "0.5\n2\n2.5\n");
+}
+
+TEST(Edge, BoolArithmeticCoercion) {
+  EXPECT_EQ(run("print true + 1;"), "2\n");  // bool widens to int
+  EXPECT_EQ(run("int x = 5; bool b = x; print b;"), "true\n");
+}
+
+TEST(Edge, StringComparisonChain) {
+  EXPECT_EQ(run("print (\"a\" < \"b\") == (\"b\" < \"c\");"), "true\n");
+}
+
+TEST(Edge, ForeachOverEmptyArray) {
+  EXPECT_EQ(run("int[] e; foreach x in e { print x; } print \"done\";"), "done\n");
+}
+
+TEST(Edge, WhileFalseNeverRuns) {
+  EXPECT_EQ(run("while (false) { print \"no\"; } print \"yes\";"), "yes\n");
+}
+
+// ---- quantum corners ----------------------------------------------------------------
+
+TEST(Edge, QuintWidthBoundaries) {
+  EXPECT_EQ(run("quint<1> x = 1q; print x;"), "1\n");
+  // Width 24 is the declared maximum; allocating it alone is legal.
+  EXPECT_EQ(run("quint<24> x = 0q; print len(x);"), "24\n");
+  EXPECT_THROW(run("quint<25> x = 0q;"), LangError);
+  // Value overflowing the declared width.
+  EXPECT_THROW(run("quint<2> x = 4q;"), LangError);
+}
+
+TEST(Edge, MaxValueEncoding) {
+  EXPECT_EQ(run("quint<8> x = 255q; print x;"), "255\n");
+}
+
+TEST(Edge, SuperpositionLiteralSingleValueIsBasis) {
+  EXPECT_EQ(run("quint s = [5]q; print s;"), "5\n");
+}
+
+TEST(Edge, SuperpositionDuplicateRejected) {
+  EXPECT_THROW(run("quint s = [1, 1]q;"), LangError);
+}
+
+TEST(Edge, QuantumAliasingChains) {
+  // c aliases b aliases a: flipping c flips a.
+  EXPECT_EQ(run("qubit a = |0>; qubit b = a; qubit c = b; not c; print a;"),
+            "true\n");
+}
+
+TEST(Edge, QubitIndexAliasesIntoParent) {
+  EXPECT_EQ(run("quint<3> x = 0q; qubit b = x[1]; not b; print x;"), "2\n");
+}
+
+TEST(Edge, FunctionReturningQuantumAliases) {
+  EXPECT_EQ(run("qubit pick(qubit a, qubit b) { return b; } "
+                "qubit p = |0>; qubit q = |0>; qubit r = pick(p, q); "
+                "not r; print q;"),
+            "true\n");
+}
+
+TEST(Edge, ShadowedQuantumVariableKeepsOuterRegister) {
+  EXPECT_EQ(run("qubit q = |0>; { qubit q = |1>; print q; } print q;"),
+            "true\nfalse\n");
+}
+
+TEST(Edge, MeasureStatementCollapsesForLater) {
+  // After `measure q;` the later read agrees with the collapsed value on
+  // every seed (no double randomness).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::string out =
+        run("qubit q = |+>; measure q; bool a = q; bool b = q; print a == b;",
+            seed);
+    EXPECT_EQ(out, "true\n");
+  }
+}
+
+TEST(Edge, ResetStatement) {
+  EXPECT_EQ(run("qubit q = |1>; reset q; print q;"), "false\n");
+  EXPECT_EQ(run("quint<3> x = 7q; reset x; print x;"), "0\n");
+}
+
+TEST(Edge, CompoundAddOnArrayElementQuint) {
+  EXPECT_EQ(run("quint<4> a = 1q; quint<4> b = 2q; "
+                "not a[1];"  // a = 3
+                "a += 2; print a;"),
+            "5\n");
+}
+
+TEST(Edge, ZeroShiftIsNoop) {
+  EXPECT_EQ(run("quint<4> x = 5q; x <<= 0; print x;"), "5\n");
+  EXPECT_EQ(run("quint<4> x = 5q; x <<= 4; print x;"), "5\n");  // full turn
+}
+
+TEST(Edge, AdditionWithZero) {
+  EXPECT_EQ(run("quint a = 5q; quint c = a + 0; print c;"), "5\n");
+  EXPECT_EQ(run("quint<4> x = 5q; x += 0; print x;"), "5\n");
+}
+
+TEST(Edge, GateStatementOnArrayBroadcasts) {
+  EXPECT_EQ(run("qubit[] qs = [|0>, |0>, |0>]; not qs; "
+                "print qs[0]; print qs[1]; print qs[2];"),
+            "true\ntrue\ntrue\n");
+}
+
+// ---- importer / drawer corners ----------------------------------------------------
+
+TEST(Edge, QasmImportBarrierNoArgs) {
+  const auto c = circ::qasm::import_circuit("qreg q[2]; h q[0]; barrier; h q[1];");
+  EXPECT_EQ(c.count_ops().at("barrier"), 1u);
+  // An operandless barrier spans the whole register file.
+  for (const auto& in : c.instructions()) {
+    if (in.type == circ::GateType::Barrier) {
+      EXPECT_EQ(in.qubits.size(), 2u);
+    }
+  }
+}
+
+TEST(Edge, QasmImportRejectsGateBroadcast) {
+  // Whole-register single-qubit gate broadcast is not in our subset.
+  EXPECT_THROW(circ::qasm::import_circuit("qreg q[2]; h q;"), CircuitError);
+}
+
+TEST(Edge, QasmImportConditionOnWholeRegister) {
+  // Multi-bit register conditions are rejected with a clear error.
+  EXPECT_THROW(circ::qasm::import_circuit(
+                   "qreg q[1]; creg c[2]; measure q[0] -> c[0]; "
+                   "if (c == 1) x q[0];"),
+               CircuitError);
+}
+
+TEST(Edge, DrawHandlesMcpAndCswap) {
+  circ::QuantumCircuit c(4);
+  const std::size_t controls[2] = {0, 1};
+  c.mcp(0.5, controls, 2);
+  c.cswap(0, 2, 3);
+  const std::string art = circ::draw(c);
+  EXPECT_NE(art.find("MCP"), std::string::npos);
+  EXPECT_NE(art.find("*"), std::string::npos);
+}
+
+TEST(Edge, TraceWithQuantumProgramDoesNotPerturbResults) {
+  RunOptions plain, traced;
+  plain.seed = traced.seed = 31;
+  std::ostringstream sink;
+  traced.trace = &sink;
+  const std::string source = "quint s = [1, 3]q; print s;";
+  EXPECT_EQ(run_source(source, plain).output, run_source(source, traced).output);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Property/fuzz suites: randomized circuits pushed through every
+// transformation pipeline must preserve semantics; malformed inputs must
+// fail with LangError/CircuitError, never crash or corrupt state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/qasm.hpp"
+#include "qutes/circuit/routing.hpp"
+#include "qutes/circuit/transpiler.hpp"
+#include "qutes/common/rng.hpp"
+#include "qutes/lang/compiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::circ;
+
+/// Deterministic pseudo-random circuit over `n` qubits.
+QuantumCircuit random_circuit(std::size_t n, std::size_t gates, std::uint64_t seed) {
+  Rng rng(seed);
+  QuantumCircuit c(n);
+  for (std::size_t g = 0; g < gates; ++g) {
+    const std::size_t q = rng.below(n);
+    switch (rng.below(10)) {
+      case 0: c.h(q); break;
+      case 1: c.x(q); break;
+      case 2: c.t(q); break;
+      case 3: c.sdg(q); break;
+      case 4: c.rx(rng.uniform() * 6.28, q); break;
+      case 5: c.ry(rng.uniform() * 6.28, q); break;
+      case 6: c.p(rng.uniform() * 6.28, q); break;
+      case 7: {
+        const std::size_t r = (q + 1 + rng.below(n - 1)) % n;
+        c.cx(q, r);
+        break;
+      }
+      case 8: {
+        const std::size_t r = (q + 1 + rng.below(n - 1)) % n;
+        c.cp(rng.uniform() * 3.14, q, r);
+        break;
+      }
+      default: {
+        const std::size_t r = (q + 1 + rng.below(n - 1)) % n;
+        c.swap(q, r);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+double final_fidelity(const QuantumCircuit& a, const QuantumCircuit& b) {
+  Executor ex({.shots = 1, .seed = 17, .noise = {}});
+  return ex.run_single(a).state.fidelity(ex.run_single(b).state);
+}
+
+class CircuitFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CircuitFuzz, QasmRoundTripPreservesState) {
+  const QuantumCircuit c = random_circuit(4, 40, GetParam());
+  const QuantumCircuit back = qasm::import_circuit(qasm::export_circuit(c));
+  EXPECT_NEAR(final_fidelity(c, back), 1.0, 1e-8);
+}
+
+TEST_P(CircuitFuzz, OptimizerPreservesState) {
+  const QuantumCircuit c = random_circuit(4, 60, GetParam() + 1000);
+  EXPECT_NEAR(final_fidelity(c, optimize(c)), 1.0, 1e-8);
+}
+
+TEST_P(CircuitFuzz, BasisLoweringPreservesState) {
+  const QuantumCircuit c = random_circuit(4, 40, GetParam() + 2000);
+  const QuantumCircuit basis = decompose_to_basis(c);
+  for (const Instruction& in : basis.instructions()) {
+    ASSERT_TRUE(in.type == GateType::U || in.type == GateType::CX);
+  }
+  EXPECT_NEAR(final_fidelity(c, basis), 1.0, 1e-8);
+}
+
+TEST_P(CircuitFuzz, FusionPreservesState) {
+  const QuantumCircuit c = random_circuit(4, 60, GetParam() + 3000);
+  EXPECT_NEAR(final_fidelity(c, fuse_single_qubit_gates(c)), 1.0, 1e-8);
+}
+
+TEST_P(CircuitFuzz, RoutingPreservesState) {
+  const QuantumCircuit c = random_circuit(5, 30, GetParam() + 4000);
+  const RoutingResult routed = route_linear(c);
+  EXPECT_NEAR(final_fidelity(c, routed.circuit), 1.0, 1e-8);
+}
+
+TEST_P(CircuitFuzz, FullPipelinePreservesState) {
+  const QuantumCircuit c = random_circuit(4, 40, GetParam() + 5000);
+  const QuantumCircuit lowered = decompose_to_basis(c);
+  const QuantumCircuit fused = fuse_single_qubit_gates(lowered);
+  const QuantumCircuit opt = optimize(fused);
+  const RoutingResult routed = route_linear(opt);
+  EXPECT_NEAR(final_fidelity(c, routed.circuit), 1.0, 1e-8);
+}
+
+TEST_P(CircuitFuzz, NormAlwaysPreserved) {
+  const QuantumCircuit c = random_circuit(5, 80, GetParam() + 6000);
+  Executor ex({.shots = 1, .seed = 3, .noise = {}});
+  EXPECT_NEAR(ex.run_single(c).state.norm(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CircuitFuzz, ::testing::Range<std::uint64_t>(1, 13));
+
+// ---- front-end fuzz -----------------------------------------------------------------
+
+TEST(FrontEndFuzz, GarbageNeverCrashes) {
+  const char* cases[] = {
+      ";;;;",
+      "int",
+      "int x",
+      "int x = ",
+      "((((((((",
+      "}{",
+      "\"unterminated",
+      "/* unterminated",
+      "5qq",
+      "|->|",
+      "quint<> x;",
+      "if while else",
+      "foreach foreach in in",
+      "print print;",
+      "x = = 3;",
+      "int 3 = x;",
+      "\x01\x02\x03",
+      "a $ b;",
+      "not;",
+      "qubit q = |2>;",
+  };
+  for (const char* source : cases) {
+    EXPECT_THROW((void)lang::run_source(source), LangError) << source;
+  }
+}
+
+TEST(FrontEndFuzz, RandomTokenSoupNeverCrashes) {
+  // Assemble random programs from valid fragments; each either runs or
+  // raises LangError — anything else (crash, non-Lang exception) fails.
+  static const char* fragments[] = {
+      "int x = 1;",    "x += 2;",         "qubit q = |+>;", "hadamard q;",
+      "print x;",      "if (x > 0) { }",  "while (false) { }",
+      "not q;",        "bool b = q;",     "quint<3> v = 5q;",
+      "v <<= 1;",      "print v;",        "{ int y = 2; }",
+      "int z = x * 3;", "print \"s\";",   "barrier;",
+      "x = x - 1;",    "foreach i in [1, 2] { print i; }",
+  };
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string source;
+    const std::size_t parts = 1 + rng.below(10);
+    for (std::size_t p = 0; p < parts; ++p) {
+      source += fragments[rng.below(std::size(fragments))];
+      source += "\n";
+    }
+    try {
+      (void)lang::run_source(source, {.seed = trial + 1u, .echo = nullptr,
+                                      .trace = nullptr, .include_stdlib = true});
+    } catch (const LangError&) {
+      // acceptable: e.g. duplicate declarations from repeated fragments
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Grover search tests (E2): diffusion operator, iteration-count formula,
+// success amplification on single/multiple marked states, and the substring
+// search machinery behind the Qutes `in` operator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "qutes/algorithms/grover.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::algo;
+
+TEST(Grover, OptimalIterationFormula) {
+  // N=4, M=1: theta = asin(1/2) = pi/6, pi/(4 theta) = 1.5 -> 1.
+  EXPECT_EQ(optimal_grover_iterations(4, 1), 1u);
+  // N=16, M=1: ~3.
+  EXPECT_EQ(optimal_grover_iterations(16, 1), 3u);
+  // N=256, M=1: ~12.
+  EXPECT_EQ(optimal_grover_iterations(256, 1), 12u);
+  // Degenerate inputs: no marked states clamps to 1; half-or-more marked
+  // means amplification over-rotates, so the optimum is 0 iterations
+  // (uniform measurement already succeeds with P >= 1/2).
+  EXPECT_EQ(optimal_grover_iterations(8, 0), 1u);
+  EXPECT_EQ(optimal_grover_iterations(8, 4), 0u);
+  EXPECT_EQ(optimal_grover_iterations(8, 8), 0u);
+}
+
+TEST(Grover, IterationsScaleAsSqrtN) {
+  const std::size_t i8 = optimal_grover_iterations(1ULL << 8, 1);
+  const std::size_t i12 = optimal_grover_iterations(1ULL << 12, 1);
+  const std::size_t i16 = optimal_grover_iterations(1ULL << 16, 1);
+  // Each +4 qubits multiplies iterations by ~4 (sqrt of 16).
+  EXPECT_NEAR(static_cast<double>(i12) / i8, 4.0, 0.5);
+  EXPECT_NEAR(static_cast<double>(i16) / i12, 4.0, 0.5);
+}
+
+class GroverSingleMark : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroverSingleMark, HighSuccessProbability) {
+  const std::size_t n = GetParam();
+  const std::uint64_t marked[] = {dim_of(n) - 2};
+  const GroverResult result = run_grover(n, marked, /*seed=*/n);
+  EXPECT_GT(result.success_probability, 0.8) << "n=" << n;
+  EXPECT_TRUE(result.hit);
+  EXPECT_EQ(result.outcome, marked[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GroverSingleMark, ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+TEST(Grover, MultipleMarkedStates) {
+  const std::uint64_t marked[] = {1, 6, 11};
+  // P(success) ~ 0.95: individual shots can miss, so require a strong
+  // majority of hits across seeds.
+  int hits = 0;
+  double p = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const GroverResult result = run_grover(4, marked, seed);
+    hits += result.hit;
+    p = result.success_probability;
+  }
+  EXPECT_GT(p, 0.85);
+  EXPECT_GE(hits, 7);
+}
+
+TEST(Grover, SuccessProbabilityOscillates) {
+  // Over-rotating past the optimum must REDUCE success probability — the
+  // hallmark of amplitude amplification.
+  const std::uint64_t marked[] = {5};
+  const std::size_t best = optimal_grover_iterations(dim_of(4), 1);
+  const GroverResult at_best = run_grover(4, marked, 3, best);
+  const GroverResult over = run_grover(4, marked, 3, 2 * best + 1);
+  EXPECT_GT(at_best.success_probability, over.success_probability);
+}
+
+TEST(Grover, SingleIterationOnFourStatesIsExact) {
+  // N=4, M=1 reaches probability 1 after one iteration.
+  const std::uint64_t marked[] = {2};
+  const GroverResult result = run_grover(2, marked, 4);
+  EXPECT_NEAR(result.success_probability, 1.0, 1e-9);
+}
+
+TEST(Grover, DiffusionPreservesUniform) {
+  // Diffusion fixes the uniform superposition (up to global phase).
+  circ::QuantumCircuit c(3);
+  std::vector<std::size_t> qubits = {0, 1, 2};
+  for (std::size_t q : qubits) c.h(q);
+  append_diffusion(c, qubits);
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto traj = ex.run_single(c);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::norm(traj.state.amplitude(i)), 1.0 / 8.0, 1e-9);
+  }
+}
+
+TEST(Grover, BuildCircuitValidates) {
+  const std::uint64_t marked[] = {0};
+  const std::vector<std::uint64_t> empty;
+  EXPECT_THROW((void)build_grover_circuit(0, marked), Error);
+  EXPECT_THROW((void)build_grover_circuit(3, empty), Error);
+}
+
+// ---- substring search ------------------------------------------------------------
+
+TEST(Substring, ClassicalMatchEnumeration) {
+  const SubstringSearch search("0110100", "01");
+  EXPECT_EQ(search.matches(), (std::vector<std::uint64_t>{0, 3}));
+  const SubstringSearch none("0000", "11");
+  EXPECT_TRUE(none.matches().empty());
+}
+
+TEST(Substring, InputValidation) {
+  EXPECT_THROW(SubstringSearch("01", "011"), Error);   // pattern longer
+  EXPECT_THROW(SubstringSearch("01", ""), Error);      // empty pattern
+  EXPECT_THROW(SubstringSearch("0a1", "0"), Error);    // non-bitstring
+  EXPECT_THROW(SubstringSearch("01", "x"), Error);
+}
+
+TEST(Substring, RegisterSizing) {
+  // 7 text bits, pattern of 3 -> 5 positions -> 3 index bits + 3 window.
+  const SubstringSearch search("0110100", "101");
+  EXPECT_EQ(search.index_qubits(), 3u);
+  EXPECT_EQ(search.total_qubits(), 6u);
+}
+
+class SubstringSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubstringSweep, FindsAndVerifies) {
+  struct Case {
+    const char* text;
+    const char* pattern;
+  };
+  static const Case cases[] = {
+      {"0110100", "101"},   // one match at 2
+      {"01101001", "01"},   // matches at 0, 3, 6
+      {"11111111", "111"},  // dense matches
+      {"10000001", "1"},    // matches at ends
+      {"0101010", "010"},   // overlapping matches
+  };
+  const Case& test_case = cases[GetParam()];
+  const SubstringSearch search(test_case.text, test_case.pattern);
+  ASSERT_FALSE(search.matches().empty());
+  // Success probability is the same every run; hits are statistical, so
+  // demand a majority across seeds, and that hits always self-verify.
+  int hits = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const GroverResult result = search.run(seed);
+    EXPECT_GT(result.success_probability, 0.5)
+        << test_case.text << " / " << test_case.pattern;
+    if (result.hit) {
+      ++hits;
+      // The measured position must be a genuine classical match.
+      EXPECT_NE(std::find(search.matches().begin(), search.matches().end(),
+                          result.outcome),
+                search.matches().end());
+    }
+  }
+  EXPECT_GE(hits, 6) << test_case.text << " / " << test_case.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SubstringSweep, ::testing::Range(0, 5));
+
+TEST(Substring, SingleMatchHitsWithHighProbability) {
+  const SubstringSearch search("00010000", "001");
+  ASSERT_EQ(search.matches().size(), 1u);
+  const GroverResult result = search.run(23);
+  EXPECT_GT(result.success_probability, 0.8);
+  EXPECT_EQ(result.outcome, search.matches()[0]);
+}
+
+TEST(Substring, AbsentPatternRarelyVerifies) {
+  const SubstringSearch search("000000", "111");
+  ASSERT_TRUE(search.matches().empty());
+  const GroverResult result = search.run(29);
+  // hit requires classical verification, which must fail for every position.
+  EXPECT_FALSE(result.hit);
+  EXPECT_NEAR(result.success_probability, 0.0, 1e-9);
+}
+
+TEST(Substring, PaddingPositionsCannotMatch) {
+  // 6 positions padded to 8: the two padding indices load the pattern's
+  // complement, so the oracle never marks them. All real positions match,
+  // so M/N = 3/4 and the optimum is 0 iterations: uniform measurement with
+  // exactly P = 0.75 of landing on a real (verifying) position.
+  const SubstringSearch search("111111", "1");
+  ASSERT_EQ(search.matches().size(), 6u);
+  int hits = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const GroverResult result = search.run(seed);
+    EXPECT_NEAR(result.success_probability, 0.75, 1e-9);
+    if (result.hit) {
+      EXPECT_LT(result.outcome, 6u);
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 20);  // ~30 expected at P = 0.75
+}
+
+TEST(Substring, OracleCallCountMatchesTheory) {
+  const SubstringSearch search("0001000000000000", "001");  // 14 positions -> 4 bits
+  const GroverResult result = search.run(37);
+  EXPECT_EQ(result.oracle_calls,
+            optimal_grover_iterations(16, search.matches().size()));
+}
+
+}  // namespace

@@ -1,0 +1,321 @@
+// Interpreter tests: classical semantics, quantum allocation & operations,
+// automatic measurement, control flow, functions (by-reference), arrays,
+// and the circuit log's consistency with the live run.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qutes/circuit/executor.hpp"
+#include "qutes/lang/compiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::lang;
+
+std::string run(const std::string& source, std::uint64_t seed = 7) {
+  RunOptions options;
+  options.seed = seed;
+  return run_source(source, options).output;
+}
+
+RunResult run_full(const std::string& source, std::uint64_t seed = 7) {
+  RunOptions options;
+  options.seed = seed;
+  return run_source(source, options);
+}
+
+// ---- classical core -------------------------------------------------------------
+
+TEST(Interp, ClassicalArithmetic) {
+  EXPECT_EQ(run("print 1 + 2 * 3;"), "7\n");
+  EXPECT_EQ(run("print (1 + 2) * 3;"), "9\n");
+  EXPECT_EQ(run("print 7 / 2; print 7 % 2;"), "3\n1\n");
+  EXPECT_EQ(run("print 1.5 + 2;"), "3.5\n");
+  EXPECT_EQ(run("print -3;"), "-3\n");
+  EXPECT_EQ(run("print 1 << 4; print 32 >> 2;"), "16\n8\n");
+}
+
+TEST(Interp, ClassicalComparisonsAndLogic) {
+  EXPECT_EQ(run("print 2 < 3; print 3 <= 3; print 4 > 5;"), "true\ntrue\nfalse\n");
+  EXPECT_EQ(run("print true && false; print true || false; print !true;"),
+            "false\ntrue\nfalse\n");
+  EXPECT_EQ(run("print 1 == 1 && 2 != 3;"), "true\n");
+}
+
+TEST(Interp, Strings) {
+  EXPECT_EQ(run("string s = \"ab\" + \"cd\"; print s; print len(s);"), "abcd\n4\n");
+  EXPECT_EQ(run("print \"ab\" == \"ab\"; print \"a\" < \"b\";"), "true\ntrue\n");
+  EXPECT_EQ(run("print \"hello\"[1];"), "e\n");
+  EXPECT_EQ(run("print \"ell\" in \"hello\";"), "true\n");
+  EXPECT_EQ(run("print indexof(\"ell\", \"hello\");"), "1\n");
+}
+
+TEST(Interp, VariablesAndScopes) {
+  EXPECT_EQ(run("int x = 1; { int y = x + 1; print y; } print x;"), "2\n1\n");
+  EXPECT_THROW(run("int x = 1; int x = 2;"), LangError);
+  EXPECT_THROW(run("print nope;"), LangError);
+  // Shadowing in an inner scope is allowed.
+  EXPECT_EQ(run("int x = 1; { int x = 9; print x; } print x;"), "9\n1\n");
+}
+
+TEST(Interp, CompoundAssignment) {
+  EXPECT_EQ(run("int x = 2; x += 3; x *= 4; x -= 1; x /= 2; print x;"), "9\n");
+}
+
+TEST(Interp, IfWhileForeach) {
+  EXPECT_EQ(run("if (2 > 1) print \"yes\"; else print \"no\";"), "yes\n");
+  EXPECT_EQ(run("int i = 0; while (i < 4) { i += 1; } print i;"), "4\n");
+  EXPECT_EQ(run("foreach x in [1, 2, 3] { print x; }"), "1\n2\n3\n");
+  EXPECT_EQ(run("foreach ch in \"ab\" { print ch; }"), "a\nb\n");
+}
+
+TEST(Interp, Arrays) {
+  EXPECT_EQ(run("int[] xs = [10, 20, 30]; print xs[1]; print len(xs);"), "20\n3\n");
+  EXPECT_EQ(run("int[] xs = [1, 2]; xs[0] = 9; print xs;"), "[9, 2]\n");
+  EXPECT_THROW(run("int[] xs = [1]; print xs[5];"), LangError);
+}
+
+TEST(Interp, Functions) {
+  EXPECT_EQ(run("int add(int a, int b) { return a + b; } print add(2, 3);"), "5\n");
+  EXPECT_EQ(run("int fib(int n) { if (n < 2) return n; "
+                "return fib(n - 1) + fib(n - 2); } print fib(10);"),
+            "55\n");
+  EXPECT_THROW(run("int f(int a) { return a; } print f(1, 2);"), LangError);
+  EXPECT_THROW(run("print undefined_fn(1);"), LangError);
+}
+
+TEST(Interp, PassByReference) {
+  // Paper §4: variables are always passed by reference.
+  EXPECT_EQ(run("void bump(int x) { x += 1; } int v = 5; bump(v); print v;"), "6\n");
+  EXPECT_EQ(run("void set0(int[] xs) { xs[0] = 99; } "
+                "int[] a = [1, 2]; set0(a); print a[0];"),
+            "99\n");
+}
+
+TEST(Interp, RecursionDepthGuard) {
+  EXPECT_THROW(run("int f(int n) { return f(n + 1); } print f(0);"), LangError);
+}
+
+TEST(Interp, ReturnOutsideFunctionRejected) {
+  EXPECT_THROW(run("return 1;"), LangError);
+}
+
+// ---- quantum basics ---------------------------------------------------------------
+
+TEST(Interp, QubitLiteralsMeasureCorrectly) {
+  EXPECT_EQ(run("qubit q = |0>; print q;"), "false\n");
+  EXPECT_EQ(run("qubit q = |1>; print q;"), "true\n");
+}
+
+TEST(Interp, QuintBasisStates) {
+  EXPECT_EQ(run("quint x = 5q; print x;"), "5\n");
+  EXPECT_EQ(run("quint x = 0q; print x;"), "0\n");
+  EXPECT_EQ(run("quint<8> x = 200q; print x;"), "200\n");
+}
+
+TEST(Interp, QustringRoundTrip) {
+  EXPECT_EQ(run("qustring s = \"0101\"q; print s;"), "0101\n");
+  EXPECT_EQ(run("qustring s = \"0101\"q; print len(s);"), "4\n");
+}
+
+TEST(Interp, ClassicalToQuantumPromotion) {
+  // Assigning a classical int to a quint encodes it (paper's
+  // TypeCastingHandler).
+  EXPECT_EQ(run("quint x = 6; print x;"), "6\n");
+  EXPECT_EQ(run("int c = 3; quint x = c; print x;"), "3\n");
+  EXPECT_EQ(run("qubit q = true; print q;"), "true\n");
+  EXPECT_EQ(run("qustring s = \"110\"; print s;"), "110\n");
+}
+
+TEST(Interp, QuantumToClassicalAutoMeasure) {
+  EXPECT_EQ(run("quint x = 9q; int c = x; print c;"), "9\n");
+  EXPECT_EQ(run("qubit q = |1>; bool b = q; print b;"), "true\n");
+  const auto result = run_full("quint x = 9q; int c = x; print c;");
+  // The measurement must be recorded in the circuit log.
+  EXPECT_GE(result.circuit.count_ops().at("measure"), 4u);
+}
+
+TEST(Interp, GateStatements) {
+  EXPECT_EQ(run("qubit q = |0>; not q; print q;"), "true\n");
+  EXPECT_EQ(run("quint x = 0q; not x; print x;"), "1\n");
+  EXPECT_EQ(run("qubit q = |0>; hadamard q; hadamard q; print q;"), "false\n");
+  EXPECT_EQ(run("quint<3> x = 0q; not x; print x;"), "7\n");
+  EXPECT_THROW(run("int x = 1; hadamard x;"), LangError);
+}
+
+TEST(Interp, HadamardStatistics) {
+  // |+> measures 0/1 roughly evenly across seeds.
+  int ones = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    if (run("qubit q = |+>; print q;", seed) == "true\n") ++ones;
+  }
+  EXPECT_GT(ones, 15);
+  EXPECT_LT(ones, 45);
+}
+
+TEST(Interp, MeasurementIsSticky) {
+  // Once measured, a |+> qubit yields the same value again.
+  EXPECT_EQ(run("qubit q = |+>; bool a = q; bool b = q; print a == b;"), "true\n");
+}
+
+TEST(Interp, SuperpositionLiteral) {
+  // [1, 3]q measures to 1 or 3, never anything else.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const std::string out = run("quint s = [1, 3]q; print s;", seed);
+    EXPECT_TRUE(out == "1\n" || out == "3\n") << out;
+  }
+}
+
+TEST(Interp, QuantumConditionAutoMeasures) {
+  EXPECT_EQ(run("qubit q = |1>; if (q) print \"one\"; else print \"zero\";"),
+            "one\n");
+  EXPECT_EQ(run("quint x = 0q; if (x) print \"nz\"; else print \"z\";"), "z\n");
+}
+
+// ---- quantum arithmetic -------------------------------------------------------------
+
+TEST(Interp, QuantumAdditionBasis) {
+  EXPECT_EQ(run("quint a = 5q; quint b = 2q; quint c = a + b; print c;"), "7\n");
+  EXPECT_EQ(run("quint a = 3q; quint c = a + 4; print c;"), "7\n");
+  EXPECT_EQ(run("quint a = 3q; quint c = 4 + a; print c;"), "7\n");
+}
+
+TEST(Interp, QuantumSubtraction) {
+  EXPECT_EQ(run("quint a = 5q; quint b = 2q; quint c = a - b; print c;"), "3\n");
+  EXPECT_EQ(run("quint<4> a = 5q; quint c = a - 2; print c;"), "3\n");
+}
+
+TEST(Interp, QuantumCompoundAddSub) {
+  EXPECT_EQ(run("quint<5> x = 5q; x += 9; print x;"), "14\n");
+  EXPECT_EQ(run("quint<5> x = 14q; x -= 3; print x;"), "11\n");
+  EXPECT_EQ(run("quint<4> x = 1q; quint y = 2q; x += y; print x;"), "3\n");
+}
+
+TEST(Interp, QuantumAdditionIsModular) {
+  EXPECT_EQ(run("quint<3> x = 7q; x += 2; print x;"), "1\n");
+}
+
+TEST(Interp, QuantumAdditionOnSuperposition) {
+  // (|1> + |3>) + 4 -> |5> or |7>.
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const std::string out = run("quint s = [1, 3]q; quint<4> t = s + 4; print t;", seed);
+    EXPECT_TRUE(out == "5\n" || out == "7\n") << out;
+  }
+}
+
+TEST(Interp, QuantumMultiplicationByConstant) {
+  EXPECT_EQ(run("quint a = 3q; quint c = a * 5; print c;"), "15\n");
+  EXPECT_EQ(run("quint a = 3q; quint c = 0 * a; print c;"), "0\n");
+}
+
+TEST(Interp, QuantumShifts) {
+  EXPECT_EQ(run("quint<8> y = 1q; y <<= 3; print y;"), "8\n");
+  EXPECT_EQ(run("quint<8> y = 8q; y >>= 1; print y;"), "4\n");
+  // Cyclic: shifting past the top wraps.
+  EXPECT_EQ(run("quint<4> y = 8q; y <<= 1; print y;"), "1\n");
+  // Non-in-place shift leaves the source intact (on basis states).
+  EXPECT_EQ(run("quint<4> a = 2q; quint b = a << 1; print b; print a;"), "4\n2\n");
+}
+
+TEST(Interp, QuantumComparisonMeasures) {
+  EXPECT_EQ(run("quint a = 5q; print a > 3;"), "true\n");
+  EXPECT_EQ(run("quint a = 5q; print a == 5;"), "true\n");
+  EXPECT_EQ(run("quint a = 2q; quint b = 2q; print a == b;"), "true\n");
+}
+
+TEST(Interp, QubitIndexingIntoRegisters) {
+  EXPECT_EQ(run("quint<4> x = 0q; not x[2]; print x;"), "4\n");
+  EXPECT_EQ(run("qustring s = \"000\"q; not s[1]; print s;"), "010\n");
+  EXPECT_THROW(run("quint<2> x = 0q; not x[5];"), LangError);
+}
+
+TEST(Interp, ForeachOverQuantumRegister) {
+  EXPECT_EQ(run("quint<3> x = 0q; foreach b in x { not b; } print x;"), "7\n");
+}
+
+// ---- builtins ----------------------------------------------------------------------
+
+TEST(Interp, BuiltinGates) {
+  EXPECT_EQ(run("qubit a = |1>; qubit b = |0>; cx(a, b); print b;"), "true\n");
+  EXPECT_EQ(run("qubit a = |1>; qubit b = |1>; qubit c = |0>; ccx(a, b, c); print c;"),
+            "true\n");
+  EXPECT_EQ(run("qubit a = |1>; qubit b = |0>; swapq(a, b); print a; print b;"),
+            "false\ntrue\n");
+}
+
+TEST(Interp, BuiltinBellPairCorrelates) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(run("qubit a = |0>; qubit b = |0>; bell(a, b); "
+                  "bool x = a; bool y = b; print x == y;",
+                  seed),
+              "true\n");
+  }
+}
+
+TEST(Interp, BuiltinQftRoundTrip) {
+  EXPECT_EQ(run("quint<3> x = 5q; qft(x); iqft(x); print x;"), "5\n");
+}
+
+TEST(Interp, BuiltinMeasureFunction) {
+  EXPECT_EQ(run("quint x = 6q; print measure(x);"), "6\n");
+  EXPECT_EQ(run("print measure(3);"), "3\n");  // classical: identity
+}
+
+TEST(Interp, IntrospectionBuiltins) {
+  const std::string out =
+      run("quint<4> x = 0q; hadamard x; print num_qubits(); print gate_count();");
+  EXPECT_EQ(out, "4\n4\n");
+}
+
+// ---- grover in / indexof --------------------------------------------------------------
+
+TEST(Interp, GroverInOperator) {
+  EXPECT_EQ(run("qustring t = \"0110100\"q; print \"101\" in t;"), "true\n");
+  EXPECT_EQ(run("qustring t = \"0000000\"q; print \"111\" in t;"), "false\n");
+}
+
+TEST(Interp, GroverIndexofPosition) {
+  const std::string out = run("print indexof(\"101\", \"0110100\"q);");
+  EXPECT_EQ(out, "2\n");
+}
+
+TEST(Interp, GroverCompilesRealCircuit) {
+  const auto result = run_full("qustring t = \"0110100\"q; bool hit = \"101\" in t;");
+  // Grover machinery allocated index+window registers and appended gates.
+  EXPECT_GT(result.num_qubits, 7u);
+  EXPECT_GT(result.gate_count, 50u);
+  bool has_grover_reg = false;
+  for (const auto& reg : result.circuit.qregs()) {
+    if (reg.name.find("grover") != std::string::npos) has_grover_reg = true;
+  }
+  EXPECT_TRUE(has_grover_reg);
+}
+
+// ---- circuit-log consistency (DESIGN.md ablation) ------------------------------------
+
+TEST(Interp, CircuitLogReplaysToSameOutcome) {
+  // The logged circuit, replayed through the Executor with the same seed
+  // policy, must yield the same classical outcome as the live run for a
+  // deterministic program.
+  const auto result = run_full("quint<4> x = 5q; x += 9; int v = x; print v;");
+  EXPECT_EQ(result.output, "14\n");
+  circ::Executor ex({.shots = 1, .seed = 99, .noise = {}});
+  const auto traj = ex.run_single(result.circuit);
+  // The measured clbits of the replay encode 14 as well (deterministic).
+  EXPECT_EQ(traj.clbits & 0xF, 14u);
+}
+
+TEST(Interp, SeedsChangeOutcomesButStayReproducible) {
+  const std::string source = "quint s = [0, 1, 2, 3]q; print s;";
+  EXPECT_EQ(run(source, 5), run(source, 5));
+  std::set<std::string> outcomes;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) outcomes.insert(run(source, seed));
+  EXPECT_GE(outcomes.size(), 3u);  // several of the four values observed
+}
+
+TEST(Interp, QubitBudgetEnforced) {
+  EXPECT_THROW(run("quint<20> a = 0q; quint<20> b = 0q;"), LangError);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Lexer tests: every token class, the quantum literal forms (5q, "01"q,
+// kets), comments, and error reporting with locations.
+#include <gtest/gtest.h>
+
+#include "qutes/lang/lexer.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::lang;
+
+std::vector<TokenType> types_of(const std::string& source) {
+  std::vector<TokenType> types;
+  for (const Token& t : tokenize(source)) types.push_back(t.type);
+  return types;
+}
+
+TEST(Lexer, EmptyInputIsJustEof) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::Eof);
+}
+
+TEST(Lexer, IntAndFloatLiterals) {
+  const auto tokens = tokenize("42 3.25 0 0.5");
+  EXPECT_EQ(tokens[0].type, TokenType::IntLit);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::FloatLit);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.25);
+  EXPECT_EQ(tokens[2].int_value, 0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.5);
+}
+
+TEST(Lexer, QuantumIntLiteral) {
+  const auto tokens = tokenize("5q 0q 123q");
+  EXPECT_EQ(tokens[0].type, TokenType::QuantumIntLit);
+  EXPECT_EQ(tokens[0].int_value, 5);
+  EXPECT_EQ(tokens[1].type, TokenType::QuantumIntLit);
+  EXPECT_EQ(tokens[2].int_value, 123);
+}
+
+TEST(Lexer, QSuffixNeedsAdjacency) {
+  // `5 q` is an int then an identifier, not a quantum literal.
+  const auto tokens = tokenize("5 q");
+  EXPECT_EQ(tokens[0].type, TokenType::IntLit);
+  EXPECT_EQ(tokens[1].type, TokenType::Identifier);
+  // `5qx` is an int followed by identifier qx (q not a suffix).
+  const auto tokens2 = tokenize("5qx");
+  EXPECT_EQ(tokens2[0].type, TokenType::IntLit);
+  EXPECT_EQ(tokens2[1].type, TokenType::Identifier);
+  EXPECT_EQ(tokens2[1].text, "qx");
+}
+
+TEST(Lexer, StringLiterals) {
+  const auto tokens = tokenize(R"("hello" "a\nb" "say \"hi\"")");
+  EXPECT_EQ(tokens[0].type, TokenType::StringLit);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "a\nb");
+  EXPECT_EQ(tokens[2].text, "say \"hi\"");
+}
+
+TEST(Lexer, QuantumStringLiteral) {
+  const auto tokens = tokenize(R"("0101"q)");
+  EXPECT_EQ(tokens[0].type, TokenType::QuantumStringLit);
+  EXPECT_EQ(tokens[0].text, "0101");
+}
+
+TEST(Lexer, QuantumStringMustBeBits) {
+  EXPECT_THROW(tokenize(R"("01a1"q)"), LangError);
+}
+
+TEST(Lexer, KetLiterals) {
+  const auto types = types_of("|0> |1> |+> |->");
+  EXPECT_EQ(types[0], TokenType::KetZero);
+  EXPECT_EQ(types[1], TokenType::KetOne);
+  EXPECT_EQ(types[2], TokenType::KetPlus);
+  EXPECT_EQ(types[3], TokenType::KetMinus);
+}
+
+TEST(Lexer, Keywords) {
+  const auto types = types_of(
+      "bool int float string qubit quint qustring void true false if else "
+      "while foreach in return print barrier not pauliy pauliz hadamard "
+      "phase sgate tgate measure reset");
+  const TokenType expect[] = {
+      TokenType::KwBool, TokenType::KwInt, TokenType::KwFloat, TokenType::KwString,
+      TokenType::KwQubit, TokenType::KwQuint, TokenType::KwQustring, TokenType::KwVoid,
+      TokenType::KwTrue, TokenType::KwFalse, TokenType::KwIf, TokenType::KwElse,
+      TokenType::KwWhile, TokenType::KwForeach, TokenType::KwIn, TokenType::KwReturn,
+      TokenType::KwPrint, TokenType::KwBarrier, TokenType::KwNot, TokenType::KwPauliY,
+      TokenType::KwPauliZ, TokenType::KwHadamard, TokenType::KwPhase,
+      TokenType::KwSGate, TokenType::KwTGate, TokenType::KwMeasure, TokenType::KwReset};
+  for (std::size_t i = 0; i < std::size(expect); ++i) {
+    EXPECT_EQ(types[i], expect[i]) << i;
+  }
+}
+
+TEST(Lexer, IdentifiersVsKeywords) {
+  const auto tokens = tokenize("iffy boolean notq _x x_1");
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::Identifier) << tokens[i].text;
+  }
+}
+
+TEST(Lexer, OperatorsIncludingCompound) {
+  const auto types = types_of("= += -= *= /= %= <<= >>= + - * / % << >> "
+                              "== != < <= > >= && || ! ~");
+  const TokenType expect[] = {
+      TokenType::Assign, TokenType::PlusAssign, TokenType::MinusAssign,
+      TokenType::StarAssign, TokenType::SlashAssign, TokenType::PercentAssign,
+      TokenType::ShlAssign, TokenType::ShrAssign, TokenType::Plus, TokenType::Minus,
+      TokenType::Star, TokenType::Slash, TokenType::Percent, TokenType::Shl,
+      TokenType::Shr, TokenType::EqEq, TokenType::NotEq, TokenType::Lt,
+      TokenType::LtEq, TokenType::Gt, TokenType::GtEq, TokenType::AndAnd,
+      TokenType::OrOr, TokenType::Bang, TokenType::Tilde};
+  for (std::size_t i = 0; i < std::size(expect); ++i) {
+    EXPECT_EQ(types[i], expect[i]) << i;
+  }
+}
+
+TEST(Lexer, Punctuation) {
+  const auto types = types_of("( ) { } [ ] , ;");
+  const TokenType expect[] = {TokenType::LParen, TokenType::RParen, TokenType::LBrace,
+                              TokenType::RBrace, TokenType::LBracket,
+                              TokenType::RBracket, TokenType::Comma,
+                              TokenType::Semicolon};
+  for (std::size_t i = 0; i < std::size(expect); ++i) EXPECT_EQ(types[i], expect[i]);
+}
+
+TEST(Lexer, LineAndBlockComments) {
+  const auto tokens = tokenize("1 // comment\n2 /* multi\nline */ 3");
+  ASSERT_EQ(tokens.size(), 4u);  // 3 ints + eof
+  EXPECT_EQ(tokens[2].int_value, 3);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(tokenize("/* oops"), LangError);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("\"abc"), LangError);
+}
+
+TEST(Lexer, LocationsTracked) {
+  const auto tokens = tokenize("a\n  b");
+  EXPECT_EQ(tokens[0].location.line, 1u);
+  EXPECT_EQ(tokens[0].location.column, 1u);
+  EXPECT_EQ(tokens[1].location.line, 2u);
+  EXPECT_EQ(tokens[1].location.column, 3u);
+}
+
+TEST(Lexer, SingleAmpersandAndPipeRejected) {
+  EXPECT_THROW(tokenize("a & b"), LangError);
+  EXPECT_THROW(tokenize("a | b"), LangError);
+}
+
+TEST(Lexer, MalformedKetRejected) {
+  EXPECT_THROW(tokenize("|2>"), LangError);
+}
+
+TEST(Lexer, ShiftVsComparisonDisambiguation) {
+  const auto types = types_of("a << b < c <= d <<= e");
+  EXPECT_EQ(types[1], TokenType::Shl);
+  EXPECT_EQ(types[3], TokenType::Lt);
+  EXPECT_EQ(types[5], TokenType::LtEq);
+  EXPECT_EQ(types[7], TokenType::ShlAssign);
+}
+
+}  // namespace

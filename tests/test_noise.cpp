@@ -1,0 +1,130 @@
+// Tests for the trajectory noise channels: statistical behaviour over many
+// trajectories and exact behaviour at p = 0 / p = 1 boundaries.
+#include <gtest/gtest.h>
+
+#include "qutes/common/error.hpp"
+#include "qutes/sim/noise.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::sim;
+
+TEST(Noise, ZeroProbabilityIsIdentity) {
+  Rng rng(1);
+  StateVector sv(1);
+  sv.apply_1q(gates::H(), 0);
+  StateVector ref = sv;
+  apply_depolarizing(sv, 0, 0.0, rng);
+  apply_bit_flip(sv, 0, 0.0, rng);
+  apply_phase_flip(sv, 0, 0.0, rng);
+  apply_amplitude_damping(sv, 0, 0.0, rng);
+  EXPECT_NEAR(sv.fidelity(ref), 1.0, 1e-12);
+}
+
+TEST(Noise, BitFlipCertainFlips) {
+  Rng rng(2);
+  StateVector sv(1);
+  apply_bit_flip(sv, 0, 1.0, rng);
+  EXPECT_NEAR(sv.probability_one(0), 1.0, 1e-12);
+}
+
+TEST(Noise, BitFlipStatistics) {
+  Rng rng(3);
+  const double p = 0.3;
+  int flips = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    StateVector sv(1);
+    apply_bit_flip(sv, 0, p, rng);
+    if (sv.probability_one(0) > 0.5) ++flips;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / trials, p, 0.02);
+}
+
+TEST(Noise, PhaseFlipInvisibleOnBasisStates) {
+  Rng rng(4);
+  StateVector sv(1);
+  StateVector ref = sv;
+  apply_phase_flip(sv, 0, 1.0, rng);
+  EXPECT_NEAR(sv.fidelity(ref), 1.0, 1e-12);  // Z|0> = |0>
+}
+
+TEST(Noise, PhaseFlipDestroysPlusState) {
+  Rng rng(5);
+  StateVector sv(1);
+  sv.apply_1q(gates::H(), 0);
+  StateVector plus = sv;
+  apply_phase_flip(sv, 0, 1.0, rng);
+  EXPECT_NEAR(sv.fidelity(plus), 0.0, 1e-12);  // Z|+> = |->
+}
+
+TEST(Noise, DepolarizingStatistics) {
+  // With p = 1 each of X/Y/Z fires with prob 1/3; on |0> the excited
+  // population is 2/3 (X and Y excite, Z does not).
+  Rng rng(6);
+  const int trials = 30000;
+  int excited = 0;
+  for (int t = 0; t < trials; ++t) {
+    StateVector sv(1);
+    apply_depolarizing(sv, 0, 1.0, rng);
+    if (sv.probability_one(0) > 0.5) ++excited;
+  }
+  EXPECT_NEAR(static_cast<double>(excited) / trials, 2.0 / 3.0, 0.02);
+}
+
+TEST(Noise, AmplitudeDampingFullyDecays) {
+  Rng rng(7);
+  StateVector sv(1);
+  sv.apply_1q(gates::X(), 0);  // |1>
+  apply_amplitude_damping(sv, 0, 1.0, rng);
+  EXPECT_NEAR(sv.probability_one(0), 0.0, 1e-9);
+}
+
+TEST(Noise, AmplitudeDampingAverageExcitation) {
+  // |1> damped with gamma: average excited population over trajectories is
+  // 1 - gamma.
+  Rng rng(8);
+  const double gamma = 0.4;
+  const int trials = 20000;
+  double excited = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    StateVector sv(1);
+    sv.apply_1q(gates::X(), 0);
+    apply_amplitude_damping(sv, 0, gamma, rng);
+    excited += sv.probability_one(0);
+  }
+  EXPECT_NEAR(excited / trials, 1.0 - gamma, 0.02);
+}
+
+TEST(Noise, ReadoutErrorStatistics) {
+  Rng rng(9);
+  const double p = 0.2;
+  int flipped = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    if (apply_readout_error(0, p, rng) == 1) ++flipped;
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / trials, p, 0.02);
+  EXPECT_EQ(apply_readout_error(1, 0.0, rng), 1);
+  EXPECT_EQ(apply_readout_error(1, 1.0, rng), 0);
+}
+
+TEST(Noise, ProbabilityValidation) {
+  Rng rng(10);
+  StateVector sv(1);
+  EXPECT_THROW(apply_bit_flip(sv, 0, -0.1, rng), InvalidArgument);
+  EXPECT_THROW(apply_depolarizing(sv, 0, 1.5, rng), InvalidArgument);
+  EXPECT_THROW(apply_amplitude_damping(sv, 0, 2.0, rng), InvalidArgument);
+  EXPECT_THROW((void)apply_readout_error(0, -1.0, rng), InvalidArgument);
+}
+
+TEST(NoiseModel, EnabledFlag) {
+  NoiseModel none;
+  EXPECT_FALSE(none.enabled());
+  NoiseModel some;
+  some.depolarizing_1q = 0.01;
+  EXPECT_TRUE(some.enabled());
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Pauli-string observables and the array-utility builtins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qutes/common/error.hpp"
+#include "qutes/lang/compiler.hpp"
+#include "qutes/sim/observables.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::sim;
+
+std::string run(const std::string& source, std::uint64_t seed = 7) {
+  lang::RunOptions options;
+  options.seed = seed;
+  return lang::run_source(source, options).output;
+}
+
+// ---- Pauli observables ---------------------------------------------------------
+
+TEST(Pauli, SingleQubitBasics) {
+  StateVector zero(1);
+  EXPECT_NEAR(expectation_pauli(zero, "Z"), 1.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(zero, "X"), 0.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(zero, "Y"), 0.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(zero, "I"), 1.0, 1e-12);
+
+  StateVector plus(1);
+  plus.apply_1q(gates::H(), 0);
+  EXPECT_NEAR(expectation_pauli(plus, "X"), 1.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(plus, "Z"), 0.0, 1e-12);
+
+  StateVector y_plus(1);  // (|0> + i|1>)/sqrt2: +1 eigenstate of Y
+  y_plus.apply_1q(gates::H(), 0);
+  y_plus.apply_1q(gates::S(), 0);
+  EXPECT_NEAR(expectation_pauli(y_plus, "Y"), 1.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(y_plus, "X"), 0.0, 1e-12);
+}
+
+TEST(Pauli, BellStateStabilizers) {
+  // Phi+ is stabilized by XX and ZZ, anti-stabilized by YY.
+  StateVector bell(2);
+  bell.apply_1q(gates::H(), 0);
+  bell.apply_controlled_1q(gates::X(), 0, 1);
+  EXPECT_NEAR(expectation_pauli(bell, "XX"), 1.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(bell, "ZZ"), 1.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(bell, "YY"), -1.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(bell, "XZ"), 0.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(bell, "IZ"), 0.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(bell, "II"), 1.0, 1e-12);
+}
+
+TEST(Pauli, GhzParity) {
+  // GHZ_3 is stabilized by XXX and by ZZI/IZZ.
+  StateVector ghz(3);
+  ghz.apply_1q(gates::H(), 0);
+  ghz.apply_controlled_1q(gates::X(), 0, 1);
+  ghz.apply_controlled_1q(gates::X(), 1, 2);
+  EXPECT_NEAR(expectation_pauli(ghz, "XXX"), 1.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(ghz, "ZZI"), 1.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(ghz, "IZZ"), 1.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(ghz, "ZII"), 0.0, 1e-12);
+}
+
+TEST(Pauli, MsbFirstConvention) {
+  // X on qubit 1 of |00>, string "XI": first char acts on qubit 1.
+  StateVector sv(2);
+  sv.apply_1q(gates::X(), 1);
+  EXPECT_NEAR(expectation_pauli(sv, "ZI"), -1.0, 1e-12);
+  EXPECT_NEAR(expectation_pauli(sv, "IZ"), 1.0, 1e-12);
+}
+
+TEST(Pauli, InputUnmodifiedAndValidation) {
+  StateVector sv(2);
+  sv.apply_1q(gates::H(), 0);
+  const StateVector copy = sv;
+  (void)expectation_pauli(sv, "XY");
+  EXPECT_NEAR(sv.fidelity(copy), 1.0, 1e-12);
+  EXPECT_THROW((void)expectation_pauli(sv, "X"), InvalidArgument);     // wrong length
+  EXPECT_THROW((void)expectation_pauli(sv, "XQ"), InvalidArgument);    // bad char
+}
+
+TEST(Pauli, RotatedStateAnalytic) {
+  // RY(theta)|0>: <Z> = cos(theta), <X> = sin(theta).
+  const double theta = 0.83;
+  StateVector sv(1);
+  sv.apply_1q(gates::RY(theta), 0);
+  EXPECT_NEAR(expectation_pauli(sv, "Z"), std::cos(theta), 1e-12);
+  EXPECT_NEAR(expectation_pauli(sv, "X"), std::sin(theta), 1e-12);
+}
+
+// ---- array builtins --------------------------------------------------------------
+
+TEST(ArrayBuiltins, Range) {
+  EXPECT_EQ(run("print range(4);"), "[0, 1, 2, 3]\n");
+  EXPECT_EQ(run("print len(range(0));"), "0\n");
+  EXPECT_EQ(run("int t = 0; foreach i in range(5) { t += i; } print t;"), "10\n");
+  EXPECT_THROW(run("print range(-1);"), LangError);
+}
+
+TEST(ArrayBuiltins, AppendMutatesInPlace) {
+  EXPECT_EQ(run("int[] xs = [1]; append(xs, 2); append(xs, 3); print xs;"),
+            "[1, 2, 3]\n");
+  // By-reference: append inside a function is visible to the caller.
+  EXPECT_EQ(run("void push9(int[] xs) { append(xs, 9); } "
+                "int[] a = [1]; push9(a); print a;"),
+            "[1, 9]\n");
+  EXPECT_EQ(run("int[] e; append(e, 7); print e;"), "[7]\n");
+}
+
+TEST(ArrayBuiltins, Reverse) {
+  EXPECT_EQ(run("int[] xs = [1, 2, 3]; reverse(xs); print xs;"), "[3, 2, 1]\n");
+}
+
+TEST(ArrayBuiltins, ComposeWithDatabaseOps) {
+  EXPECT_EQ(run("int[] xs = range(8); reverse(xs); print qmax(xs); print qmin(xs);"),
+            "7\n0\n");
+}
+
+}  // namespace

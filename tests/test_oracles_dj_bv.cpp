@@ -1,0 +1,187 @@
+// Oracle constructions, Deutsch-Jozsa (E5), Bernstein-Vazirani, phase
+// estimation, and teleportation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qutes/algorithms/bernstein_vazirani.hpp"
+#include "qutes/algorithms/deutsch_jozsa.hpp"
+#include "qutes/algorithms/oracles.hpp"
+#include "qutes/algorithms/phase_estimation.hpp"
+#include "qutes/algorithms/teleport.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::algo;
+
+// ---- oracles ----------------------------------------------------------------
+
+TEST(Oracles, PhaseOracleFlipsExactlyTheMarkedState) {
+  circ::QuantumCircuit c(3);
+  std::vector<std::size_t> qubits = {0, 1, 2};
+  for (std::size_t q : qubits) c.h(q);
+  append_phase_oracle_value(c, qubits, 5);
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto traj = ex.run_single(c);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const double expected_sign = i == 5 ? -1.0 : 1.0;
+    EXPECT_NEAR(traj.state.amplitude(i).real(), expected_sign / std::sqrt(8.0), 1e-9)
+        << "i=" << i;
+  }
+}
+
+TEST(Oracles, PhaseOracleSelfInverse) {
+  circ::QuantumCircuit c(3);
+  std::vector<std::size_t> qubits = {0, 1, 2};
+  for (std::size_t q : qubits) c.ry(0.3 + 0.2 * static_cast<double>(q), q);
+  circ::QuantumCircuit ref = c;
+  append_phase_oracle_value(c, qubits, 6);
+  append_phase_oracle_value(c, qubits, 6);
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  EXPECT_NEAR(ex.run_single(c).state.fidelity(ex.run_single(ref).state), 1.0, 1e-9);
+}
+
+TEST(Oracles, PhaseOracleValidation) {
+  circ::QuantumCircuit c(2);
+  std::vector<std::size_t> qubits = {0, 1};
+  EXPECT_THROW(append_phase_oracle_value(c, qubits, 4), Error);  // doesn't fit
+}
+
+TEST(Oracles, TruthTableOracleMatchesFunction) {
+  // f over 3 bits with an arbitrary table; check the bit oracle computes f
+  // for every basis input.
+  const std::vector<bool> table = {false, true, true, false, true, false, false, true};
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    circ::QuantumCircuit c(4);
+    std::vector<std::size_t> inputs = {0, 1, 2};
+    for (std::size_t q = 0; q < 3; ++q) {
+      if (test_bit(x, q)) c.x(q);
+    }
+    append_truth_table_bit_oracle(c, inputs, 3, table);
+    circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+    const auto traj = ex.run_single(c);
+    const double p_out = traj.state.probability_one(3);
+    EXPECT_NEAR(p_out, table[x] ? 1.0 : 0.0, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(Oracles, RandomBalancedTableIsBalancedAndReproducible) {
+  for (std::size_t n : {2u, 3u, 4u, 6u}) {
+    const auto table = random_balanced_truth_table(n, 99);
+    std::size_t ones = 0;
+    for (bool b : table) ones += b;
+    EXPECT_EQ(ones, table.size() / 2) << "n=" << n;
+    EXPECT_EQ(table, random_balanced_truth_table(n, 99));
+    EXPECT_NE(table, random_balanced_truth_table(n, 100));
+  }
+}
+
+// ---- Deutsch-Jozsa ------------------------------------------------------------
+
+class DjConstant : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DjConstant, DetectsConstant) {
+  const std::size_t n = GetParam();
+  EXPECT_TRUE(run_deutsch_jozsa(n, DjOracle::constant(false)).constant);
+  EXPECT_TRUE(run_deutsch_jozsa(n, DjOracle::constant(true)).constant);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DjConstant, ::testing::Values(1u, 2u, 4u, 8u, 12u));
+
+class DjBalanced : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DjBalanced, DetectsBalancedParity) {
+  const std::uint64_t mask = GetParam();
+  const std::size_t n = 5;
+  const DjResult result = run_deutsch_jozsa(n, DjOracle::balanced(mask));
+  EXPECT_FALSE(result.constant);
+  // For parity oracles, the measured register IS the mask.
+  EXPECT_EQ(result.measured, mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, DjBalanced,
+                         ::testing::Values(1u, 2u, 3u, 7u, 21u, 31u));
+
+TEST(DeutschJozsa, RandomTruthTableBalanced) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto table = random_balanced_truth_table(4, seed);
+    const DjResult result = run_deutsch_jozsa(4, DjOracle::table(table), seed);
+    EXPECT_FALSE(result.constant) << "seed=" << seed;
+  }
+}
+
+TEST(DeutschJozsa, ClassicalQueryCount) {
+  // Constant oracle: the deterministic classical strategy needs 2^{n-1}+1.
+  EXPECT_EQ(classical_deutsch_jozsa_queries(4, DjOracle::constant(false)), 9u);
+  EXPECT_EQ(classical_deutsch_jozsa_queries(6, DjOracle::constant(true)), 33u);
+  // A balanced oracle that differs early exits quickly.
+  EXPECT_LE(classical_deutsch_jozsa_queries(6, DjOracle::balanced(1)), 3u);
+}
+
+TEST(DeutschJozsa, Validation) {
+  EXPECT_THROW((void)build_deutsch_jozsa_circuit(0, DjOracle::constant(false)), Error);
+  EXPECT_THROW((void)build_deutsch_jozsa_circuit(3, DjOracle::balanced(0)), Error);
+  EXPECT_THROW((void)build_deutsch_jozsa_circuit(3, DjOracle::table({true})), Error);
+}
+
+// ---- Bernstein-Vazirani ---------------------------------------------------------
+
+class BvSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BvSweep, RecoversSecretInOneQuery) {
+  const std::uint64_t secret = GetParam();
+  EXPECT_EQ(run_bernstein_vazirani(6, secret), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(Secrets, BvSweep,
+                         ::testing::Values(0u, 1u, 5u, 21u, 42u, 63u));
+
+TEST(BernsteinVazirani, Validation) {
+  EXPECT_THROW((void)build_bernstein_vazirani_circuit(0, 0), Error);
+  EXPECT_THROW((void)build_bernstein_vazirani_circuit(3, 8), Error);
+}
+
+// ---- phase estimation -----------------------------------------------------------
+
+class QpeExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QpeExact, ExactDyadicPhases) {
+  // phi = k/16 is exactly representable with 4 counting bits.
+  const std::uint64_t k = GetParam();
+  const double phi = static_cast<double>(k) / 16.0;
+  const PhaseEstimate est = run_phase_estimation(4, phi);
+  EXPECT_EQ(est.raw, k);
+  EXPECT_NEAR(est.phi, phi, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(DyadicPhases, QpeExact,
+                         ::testing::Values(0u, 1u, 3u, 7u, 8u, 11u, 15u));
+
+TEST(PhaseEstimation, NonDyadicPhaseWithinResolution) {
+  const double phi = 0.3;
+  const PhaseEstimate est = run_phase_estimation(7, phi, 5);
+  EXPECT_NEAR(est.phi, phi, 1.0 / 128.0 + 1e-9);
+}
+
+// ---- teleportation ---------------------------------------------------------------
+
+class TeleportSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TeleportSweep, UnitFidelityForArbitraryStates) {
+  const double theta = 0.3 + 0.5 * GetParam();
+  const double phi = 0.2 * GetParam();
+  const double lambda = -0.4 * GetParam();
+  // Try several seeds: every Bell-measurement branch must teleport exactly.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_NEAR(run_teleport_fidelity(theta, phi, lambda, seed), 1.0, 1e-9)
+        << "theta=" << theta << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(States, TeleportSweep, ::testing::Range(0, 6));
+
+}  // namespace

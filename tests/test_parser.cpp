@@ -1,0 +1,230 @@
+// Parser tests: statement forms, declaration syntax (incl. quint<N> and
+// arrays), precedence, and syntax-error reporting.
+#include <gtest/gtest.h>
+
+#include "qutes/lang/parser.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::lang;
+
+template <typename T>
+T* as(Stmt* stmt) {
+  T* cast = dynamic_cast<T*>(stmt);
+  EXPECT_NE(cast, nullptr);
+  return cast;
+}
+
+template <typename T>
+T* as(Expr* expr) {
+  T* cast = dynamic_cast<T*>(expr);
+  EXPECT_NE(cast, nullptr);
+  return cast;
+}
+
+TEST(Parser, EmptyProgram) {
+  EXPECT_TRUE(parse("").statements.empty());
+}
+
+TEST(Parser, VarDeclarations) {
+  const Program p = parse("int x = 3; bool b; float f = 1.5; string s = \"hi\";");
+  ASSERT_EQ(p.statements.size(), 4u);
+  auto* x = as<VarDeclStmt>(p.statements[0].get());
+  EXPECT_EQ(x->type.kind, TypeKind::Int);
+  EXPECT_EQ(x->name, "x");
+  EXPECT_NE(x->init, nullptr);
+  auto* b = as<VarDeclStmt>(p.statements[1].get());
+  EXPECT_EQ(b->init, nullptr);
+}
+
+TEST(Parser, QuantumDeclarations) {
+  const Program p = parse(
+      "qubit q = |+>; quint a = 5q; quint<8> w = 3q; qustring s = \"01\"q;");
+  auto* q = as<VarDeclStmt>(p.statements[0].get());
+  EXPECT_EQ(q->type.kind, TypeKind::Qubit);
+  as<KetLitExpr>(q->init.get());
+  auto* a = as<VarDeclStmt>(p.statements[1].get());
+  EXPECT_EQ(a->type.quint_width, 0u);
+  auto* w = as<VarDeclStmt>(p.statements[2].get());
+  EXPECT_EQ(w->type.quint_width, 8u);
+  auto* s = as<VarDeclStmt>(p.statements[3].get());
+  EXPECT_EQ(s->type.kind, TypeKind::Qustring);
+}
+
+TEST(Parser, ArrayDeclarations) {
+  const Program p = parse("int[] xs = [1, 2, 3]; qubit[] qs = [|0>, |1>];");
+  auto* xs = as<VarDeclStmt>(p.statements[0].get());
+  EXPECT_TRUE(xs->type.is_array());
+  EXPECT_EQ(xs->type.element, TypeKind::Int);
+  auto* lit = as<ArrayLitExpr>(xs->init.get());
+  EXPECT_EQ(lit->elements.size(), 3u);
+  EXPECT_FALSE(lit->superposition);
+}
+
+TEST(Parser, SuperpositionLiteral) {
+  const Program p = parse("quint s = [0, 3]q;");
+  auto* decl = as<VarDeclStmt>(p.statements[0].get());
+  auto* lit = as<ArrayLitExpr>(decl->init.get());
+  EXPECT_TRUE(lit->superposition);
+  EXPECT_EQ(lit->elements.size(), 2u);
+}
+
+TEST(Parser, QuintWidthBounds) {
+  EXPECT_THROW(parse("quint<0> x;"), LangError);
+  EXPECT_THROW(parse("quint<99> x;"), LangError);
+}
+
+TEST(Parser, AssignmentForms) {
+  const Program p = parse("x = 1; x += 2; x <<= 3; a[0] = 4;");
+  auto* plain = as<AssignStmt>(p.statements[0].get());
+  EXPECT_FALSE(plain->compound.has_value());
+  auto* add = as<AssignStmt>(p.statements[1].get());
+  EXPECT_EQ(add->compound, BinaryOp::Add);
+  auto* shl = as<AssignStmt>(p.statements[2].get());
+  EXPECT_EQ(shl->compound, BinaryOp::Shl);
+  auto* idx = as<AssignStmt>(p.statements[3].get());
+  as<IndexExpr>(idx->lvalue.get());
+}
+
+TEST(Parser, AssignmentTargetValidation) {
+  EXPECT_THROW(parse("1 = 2;"), LangError);
+  EXPECT_THROW(parse("f() = 2;"), LangError);
+}
+
+TEST(Parser, Precedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  const Program p = parse("x = 1 + 2 * 3;");
+  auto* assign = as<AssignStmt>(p.statements[0].get());
+  auto* add = as<BinaryExpr>(assign->value.get());
+  EXPECT_EQ(add->op, BinaryOp::Add);
+  auto* mul = as<BinaryExpr>(add->rhs.get());
+  EXPECT_EQ(mul->op, BinaryOp::Mul);
+}
+
+TEST(Parser, ComparisonBindsLooserThanShift) {
+  const Program p = parse("b = x << 1 > y;");
+  auto* assign = as<AssignStmt>(p.statements[0].get());
+  auto* cmp = as<BinaryExpr>(assign->value.get());
+  EXPECT_EQ(cmp->op, BinaryOp::Gt);
+  auto* shl = as<BinaryExpr>(cmp->lhs.get());
+  EXPECT_EQ(shl->op, BinaryOp::Shl);
+}
+
+TEST(Parser, LogicalLadder) {
+  const Program p = parse("b = a || c && d == e;");
+  auto* assign = as<AssignStmt>(p.statements[0].get());
+  auto* orr = as<BinaryExpr>(assign->value.get());
+  EXPECT_EQ(orr->op, BinaryOp::Or);
+  auto* andd = as<BinaryExpr>(orr->rhs.get());
+  EXPECT_EQ(andd->op, BinaryOp::And);
+}
+
+TEST(Parser, InOperator) {
+  const Program p = parse("b = \"01\" in s;");
+  auto* assign = as<AssignStmt>(p.statements[0].get());
+  auto* in = as<BinaryExpr>(assign->value.get());
+  EXPECT_EQ(in->op, BinaryOp::In);
+}
+
+TEST(Parser, UnaryChain) {
+  const Program p = parse("x = --1; b = !!true; y = ~z;");
+  auto* assign = as<AssignStmt>(p.statements[0].get());
+  auto* outer = as<UnaryExpr>(assign->value.get());
+  as<UnaryExpr>(outer->operand.get());
+}
+
+TEST(Parser, IfElseChain) {
+  const Program p = parse("if (a) { x = 1; } else if (b) x = 2; else { x = 3; }");
+  auto* stmt = as<IfStmt>(p.statements[0].get());
+  EXPECT_NE(stmt->else_branch, nullptr);
+  as<IfStmt>(stmt->else_branch.get());
+}
+
+TEST(Parser, WhileAndForeach) {
+  const Program p = parse("while (x < 3) { x += 1; } foreach item in xs { print item; }");
+  as<WhileStmt>(p.statements[0].get());
+  auto* fe = as<ForeachStmt>(p.statements[1].get());
+  EXPECT_EQ(fe->var_name, "item");
+}
+
+TEST(Parser, FunctionDeclaration) {
+  const Program p = parse("int add(int a, quint b) { return a; }");
+  auto* fn = as<FuncDeclStmt>(p.statements[0].get());
+  EXPECT_EQ(fn->name, "add");
+  ASSERT_EQ(fn->params.size(), 2u);
+  EXPECT_EQ(fn->params[0].type.kind, TypeKind::Int);
+  EXPECT_EQ(fn->params[1].type.kind, TypeKind::Quint);
+  ASSERT_EQ(fn->body->statements.size(), 1u);
+  as<ReturnStmt>(fn->body->statements[0].get());
+}
+
+TEST(Parser, VoidFunctionNoParams) {
+  const Program p = parse("void f() { print 1; }");
+  auto* fn = as<FuncDeclStmt>(p.statements[0].get());
+  EXPECT_EQ(fn->return_type.kind, TypeKind::Void);
+  EXPECT_TRUE(fn->params.empty());
+}
+
+TEST(Parser, GateStatements) {
+  const Program p = parse("hadamard q; not a, b; pauliz x; measure q; reset q;");
+  auto* h = as<GateStmt>(p.statements[0].get());
+  EXPECT_EQ(h->gate, GateKind::Hadamard);
+  auto* n = as<GateStmt>(p.statements[1].get());
+  EXPECT_EQ(n->gate, GateKind::Not);
+  EXPECT_EQ(n->operands.size(), 2u);
+  auto* m = as<GateStmt>(p.statements[3].get());
+  EXPECT_EQ(m->gate, GateKind::MeasureStmt);
+}
+
+TEST(Parser, MeasureCallIsExpression) {
+  const Program p = parse("b = measure(q);");
+  auto* assign = as<AssignStmt>(p.statements[0].get());
+  auto* call = as<CallExpr>(assign->value.get());
+  EXPECT_EQ(call->callee, "measure");
+}
+
+TEST(Parser, CallsAndIndexingChain) {
+  const Program p = parse("x = f(1, g(2))[3];");
+  auto* assign = as<AssignStmt>(p.statements[0].get());
+  auto* idx = as<IndexExpr>(assign->value.get());
+  auto* call = as<CallExpr>(idx->target.get());
+  EXPECT_EQ(call->args.size(), 2u);
+}
+
+TEST(Parser, PrintAndBarrier) {
+  const Program p = parse("print 1 + 2; barrier;");
+  as<PrintStmt>(p.statements[0].get());
+  as<BarrierStmt>(p.statements[1].get());
+}
+
+TEST(Parser, SyntaxErrorsCarryLocations) {
+  try {
+    (void)parse("int x = ;");
+    FAIL() << "expected LangError";
+  } catch (const LangError& e) {
+    EXPECT_EQ(e.location().line, 1u);
+  }
+  EXPECT_THROW(parse("if (x { }"), LangError);
+  EXPECT_THROW(parse("int = 3;"), LangError);
+  EXPECT_THROW(parse("x = (1 + 2;"), LangError);
+  EXPECT_THROW(parse("foreach in xs {}"), LangError);
+}
+
+TEST(Parser, NestedBlocks) {
+  const Program p = parse("{ { int x = 1; } }");
+  auto* outer = as<BlockStmt>(p.statements[0].get());
+  as<BlockStmt>(outer->statements[0].get());
+}
+
+TEST(Parser, QuantumLiteralsInExpressions) {
+  const Program p = parse("print 5q; print \"01\"q; print [1, 2]q;");
+  auto* a = as<PrintStmt>(p.statements[0].get());
+  as<QuantumIntLitExpr>(a->value.get());
+  auto* b = as<PrintStmt>(p.statements[1].get());
+  as<QuantumStringLitExpr>(b->value.get());
+  auto* c = as<PrintStmt>(p.statements[2].get());
+  EXPECT_TRUE(as<ArrayLitExpr>(c->value.get())->superposition);
+}
+
+}  // namespace

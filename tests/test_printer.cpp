@@ -1,0 +1,98 @@
+// Formatter tests: canonical rendering of every construct, parse-format
+// round trips, idempotence, and behavioural equivalence of formatted code.
+#include <gtest/gtest.h>
+
+#include "qutes/lang/compiler.hpp"
+#include "qutes/lang/parser.hpp"
+#include "qutes/lang/printer.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::lang;
+
+std::string fmt(const std::string& source) {
+  Program program = parse(source);
+  return format_program(program);
+}
+
+TEST(Printer, Declarations) {
+  EXPECT_EQ(fmt("int   x=3;"), "int x = 3;\n");
+  EXPECT_EQ(fmt("quint<8>w=3q;"), "quint<8> w = 3q;\n");
+  EXPECT_EQ(fmt("qubit q=|+>;"), "qubit q = |+>;\n");
+  EXPECT_EQ(fmt("qustring s=\"01\"q;"), "qustring s = \"01\"q;\n");
+  EXPECT_EQ(fmt("int[] xs=[1,2,3];"), "int[] xs = [1, 2, 3];\n");
+  EXPECT_EQ(fmt("quint s=[0,3]q;"), "quint s = [0, 3]q;\n");
+  EXPECT_EQ(fmt("float f = 1.5;"), "float f = 1.5;\n");
+  EXPECT_EQ(fmt("float f = 2;"), "float f = 2;\n");  // int literal initializer
+}
+
+TEST(Printer, OperatorsGetCanonicalParens) {
+  EXPECT_EQ(fmt("x=1+2*3;"), "x = 1 + (2 * 3);\n");
+  EXPECT_EQ(fmt("b=!a&&c;"), "b = (!a) && c;\n");
+  EXPECT_EQ(fmt("b=\"01\" in s;"), "b = \"01\" in s;\n");
+}
+
+TEST(Printer, CompoundAssignment) {
+  EXPECT_EQ(fmt("x+=2;"), "x += 2;\n");
+  EXPECT_EQ(fmt("y<<=3;"), "y <<= 3;\n");
+}
+
+TEST(Printer, ControlFlowCanonicalizesToBlocks) {
+  EXPECT_EQ(fmt("if(x)print 1;"), "if (x) {\n  print 1;\n}\n");
+  EXPECT_EQ(fmt("while(x<3)x+=1;"), "while (x < 3) {\n  x += 1;\n}\n");
+  EXPECT_EQ(fmt("foreach i in xs print i;"),
+            "foreach i in xs {\n  print i;\n}\n");
+  EXPECT_EQ(fmt("if(a){print 1;}else{print 2;}"),
+            "if (a) {\n  print 1;\n}\nelse {\n  print 2;\n}\n");
+}
+
+TEST(Printer, FunctionsAndGateStatements) {
+  EXPECT_EQ(fmt("int f(int a,quint b){return a;}"),
+            "int f(int a, quint b) {\n  return a;\n}\n");
+  EXPECT_EQ(fmt("hadamard q;not a,b;"), "hadamard q;\nnot a, b;\n");
+  EXPECT_EQ(fmt("barrier;"), "barrier;\n");
+}
+
+TEST(Printer, StringEscapes) {
+  EXPECT_EQ(fmt("print \"a\\nb\";"), "print \"a\\nb\";\n");
+  EXPECT_EQ(fmt("print \"say \\\"hi\\\"\";"), "print \"say \\\"hi\\\"\";\n");
+}
+
+TEST(Printer, FormatIsIdempotent) {
+  const char* sources[] = {
+      "int x = 1; if (x > 0) { x += 2; } print x;",
+      "void f(qubit q) { hadamard q; } qubit a = |0>; f(a);",
+      "quint<4> v = 5q; v <<= 1; foreach b in v { not b; }",
+      "int[] xs = [3, 1, 2]; print qmin(xs);",
+  };
+  for (const char* source : sources) {
+    const std::string once = fmt(source);
+    EXPECT_EQ(fmt(once), once) << source;
+  }
+}
+
+TEST(Printer, FormattedCodeBehavesIdentically) {
+  const char* sources[] = {
+      "quint<4> x = 5q; x += 9; print x;",
+      "qubit a = |0>; qubit b = |0>; bell(a, b); bool x = a; bool y = b; "
+      "print x == y;",
+      "int total = 0; foreach v in [1, 2, 3] { total += v; } print total;",
+  };
+  for (const char* source : sources) {
+    RunOptions options;
+    options.seed = 31;
+    const std::string original = run_source(source, options).output;
+    const std::string formatted_output = run_source(fmt(source), options).output;
+    EXPECT_EQ(original, formatted_output) << source;
+  }
+}
+
+TEST(Printer, ExpressionFormatter) {
+  Program p = parse("x = f(1, g(2))[3];");
+  auto* assign = dynamic_cast<AssignStmt*>(p.statements[0].get());
+  ASSERT_NE(assign, nullptr);
+  EXPECT_EQ(format_expression(*assign->value), "f(1, g(2))[3]");
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// End-to-end tests over complete Qutes programs — the paper's Section 5
+// showcases, run through the full pipeline (lex -> parse -> pass 1 ->
+// interpret) and checked on their observable behaviour.
+#include <gtest/gtest.h>
+
+#include "qutes/circuit/qasm.hpp"
+#include "qutes/lang/compiler.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::lang;
+
+std::string run(const std::string& source, std::uint64_t seed = 7) {
+  RunOptions options;
+  options.seed = seed;
+  return run_source(source, options).output;
+}
+
+TEST(Programs, PaperShowcaseArithmetic) {
+  // The paper's first listing shape: quantum vars, superposed vector,
+  // addition, implicit measurement on print.
+  const std::string source = R"(
+    qubit q = |+>;
+    quint a = 5q;
+    quint b = [1, 3]q;
+    quint sum = a + b;
+    int sv = sum;
+    int bv = b;
+    print sv == 5 + bv;
+  )";
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(run(source, seed), "true\n") << "seed " << seed;
+  }
+}
+
+TEST(Programs, GroverShowcase) {
+  const std::string source = R"(
+    qustring text = "0110100"q;
+    if ("101" in text) {
+      print "found";
+    } else {
+      print "missing";
+    }
+  )";
+  // The pattern occurs once; Grover finds it with high probability, so the
+  // vast majority of seeds must print "found".
+  int found = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    if (run(source, seed) == "found\n") ++found;
+  }
+  EXPECT_GE(found, 15);
+}
+
+TEST(Programs, DeutschJozsaShowcaseBalanced) {
+  const std::string source = R"(
+    void oracle(quint x, qubit y) {
+      cx(x[0], y);
+      cx(x[2], y);
+    }
+    quint<4> x = 0q;
+    qubit y = |->;
+    hadamard x;
+    oracle(x, y);
+    hadamard x;
+    int v = x;
+    if (v == 0) { print "constant"; } else { print "balanced"; }
+  )";
+  // Deterministic algorithm: every seed agrees.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_EQ(run(source, seed), "balanced\n");
+  }
+}
+
+TEST(Programs, DeutschJozsaShowcaseConstant) {
+  const std::string source = R"(
+    void oracle(quint x, qubit y) { }
+    quint<4> x = 0q;
+    qubit y = |->;
+    hadamard x;
+    oracle(x, y);
+    hadamard x;
+    int v = x;
+    if (v == 0) { print "constant"; } else { print "balanced"; }
+  )";
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_EQ(run(source, seed), "constant\n");
+  }
+}
+
+TEST(Programs, EntanglementSwapShowcase) {
+  const std::string source = R"(
+    qubit a = |0>;
+    qubit b = |0>;
+    qubit c = |0>;
+    qubit d = |0>;
+    bell(a, b);
+    bell(c, d);
+    cx(b, c);
+    hadamard b;
+    bool mz = b;
+    bool mx = c;
+    if (mx) { not d; }
+    if (mz) { pauliz d; }
+    bool va = a;
+    bool vd = d;
+    print va == vd;
+  )";
+  // Must hold on EVERY measurement branch.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    EXPECT_EQ(run(source, seed), "true\n") << "seed " << seed;
+  }
+}
+
+TEST(Programs, CyclicShiftShowcase) {
+  EXPECT_EQ(run("quint<8> y = 1q; y <<= 3; print y; y >>= 1; print y;"), "8\n4\n");
+}
+
+TEST(Programs, TeleportationViaLanguage) {
+  // Full teleport written in Qutes with control flow corrections.
+  const std::string source = R"(
+    qubit msg = |1>;
+    qubit alice = |0>;
+    qubit bob = |0>;
+    bell(alice, bob);
+    cx(msg, alice);
+    hadamard msg;
+    bool m0 = msg;
+    bool m1 = alice;
+    if (m1) { not bob; }
+    if (m0) { pauliz bob; }
+    print bob;
+  )";
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    EXPECT_EQ(run(source, seed), "true\n") << "seed " << seed;
+  }
+}
+
+TEST(Programs, FunctionsOverQuantumState) {
+  const std::string source = R"(
+    void invert_register(quint x) {
+      foreach b in x { not b; }
+    }
+    quint<4> v = 0q;
+    invert_register(v);
+    print v;
+  )";
+  EXPECT_EQ(run(source), "15\n");
+}
+
+TEST(Programs, QuantumCounterLoop) {
+  const std::string source = R"(
+    quint<4> counter = 0q;
+    int i = 0;
+    while (i < 5) {
+      counter += 1;
+      i += 1;
+    }
+    print counter;
+  )";
+  EXPECT_EQ(run(source), "5\n");
+}
+
+TEST(Programs, ArraysOfQubits) {
+  const std::string source = R"(
+    qubit[] qs = [|0>, |1>, |0>];
+    not qs[0];
+    print qs[0];
+    print qs[1];
+    print qs[2];
+  )";
+  EXPECT_EQ(run(source), "true\ntrue\nfalse\n");
+}
+
+TEST(Programs, QasmExportOfWholeProgram) {
+  RunOptions options;
+  options.seed = 4;
+  const auto result = run_source(
+      "quint<3> x = 5q; hadamard x; int v = x; print v;", options);
+  const std::string qasm = circ::qasm::export_circuit(result.circuit);
+  EXPECT_NE(qasm.find("qreg x[3];"), std::string::npos);
+  EXPECT_NE(qasm.find("creg m[3];"), std::string::npos);
+  // Export parses back.
+  EXPECT_NO_THROW((void)circ::qasm::import_circuit(qasm));
+}
+
+TEST(Programs, ErrorsCarrySourceLocations) {
+  try {
+    (void)run("int x = 1;\nint y = z;\n");
+    FAIL();
+  } catch (const LangError& e) {
+    EXPECT_EQ(e.location().line, 2u);
+  }
+}
+
+TEST(Programs, StructuralErrorsFromPassOne) {
+  EXPECT_THROW(run("if (true) { int f() { return 1; } }"), LangError);
+  EXPECT_THROW(run("qustring s;"), LangError);
+  EXPECT_THROW(run("int f(int a, int a) { return a; }"), LangError);
+  EXPECT_THROW(run("int f() { return 1; } int f() { return 2; }"), LangError);
+}
+
+}  // namespace

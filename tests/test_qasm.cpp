@@ -1,0 +1,203 @@
+// OpenQASM 2.0 interchange tests: structural export checks, import of
+// hand-written programs, and semantic round-trips (export -> import ->
+// identical final state).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/qasm.hpp"
+#include "qutes/circuit/transpiler.hpp"
+#include "qutes/common/error.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::circ;
+
+double final_fidelity(const QuantumCircuit& a, const QuantumCircuit& b) {
+  Executor ex({.shots = 1, .seed = 5, .noise = {}});
+  return ex.run_single(a).state.fidelity(ex.run_single(b).state);
+}
+
+TEST(QasmExport, HeaderAndRegisters) {
+  QuantumCircuit c;
+  c.add_register("alpha", 2);
+  c.add_classical_register("beta", 1);
+  const std::string text = qasm::export_circuit(c);
+  EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(text.find("include \"qelib1.inc\";"), std::string::npos);
+  EXPECT_NE(text.find("qreg alpha[2];"), std::string::npos);
+  EXPECT_NE(text.find("creg beta[1];"), std::string::npos);
+}
+
+TEST(QasmExport, GateLines) {
+  QuantumCircuit c(2, 1);
+  c.h(0).cx(0, 1).p(M_PI / 2, 1).measure(1, 0);
+  const std::string text = qasm::export_circuit(c);
+  EXPECT_NE(text.find("h q[0];"), std::string::npos);
+  EXPECT_NE(text.find("cx q[0], q[1];"), std::string::npos);
+  EXPECT_NE(text.find("p(pi/2) q[1];"), std::string::npos);
+  EXPECT_NE(text.find("measure q[1] -> c[0];"), std::string::npos);
+}
+
+TEST(QasmExport, SymbolicPiParams) {
+  QuantumCircuit c(1);
+  c.rz(M_PI, 0).rz(-M_PI / 4, 0).rz(0.123, 0);
+  const std::string text = qasm::export_circuit(c);
+  EXPECT_NE(text.find("rz(pi)"), std::string::npos);
+  EXPECT_NE(text.find("rz(-pi/4)"), std::string::npos);
+  EXPECT_NE(text.find("rz(0.123"), std::string::npos);
+}
+
+TEST(QasmExport, MultiControlledGetLowered) {
+  QuantumCircuit c(5);
+  const std::size_t controls[4] = {0, 1, 2, 3};
+  c.mcx(controls, 4);
+  const std::string text = qasm::export_circuit(c);
+  EXPECT_EQ(text.find("mcx"), std::string::npos);  // no nonstandard mnemonic
+  EXPECT_NE(text.find("ccx"), std::string::npos);
+  EXPECT_NE(text.find("qreg anc["), std::string::npos);
+}
+
+TEST(QasmExport, ConditionPrefix) {
+  QuantumCircuit c(1, 1);
+  c.h(0).measure(0, 0);
+  c.x(0).c_if(0, 1);
+  const std::string text = qasm::export_circuit(c);
+  EXPECT_NE(text.find("if (c[0] == 1) x q[0];"), std::string::npos);
+}
+
+TEST(QasmImport, MinimalProgram) {
+  const std::string src = R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    cx q[0], q[1];
+    measure q[0] -> c[0];
+    measure q[1] -> c[1];
+  )";
+  const QuantumCircuit c = qasm::import_circuit(src);
+  EXPECT_EQ(c.num_qubits(), 2u);
+  EXPECT_EQ(c.num_clbits(), 2u);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.instructions()[0].type, GateType::H);
+  EXPECT_EQ(c.instructions()[1].type, GateType::CX);
+}
+
+TEST(QasmImport, ParamExpressions) {
+  const std::string src = R"(
+    qreg q[1];
+    rz(pi/2) q[0];
+    rz(-pi/4) q[0];
+    rz(2*pi) q[0];
+    rz(0.5) q[0];
+    u(pi/2, 0, pi) q[0];
+  )";
+  const QuantumCircuit c = qasm::import_circuit(src);
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_NEAR(c.instructions()[0].params[0], M_PI / 2, 1e-15);
+  EXPECT_NEAR(c.instructions()[1].params[0], -M_PI / 4, 1e-15);
+  EXPECT_NEAR(c.instructions()[2].params[0], 2 * M_PI, 1e-15);
+  EXPECT_NEAR(c.instructions()[3].params[0], 0.5, 1e-15);
+  ASSERT_EQ(c.instructions()[4].params.size(), 3u);
+}
+
+TEST(QasmImport, WholeRegisterMeasure) {
+  const std::string src = R"(
+    qreg q[3];
+    creg c[3];
+    h q[0];
+    measure q -> c;
+  )";
+  const QuantumCircuit c = qasm::import_circuit(src);
+  EXPECT_EQ(c.count_ops().at("measure"), 3u);
+}
+
+TEST(QasmImport, CommentsIgnored) {
+  const std::string src = R"(
+    // leading comment
+    qreg q[1];
+    h q[0]; // trailing comment
+  )";
+  const QuantumCircuit c = qasm::import_circuit(src);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmImport, U1AliasesP) {
+  const QuantumCircuit c = qasm::import_circuit("qreg q[1]; u1(0.5) q[0];");
+  EXPECT_EQ(c.instructions()[0].type, GateType::P);
+}
+
+TEST(QasmImport, SingleBitCondition) {
+  const std::string src = R"(
+    qreg q[1];
+    creg c[1];
+    measure q[0] -> c[0];
+    if (c[0] == 1) x q[0];
+  )";
+  const QuantumCircuit c = qasm::import_circuit(src);
+  ASSERT_EQ(c.size(), 2u);
+  ASSERT_TRUE(c.instructions()[1].condition.has_value());
+  EXPECT_EQ(c.instructions()[1].condition->clbit, 0u);
+}
+
+TEST(QasmImport, Errors) {
+  EXPECT_THROW(qasm::import_circuit("qreg q[1]; frobnicate q[0];"), CircuitError);
+  EXPECT_THROW(qasm::import_circuit("h q[0];"), CircuitError);             // undeclared
+  EXPECT_THROW(qasm::import_circuit("qreg q[1]; h q[5];"), CircuitError);  // range
+  EXPECT_THROW(qasm::import_circuit("qreg q[1]; measure q[0];"), CircuitError);
+}
+
+// Semantic round-trips over several circuit shapes.
+class QasmRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(QasmRoundTrip, ExportImportPreservesState) {
+  QuantumCircuit c(4, 0);
+  switch (GetParam()) {
+    case 0:
+      c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+      break;
+    case 1:
+      c.rx(0.3, 0).ry(0.7, 1).rz(-1.1, 2).p(2.2, 3).u(0.1, 0.2, 0.3, 0);
+      break;
+    case 2:
+      c.h(0).h(1).ccx(0, 1, 2).swap(2, 3).cz(0, 3);
+      break;
+    case 3: {
+      const std::size_t controls[3] = {0, 1, 2};
+      c.h(0).h(1).h(2);
+      c.mcx(controls, 3);
+      break;
+    }
+    case 4:
+      c.sx(0).sdg(1).tdg(2).cy(0, 1).ch(1, 2).cp(0.9, 2, 3).crz(0.4, 0, 3);
+      break;
+    default:
+      break;
+  }
+  const std::string text = qasm::export_circuit(c);
+  const QuantumCircuit back = qasm::import_circuit(text);
+  EXPECT_NEAR(final_fidelity(decompose_multicontrolled(c), back), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QasmRoundTrip, ::testing::Range(0, 5));
+
+TEST(QasmRoundTripDynamic, TeleportationCircuitSurvives) {
+  QuantumCircuit c(3, 2);
+  c.ry(0.77, 0);
+  c.h(1).cx(1, 2);
+  c.cx(0, 1).h(0);
+  c.measure(0, 0).measure(1, 1);
+  c.x(2).c_if(1, 1);
+  c.z(2).c_if(0, 1);
+  const QuantumCircuit back = qasm::import_circuit(qasm::export_circuit(c));
+  EXPECT_EQ(back.size(), c.size());
+  // Same seeds -> same trajectory -> same final state.
+  Executor ex({.shots = 1, .seed = 21, .noise = {}});
+  EXPECT_NEAR(ex.run_single(c).state.fidelity(ex.run_single(back).state), 1.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,271 @@
+// QFT and adder tests: exhaustive modular-arithmetic sweeps for both adder
+// families (Draper and Cuccaro), constant additions, negation, and
+// multiplication — the circuits behind the DSL's quint arithmetic (E1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qutes/algorithms/adders.hpp"
+#include "qutes/algorithms/qft.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::circ;
+using namespace qutes::algo;
+
+std::vector<std::size_t> iota(std::size_t begin, std::size_t count) {
+  std::vector<std::size_t> v(count);
+  for (std::size_t i = 0; i < count; ++i) v[i] = begin + i;
+  return v;
+}
+
+/// Run a unitary circuit on |basis> and return the measured basis state
+/// (deterministic circuits only).
+std::uint64_t run_on_basis(const QuantumCircuit& c, std::uint64_t basis) {
+  QuantumCircuit prep(c.num_qubits());
+  for (std::size_t q = 0; q < c.num_qubits(); ++q) {
+    if (test_bit(basis, q)) prep.x(q);
+  }
+  prep.compose(c, iota(0, c.num_qubits()));
+  Executor ex({.shots = 1, .seed = 2, .noise = {}});
+  const auto traj = ex.run_single(prep);
+  // The result must be a computational basis state.
+  for (std::uint64_t i = 0; i < traj.state.dim(); ++i) {
+    if (std::norm(traj.state.amplitude(i)) > 0.5) return i;
+  }
+  ADD_FAILURE() << "state is not a basis state";
+  return 0;
+}
+
+TEST(Qft, QftOnZeroIsUniform) {
+  const QuantumCircuit qft = make_qft(3);
+  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto traj = ex.run_single(qft);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::norm(traj.state.amplitude(i)), 1.0 / 8.0, 1e-12);
+  }
+}
+
+TEST(Qft, InverseUndoes) {
+  QuantumCircuit c(4);
+  for (std::size_t q = 0; q < 4; ++q) c.ry(0.2 + 0.3 * static_cast<double>(q), q);
+  const auto qubits = iota(0, 4);
+  QuantumCircuit full = c;
+  append_qft(full, qubits);
+  append_iqft(full, qubits);
+  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  EXPECT_NEAR(ex.run_single(full).state.fidelity(ex.run_single(c).state), 1.0, 1e-9);
+}
+
+TEST(Qft, MatchesAnalyticAmplitudes) {
+  // QFT|x> amplitudes: e^{2 pi i x k / N} / sqrt(N).
+  const std::size_t n = 3;
+  const std::uint64_t x = 5;
+  QuantumCircuit c(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    if (test_bit(x, q)) c.x(q);
+  }
+  append_qft(c, iota(0, n));
+  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto traj = ex.run_single(c);
+  const double norm = 1.0 / std::sqrt(8.0);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    const double phase = 2.0 * M_PI * static_cast<double>(x * k) / 8.0;
+    const sim::cplx expect = norm * std::exp(sim::cplx{0.0, phase});
+    EXPECT_NEAR(std::abs(traj.state.amplitude(k) - expect), 0.0, 1e-9) << "k=" << k;
+  }
+}
+
+// ---- Draper quantum-quantum adder -------------------------------------------
+
+class DraperAdder : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DraperAdder, ExhaustiveModularSweep) {
+  const std::size_t n = GetParam();
+  QuantumCircuit adder(2 * n);
+  append_draper_adder(adder, iota(0, n), iota(n, n));
+  const std::uint64_t mod = dim_of(n);
+  for (std::uint64_t a = 0; a < mod; ++a) {
+    for (std::uint64_t b = 0; b < mod; ++b) {
+      const std::uint64_t input = a | (b << n);
+      const std::uint64_t output = run_on_basis(adder, input);
+      EXPECT_EQ(output & (mod - 1), a) << "a register must be preserved";
+      EXPECT_EQ(output >> n, (a + b) % mod) << a << " + " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DraperAdder, ::testing::Values(1u, 2u, 3u));
+
+TEST(DraperSubtractor, ExhaustiveSweepWidth3) {
+  const std::size_t n = 3;
+  QuantumCircuit sub(2 * n);
+  append_draper_subtractor(sub, iota(0, n), iota(n, n));
+  const std::uint64_t mod = dim_of(n);
+  for (std::uint64_t a = 0; a < mod; ++a) {
+    for (std::uint64_t b = 0; b < mod; ++b) {
+      const std::uint64_t output = run_on_basis(sub, a | (b << n));
+      EXPECT_EQ(output >> n, (b + mod - a) % mod) << b << " - " << a;
+    }
+  }
+}
+
+TEST(DraperAdder, MixedWidthNarrowIntoWide) {
+  // |a| = 2 added into |b| = 4.
+  QuantumCircuit adder(6);
+  append_draper_adder(adder, iota(0, 2), iota(2, 4));
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    for (std::uint64_t b : {0ULL, 3ULL, 9ULL, 15ULL}) {
+      const std::uint64_t output = run_on_basis(adder, a | (b << 2));
+      EXPECT_EQ(output >> 2, (a + b) % 16);
+    }
+  }
+}
+
+TEST(DraperAdder, SuperposedInputProducesSuperposedSum) {
+  // b = |2>, a = (|0> + |1>)/sqrt2  ->  b' = (|2> + |3>)/sqrt2 entangled.
+  QuantumCircuit c(4);
+  c.h(0);            // a in superposition of 0, 1 (width 2, high bit 0)
+  c.x(2);            // b = 2 (qubits 2..3, bit 1 of b is qubit 3) -> b=1? no:
+  // qubit 2 is b bit 0, so x(2) sets b = 1. Use b = 1 then.
+  append_draper_adder(c, iota(0, 2), iota(2, 2));
+  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto traj = ex.run_single(c);
+  // States |a=0, b=1> and |a=1, b=2>: indices 0b0100 and 0b1001.
+  EXPECT_NEAR(std::norm(traj.state.amplitude(0b0100)), 0.5, 1e-9);
+  EXPECT_NEAR(std::norm(traj.state.amplitude(0b1001)), 0.5, 1e-9);
+}
+
+TEST(DraperAdder, RejectsBadShapes) {
+  QuantumCircuit c(4);
+  EXPECT_THROW(append_draper_adder(c, iota(0, 3), iota(2, 2)), Error);  // overlap
+  EXPECT_THROW(append_draper_adder(c, iota(0, 3), iota(3, 1)), Error);  // |a|>|b|
+}
+
+// ---- constant addition --------------------------------------------------------
+
+class DraperConst : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DraperConst, AddsConstantMod16) {
+  const std::uint64_t k = GetParam();
+  QuantumCircuit c(4);
+  append_draper_add_const(c, iota(0, 4), k);
+  for (std::uint64_t b = 0; b < 16; ++b) {
+    EXPECT_EQ(run_on_basis(c, b), (b + k) % 16) << b << " + " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Constants, DraperConst,
+                         ::testing::Values(0u, 1u, 5u, 7u, 15u, 16u, 23u));
+
+TEST(DraperConst, SubtractsConstant) {
+  QuantumCircuit c(3);
+  append_draper_sub_const(c, iota(0, 3), 3);
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(run_on_basis(c, b), (b + 8 - 3) % 8);
+  }
+}
+
+TEST(Negate, TwosComplement) {
+  QuantumCircuit c(3);
+  append_negate(c, iota(0, 3));
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(run_on_basis(c, b), (8 - b) % 8);
+  }
+}
+
+// ---- Cuccaro ripple-carry adder ------------------------------------------------
+
+class CuccaroAdder : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CuccaroAdder, ExhaustiveModularSweep) {
+  const std::size_t n = GetParam();
+  QuantumCircuit adder(2 * n + 1);  // last qubit = ancilla
+  append_cuccaro_adder(adder, iota(0, n), iota(n, n), 2 * n);
+  const std::uint64_t mod = dim_of(n);
+  for (std::uint64_t a = 0; a < mod; ++a) {
+    for (std::uint64_t b = 0; b < mod; ++b) {
+      const std::uint64_t output = run_on_basis(adder, a | (b << n));
+      EXPECT_EQ(output & (mod - 1), a) << "a preserved";
+      EXPECT_EQ((output >> n) & (mod - 1), (a + b) % mod) << a << "+" << b;
+      EXPECT_EQ(output >> (2 * n), 0u) << "ancilla returned clean";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CuccaroAdder, ::testing::Values(1u, 2u, 3u));
+
+TEST(CuccaroSubtractor, InvertsAdder) {
+  const std::size_t n = 3;
+  QuantumCircuit sub(2 * n + 1);
+  append_cuccaro_subtractor(sub, iota(0, n), iota(n, n), 2 * n);
+  const std::uint64_t mod = dim_of(n);
+  for (std::uint64_t a = 0; a < mod; ++a) {
+    for (std::uint64_t b = 0; b < mod; ++b) {
+      const std::uint64_t output = run_on_basis(sub, a | (b << n));
+      EXPECT_EQ((output >> n) & (mod - 1), (b + mod - a) % mod);
+    }
+  }
+}
+
+TEST(CuccaroAdder, AgreesWithDraperOnSuperpositions) {
+  const std::size_t n = 3;
+  QuantumCircuit c1(2 * n + 1), c2(2 * n + 1);
+  for (QuantumCircuit* c : {&c1, &c2}) {
+    c->h(0);
+    c->ry(0.8, 1);
+    c->x(n);
+    c->ry(1.3, n + 1);
+  }
+  append_draper_adder(c1, iota(0, n), iota(n, n));
+  append_cuccaro_adder(c2, iota(0, n), iota(n, n), 2 * n);
+  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  EXPECT_NEAR(ex.run_single(c1).state.fidelity(ex.run_single(c2).state), 1.0, 1e-9);
+}
+
+// ---- constant multiplication ----------------------------------------------------
+
+TEST(MulConst, AccumulatesProduct) {
+  // out(4 qubits) += b(2 qubits) * 3.
+  QuantumCircuit c(6);
+  append_mul_const_accumulate(c, iota(0, 2), iota(2, 4), 3);
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    const std::uint64_t output = run_on_basis(c, b);
+    EXPECT_EQ(output >> 2, (b * 3) % 16) << "b=" << b;
+    EXPECT_EQ(output & 3, b) << "b preserved";
+  }
+}
+
+TEST(MulConst, ZeroFactorLeavesOutputClean) {
+  QuantumCircuit c(5);
+  append_mul_const_accumulate(c, iota(0, 2), iota(2, 3), 0);
+  EXPECT_EQ(run_on_basis(c, 3) >> 2, 0u);
+}
+
+// ---- resource comparison (the E1 tradeoff) --------------------------------------
+
+TEST(AdderResources, DraperNeedsNoAncillaCuccaroIsLinear) {
+  const std::size_t n = 6;
+  QuantumCircuit draper(2 * n);
+  append_draper_adder(draper, iota(0, n), iota(n, n));
+  QuantumCircuit cuccaro(2 * n + 1);
+  append_cuccaro_adder(cuccaro, iota(0, n), iota(n, n), 2 * n);
+
+  // Draper uses only cp/h/swap-free phases; Cuccaro only cx/ccx.
+  for (const auto& [name, count] : draper.count_ops()) {
+    EXPECT_TRUE(name == "cp" || name == "h") << name;
+  }
+  for (const auto& [name, count] : cuccaro.count_ops()) {
+    EXPECT_TRUE(name == "cx" || name == "ccx") << name;
+  }
+  // Cuccaro gate count is linear in n: 6n + O(1) two-qubit-ish ops.
+  EXPECT_LE(cuccaro.gate_count(), 6 * n + 2);
+  // Draper is quadratic: ~n^2/2 controlled phases plus 2 QFTs.
+  EXPECT_GE(draper.count_ops().at("cp"), n * (n - 1) / 2);
+}
+
+}  // namespace

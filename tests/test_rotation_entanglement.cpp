@@ -1,0 +1,188 @@
+// Cyclic rotation (E3) and entanglement chain (E4) tests: permutation
+// correctness on every basis state, the constant-vs-linear depth claim, and
+// endpoint entanglement across chain lengths and measurement branches.
+#include <gtest/gtest.h>
+
+#include "qutes/algorithms/entanglement.hpp"
+#include "qutes/algorithms/rotation.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::algo;
+
+std::vector<std::size_t> iota(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+std::uint64_t run_on_basis(const circ::QuantumCircuit& c, std::uint64_t basis) {
+  circ::QuantumCircuit prep(c.num_qubits());
+  for (std::size_t q = 0; q < c.num_qubits(); ++q) {
+    if (test_bit(basis, q)) prep.x(q);
+  }
+  std::vector<std::size_t> map = iota(c.num_qubits());
+  prep.compose(c, map);
+  circ::Executor ex({.shots = 1, .seed = 2, .noise = {}});
+  const auto traj = ex.run_single(prep);
+  for (std::uint64_t i = 0; i < traj.state.dim(); ++i) {
+    if (std::norm(traj.state.amplitude(i)) > 0.5) return i;
+  }
+  ADD_FAILURE() << "not a basis state";
+  return 0;
+}
+
+std::uint64_t rotate_left_bits(std::uint64_t value, std::size_t n, std::size_t k) {
+  // Bit i of the input must land on bit (i + k) mod n.
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (test_bit(value, i)) out = set_bit(out, (i + k) % n);
+  }
+  return out;
+}
+
+// ---- rotation --------------------------------------------------------------------
+
+class RotationSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RotationSweep, ConstantDepthMatchesPermutation) {
+  const auto [n, k] = GetParam();
+  circ::QuantumCircuit c(n);
+  append_rotate_constant_depth(c, iota(n), k);
+  for (std::uint64_t basis = 0; basis < dim_of(n); ++basis) {
+    EXPECT_EQ(run_on_basis(c, basis), rotate_left_bits(basis, n, k))
+        << "n=" << n << " k=" << k << " basis=" << basis;
+  }
+}
+
+TEST_P(RotationSweep, LinearBaselineMatchesPermutation) {
+  const auto [n, k] = GetParam();
+  circ::QuantumCircuit c(n);
+  append_rotate_linear_depth(c, iota(n), k);
+  for (std::uint64_t basis = 0; basis < dim_of(n); ++basis) {
+    EXPECT_EQ(run_on_basis(c, basis), rotate_left_bits(basis, n, k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RotationSweep,
+    ::testing::Values(std::make_tuple(2u, 1u), std::make_tuple(3u, 1u),
+                      std::make_tuple(3u, 2u), std::make_tuple(4u, 1u),
+                      std::make_tuple(4u, 2u), std::make_tuple(4u, 3u),
+                      std::make_tuple(5u, 2u), std::make_tuple(5u, 4u),
+                      std::make_tuple(6u, 3u), std::make_tuple(6u, 5u)));
+
+TEST(Rotation, RightInvertsLeft) {
+  const std::size_t n = 5;
+  for (std::size_t k = 0; k < n; ++k) {
+    circ::QuantumCircuit c(n);
+    append_rotate_constant_depth(c, iota(n), k);
+    append_rotate_right_constant_depth(c, iota(n), k);
+    for (std::uint64_t basis : {1ULL, 5ULL, 21ULL, 30ULL}) {
+      EXPECT_EQ(run_on_basis(c, basis), basis);
+    }
+  }
+}
+
+TEST(Rotation, ZeroShiftIsEmpty) {
+  circ::QuantumCircuit c(4);
+  append_rotate_constant_depth(c, iota(4), 0);
+  EXPECT_EQ(c.gate_count(), 0u);
+  append_rotate_constant_depth(c, iota(4), 4);  // full turn
+  EXPECT_EQ(c.gate_count(), 0u);
+}
+
+TEST(Rotation, ConstantDepthIsDepthTwoForAllSizes) {
+  // The paper's claim (E3): depth independent of n.
+  for (std::size_t n : {4u, 8u, 12u, 16u, 20u}) {
+    circ::QuantumCircuit c(n);
+    append_rotate_constant_depth(c, iota(n), n / 2 + 1);
+    EXPECT_LE(c.depth(), 2u) << "n=" << n;
+  }
+}
+
+TEST(Rotation, LinearBaselineDepthGrows) {
+  std::size_t prev_depth = 0;
+  for (std::size_t n : {4u, 8u, 16u}) {
+    circ::QuantumCircuit c(n);
+    append_rotate_linear_depth(c, iota(n), 1);
+    EXPECT_EQ(c.depth(), n - 1) << "one pass of adjacent swaps";
+    EXPECT_GT(c.depth(), prev_depth);
+    prev_depth = c.depth();
+  }
+}
+
+TEST(Rotation, PreservesSuperpositions) {
+  // Rotation is a permutation: amplitudes move with the basis states.
+  circ::QuantumCircuit c(3);
+  c.h(0);  // (|000> + |001>)/sqrt2
+  append_rotate_constant_depth(c, iota(3), 1);
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto traj = ex.run_single(c);
+  EXPECT_NEAR(std::norm(traj.state.amplitude(0b000)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(traj.state.amplitude(0b010)), 0.5, 1e-12);
+}
+
+TEST(Rotation, EmptyRegisterRejected) {
+  circ::QuantumCircuit c(1);
+  const std::vector<std::size_t> none;
+  EXPECT_THROW(append_rotate_constant_depth(c, none, 1), Error);
+}
+
+// ---- entanglement chain ------------------------------------------------------------
+
+TEST(Bell, PairHasUnitCorrelation) {
+  circ::QuantumCircuit c(2);
+  append_bell_pair(c, 0, 1);
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto traj = ex.run_single(c);
+  EXPECT_NEAR(traj.state.expectation_zz(0, 1), 1.0, 1e-12);
+}
+
+class ChainSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChainSweep, EndpointsBecomeBellAcrossSeeds) {
+  const std::size_t links = GetParam();
+  // Every Bell-measurement branch must produce a perfect endpoint pair:
+  // try multiple seeds so different correction paths are exercised.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const ChainResult result = run_entanglement_chain(links, seed);
+    EXPECT_NEAR(result.zz_correlation, 1.0, 1e-9)
+        << "links=" << links << " seed=" << seed;
+    EXPECT_NEAR(result.bell_fidelity, 1.0, 1e-9)
+        << "links=" << links << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainSweep, ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST(Chain, CircuitStructure) {
+  const auto c = build_entanglement_chain_circuit(3);
+  EXPECT_EQ(c.num_qubits(), 6u);
+  EXPECT_EQ(c.num_clbits(), 4u);  // two bits per interior junction
+  const auto counts = c.count_ops();
+  EXPECT_EQ(counts.at("measure"), 4u);
+  // Corrections are conditioned.
+  std::size_t conditioned = 0;
+  for (const auto& in : c.instructions()) {
+    if (in.condition) ++conditioned;
+  }
+  EXPECT_EQ(conditioned, 4u);
+}
+
+TEST(Chain, SingleLinkIsJustABellPair) {
+  const ChainResult result = run_entanglement_chain(1, 3);
+  EXPECT_NEAR(result.bell_fidelity, 1.0, 1e-12);
+  EXPECT_EQ(result.chain_qubits, 2u);
+}
+
+TEST(Chain, ZeroLinksRejected) {
+  EXPECT_THROW((void)build_entanglement_chain_circuit(0), Error);
+}
+
+}  // namespace

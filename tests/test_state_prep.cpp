@@ -1,0 +1,116 @@
+// State-preparation tests: uniform superpositions over arbitrary value sets
+// and general non-negative amplitude targets (the substrate behind the
+// Qutes `[a, b, c]q` superposition literal).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "qutes/algorithms/state_prep.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::algo;
+
+std::vector<std::size_t> iota(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+std::vector<double> final_probs(const circ::QuantumCircuit& c) {
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto traj = ex.run_single(c);
+  return traj.state.probabilities();
+}
+
+TEST(StatePrep, SingleBasisState) {
+  circ::QuantumCircuit c(3);
+  std::vector<double> probs(8, 0.0);
+  probs[5] = 1.0;
+  append_state_prep(c, iota(3), probs);
+  const auto result = final_probs(c);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(result[i], probs[i], 1e-10) << i;
+  }
+}
+
+TEST(StatePrep, UniformOverAll) {
+  circ::QuantumCircuit c(2);
+  const std::vector<double> probs(4, 0.25);
+  append_state_prep(c, iota(2), probs);
+  const auto result = final_probs(c);
+  for (double p : result) EXPECT_NEAR(p, 0.25, 1e-10);
+}
+
+TEST(StatePrep, ArbitraryDistribution) {
+  circ::QuantumCircuit c(3);
+  const std::vector<double> probs = {0.1, 0.05, 0.2, 0.0, 0.3, 0.15, 0.05, 0.15};
+  append_state_prep(c, iota(3), probs);
+  const auto result = final_probs(c);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(result[i], probs[i], 1e-9) << i;
+  }
+}
+
+TEST(StatePrep, Validation) {
+  circ::QuantumCircuit c(2);
+  EXPECT_THROW(append_state_prep(c, iota(2), std::vector<double>(3, 0.33)), Error);
+  EXPECT_THROW(append_state_prep(c, iota(2), std::vector<double>(4, 0.3)), Error);
+}
+
+class UniformSuperposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(UniformSuperposition, EqualWeightOnListedValues) {
+  static const std::vector<std::vector<std::uint64_t>> cases = {
+      {0, 3},          // the paper's [0, 3]q example shape
+      {1, 2, 5},       // non-power-of-two count
+      {7},             // single value
+      {0, 1, 2, 3},    // full subspace
+      {2, 4, 6, 8, 10, 12},
+  };
+  const auto& values = cases[static_cast<std::size_t>(GetParam())];
+  std::uint64_t max_value = 0;
+  for (auto v : values) max_value = std::max(max_value, v);
+  const std::size_t n = bits_for(max_value);
+
+  circ::QuantumCircuit c(n);
+  append_uniform_superposition(c, iota(n), values);
+  const auto probs = final_probs(c);
+  const double expect = 1.0 / static_cast<double>(values.size());
+  for (std::uint64_t i = 0; i < dim_of(n); ++i) {
+    const bool listed = std::find(values.begin(), values.end(), i) != values.end();
+    EXPECT_NEAR(probs[i], listed ? expect : 0.0, 1e-9) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sets, UniformSuperposition, ::testing::Range(0, 5));
+
+TEST(UniformSuperposition, RejectsDuplicatesAndOverflow) {
+  circ::QuantumCircuit c(2);
+  const std::vector<std::uint64_t> dup = {1, 1};
+  const std::vector<std::uint64_t> big = {9};
+  const std::vector<std::uint64_t> none;
+  EXPECT_THROW(append_uniform_superposition(c, iota(2), dup), Error);
+  EXPECT_THROW(append_uniform_superposition(c, iota(2), big), Error);
+  EXPECT_THROW(append_uniform_superposition(c, iota(2), none), Error);
+}
+
+TEST(UniformSuperposition, AmplitudesAreRealNonNegative) {
+  // The multiplexed-RY construction promises non-negative real amplitudes.
+  circ::QuantumCircuit c(3);
+  const std::vector<std::uint64_t> values = {1, 4, 6};
+  append_uniform_superposition(c, iota(3), values);
+  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  const auto traj = ex.run_single(c);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(traj.state.amplitude(i).imag(), 0.0, 1e-10);
+    EXPECT_GE(traj.state.amplitude(i).real(), -1e-10);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Standard-library tests: every stdlib function (they are written in Qutes,
+// so these are also end-to-end interpreter tests), collision rules, and the
+// opt-out flag.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qutes/lang/compiler.hpp"
+#include "qutes/lang/stdlib.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::lang;
+
+std::string run(const std::string& source, std::uint64_t seed = 7) {
+  RunOptions options;
+  options.seed = seed;
+  return run_source(source, options).output;
+}
+
+TEST(Stdlib, ParsesAndRegistersEveryAdvertisedFunction) {
+  CompileResult compiled = compile_source("");
+  for (const std::string& name : stdlib_function_names()) {
+    EXPECT_NE(compiled.functions.lookup(name), nullptr) << name;
+  }
+}
+
+TEST(Stdlib, ClassicalHelpers) {
+  EXPECT_EQ(run("print abs_i(-5); print abs_i(3);"), "5\n3\n");
+  EXPECT_EQ(run("print min_i(2, 9); print max_i(2, 9);"), "2\n9\n");
+  EXPECT_EQ(run("print pow_i(2, 10); print pow_i(3, 0);"), "1024\n1\n");
+  EXPECT_EQ(run("print sum([1, 2, 3, 4]);"), "10\n");
+  EXPECT_EQ(run("print count([1, 2, 1, 1], 1);"), "3\n");
+  EXPECT_EQ(run("print contains([4, 5], 5); print contains([4, 5], 6);"),
+            "true\nfalse\n");
+}
+
+TEST(Stdlib, SuperposeAndFlip) {
+  EXPECT_EQ(run("quint<3> x = 0q; flip_all(x); print x;"), "7\n");
+  // superpose then un-superpose via a second stdlib call.
+  EXPECT_EQ(run("quint<2> x = 0q; superpose(x); superpose(x); print x;"), "0\n");
+}
+
+TEST(Stdlib, Ghz3Correlates) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(run("qubit a = |0>; qubit b = |0>; qubit c = |0>; "
+                  "ghz3(a, b, c); bool x = a; bool y = b; bool z = c; "
+                  "print x == y && y == z;",
+                  seed),
+              "true\n");
+  }
+}
+
+TEST(Stdlib, CoinIsFairAcrossSeeds) {
+  int heads = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    if (run("print coin();", seed) == "true\n") ++heads;
+  }
+  EXPECT_GT(heads, 15);
+  EXPECT_LT(heads, 45);
+}
+
+TEST(Stdlib, QrandomInRange) {
+  std::set<std::string> seen;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const std::string out = run("print qrandom(3);", seed);
+    const int v = std::stoi(out);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 8);
+    seen.insert(out);
+  }
+  EXPECT_GE(seen.size(), 4u);  // genuinely random
+}
+
+TEST(Stdlib, TeleportMovesTheState) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    EXPECT_EQ(run("qubit m = |1>; qubit a = |0>; qubit b = |0>; "
+                  "teleport(m, a, b); print b;",
+                  seed),
+              "true\n")
+        << "seed " << seed;
+  }
+}
+
+TEST(Stdlib, EntanglementSwapViaLibrary) {
+  const std::string source = R"(
+    qubit a = |0>; qubit b = |0>; qubit c = |0>; qubit d = |0>;
+    bell(a, b);
+    bell(c, d);
+    entanglement_swap(b, c, d);
+    bool va = a; bool vd = d;
+    print va == vd;
+  )";
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    EXPECT_EQ(run(source, seed), "true\n") << "seed " << seed;
+  }
+}
+
+TEST(Stdlib, DeutschJozsaWrapper) {
+  EXPECT_EQ(run("print dj_is_constant4(0);"), "true\n");
+  EXPECT_EQ(run("print dj_is_constant4(5);"), "false\n");
+  EXPECT_EQ(run("print dj_is_constant4(15);"), "false\n");
+}
+
+TEST(Stdlib, UserCannotRedefineStdlibFunctions) {
+  EXPECT_THROW(run("int sum(int[] xs) { return 0; }"), LangError);
+}
+
+TEST(Stdlib, OptOutRemovesTheLibrary) {
+  RunOptions options;
+  options.include_stdlib = false;
+  EXPECT_THROW((void)run_source("print abs_i(1);", options), LangError);
+  // ...and then redefining is allowed.
+  const auto result = run_source("int sum(int[] xs) { return -1; } "
+                                 "print sum([5]);",
+                                 options);
+  EXPECT_EQ(result.output, "-1\n");
+}
+
+TEST(Stdlib, PureDeclarationsAddNoQubitsOrGates) {
+  RunOptions options;
+  const auto result = run_source("print 1;", options);
+  EXPECT_EQ(result.num_qubits, 0u);
+  EXPECT_EQ(result.gate_count, 0u);
+}
+
+}  // namespace

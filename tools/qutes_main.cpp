@@ -1,0 +1,194 @@
+// qutes — the command-line driver for Qutes programs.
+//
+//   qutes run program.qut [--seed N] [--stats] [--qasm out.qasm] [--draw]
+//   qutes eval '<source>'  [same flags]
+//
+// `run` executes a .qut file; `eval` executes source given inline. Output of
+// `print` statements goes to stdout; --qasm exports the compiled circuit,
+// --draw renders ASCII art, --stats prints circuit metrics.
+#include <cstring>
+#include <sstream>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "qutes/circuit/draw.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/qasm.hpp"
+#include "qutes/circuit/qiskit_export.hpp"
+#include "qutes/circuit/transpiler.hpp"
+#include "qutes/lang/compiler.hpp"
+#include "qutes/lang/parser.hpp"
+#include "qutes/lang/printer.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage:\n"
+      << "  qutes run <file.qut>  [--seed N] [--stats] [--qasm FILE] [--qiskit FILE] [--draw] [--trace] [--replay N]\n"
+      << "  qutes eval '<source>' [--seed N] [--stats] [--qasm FILE] [--qiskit FILE] [--draw] [--trace] [--replay N]\n"
+      << "  qutes fmt <file.qut>            # print canonically formatted source\n"
+      << "  qutes sim <file.qasm> [--shots N] [--seed N]   # run an OpenQASM circuit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage(std::cerr);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  const std::string target = argv[2];
+  if (mode == "sim") {
+    std::size_t shots = 1024;
+    std::uint64_t sim_seed = 0x5eed0f5eedULL;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--shots" && i + 1 < argc) {
+        shots = std::stoul(argv[++i]);
+      } else if (arg == "--seed" && i + 1 < argc) {
+        sim_seed = std::stoull(argv[++i]);
+      } else {
+        std::cerr << "unknown flag: " << arg << "\n";
+        return 2;
+      }
+    }
+    try {
+      std::ifstream file(target);
+      if (!file) {
+        std::cerr << "cannot open " << target << "\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      const auto circuit = qutes::circ::qasm::import_circuit(buffer.str());
+      qutes::circ::ExecutionOptions options;
+      options.shots = shots;
+      options.seed = sim_seed;
+      const auto result = qutes::circ::Executor(options).run(circuit);
+      std::cout << "qubits: " << circuit.num_qubits()
+                << "  clbits: " << circuit.num_clbits()
+                << "  shots: " << shots
+                << (result.fast_path ? "  (static fast path)" : "  (trajectories)")
+                << "\n";
+      for (const auto& [bits, count] : result.counts) {
+        std::cout << bits << ": " << count << "\n";
+      }
+      return 0;
+    } catch (const qutes::Error& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 1;
+    }
+  }
+  if (mode == "fmt") {
+    try {
+      std::ifstream file(target);
+      if (!file) {
+        std::cerr << "cannot open " << target << "\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      qutes::lang::Program program = qutes::lang::parse(buffer.str());
+      std::cout << qutes::lang::format_program(program);
+      return 0;
+    } catch (const qutes::Error& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 1;
+    }
+  }
+  if (mode != "run" && mode != "eval") {
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::uint64_t seed = 0x5eed0f5eedULL;
+  bool stats = false;
+  bool draw = false;
+  bool trace = false;
+  std::size_t replay_shots = 0;
+  std::string qasm_path;
+  std::string qiskit_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--draw") {
+      draw = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--qasm" && i + 1 < argc) {
+      qasm_path = argv[++i];
+    } else if (arg == "--qiskit" && i + 1 < argc) {
+      qiskit_path = argv[++i];
+    } else if (arg == "--replay" && i + 1 < argc) {
+      replay_shots = std::stoul(argv[++i]);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  try {
+    qutes::lang::RunOptions options;
+    options.seed = seed;
+    options.echo = &std::cout;
+    if (trace) options.trace = &std::cerr;
+    const qutes::lang::RunResult result =
+        mode == "run" ? qutes::lang::run_file(target, options)
+                      : qutes::lang::run_source(target, options);
+
+    if (!qasm_path.empty()) {
+      std::ofstream out(qasm_path);
+      if (!out) {
+        std::cerr << "cannot write " << qasm_path << "\n";
+        return 1;
+      }
+      out << qutes::circ::qasm::export_circuit(result.circuit);
+      std::cerr << "wrote " << qasm_path << "\n";
+    }
+    if (!qiskit_path.empty()) {
+      std::ofstream out(qiskit_path);
+      if (!out) {
+        std::cerr << "cannot write " << qiskit_path << "\n";
+        return 1;
+      }
+      out << qutes::circ::qiskit::export_circuit(result.circuit);
+      std::cerr << "wrote " << qiskit_path << "\n";
+    }
+    if (draw) {
+      std::cerr << qutes::circ::draw(result.circuit);
+    }
+    if (replay_shots > 0) {
+      // Re-run the logged circuit as a shots experiment: each trajectory
+      // re-rolls every mid-circuit measurement, so the histogram shows the
+      // program's full outcome distribution, not just the live run's.
+      qutes::circ::ExecutionOptions exec_options;
+      exec_options.shots = replay_shots;
+      exec_options.seed = seed + 1;
+      const auto replay = qutes::circ::Executor(exec_options).run(result.circuit);
+      std::cerr << "--- replay (" << replay_shots << " shots over "
+                << result.circuit.num_clbits() << " clbits) ---\n";
+      for (const auto& [bits, count] : replay.counts) {
+        std::cerr << bits << ": " << count << "\n";
+      }
+    }
+    if (stats) {
+      const auto transpiled = qutes::circ::transpile(result.circuit);
+      std::cerr << "qubits:           " << result.num_qubits << "\n"
+                << "instructions:     " << result.circuit.size() << "\n"
+                << "depth:            " << result.circuit_depth << "\n"
+                << "gates:            " << result.gate_count << "\n"
+                << "transpiled depth: " << transpiled.depth() << "\n"
+                << "transpiled gates: " << transpiled.gate_count() << "\n";
+    }
+    return 0;
+  } catch (const qutes::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
