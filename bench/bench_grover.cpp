@@ -3,14 +3,21 @@
 // with success probability > 1/2 at the optimum, vs N classical probes.
 // Paper shape: sqrt scaling of quantum queries; high hit rates.
 #include <benchmark/benchmark.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "qutes/algorithms/counting.hpp"
 #include "qutes/algorithms/grover.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/fusion.hpp"
 #include "qutes/common/bitops.hpp"
 #include "qutes/common/rng.hpp"
 #include "qutes/lang/compiler.hpp"
@@ -72,6 +79,71 @@ void print_summary() {
   std::printf("shape check: estimates track the planted counts\n\n");
 }
 
+int bench_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+std::string histogram_json(const std::map<std::size_t, std::size_t>& hist) {
+  std::string out = "{";
+  for (const auto& [width, blocks] : hist) {
+    if (out.size() > 1) out += ",";
+    out += "\"";
+    out += std::to_string(width);
+    out += "\":";
+    out += std::to_string(blocks);
+  }
+  return out + "}";
+}
+
+/// Machine-readable fusion comparison on a full Grover circuit (H layers,
+/// multi-controlled oracle, diffusion), collected into BENCH_fusion.json by
+/// scripts/run_experiments.sh.
+void print_fusion_json() {
+  std::printf("=== fusion engine: Grover executor, fused vs unfused ===\n");
+  for (const std::size_t bits : {16u, 18u}) {
+    const std::uint64_t marked[] = {dim_of(bits) - 1};
+    // A few fixed rounds: the optimum at 16 qubits (~200 iterations) would
+    // dominate bench time without changing the per-gate shape.
+    const circ::QuantumCircuit c = build_grover_circuit(bits, marked, 4);
+    const auto run_ms = [&](std::size_t max_fused) {
+      circ::ExecutionOptions options;
+      options.shots = 64;
+      options.seed = 7;
+      options.max_fused_qubits = max_fused;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto result = circ::Executor(options).run(c);
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(result.counts);
+      return std::make_pair(
+          std::chrono::duration<double, std::milli>(t1 - t0).count(),
+          result.fused_width_histogram);
+    };
+    run_ms(1);  // warm up
+    double unfused_ms = 1e300, fused_ms = 1e300;
+    std::map<std::size_t, std::size_t> histogram;
+    for (int r = 0; r < 3; ++r) {
+      unfused_ms = std::min(unfused_ms, run_ms(1).first);
+      const auto [ms, hist] = run_ms(4);
+      fused_ms = std::min(fused_ms, ms);
+      histogram = hist;
+    }
+    const double gates_per_sec =
+        static_cast<double>(c.size()) / (fused_ms / 1000.0);
+    std::printf("BENCH_JSON {\"bench\":\"grover\",\"workload\":\"grover\","
+                "\"qubits\":%zu,\"gates\":%zu,\"threads\":%d,"
+                "\"unfused_ms\":%.3f,\"fused_ms\":%.3f,\"speedup\":%.3f,"
+                "\"gates_per_sec\":%.1f,\"blocks\":%s}\n",
+                bits, c.size(), bench_threads(), unfused_ms, fused_ms,
+                unfused_ms / fused_ms, gates_per_sec,
+                histogram_json(histogram).c_str());
+  }
+  std::printf("shape check: fused H/diffusion layers cut full-state sweeps\n\n");
+}
+
 void BM_SubstringSearchRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::string text = random_bits(n, 77);
@@ -123,6 +195,7 @@ BENCHMARK(BM_DslInOperator);
 
 int main(int argc, char** argv) {
   print_summary();
+  print_fusion_json();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Reproduce everything: configure, build, run the full test suite, and
 # regenerate every experiment table (E1..E10). Outputs land in
-# test_output.txt and bench_output.txt at the repository root.
+# test_output.txt and bench_output.txt at the repository root, and the
+# machine-readable gate-fusion comparison in BENCH_fusion.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,5 +18,15 @@ for b in build/bench/bench_*; do
   "$b" 2>&1 | tee -a bench_output.txt
 done
 
+# Collect the BENCH_JSON lines (one object per fusion workload, emitted by
+# bench_simulator and bench_grover) into a single JSON array.
+{
+  echo '['
+  { grep -h '^BENCH_JSON ' bench_output.txt || true; } | sed 's/^BENCH_JSON //' | paste -sd, -
+  echo ']'
+} > BENCH_fusion.json
+echo "Fusion speedups recorded in BENCH_fusion.json:"
+grep -o '"qubits":[0-9]*\|"speedup":[0-9.]*' BENCH_fusion.json | paste - - || true
+
 echo
-echo "Done. See test_output.txt and bench_output.txt."
+echo "Done. See test_output.txt, bench_output.txt, and BENCH_fusion.json."

@@ -1,7 +1,11 @@
 #include "qutes/circuit/executor.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
 
+#include "qutes/circuit/fusion.hpp"
 #include "qutes/common/bitops.hpp"
 #include "qutes/common/error.hpp"
 
@@ -30,6 +34,22 @@ void apply_controlled(sim::StateVector& sv, const Instruction& in,
   const auto controls =
       std::span<const std::size_t>(in.qubits.data(), in.qubits.size() - 1);
   sv.apply_multi_controlled_1q(u, controls, in.target());
+}
+
+/// True if the noise model attaches a channel after this gate; such gates
+/// are noise insertion points and must stay unfused so the channel still
+/// fires per gate.
+bool gate_acquires_noise(const Instruction& in, const sim::NoiseModel& noise) {
+  if (!is_unitary_gate(in.type) || in.type == GateType::GlobalPhase) return false;
+  if (noise.amplitude_damping > 0.0) return true;
+  if (in.qubits.size() == 1) return noise.depolarizing_1q > 0.0;
+  return noise.depolarizing_2q > 0.0;
+}
+
+void record_fusion_stats(ExecutionResult& result, const FusionPlan& plan) {
+  result.fused_gates = plan.fused_gates;
+  result.fused_blocks = plan.fused_blocks();
+  result.fused_width_histogram = plan.width_histogram;
 }
 
 }  // namespace
@@ -139,16 +159,21 @@ bool Executor::is_static(const QuantumCircuit& circuit) {
 
 ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
   if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
-  Rng rng(options_.seed);
   ExecutionResult result;
+
+  FusionOptions fusion_options;
+  fusion_options.max_fused_qubits = options_.max_fused_qubits;
 
   const bool fast = !options_.noise.enabled() && is_static(circuit);
   if (fast) {
     // Evolve once, skipping measurements, then sample the measured qubits.
+    Rng rng(options_.seed);
     sim::StateVector sv(circuit.num_qubits());
     std::uint64_t scratch = 0;
     // clbit -> qubit wiring from the measure instructions.
     std::vector<std::optional<std::size_t>> wire(circuit.num_clbits());
+    std::vector<Instruction> body;
+    body.reserve(circuit.size());
     for (const Instruction& in : circuit.instructions()) {
       if (in.type == GateType::Measure) {
         for (std::size_t i = 0; i < in.qubits.size(); ++i) {
@@ -156,10 +181,32 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
         }
         continue;
       }
-      apply_instruction(sv, in, scratch, rng);
+      body.push_back(in);
+    }
+    const FusionPlan plan = build_fusion_plan(body, fusion_options);
+    record_fusion_stats(result, plan);
+    for (const FusedOp& op : plan.ops) {
+      if (op.fused) {
+        sv.apply_kq(op.matrix, op.qubits);
+      } else {
+        apply_instruction(sv, body[op.instruction], scratch, rng);
+      }
+    }
+
+    // Sample shots from the final distribution: build the CDF once and
+    // binary-search per shot instead of the former O(dim) linear scan.
+    const auto amps = sv.amplitudes();
+    std::vector<double> cdf(amps.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+      acc += std::norm(amps[i]);
+      cdf[i] = acc;
     }
     for (std::size_t s = 0; s < options_.shots; ++s) {
-      const std::uint64_t basis = sv.sample(rng);
+      const double r = rng.uniform() * acc;
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+      std::uint64_t basis = static_cast<std::uint64_t>(it - cdf.begin());
+      if (basis >= sv.dim()) basis = sv.dim() - 1;
       std::string key(circuit.num_clbits(), '0');
       for (std::size_t c = 0; c < circuit.num_clbits(); ++c) {
         const bool bit = wire[c] && test_bit(basis, *wire[c]);
@@ -173,10 +220,32 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
     return result;
   }
 
-  for (std::size_t s = 0; s < options_.shots; ++s) {
+  // Dynamic/noisy path: one trajectory per shot. Gates that acquire noise
+  // are fusion barriers, so blocks form only between noise insertion points.
+  fusion_options.keep_raw = [this](const Instruction& in) {
+    return gate_acquires_noise(in, options_.noise);
+  };
+  const auto& instrs = circuit.instructions();
+  const FusionPlan plan = build_fusion_plan(instrs, fusion_options);
+  record_fusion_stats(result, plan);
+
+  const auto shots = static_cast<std::int64_t>(options_.shots);
+  if (options_.record_memory) result.memory.assign(options_.shots, {});
+
+  // Each shot owns a counter-derived RNG stream, so the loop can run on any
+  // number of threads and still produce bit-identical counts: per-shot
+  // outcomes depend only on (seed, shot), memory slots are indexed by shot,
+  // and merging per-thread histograms is an order-independent sum.
+  const auto run_shot = [&](std::size_t s) {
+    Rng rng(options_.seed, s);
     sim::StateVector sv(circuit.num_qubits());
     std::uint64_t clbits = 0;
-    for (const Instruction& in : circuit.instructions()) {
+    for (const FusedOp& op : plan.ops) {
+      if (op.fused) {
+        sv.apply_kq(op.matrix, op.qubits);
+        continue;
+      }
+      const Instruction& in = instrs[op.instruction];
       if (in.condition &&
           static_cast<int>(test_bit(clbits, in.condition->clbit)) !=
               in.condition->value) {
@@ -206,10 +275,37 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
         }
       }
     }
-    const std::string key = to_bitstring(clbits, circuit.num_clbits());
-    ++result.counts[key];
-    if (options_.record_memory) result.memory.push_back(key);
+    return to_bitstring(clbits, circuit.num_clbits());
+  };
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+#pragma omp parallel if (options_.parallel_shots && shots > 1)
+  {
+    sim::Counts local;
+#pragma omp for schedule(static)
+    for (std::int64_t s = 0; s < shots; ++s) {
+      if (failed.load(std::memory_order_relaxed)) continue;
+      try {
+        const std::string key = run_shot(static_cast<std::size_t>(s));
+        ++local[key];
+        if (options_.record_memory) {
+          result.memory[static_cast<std::size_t>(s)] = key;
+        }
+      } catch (...) {
+        // OpenMP loops cannot propagate exceptions; capture the first one
+        // and rethrow after the region.
+        if (!failed.exchange(true)) {
+#pragma omp critical(qutes_executor_error)
+          error = std::current_exception();
+        }
+      }
+    }
+#pragma omp critical(qutes_executor_merge)
+    for (const auto& [key, n] : local) result.counts[key] += n;
   }
+  if (error) std::rethrow_exception(error);
+
   result.trajectories = options_.shots;
   result.fast_path = false;
   return result;

@@ -1,0 +1,207 @@
+#include "qutes/circuit/fusion.hpp"
+
+#include <algorithm>
+
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace qutes::circ {
+
+namespace {
+
+/// A block still accepting gates. `qubits[j]` is the wire local bit j acts
+/// on; `sources` are the absorbed instruction indices in source order.
+struct OpenBlock {
+  std::vector<std::size_t> qubits;
+  sim::MatrixN matrix;
+  std::vector<std::size_t> sources;
+};
+
+/// Positions of `qubits` within `within` (which must contain them all).
+std::vector<std::size_t> positions_in(const std::vector<std::size_t>& qubits,
+                                      const std::vector<std::size_t>& within) {
+  std::vector<std::size_t> pos(qubits.size());
+  for (std::size_t j = 0; j < qubits.size(); ++j) {
+    const auto it = std::find(within.begin(), within.end(), qubits[j]);
+    pos[j] = static_cast<std::size_t>(it - within.begin());
+  }
+  return pos;
+}
+
+bool intersects(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
+  for (std::size_t q : a) {
+    if (std::find(b.begin(), b.end(), q) != b.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+sim::MatrixN instruction_matrix(const Instruction& in) {
+  if (!is_unitary_gate(in.type) || in.type == GateType::GlobalPhase ||
+      in.qubits.empty()) {
+    throw CircuitError(std::string("instruction_matrix: not a wire-local unitary: ") +
+                       gate_name(in.type));
+  }
+  const std::size_t k = in.qubits.size();
+  if (k > sim::MatrixN::kMaxQubits) {
+    throw CircuitError("instruction_matrix: gate spans " + std::to_string(k) +
+                       " qubits (> MatrixN::kMaxQubits)");
+  }
+  // Remap onto local wires 0..k-1 and read the matrix off basis columns via
+  // the regular instruction interpreter, so fusion agrees with unfused
+  // execution gate type by gate type.
+  Instruction local = in;
+  local.condition.reset();
+  for (std::size_t j = 0; j < k; ++j) local.qubits[j] = j;
+  sim::MatrixN mat(k);
+  std::uint64_t scratch = 0;
+  Rng dummy(0);
+  for (std::size_t col = 0; col < (std::size_t{1} << k); ++col) {
+    sim::StateVector sv(k);
+    sv.set_basis_state(col);
+    apply_instruction(sv, local, scratch, dummy);
+    for (std::size_t row = 0; row < (std::size_t{1} << k); ++row) {
+      mat.at(row, col) = sv.amplitude(row);
+    }
+  }
+  return mat;
+}
+
+bool is_fusable(const Instruction& in, std::size_t max_fused_qubits) {
+  return is_unitary_gate(in.type) && in.type != GateType::GlobalPhase &&
+         !in.condition && !in.qubits.empty() &&
+         in.qubits.size() <= max_fused_qubits;
+}
+
+FusionPlan build_fusion_plan(std::span<const Instruction> instructions,
+                             const FusionOptions& options) {
+  FusionPlan plan;
+  plan.source_instructions = instructions.size();
+  const std::size_t max_width =
+      std::min(options.max_fused_qubits, sim::MatrixN::kMaxQubits);
+
+  if (max_width <= 1) {
+    // Fusion disabled: replay the source verbatim.
+    plan.ops.reserve(instructions.size());
+    for (std::size_t i = 0; i < instructions.size(); ++i) {
+      FusedOp op;
+      op.instruction = i;
+      plan.ops.push_back(std::move(op));
+    }
+    return plan;
+  }
+
+  std::vector<OpenBlock> open;  // pairwise-disjoint wire sets, creation order
+
+  const auto emit_raw = [&](std::size_t i) {
+    FusedOp op;
+    op.instruction = i;
+    plan.ops.push_back(std::move(op));
+  };
+  const auto emit_block = [&](OpenBlock&& b) {
+    if (b.sources.size() == 1) {
+      // A lone gate gains nothing from the dense kernel; keep the
+      // specialized per-gate kernel instead.
+      emit_raw(b.sources[0]);
+      return;
+    }
+    FusedOp op;
+    op.fused = true;
+    op.matrix = std::move(b.matrix);
+    op.qubits = std::move(b.qubits);
+    op.gate_count = b.sources.size();
+    plan.fused_gates += op.gate_count;
+    ++plan.width_histogram[op.qubits.size()];
+    plan.ops.push_back(std::move(op));
+  };
+  const auto flush_intersecting = [&](const std::vector<std::size_t>& qubits) {
+    std::vector<OpenBlock> keep;
+    keep.reserve(open.size());
+    for (OpenBlock& b : open) {
+      if (intersects(b.qubits, qubits)) {
+        emit_block(std::move(b));
+      } else {
+        keep.push_back(std::move(b));
+      }
+    }
+    open = std::move(keep);
+  };
+  const auto flush_all = [&] {
+    for (OpenBlock& b : open) emit_block(std::move(b));
+    open.clear();
+  };
+
+  for (std::size_t i = 0; i < instructions.size(); ++i) {
+    const Instruction& in = instructions[i];
+    if (in.type == GateType::Barrier) {
+      flush_all();
+      emit_raw(i);
+      continue;
+    }
+    const bool fusable = is_fusable(in, max_width) &&
+                         !(options.keep_raw && options.keep_raw(in));
+    if (!fusable) {
+      // GlobalPhase is a scalar and commutes with everything; every other
+      // raw instruction must order after the blocks it touches.
+      if (in.type != GateType::GlobalPhase) flush_intersecting(in.qubits);
+      emit_raw(i);
+      continue;
+    }
+
+    // Try to merge the gate with every open block it overlaps.
+    std::vector<std::size_t> merged_qubits;
+    std::vector<std::size_t> touching;  // indices into `open`
+    for (std::size_t b = 0; b < open.size(); ++b) {
+      if (intersects(open[b].qubits, in.qubits)) {
+        touching.push_back(b);
+        merged_qubits.insert(merged_qubits.end(), open[b].qubits.begin(),
+                             open[b].qubits.end());
+      }
+    }
+    for (std::size_t q : in.qubits) {
+      if (std::find(merged_qubits.begin(), merged_qubits.end(), q) ==
+          merged_qubits.end()) {
+        merged_qubits.push_back(q);
+      }
+    }
+
+    if (!touching.empty() && merged_qubits.size() <= max_width) {
+      OpenBlock combined;
+      combined.qubits = std::move(merged_qubits);
+      combined.matrix = sim::MatrixN::identity(combined.qubits.size());
+      for (std::size_t b : touching) {
+        // Overlapping blocks are disjoint from each other, so composing them
+        // in creation order is exact.
+        combined.matrix =
+            open[b].matrix.embedded(combined.qubits.size(),
+                                    positions_in(open[b].qubits, combined.qubits)) *
+            combined.matrix;
+        combined.sources.insert(combined.sources.end(), open[b].sources.begin(),
+                                open[b].sources.end());
+      }
+      combined.matrix =
+          instruction_matrix(in).embedded(combined.qubits.size(),
+                                          positions_in(in.qubits, combined.qubits)) *
+          combined.matrix;
+      combined.sources.push_back(i);
+      for (std::size_t t = touching.size(); t-- > 0;) {
+        open.erase(open.begin() + static_cast<std::ptrdiff_t>(touching[t]));
+      }
+      open.push_back(std::move(combined));
+      continue;
+    }
+
+    if (!touching.empty()) flush_intersecting(in.qubits);
+    OpenBlock fresh;
+    fresh.qubits = in.qubits;
+    fresh.matrix = instruction_matrix(in);
+    fresh.sources = {i};
+    open.push_back(std::move(fresh));
+  }
+  flush_all();
+  return plan;
+}
+
+}  // namespace qutes::circ

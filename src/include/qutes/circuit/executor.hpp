@@ -5,10 +5,19 @@
 //    no conditions, no noise) evolve the state once and sample `shots`
 //    outcomes from the final distribution;
 //  * dynamic circuits re-run one full trajectory per shot, honoring
-//    measurement collapse, reset, c_if conditions, and noise channels.
+//    measurement collapse, reset, c_if conditions, and noise channels. The
+//    trajectory loop is OpenMP-parallel; every shot draws from its own
+//    counter-derived RNG stream (Rng(seed, shot)), so counts are
+//    bit-identical for a fixed seed regardless of thread count.
+// Both paths run the runtime gate-fusion engine first (see fusion.hpp):
+// adjacent unitaries are pre-multiplied into dense blocks of up to
+// `max_fused_qubits` wires, cutting the number of full-state sweeps. On the
+// noisy path, gates that acquire noise stay unfused so channels still attach
+// per gate.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 
 #include "qutes/circuit/circuit.hpp"
@@ -24,7 +33,17 @@ struct ExecutionOptions {
   sim::NoiseModel noise;
   /// Also record the per-shot bitstrings, in shot order (Aer "memory").
   bool record_memory = false;
+  /// Widest runtime-fused block; 1 disables gate fusion (gate-at-a-time
+  /// execution, exactly the pre-fusion behavior). Clamped to
+  /// sim::MatrixN::kMaxQubits.
+  std::size_t max_fused_qubits = 4;
+  /// Run the per-shot trajectory loop across OpenMP threads. Results are
+  /// independent of the thread count either way.
+  bool parallel_shots = true;
 };
+
+/// Alias matching the Aer-style "executor options" naming used in docs.
+using ExecutorOptions = ExecutionOptions;
 
 struct ExecutionResult {
   /// Histogram over classical registers, MSB-first (clbit N-1 leftmost).
@@ -35,6 +54,12 @@ struct ExecutionResult {
   std::size_t trajectories = 0;
   /// Whether the static fast path was taken.
   bool fast_path = false;
+  /// Gate-fusion diagnostics: source gates absorbed into fused blocks, the
+  /// number of blocks, and blocks per width (empty when fusion is off or
+  /// found nothing to merge).
+  std::size_t fused_gates = 0;
+  std::size_t fused_blocks = 0;
+  std::map<std::size_t, std::size_t> fused_width_histogram;
 };
 
 class Executor {

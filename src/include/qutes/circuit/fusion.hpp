@@ -1,0 +1,83 @@
+// Runtime gate-fusion engine.
+//
+// Mirrors Qiskit Aer's statevector fusion pass: adjacent unitary
+// instructions whose combined wire set fits in `max_fused_qubits` are merged
+// into a single dense MatrixN block, so a run of gates costs one
+// gather/scatter sweep over the amplitudes instead of one sweep per gate. At
+// 16+ qubits the state no longer fits in cache and sweep count — not flop
+// count — dominates, which is where fusion pays off.
+//
+// The pass is greedy and keeps a set of *open* blocks with pairwise-disjoint
+// wire sets. Because disjoint operators commute, an open block may legally
+// be emitted after raw instructions that touched other wires; the plan
+// therefore preserves semantics exactly (up to floating-point roundoff of
+// the pre-multiplied matrices). Measurements, resets, barriers, classically
+// conditioned gates, and gates the caller pins via `keep_raw` (e.g. gates
+// that acquire noise in a trajectory run) are never fused; they flush any
+// open block they overlap.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "qutes/circuit/instruction.hpp"
+#include "qutes/sim/matrix.hpp"
+
+namespace qutes::circ {
+
+struct FusionOptions {
+  /// Widest fused block (clamped to MatrixN::kMaxQubits). <= 1 disables
+  /// fusion entirely: the plan replays the source instructions unchanged.
+  std::size_t max_fused_qubits = 4;
+  /// Optional pin: instructions for which this returns true stay raw even if
+  /// they are fusable unitaries. The executor uses it to keep noisy gates as
+  /// noise insertion points.
+  std::function<bool(const Instruction&)> keep_raw;
+};
+
+/// One step of a fusion plan: either a fused dense block over `qubits`, or a
+/// replay of the source instruction at index `instruction`.
+struct FusedOp {
+  bool fused = false;
+  sim::MatrixN matrix;               // valid when fused
+  std::vector<std::size_t> qubits;   // valid when fused; local bit j = qubits[j]
+  std::size_t instruction = 0;       // valid when !fused: source index
+  std::size_t gate_count = 1;        // source gates this op covers
+};
+
+struct FusionPlan {
+  std::vector<FusedOp> ops;
+  /// Number of source instructions the plan covers.
+  std::size_t source_instructions = 0;
+  /// Source gates absorbed into fused blocks.
+  std::size_t fused_gates = 0;
+  /// block width (qubits) -> number of fused blocks of that width.
+  std::map<std::size_t, std::size_t> width_histogram;
+
+  [[nodiscard]] std::size_t fused_blocks() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [w, c] : width_histogram) n += c;
+    return n;
+  }
+};
+
+/// Dense matrix of a unitary, unconditioned instruction over its own qubit
+/// list (local bit j = in.qubits[j]). Built by applying the instruction to
+/// each basis column, so it is consistent with apply_instruction by
+/// construction. Throws CircuitError for non-unitary/structural
+/// instructions or blocks wider than MatrixN::kMaxQubits.
+[[nodiscard]] sim::MatrixN instruction_matrix(const Instruction& in);
+
+/// True if `in` can enter a fused block under the given width limit: an
+/// unconditioned unitary gate on 1..max_fused_qubits wires (GlobalPhase and
+/// Barrier excluded).
+[[nodiscard]] bool is_fusable(const Instruction& in, std::size_t max_fused_qubits);
+
+/// Build the greedy fusion plan for an instruction sequence.
+[[nodiscard]] FusionPlan build_fusion_plan(std::span<const Instruction> instructions,
+                                           const FusionOptions& options = {});
+
+}  // namespace qutes::circ

@@ -30,6 +30,18 @@ public:
 
   explicit Rng(std::uint64_t seed = 0x5eed0f5eedULL) noexcept { reseed(seed); }
 
+  /// Counter-based stream: a deterministic function of (seed, stream) whose
+  /// states are well separated across stream indices. Used to give every
+  /// simulation shot its own generator — Rng(seed, shot) — so parallel
+  /// trajectory loops stay bit-reproducible regardless of thread count or
+  /// iteration order.
+  Rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+    std::uint64_t s = seed;
+    const std::uint64_t hashed = splitmix64(s);  // decorrelate from Rng(seed)
+    s = hashed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    reseed(splitmix64(s));
+  }
+
   void reseed(std::uint64_t seed) noexcept {
     for (auto& word : state_) word = splitmix64(seed);
   }

@@ -1,13 +1,17 @@
 // Small dense complex matrices and the standard gate set.
 //
 // The simulator applies 2x2 (single-qubit) and 4x4 (two-qubit) unitaries;
-// anything larger is expressed through controls on these primitives. The
-// matrices live in std::array so gate application stays allocation-free.
+// anything larger is expressed through controls on these primitives, or —
+// for the runtime gate-fusion engine — through MatrixN, a dense 2^k x 2^k
+// block assembled from several adjacent gates. The fixed-size matrices live
+// in std::array so gate application stays allocation-free.
 #pragma once
 
 #include <array>
 #include <complex>
 #include <cstddef>
+#include <span>
+#include <vector>
 
 namespace qutes::sim {
 
@@ -51,6 +55,61 @@ struct Matrix4 {
 /// Tensor product (kron) b (x) a: `a` acts on the low qubit, `b` on the high
 /// qubit, matching the little-endian basis order of Matrix4.
 [[nodiscard]] Matrix4 kron(const Matrix2& b, const Matrix2& a) noexcept;
+
+/// Row-major dense 2^k x 2^k complex matrix over k qubits, the unit of work
+/// of the runtime gate-fusion engine. Local bit j of a basis index is the
+/// block's qubit j (little-endian, like the simulator). Heap-backed because
+/// k is only known at runtime; bounded by kMaxQubits so gather/scatter
+/// kernels can use fixed stack scratch.
+class MatrixN {
+public:
+  /// Widest supported block; 2^6 = 64 amplitudes per gather group.
+  static constexpr std::size_t kMaxQubits = 6;
+
+  MatrixN() = default;  // empty (0 qubits); assign before use
+  /// Identity over `num_qubits` qubits (1 <= num_qubits <= kMaxQubits).
+  explicit MatrixN(std::size_t num_qubits);
+
+  [[nodiscard]] static MatrixN identity(std::size_t num_qubits) {
+    return MatrixN(num_qubits);
+  }
+  [[nodiscard]] static MatrixN from_1q(const Matrix2& u);
+  [[nodiscard]] static MatrixN from_2q(const Matrix4& u);
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return std::size_t{1} << num_qubits_;
+  }
+  [[nodiscard]] const cplx* data() const noexcept { return m_.data(); }
+
+  [[nodiscard]] cplx operator()(std::size_t r, std::size_t c) const noexcept {
+    return m_[r * dim() + c];
+  }
+  [[nodiscard]] cplx& at(std::size_t r, std::size_t c) noexcept {
+    return m_[r * dim() + c];
+  }
+
+  /// Matrix product this * rhs (dimensions must match).
+  [[nodiscard]] MatrixN operator*(const MatrixN& rhs) const;
+
+  [[nodiscard]] MatrixN adjoint() const;
+
+  /// Embed into a wider block: this matrix's qubit j becomes local bit
+  /// `positions[j]` of the new `new_num_qubits`-qubit block; all other bits
+  /// get the identity. Positions must be distinct and in range.
+  [[nodiscard]] MatrixN embedded(std::size_t new_num_qubits,
+                                 std::span<const std::size_t> positions) const;
+
+  /// Max-norm distance to another matrix of the same width.
+  [[nodiscard]] double distance(const MatrixN& rhs) const;
+
+  /// True if U * U^dagger == I within tolerance.
+  [[nodiscard]] bool is_unitary(double tol = 1e-10) const;
+
+private:
+  std::size_t num_qubits_ = 0;
+  std::vector<cplx> m_;
+};
 
 // ---- standard gates -------------------------------------------------------
 // Free functions (not globals) so there is no static-initialization order to

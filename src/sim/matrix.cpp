@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "qutes/common/error.hpp"
+
 namespace qutes::sim {
 
 namespace {
@@ -62,6 +64,106 @@ bool Matrix4::is_unitary(double tol) const noexcept {
     }
   }
   return true;
+}
+
+MatrixN::MatrixN(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits == 0 || num_qubits > kMaxQubits) {
+    throw InvalidArgument("MatrixN: width " + std::to_string(num_qubits) +
+                          " outside [1, " + std::to_string(kMaxQubits) + "]");
+  }
+  const std::size_t d = dim();
+  m_.assign(d * d, cplx{});
+  for (std::size_t i = 0; i < d; ++i) at(i, i) = cplx{1.0, 0.0};
+}
+
+MatrixN MatrixN::from_1q(const Matrix2& u) {
+  MatrixN out(1);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c) out.at(r, c) = u(r, c);
+  return out;
+}
+
+MatrixN MatrixN::from_2q(const Matrix4& u) {
+  MatrixN out(2);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) out.at(r, c) = u(r, c);
+  return out;
+}
+
+MatrixN MatrixN::operator*(const MatrixN& rhs) const {
+  if (num_qubits_ != rhs.num_qubits_) {
+    throw InvalidArgument("MatrixN product: width mismatch");
+  }
+  MatrixN out(num_qubits_);
+  const std::size_t d = dim();
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      cplx acc = 0.0;
+      for (std::size_t k = 0; k < d; ++k) acc += (*this)(r, k) * rhs(k, c);
+      out.at(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+MatrixN MatrixN::adjoint() const {
+  MatrixN out(num_qubits_);
+  const std::size_t d = dim();
+  for (std::size_t r = 0; r < d; ++r)
+    for (std::size_t c = 0; c < d; ++c) out.at(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+MatrixN MatrixN::embedded(std::size_t new_num_qubits,
+                          std::span<const std::size_t> positions) const {
+  if (positions.size() != num_qubits_) {
+    throw InvalidArgument("MatrixN::embedded: one position per qubit required");
+  }
+  std::size_t mask = 0;
+  for (std::size_t p : positions) {
+    if (p >= new_num_qubits) {
+      throw InvalidArgument("MatrixN::embedded: position out of range");
+    }
+    if (mask & (std::size_t{1} << p)) {
+      throw InvalidArgument("MatrixN::embedded: duplicate position");
+    }
+    mask |= std::size_t{1} << p;
+  }
+  // Gather the participating bits of a wide index back into this matrix's
+  // local ordering.
+  const auto extract = [&](std::size_t wide) {
+    std::size_t local = 0;
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      local |= ((wide >> positions[j]) & 1u) << j;
+    }
+    return local;
+  };
+  MatrixN out(new_num_qubits);
+  const std::size_t d = out.dim();
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      // Identity on the non-participating bits: entries that change them
+      // vanish, the rest copy the source matrix.
+      out.at(r, c) = ((r ^ c) & ~mask) ? cplx{} : (*this)(extract(r), extract(c));
+    }
+  }
+  return out;
+}
+
+double MatrixN::distance(const MatrixN& rhs) const {
+  if (num_qubits_ != rhs.num_qubits_) {
+    throw InvalidArgument("MatrixN::distance: width mismatch");
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    d = std::max(d, std::abs(m_[i] - rhs.m_[i]));
+  }
+  return d;
+}
+
+bool MatrixN::is_unitary(double tol) const {
+  if (num_qubits_ == 0) return false;
+  return (*this * adjoint()).distance(MatrixN(num_qubits_)) <= tol;
 }
 
 Matrix4 kron(const Matrix2& b, const Matrix2& a) noexcept {

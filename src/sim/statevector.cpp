@@ -1,6 +1,7 @@
 #include "qutes/sim/statevector.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
 
@@ -156,6 +157,100 @@ void StateVector::apply_2q(const Matrix4& u, std::size_t q0, std::size_t q1) {
   }
 }
 
+void StateVector::apply_kq(const MatrixN& u, std::span<const std::size_t> targets) {
+  const std::size_t k = targets.size();
+  if (k == 0 || k != u.num_qubits()) {
+    throw InvalidArgument("apply_kq: matrix width must equal target count");
+  }
+  if (k > num_qubits_) throw InvalidArgument("apply_kq: block wider than register");
+  std::uint64_t target_mask = 0;
+  for (std::size_t q : targets) {
+    check_qubit(q, "apply_kq");
+    if (target_mask & (std::uint64_t{1} << q)) {
+      throw InvalidArgument("apply_kq: duplicate target qubit");
+    }
+    target_mask |= std::uint64_t{1} << q;
+  }
+  if (k == 1) {
+    apply_1q(Matrix2{{u(0, 0), u(0, 1), u(1, 0), u(1, 1)}}, targets[0]);
+    return;
+  }
+
+  // Sorted targets drive the zero-bit insertion (ascending order keeps each
+  // later insertion position valid); the unsorted order defines local bits.
+  // Insertion sort: k <= kMaxQubits, and std::sort on the partial array
+  // trips GCC's -Warray-bounds.
+  std::array<std::size_t, MatrixN::kMaxQubits> sorted{};
+  for (std::size_t j = 0; j < k; ++j) {
+    std::size_t pos = j;
+    while (pos > 0 && sorted[pos - 1] > targets[j]) {
+      sorted[pos] = sorted[pos - 1];
+      --pos;
+    }
+    sorted[pos] = targets[j];
+  }
+
+  const std::size_t block = std::size_t{1} << k;
+  // offset[l] = scattered bit pattern of local index l over the targets;
+  // group base + offset[l] = global index (disjoint bit sets).
+  std::array<std::uint64_t, std::size_t{1} << MatrixN::kMaxQubits> offset{};
+  for (std::size_t l = 0; l < block; ++l) {
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if ((l >> j) & 1u) bits |= std::uint64_t{1} << targets[j];
+    }
+    offset[l] = bits;
+  }
+
+  const std::uint64_t groups = dim() >> k;
+  // Planar, column-major split of the matrix. Two reasons: std::complex
+  // arithmetic defeats auto-vectorization (strict FP semantics forbid
+  // reassociating the row dot product), and walking columns turns the inner
+  // loop into independent accumulations over contiguous doubles, which GCC
+  // vectorizes at -O3 without -ffast-math.
+  std::array<double, std::size_t{1} << (2 * MatrixN::kMaxQubits)> col_re;
+  std::array<double, std::size_t{1} << (2 * MatrixN::kMaxQubits)> col_im;
+  const cplx* mat = u.data();
+  for (std::size_t r = 0; r < block; ++r) {
+    for (std::size_t c = 0; c < block; ++c) {
+      col_re[c * block + r] = mat[r * block + c].real();
+      col_im[c * block + r] = mat[r * block + c].imag();
+    }
+  }
+  cplx* amps = amps_.data();
+#pragma omp parallel for schedule(static) if (groups >= kParallelThreshold)
+  for (std::int64_t g = 0; g < static_cast<std::int64_t>(groups); ++g) {
+    std::uint64_t base = static_cast<std::uint64_t>(g);
+    for (std::size_t j = 0; j < k; ++j) base = insert_zero_bit(base, sorted[j]);
+    std::array<double, std::size_t{1} << MatrixN::kMaxQubits> in_re;
+    std::array<double, std::size_t{1} << MatrixN::kMaxQubits> in_im;
+    std::array<double, std::size_t{1} << MatrixN::kMaxQubits> out_re;
+    std::array<double, std::size_t{1} << MatrixN::kMaxQubits> out_im;
+    for (std::size_t l = 0; l < block; ++l) {
+      const cplx a = amps[base + offset[l]];
+      in_re[l] = a.real();
+      in_im[l] = a.imag();
+      // Zero only the live entries: value-initializing the full kMaxQubits
+      // array costs more than the k=2 matmul itself.
+      out_re[l] = 0.0;
+      out_im[l] = 0.0;
+    }
+    for (std::size_t c = 0; c < block; ++c) {
+      const double b_re = in_re[c];
+      const double b_im = in_im[c];
+      const double* m_re = col_re.data() + c * block;
+      const double* m_im = col_im.data() + c * block;
+      for (std::size_t r = 0; r < block; ++r) {
+        out_re[r] += m_re[r] * b_re - m_im[r] * b_im;
+        out_im[r] += m_re[r] * b_im + m_im[r] * b_re;
+      }
+    }
+    for (std::size_t r = 0; r < block; ++r) {
+      amps[base + offset[r]] = cplx{out_re[r], out_im[r]};
+    }
+  }
+}
+
 void StateVector::apply_swap(std::size_t a, std::size_t b) {
   check_qubit(a, "apply_swap");
   check_qubit(b, "apply_swap");
@@ -204,7 +299,12 @@ void StateVector::apply_cphase(double lambda, std::size_t control, std::size_t t
 
 void StateVector::apply_global_phase(double lambda) {
   const cplx phase = std::exp(cplx{0.0, lambda});
-  for (cplx& a : amps_) a *= phase;
+  const std::uint64_t n = dim();
+  cplx* amps = amps_.data();
+#pragma omp parallel for schedule(static) if (n >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    amps[i] *= phase;
+  }
 }
 
 double StateVector::probability_one(std::size_t qubit) const {
@@ -220,8 +320,14 @@ double StateVector::probability_one(std::size_t qubit) const {
 }
 
 std::vector<double> StateVector::probabilities() const {
-  std::vector<double> probs(dim());
-  for (std::uint64_t i = 0; i < dim(); ++i) probs[i] = std::norm(amps_[i]);
+  const std::uint64_t n = dim();
+  std::vector<double> probs(n);
+  const cplx* amps = amps_.data();
+  double* out = probs.data();
+#pragma omp parallel for schedule(static) if (n >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    out[i] = std::norm(amps[i]);
+  }
   return probs;
 }
 
@@ -301,27 +407,43 @@ void StateVector::reset_qubit(std::size_t qubit, Rng& rng) {
 }
 
 double StateVector::norm() const {
+  const std::uint64_t n = dim();
+  const cplx* amps = amps_.data();
   double n2 = 0.0;
-  for (const cplx& a : amps_) n2 += std::norm(a);
+#pragma omp parallel for schedule(static) reduction(+ : n2) if (n >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    n2 += std::norm(amps[i]);
+  }
   return std::sqrt(n2);
 }
 
 void StateVector::normalize() {
-  const double n = norm();
-  if (n < kProbEpsilon) throw SimulationError("normalizing a zero state");
-  const double inv = 1.0 / n;
-  for (cplx& a : amps_) a *= inv;
+  const double nrm = norm();
+  if (nrm < kProbEpsilon) throw SimulationError("normalizing a zero state");
+  const double inv = 1.0 / nrm;
+  const std::uint64_t n = dim();
+  cplx* amps = amps_.data();
+#pragma omp parallel for schedule(static) if (n >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    amps[i] *= inv;
+  }
 }
 
 cplx StateVector::inner_product(const StateVector& other) const {
   if (dim() != other.dim()) {
     throw InvalidArgument("inner_product: dimension mismatch");
   }
-  cplx acc = 0.0;
-  for (std::uint64_t i = 0; i < dim(); ++i) {
-    acc += std::conj(amps_[i]) * other.amps_[i];
+  const std::uint64_t n = dim();
+  const cplx* a = amps_.data();
+  const cplx* b = other.amps_.data();
+  double re = 0.0, im = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : re, im) if (n >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    const cplx v = std::conj(a[i]) * b[i];
+    re += v.real();
+    im += v.imag();
   }
-  return acc;
+  return {re, im};
 }
 
 double StateVector::fidelity(const StateVector& other) const {
@@ -335,10 +457,14 @@ double StateVector::expectation_z(std::size_t qubit) const {
 double StateVector::expectation_zz(std::size_t a, std::size_t b) const {
   check_qubit(a, "expectation_zz");
   check_qubit(b, "expectation_zz");
+  const std::uint64_t n = dim();
+  const cplx* amps = amps_.data();
   double acc = 0.0;
-  for (std::uint64_t i = 0; i < dim(); ++i) {
-    const bool parity = test_bit(i, a) ^ test_bit(i, b);
-    acc += (parity ? -1.0 : 1.0) * std::norm(amps_[i]);
+#pragma omp parallel for schedule(static) reduction(+ : acc) if (n >= kParallelThreshold)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    const bool parity = test_bit(idx, a) ^ test_bit(idx, b);
+    acc += (parity ? -1.0 : 1.0) * std::norm(amps[i]);
   }
   return acc;
 }

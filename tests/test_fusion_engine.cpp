@@ -1,0 +1,296 @@
+// Randomized equivalence suite for the runtime gate-fusion engine
+// (fusion.hpp + StateVector::apply_kq) and the parallel trajectory loop:
+// fused execution must match gate-at-a-time execution, and noisy counts must
+// be bit-identical for a fixed seed at any thread count.
+#include <gtest/gtest.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <cstdint>
+#include <vector>
+
+#include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/fusion.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/common/rng.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::circ;
+
+/// Random mix of 1q/2q/3q gates over `n` qubits.
+QuantumCircuit random_circuit(std::size_t n, std::size_t gates, Rng& rng) {
+  QuantumCircuit c(n, n);
+  const auto qubit = [&] { return static_cast<std::size_t>(rng.below(n)); };
+  const auto other = [&](std::size_t q) {
+    std::size_t r = qubit();
+    while (r == q) r = qubit();
+    return r;
+  };
+  const auto angle = [&] { return rng.uniform() * 6.0 - 3.0; };
+  for (std::size_t g = 0; g < gates; ++g) {
+    switch (rng.below(n >= 3 ? 12 : 10)) {
+      case 0: c.h(qubit()); break;
+      case 1: c.x(qubit()); break;
+      case 2: c.t(qubit()); break;
+      case 3: c.sx(qubit()); break;
+      case 4: c.rx(angle(), qubit()); break;
+      case 5: c.u(angle(), angle(), angle(), qubit()); break;
+      case 6: {
+        const std::size_t a = qubit();
+        c.cx(a, other(a));
+        break;
+      }
+      case 7: {
+        const std::size_t a = qubit();
+        c.cp(angle(), a, other(a));
+        break;
+      }
+      case 8: {
+        const std::size_t a = qubit();
+        c.swap(a, other(a));
+        break;
+      }
+      case 9: {
+        const std::size_t a = qubit();
+        c.crz(angle(), a, other(a));
+        break;
+      }
+      case 10: {
+        const std::size_t a = qubit();
+        const std::size_t b = other(a);
+        std::size_t d = qubit();
+        while (d == a || d == b) d = qubit();
+        c.ccx(a, b, d);
+        break;
+      }
+      case 11: {
+        const std::size_t a = qubit();
+        const std::size_t b = other(a);
+        std::size_t d = qubit();
+        while (d == a || d == b) d = qubit();
+        c.cswap(a, b, d);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+/// Gate-at-a-time reference evolution.
+sim::StateVector evolve_unfused(const QuantumCircuit& c) {
+  sim::StateVector sv(c.num_qubits());
+  std::uint64_t scratch = 0;
+  Rng rng(0);
+  for (const Instruction& in : c.instructions()) {
+    apply_instruction(sv, in, scratch, rng);
+  }
+  return sv;
+}
+
+/// Evolution through a fusion plan.
+sim::StateVector evolve_fused(const QuantumCircuit& c, std::size_t max_fused) {
+  FusionOptions options;
+  options.max_fused_qubits = max_fused;
+  const FusionPlan plan = build_fusion_plan(c.instructions(), options);
+  sim::StateVector sv(c.num_qubits());
+  std::uint64_t scratch = 0;
+  Rng rng(0);
+  for (const FusedOp& op : plan.ops) {
+    if (op.fused) {
+      sv.apply_kq(op.matrix, op.qubits);
+    } else {
+      apply_instruction(sv, c.instructions()[op.instruction], scratch, rng);
+    }
+  }
+  return sv;
+}
+
+TEST(FusionEngine, FusedStateMatchesUnfusedOnRandomCircuits) {
+  Rng rng(0xf05e);
+  for (std::size_t n = 2; n <= 10; ++n) {
+    for (std::size_t max_fused = 2; max_fused <= 5; ++max_fused) {
+      const QuantumCircuit c = random_circuit(n, 12 * n, rng);
+      const sim::StateVector reference = evolve_unfused(c);
+      const sim::StateVector fused = evolve_fused(c, max_fused);
+      EXPECT_NEAR(fused.fidelity(reference), 1.0, 1e-9)
+          << "n=" << n << " max_fused=" << max_fused;
+    }
+  }
+}
+
+TEST(FusionEngine, PlanAbsorbsGatesAndRespectsWidthLimit) {
+  Rng rng(77);
+  const QuantumCircuit c = random_circuit(8, 120, rng);
+  for (std::size_t max_fused = 2; max_fused <= 5; ++max_fused) {
+    FusionOptions options;
+    options.max_fused_qubits = max_fused;
+    const FusionPlan plan = build_fusion_plan(c.instructions(), options);
+    EXPECT_GT(plan.fused_gates, 0u);
+    for (const auto& [width, blocks] : plan.width_histogram) {
+      EXPECT_LE(width, max_fused);
+      EXPECT_GT(blocks, 0u);
+    }
+    for (const FusedOp& op : plan.ops) {
+      if (op.fused) {
+        EXPECT_LE(op.qubits.size(), max_fused);
+        EXPECT_GE(op.gate_count, 2u);
+        EXPECT_TRUE(op.matrix.is_unitary(1e-8));
+      }
+    }
+  }
+}
+
+TEST(FusionEngine, DisabledFusionReplaysSourceVerbatim) {
+  Rng rng(5);
+  const QuantumCircuit c = random_circuit(5, 40, rng);
+  FusionOptions options;
+  options.max_fused_qubits = 1;
+  const FusionPlan plan = build_fusion_plan(c.instructions(), options);
+  ASSERT_EQ(plan.ops.size(), c.instructions().size());
+  EXPECT_EQ(plan.fused_gates, 0u);
+  for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+    EXPECT_FALSE(plan.ops[i].fused);
+    EXPECT_EQ(plan.ops[i].instruction, i);
+  }
+  // And the executor produces identical counts with fusion on vs off: the
+  // sampling RNG stream does not depend on how the state was evolved.
+  QuantumCircuit measured = c;
+  measured.measure_all();
+  ExecutionOptions on;
+  on.shots = 256;
+  on.seed = 11;
+  ExecutionOptions off = on;
+  off.max_fused_qubits = 1;
+  const auto fused = Executor(on).run(measured);
+  const auto unfused = Executor(off).run(measured);
+  EXPECT_GT(fused.fused_gates, 0u);
+  EXPECT_EQ(unfused.fused_gates, 0u);
+  EXPECT_EQ(fused.counts, unfused.counts);
+}
+
+TEST(FusionEngine, InstructionMatrixMatchesDirectApplication) {
+  Rng rng(123);
+  for (int rep = 0; rep < 20; ++rep) {
+    const QuantumCircuit c = random_circuit(4, 1, rng);
+    ASSERT_EQ(c.size(), 1u);
+    const Instruction& in = c.instructions()[0];
+    const sim::MatrixN mat = instruction_matrix(in);
+    EXPECT_TRUE(mat.is_unitary(1e-10));
+    // Apply to a random product state both ways.
+    sim::StateVector a(4), b(4);
+    for (std::size_t q = 0; q < 4; ++q) {
+      const double theta = rng.uniform() * 3.0;
+      a.apply_1q(sim::gates::RY(theta), q);
+      b.apply_1q(sim::gates::RY(theta), q);
+    }
+    std::uint64_t scratch = 0;
+    Rng dummy(0);
+    apply_instruction(a, in, scratch, dummy);
+    b.apply_kq(mat, in.qubits);
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-10);
+  }
+}
+
+TEST(FusionEngine, MeasureAndConditionBreakFusionCorrectly) {
+  // Teleport-style dynamic circuit: mid-circuit measurement plus conditioned
+  // corrections. Fusion must not move gates across either.
+  QuantumCircuit c(2, 2);
+  c.h(0).h(1).cx(0, 1).measure(0, 0);
+  c.x(1).c_if(0, 1);
+  c.h(1).measure(1, 1);
+  ExecutionOptions on;
+  on.shots = 400;
+  on.seed = 3;
+  ExecutionOptions off = on;
+  off.max_fused_qubits = 1;
+  const auto fused = Executor(on).run(c);
+  const auto unfused = Executor(off).run(c);
+  // Per-shot RNG streams are identical with fusion on or off (fused blocks
+  // consume no randomness), so the counts must agree exactly.
+  EXPECT_EQ(fused.counts, unfused.counts);
+}
+
+TEST(FusionEngine, NoisyCountsBitIdenticalAcrossThreadCounts) {
+  Rng rng(9);
+  QuantumCircuit c = random_circuit(4, 30, rng);
+  c.measure_all();
+  ExecutionOptions o;
+  o.shots = 500;
+  o.seed = 21;
+  o.record_memory = true;
+  o.noise.depolarizing_1q = 0.02;
+  o.noise.depolarizing_2q = 0.05;
+  o.noise.readout_error = 0.01;
+
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+#endif
+  std::vector<sim::Counts> counts;
+  std::vector<std::vector<std::string>> memories;
+  for (const int threads : {1, 2, 8}) {
+#ifdef _OPENMP
+    omp_set_num_threads(threads);
+#else
+    (void)threads;
+#endif
+    const auto result = Executor(o).run(c);
+    EXPECT_FALSE(result.fast_path);
+    counts.push_back(result.counts);
+    memories.push_back(result.memory);
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(counts[0], counts[2]);
+  EXPECT_EQ(memories[0], memories[1]);
+  EXPECT_EQ(memories[0], memories[2]);
+}
+
+TEST(FusionEngine, ReadoutOnlyNoiseStillFusesAndMatchesUnfused) {
+  Rng rng(31);
+  QuantumCircuit c = random_circuit(5, 40, rng);
+  c.measure_all();
+  ExecutionOptions o;
+  o.shots = 300;
+  o.seed = 8;
+  o.noise.readout_error = 0.1;  // measurement-only noise: gates stay fusable
+  ExecutionOptions off = o;
+  off.max_fused_qubits = 1;
+  const auto fused = Executor(o).run(c);
+  const auto unfused = Executor(off).run(c);
+  EXPECT_GT(fused.fused_gates, 0u);
+  EXPECT_EQ(fused.counts, unfused.counts);
+}
+
+TEST(FusionEngine, GateNoiseDisablesFusionOfNoisyGates) {
+  QuantumCircuit c(3, 3);
+  c.h(0).h(1).h(2).cx(0, 1).measure_all();
+  ExecutionOptions o;
+  o.shots = 50;
+  o.seed = 4;
+  o.noise.depolarizing_1q = 0.05;
+  o.noise.depolarizing_2q = 0.05;
+  const auto result = Executor(o).run(c);
+  // Every unitary is a noise insertion point, so nothing may fuse.
+  EXPECT_EQ(result.fused_gates, 0u);
+  EXPECT_EQ(result.fused_blocks, 0u);
+}
+
+TEST(FusionEngine, ApplyKqValidatesArguments) {
+  sim::StateVector sv(3);
+  const sim::MatrixN id2 = sim::MatrixN::identity(2);
+  const std::size_t dup[2] = {1, 1};
+  EXPECT_THROW(sv.apply_kq(id2, dup), InvalidArgument);
+  const std::size_t out_of_range[2] = {0, 7};
+  EXPECT_THROW(sv.apply_kq(id2, out_of_range), InvalidArgument);
+  const std::size_t one[1] = {0};
+  EXPECT_THROW(sv.apply_kq(id2, one), InvalidArgument);
+}
+
+}  // namespace

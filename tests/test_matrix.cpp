@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "qutes/common/error.hpp"
 #include "qutes/sim/matrix.hpp"
 
 namespace {
@@ -99,6 +100,57 @@ TEST(Matrix4, ProductAndAdjoint) {
       EXPECT_NEAR(std::abs(prod(r, c) - expect), 0.0, kTol);
     }
   }
+}
+
+TEST(MatrixN, IdentityAndLifts) {
+  const MatrixN id3 = MatrixN::identity(3);
+  EXPECT_EQ(id3.num_qubits(), 3u);
+  EXPECT_EQ(id3.dim(), 8u);
+  EXPECT_TRUE(id3.is_unitary(kTol));
+  EXPECT_LT(MatrixN::from_1q(H()).distance(MatrixN::from_1q(H())), kTol);
+  const MatrixN zx = MatrixN::from_2q(kron(Z(), X()));
+  EXPECT_EQ(zx.num_qubits(), 2u);
+  EXPECT_NEAR(std::abs(zx(1, 0) - cplx{1.0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(zx(3, 2) - cplx{-1.0}), 0.0, kTol);
+}
+
+TEST(MatrixN, EmbeddedMatchesKron) {
+  // Embedding a 1q gate at local position p of a 2q block must match the
+  // explicit kron: position 0 -> kron(I, U), position 1 -> kron(U, I).
+  const MatrixN u = MatrixN::from_1q(H());
+  const std::size_t at0[1] = {0};
+  const std::size_t at1[1] = {1};
+  EXPECT_LT(u.embedded(2, at0).distance(MatrixN::from_2q(kron(I(), H()))),
+            kTol);
+  EXPECT_LT(u.embedded(2, at1).distance(MatrixN::from_2q(kron(H(), I()))),
+            kTol);
+  // Identity embedding (same width, in-order positions) is a no-op.
+  const MatrixN zx = MatrixN::from_2q(kron(Z(), X()));
+  const std::size_t direct[2] = {0, 1};
+  EXPECT_LT(zx.embedded(2, direct).distance(zx), kTol);
+  // Reversed positions swap which wire each factor acts on.
+  const std::size_t swapped[2] = {1, 0};
+  EXPECT_LT(zx.embedded(2, swapped).distance(MatrixN::from_2q(kron(X(), Z()))),
+            kTol);
+}
+
+TEST(MatrixN, ComposeAndAdjointRoundTrip) {
+  const MatrixN h = MatrixN::from_1q(H());
+  const std::size_t at0[1] = {0};
+  const std::size_t at1[1] = {1};
+  const MatrixN big =
+      h.embedded(3, at1) * MatrixN::from_1q(RX(0.3)).embedded(3, at0);
+  EXPECT_TRUE(big.is_unitary(kTol));
+  EXPECT_LT((big * big.adjoint()).distance(MatrixN::identity(3)), kTol);
+}
+
+TEST(MatrixN, EmbeddedRejectsBadArguments) {
+  const MatrixN u = MatrixN::from_1q(H());
+  const std::size_t out[1] = {3};
+  EXPECT_THROW(u.embedded(2, out), qutes::InvalidArgument);
+  const std::size_t ok[1] = {0};
+  EXPECT_THROW(u.embedded(MatrixN::kMaxQubits + 1, ok),
+               qutes::InvalidArgument);
 }
 
 }  // namespace
