@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "qutes/circuit/pass_manager.hpp"
 #include "qutes/lang/compiler.hpp"
 #include "qutes/lang/lexer.hpp"
 #include "qutes/lang/parser.hpp"
@@ -33,6 +34,9 @@ std::string synthetic_program(std::size_t statements) {
   out << "print acc;\n";
   return out.str();
 }
+
+void print_pipeline_summary(const std::string& quantum_source,
+                            double compile_us);
 
 void print_summary() {
   std::printf("=== E6: compile throughput vs program size ===\n");
@@ -74,6 +78,55 @@ void print_summary() {
   std::printf("\n16-qubit arithmetic program: compile %.1f us, "
               "compile+simulate %.1f us (front end = %.2f%%)\n\n",
               compile_us, total_us, 100.0 * compile_us / total_us);
+
+  print_pipeline_summary(quantum_source, compile_us);
+}
+
+/// End-to-end source -> lowered circuit through each PassManager preset.
+/// Emits one BENCH_JSON_TRANSPILE line per preset (collected by
+/// scripts/run_experiments.sh into BENCH_transpile.json) so compile-side
+/// pipeline cost sits next to the transpiler ablation numbers.
+void print_pipeline_summary(const std::string& quantum_source,
+                            double compile_us) {
+  using qutes::circ::PassManager;
+  using qutes::circ::PassStats;
+  using qutes::circ::Preset;
+  std::printf("--- compile + pipeline presets (16-qubit arithmetic) ---\n");
+  std::printf("%10s | %10s %10s | %14s %14s\n", "preset", "compile_us",
+              "passes_us", "depth", "gates");
+  for (const Preset preset :
+       {Preset::O0, Preset::O1, Preset::Basis, Preset::Hardware}) {
+    const PassManager pipeline = qutes::circ::make_pipeline(preset);
+    RunOptions options;
+    options.pipeline = &pipeline;
+    const RunResult result = run_source(quantum_source, options);
+    const double passes_us = result.properties.total_wall_ms() * 1000.0;
+    std::printf("%10s | %10.1f %10.1f | %6zu -> %-5zu %6zu -> %-5zu\n",
+                qutes::circ::preset_name(preset), compile_us, passes_us,
+                result.circuit.depth(), result.lowered_circuit.depth(),
+                result.circuit.gate_count(), result.lowered_circuit.gate_count());
+    std::printf("BENCH_JSON_TRANSPILE {\"bench\":\"compiler\","
+                "\"workload\":\"arith16\",\"qubits\":%zu,\"preset\":\"%s\","
+                "\"compile_us\":%.1f,\"wall_ms\":%.4f,"
+                "\"depth_before\":%zu,\"depth_after\":%zu,"
+                "\"size_before\":%zu,\"size_after\":%zu,"
+                "\"twoq_before\":%zu,\"twoq_after\":%zu,\"passes\":[",
+                result.circuit.num_qubits(), qutes::circ::preset_name(preset),
+                compile_us, result.properties.total_wall_ms(),
+                result.circuit.depth(), result.lowered_circuit.depth(),
+                result.circuit.gate_count(), result.lowered_circuit.gate_count(),
+                result.circuit.multi_qubit_gate_count(),
+                result.lowered_circuit.multi_qubit_gate_count());
+    for (std::size_t i = 0; i < result.properties.stats.size(); ++i) {
+      const PassStats& s = result.properties.stats[i];
+      std::printf("%s{\"name\":\"%s\",\"wall_ms\":%.4f,\"depth_after\":%zu,"
+                  "\"size_after\":%zu,\"twoq_after\":%zu}",
+                  i ? "," : "", s.name.c_str(), s.wall_ms, s.depth_after,
+                  s.size_after, s.twoq_after);
+    }
+    std::printf("]}\n");
+  }
+  std::printf("\n");
 }
 
 void BM_Lex(benchmark::State& state) {

@@ -8,9 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "qutes/algorithms/grover.hpp"
 #include "qutes/algorithms/qft.hpp"
+#include "qutes/circuit/pass_manager.hpp"
 #include "qutes/circuit/routing.hpp"
 #include "qutes/circuit/transpiler.hpp"
 
@@ -22,6 +24,60 @@ using namespace qutes::circ;
 QuantumCircuit grover_workload(std::size_t n) {
   const std::uint64_t marked[] = {1};
   return algo::build_grover_circuit(n, marked);
+}
+
+/// One machine-readable line per (workload, preset): total pipeline wall
+/// time, depth/size/2q before and after, and the per-pass breakdown.
+/// scripts/run_experiments.sh collects these into BENCH_transpile.json
+/// (same convention as the PR-1 BENCH_fusion.json lines).
+void emit_bench_json(const char* workload, std::size_t qubits,
+                     const QuantumCircuit& circuit, Preset preset) {
+  const PassManager pm = make_pipeline(preset);
+  PropertySet props;
+  const QuantumCircuit lowered = pm.run(circuit, props);
+  std::printf("BENCH_JSON_TRANSPILE {\"bench\":\"transpiler\","
+              "\"workload\":\"%s\",\"qubits\":%zu,\"preset\":\"%s\","
+              "\"wall_ms\":%.4f,"
+              "\"depth_before\":%zu,\"depth_after\":%zu,"
+              "\"size_before\":%zu,\"size_after\":%zu,"
+              "\"twoq_before\":%zu,\"twoq_after\":%zu,\"passes\":[",
+              workload, qubits, preset_name(preset), props.total_wall_ms(),
+              circuit.depth(), lowered.depth(), circuit.gate_count(),
+              lowered.gate_count(), circuit.multi_qubit_gate_count(),
+              lowered.multi_qubit_gate_count());
+  for (std::size_t i = 0; i < props.stats.size(); ++i) {
+    const PassStats& s = props.stats[i];
+    std::printf("%s{\"name\":\"%s\",\"wall_ms\":%.4f,\"depth_after\":%zu,"
+                "\"size_after\":%zu,\"twoq_after\":%zu}",
+                i ? "," : "", s.name.c_str(), s.wall_ms, s.depth_after,
+                s.size_after, s.twoq_after);
+  }
+  std::printf("]}\n");
+}
+
+void print_preset_table() {
+  std::printf("--- pipeline presets on Grover(5) / QFT(8) ---\n");
+  std::printf("%10s %10s | %9s | %14s %14s %12s\n", "workload", "preset",
+              "wall_ms", "depth", "gates", "2q");
+  const struct { const char* name; std::size_t n; QuantumCircuit circuit; } workloads[] = {
+      {"grover", 5, grover_workload(5)},
+      {"qft", 8, algo::make_qft(8)},
+  };
+  for (const auto& w : workloads) {
+    for (const Preset preset :
+         {Preset::O0, Preset::O1, Preset::Basis, Preset::Hardware}) {
+      const PassManager pm = make_pipeline(preset);
+      PropertySet props;
+      const QuantumCircuit lowered = pm.run(w.circuit, props);
+      std::printf("%10s %10s | %9.3f | %6zu -> %-5zu %6zu -> %-5zu %4zu -> %-5zu\n",
+                  w.name, preset_name(preset), props.total_wall_ms(),
+                  w.circuit.depth(), lowered.depth(), w.circuit.gate_count(),
+                  lowered.gate_count(), w.circuit.multi_qubit_gate_count(),
+                  lowered.multi_qubit_gate_count());
+      emit_bench_json(w.name, w.n, w.circuit, preset);
+    }
+  }
+  std::printf("\n");
 }
 
 void print_summary() {
@@ -105,6 +161,7 @@ BENCHMARK(BM_RouteLinear)->Arg(4)->Arg(8)->Arg(12);
 
 int main(int argc, char** argv) {
   print_summary();
+  print_preset_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

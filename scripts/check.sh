@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Strict pre-merge gate: configure with -Wall -Wextra -Werror (QUTES_WERROR),
+# build everything, and run the full tier-1 test suite. Uses its own build
+# directory (build-check) so it never perturbs the regular dev build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build-check -S . -DQUTES_WERROR=ON
+cmake --build build-check -j "$JOBS"
+ctest --test-dir build-check --output-on-failure -j "$JOBS"
+
+echo
+echo "check.sh: clean -Werror build and full test suite passed."

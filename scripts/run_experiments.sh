@@ -28,5 +28,16 @@ done
 echo "Fusion speedups recorded in BENCH_fusion.json:"
 grep -o '"qubits":[0-9]*\|"speedup":[0-9.]*' BENCH_fusion.json | paste - - || true
 
+# Collect the BENCH_JSON_TRANSPILE lines (one object per workload x preset,
+# with the per-pass timing breakdown, emitted by bench_transpiler and
+# bench_compiler) into a single JSON array.
+{
+  echo '['
+  { grep -h '^BENCH_JSON_TRANSPILE ' bench_output.txt || true; } | sed 's/^BENCH_JSON_TRANSPILE //' | paste -sd, -
+  echo ']'
+} > BENCH_transpile.json
+echo "Pipeline preset results recorded in BENCH_transpile.json:"
+grep -o '"workload":"[a-z0-9]*","qubits":[0-9]*,"preset":"[a-z01A-Z]*"' BENCH_transpile.json || true
+
 echo
-echo "Done. See test_output.txt, bench_output.txt, and BENCH_fusion.json."
+echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, and BENCH_transpile.json."

@@ -314,6 +314,21 @@ QuantumCircuit& QuantumCircuit::c_if(std::size_t clbit, int value) {
   return *this;
 }
 
+QuantumCircuit& QuantumCircuit::c_if_from(std::size_t first, std::size_t clbit,
+                                          int value) {
+  if (first > instructions_.size()) {
+    throw CircuitError("c_if_from: start index " + std::to_string(first) +
+                       " past end of circuit");
+  }
+  check_clbit(clbit);
+  if (value != 0 && value != 1) throw CircuitError("c_if value must be 0 or 1");
+  for (std::size_t i = first; i < instructions_.size(); ++i) {
+    if (instructions_[i].type == GateType::Barrier) continue;
+    instructions_[i].condition = Condition{clbit, value};
+  }
+  return *this;
+}
+
 QuantumCircuit& QuantumCircuit::compose(const QuantumCircuit& other,
                                         std::span<const std::size_t> qubit_map,
                                         std::span<const std::size_t> clbit_map) {

@@ -161,40 +161,66 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
   if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
   ExecutionResult result;
 
+  // Stage 1: the caller's compilation pipeline (lowering, optimization,
+  // routing, ...) runs over the circuit first; we execute its output.
+  QuantumCircuit prepared;
+  const QuantumCircuit* target = &circuit;
+  if (options_.pipeline) {
+    PropertySet pipeline_properties;
+    prepared = options_.pipeline->run(circuit, pipeline_properties);
+    result.pass_stats = std::move(pipeline_properties.stats);
+    target = &prepared;
+  }
+  const QuantumCircuit& circ = *target;
+
+  // Stage 2: runtime gate-fusion planning via the FuseGates pass. Options
+  // depend on the execution path (the noisy path pins noise insertion
+  // points), so the executor always plans fusion itself rather than trusting
+  // a plan from the caller's pipeline.
   FusionOptions fusion_options;
   fusion_options.max_fused_qubits = options_.max_fused_qubits;
 
-  const bool fast = !options_.noise.enabled() && is_static(circuit);
+  const bool fast = !options_.noise.enabled() && is_static(circ);
+  if (!fast) {
+    // Gates that acquire noise are fusion barriers, so blocks form only
+    // between noise insertion points.
+    fusion_options.keep_raw = [this](const Instruction& in) {
+      return gate_acquires_noise(in, options_.noise);
+    };
+  }
+  PassManager fuser;
+  fuser.emplace<FuseGates>(fusion_options);
+  PropertySet fusion_properties;
+  (void)fuser.run(circ, fusion_properties);
+  const FusionPlan& plan = *fusion_properties.fusion_plan;
+  record_fusion_stats(result, plan);
+
+  const auto& instrs = circ.instructions();
   if (fast) {
-    // Evolve once, skipping measurements, then sample the measured qubits.
+    // Evolve once, skipping measurements (a static circuit never reuses a
+    // measured qubit, so a measure only records the clbit -> qubit wiring),
+    // then sample the measured qubits from the final distribution.
     Rng rng(options_.seed);
-    sim::StateVector sv(circuit.num_qubits());
+    sim::StateVector sv(circ.num_qubits());
     std::uint64_t scratch = 0;
-    // clbit -> qubit wiring from the measure instructions.
-    std::vector<std::optional<std::size_t>> wire(circuit.num_clbits());
-    std::vector<Instruction> body;
-    body.reserve(circuit.size());
-    for (const Instruction& in : circuit.instructions()) {
+    std::vector<std::optional<std::size_t>> wire(circ.num_clbits());
+    for (const FusedOp& op : plan.ops) {
+      if (op.fused) {
+        sv.apply_kq(op.matrix, op.qubits);
+        continue;
+      }
+      const Instruction& in = instrs[op.instruction];
       if (in.type == GateType::Measure) {
         for (std::size_t i = 0; i < in.qubits.size(); ++i) {
           wire[in.clbits[i]] = in.qubits[i];
         }
         continue;
       }
-      body.push_back(in);
-    }
-    const FusionPlan plan = build_fusion_plan(body, fusion_options);
-    record_fusion_stats(result, plan);
-    for (const FusedOp& op : plan.ops) {
-      if (op.fused) {
-        sv.apply_kq(op.matrix, op.qubits);
-      } else {
-        apply_instruction(sv, body[op.instruction], scratch, rng);
-      }
+      apply_instruction(sv, in, scratch, rng);
     }
 
-    // Sample shots from the final distribution: build the CDF once and
-    // binary-search per shot instead of the former O(dim) linear scan.
+    // Sample shots: build the CDF once and binary-search per shot instead
+    // of an O(dim) linear scan.
     const auto amps = sv.amplitudes();
     std::vector<double> cdf(amps.size());
     double acc = 0.0;
@@ -207,10 +233,10 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
       const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
       std::uint64_t basis = static_cast<std::uint64_t>(it - cdf.begin());
       if (basis >= sv.dim()) basis = sv.dim() - 1;
-      std::string key(circuit.num_clbits(), '0');
-      for (std::size_t c = 0; c < circuit.num_clbits(); ++c) {
+      std::string key(circ.num_clbits(), '0');
+      for (std::size_t c = 0; c < circ.num_clbits(); ++c) {
         const bool bit = wire[c] && test_bit(basis, *wire[c]);
-        key[circuit.num_clbits() - 1 - c] = bit ? '1' : '0';
+        key[circ.num_clbits() - 1 - c] = bit ? '1' : '0';
       }
       ++result.counts[key];
       if (options_.record_memory) result.memory.push_back(key);
@@ -220,14 +246,7 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
     return result;
   }
 
-  // Dynamic/noisy path: one trajectory per shot. Gates that acquire noise
-  // are fusion barriers, so blocks form only between noise insertion points.
-  fusion_options.keep_raw = [this](const Instruction& in) {
-    return gate_acquires_noise(in, options_.noise);
-  };
-  const auto& instrs = circuit.instructions();
-  const FusionPlan plan = build_fusion_plan(instrs, fusion_options);
-  record_fusion_stats(result, plan);
+  // Dynamic/noisy path: one trajectory per shot.
 
   const auto shots = static_cast<std::int64_t>(options_.shots);
   if (options_.record_memory) result.memory.assign(options_.shots, {});
@@ -238,7 +257,7 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
   // and merging per-thread histograms is an order-independent sum.
   const auto run_shot = [&](std::size_t s) {
     Rng rng(options_.seed, s);
-    sim::StateVector sv(circuit.num_qubits());
+    sim::StateVector sv(circ.num_qubits());
     std::uint64_t clbits = 0;
     for (const FusedOp& op : plan.ops) {
       if (op.fused) {
@@ -275,7 +294,7 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
         }
       }
     }
-    return to_bitstring(clbits, circuit.num_clbits());
+    return to_bitstring(clbits, circ.num_clbits());
   };
 
   std::atomic<bool> failed{false};

@@ -1,17 +1,16 @@
+// 1q-unitary utilities plus the legacy hardware-aware entry points.
+// fuse_single_qubit_gates() and route_linear() are thin wrappers over
+// one-pass PassManagers (see circuit/pass_manager.cpp for the transforms);
+// the ZYZ decomposition and gate-matrix lookup stay here as shared
+// utilities.
 #include "qutes/circuit/routing.hpp"
 
 #include <cmath>
-#include <optional>
 
+#include "qutes/circuit/pass_manager.hpp"
 #include "qutes/common/error.hpp"
 
 namespace qutes::circ {
-
-namespace {
-
-bool near_zero(double v) { return std::abs(v) < 1e-12; }
-
-}  // namespace
 
 EulerAngles decompose_1q_unitary(const sim::Matrix2& u) {
   if (!u.is_unitary(1e-9)) {
@@ -62,103 +61,19 @@ sim::Matrix2 matrix_of_1q(const Instruction& in) {
 }
 
 QuantumCircuit fuse_single_qubit_gates(const QuantumCircuit& circuit) {
-  QuantumCircuit out;
-  for (const auto& r : circuit.qregs()) out.add_register(r.name, r.size);
-  for (const auto& r : circuit.cregs()) out.add_classical_register(r.name, r.size);
-  out.add_global_phase(circuit.global_phase());
-
-  std::vector<std::optional<sim::Matrix2>> pending(circuit.num_qubits());
-
-  const auto flush = [&](std::size_t q) {
-    if (!pending[q]) return;
-    const EulerAngles angles = decompose_1q_unitary(*pending[q]);
-    pending[q].reset();
-    if (!near_zero(angles.phase)) out.add_global_phase(angles.phase);
-    if (near_zero(angles.theta) && near_zero(angles.phi) && near_zero(angles.lambda)) {
-      return;  // run multiplied to the identity
-    }
-    out.u(angles.theta, angles.phi, angles.lambda, q);
-  };
-
-  for (const Instruction& in : circuit.instructions()) {
-    const bool fusable = in.qubits.size() == 1 && is_unitary_gate(in.type) &&
-                         in.type != GateType::GlobalPhase && !in.condition;
-    if (fusable) {
-      const sim::Matrix2 m = matrix_of_1q(in);
-      const std::size_t q = in.qubits[0];
-      pending[q] = pending[q] ? (m * *pending[q]) : m;
-      continue;
-    }
-    for (std::size_t q : in.qubits) flush(q);
-    out.append(in);
-  }
-  for (std::size_t q = 0; q < circuit.num_qubits(); ++q) flush(q);
-  return out;
+  PassManager pm;
+  pm.emplace<FuseSingleQubitGates>();
+  return pm.run(circuit);
 }
 
 RoutingResult route_linear(const QuantumCircuit& circuit, bool restore_layout) {
-  const std::size_t n = circuit.num_qubits();
+  PassManager pm;
+  pm.emplace<Route>(CouplingMap::line(), restore_layout);
+  PropertySet properties;
   RoutingResult result;
-  QuantumCircuit& out = result.circuit;
-  for (const auto& r : circuit.qregs()) out.add_register(r.name, r.size);
-  for (const auto& r : circuit.cregs()) out.add_classical_register(r.name, r.size);
-  out.add_global_phase(circuit.global_phase());
-
-  std::vector<std::size_t> l2p(n), p2l(n);
-  for (std::size_t i = 0; i < n; ++i) l2p[i] = p2l[i] = i;
-
-  const auto physical_swap = [&](std::size_t pa, std::size_t pb) {
-    out.swap(pa, pb);
-    ++result.swaps_inserted;
-    const std::size_t la = p2l[pa];
-    const std::size_t lb = p2l[pb];
-    std::swap(p2l[pa], p2l[pb]);
-    l2p[la] = pb;
-    l2p[lb] = pa;
-  };
-
-  for (const Instruction& src : circuit.instructions()) {
-    if (src.type == GateType::Barrier) {
-      Instruction in = src;
-      for (std::size_t& q : in.qubits) q = l2p[q];
-      out.append(std::move(in));
-      continue;
-    }
-    if (src.qubits.size() > 2) {
-      throw CircuitError(std::string("route_linear: lower ") + gate_name(src.type) +
-                         " to <= 2-qubit gates first");
-    }
-    if (src.qubits.size() == 2 && is_unitary_gate(src.type)) {
-      std::size_t pa = l2p[src.qubits[0]];
-      const std::size_t pb = l2p[src.qubits[1]];
-      // Bubble the first operand next to the second.
-      while (pa + 1 < pb) {
-        physical_swap(pa, pa + 1);
-        ++pa;
-      }
-      while (pa > pb + 1) {
-        physical_swap(pa, pa - 1);
-        --pa;
-      }
-    }
-    Instruction in = src;
-    for (std::size_t& q : in.qubits) q = l2p[q];
-    out.append(std::move(in));
-  }
-
-  if (restore_layout) {
-    // Bubble every logical qubit back to its home wire with adjacent swaps.
-    for (std::size_t home = 0; home < n; ++home) {
-      std::size_t at = l2p[home];
-      while (at > home) {
-        physical_swap(at, at - 1);
-        --at;
-      }
-      // l2p[home] can only be >= home here: wires below `home` already hold
-      // their final logical qubits.
-    }
-  }
-  result.final_layout = l2p;
+  result.circuit = pm.run(circuit, properties);
+  result.final_layout = std::move(properties.final_layout);
+  result.swaps_inserted = properties.swaps_inserted;
   return result;
 }
 

@@ -103,6 +103,13 @@ public:
   /// Attach a classical condition to the most recently appended instruction.
   QuantumCircuit& c_if(std::size_t clbit, int value);
 
+  /// Attach a classical condition to every instruction from index `first` to
+  /// the end (barriers excepted). Used by lowering passes to propagate a
+  /// source gate's condition onto its multi-instruction decomposition — legal
+  /// because no decomposition emits a measurement, so the bit cannot change
+  /// mid-sequence.
+  QuantumCircuit& c_if_from(std::size_t first, std::size_t clbit, int value);
+
   /// Append a raw instruction (validated).
   QuantumCircuit& append(Instruction instr);
 

@@ -9,11 +9,15 @@
 //    trajectory loop is OpenMP-parallel; every shot draws from its own
 //    counter-derived RNG stream (Rng(seed, shot)), so counts are
 //    bit-identical for a fixed seed regardless of thread count.
-// Both paths run the runtime gate-fusion engine first (see fusion.hpp):
-// adjacent unitaries are pre-multiplied into dense blocks of up to
-// `max_fused_qubits` wires, cutting the number of full-state sweeps. On the
-// noisy path, gates that acquire noise stay unfused so channels still attach
-// per gate.
+// Both paths consume a pre-run compilation pipeline (see pass_manager.hpp):
+// when `options.pipeline` is set, the executor runs that PassManager over
+// the circuit first and executes its output, reporting the per-pass
+// instrumentation in the result. Runtime gate fusion is the FuseGates pass —
+// the executor composes a one-pass manager internally (fusion options depend
+// on the noise model, so a caller-supplied plan is never reused): adjacent
+// unitaries are pre-multiplied into dense blocks of up to `max_fused_qubits`
+// wires, cutting the number of full-state sweeps. On the noisy path, gates
+// that acquire noise stay unfused so channels still attach per gate.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +25,7 @@
 #include <optional>
 
 #include "qutes/circuit/circuit.hpp"
+#include "qutes/circuit/pass_manager.hpp"
 #include "qutes/common/rng.hpp"
 #include "qutes/sim/noise.hpp"
 #include "qutes/sim/statevector.hpp"
@@ -40,6 +45,10 @@ struct ExecutionOptions {
   /// Run the per-shot trajectory loop across OpenMP threads. Results are
   /// independent of the thread count either way.
   bool parallel_shots = true;
+  /// Optional compilation pipeline run over the circuit before execution
+  /// (e.g. make_pipeline(Preset::Basis)). Not owned; must outlive the run.
+  /// Per-pass instrumentation lands in ExecutionResult::pass_stats.
+  const PassManager* pipeline = nullptr;
 };
 
 /// Alias matching the Aer-style "executor options" naming used in docs.
@@ -60,6 +69,10 @@ struct ExecutionResult {
   std::size_t fused_gates = 0;
   std::size_t fused_blocks = 0;
   std::map<std::size_t, std::size_t> fused_width_histogram;
+  /// Per-pass instrumentation from options.pipeline (empty when no pipeline
+  /// was supplied). The executor's internal FuseGates planning is reported
+  /// through the fused_* fields above, not here.
+  std::vector<PassStats> pass_stats;
 };
 
 class Executor {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "qutes/common/error.hpp"
+
 namespace qutes::circ {
 
 enum class GateType {
@@ -57,7 +59,14 @@ struct Instruction {
   std::optional<Condition> condition;
 
   /// Target qubit of a (multi-)controlled instruction: the last operand.
-  [[nodiscard]] std::size_t target() const { return qubits.back(); }
+  /// Throws instead of invoking UB when the instruction has no qubit
+  /// operands (e.g. GlobalPhase or an implicit full-width barrier).
+  [[nodiscard]] std::size_t target() const {
+    if (qubits.empty()) {
+      throw CircuitError("Instruction::target(): instruction has no qubit operands");
+    }
+    return qubits.back();
+  }
 };
 
 }  // namespace qutes::circ

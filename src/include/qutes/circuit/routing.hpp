@@ -14,6 +14,11 @@
 //    most 2-qubit gates (run decompose_to_basis or decompose_multicontrolled
 //    + CCX lowering first). With restore_layout, trailing SWAPs undo the
 //    permutation so the routed circuit is semantically identical.
+//
+// Both entry points are thin wrappers over one-pass PassManagers
+// (FuseSingleQubitGates / Route in pass_manager.hpp); use that API to
+// compose them with other passes or read the final layout from a
+// PropertySet.
 #pragma once
 
 #include <cstddef>

@@ -11,7 +11,9 @@
 //    consecutive phase rotations on one qubit, drop identity rotations.
 //
 // Passes are pure functions circuit -> circuit; composition order is up to
-// the caller (transpile() runs the standard pipeline).
+// the caller (transpile() runs the standard pipeline). Every function here
+// is a thin wrapper over a one-pass PassManager (see pass_manager.hpp) —
+// compose, reorder, or instrument the underlying passes through that API.
 #pragma once
 
 #include "qutes/circuit/circuit.hpp"

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "qutes/circuit/circuit.hpp"
+#include "qutes/circuit/pass_manager.hpp"
 #include "qutes/lang/ast.hpp"
 #include "qutes/lang/diagnostics.hpp"
 #include "qutes/lang/symbol_table.hpp"
@@ -24,11 +25,22 @@ struct RunOptions {
   std::ostream* echo = nullptr;   ///< mirror print output here (e.g. &std::cout)
   std::ostream* trace = nullptr;  ///< statement-level debug trace destination
   bool include_stdlib = true;     ///< load the Qutes standard library first
+  /// Optional compilation pipeline (e.g. circ::make_pipeline(Preset::O1))
+  /// run over the logged circuit after execution. Not owned; must outlive
+  /// the call. Output lands in RunResult::lowered_circuit, instrumentation
+  /// in RunResult::properties.
+  const circ::PassManager* pipeline = nullptr;
 };
 
 struct RunResult {
   std::string output;             ///< everything `print` produced
   circ::QuantumCircuit circuit;   ///< the compiled circuit log
+  /// Pipeline output when RunOptions::pipeline was set; otherwise a copy of
+  /// `circuit`. This is what --qasm exports when a pipeline is requested.
+  circ::QuantumCircuit lowered_circuit;
+  /// Pass instrumentation and analysis state (final layout, per-pass stats)
+  /// from the pipeline run; empty without a pipeline.
+  circ::PropertySet properties;
   std::size_t num_qubits = 0;
   std::size_t circuit_depth = 0;
   std::size_t gate_count = 0;

@@ -39,6 +39,11 @@ RunResult run_source(const std::string& source, RunOptions options) {
   result.num_qubits = result.circuit.num_qubits();
   result.circuit_depth = result.circuit.depth();
   result.gate_count = result.circuit.gate_count();
+  if (options.pipeline) {
+    result.lowered_circuit = options.pipeline->run(result.circuit, result.properties);
+  } else {
+    result.lowered_circuit = result.circuit;
+  }
   return result;
 }
 

@@ -10,10 +10,12 @@
 #include <sstream>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "qutes/circuit/draw.hpp"
 #include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/pass_manager.hpp"
 #include "qutes/circuit/qasm.hpp"
 #include "qutes/circuit/qiskit_export.hpp"
 #include "qutes/circuit/transpiler.hpp"
@@ -26,9 +28,30 @@ namespace {
 void usage(std::ostream& out) {
   out << "usage:\n"
       << "  qutes run <file.qut>  [--seed N] [--stats] [--qasm FILE] [--qiskit FILE] [--draw] [--trace] [--replay N]\n"
-      << "  qutes eval '<source>' [--seed N] [--stats] [--qasm FILE] [--qiskit FILE] [--draw] [--trace] [--replay N]\n"
+      << "                        [--pipeline PRESET] [--dump-passes]\n"
+      << "  qutes eval '<source>' [same flags as run]\n"
       << "  qutes fmt <file.qut>            # print canonically formatted source\n"
-      << "  qutes sim <file.qasm> [--shots N] [--seed N]   # run an OpenQASM circuit\n";
+      << "  qutes sim <file.qasm> [--shots N] [--seed N] [--pipeline PRESET] [--dump-passes]\n"
+      << "\n"
+      << "  --pipeline PRESET  compile through a PassManager preset: O0, O1, basis,\n"
+      << "                     hardware (linear coupling). With run/eval the lowered\n"
+      << "                     circuit is what --qasm/--qiskit/--draw/--replay see.\n"
+      << "  --dump-passes      print the per-pass instrumentation table (name,\n"
+      << "                     wall ms, depth/gates/2q before -> after); implies\n"
+      << "                     --pipeline O1 unless one is given.\n";
+}
+
+/// Parse --pipeline arguments ("--pipeline X" or "--pipeline=X"); returns
+/// false (with a message) on an unknown preset.
+bool parse_pipeline_flag(const std::string& value, std::optional<qutes::circ::Preset>& out) {
+  const auto preset = qutes::circ::parse_preset(value);
+  if (!preset) {
+    std::cerr << "unknown pipeline preset: " << value
+              << " (expected O0, O1, basis, or hardware)\n";
+    return false;
+  }
+  out = *preset;
+  return true;
 }
 
 }  // namespace
@@ -43,17 +66,26 @@ int main(int argc, char** argv) {
   if (mode == "sim") {
     std::size_t shots = 1024;
     std::uint64_t sim_seed = 0x5eed0f5eedULL;
+    std::optional<qutes::circ::Preset> preset;
+    bool dump_passes = false;
     for (int i = 3; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--shots" && i + 1 < argc) {
         shots = std::stoul(argv[++i]);
       } else if (arg == "--seed" && i + 1 < argc) {
         sim_seed = std::stoull(argv[++i]);
+      } else if (arg == "--pipeline" && i + 1 < argc) {
+        if (!parse_pipeline_flag(argv[++i], preset)) return 2;
+      } else if (arg.rfind("--pipeline=", 0) == 0) {
+        if (!parse_pipeline_flag(arg.substr(11), preset)) return 2;
+      } else if (arg == "--dump-passes") {
+        dump_passes = true;
       } else {
         std::cerr << "unknown flag: " << arg << "\n";
         return 2;
       }
     }
+    if (dump_passes && !preset) preset = qutes::circ::Preset::O1;
     try {
       std::ifstream file(target);
       if (!file) {
@@ -66,7 +98,19 @@ int main(int argc, char** argv) {
       qutes::circ::ExecutionOptions options;
       options.shots = shots;
       options.seed = sim_seed;
+      qutes::circ::PassManager pipeline;
+      if (preset) {
+        pipeline = qutes::circ::make_pipeline(*preset);
+        options.pipeline = &pipeline;
+      }
       const auto result = qutes::circ::Executor(options).run(circuit);
+      if (dump_passes) {
+        qutes::circ::PropertySet dump;
+        dump.stats = result.pass_stats;
+        std::cerr << "--- passes (" << qutes::circ::preset_name(*preset)
+                  << ") ---\n"
+                  << qutes::circ::format_pass_table(dump);
+      }
       std::cout << "qubits: " << circuit.num_qubits()
                 << "  clbits: " << circuit.num_clbits()
                 << "  shots: " << shots
@@ -107,6 +151,8 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool draw = false;
   bool trace = false;
+  bool dump_passes = false;
+  std::optional<qutes::circ::Preset> preset;
   std::size_t replay_shots = 0;
   std::string qasm_path;
   std::string qiskit_path;
@@ -120,6 +166,12 @@ int main(int argc, char** argv) {
       draw = true;
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--dump-passes") {
+      dump_passes = true;
+    } else if (arg == "--pipeline" && i + 1 < argc) {
+      if (!parse_pipeline_flag(argv[++i], preset)) return 2;
+    } else if (arg.rfind("--pipeline=", 0) == 0) {
+      if (!parse_pipeline_flag(arg.substr(11), preset)) return 2;
     } else if (arg == "--qasm" && i + 1 < argc) {
       qasm_path = argv[++i];
     } else if (arg == "--qiskit" && i + 1 < argc) {
@@ -132,23 +184,38 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (dump_passes && !preset) preset = qutes::circ::Preset::O1;
 
   try {
+    qutes::circ::PassManager pipeline;
     qutes::lang::RunOptions options;
     options.seed = seed;
     options.echo = &std::cout;
     if (trace) options.trace = &std::cerr;
+    if (preset) {
+      pipeline = qutes::circ::make_pipeline(*preset);
+      options.pipeline = &pipeline;
+    }
     const qutes::lang::RunResult result =
         mode == "run" ? qutes::lang::run_file(target, options)
                       : qutes::lang::run_source(target, options);
+    // With a pipeline, the lowered circuit is what every downstream flag
+    // (--qasm, --qiskit, --draw, --replay, --stats) operates on.
+    const qutes::circ::QuantumCircuit& circuit =
+        preset ? result.lowered_circuit : result.circuit;
 
+    if (dump_passes) {
+      std::cerr << "--- passes (" << qutes::circ::preset_name(*preset)
+                << ") ---\n"
+                << qutes::circ::format_pass_table(result.properties);
+    }
     if (!qasm_path.empty()) {
       std::ofstream out(qasm_path);
       if (!out) {
         std::cerr << "cannot write " << qasm_path << "\n";
         return 1;
       }
-      out << qutes::circ::qasm::export_circuit(result.circuit);
+      out << qutes::circ::qasm::export_circuit(circuit);
       std::cerr << "wrote " << qasm_path << "\n";
     }
     if (!qiskit_path.empty()) {
@@ -157,11 +224,11 @@ int main(int argc, char** argv) {
         std::cerr << "cannot write " << qiskit_path << "\n";
         return 1;
       }
-      out << qutes::circ::qiskit::export_circuit(result.circuit);
+      out << qutes::circ::qiskit::export_circuit(circuit);
       std::cerr << "wrote " << qiskit_path << "\n";
     }
     if (draw) {
-      std::cerr << qutes::circ::draw(result.circuit);
+      std::cerr << qutes::circ::draw(circuit);
     }
     if (replay_shots > 0) {
       // Re-run the logged circuit as a shots experiment: each trajectory
@@ -170,21 +237,23 @@ int main(int argc, char** argv) {
       qutes::circ::ExecutionOptions exec_options;
       exec_options.shots = replay_shots;
       exec_options.seed = seed + 1;
-      const auto replay = qutes::circ::Executor(exec_options).run(result.circuit);
+      const auto replay = qutes::circ::Executor(exec_options).run(circuit);
       std::cerr << "--- replay (" << replay_shots << " shots over "
-                << result.circuit.num_clbits() << " clbits) ---\n";
+                << circuit.num_clbits() << " clbits) ---\n";
       for (const auto& [bits, count] : replay.counts) {
         std::cerr << bits << ": " << count << "\n";
       }
     }
     if (stats) {
-      const auto transpiled = qutes::circ::transpile(result.circuit);
+      // Without an explicit pipeline, show the legacy default (O1) numbers.
+      const auto lowered =
+          preset ? circuit : qutes::circ::transpile(result.circuit);
       std::cerr << "qubits:           " << result.num_qubits << "\n"
                 << "instructions:     " << result.circuit.size() << "\n"
                 << "depth:            " << result.circuit_depth << "\n"
                 << "gates:            " << result.gate_count << "\n"
-                << "transpiled depth: " << transpiled.depth() << "\n"
-                << "transpiled gates: " << transpiled.gate_count() << "\n";
+                << "transpiled depth: " << lowered.depth() << "\n"
+                << "transpiled gates: " << lowered.gate_count() << "\n";
     }
     return 0;
   } catch (const qutes::Error& error) {
