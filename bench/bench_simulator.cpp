@@ -18,6 +18,7 @@
 #include "qutes/circuit/fusion.hpp"
 #include "qutes/common/rng.hpp"
 #include "qutes/sim/statevector.hpp"
+#include "qutes/testing/generators.hpp"
 
 namespace {
 
@@ -52,18 +53,13 @@ int bench_threads() {
 #endif
 }
 
-/// Random brickwork circuit: alternating layers of U3 on every qubit and a
-/// CX ring with alternating offset — the standard fusion-friendly workload.
+/// The shared brickwork workload (qutes::testing::brickwork_circuit):
+/// alternating layers of U3 on every qubit and a CX ring with alternating
+/// offset — the standard fusion-friendly workload, identical to what the
+/// fusion tests exercise.
 circ::QuantumCircuit brickwork(std::size_t n, std::size_t depth,
                                std::uint64_t seed) {
-  Rng rng(seed);
-  circ::QuantumCircuit c(n, n);
-  const auto angle = [&] { return rng.uniform() * 6.0 - 3.0; };
-  for (std::size_t layer = 0; layer < depth; ++layer) {
-    for (std::size_t q = 0; q < n; ++q) c.u(angle(), angle(), angle(), q);
-    for (std::size_t q = layer % 2; q + 1 < n; q += 2) c.cx(q, q + 1);
-  }
-  return c;
+  return qutes::testing::brickwork_circuit(n, depth, seed);
 }
 
 /// Evolve a zero state through the fusion plan of `c`; returns wall ms.

@@ -1,16 +1,51 @@
 #!/usr/bin/env bash
 # Strict pre-merge gate: configure with -Wall -Wextra -Werror (QUTES_WERROR),
 # build everything, and run the full tier-1 test suite. Uses its own build
-# directory (build-check) so it never perturbs the regular dev build.
+# directory so it never perturbs the regular dev build.
+#
+# Modes (combinable with --quick):
+#   (none)    -Werror build + full test suite in build-check/
+#   --asan    AddressSanitizer build + full test suite in build-asan/
+#   --ubsan   UndefinedBehaviorSanitizer build + full test suite in build-ubsan/
+#   --quick   scale the differential/fuzz sweeps down (QUTES_DIFF_QUICK=1)
+#             for a fast smoke signal, e.g. `check.sh --asan --quick`
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-cmake -B build-check -S . -DQUTES_WERROR=ON
-cmake --build build-check -j "$JOBS"
-ctest --test-dir build-check --output-on-failure -j "$JOBS"
+BUILD_DIR=build-check
+SANITIZE=""
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan)  SANITIZE=address;   BUILD_DIR=build-asan ;;
+    --ubsan) SANITIZE=undefined; BUILD_DIR=build-ubsan ;;
+    --quick) QUICK=1 ;;
+    *) echo "usage: $0 [--asan|--ubsan] [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+CMAKE_ARGS=(-B "$BUILD_DIR" -S . -DQUTES_WERROR=ON)
+if [[ -n "$SANITIZE" ]]; then
+  CMAKE_ARGS+=(-DQUTES_SANITIZE="$SANITIZE")
+  # Die on the first report: a sanitizer finding must fail the test, not
+  # scroll past it.
+  export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0:abort_on_error=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:abort_on_error=1"
+fi
+if [[ "$QUICK" == 1 ]]; then
+  export QUTES_DIFF_QUICK=1
+fi
+
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 echo
-echo "check.sh: clean -Werror build and full test suite passed."
+if [[ -n "$SANITIZE" ]]; then
+  echo "check.sh: clean -fsanitize=$SANITIZE build and full test suite passed."
+else
+  echo "check.sh: clean -Werror build and full test suite passed."
+fi

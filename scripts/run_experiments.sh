@@ -3,9 +3,21 @@
 # regenerate every experiment table (E1..E10). Outputs land in
 # test_output.txt and bench_output.txt at the repository root, and the
 # machine-readable gate-fusion comparison in BENCH_fusion.json.
+#
+# Pass --sanitizers to also run the quick differential smoke suite under
+# ASan and UBSan (scripts/check.sh --asan/--ubsan --quick); the verdicts
+# land in sanitizer_output.txt and are echoed in the final report.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+RUN_SANITIZERS=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitizers) RUN_SANITIZERS=1 ;;
+    *) echo "usage: $0 [--sanitizers]" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
@@ -39,5 +51,22 @@ grep -o '"qubits":[0-9]*\|"speedup":[0-9.]*' BENCH_fusion.json | paste - - || tr
 echo "Pipeline preset results recorded in BENCH_transpile.json:"
 grep -o '"workload":"[a-z0-9]*","qubits":[0-9]*,"preset":"[a-z01A-Z]*"' BENCH_transpile.json || true
 
+if [[ "$RUN_SANITIZERS" == 1 ]]; then
+  : > sanitizer_output.txt
+  for mode in asan ubsan; do
+    echo "===== check.sh --$mode --quick =====" | tee -a sanitizer_output.txt
+    if scripts/check.sh --"$mode" --quick >> sanitizer_output.txt 2>&1; then
+      echo "SANITIZER $mode: PASS" | tee -a sanitizer_output.txt
+    else
+      echo "SANITIZER $mode: FAIL (see sanitizer_output.txt)" | tee -a sanitizer_output.txt
+      exit 1
+    fi
+  done
+fi
+
 echo
 echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, and BENCH_transpile.json."
+if [[ "$RUN_SANITIZERS" == 1 ]]; then
+  echo "Sanitizer verdicts:"
+  grep '^SANITIZER ' sanitizer_output.txt
+fi

@@ -92,7 +92,7 @@ QuantumCircuit::QuantumCircuit(std::size_t num_qubits, std::size_t num_clbits) {
   if (num_clbits > 0) add_classical_register("c", num_clbits);
 }
 
-QuantumRegister& QuantumCircuit::add_register(const std::string& name, std::size_t size) {
+QuantumRegister QuantumCircuit::add_register(const std::string& name, std::size_t size) {
   if (size == 0) throw CircuitError("empty quantum register '" + name + "'");
   for (const auto& r : qregs_) {
     if (r.name == name) throw CircuitError("duplicate quantum register '" + name + "'");
@@ -102,8 +102,8 @@ QuantumRegister& QuantumCircuit::add_register(const std::string& name, std::size
   return qregs_.back();
 }
 
-ClassicalRegister& QuantumCircuit::add_classical_register(const std::string& name,
-                                                          std::size_t size) {
+ClassicalRegister QuantumCircuit::add_classical_register(const std::string& name,
+                                                         std::size_t size) {
   if (size == 0) throw CircuitError("empty classical register '" + name + "'");
   for (const auto& r : cregs_) {
     if (r.name == name) throw CircuitError("duplicate classical register '" + name + "'");

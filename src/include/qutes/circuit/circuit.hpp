@@ -45,9 +45,12 @@ public:
 
   // ---- register management -------------------------------------------------
 
-  /// Append a named quantum register; returns it (with its flat offset).
-  QuantumRegister& add_register(const std::string& name, std::size_t size);
-  ClassicalRegister& add_classical_register(const std::string& name, std::size_t size);
+  /// Append a named quantum register; returns a copy (with its flat offset).
+  /// By value on purpose: a reference into qregs_ would dangle as soon as the
+  /// next add_register() reallocates the vector — found by ASan, pinned by
+  /// test_circuit.RegisterHandlesSurviveLaterRegisterAdds.
+  QuantumRegister add_register(const std::string& name, std::size_t size);
+  ClassicalRegister add_classical_register(const std::string& name, std::size_t size);
 
   [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
   [[nodiscard]] std::size_t num_clbits() const noexcept { return num_clbits_; }

@@ -122,6 +122,12 @@ private:
   std::ostream* trace_ = nullptr;
   ValuePtr result_;  ///< expression result channel for the visitor
   std::size_t call_depth_ = 0;
+  /// Recursion depth of evaluate(). The parser's nesting guard bounds
+  /// *nested* constructs, but a flat chain (`1+1+…+1`) parses iteratively
+  /// into an arbitrarily deep left-leaning tree; this bounds the recursive
+  /// walk so pathological programs raise LangError instead of overflowing
+  /// the stack (found by the ASan run of the tests/corpus replay).
+  std::size_t eval_depth_ = 0;
 };
 
 }  // namespace qutes::lang

@@ -55,8 +55,25 @@ private:
   ExprPtr postfix();
   ExprPtr primary();
 
+  /// Recursion-depth cap shared by the statement and expression ladders.
+  /// Pathological nesting ("((((..." or "{{{{...") must fail with LangError,
+  /// not overflow the native stack (found by the differential fuzz corpus).
+  static constexpr std::size_t kMaxNestingDepth = 512;
+
+  class NestingGuard {
+  public:
+    NestingGuard(Parser& parser, SourceLocation loc);
+    ~NestingGuard() { --parser_.depth_; }
+    NestingGuard(const NestingGuard&) = delete;
+    NestingGuard& operator=(const NestingGuard&) = delete;
+
+  private:
+    Parser& parser_;
+  };
+
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 /// Convenience: lex + parse.

@@ -71,6 +71,17 @@ void Interpreter::execute(Stmt& stmt) {
 }
 
 ValuePtr Interpreter::evaluate(Expr& expr) {
+  static constexpr std::size_t kMaxEvalDepth = 1000;
+  if (eval_depth_ >= kMaxEvalDepth) {
+    throw LangError("expression too deep to evaluate (depth limit " +
+                        std::to_string(kMaxEvalDepth) + ")",
+                    expr.location);
+  }
+  ++eval_depth_;
+  struct DepthGuard {
+    std::size_t& depth;
+    ~DepthGuard() { --depth; }
+  } guard{eval_depth_};
   expr.accept(*this);
   ValuePtr value = std::move(result_);
   if (!value) {
@@ -307,7 +318,9 @@ void Interpreter::visit(UnaryExpr& expr) {
       if (v->kind() == TypeKind::Float) {
         result_ = Value::make_float(-v->as_float());
       } else {
-        result_ = Value::make_int(-v->as_int());
+        // Through uint64_t: -INT64_MIN is signed overflow (wraps to itself).
+        result_ = Value::make_int(static_cast<std::int64_t>(
+            std::uint64_t{0} - static_cast<std::uint64_t>(v->as_int())));
       }
       return;
     }
@@ -600,15 +613,26 @@ ValuePtr Interpreter::classical_binary(BinaryOp op, const ValuePtr& lhs,
 
   const std::int64_t a = lhs->as_int();
   const std::int64_t b = rhs->as_int();
+  // Qutes `int` arithmetic is two's-complement with wraparound on overflow
+  // (matching the quantum registers, which are modular by construction), so
+  // compute through uint64_t: signed overflow would be UB.
+  const auto wrap = [](std::uint64_t u) {
+    return Value::make_int(static_cast<std::int64_t>(u));
+  };
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
   switch (op) {
-    case BinaryOp::Add: return Value::make_int(a + b);
-    case BinaryOp::Sub: return Value::make_int(a - b);
-    case BinaryOp::Mul: return Value::make_int(a * b);
+    case BinaryOp::Add: return wrap(ua + ub);
+    case BinaryOp::Sub: return wrap(ua - ub);
+    case BinaryOp::Mul: return wrap(ua * ub);
     case BinaryOp::Div:
       if (b == 0) throw LangError("division by zero", loc);
+      // INT64_MIN / -1 overflows (hardware-traps); it wraps to INT64_MIN.
+      if (b == -1) return wrap(std::uint64_t{0} - ua);
       return Value::make_int(a / b);
     case BinaryOp::Mod:
       if (b == 0) throw LangError("modulo by zero", loc);
+      if (b == -1) return Value::make_int(0);  // avoids the INT64_MIN trap
       return Value::make_int(a % b);
     case BinaryOp::Shl:
       if (b < 0 || b > 62) throw LangError("bad shift amount", loc);

@@ -167,17 +167,23 @@ Token Lexer::lex_number() {
   Token token;
   token.location = loc;
   token.text = text;
-  if (is_float) {
-    token.type = TokenType::FloatLit;
-    token.float_value = std::stod(text);
-  } else if (peek() == 'q' &&
-             !std::isalnum(static_cast<unsigned char>(peek(1))) && peek(1) != '_') {
-    advance();  // consume the q suffix
-    token.type = TokenType::QuantumIntLit;
-    token.int_value = std::stoll(text);
-  } else {
-    token.type = TokenType::IntLit;
-    token.int_value = std::stoll(text);
+  // stod/stoll throw std::out_of_range on literals beyond the host type;
+  // surface that as a diagnostic, not an internal exception.
+  try {
+    if (is_float) {
+      token.type = TokenType::FloatLit;
+      token.float_value = std::stod(text);
+    } else if (peek() == 'q' &&
+               !std::isalnum(static_cast<unsigned char>(peek(1))) && peek(1) != '_') {
+      advance();  // consume the q suffix
+      token.type = TokenType::QuantumIntLit;
+      token.int_value = std::stoll(text);
+    } else {
+      token.type = TokenType::IntLit;
+      token.int_value = std::stoll(text);
+    }
+  } catch (const std::out_of_range&) {
+    throw LangError("numeric literal '" + text + "' is out of range", loc);
   }
   return token;
 }

@@ -93,6 +93,15 @@ QType Parser::parse_type() {
   return type;
 }
 
+Parser::NestingGuard::NestingGuard(Parser& parser, SourceLocation loc)
+    : parser_(parser) {
+  if (++parser_.depth_ > kMaxNestingDepth) {
+    throw LangError("nesting exceeds the maximum depth of " +
+                        std::to_string(kMaxNestingDepth),
+                    loc);
+  }
+}
+
 Program Parser::parse_program() {
   Program program;
   while (!check(TokenType::Eof)) {
@@ -103,6 +112,7 @@ Program Parser::parse_program() {
 
 StmtPtr Parser::statement() {
   const SourceLocation loc = peek().location;
+  NestingGuard guard(*this, loc);
   switch (peek().type) {
     case TokenType::KwIf: return if_statement();
     case TokenType::KwWhile: return while_statement();
@@ -278,7 +288,10 @@ StmtPtr Parser::assignment_or_expr_statement() {
 
 // ---- expressions ---------------------------------------------------------------
 
-ExprPtr Parser::expression() { return logic_or(); }
+ExprPtr Parser::expression() {
+  NestingGuard guard(*this, peek().location);
+  return logic_or();
+}
 
 ExprPtr Parser::logic_or() {
   ExprPtr lhs = logic_and();
@@ -406,6 +419,7 @@ ExprPtr Parser::unary() {
     default: return postfix();
   }
   const SourceLocation loc = advance().location;
+  NestingGuard guard(*this, loc);  // "!!!!..." recurses without expression()
   auto node = make_node<UnaryExpr>(loc);
   node->op = op;
   node->operand = unary();

@@ -1,0 +1,496 @@
+#include "qutes/testing/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <sstream>
+
+#include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/fusion.hpp"
+#include "qutes/circuit/pass_manager.hpp"
+#include "qutes/circuit/qasm.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/sim/density_matrix.hpp"
+
+namespace qutes::testing {
+
+namespace {
+
+using circ::GateType;
+using circ::Instruction;
+using circ::QuantumCircuit;
+
+constexpr Backend kAllBackends[] = {
+    Backend::Statevector,  Backend::DensityMatrix, Backend::FusedExecutor,
+    Backend::PresetO0,     Backend::PresetO1,      Backend::PresetBasis,
+    Backend::PresetHardware, Backend::QasmRoundTrip,
+};
+
+circ::Executor single_shot_executor() {
+  circ::ExecutionOptions options;
+  options.shots = 1;
+  options.seed = 1;
+  return circ::Executor(options);
+}
+
+std::vector<cplx> state_of(const QuantumCircuit& circuit) {
+  const auto traj = single_shot_executor().run_single(circuit);
+  const auto amps = traj.state.amplitudes();
+  return {amps.begin(), amps.end()};
+}
+
+/// Evolve a density matrix through a unitary-only circuit using the
+/// production DensityMatrix kernels.
+sim::DensityMatrix density_matrix_of(const QuantumCircuit& circuit) {
+  namespace g = sim::gates;
+  sim::DensityMatrix rho(circuit.num_qubits());
+  const auto controlled = [&](const Instruction& in, const sim::Matrix2& u) {
+    const std::span<const std::size_t> controls(in.qubits.data(),
+                                                in.qubits.size() - 1);
+    rho.apply_multi_controlled_1q(u, controls, in.target());
+  };
+  for (const Instruction& in : circuit.instructions()) {
+    switch (in.type) {
+      case GateType::H: rho.apply_1q(g::H(), in.qubits[0]); break;
+      case GateType::X: rho.apply_1q(g::X(), in.qubits[0]); break;
+      case GateType::Y: rho.apply_1q(g::Y(), in.qubits[0]); break;
+      case GateType::Z: rho.apply_1q(g::Z(), in.qubits[0]); break;
+      case GateType::S: rho.apply_1q(g::S(), in.qubits[0]); break;
+      case GateType::Sdg: rho.apply_1q(g::Sdg(), in.qubits[0]); break;
+      case GateType::T: rho.apply_1q(g::T(), in.qubits[0]); break;
+      case GateType::Tdg: rho.apply_1q(g::Tdg(), in.qubits[0]); break;
+      case GateType::SX: rho.apply_1q(g::SX(), in.qubits[0]); break;
+      case GateType::RX: rho.apply_1q(g::RX(in.params[0]), in.qubits[0]); break;
+      case GateType::RY: rho.apply_1q(g::RY(in.params[0]), in.qubits[0]); break;
+      case GateType::RZ: rho.apply_1q(g::RZ(in.params[0]), in.qubits[0]); break;
+      case GateType::P: rho.apply_1q(g::P(in.params[0]), in.qubits[0]); break;
+      case GateType::U:
+        rho.apply_1q(g::U(in.params[0], in.params[1], in.params[2]), in.qubits[0]);
+        break;
+      case GateType::CX: case GateType::CCX: case GateType::MCX:
+        controlled(in, g::X());
+        break;
+      case GateType::CY: controlled(in, g::Y()); break;
+      case GateType::CZ: case GateType::MCZ: controlled(in, g::Z()); break;
+      case GateType::CH: controlled(in, g::H()); break;
+      case GateType::CP: case GateType::MCP:
+        controlled(in, g::P(in.params[0]));
+        break;
+      case GateType::CRZ: controlled(in, g::RZ(in.params[0])); break;
+      case GateType::SWAP: rho.apply_swap(in.qubits[0], in.qubits[1]); break;
+      case GateType::CSWAP: {
+        // Same 3-CX decomposition the executor uses.
+        const std::size_t c = in.qubits[0], a = in.qubits[1], b = in.qubits[2];
+        const std::size_t ca[2] = {c, a};
+        const std::size_t cb[2] = {c, b};
+        rho.apply_multi_controlled_1q(g::X(), ca, b);
+        rho.apply_multi_controlled_1q(g::X(), cb, a);
+        rho.apply_multi_controlled_1q(g::X(), ca, b);
+        break;
+      }
+      case GateType::Barrier:
+      case GateType::GlobalPhase:  // U rho U^dagger cancels a scalar phase
+        break;
+      default:
+        throw CircuitError(
+            std::string("density-matrix backend: non-unitary instruction ") +
+            gate_name(in.type));
+    }
+  }
+  return rho;
+}
+
+/// Replay the runtime fusion plan over a fresh statevector (the executor's
+/// inner loop, minus sampling).
+std::vector<cplx> fused_state_of(const QuantumCircuit& circuit) {
+  circ::FusionOptions options;
+  options.max_fused_qubits = 4;
+  const circ::FusionPlan plan =
+      circ::build_fusion_plan(circuit.instructions(), options);
+  sim::StateVector sv(circuit.num_qubits());
+  std::uint64_t clbits = 0;
+  Rng rng(1);
+  for (const circ::FusedOp& op : plan.ops) {
+    if (op.fused) {
+      sv.apply_kq(op.matrix, op.qubits);
+    } else {
+      circ::apply_instruction(sv, circuit.instructions()[op.instruction], clbits,
+                              rng);
+    }
+  }
+  if (circuit.global_phase() != 0.0) {
+    sv.apply_global_phase(circuit.global_phase());
+  }
+  const auto amps = sv.amplitudes();
+  return {amps.begin(), amps.end()};
+}
+
+circ::Preset preset_of(Backend backend) {
+  switch (backend) {
+    case Backend::PresetO0: return circ::Preset::O0;
+    case Backend::PresetO1: return circ::Preset::O1;
+    case Backend::PresetBasis: return circ::Preset::Basis;
+    default: return circ::Preset::Hardware;
+  }
+}
+
+QuantumCircuit drop_instruction(const QuantumCircuit& circuit, std::size_t index) {
+  QuantumCircuit out(circuit.num_qubits(), circuit.num_clbits());
+  out.add_global_phase(circuit.global_phase());
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    if (i != index) out.append(circuit.instructions()[i]);
+  }
+  return out;
+}
+
+std::string try_export_qasm(const QuantumCircuit& circuit) {
+  try {
+    return circ::qasm::export_circuit(circuit);
+  } catch (const std::exception& e) {
+    return std::string("<qasm export failed: ") + e.what() + ">";
+  }
+}
+
+}  // namespace
+
+// ---- comparators -----------------------------------------------------------
+
+StateComparison compare_states_up_to_global_phase(std::span<const cplx> reference,
+                                                  std::span<const cplx> state,
+                                                  double tol) {
+  StateComparison cmp;
+  if (state.size() < reference.size() || reference.empty() ||
+      state.size() % reference.size() != 0) {
+    cmp.detail = "dimension mismatch: reference " +
+                 std::to_string(reference.size()) + " vs state " +
+                 std::to_string(state.size());
+    return cmp;
+  }
+
+  cplx inner{0.0};
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    inner += std::conj(reference[i]) * state[i];
+  }
+  for (std::size_t i = reference.size(); i < state.size(); ++i) {
+    cmp.residual += std::norm(state[i]);
+  }
+  cmp.fidelity = std::norm(inner);
+
+  const double mag = std::abs(inner);
+  const cplx phase = mag > 1e-12 ? inner / mag : cplx{1.0};
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    cmp.max_abs_delta =
+        std::max(cmp.max_abs_delta, std::abs(state[i] * std::conj(phase) - reference[i]));
+  }
+
+  // |1 - fidelity| (not 1 - fidelity): an unnormalized state can push the
+  // unclamped fidelity above 1, and a norm bug is as much a divergence as a
+  // direction bug. max_abs_delta backstops amplitude errors that are
+  // invisible to the overlap (e.g. perturbing a near-zero amplitude).
+  cmp.equivalent = std::abs(1.0 - cmp.fidelity) <= tol && cmp.residual <= tol &&
+                   cmp.max_abs_delta <= std::sqrt(tol);
+  if (!cmp.equivalent) {
+    std::ostringstream os;
+    os << "states differ beyond global phase: fidelity=" << cmp.fidelity
+       << " residual=" << cmp.residual << " max|delta|=" << cmp.max_abs_delta;
+    cmp.detail = os.str();
+  }
+  return cmp;
+}
+
+void assert_equiv_up_to_global_phase(std::span<const cplx> reference,
+                                     std::span<const cplx> state, double tol) {
+  const StateComparison cmp =
+      compare_states_up_to_global_phase(reference, state, tol);
+  if (!cmp.equivalent) throw CircuitError(cmp.detail);
+}
+
+double total_variation_distance(const std::map<std::string, double>& a,
+                                const std::map<std::string, double>& b) {
+  double sum = 0.0;
+  for (const auto& [key, pa] : a) {
+    const auto it = b.find(key);
+    sum += std::abs(pa - (it == b.end() ? 0.0 : it->second));
+  }
+  for (const auto& [key, pb] : b) {
+    if (a.find(key) == a.end()) sum += pb;
+  }
+  return sum / 2.0;
+}
+
+std::map<std::string, double> counts_to_distribution(const sim::Counts& counts) {
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : counts) total += n;
+  std::map<std::string, double> dist;
+  if (total == 0) return dist;
+  for (const auto& [key, n] : counts) {
+    dist[key] = static_cast<double>(n) / static_cast<double>(total);
+  }
+  return dist;
+}
+
+// ---- backends --------------------------------------------------------------
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::Statevector: return "statevector";
+    case Backend::DensityMatrix: return "density-matrix";
+    case Backend::FusedExecutor: return "fused-executor";
+    case Backend::PresetO0: return "preset-O0";
+    case Backend::PresetO1: return "preset-O1";
+    case Backend::PresetBasis: return "preset-basis";
+    case Backend::PresetHardware: return "preset-hardware";
+    case Backend::QasmRoundTrip: return "qasm-roundtrip";
+  }
+  return "unknown";
+}
+
+std::span<const Backend> all_backends() noexcept { return kAllBackends; }
+
+std::vector<cplx> backend_statevector(const QuantumCircuit& circuit,
+                                      Backend backend) {
+  switch (backend) {
+    case Backend::Statevector:
+      return state_of(circuit);
+    case Backend::FusedExecutor:
+      return fused_state_of(circuit);
+    case Backend::PresetO0:
+    case Backend::PresetO1:
+    case Backend::PresetBasis:
+    case Backend::PresetHardware:
+      return state_of(circ::make_pipeline(preset_of(backend)).run(circuit));
+    case Backend::QasmRoundTrip:
+      return state_of(
+          circ::qasm::import_circuit(circ::qasm::export_circuit(circuit)));
+    case Backend::DensityMatrix:
+      throw CircuitError(
+          "backend_statevector: the density-matrix backend has no statevector; "
+          "use check_backend_against_reference");
+  }
+  throw CircuitError("backend_statevector: unknown backend");
+}
+
+BackendCheck check_backend_against_reference(const QuantumCircuit& circuit,
+                                             std::span<const cplx> reference,
+                                             Backend backend, double tol) {
+  try {
+    if (backend == Backend::DensityMatrix) {
+      const sim::DensityMatrix rho = density_matrix_of(circuit);
+      std::vector<cplx> ref_copy(reference.begin(), reference.end());
+      const double fidelity =
+          rho.fidelity(sim::StateVector::from_amplitudes(std::move(ref_copy)));
+      const double metric = 1.0 - fidelity;
+      if (metric <= tol) return {true, metric, {}};
+      std::ostringstream os;
+      os << "density matrix diverged: <ref|rho|ref>=" << fidelity
+         << " purity=" << rho.purity();
+      return {false, metric, os.str()};
+    }
+    const std::vector<cplx> state = backend_statevector(circuit, backend);
+    const StateComparison cmp =
+        compare_states_up_to_global_phase(reference, state, tol);
+    return {cmp.equivalent, std::abs(1.0 - cmp.fidelity) + cmp.residual,
+            cmp.detail};
+  } catch (const std::exception& e) {
+    return {false, 1.0, std::string("exception: ") + e.what()};
+  }
+}
+
+// ---- harness ---------------------------------------------------------------
+
+std::string DiffReport::summary() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "differential: " << circuits << " circuit(s), " << comparisons
+       << " comparison(s), all equivalent to the reference backend";
+    return os.str();
+  }
+  os << "differential: " << failures.size() << " divergence(s) over " << circuits
+     << " circuit(s) / " << comparisons << " comparison(s)\n";
+  for (const DiffFailure& f : failures) {
+    os << "  seed=" << f.seed << " backend=" << f.backend
+       << " metric=" << f.metric << " — " << f.detail << "\n";
+    if (!f.minimized_qasm.empty()) {
+      os << "  minimized repro (" << f.minimized_size << " of " << f.original_size
+         << " instructions):\n"
+         << f.minimized_qasm << "\n";
+    }
+  }
+  return os.str();
+}
+
+void DiffReport::merge(DiffReport other) {
+  circuits += other.circuits;
+  comparisons += other.comparisons;
+  failures.insert(failures.end(),
+                  std::make_move_iterator(other.failures.begin()),
+                  std::make_move_iterator(other.failures.end()));
+}
+
+QuantumCircuit minimize_failing_circuit(const QuantumCircuit& circuit,
+                                        Backend backend, double tol) {
+  const auto fails = [&](const QuantumCircuit& candidate) {
+    try {
+      const std::vector<cplx> reference = reference_statevector(candidate);
+      return !check_backend_against_reference(candidate, reference, backend, tol)
+                  .ok;
+    } catch (const std::exception&) {
+      return false;  // not a usable repro if the reference itself rejects it
+    }
+  };
+  if (!fails(circuit)) return circuit;
+
+  QuantumCircuit current = circuit;
+  bool progress = true;
+  int rounds = 0;
+  while (progress && ++rounds <= 8) {
+    progress = false;
+    for (std::size_t i = current.size(); i-- > 0;) {
+      if (current.size() <= 1) break;
+      QuantumCircuit candidate = drop_instruction(current, i);
+      if (fails(candidate)) {
+        current = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  return current;
+}
+
+DiffReport diff_backends(const QuantumCircuit& circuit, std::uint64_t seed,
+                         const DiffOptions& options) {
+  DiffReport report;
+  report.circuits = 1;
+
+  std::vector<cplx> reference;
+  try {
+    reference = reference_statevector(circuit);
+  } catch (const std::exception& e) {
+    DiffFailure f;
+    f.seed = seed;
+    f.backend = "reference";
+    f.metric = 1.0;
+    f.detail = std::string("reference backend rejected the circuit: ") + e.what();
+    report.failures.push_back(std::move(f));
+    return report;
+  }
+
+  const std::span<const Backend> backends =
+      options.backends.empty() ? all_backends()
+                               : std::span<const Backend>(options.backends);
+  for (const Backend backend : backends) {
+    ++report.comparisons;
+    const BackendCheck check =
+        check_backend_against_reference(circuit, reference, backend, options.tol);
+    if (check.ok) continue;
+    DiffFailure f;
+    f.seed = seed;
+    f.backend = backend_name(backend);
+    f.metric = check.metric;
+    f.detail = check.detail;
+    f.original_size = circuit.size();
+    f.minimized_size = circuit.size();
+    if (options.minimize) {
+      const QuantumCircuit minimal =
+          minimize_failing_circuit(circuit, backend, options.tol);
+      f.minimized_size = minimal.size();
+      f.minimized_qasm = try_export_qasm(minimal);
+    } else {
+      f.minimized_qasm = try_export_qasm(circuit);
+    }
+    report.failures.push_back(std::move(f));
+  }
+  return report;
+}
+
+DiffReport diff_dynamic_backends(const QuantumCircuit& circuit, std::uint64_t seed,
+                                 const DiffOptions& options) {
+  DiffReport report;
+  report.circuits = 1;
+
+  const auto fail = [&](const char* backend, double metric, std::string detail) {
+    DiffFailure f;
+    f.seed = seed;
+    f.backend = backend;
+    f.metric = metric;
+    f.detail = std::move(detail);
+    f.original_size = circuit.size();
+    f.minimized_size = circuit.size();
+    f.minimized_qasm = try_export_qasm(circuit);
+    report.failures.push_back(std::move(f));
+  };
+
+  const auto first_diff = [](const sim::Counts& a, const sim::Counts& b) {
+    for (const auto& [key, n] : a) {
+      const auto it = b.find(key);
+      if (it == b.end() || it->second != n) {
+        return "first difference at key \"" + key + "\": " + std::to_string(n) +
+               " vs " +
+               std::to_string(it == b.end() ? std::uint64_t{0} : it->second);
+      }
+    }
+    for (const auto& [key, n] : b) {
+      if (a.find(key) == a.end()) {
+        return "key \"" + key + "\" only in second histogram (" +
+               std::to_string(n) + " shots)";
+      }
+    }
+    return std::string("histograms identical");
+  };
+
+  circ::ExecutionOptions exec;
+  exec.shots = options.shots;
+  exec.seed = options.exec_seed;
+  exec.max_fused_qubits = 4;
+
+  try {
+    const std::map<std::string, double> reference =
+        reference_distribution(circuit);
+
+    ++report.comparisons;
+    const sim::Counts fused = circ::Executor(exec).run(circuit).counts;
+    const double tvd =
+        total_variation_distance(reference, counts_to_distribution(fused));
+    if (tvd > options.tvd_tol) {
+      std::ostringstream os;
+      os << "sampled counts diverge from the exact reference distribution: TVD="
+         << tvd << " over " << options.shots << " shots";
+      fail("fused-executor-vs-reference", tvd, os.str());
+    }
+
+    ++report.comparisons;
+    circ::ExecutionOptions unfused_options = exec;
+    unfused_options.max_fused_qubits = 1;
+    const sim::Counts unfused = circ::Executor(unfused_options).run(circuit).counts;
+    if (unfused != fused) {
+      fail("fused-vs-unfused", 1.0,
+           "fused and gate-at-a-time counts differ at identical seed: " +
+               first_diff(fused, unfused));
+    }
+
+    ++report.comparisons;
+    const QuantumCircuit o0 =
+        circ::make_pipeline(circ::Preset::O0).run(circuit);
+    const sim::Counts lowered = circ::Executor(exec).run(o0).counts;
+    if (lowered != fused) {
+      fail("fused-vs-O0", 1.0,
+           "O0-lowered counts differ at identical seed: " +
+               first_diff(fused, lowered));
+    }
+
+    ++report.comparisons;
+    const QuantumCircuit round_trip =
+        circ::qasm::import_circuit(circ::qasm::export_circuit(circuit));
+    const sim::Counts reimported = circ::Executor(exec).run(round_trip).counts;
+    if (reimported != fused) {
+      fail("qasm-roundtrip-counts", 1.0,
+           "round-tripped counts differ at identical seed: " +
+               first_diff(fused, reimported));
+    }
+  } catch (const std::exception& e) {
+    fail("dynamic-differential", 1.0, std::string("exception: ") + e.what());
+  }
+  return report;
+}
+
+}  // namespace qutes::testing

@@ -28,6 +28,23 @@ TEST(Circuit, NamedRegistersGetFlatOffsets) {
   EXPECT_EQ(c.num_qubits(), 5u);
 }
 
+// add_register used to return a reference into the circuit's register
+// vector, which dangled as soon as a later add_register() reallocated it
+// (heap-use-after-free under ASan in every two-register algorithm builder).
+// It now returns by value; handles must stay usable across later adds.
+TEST(Circuit, RegisterHandlesSurviveLaterRegisterAdds) {
+  QuantumCircuit c;
+  const QuantumRegister a = c.add_register("a", 2);
+  // Force several reallocations of the underlying vectors.
+  for (int i = 0; i < 16; ++i) {
+    c.add_register("r" + std::to_string(i), 1);
+    c.add_classical_register("k" + std::to_string(i), 1);
+  }
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(a[1], 1u);
+  EXPECT_EQ(c.num_qubits(), 18u);
+}
+
 TEST(Circuit, DuplicateRegisterRejected) {
   QuantumCircuit c;
   c.add_register("r", 1);

@@ -1,0 +1,146 @@
+// Front-end robustness: grammar-driven random Qutes programs plus
+// byte-level mutation fuzzing, asserting the lexer/parser/interpreter
+// contract "LangError or success, never a crash". Also replays the
+// checked-in crash corpus (tests/corpus/*.qut) — every file there once
+// crashed or hung a front-end component, so it must keep parsing/failing
+// cleanly forever.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qutes/common/error.hpp"
+#include "qutes/lang/compiler.hpp"
+#include "qutes/testing/generators.hpp"
+
+namespace qt = qutes::testing;
+namespace lang = qutes::lang;
+
+namespace {
+
+bool quick_mode() { return std::getenv("QUTES_DIFF_QUICK") != nullptr; }
+
+std::size_t sweep(std::size_t full, std::size_t quick) {
+  return quick_mode() ? quick : full;
+}
+
+std::string excerpt(const std::string& source) {
+  std::string out = source.substr(0, 200);
+  for (char& ch : out) {
+    if (ch != '\n' && (ch < 0x20 || ch == 0x7f)) ch = '?';
+  }
+  if (source.size() > 200) out += "...";
+  return out;
+}
+
+/// The robustness contract: the front end may reject input (LangError) or
+/// accept it, but any other escape — segfault, std::logic_error from a
+/// container, uncaught internal exception — is a bug.
+template <typename Fn>
+void expect_langerror_or_success(Fn&& fn, std::uint64_t seed,
+                                 const std::string& source) {
+  try {
+    fn();
+  } catch (const qutes::LangError&) {
+    // rejected cleanly — fine
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "seed=" << seed << " escaped with "
+                  << typeid(e).name() << ": " << e.what()
+                  << "\nsource:\n" << excerpt(source);
+  }
+}
+
+lang::RunOptions fast_run_options() {
+  lang::RunOptions options;
+  options.seed = 11;
+  options.include_stdlib = false;  // generated programs don't call stdlib
+  return options;
+}
+
+}  // namespace
+
+TEST(DslRobustness, GeneratedProgramsRunCleanly) {
+  // Valid-by-construction sources: these must not merely avoid crashing,
+  // the overwhelming majority must actually execute. A generator drifting
+  // into 90% rejections would silently gut the fuzzing value, so track it.
+  const std::size_t programs = sweep(220, 24);
+  std::size_t accepted = 0;
+  for (std::uint64_t seed = 0; seed < programs; ++seed) {
+    const std::string source = qt::random_qutes_program(seed);
+    bool ok = true;
+    try {
+      (void)lang::run_source(source, fast_run_options());
+    } catch (const qutes::LangError&) {
+      ok = false;
+    } catch (const std::exception& e) {
+      ok = false;
+      ADD_FAILURE() << "seed=" << seed << " escaped with " << e.what()
+                    << "\nsource:\n" << excerpt(source);
+    }
+    if (ok) ++accepted;
+  }
+  // The generator aims for always-valid output; allow a small slack for
+  // corner interactions rather than pinning 100%.
+  EXPECT_GE(accepted * 10, programs * 9)
+      << "only " << accepted << "/" << programs
+      << " generated programs executed";
+}
+
+TEST(DslRobustness, MutatedProgramsNeverCrashTheFrontEnd) {
+  const std::size_t programs = sweep(220, 16);
+  const std::size_t mutants_per_program = 4;
+  for (std::uint64_t seed = 0; seed < programs; ++seed) {
+    const std::string base = qt::random_qutes_program(seed);
+    for (std::size_t m = 0; m < mutants_per_program; ++m) {
+      const std::uint64_t mseed = seed * 131 + m;
+      const std::string source = qt::mutate_source(base, mseed);
+      expect_langerror_or_success(
+          [&] { (void)lang::compile_source(source, /*include_stdlib=*/false); },
+          mseed, source);
+    }
+  }
+}
+
+TEST(DslRobustness, MutatedProgramsNeverCrashTheInterpreter) {
+  // Running mutants end to end is slower than parse-only, so a smaller
+  // sweep; the interpreter's loop budget and call-depth cap keep every
+  // mutant terminating.
+  const std::size_t programs = sweep(80, 8);
+  for (std::uint64_t seed = 0; seed < programs; ++seed) {
+    const std::string source =
+        qt::mutate_source(qt::random_qutes_program(seed), seed ^ 0x9e3779b9ULL);
+    expect_langerror_or_success(
+        [&] { (void)lang::run_source(source, fast_run_options()); }, seed,
+        source);
+  }
+}
+
+TEST(DslRobustness, CrashCorpusReplaysCleanly) {
+  const std::filesystem::path dir = QUTES_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir))
+      << "missing corpus directory " << dir;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".qut") files.push_back(entry.path());
+  }
+  ASSERT_FALSE(files.empty()) << "corpus directory " << dir << " has no .qut files";
+
+  for (const std::filesystem::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+    SCOPED_TRACE(path.filename().string());
+    expect_langerror_or_success(
+        [&] { (void)lang::compile_source(source, /*include_stdlib=*/false); },
+        0, source);
+    expect_langerror_or_success(
+        [&] { (void)lang::run_source(source, fast_run_options()); }, 0, source);
+  }
+}

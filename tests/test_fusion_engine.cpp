@@ -15,69 +15,24 @@
 #include "qutes/common/error.hpp"
 #include "qutes/common/rng.hpp"
 #include "qutes/sim/statevector.hpp"
+#include "qutes/testing/generators.hpp"
 
 namespace {
 
 using namespace qutes;
 using namespace qutes::circ;
 
-/// Random mix of 1q/2q/3q gates over `n` qubits.
+/// Random unitary mix over `n` qubits from the shared generator (barriers
+/// and GlobalPhase off: these suites assert on raw plan structure, where an
+/// extra non-gate instruction would shift indices).
 QuantumCircuit random_circuit(std::size_t n, std::size_t gates, Rng& rng) {
-  QuantumCircuit c(n, n);
-  const auto qubit = [&] { return static_cast<std::size_t>(rng.below(n)); };
-  const auto other = [&](std::size_t q) {
-    std::size_t r = qubit();
-    while (r == q) r = qubit();
-    return r;
-  };
-  const auto angle = [&] { return rng.uniform() * 6.0 - 3.0; };
-  for (std::size_t g = 0; g < gates; ++g) {
-    switch (rng.below(n >= 3 ? 12 : 10)) {
-      case 0: c.h(qubit()); break;
-      case 1: c.x(qubit()); break;
-      case 2: c.t(qubit()); break;
-      case 3: c.sx(qubit()); break;
-      case 4: c.rx(angle(), qubit()); break;
-      case 5: c.u(angle(), angle(), angle(), qubit()); break;
-      case 6: {
-        const std::size_t a = qubit();
-        c.cx(a, other(a));
-        break;
-      }
-      case 7: {
-        const std::size_t a = qubit();
-        c.cp(angle(), a, other(a));
-        break;
-      }
-      case 8: {
-        const std::size_t a = qubit();
-        c.swap(a, other(a));
-        break;
-      }
-      case 9: {
-        const std::size_t a = qubit();
-        c.crz(angle(), a, other(a));
-        break;
-      }
-      case 10: {
-        const std::size_t a = qubit();
-        const std::size_t b = other(a);
-        std::size_t d = qubit();
-        while (d == a || d == b) d = qubit();
-        c.ccx(a, b, d);
-        break;
-      }
-      case 11: {
-        const std::size_t a = qubit();
-        const std::size_t b = other(a);
-        std::size_t d = qubit();
-        while (d == a || d == b) d = qubit();
-        c.cswap(a, b, d);
-        break;
-      }
-    }
-  }
-  return c;
+  qutes::testing::CircuitGenOptions options;
+  options.num_qubits = n;
+  options.gates = gates;
+  options.allow_barrier = false;
+  options.allow_global_phase = false;
+  return qutes::testing::random_circuit(rng.below(std::uint64_t{1} << 32),
+                                        options);
 }
 
 /// Gate-at-a-time reference evolution.

@@ -7,6 +7,9 @@
 //    instructions (dropped by QASM2, unobservable in fidelity);
 //  * preset equivalence: every PassManager preset (O0/O1/basis/hardware)
 //    preserves the statevector of random 2..8-qubit circuits.
+//
+// Circuits come from the shared qutes::testing generators; comparison uses
+// the differential comparator (global-phase and ancilla tolerant).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -16,88 +19,34 @@
 #include "qutes/circuit/pass_manager.hpp"
 #include "qutes/circuit/qasm.hpp"
 #include "qutes/common/rng.hpp"
+#include "qutes/testing/differential.hpp"
+#include "qutes/testing/generators.hpp"
 
 namespace {
 
 using namespace qutes;
 using namespace qutes::circ;
+namespace qt = qutes::testing;
 
-double circuit_fidelity(const QuantumCircuit& a, const QuantumCircuit& b) {
-  const std::size_t n = std::max(a.num_qubits(), b.num_qubits());
-  QuantumCircuit wa(n), wb(n);
-  std::vector<std::size_t> map_a(a.num_qubits()), map_b(b.num_qubits());
-  for (std::size_t i = 0; i < a.num_qubits(); ++i) map_a[i] = i;
-  for (std::size_t i = 0; i < b.num_qubits(); ++i) map_b[i] = i;
-  wa.compose(a, map_a);
-  wb.compose(b, map_b);
+void expect_equiv(const QuantumCircuit& before, const QuantumCircuit& after,
+                  const std::string& label) {
   Executor ex({.shots = 1, .seed = 3, .noise = {}});
-  return ex.run_single(wa).state.fidelity(ex.run_single(wb).state);
-}
-
-double angle(Rng& rng) { return (rng.uniform() - 0.5) * 4.0 * M_PI; }
-
-/// Pick `k` distinct qubits of an n-qubit register.
-std::vector<std::size_t> pick_qubits(Rng& rng, std::size_t n, std::size_t k) {
-  std::vector<std::size_t> all(n);
-  for (std::size_t i = 0; i < n; ++i) all[i] = i;
-  for (std::size_t i = 0; i < k; ++i)
-    std::swap(all[i], all[i + rng.below(n - i)]);
-  all.resize(k);
-  return all;
-}
-
-/// Append one random unitary gate. `allow_wide` enables the 3+-qubit and
-/// multi-controlled instructions (which QASM export lowers rather than
-/// emitting 1:1).
-void random_gate(QuantumCircuit& c, Rng& rng, bool allow_wide) {
-  const std::size_t n = c.num_qubits();
-  const std::uint64_t kinds = (allow_wide && n >= 3) ? 22 : 19;
-  const std::uint64_t kind = rng.below(kinds);
-  const auto q = pick_qubits(rng, n, std::min<std::size_t>(n, 3));
-  switch (kind) {
-    case 0: c.h(q[0]); break;
-    case 1: c.x(q[0]); break;
-    case 2: c.y(q[0]); break;
-    case 3: c.z(q[0]); break;
-    case 4: c.s(q[0]); break;
-    case 5: c.sdg(q[0]); break;
-    case 6: c.t(q[0]); break;
-    case 7: c.sx(q[0]); break;
-    case 8: c.rx(angle(rng), q[0]); break;
-    case 9: c.ry(angle(rng), q[0]); break;
-    case 10: c.rz(angle(rng), q[0]); break;
-    case 11: c.p(angle(rng), q[0]); break;
-    case 12: c.u(angle(rng), angle(rng), angle(rng), q[0]); break;
-    case 13: c.cx(q[0], q[1]); break;
-    case 14: c.cz(q[0], q[1]); break;
-    case 15: c.ch(q[0], q[1]); break;
-    case 16: c.cp(angle(rng), q[0], q[1]); break;
-    case 17: c.crz(angle(rng), q[0], q[1]); break;
-    case 18: c.swap(q[0], q[1]); break;
-    case 19: c.ccx(q[0], q[1], q[2]); break;
-    case 20: c.cswap(q[0], q[1], q[2]); break;
-    default: {
-      // Multi-controlled phase over a random control set.
-      const auto wide = pick_qubits(rng, n, 2 + rng.below(n - 1));
-      const std::size_t target = wide.back();
-      const std::vector<std::size_t> controls(wide.begin(), wide.end() - 1);
-      c.mcp(angle(rng), controls, target);
-      break;
-    }
-  }
+  const auto a = ex.run_single(before).state;
+  const auto b = ex.run_single(after).state;
+  // Lowered circuits may be wider (ancillas); the original never is.
+  const auto cmp =
+      qt::compare_states_up_to_global_phase(a.amplitudes(), b.amplitudes(), 1e-9);
+  EXPECT_TRUE(cmp.equivalent) << label << ": " << cmp.detail;
 }
 
 QuantumCircuit random_unitary_circuit(std::uint64_t seed, std::size_t n,
                                       std::size_t gates, bool allow_wide) {
-  Rng rng(seed);
-  QuantumCircuit c(n);
-  for (std::size_t g = 0; g < gates; ++g) {
-    random_gate(c, rng, allow_wide);
-    if (rng.below(8) == 0) {
-      c.append({GateType::GlobalPhase, {}, {angle(rng)}, {}, {}});
-    }
-  }
-  return c;
+  qt::CircuitGenOptions options;
+  options.num_qubits = n;
+  options.gates = gates;
+  options.allow_wide = allow_wide;
+  options.allow_barrier = false;  // keep these suites purely-unitary gates
+  return qt::random_circuit(seed, options);
 }
 
 TEST(RoundTripProperty, QasmPreservesRandomUnitaryCircuits) {
@@ -107,27 +56,29 @@ TEST(RoundTripProperty, QasmPreservesRandomUnitaryCircuits) {
         random_unitary_circuit(seed * 1337, n, 24, /*allow_wide=*/true);
     const QuantumCircuit reimported =
         qasm::import_circuit(qasm::export_circuit(original));
-    EXPECT_NEAR(circuit_fidelity(original, reimported), 1.0, 1e-9)
-        << "seed " << seed << ", " << n << " qubits";
+    expect_equiv(original, reimported,
+                 "seed " + std::to_string(seed) + ", " + std::to_string(n) +
+                     " qubits");
   }
 }
 
 TEST(RoundTripProperty, QasmPreservesConditionedCircuits) {
-  // Random dynamic circuits: unitary prefix, a mid-circuit measurement,
-  // gates conditioned on its outcome, final measurement. Export/import must
-  // keep the `if (c[k] == v)` guards; with matched seeds both executions
-  // draw the same trajectory, so the histograms agree exactly.
+  // Random dynamic circuits (mid-circuit measurement, c_if conditions from
+  // the shared generator's dynamic mode, final measurement). Export/import
+  // must keep the `if (c[k] == v)` guards; with matched seeds both
+  // executions draw the same trajectory, so the histograms agree exactly.
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-    const std::size_t n = 2 + seed % 4;  // 2..5 qubits
-    Rng rng(seed * 7919);
-    QuantumCircuit c(n, n);
-    for (std::size_t g = 0; g < 10; ++g) random_gate(c, rng, /*allow_wide=*/false);
-    c.measure(0, 0);
-    for (std::size_t g = 0; g < 6; ++g) {
-      random_gate(c, rng, /*allow_wide=*/false);
-      if (rng.below(2) == 0) c.c_if(0, static_cast<int>(rng.below(2)));
-    }
-    c.measure_all();
+    qt::CircuitGenOptions options;
+    options.num_qubits = 2 + seed % 4;  // 2..5 qubits
+    options.gates = 16;
+    options.allow_wide = false;
+    options.allow_barrier = false;
+    options.allow_global_phase = false;  // QASM2 drops GlobalPhase; counts
+                                         // are phase-blind, but keep this
+                                         // suite's export 1:1
+    options.allow_dynamic = true;
+    options.measure_all = true;
+    const QuantumCircuit c = qt::random_circuit(seed * 7919, options);
 
     const QuantumCircuit reimported =
         qasm::import_circuit(qasm::export_circuit(c));
@@ -151,9 +102,9 @@ TEST(RoundTripProperty, EveryPresetPreservesRandomCircuits) {
     for (const Preset preset :
          {Preset::O0, Preset::O1, Preset::Basis, Preset::Hardware}) {
       const QuantumCircuit lowered = make_pipeline(preset).run(base);
-      EXPECT_NEAR(circuit_fidelity(base, lowered), 1.0, 1e-9)
-          << "seed " << seed << ", " << n << " qubits, preset "
-          << preset_name(preset);
+      expect_equiv(base, lowered,
+                   "seed " + std::to_string(seed) + ", " + std::to_string(n) +
+                       " qubits, preset " + preset_name(preset));
     }
   }
 }
@@ -168,8 +119,7 @@ TEST(RoundTripProperty, PresetsComposeWithQasmExport) {
     const QuantumCircuit lowered = make_pipeline(preset).run(base);
     const QuantumCircuit reimported =
         qasm::import_circuit(qasm::export_circuit(lowered));
-    EXPECT_NEAR(circuit_fidelity(lowered, reimported), 1.0, 1e-9)
-        << preset_name(preset);
+    expect_equiv(lowered, reimported, preset_name(preset));
   }
 }
 
