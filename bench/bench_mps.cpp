@@ -1,0 +1,208 @@
+// E12 — MPS backend viability: wall time vs width and bond dimension on the
+// three canonical workloads (GHZ chain, QFT on |0...0>, shallow brickwork),
+// plus the dense-vs-MPS crossover at widths the statevector can still hold.
+// The headline table runs widths the dense backend refuses outright (the
+// capability guard names the 30-qubit wall and points at --backend mps);
+// each refusal is recorded in the JSON so BENCH_mps.json documents both
+// sides of the trade.
+//
+// Machine-readable lines are prefixed BENCH_JSON_MPS and collected into
+// BENCH_mps.json by scripts/run_experiments.sh. Set QUTES_MPS_QUICK=1
+// (scripts/check.sh --quick does) for a scaled-down smoke sweep.
+#include <benchmark/benchmark.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "qutes/algorithms/qft.hpp"
+#include "qutes/circuit/backend.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/sim/mps.hpp"
+#include "qutes/sim/statevector.hpp"
+#include "qutes/testing/generators.hpp"
+
+namespace {
+
+using namespace qutes;
+
+bool quick_mode() {
+  const char* flag = std::getenv("QUTES_MPS_QUICK");
+  return flag != nullptr && std::string(flag) != "0";
+}
+
+int bench_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+circ::QuantumCircuit ghz(std::size_t n) {
+  circ::QuantumCircuit c(n, n);
+  c.h(0);
+  for (std::size_t q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  c.measure_all();
+  return c;
+}
+
+circ::QuantumCircuit qft(std::size_t n) {
+  circ::QuantumCircuit c = algo::make_qft(n);
+  c.measure_all();  // adds the missing clbits itself
+  return c;
+}
+
+circ::QuantumCircuit brickwork(std::size_t n) {
+  // Shallow (depth 4): entanglement stays bounded, the regime where MPS wins.
+  circ::QuantumCircuit c = testing::brickwork_circuit(n, 4, 0x9e37 + n);
+  c.measure_all();
+  return c;
+}
+
+struct Workload {
+  const char* name;
+  circ::QuantumCircuit (*build)(std::size_t);
+};
+
+constexpr Workload kWorkloads[] = {
+    {"ghz", &ghz}, {"qft", &qft}, {"brickwork", &brickwork}};
+
+double run_ms(const circ::QuantumCircuit& c, const circ::ExecutionOptions& options,
+              circ::ExecutionResult& result) {
+  const auto t0 = std::chrono::steady_clock::now();
+  result = circ::Executor(options).run(c);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// "refused: <guard message>" when the dense backend rejects this width,
+/// "ok" when it would run. Proves the escape hatch fires instead of an OOM.
+std::string dense_verdict(const circ::QuantumCircuit& c) {
+  if (c.num_qubits() <= sim::StateVector::kMaxQubits) return "ok";
+  try {
+    circ::ExecutionOptions options;
+    options.shots = 1;
+    (void)circ::Executor(options).run(c);
+    return "unexpectedly accepted";
+  } catch (const CircuitError& e) {
+    return std::string("refused: ") + e.what();
+  }
+}
+
+void print_mps_sweep_json() {
+  std::printf("=== E12: MPS backend — wall time vs width and bond cap ===\n");
+  const std::vector<std::size_t> widths =
+      quick_mode() ? std::vector<std::size_t>{16, 32}
+                   : std::vector<std::size_t>{16, 32, 48, 64};
+  const std::vector<std::size_t> bond_dims =
+      quick_mode() ? std::vector<std::size_t>{16}
+                   : std::vector<std::size_t>{8, 16, 32, 64};
+  for (const Workload& w : kWorkloads) {
+    for (const std::size_t n : widths) {
+      const circ::QuantumCircuit c = w.build(n);
+      const std::string dense = dense_verdict(c);
+      for (const std::size_t bond : bond_dims) {
+        circ::ExecutionOptions options;
+        options.backend = "mps";
+        options.shots = 256;
+        options.max_bond_dim = bond;
+        circ::ExecutionResult result;
+        const double ms = run_ms(c, options, result);
+        std::printf(
+            "BENCH_JSON_MPS {\"bench\":\"mps\",\"workload\":\"%s\","
+            "\"qubits\":%zu,\"gates\":%zu,\"max_bond_dim\":%zu,"
+            "\"bond_reached\":%zu,\"truncation_error\":%.3e,\"shots\":%zu,"
+            "\"threads\":%d,\"wall_ms\":%.3f,\"statevector\":\"%s\"}\n",
+            w.name, n, c.gate_count(), bond, result.max_bond_dim_reached,
+            result.truncation_error, options.shots, bench_threads(), ms,
+            dense.c_str());
+      }
+    }
+  }
+  std::printf("shape check: ghz/qft wall_ms grows ~linearly in qubits (bond "
+              "stays O(1)); brickwork truncation_error drops as the bond cap "
+              "rises; every n>30 row shows the dense guard refusing\n\n");
+}
+
+void print_crossover_json() {
+  std::printf("=== E12: dense vs MPS crossover (widths both can hold) ===\n");
+  const std::vector<std::size_t> widths =
+      quick_mode() ? std::vector<std::size_t>{12}
+                   : std::vector<std::size_t>{12, 16, 20, 24};
+  for (const std::size_t n : widths) {
+    const circ::QuantumCircuit c = brickwork(n);
+    circ::ExecutionOptions options;
+    options.shots = 64;
+    circ::ExecutionResult result;
+    const double dense_ms = run_ms(c, options, result);
+    options.backend = "mps";
+    options.max_bond_dim = 64;
+    const double mps_ms = run_ms(c, options, result);
+    std::printf(
+        "BENCH_JSON_MPS {\"bench\":\"mps\",\"workload\":\"crossover\","
+        "\"qubits\":%zu,\"gates\":%zu,\"max_bond_dim\":64,"
+        "\"bond_reached\":%zu,\"truncation_error\":%.3e,\"shots\":%zu,"
+        "\"threads\":%d,\"statevector_ms\":%.3f,\"mps_ms\":%.3f,"
+        "\"mps_over_dense\":%.3f}\n",
+        n, c.gate_count(), result.max_bond_dim_reached,
+        result.truncation_error, options.shots, bench_threads(), dense_ms,
+        mps_ms, mps_ms / dense_ms);
+  }
+  std::printf("shape check: dense cost doubles per qubit while shallow-"
+              "brickwork MPS cost grows polynomially, so mps_over_dense "
+              "falls toward (then below) 1 as n rises\n\n");
+}
+
+void BM_MpsGhzEvolveAndSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const circ::QuantumCircuit c = ghz(n);
+  circ::ExecutionOptions options;
+  options.backend = "mps";
+  options.shots = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circ::Executor(options).run(c).counts);
+  }
+}
+BENCHMARK(BM_MpsGhzEvolveAndSample)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MpsBrickworkEvolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const circ::QuantumCircuit c = testing::brickwork_circuit(n, 4, 0xb0b0);
+  sim::MpsOptions options;
+  options.max_bond_dim = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circ::evolve_mps(c, options).max_bond_dim_reached());
+  }
+}
+BENCHMARK(BM_MpsBrickworkEvolve)->Arg(16)->Arg(32)->Arg(48);
+
+void BM_MpsNonAdjacentCx(benchmark::State& state) {
+  // Worst-case layout: every CX spans the whole chain, so each application
+  // pays a full swap chain there and back.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  circ::QuantumCircuit c(n, 0);
+  for (std::size_t q = 0; q < n; ++q) c.h(q);
+  for (int r = 0; r < 4; ++r) c.cx(0, n - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circ::evolve_mps(c).max_bond_dim_reached());
+  }
+}
+BENCHMARK(BM_MpsNonAdjacentCx)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_mps_sweep_json();
+  print_crossover_json();
+  benchmark::Initialize(&argc, argv);
+  if (!quick_mode()) benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -43,6 +43,13 @@ cmake "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# MPS backend smoke sweep: exercises the contraction/SVD kernels and the
+# dense-vs-MPS crossover path in this build's instrumentation (most valuable
+# under --asan/--ubsan, where the test binaries alone don't drive the bench
+# workloads). Quick mode scales the widths/bond caps down.
+QUTES_MPS_QUICK="$QUICK" "$BUILD_DIR"/bench/bench_mps --benchmark_filter='^$' >/dev/null
+echo "check.sh: MPS backend smoke sweep completed."
+
 echo
 if [[ -n "$SANITIZE" ]]; then
   echo "check.sh: clean -fsanitize=$SANITIZE build and full test suite passed."

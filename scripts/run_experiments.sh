@@ -51,6 +51,17 @@ grep -o '"qubits":[0-9]*\|"speedup":[0-9.]*' BENCH_fusion.json | paste - - || tr
 echo "Pipeline preset results recorded in BENCH_transpile.json:"
 grep -o '"workload":"[a-z0-9]*","qubits":[0-9]*,"preset":"[a-z01A-Z]*"' BENCH_transpile.json || true
 
+# Collect the BENCH_JSON_MPS lines (one object per workload x width x bond
+# cap, plus the dense-vs-MPS crossover rows, emitted by bench_mps) into a
+# single JSON array.
+{
+  echo '['
+  { grep -h '^BENCH_JSON_MPS ' bench_output.txt || true; } | sed 's/^BENCH_JSON_MPS //' | paste -sd, -
+  echo ']'
+} > BENCH_mps.json
+echo "MPS backend results recorded in BENCH_mps.json:"
+grep -o '"workload":"[a-z]*","qubits":[0-9]*' BENCH_mps.json | sort -u | paste - - - - || true
+
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   : > sanitizer_output.txt
   for mode in asan ubsan; do
@@ -65,7 +76,7 @@ if [[ "$RUN_SANITIZERS" == 1 ]]; then
 fi
 
 echo
-echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, and BENCH_transpile.json."
+echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, and BENCH_mps.json."
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   echo "Sanitizer verdicts:"
   grep '^SANITIZER ' sanitizer_output.txt

@@ -1,11 +1,8 @@
 #include "qutes/circuit/executor.hpp"
 
-#include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <exception>
 
-#include "qutes/circuit/fusion.hpp"
+#include "qutes/circuit/backend.hpp"
 #include "qutes/common/bitops.hpp"
 #include "qutes/common/error.hpp"
 
@@ -14,16 +11,11 @@ namespace qutes::circ {
 namespace {
 
 using sim::gates::H;
-using sim::gates::I;
 using sim::gates::P;
 using sim::gates::RX;
 using sim::gates::RY;
 using sim::gates::RZ;
-using sim::gates::S;
-using sim::gates::Sdg;
 using sim::gates::SX;
-using sim::gates::T;
-using sim::gates::Tdg;
 using sim::gates::U;
 using sim::gates::X;
 using sim::gates::Y;
@@ -34,22 +26,6 @@ void apply_controlled(sim::StateVector& sv, const Instruction& in,
   const auto controls =
       std::span<const std::size_t>(in.qubits.data(), in.qubits.size() - 1);
   sv.apply_multi_controlled_1q(u, controls, in.target());
-}
-
-/// True if the noise model attaches a channel after this gate; such gates
-/// are noise insertion points and must stay unfused so the channel still
-/// fires per gate.
-bool gate_acquires_noise(const Instruction& in, const sim::NoiseModel& noise) {
-  if (!is_unitary_gate(in.type) || in.type == GateType::GlobalPhase) return false;
-  if (noise.amplitude_damping > 0.0) return true;
-  if (in.qubits.size() == 1) return noise.depolarizing_1q > 0.0;
-  return noise.depolarizing_2q > 0.0;
-}
-
-void record_fusion_stats(ExecutionResult& result, const FusionPlan& plan) {
-  result.fused_gates = plan.fused_gates;
-  result.fused_blocks = plan.fused_blocks();
-  result.fused_width_histogram = plan.width_histogram;
 }
 
 }  // namespace
@@ -159,7 +135,13 @@ bool Executor::is_static(const QuantumCircuit& circuit) {
 
 ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
   if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
+  if (options_.max_bond_dim == 0) {
+    throw CircuitError("ExecutionOptions::max_bond_dim must be >= 1 (an MPS "
+                       "bond cannot be empty)");
+  }
+  const std::unique_ptr<Backend> backend = make_backend(options_.backend);
   ExecutionResult result;
+  result.backend = backend->name();
 
   // Stage 1: the caller's compilation pipeline (lowering, optimization,
   // routing, ...) runs over the circuit first; we execute its output.
@@ -173,160 +155,36 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
   }
   const QuantumCircuit& circ = *target;
 
-  // Stage 2: runtime gate-fusion planning via the FuseGates pass. Options
-  // depend on the execution path (the noisy path pins noise insertion
-  // points), so the executor always plans fusion itself rather than trusting
-  // a plan from the caller's pipeline.
-  FusionOptions fusion_options;
-  fusion_options.max_fused_qubits = options_.max_fused_qubits;
-
-  const bool fast = !options_.noise.enabled() && is_static(circ);
-  if (!fast) {
-    // Gates that acquire noise are fusion barriers, so blocks form only
-    // between noise insertion points.
-    fusion_options.keep_raw = [this](const Instruction& in) {
-      return gate_acquires_noise(in, options_.noise);
-    };
+  // Stage 2: capability checks, on the prepared circuit (the pipeline may
+  // have added ancilla wires). The backend publishes what it can run; the
+  // executor enforces it here so every method fails the same way.
+  const BackendCapabilities caps = backend->capabilities();
+  if (caps.max_qubits != 0 && circ.num_qubits() > caps.max_qubits) {
+    std::string message = "circuit has " + std::to_string(circ.num_qubits()) +
+                          " qubits but the " + backend->name() +
+                          " backend supports at most " +
+                          std::to_string(caps.max_qubits);
+    if (options_.backend != "mps") {
+      message += "; the mps backend scales with entanglement instead of qubit "
+                 "count — try --backend mps";
+    }
+    throw CircuitError(message);
   }
-  PassManager fuser;
-  fuser.emplace<FuseGates>(fusion_options);
-  PropertySet fusion_properties;
-  (void)fuser.run(circ, fusion_properties);
-  const FusionPlan& plan = *fusion_properties.fusion_plan;
-  record_fusion_stats(result, plan);
-
-  const auto& instrs = circ.instructions();
-  if (fast) {
-    // Evolve once, skipping measurements (a static circuit never reuses a
-    // measured qubit, so a measure only records the clbit -> qubit wiring),
-    // then sample the measured qubits from the final distribution.
-    Rng rng(options_.seed);
-    sim::StateVector sv(circ.num_qubits());
-    std::uint64_t scratch = 0;
-    std::vector<std::optional<std::size_t>> wire(circ.num_clbits());
-    for (const FusedOp& op : plan.ops) {
-      if (op.fused) {
-        sv.apply_kq(op.matrix, op.qubits);
-        continue;
-      }
-      const Instruction& in = instrs[op.instruction];
-      if (in.type == GateType::Measure) {
-        for (std::size_t i = 0; i < in.qubits.size(); ++i) {
-          wire[in.clbits[i]] = in.qubits[i];
-        }
-        continue;
-      }
-      apply_instruction(sv, in, scratch, rng);
-    }
-
-    // Sample shots: build the CDF once and binary-search per shot instead
-    // of an O(dim) linear scan.
-    const auto amps = sv.amplitudes();
-    std::vector<double> cdf(amps.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < amps.size(); ++i) {
-      acc += std::norm(amps[i]);
-      cdf[i] = acc;
-    }
-    for (std::size_t s = 0; s < options_.shots; ++s) {
-      const double r = rng.uniform() * acc;
-      const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
-      std::uint64_t basis = static_cast<std::uint64_t>(it - cdf.begin());
-      if (basis >= sv.dim()) basis = sv.dim() - 1;
-      std::string key(circ.num_clbits(), '0');
-      for (std::size_t c = 0; c < circ.num_clbits(); ++c) {
-        const bool bit = wire[c] && test_bit(basis, *wire[c]);
-        key[circ.num_clbits() - 1 - c] = bit ? '1' : '0';
-      }
-      ++result.counts[key];
-      if (options_.record_memory) result.memory.push_back(key);
-    }
-    result.trajectories = 1;
-    result.fast_path = true;
-    return result;
+  if (!caps.supports_noise && options_.noise.enabled()) {
+    throw CircuitError("the " + backend->name() +
+                       " backend does not support noise models; use the "
+                       "statevector (trajectory) or density (exact channel) "
+                       "backend");
+  }
+  if (!caps.supports_dynamic && !is_static(circ)) {
+    throw CircuitError("the " + backend->name() +
+                       " backend only runs static circuits (no reset, no "
+                       "conditions, no mid-circuit measurement feeding gates)");
   }
 
-  // Dynamic/noisy path: one trajectory per shot.
-
-  const auto shots = static_cast<std::int64_t>(options_.shots);
-  if (options_.record_memory) result.memory.assign(options_.shots, {});
-
-  // Each shot owns a counter-derived RNG stream, so the loop can run on any
-  // number of threads and still produce bit-identical counts: per-shot
-  // outcomes depend only on (seed, shot), memory slots are indexed by shot,
-  // and merging per-thread histograms is an order-independent sum.
-  const auto run_shot = [&](std::size_t s) {
-    Rng rng(options_.seed, s);
-    sim::StateVector sv(circ.num_qubits());
-    std::uint64_t clbits = 0;
-    for (const FusedOp& op : plan.ops) {
-      if (op.fused) {
-        sv.apply_kq(op.matrix, op.qubits);
-        continue;
-      }
-      const Instruction& in = instrs[op.instruction];
-      if (in.condition &&
-          static_cast<int>(test_bit(clbits, in.condition->clbit)) !=
-              in.condition->value) {
-        continue;
-      }
-      if (in.type == GateType::Measure && options_.noise.readout_error > 0.0) {
-        for (std::size_t i = 0; i < in.qubits.size(); ++i) {
-          int bit = sv.measure(in.qubits[i], rng);
-          bit = sim::apply_readout_error(bit, options_.noise.readout_error, rng);
-          clbits = bit ? set_bit(clbits, in.clbits[i]) : clear_bit(clbits, in.clbits[i]);
-        }
-      } else {
-        apply_instruction(sv, in, clbits, rng);
-      }
-      if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
-        if (in.qubits.size() == 1 && options_.noise.depolarizing_1q > 0.0) {
-          sim::apply_depolarizing(sv, in.qubits[0], options_.noise.depolarizing_1q, rng);
-        } else if (in.qubits.size() >= 2 && options_.noise.depolarizing_2q > 0.0) {
-          for (std::size_t q : in.qubits) {
-            sim::apply_depolarizing(sv, q, options_.noise.depolarizing_2q, rng);
-          }
-        }
-        if (options_.noise.amplitude_damping > 0.0) {
-          for (std::size_t q : in.qubits) {
-            sim::apply_amplitude_damping(sv, q, options_.noise.amplitude_damping, rng);
-          }
-        }
-      }
-    }
-    return to_bitstring(clbits, circ.num_clbits());
-  };
-
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-#pragma omp parallel if (options_.parallel_shots && shots > 1)
-  {
-    sim::Counts local;
-#pragma omp for schedule(static)
-    for (std::int64_t s = 0; s < shots; ++s) {
-      if (failed.load(std::memory_order_relaxed)) continue;
-      try {
-        const std::string key = run_shot(static_cast<std::size_t>(s));
-        ++local[key];
-        if (options_.record_memory) {
-          result.memory[static_cast<std::size_t>(s)] = key;
-        }
-      } catch (...) {
-        // OpenMP loops cannot propagate exceptions; capture the first one
-        // and rethrow after the region.
-        if (!failed.exchange(true)) {
-#pragma omp critical(qutes_executor_error)
-          error = std::current_exception();
-        }
-      }
-    }
-#pragma omp critical(qutes_executor_merge)
-    for (const auto& [key, n] : local) result.counts[key] += n;
-  }
-  if (error) std::rethrow_exception(error);
-
-  result.trajectories = options_.shots;
-  result.fast_path = false;
+  // Stage 3: the backend evolves the state and samples. Fusion planning
+  // happens inside, clamped to the backend's capability caps.
+  backend->execute(circ, options_, result);
   return result;
 }
 

@@ -36,6 +36,12 @@ bool intersects(const std::vector<std::size_t>& a, const std::vector<std::size_t
   return false;
 }
 
+/// True if the (distinct) wires form a contiguous run.
+bool wires_contiguous(const std::vector<std::size_t>& qubits) {
+  const auto [lo, hi] = std::minmax_element(qubits.begin(), qubits.end());
+  return *hi - *lo + 1 == qubits.size();
+}
+
 }  // namespace
 
 sim::MatrixN instruction_matrix(const Instruction& in) {
@@ -167,7 +173,8 @@ FusionPlan build_fusion_plan(std::span<const Instruction> instructions,
       }
     }
 
-    if (!touching.empty() && merged_qubits.size() <= max_width) {
+    if (!touching.empty() && merged_qubits.size() <= max_width &&
+        (!options.require_adjacent_wires || wires_contiguous(merged_qubits))) {
       OpenBlock combined;
       combined.qubits = std::move(merged_qubits);
       combined.matrix = sim::MatrixN::identity(combined.qubits.size());
@@ -194,6 +201,12 @@ FusionPlan build_fusion_plan(std::span<const Instruction> instructions,
     }
 
     if (!touching.empty()) flush_intersecting(in.qubits);
+    if (options.require_adjacent_wires && !wires_contiguous(in.qubits)) {
+      // A scattered-wire gate can never seed an adjacent-only block; replay
+      // it raw (ordered after any block it touches, which just flushed).
+      emit_raw(i);
+      continue;
+    }
     OpenBlock fresh;
     fresh.qubits = in.qubits;
     fresh.matrix = instruction_matrix(in);

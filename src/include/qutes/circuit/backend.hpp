@@ -1,0 +1,92 @@
+// Pluggable simulation backends behind the Executor.
+//
+// The Executor owns circuit-level concerns (the compilation pipeline, option
+// validation) and delegates the actual state evolution + sampling to a
+// Backend resolved by name from a registry — the same split Qiskit Aer makes
+// between `AerSimulator` and its `method=` strings, which is where the paper
+// sends every circuit. Three methods ship built in:
+//
+//   "statevector"  dense 2^n amplitudes; exact, fast path + per-shot
+//                  trajectories, trajectory (Monte-Carlo) noise; ~30 qubits.
+//   "density"      exact mixed states, 4^n entries; closed-form noise
+//                  channels instead of trajectory averaging; ~13 qubits.
+//   "mps"          matrix-product state; memory scales with entanglement,
+//                  not qubit count, so low-entanglement circuits run at
+//                  40-64+ qubits (cf. Aer's `matrix_product_state`).
+//
+// Each backend publishes BackendCapabilities, which the executor-side fusion
+// planning respects instead of hard-coding per-backend rules: the MPS, for
+// example, consumes at most 2-qubit fused blocks on adjacent sites, so its
+// capability entry caps the fusion width at 2 and demands contiguous wires.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qutes/circuit/executor.hpp"
+#include "qutes/sim/mps.hpp"
+
+namespace qutes::circ {
+
+struct BackendCapabilities {
+  /// Widest fused block the backend can replay (1 = no dense-block replay).
+  std::size_t max_fused_qubits = sim::MatrixN::kMaxQubits;
+  /// Fused blocks must cover a contiguous wire run (chain-layout backends).
+  bool fused_adjacent_only = false;
+  /// Supports mid-circuit measurement / reset / classical conditions.
+  bool supports_dynamic = true;
+  /// Supports a NoiseModel (however it realizes it).
+  bool supports_noise = true;
+  /// Hard qubit-count ceiling (0 = no backend-specific ceiling).
+  std::size_t max_qubits = 0;
+  /// Performs best when 2q gates touch neighboring wires — pair with the
+  /// `hardware` pipeline preset (linear-topology routing) to feed it that
+  /// layout.
+  bool prefers_linear_layout = false;
+};
+
+/// One simulation method. Stateless across runs: `execute` gets the prepared
+/// (post-pipeline) circuit and fills in counts/memory/diagnostics.
+class Backend {
+public:
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual BackendCapabilities capabilities() const = 0;
+
+  /// Run `circuit` under `options`, writing counts, memory, trajectories,
+  /// fusion diagnostics, and backend-specific fields into `result` (whose
+  /// pipeline-level fields the Executor has already filled).
+  virtual void execute(const QuantumCircuit& circuit, const ExecutionOptions& options,
+                       ExecutionResult& result) const = 0;
+};
+
+// ---- registry ---------------------------------------------------------------
+
+using BackendFactory = std::unique_ptr<Backend> (*)();
+
+/// Register (or replace) a backend under `name`. The built-in three are
+/// pre-registered; tests may add experimental methods.
+void register_backend(const std::string& name, BackendFactory factory);
+
+/// Registered names, sorted (for error messages and --help).
+[[nodiscard]] std::vector<std::string> backend_names();
+
+[[nodiscard]] bool backend_known(const std::string& name);
+
+/// Instantiate by name. Throws CircuitError naming the known backends when
+/// `name` is not registered.
+[[nodiscard]] std::unique_ptr<Backend> make_backend(const std::string& name);
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Evolve `circuit` (unitaries + barriers + global phase only — throws
+/// CircuitError on measure/reset/conditions) on a fresh MPS. Gates wider
+/// than two qubits are lowered to the {u, cx} basis first. Exposed for the
+/// differential harness, which diffs the returned state against the dense
+/// reference.
+[[nodiscard]] sim::Mps evolve_mps(const QuantumCircuit& circuit,
+                                  sim::MpsOptions options = {});
+
+}  // namespace qutes::circ

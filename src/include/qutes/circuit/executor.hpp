@@ -1,6 +1,12 @@
-// Executor: runs a QuantumCircuit on the dense state-vector simulator.
+// Executor: runs a QuantumCircuit on a simulation backend.
 //
-// Replaces the Qiskit Aer backend in the paper's stack. Two paths:
+// Replaces the Qiskit Aer backend in the paper's stack. The executor owns
+// the circuit-level stages — the caller's compilation pipeline (see
+// pass_manager.hpp), option validation, and capability checks — then
+// delegates state evolution and sampling to a Backend resolved by name from
+// the registry in backend.hpp ("statevector", "density", or "mps").
+//
+// The default statevector backend keeps the original two-path engine:
 //  * static circuits (no mid-circuit measurement feeding gates, no reset,
 //    no conditions, no noise) evolve the state once and sample `shots`
 //    outcomes from the final distribution;
@@ -9,15 +15,13 @@
 //    trajectory loop is OpenMP-parallel; every shot draws from its own
 //    counter-derived RNG stream (Rng(seed, shot)), so counts are
 //    bit-identical for a fixed seed regardless of thread count.
-// Both paths consume a pre-run compilation pipeline (see pass_manager.hpp):
-// when `options.pipeline` is set, the executor runs that PassManager over
-// the circuit first and executes its output, reporting the per-pass
-// instrumentation in the result. Runtime gate fusion is the FuseGates pass —
-// the executor composes a one-pass manager internally (fusion options depend
-// on the noise model, so a caller-supplied plan is never reused): adjacent
-// unitaries are pre-multiplied into dense blocks of up to `max_fused_qubits`
-// wires, cutting the number of full-state sweeps. On the noisy path, gates
-// that acquire noise stay unfused so channels still attach per gate.
+// Runtime gate fusion is the FuseGates pass — each backend composes a
+// one-pass manager internally, clamping the block width (and, for
+// chain-layout backends, wire contiguity) to its published capabilities:
+// adjacent unitaries are pre-multiplied into dense blocks of up to
+// `max_fused_qubits` wires, cutting the number of full-state sweeps. On the
+// noisy path, gates that acquire noise stay unfused so channels still attach
+// per gate.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +44,7 @@ struct ExecutionOptions {
   bool record_memory = false;
   /// Widest runtime-fused block; 1 disables gate fusion (gate-at-a-time
   /// execution, exactly the pre-fusion behavior). Clamped to
-  /// sim::MatrixN::kMaxQubits.
+  /// sim::MatrixN::kMaxQubits and to the backend's own capability cap.
   std::size_t max_fused_qubits = 4;
   /// Run the per-shot trajectory loop across OpenMP threads. Results are
   /// independent of the thread count either way.
@@ -49,6 +53,17 @@ struct ExecutionOptions {
   /// (e.g. make_pipeline(Preset::Basis)). Not owned; must outlive the run.
   /// Per-pass instrumentation lands in ExecutionResult::pass_stats.
   const PassManager* pipeline = nullptr;
+  /// Simulation backend, looked up in the backend registry (backend.hpp):
+  /// "statevector" (dense, exact, ~30-qubit wall), "density" (exact mixed
+  /// states, ~13 qubits), or "mps" (tensor network; scales with entanglement,
+  /// not qubit count). Unknown names throw CircuitError listing the registry.
+  std::string backend = "statevector";
+  /// MPS bond-dimension cap (must be >= 1; only the mps backend reads it).
+  /// Exact simulation needs up to 2^(n/2), so a finite cap trades fidelity
+  /// for tractability; ExecutionResult::truncation_error reports the loss.
+  std::size_t max_bond_dim = 64;
+  /// MPS relative SVD truncation threshold (see sim::MpsOptions).
+  double truncation_threshold = 1e-12;
 };
 
 /// Alias matching the Aer-style "executor options" naming used in docs.
@@ -73,6 +88,12 @@ struct ExecutionResult {
   /// was supplied). The executor's internal FuseGates planning is reported
   /// through the fused_* fields above, not here.
   std::vector<PassStats> pass_stats;
+  /// Name of the backend that produced this result.
+  std::string backend;
+  /// MPS diagnostics (0 for the dense backends): cumulative truncated
+  /// probability weight and the largest bond dimension the run reached.
+  double truncation_error = 0.0;
+  std::size_t max_bond_dim_reached = 0;
 };
 
 class Executor {

@@ -36,6 +36,12 @@ struct FusionOptions {
   /// they are fusable unitaries. The executor uses it to keep noisy gates as
   /// noise insertion points.
   std::function<bool(const Instruction&)> keep_raw;
+  /// Only form blocks whose wire set is a contiguous run (max - min + 1 ==
+  /// count). Backends whose state layout is a chain (MPS) set this via their
+  /// capability query: a contiguous <=2q block lands on neighboring sites, so
+  /// replaying it needs no internal routing. Gates on scattered wires still
+  /// execute — they just stay raw.
+  bool require_adjacent_wires = false;
 };
 
 /// One step of a fusion plan: either a fused dense block over `qubits`, or a

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
 
 #include "qutes/circuit/circuit.hpp"
+#include "qutes/circuit/executor.hpp"
 #include "qutes/circuit/pass_manager.hpp"
 #include "qutes/lang/ast.hpp"
 #include "qutes/lang/diagnostics.hpp"
@@ -30,6 +32,24 @@ struct RunOptions {
   /// the call. Output lands in RunResult::lowered_circuit, instrumentation
   /// in RunResult::properties.
   const circ::PassManager* pipeline = nullptr;
+  /// When > 0, re-run the logged (pipeline-lowered) circuit as a shots
+  /// experiment on `backend` after the live run: every trajectory re-rolls
+  /// every mid-circuit measurement, so the histogram shows the program's
+  /// full outcome distribution, not just the live run's draw. The histogram
+  /// lands in RunResult::replay. Ignored when the program logged no qubits
+  /// (purely classical programs have nothing quantum to re-run).
+  std::size_t replay_shots = 0;
+  /// Simulation backend for the replay ("statevector", "density", or "mps"
+  /// — see circ::backend_names()). The live interpreter always executes on
+  /// the dense statevector (automatic measurement needs amplitudes); the
+  /// backend choice applies to the replay, which is where wide
+  /// low-entanglement circuits need the MPS escape hatch. Unknown names
+  /// throw LangError before anything runs.
+  std::string backend = "statevector";
+  /// MPS bond-dimension cap for the replay (circ::ExecutionOptions).
+  std::size_t max_bond_dim = 64;
+  /// MPS relative SVD truncation threshold for the replay.
+  double truncation_threshold = 1e-12;
 };
 
 struct RunResult {
@@ -41,6 +61,9 @@ struct RunResult {
   /// Pass instrumentation and analysis state (final layout, per-pass stats)
   /// from the pipeline run; empty without a pipeline.
   circ::PropertySet properties;
+  /// Replay histogram when RunOptions::replay_shots > 0 (run on
+  /// RunOptions::backend with seed+1, so the live run's draws stay intact).
+  std::optional<circ::ExecutionResult> replay;
   std::size_t num_qubits = 0;
   std::size_t circuit_depth = 0;
   std::size_t gate_count = 0;

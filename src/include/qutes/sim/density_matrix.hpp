@@ -27,7 +27,12 @@ namespace qutes::sim {
 
 class DensityMatrix {
 public:
-  /// |0...0><0...0| on `num_qubits` qubits (1..13; the matrix is 4^n entries).
+  /// Hard qubit ceiling: rho has 4^n entries, so 13 qubits is already 1 GiB.
+  static constexpr std::size_t kMaxQubits = 13;
+
+  /// |0...0><0...0| on `num_qubits` qubits (1..kMaxQubits). Throws
+  /// SimulationError naming the limit when the register is too wide or the
+  /// allocation itself fails.
   explicit DensityMatrix(std::size_t num_qubits);
 
   /// rho = |psi><psi|.

@@ -29,7 +29,14 @@ using Counts = std::map<std::string, std::uint64_t>;
 
 class StateVector {
 public:
-  /// Construct |0...0> on `num_qubits` qubits. At least one qubit.
+  /// Hard qubit ceiling: 2^30 amplitudes is 16 GiB of complex<double>, the
+  /// practical wall for a dense representation. Larger registers must use a
+  /// representation that does not store 2^n amplitudes (the mps backend).
+  static constexpr std::size_t kMaxQubits = 30;
+
+  /// Construct |0...0> on `num_qubits` qubits (1..kMaxQubits). Throws
+  /// SimulationError naming the limit — and pointing at `--backend mps` —
+  /// when the register is too wide or the allocation itself fails.
   explicit StateVector(std::size_t num_qubits);
 
   /// Construct from explicit amplitudes; the length must be a power of two

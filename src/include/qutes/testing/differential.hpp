@@ -2,8 +2,9 @@
 //
 // Runs one input circuit through every production execution path —
 // gate-at-a-time statevector, density matrix, the runtime fused executor,
-// all four PassManager presets, and the QASM round trip — and diffs each
-// against the reference backend (reference_backend.hpp), up to global phase.
+// all four PassManager presets, the QASM round trip, and the MPS simulator
+// (truncation disabled) — and diffs each against the reference backend
+// (reference_backend.hpp), up to global phase.
 // On a divergence the harness delta-debugs the circuit down to a minimal
 // failing instruction subset and reports it with the seed and a QASM dump,
 // so a CI failure line is directly reproducible:
@@ -81,11 +82,12 @@ enum class Backend {
   PresetBasis,     ///< make_pipeline(Preset::Basis) then statevector
   PresetHardware,  ///< make_pipeline(Preset::Hardware) then statevector
   QasmRoundTrip,   ///< export -> import -> statevector
+  Mps,             ///< circ::evolve_mps (truncation disabled) -> to_statevector
 };
 
 [[nodiscard]] const char* backend_name(Backend backend) noexcept;
 
-/// All eight backends, in declaration order.
+/// All nine backends, in declaration order.
 [[nodiscard]] std::span<const Backend> all_backends() noexcept;
 
 /// Final statevector of a unitary-only circuit through one backend. The
@@ -109,7 +111,7 @@ struct BackendCheck {
 // ---- the harness -----------------------------------------------------------
 
 struct DiffOptions {
-  /// Backends to diff; empty = all eight.
+  /// Backends to diff; empty = all nine.
   std::vector<Backend> backends;
   /// Tolerance on 1 - fidelity for state comparisons.
   double tol = 1e-7;

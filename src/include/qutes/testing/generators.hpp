@@ -54,6 +54,13 @@ struct CircuitGenOptions {
                                                      std::size_t depth,
                                                      std::uint64_t seed);
 
+/// Random circuit whose two-qubit gates act only on adjacent pairs (q, q+1):
+/// the native workload of a chain-layout (MPS) backend, since it never
+/// triggers swap routing. Mixes the full 1q set with CX/CY/CZ/CH/CP/CRZ/SWAP
+/// on nearest neighbors.
+[[nodiscard]] circ::QuantumCircuit random_nearest_neighbor_circuit(
+    std::uint64_t seed, std::size_t num_qubits, std::size_t gates);
+
 struct ProgramGenOptions {
   /// Top-level statements to generate.
   std::size_t statements = 12;

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "qutes/circuit/backend.hpp"
 #include "qutes/lang/interpreter.hpp"
 #include "qutes/lang/lexer.hpp"
 #include "qutes/lang/parser.hpp"
@@ -27,6 +28,19 @@ CompileResult compile_source(const std::string& source, bool include_stdlib) {
 }
 
 RunResult run_source(const std::string& source, RunOptions options) {
+  if (!circ::backend_known(options.backend)) {
+    std::string known;
+    for (const std::string& name : circ::backend_names()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw LangError("unknown backend \"" + options.backend +
+                        "\" (known backends: " + known + ")",
+                    SourceLocation{});
+  }
+  if (options.max_bond_dim == 0) {
+    throw LangError("--max-bond-dim must be >= 1", SourceLocation{});
+  }
   CompileResult compiled = compile_source(source, options.include_stdlib);
 
   Interpreter interpreter(
@@ -43,6 +57,17 @@ RunResult run_source(const std::string& source, RunOptions options) {
     result.lowered_circuit = options.pipeline->run(result.circuit, result.properties);
   } else {
     result.lowered_circuit = result.circuit;
+  }
+  // A purely classical program logs no qubits; there is nothing quantum to
+  // re-run, and the Executor (rightly) refuses empty circuits.
+  if (options.replay_shots > 0 && result.lowered_circuit.num_qubits() > 0) {
+    circ::ExecutionOptions exec_options;
+    exec_options.shots = options.replay_shots;
+    exec_options.seed = options.seed + 1;  // independent of the live run's draws
+    exec_options.backend = options.backend;
+    exec_options.max_bond_dim = options.max_bond_dim;
+    exec_options.truncation_threshold = options.truncation_threshold;
+    result.replay = circ::Executor(exec_options).run(result.lowered_circuit);
   }
   return result;
 }

@@ -1,6 +1,8 @@
 #include "qutes/sim/density_matrix.hpp"
 
 #include <cmath>
+#include <new>
+#include <string>
 
 #include "qutes/common/bitops.hpp"
 #include "qutes/common/error.hpp"
@@ -28,10 +30,19 @@ void check_kraus_complete(std::span<const Matrix2> kraus) {
 DensityMatrix::DensityMatrix(std::size_t num_qubits)
     : num_qubits_(num_qubits), dim_(dim_of(num_qubits)) {
   if (num_qubits == 0) throw InvalidArgument("DensityMatrix needs >= 1 qubit");
-  if (num_qubits > 13) {
-    throw SimulationError("density matrix over 13 qubits (4^n entries)");
+  if (num_qubits > kMaxQubits) {
+    throw SimulationError(
+        "density matrix over " + std::to_string(num_qubits) + " qubits needs 4^" +
+        std::to_string(num_qubits) + " entries (limit " +
+        std::to_string(kMaxQubits) + "); for noiseless circuits the mps "
+        "backend scales with entanglement instead — try --backend mps");
   }
-  rho_.assign(dim_ * dim_, cplx{});
+  try {
+    rho_.assign(dim_ * dim_, cplx{});
+  } catch (const std::bad_alloc&) {
+    throw SimulationError("allocating 4^" + std::to_string(num_qubits) +
+                          " density-matrix entries failed (out of memory)");
+  }
   rho_[0] = cplx{1.0, 0.0};
 }
 

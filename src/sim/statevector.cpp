@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <new>
 #include <numeric>
 
 #include "qutes/common/bitops.hpp"
@@ -23,11 +24,20 @@ constexpr double kProbEpsilon = 1e-15;
 
 StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
   if (num_qubits == 0) throw InvalidArgument("StateVector needs at least 1 qubit");
-  if (num_qubits > 30) {
-    throw SimulationError("refusing to allocate a state over " +
-                          std::to_string(num_qubits) + " qubits (> 30)");
+  if (num_qubits > kMaxQubits) {
+    throw SimulationError(
+        "statevector over " + std::to_string(num_qubits) + " qubits needs 2^" +
+        std::to_string(num_qubits) + " dense amplitudes (limit " +
+        std::to_string(kMaxQubits) + "); the mps backend scales with "
+        "entanglement instead — try --backend mps");
   }
-  amps_.assign(dim_of(num_qubits), cplx{});
+  try {
+    amps_.assign(dim_of(num_qubits), cplx{});
+  } catch (const std::bad_alloc&) {
+    throw SimulationError("allocating 2^" + std::to_string(num_qubits) +
+                          " dense amplitudes failed (out of memory); "
+                          "try --backend mps");
+  }
   amps_[0] = cplx{1.0, 0.0};
 }
 
@@ -60,8 +70,9 @@ void StateVector::set_basis_state(std::uint64_t index) {
 
 void StateVector::add_qubits(std::size_t count) {
   if (count == 0) return;
-  if (num_qubits_ + count > 30) {
-    throw SimulationError("register growth past 30 qubits");
+  if (num_qubits_ + count > kMaxQubits) {
+    throw SimulationError("register growth past " + std::to_string(kMaxQubits) +
+                          " qubits; try --backend mps");
   }
   // New qubits sit at the high end in |0>, so the existing amplitudes keep
   // their indices and the tail is zero.

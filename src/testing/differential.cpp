@@ -5,6 +5,7 @@
 #include <complex>
 #include <sstream>
 
+#include "qutes/circuit/backend.hpp"
 #include "qutes/circuit/executor.hpp"
 #include "qutes/circuit/fusion.hpp"
 #include "qutes/circuit/pass_manager.hpp"
@@ -23,7 +24,7 @@ using circ::QuantumCircuit;
 constexpr Backend kAllBackends[] = {
     Backend::Statevector,  Backend::DensityMatrix, Backend::FusedExecutor,
     Backend::PresetO0,     Backend::PresetO1,      Backend::PresetBasis,
-    Backend::PresetHardware, Backend::QasmRoundTrip,
+    Backend::PresetHardware, Backend::QasmRoundTrip, Backend::Mps,
 };
 
 circ::Executor single_shot_executor() {
@@ -241,6 +242,7 @@ const char* backend_name(Backend backend) noexcept {
     case Backend::PresetBasis: return "preset-basis";
     case Backend::PresetHardware: return "preset-hardware";
     case Backend::QasmRoundTrip: return "qasm-roundtrip";
+    case Backend::Mps: return "mps";
   }
   return "unknown";
 }
@@ -262,6 +264,10 @@ std::vector<cplx> backend_statevector(const QuantumCircuit& circuit,
     case Backend::QasmRoundTrip:
       return state_of(
           circ::qasm::import_circuit(circ::qasm::export_circuit(circuit)));
+    case Backend::Mps:
+      // Exact regime: default MpsOptions disable truncation (unlimited bond,
+      // zero threshold), so any divergence is a semantics bug, not loss.
+      return circ::evolve_mps(circuit).to_statevector();
     case Backend::DensityMatrix:
       throw CircuitError(
           "backend_statevector: the density-matrix backend has no statevector; "
@@ -486,6 +492,44 @@ DiffReport diff_dynamic_backends(const QuantumCircuit& circuit, std::uint64_t se
       fail("qasm-roundtrip-counts", 1.0,
            "round-tripped counts differ at identical seed: " +
                first_diff(fused, reimported));
+    }
+
+    // MPS trajectories sample the same program distribution, but consume
+    // their RNG streams differently from the dense path, so the comparison
+    // is distribution-level (TVD), not bit-identical. Truncation is disabled
+    // so any excess TVD is a semantics bug, not compression loss. Per-shot
+    // MPS trajectories cost far more than dense ones at these widths, so the
+    // check samples a deterministic quarter of the seed space instead of
+    // running 2 x shots trajectories for every circuit in a sweep.
+    if (!exec.noise.enabled() && seed % 4 == 0) {
+      ++report.comparisons;
+      circ::ExecutionOptions mps_options = exec;
+      mps_options.backend = "mps";
+      mps_options.max_bond_dim = 4096;
+      mps_options.truncation_threshold = 0.0;
+      const sim::Counts mps_counts = circ::Executor(mps_options).run(circuit).counts;
+      const double mps_tvd =
+          total_variation_distance(reference, counts_to_distribution(mps_counts));
+      if (mps_tvd > options.tvd_tol) {
+        std::ostringstream os;
+        os << "mps sampled counts diverge from the exact reference "
+              "distribution: TVD=" << mps_tvd << " over " << options.shots
+           << " shots";
+        fail("mps-vs-reference", mps_tvd, os.str());
+      }
+
+      // Counter-derived per-shot RNG streams must make the histogram
+      // bit-identical whether the shot loop runs serial or OpenMP-parallel.
+      ++report.comparisons;
+      circ::ExecutionOptions serial_options = mps_options;
+      serial_options.parallel_shots = false;
+      const sim::Counts mps_serial =
+          circ::Executor(serial_options).run(circuit).counts;
+      if (mps_serial != mps_counts) {
+        fail("mps-parallel-vs-serial", 1.0,
+             "mps counts depend on the shot-loop threading: " +
+                 first_diff(mps_counts, mps_serial));
+      }
     }
   } catch (const std::exception& e) {
     fail("dynamic-differential", 1.0, std::string("exception: ") + e.what());

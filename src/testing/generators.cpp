@@ -153,6 +153,44 @@ QuantumCircuit brickwork_circuit(std::size_t num_qubits, std::size_t depth,
   return c;
 }
 
+QuantumCircuit random_nearest_neighbor_circuit(std::uint64_t seed,
+                                               std::size_t num_qubits,
+                                               std::size_t gates) {
+  Rng rng(seed);
+  QuantumCircuit c(num_qubits, num_qubits);
+  for (std::size_t g = 0; g < gates; ++g) {
+    const bool two_qubit = num_qubits >= 2 && rng.below(5) < 2;
+    if (!two_qubit) {
+      const std::size_t q = rng.below(num_qubits);
+      switch (rng.below(9)) {
+        case 0: c.h(q); break;
+        case 1: c.x(q); break;
+        case 2: c.s(q); break;
+        case 3: c.t(q); break;
+        case 4: c.sx(q); break;
+        case 5: c.rx(angle(rng), q); break;
+        case 6: c.rz(angle(rng), q); break;
+        case 7: c.p(angle(rng), q); break;
+        default: c.u(angle(rng), angle(rng), angle(rng), q); break;
+      }
+      continue;
+    }
+    const std::size_t q = rng.below(num_qubits - 1);
+    const std::size_t lo = rng.below(2) ? q : q + 1;  // random control direction
+    const std::size_t hi = lo == q ? q + 1 : q;
+    switch (rng.below(7)) {
+      case 0: c.cx(lo, hi); break;
+      case 1: c.cy(lo, hi); break;
+      case 2: c.cz(lo, hi); break;
+      case 3: c.ch(lo, hi); break;
+      case 4: c.cp(angle(rng), lo, hi); break;
+      case 5: c.crz(angle(rng), lo, hi); break;
+      default: c.swap(q, q + 1); break;
+    }
+  }
+  return c;
+}
+
 // ---- Qutes program generator -------------------------------------------------
 
 namespace {

@@ -1,0 +1,353 @@
+// Backend interface + registry tests: name resolution, capability
+// enforcement by the Executor, backend-specific noise semantics, MPS
+// thread-invariant sampling, and capability-clamped fusion planning.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "qutes/circuit/backend.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/lang/compiler.hpp"
+#include "qutes/testing/differential.hpp"
+#include "qutes/testing/generators.hpp"
+
+namespace circ = qutes::circ;
+namespace sim = qutes::sim;
+namespace qt = qutes::testing;
+using qutes::CircuitError;
+using qutes::LangError;
+
+namespace {
+
+circ::QuantumCircuit ghz(std::size_t n) {
+  circ::QuantumCircuit c(n, n);
+  c.h(0);
+  for (std::size_t q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  c.measure_all();
+  return c;
+}
+
+std::uint64_t total_shots(const sim::Counts& counts) {
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : counts) total += n;
+  return total;
+}
+
+}  // namespace
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(BackendRegistry, BuiltInsAreRegistered) {
+  const std::vector<std::string> names = circ::backend_names();
+  for (const char* name : {"density", "mps", "statevector"}) {
+    EXPECT_TRUE(circ::backend_known(name)) << name;
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end()) << name;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_FALSE(circ::backend_known("tensorflow"));
+}
+
+TEST(BackendRegistry, UnknownNameThrowsListingKnownBackends) {
+  try {
+    (void)circ::make_backend("qpu");
+    FAIL() << "make_backend accepted an unknown name";
+  } catch (const CircuitError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown backend \"qpu\""), std::string::npos) << what;
+    EXPECT_NE(what.find("statevector"), std::string::npos) << what;
+    EXPECT_NE(what.find("mps"), std::string::npos) << what;
+  }
+}
+
+TEST(BackendRegistry, ExecutorRejectsUnknownBackendName) {
+  circ::ExecutionOptions options;
+  options.backend = "qpu";
+  EXPECT_THROW((void)circ::Executor(options).run(ghz(2)), CircuitError);
+}
+
+TEST(BackendRegistry, RejectsEmptyNameAndNullFactory) {
+  EXPECT_THROW(circ::register_backend("", +[]() -> std::unique_ptr<circ::Backend> {
+                 return nullptr;
+               }),
+               CircuitError);
+  EXPECT_THROW(circ::register_backend("null-factory", nullptr), CircuitError);
+}
+
+namespace {
+
+/// Minimal experimental method: proves third-party backends plug in through
+/// the same registry + Executor path as the built-ins.
+class FixedCountsBackend final : public circ::Backend {
+public:
+  [[nodiscard]] std::string name() const override { return "fixed-counts"; }
+  [[nodiscard]] circ::BackendCapabilities capabilities() const override {
+    return {};
+  }
+  void execute(const circ::QuantumCircuit&, const circ::ExecutionOptions& options,
+               circ::ExecutionResult& result) const override {
+    result.counts["fixed"] = options.shots;
+    result.trajectories = 1;
+  }
+};
+
+}  // namespace
+
+TEST(BackendRegistry, CustomBackendRunsThroughTheExecutor) {
+  circ::register_backend("fixed-counts", +[]() -> std::unique_ptr<circ::Backend> {
+    return std::make_unique<FixedCountsBackend>();
+  });
+  EXPECT_TRUE(circ::backend_known("fixed-counts"));
+  circ::ExecutionOptions options;
+  options.backend = "fixed-counts";
+  options.shots = 77;
+  const circ::ExecutionResult result = circ::Executor(options).run(ghz(2));
+  EXPECT_EQ(result.backend, "fixed-counts");
+  EXPECT_EQ(result.counts.at("fixed"), 77u);
+}
+
+// ---- executor-side validation and capability checks -------------------------
+
+TEST(BackendCapabilities, ZeroBondDimensionIsRejectedUpFront) {
+  circ::ExecutionOptions options;
+  options.backend = "mps";
+  options.max_bond_dim = 0;
+  try {
+    (void)circ::Executor(options).run(ghz(2));
+    FAIL() << "max_bond_dim=0 accepted";
+  } catch (const CircuitError& e) {
+    EXPECT_NE(std::string(e.what()).find("max_bond_dim"), std::string::npos);
+  }
+}
+
+TEST(BackendCapabilities, StatevectorQubitCeilingSuggestsMps) {
+  circ::QuantumCircuit wide(sim::StateVector::kMaxQubits + 2, 1);
+  wide.h(0);
+  try {
+    (void)circ::Executor(circ::ExecutionOptions{}).run(wide);
+    FAIL() << "statevector accepted a circuit past its qubit ceiling";
+  } catch (const CircuitError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(sim::StateVector::kMaxQubits)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("--backend mps"), std::string::npos) << what;
+  }
+}
+
+TEST(BackendCapabilities, MpsRunsPastTheDenseCeiling) {
+  // The same width that makes the dense backend refuse is routine for the
+  // MPS: a GHZ chain keeps every bond at dimension 2.
+  circ::ExecutionOptions options;
+  options.backend = "mps";
+  options.shots = 256;
+  const circ::ExecutionResult result =
+      circ::Executor(options).run(ghz(sim::StateVector::kMaxQubits + 4));
+  EXPECT_EQ(total_shots(result.counts), 256u);
+  EXPECT_EQ(result.counts.size(), 2u);  // all-zeros and all-ones only
+  EXPECT_EQ(result.max_bond_dim_reached, 2u);
+  EXPECT_EQ(result.truncation_error, 0.0);
+}
+
+TEST(BackendCapabilities, MpsRefusesNoiseModels) {
+  circ::ExecutionOptions options;
+  options.backend = "mps";
+  options.noise.depolarizing_1q = 0.01;
+  try {
+    (void)circ::Executor(options).run(ghz(3));
+    FAIL() << "mps accepted a noise model";
+  } catch (const CircuitError& e) {
+    EXPECT_NE(std::string(e.what()).find("does not support noise"),
+              std::string::npos);
+  }
+}
+
+TEST(BackendCapabilities, DensityRefusesDynamicCircuits) {
+  circ::QuantumCircuit c(2, 2);
+  c.h(0).measure(0, 0);
+  c.x(1).c_if(0, 1);
+  c.measure_all();
+  circ::ExecutionOptions options;
+  options.backend = "density";
+  try {
+    (void)circ::Executor(options).run(c);
+    FAIL() << "density accepted a dynamic circuit";
+  } catch (const CircuitError& e) {
+    EXPECT_NE(std::string(e.what()).find("only runs static circuits"),
+              std::string::npos);
+  }
+}
+
+// ---- backend semantics ------------------------------------------------------
+
+TEST(BackendSemantics, DensityMatchesTrajectoryAverageUnderNoise) {
+  // The density backend realizes the NoiseModel as exact closed-form
+  // channels; the statevector backend averages Monte-Carlo trajectories.
+  // Same model, same circuit: the sampled distributions must agree.
+  circ::QuantumCircuit c(2, 2);
+  c.h(0).cx(0, 1).x(1);
+  c.measure_all();
+
+  circ::ExecutionOptions options;
+  options.shots = 20000;
+  options.noise.depolarizing_1q = 0.05;
+  options.noise.depolarizing_2q = 0.08;
+  options.backend = "density";
+  const sim::Counts exact = circ::Executor(options).run(c).counts;
+  options.backend = "statevector";
+  const sim::Counts sampled = circ::Executor(options).run(c).counts;
+
+  const double tvd = qt::total_variation_distance(
+      qt::counts_to_distribution(exact), qt::counts_to_distribution(sampled));
+  EXPECT_LT(tvd, 0.03) << "exact-channel vs trajectory TVD=" << tvd;
+}
+
+TEST(BackendSemantics, DensityAppliesReadoutError) {
+  // |0> measured through a 10% readout flip: P(1) must track the flip rate,
+  // which only shows up if the density sampling path honors the model.
+  circ::QuantumCircuit c(1, 1);
+  c.measure(0, 0);
+  circ::ExecutionOptions options;
+  options.backend = "density";
+  options.shots = 20000;
+  options.noise.readout_error = 0.1;
+  const sim::Counts counts = circ::Executor(options).run(c).counts;
+  const double p1 = static_cast<double>(counts.at("1")) / 20000.0;
+  EXPECT_NEAR(p1, 0.1, 0.02);
+}
+
+TEST(BackendSemantics, MpsStaticCountsAreThreadInvariant) {
+  // Counter-derived Rng(seed, shot) streams: the histogram may not depend on
+  // whether the shot loop ran serial or across OpenMP threads.
+  circ::ExecutionOptions options;
+  options.backend = "mps";
+  options.shots = 4096;
+  options.parallel_shots = true;
+  const circ::QuantumCircuit c = ghz(16);
+  const sim::Counts parallel = circ::Executor(options).run(c).counts;
+  options.parallel_shots = false;
+  const sim::Counts serial = circ::Executor(options).run(c).counts;
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(BackendSemantics, MpsDynamicCountsAreThreadInvariant) {
+  circ::QuantumCircuit c(3, 3);
+  c.h(0).measure(0, 0);
+  c.x(1).c_if(0, 1);
+  c.h(2).measure(2, 2);
+  c.reset(2);
+  c.measure_all();
+  circ::ExecutionOptions options;
+  options.backend = "mps";
+  options.shots = 2048;
+  options.parallel_shots = true;
+  const circ::ExecutionResult parallel = circ::Executor(options).run(c);
+  options.parallel_shots = false;
+  const circ::ExecutionResult serial = circ::Executor(options).run(c);
+  EXPECT_EQ(parallel.counts, serial.counts);
+  EXPECT_FALSE(parallel.fast_path);
+  EXPECT_EQ(parallel.trajectories, 2048u);
+}
+
+TEST(BackendSemantics, MpsReportsTruncationDiagnostics) {
+  // Brickwork entangles the full register; a bond cap of 2 cannot hold it,
+  // so the run must report the discarded weight instead of hiding it.
+  const circ::QuantumCircuit c = qt::brickwork_circuit(10, 6, 0xbead);
+  circ::ExecutionOptions options;
+  options.backend = "mps";
+  options.shots = 64;
+  options.max_bond_dim = 2;
+  const circ::ExecutionResult truncated = circ::Executor(options).run(c);
+  EXPECT_GT(truncated.truncation_error, 0.0);
+  EXPECT_EQ(truncated.max_bond_dim_reached, 2u);
+
+  options.max_bond_dim = 4096;
+  options.truncation_threshold = 0.0;
+  const circ::ExecutionResult exact = circ::Executor(options).run(c);
+  EXPECT_EQ(exact.truncation_error, 0.0);
+  EXPECT_GT(exact.max_bond_dim_reached, 2u);
+}
+
+// ---- capability-driven fusion planning --------------------------------------
+
+TEST(BackendFusion, MpsClampsFusedBlocksToTwoAdjacentQubits) {
+  // Same circuit, same fusion request: the statevector may build blocks up
+  // to 4 wires wide; the MPS capability entry clamps planning to 2-qubit
+  // blocks on contiguous wires — no executor-side special case involved.
+  const circ::QuantumCircuit c = qt::brickwork_circuit(8, 4, 0xfade);
+  circ::ExecutionOptions options;
+  options.shots = 16;
+  options.max_fused_qubits = 4;
+
+  options.backend = "statevector";
+  const circ::ExecutionResult dense = circ::Executor(options).run(c);
+  EXPECT_GT(dense.fused_blocks, 0u);
+  std::size_t dense_widest = 0;
+  for (const auto& [width, blocks] : dense.fused_width_histogram) {
+    dense_widest = std::max(dense_widest, width);
+  }
+  EXPECT_GT(dense_widest, 2u);
+
+  options.backend = "mps";
+  const circ::ExecutionResult mps = circ::Executor(options).run(c);
+  EXPECT_GT(mps.fused_blocks, 0u);
+  for (const auto& [width, blocks] : mps.fused_width_histogram) {
+    EXPECT_LE(width, 2u) << blocks << " fused blocks of width " << width;
+  }
+}
+
+TEST(BackendFusion, DensityRunsGateAtATime) {
+  const circ::QuantumCircuit c = qt::brickwork_circuit(4, 3, 0xd0d0);
+  circ::ExecutionOptions options;
+  options.backend = "density";
+  options.shots = 16;
+  options.max_fused_qubits = 4;
+  const circ::ExecutionResult result = circ::Executor(options).run(c);
+  EXPECT_EQ(result.fused_blocks, 0u);
+  EXPECT_EQ(result.fused_gates, 0u);
+}
+
+// ---- language facade plumbing -----------------------------------------------
+
+TEST(LangBackend, UnknownBackendNameThrowsLangErrorBeforeRunning) {
+  qutes::lang::RunOptions options;
+  options.backend = "qpu";
+  try {
+    (void)qutes::lang::run_source("print 1;", options);
+    FAIL() << "run_source accepted an unknown backend";
+  } catch (const LangError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown backend \"qpu\""), std::string::npos) << what;
+    EXPECT_NE(what.find("mps"), std::string::npos) << what;
+  }
+}
+
+TEST(LangBackend, ZeroBondDimensionThrowsLangError) {
+  qutes::lang::RunOptions options;
+  options.max_bond_dim = 0;
+  EXPECT_THROW((void)qutes::lang::run_source("print 1;", options), LangError);
+}
+
+TEST(LangBackend, ReplayRunsOnTheRequestedBackend) {
+  qutes::lang::RunOptions options;
+  options.replay_shots = 64;
+  options.backend = "mps";
+  const qutes::lang::RunResult result =
+      qutes::lang::run_source("qubit q = |+>; print q;", options);
+  ASSERT_TRUE(result.replay.has_value());
+  EXPECT_EQ(result.replay->backend, "mps");
+  EXPECT_EQ(total_shots(result.replay->counts), 64u);
+}
+
+TEST(LangBackend, ReplayIsSkippedForPurelyClassicalPrograms) {
+  qutes::lang::RunOptions options;
+  options.replay_shots = 16;
+  const qutes::lang::RunResult result =
+      qutes::lang::run_source("print 1 + 2;", options);
+  EXPECT_FALSE(result.replay.has_value());
+}

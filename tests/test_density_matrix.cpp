@@ -25,7 +25,20 @@ TEST(Density, InitialStateIsPureZero) {
 
 TEST(Density, SizeLimits) {
   EXPECT_THROW(DensityMatrix(0), InvalidArgument);
-  EXPECT_THROW(DensityMatrix(14), SimulationError);
+  EXPECT_THROW(DensityMatrix(DensityMatrix::kMaxQubits + 1), SimulationError);
+}
+
+TEST(Density, TooWideRegisterErrorNamesLimitAndMpsEscapeHatch) {
+  try {
+    DensityMatrix rho(20);
+    FAIL() << "expected SimulationError";
+  } catch (const SimulationError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(std::to_string(DensityMatrix::kMaxQubits)),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("--backend mps"), std::string::npos) << message;
+  }
 }
 
 TEST(Density, UnitaryEvolutionMatchesStateVector) {

@@ -200,6 +200,59 @@ TEST(Differential, DynamicCircuitsMatchReferenceDistribution) {
   EXPECT_EQ(report.circuits, seeds);
 }
 
+// ---- MPS-vs-dense sweeps (truncation disabled) ------------------------------
+
+TEST(Differential, MpsMatchesReferenceOnNearestNeighborCircuits) {
+  // Pinned-seed sweep of the MPS backend's native workload: two-qubit gates
+  // only on adjacent pairs, so no swap routing fires and every divergence is
+  // a contraction/SVD bug. Truncation is disabled (evolve_mps defaults), so
+  // the match must be exact up to global phase and float error.
+  const std::size_t seeds = sweep(120, 12);
+  qt::DiffOptions options;
+  options.backends = {Backend::Mps};
+  qt::DiffReport report;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const circ::QuantumCircuit c = qt::random_nearest_neighbor_circuit(
+        0xa11ce000ULL + seed, 2 + seed % 7, 20 + seed % 20);
+    report.merge(qt::diff_backends(c, seed, options));
+  }
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.circuits, seeds);
+  EXPECT_EQ(report.comparisons, seeds);
+}
+
+TEST(Differential, MpsMatchesReferenceOnBrickworkCircuits) {
+  // Brickwork layers entangle the whole register, so by the last layer the
+  // bond dimension saturates at 2^(n/2): the hard exact-regime case.
+  const std::size_t seeds = sweep(100, 8);
+  qt::DiffOptions options;
+  options.backends = {Backend::Mps};
+  qt::DiffReport report;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const circ::QuantumCircuit c =
+        qt::brickwork_circuit(2 + seed % 6, 2 + seed % 4, 0xb41c0000ULL + seed);
+    report.merge(qt::diff_backends(c, seed, options));
+  }
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.circuits, seeds);
+}
+
+TEST(Differential, MpsHandlesNonAdjacentAndWideGates) {
+  // Long-range 2q gates go through swap chains; CCX/MCX go through the
+  // DecomposeToBasis lowering (possibly with ancillas the comparator must
+  // see restored to |0>). The full random generator exercises both.
+  const std::size_t seeds = sweep(60, 6);
+  qt::DiffOptions options;
+  options.backends = {Backend::Mps};
+  qt::DiffReport report;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const circ::QuantumCircuit c =
+        qt::random_circuit(0x3a3a0000ULL + seed, unitary_options(seed));
+    report.merge(qt::diff_backends(c, seed, options));
+  }
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
 // ---- pinned regressions (fusion x c_if) ------------------------------------
 
 TEST(Differential, FusionWithConditionsPinnedSeeds) {
@@ -283,5 +336,6 @@ TEST(Harness, BackendNamesAreStable) {
   EXPECT_STREQ(qt::backend_name(Backend::PresetBasis), "preset-basis");
   EXPECT_STREQ(qt::backend_name(Backend::PresetHardware), "preset-hardware");
   EXPECT_STREQ(qt::backend_name(Backend::QasmRoundTrip), "qasm-roundtrip");
-  EXPECT_EQ(qt::all_backends().size(), 8u);
+  EXPECT_STREQ(qt::backend_name(Backend::Mps), "mps");
+  EXPECT_EQ(qt::all_backends().size(), 9u);
 }

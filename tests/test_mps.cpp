@@ -1,0 +1,326 @@
+// Unit + property tests for the matrix-product-state simulator: gate
+// application against the dense statevector, swap-chain routing, truncation
+// accounting, measurement/collapse, the shared-sampler shot walk, and the
+// MPS <-> statevector conversions.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <map>
+#include <vector>
+
+#include "qutes/common/bitops.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/common/rng.hpp"
+#include "qutes/sim/mps.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace {
+
+using namespace qutes;
+using namespace qutes::sim;
+using gates::H;
+using gates::RX;
+using gates::RY;
+using gates::RZ;
+using gates::U;
+using gates::X;
+
+constexpr double kTol = 1e-10;
+
+void expect_states_equal(const Mps& mps, const StateVector& sv, double tol = kTol) {
+  ASSERT_EQ(mps.num_qubits(), sv.num_qubits());
+  const auto amps = mps.to_statevector();
+  ASSERT_EQ(amps.size(), sv.dim());
+  for (std::uint64_t i = 0; i < sv.dim(); ++i) {
+    EXPECT_NEAR(std::abs(amps[i] - sv.amplitude(i)), 0.0, tol)
+        << "amplitude mismatch at basis " << i;
+  }
+}
+
+/// Mirror a random gate stream onto both simulators.
+void random_gates(Mps& mps, StateVector& sv, std::size_t gate_count, Rng& rng) {
+  const std::size_t n = mps.num_qubits();
+  for (std::size_t g = 0; g < gate_count; ++g) {
+    const auto kind = rng.below(3);
+    if (kind == 0 || n == 1) {
+      const std::size_t q = rng.below(n);
+      const Matrix2 u = U(rng.uniform() * 6.28, rng.uniform() * 6.28,
+                          rng.uniform() * 6.28);
+      mps.apply_1q(u, q);
+      sv.apply_1q(u, q);
+    } else if (kind == 1) {
+      std::size_t a = rng.below(n), b = rng.below(n);
+      while (b == a) b = rng.below(n);
+      const Matrix2 u = U(rng.uniform() * 6.28, rng.uniform() * 6.28,
+                          rng.uniform() * 6.28);
+      mps.apply_controlled_1q(u, a, b);
+      sv.apply_controlled_1q(u, a, b);
+    } else {
+      std::size_t a = rng.below(n), b = rng.below(n);
+      while (b == a) b = rng.below(n);
+      mps.apply_swap(a, b);
+      sv.apply_swap(a, b);
+    }
+  }
+}
+
+TEST(Mps, InitialState) {
+  Mps mps(3);
+  EXPECT_EQ(mps.num_qubits(), 3u);
+  EXPECT_NEAR(std::abs(mps.amplitude(0) - cplx{1.0}), 0.0, kTol);
+  for (std::uint64_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(mps.amplitude(i)), 0.0, kTol);
+  }
+  EXPECT_NEAR(mps.norm(), 1.0, kTol);
+  EXPECT_EQ(mps.max_bond_dim(), 1u);
+  EXPECT_EQ(mps.truncation_error(), 0.0);
+}
+
+TEST(Mps, RejectsBadConstruction) {
+  EXPECT_THROW(Mps(0), InvalidArgument);
+  EXPECT_THROW(Mps(2, {.max_bond_dim = 0, .truncation_threshold = -0.1}),
+               InvalidArgument);
+  EXPECT_THROW(Mps(2, {.max_bond_dim = 0, .truncation_threshold = 1.5}),
+               InvalidArgument);
+}
+
+TEST(Mps, SingleQubitGatesMatchStatevector) {
+  Mps mps(4);
+  StateVector sv(4);
+  const std::array<Matrix2, 4> us = {H(), RX(0.7), RY(-1.3), RZ(2.1)};
+  for (std::size_t q = 0; q < 4; ++q) {
+    mps.apply_1q(us[q], q);
+    sv.apply_1q(us[q], q);
+  }
+  expect_states_equal(mps, sv);
+  EXPECT_EQ(mps.max_bond_dim(), 1u);  // product state stays bond-1
+}
+
+TEST(Mps, BellStateViaControlledGate) {
+  Mps mps(2);
+  mps.apply_1q(H(), 0);
+  mps.apply_controlled_1q(X(), 0, 1);
+  const double amp = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(mps.amplitude(0) - cplx{amp}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(mps.amplitude(3) - cplx{amp}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(mps.amplitude(1)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(mps.amplitude(2)), 0.0, kTol);
+  EXPECT_EQ(mps.bond_dim(0), 2u);
+}
+
+TEST(Mps, DistantControlledGateUsesSwapChain) {
+  Mps mps(5);
+  StateVector sv(5);
+  mps.apply_1q(H(), 0);
+  sv.apply_1q(H(), 0);
+  mps.apply_controlled_1q(X(), 0, 4);
+  sv.apply_controlled_1q(X(), 0, 4);
+  expect_states_equal(mps, sv);
+  // The chain in between must be back to bond 1 after the swaps return.
+  Mps fresh(5);
+  fresh.apply_1q(H(), 0);
+  fresh.apply_controlled_1q(X(), 0, 4);
+  EXPECT_EQ(fresh.bond_dim(1), 2u);
+}
+
+TEST(Mps, ReversedOperandOrderMatchesStatevector) {
+  // q0/q1 roles swapped relative to chain order: control above target.
+  Mps mps(3);
+  StateVector sv(3);
+  mps.apply_1q(H(), 2);
+  sv.apply_1q(H(), 2);
+  mps.apply_controlled_1q(X(), 2, 0);
+  sv.apply_controlled_1q(X(), 2, 0);
+  expect_states_equal(mps, sv);
+}
+
+TEST(Mps, Apply2qMatrixMatchesStatevector) {
+  Rng rng(0xabcdef);
+  Matrix4 u{};
+  // A non-symmetric two-qubit unitary: CX sandwiched in random 1q rotations,
+  // assembled on the statevector side and read back as a matrix would be
+  // overkill — instead use a simple non-trivial unitary: CZ * (RX ⊗ RY).
+  // Hand-building guarantees we exercise apply_2q directly.
+  const Matrix2 a = RX(0.9), b = RY(-0.4);
+  for (std::size_t r1 = 0; r1 < 2; ++r1)
+    for (std::size_t r0 = 0; r0 < 2; ++r0)
+      for (std::size_t c1 = 0; c1 < 2; ++c1)
+        for (std::size_t c0 = 0; c0 < 2; ++c0) {
+          cplx val = a(r0, c0) * b(r1, c1);
+          if (r1 == 1 && r0 == 1) val *= -1.0;  // CZ phase on |11>
+          u.m[(r1 * 2 + r0) * 4 + (c1 * 2 + c0)] = val;
+        }
+  for (const auto& [q0, q1] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 1}, {1, 0}, {0, 3}, {3, 0}, {2, 1}}) {
+    Mps mps(4);
+    StateVector sv(4);
+    Rng gate_rng(0x11 + q0 * 7 + q1);
+    random_gates(mps, sv, 6, gate_rng);
+    mps.apply_2q(u, q0, q1);
+    sv.apply_2q(u, q0, q1);
+    expect_states_equal(mps, sv);
+  }
+}
+
+TEST(Mps, RandomCircuitsMatchStatevectorExactly) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const std::size_t n = 2 + static_cast<std::size_t>(seed % 5);
+    Mps mps(n);
+    StateVector sv(n);
+    Rng rng(0x5eed00 + seed);
+    random_gates(mps, sv, 24, rng);
+    expect_states_equal(mps, sv, 1e-9);
+    EXPECT_NEAR(mps.norm(), 1.0, 1e-9);
+    EXPECT_EQ(mps.truncation_error(), 0.0);
+  }
+}
+
+TEST(Mps, GhzAtFortyQubitsStaysBondTwo) {
+  const std::size_t n = 40;
+  Mps mps(n);
+  mps.apply_1q(H(), 0);
+  for (std::size_t q = 0; q + 1 < n; ++q) mps.apply_controlled_1q(X(), q, q + 1);
+  EXPECT_EQ(mps.max_bond_dim(), 2u);
+  const double amp = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(mps.amplitude(0) - cplx{amp}), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(mps.amplitude(~std::uint64_t{0} >> (64 - n)) - cplx{amp}),
+              0.0, 1e-9);
+  EXPECT_NEAR(std::abs(mps.amplitude(1)), 0.0, 1e-9);
+  EXPECT_NEAR(mps.norm(), 1.0, 1e-9);
+  EXPECT_NEAR(mps.expectation_z(0), 0.0, 1e-9);
+}
+
+TEST(Mps, TruncationCapsBondAndTracksError) {
+  // Two-qubit maximally entangled state forced down to bond 1 loses exactly
+  // half the weight.
+  Mps mps(2, {.max_bond_dim = 1, .truncation_threshold = 0.0});
+  mps.apply_1q(H(), 0);
+  mps.apply_controlled_1q(X(), 0, 1);
+  EXPECT_EQ(mps.max_bond_dim(), 1u);
+  EXPECT_EQ(mps.max_bond_dim_reached(), 1u);
+  EXPECT_NEAR(mps.truncation_error(), 0.5, 1e-9);
+  EXPECT_NEAR(mps.norm(), 1.0, 1e-9);  // renormalized after the cut
+}
+
+TEST(Mps, MeasureCollapsesGhz) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Mps mps(6);
+    mps.apply_1q(H(), 0);
+    for (std::size_t q = 0; q + 1 < 6; ++q) mps.apply_controlled_1q(X(), q, q + 1);
+    Rng rng(seed);
+    const int first = mps.measure(0, rng);
+    for (std::size_t q = 1; q < 6; ++q) {
+      EXPECT_NEAR(mps.probability_one(q), static_cast<double>(first), 1e-9);
+    }
+    EXPECT_NEAR(mps.norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(Mps, ResetReturnsQubitToZero) {
+  Mps mps(3);
+  mps.apply_1q(H(), 1);
+  mps.apply_controlled_1q(X(), 1, 2);
+  Rng rng(7);
+  mps.reset_qubit(1, rng);
+  EXPECT_NEAR(mps.probability_one(1), 0.0, 1e-9);
+  EXPECT_NEAR(mps.norm(), 1.0, 1e-9);
+}
+
+TEST(Mps, SamplingMatchesStatevectorStreamExactly) {
+  // Same state, same Rng stream => sample() must return the identical basis
+  // index the statevector's per-qubit chain would only match in
+  // distribution; here we check MPS internal determinism and support.
+  Mps mps(3);
+  mps.apply_1q(H(), 0);
+  mps.apply_controlled_1q(X(), 0, 1);
+  mps.apply_controlled_1q(X(), 1, 2);
+  const auto sampler = mps.make_sampler();
+  std::map<std::uint64_t, std::size_t> counts;
+  const std::size_t shots = 4096;
+  for (std::size_t s = 0; s < shots; ++s) {
+    Rng rng(0x5eed, s);
+    ++counts[mps.sample(sampler, rng)];
+  }
+  ASSERT_EQ(counts.size(), 2u);  // GHZ: only 000 and 111
+  EXPECT_TRUE(counts.count(0));
+  EXPECT_TRUE(counts.count(7));
+  EXPECT_NEAR(static_cast<double>(counts[0]) / shots, 0.5, 0.05);
+}
+
+TEST(Mps, SharedSamplerIsDeterministicPerStream) {
+  Mps mps(4);
+  Rng gate_rng(42);
+  StateVector sv(4);
+  random_gates(mps, sv, 16, gate_rng);
+  const auto sampler = mps.make_sampler();
+  for (std::size_t s = 0; s < 32; ++s) {
+    Rng r1(0xabc, s), r2(0xabc, s);
+    EXPECT_EQ(mps.sample(sampler, r1), mps.sample(sampler, r2));
+  }
+}
+
+TEST(Mps, StatevectorRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    StateVector sv(5);
+    Mps scratch(5);
+    Rng rng(0xf00d + seed);
+    random_gates(scratch, sv, 20, rng);
+    const Mps mps = Mps::from_statevector(sv);
+    EXPECT_EQ(mps.truncation_error(), 0.0);
+    expect_states_equal(mps, sv, 1e-9);
+  }
+}
+
+TEST(Mps, FromStatevectorHonorsTruncation) {
+  StateVector sv(2);
+  sv.apply_1q(H(), 0);
+  sv.apply_controlled_1q(X(), 0, 1);
+  const Mps mps = Mps::from_statevector(sv, {.max_bond_dim = 1});
+  EXPECT_EQ(mps.max_bond_dim(), 1u);
+  EXPECT_NEAR(mps.truncation_error(), 0.5, 1e-9);
+}
+
+TEST(Mps, ApplyKqDispatchesAndRejectsWide) {
+  Mps mps(3);
+  StateVector sv(3);
+  mps.apply_kq(MatrixN::from_1q(H()), std::array<std::size_t, 1>{1});
+  sv.apply_1q(H(), 1);
+  Matrix4 cx{};
+  cx.m[0 * 4 + 0] = cplx{1.0};
+  cx.m[1 * 4 + 3] = cplx{1.0};
+  cx.m[2 * 4 + 2] = cplx{1.0};
+  cx.m[3 * 4 + 1] = cplx{1.0};
+  mps.apply_kq(MatrixN::from_2q(cx), std::array<std::size_t, 2>{1, 2});
+  sv.apply_2q(cx, 1, 2);
+  expect_states_equal(mps, sv);
+
+  const MatrixN wide = MatrixN::identity(3);
+  EXPECT_THROW(mps.apply_kq(wide, std::array<std::size_t, 3>{0, 1, 2}),
+               InvalidArgument);
+}
+
+TEST(Mps, GlobalPhaseRotatesEveryAmplitude) {
+  Mps mps(2);
+  StateVector sv(2);
+  mps.apply_1q(H(), 0);
+  sv.apply_1q(H(), 0);
+  mps.apply_global_phase(1.234);
+  sv.apply_global_phase(1.234);
+  expect_states_equal(mps, sv);
+}
+
+TEST(Mps, ToStatevectorGuardsLargeRegisters) {
+  Mps mps(Mps::kMaxDenseQubits + 1);
+  EXPECT_THROW((void)mps.to_statevector(), SimulationError);
+}
+
+TEST(Mps, ExpectationZOnBasisStates) {
+  Mps mps(2);
+  EXPECT_NEAR(mps.expectation_z(0), 1.0, kTol);
+  mps.apply_1q(X(), 1);
+  EXPECT_NEAR(mps.expectation_z(1), -1.0, kTol);
+}
+
+}  // namespace

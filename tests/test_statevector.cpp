@@ -37,7 +37,21 @@ TEST(StateVector, InitialState) {
 
 TEST(StateVector, RejectsZeroAndHugeRegisters) {
   EXPECT_THROW(StateVector(0), InvalidArgument);
-  EXPECT_THROW(StateVector(31), SimulationError);
+  EXPECT_THROW(StateVector(StateVector::kMaxQubits + 1), SimulationError);
+}
+
+TEST(StateVector, TooWideRegisterErrorNamesLimitAndMpsEscapeHatch) {
+  // The guard must tell the user what the ceiling is and where to go next.
+  try {
+    StateVector sv(48);
+    FAIL() << "expected SimulationError";
+  } catch (const SimulationError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(std::to_string(StateVector::kMaxQubits)),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("--backend mps"), std::string::npos) << message;
+  }
 }
 
 TEST(StateVector, XFlipsBasis) {

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "qutes/circuit/backend.hpp"
 #include "qutes/circuit/draw.hpp"
 #include "qutes/circuit/executor.hpp"
 #include "qutes/circuit/pass_manager.hpp"
@@ -28,17 +29,40 @@ namespace {
 void usage(std::ostream& out) {
   out << "usage:\n"
       << "  qutes run <file.qut>  [--seed N] [--stats] [--qasm FILE] [--qiskit FILE] [--draw] [--trace] [--replay N]\n"
-      << "                        [--pipeline PRESET] [--dump-passes]\n"
+      << "                        [--pipeline PRESET] [--dump-passes] [--backend NAME] [--max-bond-dim N]\n"
       << "  qutes eval '<source>' [same flags as run]\n"
       << "  qutes fmt <file.qut>            # print canonically formatted source\n"
       << "  qutes sim <file.qasm> [--shots N] [--seed N] [--pipeline PRESET] [--dump-passes]\n"
+      << "                        [--backend NAME] [--max-bond-dim N]\n"
       << "\n"
       << "  --pipeline PRESET  compile through a PassManager preset: O0, O1, basis,\n"
       << "                     hardware (linear coupling). With run/eval the lowered\n"
       << "                     circuit is what --qasm/--qiskit/--draw/--replay see.\n"
       << "  --dump-passes      print the per-pass instrumentation table (name,\n"
       << "                     wall ms, depth/gates/2q before -> after); implies\n"
-      << "                     --pipeline O1 unless one is given.\n";
+      << "                     --pipeline O1 unless one is given.\n"
+      << "  --backend NAME     simulation backend for sim / --replay: statevector\n"
+      << "                     (default, ~30 qubits), density (exact noise, ~13),\n"
+      << "                     or mps (tensor network; scales with entanglement,\n"
+      << "                     pair with --pipeline hardware for best layout).\n"
+      << "  --max-bond-dim N   mps bond-dimension cap (default 64); larger is more\n"
+      << "                     accurate on highly entangled states, smaller is faster.\n";
+}
+
+/// Validate a --backend argument against the registry; false (with a
+/// message) on an unknown name.
+bool parse_backend_flag(const std::string& value, std::string& out) {
+  if (!qutes::circ::backend_known(value)) {
+    std::cerr << "unknown backend: " << value << " (expected";
+    const auto names = qutes::circ::backend_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      std::cerr << (i == 0 ? " " : ", ") << names[i];
+    }
+    std::cerr << ")\n";
+    return false;
+  }
+  out = value;
+  return true;
 }
 
 /// Parse --pipeline arguments ("--pipeline X" or "--pipeline=X"); returns
@@ -68,6 +92,8 @@ int main(int argc, char** argv) {
     std::uint64_t sim_seed = 0x5eed0f5eedULL;
     std::optional<qutes::circ::Preset> preset;
     bool dump_passes = false;
+    std::string backend = "statevector";
+    std::size_t max_bond_dim = 64;
     for (int i = 3; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--shots" && i + 1 < argc) {
@@ -80,6 +106,16 @@ int main(int argc, char** argv) {
         if (!parse_pipeline_flag(arg.substr(11), preset)) return 2;
       } else if (arg == "--dump-passes") {
         dump_passes = true;
+      } else if (arg == "--backend" && i + 1 < argc) {
+        if (!parse_backend_flag(argv[++i], backend)) return 2;
+      } else if (arg.rfind("--backend=", 0) == 0) {
+        if (!parse_backend_flag(arg.substr(10), backend)) return 2;
+      } else if (arg == "--max-bond-dim" && i + 1 < argc) {
+        max_bond_dim = std::stoul(argv[++i]);
+        if (max_bond_dim == 0) {
+          std::cerr << "--max-bond-dim must be >= 1\n";
+          return 2;
+        }
       } else {
         std::cerr << "unknown flag: " << arg << "\n";
         return 2;
@@ -98,6 +134,8 @@ int main(int argc, char** argv) {
       qutes::circ::ExecutionOptions options;
       options.shots = shots;
       options.seed = sim_seed;
+      options.backend = backend;
+      options.max_bond_dim = max_bond_dim;
       qutes::circ::PassManager pipeline;
       if (preset) {
         pipeline = qutes::circ::make_pipeline(*preset);
@@ -114,6 +152,7 @@ int main(int argc, char** argv) {
       std::cout << "qubits: " << circuit.num_qubits()
                 << "  clbits: " << circuit.num_clbits()
                 << "  shots: " << shots
+                << "  backend: " << result.backend
                 << (result.fast_path ? "  (static fast path)" : "  (trajectories)")
                 << "\n";
       for (const auto& [bits, count] : result.counts) {
@@ -154,6 +193,8 @@ int main(int argc, char** argv) {
   bool dump_passes = false;
   std::optional<qutes::circ::Preset> preset;
   std::size_t replay_shots = 0;
+  std::string backend = "statevector";
+  std::size_t max_bond_dim = 64;
   std::string qasm_path;
   std::string qiskit_path;
   for (int i = 3; i < argc; ++i) {
@@ -178,6 +219,16 @@ int main(int argc, char** argv) {
       qiskit_path = argv[++i];
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_shots = std::stoul(argv[++i]);
+    } else if (arg == "--backend" && i + 1 < argc) {
+      if (!parse_backend_flag(argv[++i], backend)) return 2;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      if (!parse_backend_flag(arg.substr(10), backend)) return 2;
+    } else if (arg == "--max-bond-dim" && i + 1 < argc) {
+      max_bond_dim = std::stoul(argv[++i]);
+      if (max_bond_dim == 0) {
+        std::cerr << "--max-bond-dim must be >= 1\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       usage(std::cerr);
@@ -196,6 +247,9 @@ int main(int argc, char** argv) {
       pipeline = qutes::circ::make_pipeline(*preset);
       options.pipeline = &pipeline;
     }
+    options.replay_shots = replay_shots;
+    options.backend = backend;
+    options.max_bond_dim = max_bond_dim;
     const qutes::lang::RunResult result =
         mode == "run" ? qutes::lang::run_file(target, options)
                       : qutes::lang::run_source(target, options);
@@ -230,17 +284,11 @@ int main(int argc, char** argv) {
     if (draw) {
       std::cerr << qutes::circ::draw(circuit);
     }
-    if (replay_shots > 0) {
-      // Re-run the logged circuit as a shots experiment: each trajectory
-      // re-rolls every mid-circuit measurement, so the histogram shows the
-      // program's full outcome distribution, not just the live run's.
-      qutes::circ::ExecutionOptions exec_options;
-      exec_options.shots = replay_shots;
-      exec_options.seed = seed + 1;
-      const auto replay = qutes::circ::Executor(exec_options).run(circuit);
+    if (result.replay) {
       std::cerr << "--- replay (" << replay_shots << " shots over "
-                << circuit.num_clbits() << " clbits) ---\n";
-      for (const auto& [bits, count] : replay.counts) {
+                << circuit.num_clbits() << " clbits, backend "
+                << result.replay->backend << ") ---\n";
+      for (const auto& [bits, count] : result.replay->counts) {
         std::cerr << bits << ": " << count << "\n";
       }
     }
