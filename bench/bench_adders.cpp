@@ -71,7 +71,7 @@ void BM_DraperSimulate(benchmark::State& state) {
   QuantumCircuit c(2 * n);
   for (std::size_t q = 0; q < 2 * n; ++q) c.h(q);
   append_draper_adder(c, iota(0, n), iota(n, n));
-  Executor ex({.shots = 1, .seed = 11, .noise = {}});
+  Executor ex({.shots = 1, .seed = 11});
   for (auto _ : state) {
     benchmark::DoNotOptimize(ex.run_single(c));
   }
@@ -83,7 +83,7 @@ void BM_CuccaroSimulate(benchmark::State& state) {
   QuantumCircuit c(2 * n + 1);
   for (std::size_t q = 0; q < 2 * n; ++q) c.h(q);
   append_cuccaro_adder(c, iota(0, n), iota(n, n), 2 * n);
-  Executor ex({.shots = 1, .seed = 11, .noise = {}});
+  Executor ex({.shots = 1, .seed = 11});
   for (auto _ : state) {
     benchmark::DoNotOptimize(ex.run_single(c));
   }

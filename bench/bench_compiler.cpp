@@ -66,7 +66,7 @@ void print_summary() {
   }
   const auto c1 = std::chrono::steady_clock::now();
   for (int i = 0; i < 20; ++i) {
-    RunOptions options;
+    qutes::RunConfig options;
     options.seed = static_cast<std::uint64_t>(i);
     benchmark::DoNotOptimize(run_source(quantum_source, options));
   }
@@ -97,8 +97,8 @@ void print_pipeline_summary(const std::string& quantum_source,
   for (const Preset preset :
        {Preset::O0, Preset::O1, Preset::Basis, Preset::Hardware}) {
     const PassManager pipeline = qutes::circ::make_pipeline(preset);
-    RunOptions options;
-    options.pipeline = &pipeline;
+    qutes::RunConfig options;
+    options.pipeline.manager = &pipeline;
     const RunResult result = run_source(quantum_source, options);
     const double passes_us = result.properties.total_wall_ms() * 1000.0;
     std::printf("%10s | %10.1f %10.1f | %6zu -> %-5zu %6zu -> %-5zu\n",
@@ -158,7 +158,7 @@ BENCHMARK(BM_CompileFull)->Arg(100)->Arg(1000)->Arg(10000);
 void BM_RunClassicalProgram(benchmark::State& state) {
   const std::string source = synthetic_program(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    RunOptions options;
+    qutes::RunConfig options;
     benchmark::DoNotOptimize(run_source(source, options));
   }
 }

@@ -97,7 +97,7 @@ void BM_DslQmin(benchmark::State& state) {
   const std::string source = "print qmin([21, 8, 30, 3, 17, 11, 25, 6]);";
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    qutes::lang::RunOptions options;
+    qutes::RunConfig options;
     options.seed = seed++;
     benchmark::DoNotOptimize(qutes::lang::run_source(source, options));
   }

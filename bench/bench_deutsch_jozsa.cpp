@@ -102,7 +102,7 @@ void BM_DslDeutschJozsa(benchmark::State& state) {
   )";
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    qutes::lang::RunOptions options;
+    qutes::RunConfig options;
     options.seed = seed++;
     benchmark::DoNotOptimize(qutes::lang::run_source(source, options));
   }

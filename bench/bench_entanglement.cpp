@@ -24,10 +24,10 @@ double noisy_endpoint_agreement(std::size_t links, double depolarizing,
   c.measure(0, endcreg[0]);
   c.measure(2 * links - 1, endcreg[1]);
 
-  circ::ExecutionOptions options;
+  qutes::RunConfig options;
   options.shots = shots;
   options.seed = 97;
-  options.noise.depolarizing_2q = depolarizing;
+  options.backend.noise.depolarizing_2q = depolarizing;
   const auto result = circ::Executor(options).run(c);
 
   std::uint64_t agree = 0, total = 0;

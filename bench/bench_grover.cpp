@@ -110,10 +110,10 @@ void print_fusion_json() {
     // dominate bench time without changing the per-gate shape.
     const circ::QuantumCircuit c = build_grover_circuit(bits, marked, 4);
     const auto run_ms = [&](std::size_t max_fused) {
-      circ::ExecutionOptions options;
+      qutes::RunConfig options;
       options.shots = 64;
       options.seed = 7;
-      options.max_fused_qubits = max_fused;
+      options.backend.max_fused_qubits = max_fused;
       const auto t0 = std::chrono::steady_clock::now();
       const auto result = circ::Executor(options).run(c);
       const auto t1 = std::chrono::steady_clock::now();
@@ -184,7 +184,7 @@ void BM_DslInOperator(benchmark::State& state) {
       "qustring t = \"0110100110\"q; bool hit = \"101\" in t;";
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    qutes::lang::RunOptions options;
+    qutes::RunConfig options;
     options.seed = seed++;
     benchmark::DoNotOptimize(qutes::lang::run_source(source, options));
   }

@@ -24,6 +24,7 @@
 #include "qutes/algorithms/qft.hpp"
 #include "qutes/circuit/backend.hpp"
 #include "qutes/circuit/executor.hpp"
+#include "qutes/obs/obs.hpp"
 #include "qutes/common/error.hpp"
 #include "qutes/sim/mps.hpp"
 #include "qutes/sim/statevector.hpp"
@@ -75,7 +76,7 @@ struct Workload {
 constexpr Workload kWorkloads[] = {
     {"ghz", &ghz}, {"qft", &qft}, {"brickwork", &brickwork}};
 
-double run_ms(const circ::QuantumCircuit& c, const circ::ExecutionOptions& options,
+double run_ms(const circ::QuantumCircuit& c, const qutes::RunConfig& options,
               circ::ExecutionResult& result) {
   const auto t0 = std::chrono::steady_clock::now();
   result = circ::Executor(options).run(c);
@@ -88,7 +89,7 @@ double run_ms(const circ::QuantumCircuit& c, const circ::ExecutionOptions& optio
 std::string dense_verdict(const circ::QuantumCircuit& c) {
   if (c.num_qubits() <= sim::StateVector::kMaxQubits) return "ok";
   try {
-    circ::ExecutionOptions options;
+    qutes::RunConfig options;
     options.shots = 1;
     (void)circ::Executor(options).run(c);
     return "unexpectedly accepted";
@@ -110,10 +111,10 @@ void print_mps_sweep_json() {
       const circ::QuantumCircuit c = w.build(n);
       const std::string dense = dense_verdict(c);
       for (const std::size_t bond : bond_dims) {
-        circ::ExecutionOptions options;
-        options.backend = "mps";
+        qutes::RunConfig options;
+        options.backend.name = "mps";
         options.shots = 256;
-        options.max_bond_dim = bond;
+        options.backend.max_bond_dim = bond;
         circ::ExecutionResult result;
         const double ms = run_ms(c, options, result);
         std::printf(
@@ -139,12 +140,12 @@ void print_crossover_json() {
                    : std::vector<std::size_t>{12, 16, 20, 24};
   for (const std::size_t n : widths) {
     const circ::QuantumCircuit c = brickwork(n);
-    circ::ExecutionOptions options;
+    qutes::RunConfig options;
     options.shots = 64;
     circ::ExecutionResult result;
     const double dense_ms = run_ms(c, options, result);
-    options.backend = "mps";
-    options.max_bond_dim = 64;
+    options.backend.name = "mps";
+    options.backend.max_bond_dim = 64;
     const double mps_ms = run_ms(c, options, result);
     std::printf(
         "BENCH_JSON_MPS {\"bench\":\"mps\",\"workload\":\"crossover\","
@@ -164,8 +165,8 @@ void print_crossover_json() {
 void BM_MpsGhzEvolveAndSample(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const circ::QuantumCircuit c = ghz(n);
-  circ::ExecutionOptions options;
-  options.backend = "mps";
+  qutes::RunConfig options;
+  options.backend.name = "mps";
   options.shots = 256;
   for (auto _ : state) {
     benchmark::DoNotOptimize(circ::Executor(options).run(c).counts);
@@ -199,9 +200,43 @@ BENCHMARK(BM_MpsNonAdjacentCx)->Arg(16)->Arg(32);
 
 }  // namespace
 
+/// Machine-readable obs snapshot of one MPS executor run (collected into
+/// BENCH_obs.json alongside the statevector rows; same names as
+/// --metrics-json). Metrics are switched off again before the timing
+/// benchmarks run.
+void print_obs_json() {
+  std::printf("=== observability: metric snapshot of one MPS run ===\n");
+  namespace obs = qutes::obs;
+  obs::set_metrics_enabled(true);
+  const std::vector<std::size_t> widths =
+      quick_mode() ? std::vector<std::size_t>{16} : std::vector<std::size_t>{16, 32};
+  for (const std::size_t n : widths) {
+    obs::reset_metrics();
+    qutes::RunConfig options;
+    options.backend.name = "mps";
+    options.shots = 256;
+    options.seed = 7;
+    options.backend.max_bond_dim = 32;
+    const circ::QuantumCircuit c = brickwork(n);
+    (void)circ::Executor(options).run(c);
+    std::string metrics = obs::export_metrics_json();
+    while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+    std::printf("BENCH_JSON_OBS {\"bench\":\"mps\",\"workload\":"
+                "\"brickwork\",\"qubits\":%zu,\"gates\":%zu,\"shots\":%zu,"
+                "\"threads\":%d,\"metrics\":%s}\n",
+                n, c.gate_count(), options.shots, bench_threads(),
+                metrics.c_str());
+  }
+  obs::set_metrics_enabled(false);
+  obs::reset_metrics();
+  std::printf("shape check: mps.max_bond_dim tracks bond_reached and "
+              "mps.svd_truncations > 0 once the cap binds\n\n");
+}
+
 int main(int argc, char** argv) {
   print_mps_sweep_json();
   print_crossover_json();
+  print_obs_json();
   benchmark::Initialize(&argc, argv);
   if (!quick_mode()) benchmark::RunSpecifiedBenchmarks();
   return 0;

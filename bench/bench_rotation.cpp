@@ -69,7 +69,7 @@ void BM_SimulateConstantDepth(benchmark::State& state) {
   QuantumCircuit c(n);
   for (std::size_t q = 0; q < n; ++q) c.h(q);
   append_rotate_constant_depth(c, iota(n), n / 2);
-  Executor ex({.shots = 1, .seed = 7, .noise = {}});
+  Executor ex({.shots = 1, .seed = 7});
   for (auto _ : state) {
     benchmark::DoNotOptimize(ex.run_single(c));
   }
@@ -81,7 +81,7 @@ void BM_SimulateLinearDepth(benchmark::State& state) {
   QuantumCircuit c(n);
   for (std::size_t q = 0; q < n; ++q) c.h(q);
   append_rotate_linear_depth(c, iota(n), n / 2);
-  Executor ex({.shots = 1, .seed = 7, .noise = {}});
+  Executor ex({.shots = 1, .seed = 7});
   for (auto _ : state) {
     benchmark::DoNotOptimize(ex.run_single(c));
   }

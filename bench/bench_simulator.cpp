@@ -16,6 +16,7 @@
 
 #include "qutes/circuit/executor.hpp"
 #include "qutes/circuit/fusion.hpp"
+#include "qutes/obs/obs.hpp"
 #include "qutes/common/rng.hpp"
 #include "qutes/sim/statevector.hpp"
 #include "qutes/testing/generators.hpp"
@@ -128,6 +129,34 @@ void print_fusion_json() {
               "full-state sweeps)\n\n");
 }
 
+/// Machine-readable obs snapshot: run one executor workload with metrics on
+/// and emit the registry verbatim (collected into BENCH_obs.json by
+/// scripts/run_experiments.sh, same names as --metrics-json). Metrics are
+/// switched off again before the timing benchmarks run.
+void print_obs_json() {
+  std::printf("=== observability: metric snapshot of one executor run ===\n");
+  obs::set_metrics_enabled(true);
+  for (const std::size_t n : {12u, 16u}) {
+    obs::reset_metrics();
+    qutes::RunConfig options;
+    options.shots = 256;
+    options.seed = 7;
+    const circ::QuantumCircuit c = brickwork(n, 8, 42 + n);
+    (void)circ::Executor(options).run(c);
+    std::string metrics = obs::export_metrics_json();
+    while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+    std::printf("BENCH_JSON_OBS {\"bench\":\"simulator\",\"workload\":"
+                "\"brickwork\",\"qubits\":%zu,\"gates\":%zu,\"shots\":%zu,"
+                "\"threads\":%d,\"metrics\":%s}\n",
+                n, c.size(), options.shots, bench_threads(),
+                metrics.c_str());
+  }
+  obs::set_metrics_enabled(false);
+  obs::reset_metrics();
+  std::printf("shape check: sv.gates_applied = fused blocks + unfused "
+              "instructions, executor.shots matches the request\n\n");
+}
+
 void BM_Hadamard(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   StateVector sv(n);
@@ -223,6 +252,7 @@ BENCHMARK(BM_MeasureCollapse)->Arg(12)->Arg(16);
 int main(int argc, char** argv) {
   print_summary();
   print_fusion_json();
+  print_obs_json();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

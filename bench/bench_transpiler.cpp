@@ -6,6 +6,11 @@
 //   * V-chain MCX lowering: linear Toffoli growth vs control count;
 //   * linear routing: SWAP overhead vs circuit connectivity.
 #include <benchmark/benchmark.h>
+// This file exercises the deprecated transpile()/route_linear() free
+// functions on purpose (legacy-vs-pipeline equivalence); silence their
+// deprecation warnings locally.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 
 #include <cstdio>
 #include <string>

@@ -25,7 +25,7 @@ int main() {
       y >>= 1;             // rotate right
       print y;             // 4
     )qutes";
-    qutes::lang::RunOptions options;
+    qutes::RunConfig options;
     options.seed = 42;
     const auto run = qutes::lang::run_source(source, options);
     std::cout << "--- Qutes program output ---\n" << run.output;

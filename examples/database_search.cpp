@@ -22,7 +22,7 @@ int main() {
       print qsearch(table, 11);
       print qsearch(table, 99);
     )qutes";
-    qutes::lang::RunOptions options;
+    qutes::RunConfig options;
     options.seed = 12;
     const auto run = qutes::lang::run_source(source, options);
     std::cout << "--- Qutes program output ---\n" << run.output;

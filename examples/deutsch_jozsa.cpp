@@ -31,7 +31,7 @@ int main() {
         print "balanced";
       }
     )qutes";
-    qutes::lang::RunOptions options;
+    qutes::RunConfig options;
     options.seed = 3;
     const auto run = qutes::lang::run_source(source, options);
     std::cout << "--- Qutes program output ---\n" << run.output << "\n";

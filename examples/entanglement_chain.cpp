@@ -47,7 +47,7 @@ int main() {
     // random measurement outcome.
     std::cout << "--- Qutes program, 5 seeds ---\n";
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      qutes::lang::RunOptions options;
+      qutes::RunConfig options;
       options.seed = seed;
       const auto run = qutes::lang::run_source(source, options);
       std::cout << "seed " << seed << ": " << run.output;

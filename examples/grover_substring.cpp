@@ -22,7 +22,7 @@ int main() {
       }
       print indexof("101", text);
     )qutes";
-    qutes::lang::RunOptions options;
+    qutes::RunConfig options;
     options.seed = 11;
     const auto run = qutes::lang::run_source(source, options);
     std::cout << "--- Qutes program output ---\n" << run.output;

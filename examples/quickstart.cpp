@@ -35,7 +35,7 @@ int main() {
   )qutes";
 
   try {
-    qutes::lang::RunOptions options;
+    qutes::RunConfig options;
     options.seed = 2025;
     const auto result = qutes::lang::run_source(source, options);
 

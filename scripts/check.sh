@@ -50,6 +50,20 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 QUTES_MPS_QUICK="$QUICK" "$BUILD_DIR"/bench/bench_mps --benchmark_filter='^$' >/dev/null
 echo "check.sh: MPS backend smoke sweep completed."
 
+# Observability smoke: a traced GHZ run through the CLI must produce a
+# well-formed Chrome trace (per-thread span nesting) with spans from every
+# layer, and a metrics snapshot whose schema/invariants hold.
+OBS_DIR="$BUILD_DIR/obs-smoke"
+mkdir -p "$OBS_DIR"
+"$BUILD_DIR"/tools/qutes eval \
+  "qubit a = |0>; qubit b = |0>; qubit c = |0>; ghz3(a, b, c); bool x = a; print x;" \
+  --replay 50 --pipeline O1 \
+  --trace "$OBS_DIR/trace.json" --metrics-json "$OBS_DIR/metrics.json" >/dev/null 2>&1
+python3 scripts/check_trace.py "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json" \
+  --require lang.parse --require pipeline.run --require executor.run \
+  --require backend.execute
+echo "check.sh: observability trace/metrics smoke passed."
+
 echo
 if [[ -n "$SANITIZE" ]]; then
   echo "check.sh: clean -fsanitize=$SANITIZE build and full test suite passed."

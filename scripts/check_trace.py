@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a qutes --trace / --metrics-json export pair.
+
+Usage: check_trace.py TRACE.json [METRICS.json] [--require SPAN ...]
+
+Checks that TRACE.json is a well-formed Chrome-trace file (traceEvents of
+complete "X" events with non-negative timestamps/durations, per-tid spans
+properly nested) and that every --require'd span name appears. When a
+metrics file is given, checks the flat {counters, gauges, histograms}
+schema and the cross-invariants the runtime guarantees (shots counted,
+histogram count/sum/min/max consistent). Exits non-zero with a message on
+the first violation; prints a one-line summary on success.
+"""
+import json
+import sys
+
+EPS_US = 0.5  # absorbs double rounding of the ns clock
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace.py: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str, required: list[str]) -> int:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: no traceEvents array")
+    events = doc["traceEvents"]
+    if not events:
+        fail(f"{path}: traceEvents is empty")
+    by_tid: dict[int, list] = {}
+    for e in events:
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: event missing '{key}': {e}")
+        if e["ph"] != "X":
+            fail(f"{path}: expected complete events (ph=X), got {e['ph']}")
+        if e["ts"] < 0 or e["dur"] < 0:
+            fail(f"{path}: negative ts/dur in {e}")
+        by_tid.setdefault(e["tid"], []).append(e)
+
+    # Per-thread spans must nest or be disjoint (laminar interval family).
+    for tid, tevents in by_tid.items():
+        tevents.sort(key=lambda e: (e["ts"], -e["dur"]))
+        open_ends: list[float] = []
+        for e in tevents:
+            while open_ends and open_ends[-1] <= e["ts"] + EPS_US:
+                open_ends.pop()
+            end = e["ts"] + e["dur"]
+            if open_ends and end > open_ends[-1] + EPS_US:
+                fail(f"{path}: span '{e['name']}' (tid {tid}) straddles an "
+                     f"enclosing span")
+            open_ends.append(end)
+
+    names = {e["name"] for e in events}
+    for span in required:
+        if span not in names:
+            fail(f"{path}: required span '{span}' not present "
+                 f"(have: {', '.join(sorted(names))})")
+    return len(events)
+
+
+def check_metrics(path: str) -> int:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc or not isinstance(doc[section], dict):
+            fail(f"{path}: missing '{section}' object")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name} is not a non-negative integer")
+    for name, h in doc["histograms"].items():
+        for key in ("count", "sum", "min", "max"):
+            if key not in h:
+                fail(f"{path}: histogram {name} missing '{key}'")
+        if h["count"] > 0 and not (h["min"] <= h["max"]):
+            fail(f"{path}: histogram {name} has min > max")
+        if h["count"] > 0 and not (
+            h["count"] * h["min"] - 1e-9 <= h["sum"] <= h["count"] * h["max"] + 1e-9
+        ):
+            fail(f"{path}: histogram {name} sum outside [count*min, count*max]")
+    return sum(len(doc[s]) for s in ("counters", "gauges", "histograms"))
+
+
+def main(argv: list[str]) -> None:
+    paths = []
+    required = []
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "--require":
+            required.append(next(it, "") or fail("--require needs a span name"))
+        else:
+            paths.append(arg)
+    if not paths:
+        fail("usage: check_trace.py TRACE.json [METRICS.json] [--require SPAN ...]")
+    n_events = check_trace(paths[0], required)
+    n_instruments = check_metrics(paths[1]) if len(paths) > 1 else 0
+    print(f"check_trace.py: OK: {paths[0]}: {n_events} well-nested events"
+          + (f"; {paths[1]}: {n_instruments} instruments" if len(paths) > 1 else ""))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

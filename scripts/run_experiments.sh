@@ -62,6 +62,17 @@ grep -o '"workload":"[a-z0-9]*","qubits":[0-9]*,"preset":"[a-z01A-Z]*"' BENCH_tr
 echo "MPS backend results recorded in BENCH_mps.json:"
 grep -o '"workload":"[a-z]*","qubits":[0-9]*' BENCH_mps.json | sort -u | paste - - - - || true
 
+# Collect the BENCH_JSON_OBS lines (one metric-registry snapshot per
+# executor workload, emitted by bench_simulator and bench_mps with metrics
+# enabled; same names as the CLI's --metrics-json) into a single JSON array.
+{
+  echo '['
+  { grep -h '^BENCH_JSON_OBS ' bench_output.txt || true; } | sed 's/^BENCH_JSON_OBS //' | paste -sd, -
+  echo ']'
+} > BENCH_obs.json
+echo "Observability snapshots recorded in BENCH_obs.json:"
+grep -o '"bench":"[a-z]*","workload":"[a-z]*","qubits":[0-9]*' BENCH_obs.json || true
+
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   : > sanitizer_output.txt
   for mode in asan ubsan; do
@@ -76,7 +87,7 @@ if [[ "$RUN_SANITIZERS" == 1 ]]; then
 fi
 
 echo
-echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, and BENCH_mps.json."
+echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, BENCH_mps.json, and BENCH_obs.json."
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   echo "Sanitizer verdicts:"
   grep '^SANITIZER ' sanitizer_output.txt

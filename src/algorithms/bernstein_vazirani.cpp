@@ -36,7 +36,7 @@ circ::QuantumCircuit build_bernstein_vazirani_circuit(std::size_t num_inputs,
 std::uint64_t run_bernstein_vazirani(std::size_t num_inputs, std::uint64_t secret,
                                      std::uint64_t seed) {
   const auto circuit = build_bernstein_vazirani_circuit(num_inputs, secret);
-  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  circ::Executor executor({.shots = 1, .seed = seed});
   return executor.run_single(circuit).clbits;
 }
 

@@ -97,7 +97,7 @@ CountingResult run_quantum_counting(std::size_t num_qubits,
                                     std::size_t precision_bits, std::uint64_t seed) {
   const circ::QuantumCircuit circuit =
       build_counting_circuit(num_qubits, marked, precision_bits);
-  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  circ::Executor executor({.shots = 1, .seed = seed});
   const auto traj = executor.run_single(circuit);
 
   CountingResult result;

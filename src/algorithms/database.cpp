@@ -141,7 +141,7 @@ circ::QuantumCircuit QuantumDatabase::build_less_than_circuit(
 GroverResult QuantumDatabase::run_equal(std::uint64_t key, std::uint64_t seed,
                                         std::size_t iterations) const {
   const circ::QuantumCircuit circuit = build_equal_circuit(key, iterations);
-  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  circ::Executor executor({.shots = 1, .seed = seed});
   const auto traj = executor.run_single(circuit);
   const std::uint64_t pos = traj.clbits & (dim_of(index_bits_) - 1);
 
@@ -212,7 +212,7 @@ ExtremumResult durr_hoyer(std::span<const std::uint64_t> values, std::uint64_t s
         rng.below(static_cast<std::uint64_t>(window) + 1));
     const circ::QuantumCircuit circuit =
         db.build_less_than_circuit(best_value, iterations);
-    circ::Executor executor({.shots = 1, .seed = rng(), .noise = {}});
+    circ::Executor executor({.shots = 1, .seed = rng()});
     const auto traj = executor.run_single(circuit);
     const std::uint64_t pos = traj.clbits & (dim_of(db.index_qubits()) - 1);
     result.oracle_calls += iterations;

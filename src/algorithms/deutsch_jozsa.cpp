@@ -72,7 +72,7 @@ circ::QuantumCircuit build_deutsch_jozsa_circuit(std::size_t num_inputs,
 DjResult run_deutsch_jozsa(std::size_t num_inputs, const DjOracle& oracle,
                            std::uint64_t seed) {
   const circ::QuantumCircuit circuit = build_deutsch_jozsa_circuit(num_inputs, oracle);
-  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  circ::Executor executor({.shots = 1, .seed = seed});
   const auto traj = executor.run_single(circuit);
   DjResult result;
   result.measured = traj.clbits;

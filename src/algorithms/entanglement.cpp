@@ -72,7 +72,7 @@ circ::QuantumCircuit build_entanglement_chain_circuit(std::size_t num_links) {
 
 ChainResult run_entanglement_chain(std::size_t num_links, std::uint64_t seed) {
   const auto circuit = build_entanglement_chain_circuit(num_links);
-  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  circ::Executor executor({.shots = 1, .seed = seed});
   const auto traj = executor.run_single(circuit);
 
   const std::size_t n = 2 * num_links;

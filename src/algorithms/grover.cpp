@@ -71,7 +71,7 @@ GroverResult run_grover(std::size_t num_qubits, std::span<const std::uint64_t> m
   }
   const circ::QuantumCircuit circuit = build_grover_circuit(num_qubits, marked,
                                                             iterations);
-  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  circ::Executor executor({.shots = 1, .seed = seed});
 
   // Exact success probability from the pre-measurement state: strip the
   // final measurements and inspect amplitudes.
@@ -196,7 +196,7 @@ GroverResult SubstringSearch::run(std::uint64_t seed, std::size_t iterations) co
   for (const auto& in : circuit.instructions()) {
     if (in.type != circ::GateType::Measure) unm.append(in);
   }
-  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  circ::Executor executor({.shots = 1, .seed = seed});
   auto traj = executor.run_single(unm);
 
   double p_success = 0.0;

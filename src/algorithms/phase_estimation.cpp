@@ -39,7 +39,7 @@ circ::QuantumCircuit build_phase_estimation_circuit(std::size_t precision_bits,
 PhaseEstimate run_phase_estimation(std::size_t precision_bits, double phi,
                                    std::uint64_t seed) {
   const auto circuit = build_phase_estimation_circuit(precision_bits, phi);
-  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  circ::Executor executor({.shots = 1, .seed = seed});
   const auto traj = executor.run_single(circuit);
   PhaseEstimate est;
   est.raw = traj.clbits;

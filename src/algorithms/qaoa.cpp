@@ -88,7 +88,7 @@ QaoaResult run_qaoa(const MaxCutInstance& instance, QaoaOptions options) {
     const std::span<const double> betas(a.data() + p, p);
     const circ::QuantumCircuit circuit =
         build_qaoa_circuit(instance, gammas, betas);
-    circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+    circ::Executor ex({.shots = 1, .seed = 1});
     ++result.evaluations;
     return expected_cut(instance, ex.run_single(circuit).state);
   };
@@ -123,7 +123,7 @@ QaoaResult run_qaoa(const MaxCutInstance& instance, QaoaOptions options) {
   // Sample assignments from the optimized state; keep the best cut seen.
   const circ::QuantumCircuit circuit =
       build_qaoa_circuit(instance, result.gammas, result.betas);
-  circ::Executor ex({.shots = 1, .seed = 2, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 2});
   const auto traj = ex.run_single(circuit);
   for (std::size_t s = 0; s < options.sample_shots; ++s) {
     const std::uint64_t assignment = traj.state.sample(rng);

@@ -84,7 +84,7 @@ SimonResult run_simon(std::size_t num_bits, std::uint64_t secret, std::uint64_t 
   // Expected O(n) rounds; budget generously before declaring failure.
   const std::size_t budget = 20 * num_bits + 20;
   while (result.quantum_queries < budget && system.rank() + 1 < num_bits) {
-    circ::Executor executor({.shots = 1, .seed = rng(), .noise = {}});
+    circ::Executor executor({.shots = 1, .seed = rng()});
     const auto traj = executor.run_single(circuit);
     ++result.quantum_queries;
     const std::uint64_t sample = traj.clbits & (dim_of(num_bits) - 1);

@@ -29,7 +29,7 @@ circ::QuantumCircuit build_teleport_circuit(double theta, double phi, double lam
 double run_teleport_fidelity(double theta, double phi, double lambda,
                              std::uint64_t seed) {
   const auto circuit = build_teleport_circuit(theta, phi, lambda);
-  circ::Executor executor({.shots = 1, .seed = seed, .noise = {}});
+  circ::Executor executor({.shots = 1, .seed = seed});
   const auto traj = executor.run_single(circuit);
 
   // Ideal received state: U|0> = (cos(t/2), e^{i phi} sin(t/2)).

@@ -129,7 +129,7 @@ VqeResult run_vqe(const Hamiltonian& hamiltonian, std::size_t num_qubits,
   const auto evaluate = [&](const std::vector<double>& p) {
     const circ::QuantumCircuit ansatz =
         build_ry_ansatz(num_qubits, options.layers, p);
-    circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+    circ::Executor ex({.shots = 1, .seed = 1});
     ++result.evaluations;
     return hamiltonian.energy(ex.run_single(ansatz).state);
   };

@@ -10,6 +10,7 @@
 #include "qutes/circuit/fusion.hpp"
 #include "qutes/common/bitops.hpp"
 #include "qutes/common/error.hpp"
+#include "qutes/obs/obs.hpp"
 #include "qutes/sim/density_matrix.hpp"
 
 namespace qutes::circ {
@@ -48,18 +49,19 @@ void record_fusion_stats(ExecutionResult& result, const FusionPlan& plan) {
 }
 
 /// Plan runtime gate fusion for `circ` under the backend's capability caps.
-FusionPlan plan_fusion(const QuantumCircuit& circ, const ExecutionOptions& options,
+FusionPlan plan_fusion(const QuantumCircuit& circ, const RunConfig& config,
                        const BackendCapabilities& caps,
                        bool pin_noise_insertion_points) {
+  obs::Span span("fusion.plan");
   FusionOptions fusion_options;
   fusion_options.max_fused_qubits =
-      std::min(options.max_fused_qubits, caps.max_fused_qubits);
+      std::min(config.backend.max_fused_qubits, caps.max_fused_qubits);
   fusion_options.require_adjacent_wires = caps.fused_adjacent_only;
   if (pin_noise_insertion_points) {
     // Gates that acquire noise are fusion barriers, so blocks form only
     // between noise insertion points.
-    fusion_options.keep_raw = [&options](const Instruction& in) {
-      return gate_acquires_noise(in, options.noise);
+    fusion_options.keep_raw = [&config](const Instruction& in) {
+      return gate_acquires_noise(in, config.backend.noise);
     };
   }
   PassManager fuser;
@@ -169,39 +171,54 @@ public:
     return caps;
   }
 
-  void execute(const QuantumCircuit& circ, const ExecutionOptions& options,
+  void execute(const QuantumCircuit& circ, const RunConfig& config,
                ExecutionResult& result) const override {
-    const bool fast = !options.noise.enabled() && Executor::is_static(circ);
+    static obs::Counter& gates_metric =
+        obs::metrics().counter(obs::names::kSvGatesApplied);
+    static obs::Gauge& peak_bytes =
+        obs::metrics().gauge(obs::names::kSvPeakBytes);
+    const bool fast = !config.backend.noise.enabled() && Executor::is_static(circ);
     const FusionPlan plan =
-        plan_fusion(circ, options, capabilities(), /*pin_noise=*/!fast);
+        plan_fusion(circ, config, capabilities(), /*pin_noise=*/!fast);
     record_fusion_stats(result, plan);
     const auto& instrs = circ.instructions();
+    peak_bytes.set_max(16.0 * std::pow(2.0, static_cast<double>(circ.num_qubits())));
 
     if (fast) {
       // Evolve once, skipping measurements (a static circuit never reuses a
       // measured qubit, so a measure only records the clbit -> qubit wiring),
       // then sample the measured qubits from the final distribution.
-      Rng rng(options.seed);
+      Rng rng(config.seed);
       sim::StateVector sv(circ.num_qubits());
       std::uint64_t scratch = 0;
       std::vector<std::optional<std::size_t>> wire(circ.num_clbits());
-      for (const FusedOp& op : plan.ops) {
-        if (op.fused) {
-          sv.apply_kq(op.matrix, op.qubits);
-          continue;
-        }
-        const Instruction& in = instrs[op.instruction];
-        if (in.type == GateType::Measure) {
-          for (std::size_t i = 0; i < in.qubits.size(); ++i) {
-            wire[in.clbits[i]] = in.qubits[i];
+      {
+        obs::Span span("sv.evolve");
+        std::size_t applied = 0;
+        for (const FusedOp& op : plan.ops) {
+          if (op.fused) {
+            sv.apply_kq(op.matrix, op.qubits);
+            ++applied;
+            continue;
           }
-          continue;
+          const Instruction& in = instrs[op.instruction];
+          if (in.type == GateType::Measure) {
+            for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+              wire[in.clbits[i]] = in.qubits[i];
+            }
+            continue;
+          }
+          apply_instruction(sv, in, scratch, rng);
+          if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
+            ++applied;
+          }
         }
-        apply_instruction(sv, in, scratch, rng);
+        gates_metric.add(applied);
       }
 
       // Sample shots: build the CDF once and binary-search per shot instead
       // of an O(dim) linear scan.
+      obs::Span span("sv.sample");
       const auto amps = sv.amplitudes();
       std::vector<double> cdf(amps.size());
       double acc = 0.0;
@@ -209,14 +226,14 @@ public:
         acc += std::norm(amps[i]);
         cdf[i] = acc;
       }
-      for (std::size_t s = 0; s < options.shots; ++s) {
+      for (std::size_t s = 0; s < config.shots; ++s) {
         const double r = rng.uniform() * acc;
         const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
         std::uint64_t basis = static_cast<std::uint64_t>(it - cdf.begin());
         if (basis >= sv.dim()) basis = sv.dim() - 1;
         const std::string key = key_from_basis(basis, wire);
         ++result.counts[key];
-        if (options.record_memory) result.memory.push_back(key);
+        if (config.record_memory) result.memory.push_back(key);
       }
       result.trajectories = 1;
       result.fast_path = true;
@@ -224,21 +241,25 @@ public:
     }
 
     // Dynamic/noisy path: one trajectory per shot.
+    obs::Span shots_span("sv.shots");
 
-    const auto shots = static_cast<std::int64_t>(options.shots);
-    if (options.record_memory) result.memory.assign(options.shots, {});
+    const auto shots = static_cast<std::int64_t>(config.shots);
+    if (config.record_memory) result.memory.assign(config.shots, {});
 
     // Each shot owns a counter-derived RNG stream, so the loop can run on any
     // number of threads and still produce bit-identical counts: per-shot
     // outcomes depend only on (seed, shot), memory slots are indexed by shot,
     // and merging per-thread histograms is an order-independent sum.
-    const auto run_shot = [&](std::size_t s) {
-      Rng rng(options.seed, s);
+    const sim::NoiseModel& noise = config.backend.noise;
+    const auto run_shot = [&](std::size_t s, std::size_t& applied) {
+      obs::Span span("sv.shot");
+      Rng rng(config.seed, s);
       sim::StateVector sv(circ.num_qubits());
       std::uint64_t clbits = 0;
       for (const FusedOp& op : plan.ops) {
         if (op.fused) {
           sv.apply_kq(op.matrix, op.qubits);
+          ++applied;
           continue;
         }
         const Instruction& in = instrs[op.instruction];
@@ -247,26 +268,27 @@ public:
                 in.condition->value) {
           continue;
         }
-        if (in.type == GateType::Measure && options.noise.readout_error > 0.0) {
+        if (in.type == GateType::Measure && noise.readout_error > 0.0) {
           for (std::size_t i = 0; i < in.qubits.size(); ++i) {
             int bit = sv.measure(in.qubits[i], rng);
-            bit = sim::apply_readout_error(bit, options.noise.readout_error, rng);
+            bit = sim::apply_readout_error(bit, noise.readout_error, rng);
             clbits = bit ? set_bit(clbits, in.clbits[i]) : clear_bit(clbits, in.clbits[i]);
           }
         } else {
           apply_instruction(sv, in, clbits, rng);
         }
         if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
-          if (in.qubits.size() == 1 && options.noise.depolarizing_1q > 0.0) {
-            sim::apply_depolarizing(sv, in.qubits[0], options.noise.depolarizing_1q, rng);
-          } else if (in.qubits.size() >= 2 && options.noise.depolarizing_2q > 0.0) {
+          ++applied;
+          if (in.qubits.size() == 1 && noise.depolarizing_1q > 0.0) {
+            sim::apply_depolarizing(sv, in.qubits[0], noise.depolarizing_1q, rng);
+          } else if (in.qubits.size() >= 2 && noise.depolarizing_2q > 0.0) {
             for (std::size_t q : in.qubits) {
-              sim::apply_depolarizing(sv, q, options.noise.depolarizing_2q, rng);
+              sim::apply_depolarizing(sv, q, noise.depolarizing_2q, rng);
             }
           }
-          if (options.noise.amplitude_damping > 0.0) {
+          if (noise.amplitude_damping > 0.0) {
             for (std::size_t q : in.qubits) {
-              sim::apply_amplitude_damping(sv, q, options.noise.amplitude_damping, rng);
+              sim::apply_amplitude_damping(sv, q, noise.amplitude_damping, rng);
             }
           }
         }
@@ -276,16 +298,18 @@ public:
 
     std::atomic<bool> failed{false};
     std::exception_ptr error;
-#pragma omp parallel if (options.parallel_shots && shots > 1)
+#pragma omp parallel if (config.backend.parallel_shots && shots > 1)
     {
       sim::Counts local;
+      std::size_t local_applied = 0;
 #pragma omp for schedule(static)
       for (std::int64_t s = 0; s < shots; ++s) {
         if (failed.load(std::memory_order_relaxed)) continue;
         try {
-          const std::string key = run_shot(static_cast<std::size_t>(s));
+          const std::string key =
+              run_shot(static_cast<std::size_t>(s), local_applied);
           ++local[key];
-          if (options.record_memory) {
+          if (config.record_memory) {
             result.memory[static_cast<std::size_t>(s)] = key;
           }
         } catch (...) {
@@ -298,11 +322,14 @@ public:
         }
       }
 #pragma omp critical(qutes_executor_merge)
-      for (const auto& [key, n] : local) result.counts[key] += n;
+      {
+        for (const auto& [key, n] : local) result.counts[key] += n;
+        gates_metric.add(local_applied);
+      }
     }
     if (error) std::rethrow_exception(error);
 
-    result.trajectories = options.shots;
+    result.trajectories = config.shots;
     result.fast_path = false;
   }
 };
@@ -325,26 +352,38 @@ public:
     return caps;
   }
 
-  void execute(const QuantumCircuit& circ, const ExecutionOptions& options,
+  void execute(const QuantumCircuit& circ, const RunConfig& config,
                ExecutionResult& result) const override {
+    static obs::Counter& gates_metric =
+        obs::metrics().counter(obs::names::kDensityGatesApplied);
+    static obs::Gauge& peak_bytes =
+        obs::metrics().gauge(obs::names::kDensityPeakBytes);
+    peak_bytes.set_max(16.0 * std::pow(4.0, static_cast<double>(circ.num_qubits())));
     sim::DensityMatrix rho(circ.num_qubits());
     std::vector<std::optional<std::size_t>> wire(circ.num_clbits());
-    for (const Instruction& in : circ.instructions()) {
-      if (in.type == GateType::Measure) {
-        for (std::size_t i = 0; i < in.qubits.size(); ++i) {
-          wire[in.clbits[i]] = in.qubits[i];
+    {
+      obs::Span span("density.evolve");
+      std::size_t applied = 0;
+      for (const Instruction& in : circ.instructions()) {
+        if (in.type == GateType::Measure) {
+          for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+            wire[in.clbits[i]] = in.qubits[i];
+          }
+          continue;
         }
-        continue;
+        apply_gate(rho, in);
+        if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
+          ++applied;
+          apply_noise(rho, in, config.backend.noise);
+        }
       }
-      apply_gate(rho, in);
-      if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
-        apply_noise(rho, in, options.noise);
-      }
+      gates_metric.add(applied);
     }
 
     // Sample the diagonal: exact outcome distribution, one CDF, binary
     // search per shot; readout error flips each reported bit independently.
-    Rng rng(options.seed);
+    obs::Span span("density.sample");
+    Rng rng(config.seed);
     const auto probs = rho.probabilities();
     std::vector<double> cdf(probs.size());
     double acc = 0.0;
@@ -352,7 +391,7 @@ public:
       acc += probs[i];
       cdf[i] = acc;
     }
-    for (std::size_t s = 0; s < options.shots; ++s) {
+    for (std::size_t s = 0; s < config.shots; ++s) {
       const double r = rng.uniform() * acc;
       const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
       std::uint64_t basis = static_cast<std::uint64_t>(it - cdf.begin());
@@ -360,13 +399,13 @@ public:
       std::string key(circ.num_clbits(), '0');
       for (std::size_t c = 0; c < circ.num_clbits(); ++c) {
         int bit = wire[c] && test_bit(basis, *wire[c]) ? 1 : 0;
-        if (options.noise.readout_error > 0.0) {
-          bit = sim::apply_readout_error(bit, options.noise.readout_error, rng);
+        if (config.backend.noise.readout_error > 0.0) {
+          bit = sim::apply_readout_error(bit, config.backend.noise.readout_error, rng);
         }
         key[circ.num_clbits() - 1 - c] = bit ? '1' : '0';
       }
       ++result.counts[key];
-      if (options.record_memory) result.memory.push_back(key);
+      if (config.record_memory) result.memory.push_back(key);
     }
     result.trajectories = 1;
     result.fast_path = true;
@@ -462,14 +501,23 @@ public:
     return caps;
   }
 
-  void execute(const QuantumCircuit& circuit, const ExecutionOptions& options,
+  void execute(const QuantumCircuit& circuit, const RunConfig& config,
                ExecutionResult& result) const override {
+    static obs::Counter& gates_metric =
+        obs::metrics().counter(obs::names::kMpsGatesApplied);
+    static obs::Counter& truncations_metric =
+        obs::metrics().counter(obs::names::kMpsSvdTruncations);
+    static obs::Gauge& bond_gauge =
+        obs::metrics().gauge(obs::names::kMpsMaxBondDim);
+    static obs::Gauge& trunc_gauge =
+        obs::metrics().gauge(obs::names::kMpsTruncationError);
     // The MPS applies at most 2q unitaries; anything wider is lowered to the
     // {u, cx} basis up front (this may append ancilla wires for gates with
     // >= 3 controls).
     QuantumCircuit lowered;
     const QuantumCircuit* target = &circuit;
     if (has_wide_unitary(circuit)) {
+      obs::Span span("mps.lower");
       PassManager lowerer;
       lowerer.emplace<DecomposeToBasis>();
       lowered = lowerer.run(circuit);
@@ -478,56 +526,69 @@ public:
     const QuantumCircuit& circ = *target;
 
     const FusionPlan plan =
-        plan_fusion(circ, options, capabilities(), /*pin_noise=*/false);
+        plan_fusion(circ, config, capabilities(), /*pin_noise=*/false);
     record_fusion_stats(result, plan);
     const auto& instrs = circ.instructions();
 
     sim::MpsOptions mps_options;
-    mps_options.max_bond_dim = options.max_bond_dim;
-    mps_options.truncation_threshold = options.truncation_threshold;
+    mps_options.max_bond_dim = config.backend.max_bond_dim;
+    mps_options.truncation_threshold = config.backend.truncation_threshold;
 
-    const auto shots = static_cast<std::int64_t>(options.shots);
-    if (options.record_memory) result.memory.assign(options.shots, {});
+    const auto shots = static_cast<std::int64_t>(config.shots);
+    if (config.record_memory) result.memory.assign(config.shots, {});
 
     if (Executor::is_static(circ)) {
       // Evolve one MPS, then sample every shot from a shared read-only
       // Sampler — per-shot cost is O(n chi^3), independent of shot history.
-      Rng rng(options.seed);
+      Rng rng(config.seed);
       sim::Mps mps(circ.num_qubits(), mps_options);
       std::uint64_t scratch = 0;
       std::vector<std::optional<std::size_t>> wire(circ.num_clbits());
-      for (const FusedOp& op : plan.ops) {
-        if (op.fused) {
-          mps.apply_kq(op.matrix, op.qubits);
-          continue;
-        }
-        const Instruction& in = instrs[op.instruction];
-        if (in.type == GateType::Measure) {
-          for (std::size_t i = 0; i < in.qubits.size(); ++i) {
-            wire[in.clbits[i]] = in.qubits[i];
+      {
+        obs::Span span("mps.evolve");
+        std::size_t applied = 0;
+        for (const FusedOp& op : plan.ops) {
+          if (op.fused) {
+            mps.apply_kq(op.matrix, op.qubits);
+            ++applied;
+            continue;
           }
-          continue;
+          const Instruction& in = instrs[op.instruction];
+          if (in.type == GateType::Measure) {
+            for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+              wire[in.clbits[i]] = in.qubits[i];
+            }
+            continue;
+          }
+          apply_instruction_mps(mps, in, scratch, rng);
+          if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
+            ++applied;
+          }
         }
-        apply_instruction_mps(mps, in, scratch, rng);
+        gates_metric.add(applied);
       }
       result.truncation_error = mps.truncation_error();
       result.max_bond_dim_reached = mps.max_bond_dim_reached();
+      truncations_metric.add(mps.svd_truncations());
+      bond_gauge.set_max(static_cast<double>(result.max_bond_dim_reached));
+      trunc_gauge.set_max(result.truncation_error);
 
+      obs::Span sample_span("mps.sample");
       const sim::Mps::Sampler sampler = mps.make_sampler();
       std::atomic<bool> failed{false};
       std::exception_ptr error;
-#pragma omp parallel if (options.parallel_shots && shots > 1)
+#pragma omp parallel if (config.backend.parallel_shots && shots > 1)
       {
         sim::Counts local;
 #pragma omp for schedule(static)
         for (std::int64_t s = 0; s < shots; ++s) {
           if (failed.load(std::memory_order_relaxed)) continue;
           try {
-            Rng shot_rng(options.seed, static_cast<std::uint64_t>(s));
+            Rng shot_rng(config.seed, static_cast<std::uint64_t>(s));
             const std::uint64_t basis = mps.sample(sampler, shot_rng);
             const std::string key = key_from_basis(basis, wire);
             ++local[key];
-            if (options.record_memory) {
+            if (config.record_memory) {
               result.memory[static_cast<std::size_t>(s)] = key;
             }
           } catch (...) {
@@ -549,13 +610,17 @@ public:
 
     // Dynamic path: one MPS trajectory per shot, same counter-derived RNG
     // discipline as the statevector backend.
-    const auto run_shot = [&](std::size_t s, double& trunc, std::size_t& bond) {
-      Rng rng(options.seed, s);
+    obs::Span shots_span("mps.shots");
+    const auto run_shot = [&](std::size_t s, double& trunc, std::size_t& bond,
+                              std::size_t& applied, std::size_t& truncations) {
+      obs::Span span("mps.shot");
+      Rng rng(config.seed, s);
       sim::Mps mps(circ.num_qubits(), mps_options);
       std::uint64_t clbits = 0;
       for (const FusedOp& op : plan.ops) {
         if (op.fused) {
           mps.apply_kq(op.matrix, op.qubits);
+          ++applied;
           continue;
         }
         const Instruction& in = instrs[op.instruction];
@@ -565,27 +630,34 @@ public:
           continue;
         }
         apply_instruction_mps(mps, in, clbits, rng);
+        if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
+          ++applied;
+        }
       }
       trunc = std::max(trunc, mps.truncation_error());
       bond = std::max(bond, mps.max_bond_dim_reached());
+      truncations += mps.svd_truncations();
       return to_bitstring(clbits, circ.num_clbits());
     };
 
     std::atomic<bool> failed{false};
     std::exception_ptr error;
-#pragma omp parallel if (options.parallel_shots && shots > 1)
+#pragma omp parallel if (config.backend.parallel_shots && shots > 1)
     {
       sim::Counts local;
       double local_trunc = 0.0;
       std::size_t local_bond = 0;
+      std::size_t local_applied = 0;
+      std::size_t local_truncations = 0;
 #pragma omp for schedule(static)
       for (std::int64_t s = 0; s < shots; ++s) {
         if (failed.load(std::memory_order_relaxed)) continue;
         try {
           const std::string key =
-              run_shot(static_cast<std::size_t>(s), local_trunc, local_bond);
+              run_shot(static_cast<std::size_t>(s), local_trunc, local_bond,
+                       local_applied, local_truncations);
           ++local[key];
-          if (options.record_memory) {
+          if (config.record_memory) {
             result.memory[static_cast<std::size_t>(s)] = key;
           }
         } catch (...) {
@@ -601,11 +673,15 @@ public:
         result.truncation_error = std::max(result.truncation_error, local_trunc);
         result.max_bond_dim_reached =
             std::max(result.max_bond_dim_reached, local_bond);
+        gates_metric.add(local_applied);
+        truncations_metric.add(local_truncations);
       }
     }
     if (error) std::rethrow_exception(error);
 
-    result.trajectories = options.shots;
+    bond_gauge.set_max(static_cast<double>(result.max_bond_dim_reached));
+    trunc_gauge.set_max(result.truncation_error);
+    result.trajectories = config.shots;
     result.fast_path = false;
   }
 };

@@ -5,6 +5,7 @@
 #include "qutes/circuit/backend.hpp"
 #include "qutes/common/bitops.hpp"
 #include "qutes/common/error.hpp"
+#include "qutes/obs/obs.hpp"
 
 namespace qutes::circ {
 
@@ -134,12 +135,17 @@ bool Executor::is_static(const QuantumCircuit& circuit) {
 }
 
 ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
+  obs::Span run_span("executor.run");
+  static obs::Counter& runs_metric =
+      obs::metrics().counter(obs::names::kExecutorRuns);
+  static obs::Counter& shots_metric =
+      obs::metrics().counter(obs::names::kExecutorShots);
+  static obs::Gauge& shots_per_sec =
+      obs::metrics().gauge(obs::names::kShotsPerSec);
+
+  config_.validate();
   if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
-  if (options_.max_bond_dim == 0) {
-    throw CircuitError("ExecutionOptions::max_bond_dim must be >= 1 (an MPS "
-                       "bond cannot be empty)");
-  }
-  const std::unique_ptr<Backend> backend = make_backend(options_.backend);
+  const std::unique_ptr<Backend> backend = make_backend(config_.backend.name);
   ExecutionResult result;
   result.backend = backend->name();
 
@@ -147,9 +153,9 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
   // routing, ...) runs over the circuit first; we execute its output.
   QuantumCircuit prepared;
   const QuantumCircuit* target = &circuit;
-  if (options_.pipeline) {
+  if (config_.pipeline.manager) {
     PropertySet pipeline_properties;
-    prepared = options_.pipeline->run(circuit, pipeline_properties);
+    prepared = config_.pipeline.manager->run(circuit, pipeline_properties);
     result.pass_stats = std::move(pipeline_properties.stats);
     target = &prepared;
   }
@@ -164,13 +170,13 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
                           " qubits but the " + backend->name() +
                           " backend supports at most " +
                           std::to_string(caps.max_qubits);
-    if (options_.backend != "mps") {
+    if (config_.backend.name != "mps") {
       message += "; the mps backend scales with entanglement instead of qubit "
                  "count — try --backend mps";
     }
     throw CircuitError(message);
   }
-  if (!caps.supports_noise && options_.noise.enabled()) {
+  if (!caps.supports_noise && config_.backend.noise.enabled()) {
     throw CircuitError("the " + backend->name() +
                        " backend does not support noise models; use the "
                        "statevector (trajectory) or density (exact channel) "
@@ -184,13 +190,32 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
 
   // Stage 3: the backend evolves the state and samples. Fusion planning
   // happens inside, clamped to the backend's capability caps.
-  backend->execute(circ, options_, result);
+  {
+    obs::Span backend_span("backend.execute");
+    backend->execute(circ, config_, result);
+  }
+
+  runs_metric.add(1);
+  shots_metric.add(config_.shots);
+  static obs::Counter& trajectories_metric =
+      obs::metrics().counter(obs::names::kTrajectories);
+  trajectories_metric.add(result.trajectories);
+  const double elapsed_ms = run_span.elapsed_ms();
+  if (obs::metrics_enabled() && elapsed_ms > 0.0) {
+    shots_per_sec.set(static_cast<double>(config_.shots) * 1e3 / elapsed_ms);
+  }
+  static obs::Counter& fused_blocks_metric =
+      obs::metrics().counter(obs::names::kFusedBlocks);
+  static obs::Counter& fused_gates_metric =
+      obs::metrics().counter(obs::names::kFusedGates);
+  fused_blocks_metric.add(result.fused_blocks);
+  fused_gates_metric.add(result.fused_gates);
   return result;
 }
 
 Executor::Trajectory Executor::run_single(const QuantumCircuit& circuit) const {
   if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
-  Rng rng(options_.seed);
+  Rng rng(config_.seed);
   Trajectory traj{sim::StateVector(circuit.num_qubits()), 0};
   for (const Instruction& in : circuit.instructions()) {
     if (in.condition &&

@@ -1,6 +1,5 @@
 #include "qutes/circuit/pass_manager.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <optional>
@@ -8,6 +7,7 @@
 
 #include "qutes/circuit/routing.hpp"
 #include "qutes/common/error.hpp"
+#include "qutes/obs/obs.hpp"
 
 namespace qutes::circ {
 
@@ -28,6 +28,16 @@ std::vector<std::string> PassManager::pass_names() const {
 
 QuantumCircuit PassManager::run(const QuantumCircuit& circuit,
                                 PropertySet& properties) const {
+  obs::Span pipeline_span("pipeline.run");
+  static obs::Counter& passes_metric =
+      obs::metrics().counter(obs::names::kPassesRun);
+  static obs::Histogram& pass_ms_metric =
+      obs::metrics().histogram(obs::names::kPassWallMs);
+  static obs::Counter& gates_removed_metric =
+      obs::metrics().counter(obs::names::kGatesRemoved);
+  static obs::Counter& swaps_metric =
+      obs::metrics().counter(obs::names::kSwapsInserted);
+
   QuantumCircuit current = circuit;
   for (const auto& pass : passes_) {
     PassStats stats;
@@ -35,13 +45,24 @@ QuantumCircuit PassManager::run(const QuantumCircuit& circuit,
     stats.depth_before = current.depth();
     stats.size_before = current.gate_count();
     stats.twoq_before = current.multi_qubit_gate_count();
-    const auto t0 = std::chrono::steady_clock::now();
-    pass->run(current, properties);
-    const auto t1 = std::chrono::steady_clock::now();
-    stats.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const std::size_t swaps_before = properties.swaps_inserted;
+    {
+      // One timing mechanism for both consumers: the span lands in the trace
+      // (as "pass.<name>") when tracing is on, and its elapsed_ms() is the
+      // per-pass wall time PropertySet has always reported.
+      obs::Span span("pass." + stats.name);
+      pass->run(current, properties);
+      stats.wall_ms = span.elapsed_ms();
+    }
     stats.depth_after = current.depth();
     stats.size_after = current.gate_count();
     stats.twoq_after = current.multi_qubit_gate_count();
+    passes_metric.add(1);
+    pass_ms_metric.record(stats.wall_ms);
+    if (stats.size_after < stats.size_before) {
+      gates_removed_metric.add(stats.size_before - stats.size_after);
+    }
+    swaps_metric.add(properties.swaps_inserted - swaps_before);
     properties.stats.push_back(std::move(stats));
   }
   return current;

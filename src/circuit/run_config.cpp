@@ -1,0 +1,36 @@
+#include "qutes/run_config.hpp"
+
+#include "qutes/circuit/backend.hpp"
+#include "qutes/common/error.hpp"
+
+namespace qutes {
+
+// Lives in the circuit library (not a header) because the backend-name check
+// needs the registry; the executor and the language front end both funnel
+// through here so "unknown backend" / "max_bond_dim" fail identically from
+// every entry point.
+void RunConfig::validate() const {
+  if (!circ::backend_known(backend.name)) {
+    std::string known;
+    for (const std::string& n : circ::backend_names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw CircuitError("unknown backend \"" + backend.name +
+                       "\"; known backends: " + known);
+  }
+  if (backend.max_bond_dim == 0) {
+    throw CircuitError("RunConfig::backend.max_bond_dim must be >= 1 (an MPS "
+                       "bond cannot be empty)");
+  }
+  if (backend.max_fused_qubits == 0) {
+    throw CircuitError("RunConfig::backend.max_fused_qubits must be >= 1 "
+                       "(1 disables fusion)");
+  }
+  if (backend.truncation_threshold < 0.0) {
+    throw CircuitError(
+        "RunConfig::backend.truncation_threshold must be >= 0");
+  }
+}
+
+}  // namespace qutes

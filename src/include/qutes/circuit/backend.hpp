@@ -55,10 +55,11 @@ public:
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual BackendCapabilities capabilities() const = 0;
 
-  /// Run `circuit` under `options`, writing counts, memory, trajectories,
-  /// fusion diagnostics, and backend-specific fields into `result` (whose
-  /// pipeline-level fields the Executor has already filled).
-  virtual void execute(const QuantumCircuit& circuit, const ExecutionOptions& options,
+  /// Run `circuit` under `config` (already validated by the Executor),
+  /// writing counts, memory, trajectories, fusion diagnostics, and
+  /// backend-specific fields into `result` (whose pipeline-level fields the
+  /// Executor has already filled).
+  virtual void execute(const QuantumCircuit& circuit, const RunConfig& config,
                        ExecutionResult& result) const = 0;
 };
 

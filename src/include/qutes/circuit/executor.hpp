@@ -2,9 +2,10 @@
 //
 // Replaces the Qiskit Aer backend in the paper's stack. The executor owns
 // the circuit-level stages — the caller's compilation pipeline (see
-// pass_manager.hpp), option validation, and capability checks — then
-// delegates state evolution and sampling to a Backend resolved by name from
-// the registry in backend.hpp ("statevector", "density", or "mps").
+// pass_manager.hpp), option validation (qutes::RunConfig::validate()), and
+// capability checks — then delegates state evolution and sampling to a
+// Backend resolved by name from the registry in backend.hpp ("statevector",
+// "density", or "mps").
 //
 // The default statevector backend keeps the original two-path engine:
 //  * static circuits (no mid-circuit measurement feeding gates, no reset,
@@ -19,9 +20,12 @@
 // one-pass manager internally, clamping the block width (and, for
 // chain-layout backends, wire contiguity) to its published capabilities:
 // adjacent unitaries are pre-multiplied into dense blocks of up to
-// `max_fused_qubits` wires, cutting the number of full-state sweeps. On the
-// noisy path, gates that acquire noise stay unfused so channels still attach
-// per gate.
+// `backend.max_fused_qubits` wires, cutting the number of full-state sweeps.
+// On the noisy path, gates that acquire noise stay unfused so channels still
+// attach per gate.
+//
+// All run options live in qutes::RunConfig (run_config.hpp) — the same
+// struct the language front end and the CLI consume.
 #pragma once
 
 #include <cstdint>
@@ -31,48 +35,23 @@
 #include "qutes/circuit/circuit.hpp"
 #include "qutes/circuit/pass_manager.hpp"
 #include "qutes/common/rng.hpp"
-#include "qutes/sim/noise.hpp"
+#include "qutes/run_config.hpp"
 #include "qutes/sim/statevector.hpp"
 
 namespace qutes::circ {
 
-struct ExecutionOptions {
-  std::size_t shots = 1024;
-  std::uint64_t seed = 0x5eed0f5eedULL;
-  sim::NoiseModel noise;
-  /// Also record the per-shot bitstrings, in shot order (Aer "memory").
-  bool record_memory = false;
-  /// Widest runtime-fused block; 1 disables gate fusion (gate-at-a-time
-  /// execution, exactly the pre-fusion behavior). Clamped to
-  /// sim::MatrixN::kMaxQubits and to the backend's own capability cap.
-  std::size_t max_fused_qubits = 4;
-  /// Run the per-shot trajectory loop across OpenMP threads. Results are
-  /// independent of the thread count either way.
-  bool parallel_shots = true;
-  /// Optional compilation pipeline run over the circuit before execution
-  /// (e.g. make_pipeline(Preset::Basis)). Not owned; must outlive the run.
-  /// Per-pass instrumentation lands in ExecutionResult::pass_stats.
-  const PassManager* pipeline = nullptr;
-  /// Simulation backend, looked up in the backend registry (backend.hpp):
-  /// "statevector" (dense, exact, ~30-qubit wall), "density" (exact mixed
-  /// states, ~13 qubits), or "mps" (tensor network; scales with entanglement,
-  /// not qubit count). Unknown names throw CircuitError listing the registry.
-  std::string backend = "statevector";
-  /// MPS bond-dimension cap (must be >= 1; only the mps backend reads it).
-  /// Exact simulation needs up to 2^(n/2), so a finite cap trades fidelity
-  /// for tractability; ExecutionResult::truncation_error reports the loss.
-  std::size_t max_bond_dim = 64;
-  /// MPS relative SVD truncation threshold (see sim::MpsOptions).
-  double truncation_threshold = 1e-12;
-};
-
-/// Alias matching the Aer-style "executor options" naming used in docs.
-using ExecutorOptions = ExecutionOptions;
+/// Deprecated aliases for the pre-RunConfig spelling. Note the fields moved:
+/// `backend`/`max_fused_qubits`/`parallel_shots`/`max_bond_dim`/
+/// `truncation_threshold`/`noise` now live under `RunConfig::backend`
+/// (as `backend.name`, ...), and `pipeline` under `RunConfig::pipeline`
+/// (as `pipeline.manager`).
+using ExecutionOptions [[deprecated("use qutes::RunConfig")]] = qutes::RunConfig;
+using ExecutorOptions [[deprecated("use qutes::RunConfig")]] = qutes::RunConfig;
 
 struct ExecutionResult {
   /// Histogram over classical registers, MSB-first (clbit N-1 leftmost).
   sim::Counts counts;
-  /// Per-shot outcomes when options.record_memory is set (else empty).
+  /// Per-shot outcomes when RunConfig::record_memory is set (else empty).
   std::vector<std::string> memory;
   /// Number of trajectories actually simulated (1 for the static fast path).
   std::size_t trajectories = 0;
@@ -84,9 +63,9 @@ struct ExecutionResult {
   std::size_t fused_gates = 0;
   std::size_t fused_blocks = 0;
   std::map<std::size_t, std::size_t> fused_width_histogram;
-  /// Per-pass instrumentation from options.pipeline (empty when no pipeline
-  /// was supplied). The executor's internal FuseGates planning is reported
-  /// through the fused_* fields above, not here.
+  /// Per-pass instrumentation from RunConfig::pipeline (empty when no
+  /// pipeline was supplied). The executor's internal FuseGates planning is
+  /// reported through the fused_* fields above, not here.
   std::vector<PassStats> pass_stats;
   /// Name of the backend that produced this result.
   std::string backend;
@@ -98,9 +77,11 @@ struct ExecutionResult {
 
 class Executor {
 public:
-  explicit Executor(ExecutionOptions options = {}) : options_(options) {}
+  explicit Executor(RunConfig config = {}) : config_(std::move(config)) {}
 
-  /// Run with sampling; returns the counts histogram.
+  /// Run with sampling; returns the counts histogram. Calls
+  /// RunConfig::validate() first, so a bad config throws CircuitError before
+  /// any work happens.
   [[nodiscard]] ExecutionResult run(const QuantumCircuit& circuit) const;
 
   /// Run a single trajectory and return the final state plus the classical
@@ -116,7 +97,7 @@ public:
   [[nodiscard]] static bool is_static(const QuantumCircuit& circuit);
 
 private:
-  ExecutionOptions options_;
+  RunConfig config_;
 };
 
 /// Apply one instruction to a state (measure writes into `clbits`). Exposed

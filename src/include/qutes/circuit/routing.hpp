@@ -58,6 +58,10 @@ struct RoutingResult {
 
 /// Route onto the line topology. Throws CircuitError if the input still has
 /// gates on 3+ qubits.
+/// Deprecated: use a PassManager with the Route pass (or the Hardware
+/// preset, pass_manager.hpp), which threads final_layout/swaps_inserted
+/// through a PropertySet alongside per-pass instrumentation.
+[[deprecated("use PassManager + Route (or make_pipeline(Preset::Hardware))")]]
 [[nodiscard]] RoutingResult route_linear(const QuantumCircuit& circuit,
                                          bool restore_layout = true);
 

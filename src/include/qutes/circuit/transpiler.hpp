@@ -39,6 +39,11 @@ struct TranspileOptions {
 [[nodiscard]] QuantumCircuit optimize(const QuantumCircuit& circuit, int max_passes = 8);
 
 /// Standard pipeline: lowerings per options, then optimization.
+/// Deprecated: compose the equivalent pipeline through PassManager presets —
+/// make_pipeline(Preset::O1) matches the default options, Preset::Basis the
+/// to_basis variant (pass_manager.hpp) — which adds per-pass instrumentation
+/// and a PropertySet the free function cannot return.
+[[deprecated("use make_pipeline(Preset::O1) / make_pipeline(Preset::Basis)")]]
 [[nodiscard]] QuantumCircuit transpile(const QuantumCircuit& circuit,
                                        const TranspileOptions& options = {});
 

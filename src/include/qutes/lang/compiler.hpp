@@ -6,11 +6,15 @@
 //
 // Internals follow the paper's pipeline: lex -> parse -> pass 1
 // (SymbolCollector) -> pass 2 (Interpreter with live circuit+state).
+//
+// Options live in qutes::RunConfig (run_config.hpp) — the same struct the
+// Executor and the CLI consume. The front-end-specific fields are `echo`,
+// `debug_trace` (the statement-level trace, formerly RunOptions::trace),
+// `include_stdlib`, and `replay_shots`; the backend/pipeline sub-structs
+// configure the post-run replay experiment.
 #pragma once
 
-#include <cstdint>
 #include <optional>
-#include <ostream>
 #include <string>
 
 #include "qutes/circuit/circuit.hpp"
@@ -19,50 +23,29 @@
 #include "qutes/lang/ast.hpp"
 #include "qutes/lang/diagnostics.hpp"
 #include "qutes/lang/symbol_table.hpp"
+#include "qutes/run_config.hpp"
 
 namespace qutes::lang {
 
-struct RunOptions {
-  std::uint64_t seed = 0x5eed0f5eedULL;
-  std::ostream* echo = nullptr;   ///< mirror print output here (e.g. &std::cout)
-  std::ostream* trace = nullptr;  ///< statement-level debug trace destination
-  bool include_stdlib = true;     ///< load the Qutes standard library first
-  /// Optional compilation pipeline (e.g. circ::make_pipeline(Preset::O1))
-  /// run over the logged circuit after execution. Not owned; must outlive
-  /// the call. Output lands in RunResult::lowered_circuit, instrumentation
-  /// in RunResult::properties.
-  const circ::PassManager* pipeline = nullptr;
-  /// When > 0, re-run the logged (pipeline-lowered) circuit as a shots
-  /// experiment on `backend` after the live run: every trajectory re-rolls
-  /// every mid-circuit measurement, so the histogram shows the program's
-  /// full outcome distribution, not just the live run's draw. The histogram
-  /// lands in RunResult::replay. Ignored when the program logged no qubits
-  /// (purely classical programs have nothing quantum to re-run).
-  std::size_t replay_shots = 0;
-  /// Simulation backend for the replay ("statevector", "density", or "mps"
-  /// — see circ::backend_names()). The live interpreter always executes on
-  /// the dense statevector (automatic measurement needs amplitudes); the
-  /// backend choice applies to the replay, which is where wide
-  /// low-entanglement circuits need the MPS escape hatch. Unknown names
-  /// throw LangError before anything runs.
-  std::string backend = "statevector";
-  /// MPS bond-dimension cap for the replay (circ::ExecutionOptions).
-  std::size_t max_bond_dim = 64;
-  /// MPS relative SVD truncation threshold for the replay.
-  double truncation_threshold = 1e-12;
-};
+/// Deprecated alias for the pre-RunConfig spelling. Fields moved: `trace`
+/// is now `debug_trace`, and `backend`/`max_bond_dim`/`truncation_threshold`
+/// live under `RunConfig::backend` (as `backend.name`, ...); `pipeline` is
+/// `pipeline.manager`.
+using RunOptions [[deprecated("use qutes::RunConfig")]] = qutes::RunConfig;
 
 struct RunResult {
   std::string output;             ///< everything `print` produced
   circ::QuantumCircuit circuit;   ///< the compiled circuit log
-  /// Pipeline output when RunOptions::pipeline was set; otherwise a copy of
-  /// `circuit`. This is what --qasm exports when a pipeline is requested.
+  /// Pipeline output when RunConfig::pipeline.manager was set; otherwise a
+  /// copy of `circuit`. This is what --qasm exports when a pipeline is
+  /// requested.
   circ::QuantumCircuit lowered_circuit;
   /// Pass instrumentation and analysis state (final layout, per-pass stats)
   /// from the pipeline run; empty without a pipeline.
   circ::PropertySet properties;
-  /// Replay histogram when RunOptions::replay_shots > 0 (run on
-  /// RunOptions::backend with seed+1, so the live run's draws stay intact).
+  /// Replay histogram when RunConfig::replay_shots > 0 (run on
+  /// RunConfig::backend.name with seed+1, so the live run's draws stay
+  /// intact).
   std::optional<circ::ExecutionResult> replay;
   std::size_t num_qubits = 0;
   std::size_t circuit_depth = 0;
@@ -82,10 +65,14 @@ struct CompileResult {
                                            bool include_stdlib = true);
 
 /// Full pipeline: compile then interpret. Throws LangError on any language
-/// error (with source location).
-[[nodiscard]] RunResult run_source(const std::string& source, RunOptions options = {});
+/// error (with source location) — including config validation failures
+/// (RunConfig::validate()'s CircuitError is re-wrapped so every front-end
+/// failure is one catchable type).
+[[nodiscard]] RunResult run_source(const std::string& source,
+                                   qutes::RunConfig config = {});
 
 /// Read a .qut file and run it.
-[[nodiscard]] RunResult run_file(const std::string& path, RunOptions options = {});
+[[nodiscard]] RunResult run_file(const std::string& path,
+                                 qutes::RunConfig config = {});
 
 }  // namespace qutes::lang

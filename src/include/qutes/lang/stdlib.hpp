@@ -5,7 +5,7 @@
 // by the same front end and their bodies run through the same interpreter
 // as user code, which both dogfoods the language and keeps the library
 // trivially extensible. compile_source() loads it ahead of the user
-// program unless RunOptions disables it; user programs may call any of
+// program unless RunConfig disables it; user programs may call any of
 // these but may not redefine them.
 #pragma once
 

@@ -1,0 +1,121 @@
+// qutes::RunConfig — the one run-options struct for the whole stack.
+//
+// Before this header, options lived in two overlapping structs with fuzzy
+// ownership: `lang::RunOptions` (seed/echo/backend/bond-dim for the language
+// front end) and `circ::ExecutionOptions` (the same backend knobs again, plus
+// shots/noise/fusion for the executor), each validated in its own layer with
+// its own error type. RunConfig collapses them: the compiler facade, the
+// executor, every Backend, and the CLI all consume this struct end-to-end,
+// and `validate()` is the single validation point (throws CircuitError; the
+// language layer re-wraps into LangError so CLI diagnostics keep their
+// source-located shape).
+//
+// Layout: run-identity knobs (shots/seed/...) at top level, subsystem knobs
+// grouped in sub-structs —
+//   * pipeline — the optional compilation PassManager,
+//   * backend  — which simulation method and its tuning (fusion width,
+//                bond dim, noise model),
+//   * obs      — observability switches (tracing/metrics + export paths,
+//                see qutes/obs/obs.hpp).
+//
+// The old names survive one release as deprecated aliases
+// (`circ::ExecutionOptions`, `circ::ExecutorOptions`, `lang::RunOptions`);
+// field spellings moved where noted on each member.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "qutes/sim/noise.hpp"
+
+namespace qutes {
+
+namespace circ {
+class PassManager;
+}  // namespace circ
+
+/// Compilation-pipeline stage (consumed by the executor before hand-off to
+/// the backend, and by `lang::run_source` for the logged circuit).
+struct PipelineConfig {
+  /// Optional pass pipeline (e.g. circ::make_pipeline(Preset::Basis)) run
+  /// over the circuit before execution. Not owned; must outlive the run.
+  /// Per-pass instrumentation lands in ExecutionResult::pass_stats (and in
+  /// the obs layer's pipeline.* metrics / pass.* spans).
+  /// Was `ExecutionOptions::pipeline` / `RunOptions::pipeline`.
+  const circ::PassManager* manager = nullptr;
+};
+
+/// Simulation-backend stage: which method runs the circuit, and its tuning.
+struct BackendConfig {
+  /// Backend name, looked up in the registry (circ/backend.hpp):
+  /// "statevector" (dense, exact, ~30-qubit wall), "density" (exact mixed
+  /// states, ~13 qubits), or "mps" (tensor network; scales with
+  /// entanglement, not qubit count). Unknown names fail validate() with a
+  /// CircuitError listing the registry. Was the flat `backend` string.
+  std::string name = "statevector";
+  /// Widest runtime-fused block; 1 disables gate fusion (gate-at-a-time
+  /// execution). Clamped to sim::MatrixN::kMaxQubits and to the backend's
+  /// own capability cap. Was `ExecutionOptions::max_fused_qubits`.
+  std::size_t max_fused_qubits = 4;
+  /// Run the per-shot trajectory loop across OpenMP threads. Results are
+  /// independent of the thread count either way.
+  bool parallel_shots = true;
+  /// MPS bond-dimension cap (must be >= 1; only the mps backend reads it).
+  /// Exact simulation needs up to 2^(n/2), so a finite cap trades fidelity
+  /// for tractability; ExecutionResult::truncation_error reports the loss.
+  std::size_t max_bond_dim = 64;
+  /// MPS relative SVD truncation threshold (see sim::MpsOptions).
+  double truncation_threshold = 1e-12;
+  /// Noise model applied by the backend (trajectory sampling on the
+  /// statevector method, closed-form channels on density). Was the flat
+  /// `ExecutionOptions::noise`.
+  sim::NoiseModel noise;
+};
+
+/// Observability switches (qutes/obs/obs.hpp). The consumer that owns the
+/// run boundary (the CLI, or a test harness) applies these: enables
+/// tracing/metrics before the run and writes the exports after it.
+struct ObsConfig {
+  bool trace = false;            ///< record spans (--trace)
+  bool metrics = false;          ///< record metric instruments (--metrics)
+  std::string trace_path;        ///< Chrome-trace JSON destination ("" = none)
+  std::string metrics_json_path; ///< metrics JSON destination ("" = none)
+};
+
+struct RunConfig {
+  /// Number of sampled shots for executor runs (the language front end
+  /// instead uses `replay_shots` below for its post-run experiment).
+  std::size_t shots = 1024;
+  std::uint64_t seed = 0x5eed0f5eedULL;
+  /// Also record the per-shot bitstrings, in shot order (Aer "memory").
+  bool record_memory = false;
+  /// Language front end: mirror `print` output here (e.g. &std::cout).
+  std::ostream* echo = nullptr;
+  /// Language front end: statement-level debug trace destination. Was
+  /// `RunOptions::trace` (renamed: `obs.trace` now means span tracing).
+  std::ostream* debug_trace = nullptr;
+  /// Language front end: load the Qutes standard library first.
+  bool include_stdlib = true;
+  /// Language front end: when > 0, re-run the logged (pipeline-lowered)
+  /// circuit as a shots experiment on `backend.name` after the live run:
+  /// every trajectory re-rolls every mid-circuit measurement, so the
+  /// histogram shows the program's full outcome distribution, not just the
+  /// live run's draw. Lands in RunResult::replay. Ignored when the program
+  /// logged no qubits.
+  std::size_t replay_shots = 0;
+
+  PipelineConfig pipeline = {};
+  BackendConfig backend = {};
+  ObsConfig obs = {};
+
+  /// The single validation point: checks the backend name against the
+  /// registry and the numeric knobs' ranges. Throws CircuitError with the
+  /// same messages every layer used to duplicate ("unknown backend ...",
+  /// "max_bond_dim ..."). The executor and `lang::run_source` both call
+  /// this; callers driving backends directly may call it early to fail
+  /// before any work happens.
+  void validate() const;
+};
+
+}  // namespace qutes

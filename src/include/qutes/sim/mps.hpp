@@ -153,6 +153,12 @@ public:
   /// (discarded singular values)^2 / (total)^2. 0 in the exact regime.
   [[nodiscard]] double truncation_error() const noexcept { return truncation_error_; }
 
+  /// Number of lossy SVD splits so far (splits that actually discarded
+  /// weight; 0 in the exact regime). Feeds the mps.svd_truncations metric.
+  [[nodiscard]] std::size_t svd_truncations() const noexcept {
+    return svd_truncations_;
+  }
+
 private:
   // Site tensor i has dims (dl_[i], 2, dr_[i]), flattened row-major as
   // t[(l * 2 + p) * dr + r]; dr_[i] == dl_[i+1], dl_[0] == dr_[n-1] == 1.
@@ -182,6 +188,7 @@ private:
   std::vector<std::size_t> dl_, dr_;
   std::size_t max_bond_reached_ = 1;
   double truncation_error_ = 0.0;
+  std::size_t svd_truncations_ = 0;
 };
 
 }  // namespace qutes::sim

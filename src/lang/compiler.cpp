@@ -3,48 +3,53 @@
 #include <fstream>
 #include <sstream>
 
-#include "qutes/circuit/backend.hpp"
 #include "qutes/lang/interpreter.hpp"
 #include "qutes/lang/lexer.hpp"
 #include "qutes/lang/parser.hpp"
 #include "qutes/lang/stdlib.hpp"
 #include "qutes/lang/symbol_collector.hpp"
+#include "qutes/obs/obs.hpp"
 
 namespace qutes::lang {
 
 CompileResult compile_source(const std::string& source, bool include_stdlib) {
+  obs::Span span("lang.compile");
   CompileResult result;
   if (include_stdlib) {
     // The stdlib is pure function declarations: collecting it registers its
     // functions; there are no top-level effects to execute.
+    obs::Span stdlib_span("lang.parse_stdlib");
     result.stdlib_program = parse(stdlib_source());
     SymbolCollector stdlib_collector(result.functions, result.diagnostics);
     stdlib_collector.collect(result.stdlib_program);
   }
-  result.program = parse(source);
+  {
+    obs::Span parse_span("lang.parse");
+    result.program = parse(source);
+  }
+  obs::Span collect_span("lang.collect_symbols");
   SymbolCollector collector(result.functions, result.diagnostics);
   collector.collect(result.program);
+  static obs::Counter& statements_metric =
+      obs::metrics().counter(obs::names::kLangStatements);
+  statements_metric.add(result.program.statements.size());
   return result;
 }
 
-RunResult run_source(const std::string& source, RunOptions options) {
-  if (!circ::backend_known(options.backend)) {
-    std::string known;
-    for (const std::string& name : circ::backend_names()) {
-      if (!known.empty()) known += ", ";
-      known += name;
-    }
-    throw LangError("unknown backend \"" + options.backend +
-                        "\" (known backends: " + known + ")",
-                    SourceLocation{});
+RunResult run_source(const std::string& source, qutes::RunConfig config) {
+  obs::Span span("lang.run_source");
+  // The single validation point is RunConfig::validate(); re-wrap its
+  // CircuitError so the front end throws one catchable type (LangError)
+  // for every failure.
+  try {
+    config.validate();
+  } catch (const CircuitError& e) {
+    throw LangError(e.what(), SourceLocation{});
   }
-  if (options.max_bond_dim == 0) {
-    throw LangError("--max-bond-dim must be >= 1", SourceLocation{});
-  }
-  CompileResult compiled = compile_source(source, options.include_stdlib);
+  CompileResult compiled = compile_source(source, config.include_stdlib);
 
   Interpreter interpreter(
-      {.seed = options.seed, .echo = options.echo, .trace = options.trace});
+      {.seed = config.seed, .echo = config.echo, .trace = config.debug_trace});
   interpreter.run(compiled.program, compiled.functions);
 
   RunResult result;
@@ -53,31 +58,30 @@ RunResult run_source(const std::string& source, RunOptions options) {
   result.num_qubits = result.circuit.num_qubits();
   result.circuit_depth = result.circuit.depth();
   result.gate_count = result.circuit.gate_count();
-  if (options.pipeline) {
-    result.lowered_circuit = options.pipeline->run(result.circuit, result.properties);
+  if (config.pipeline.manager) {
+    result.lowered_circuit =
+        config.pipeline.manager->run(result.circuit, result.properties);
   } else {
     result.lowered_circuit = result.circuit;
   }
   // A purely classical program logs no qubits; there is nothing quantum to
   // re-run, and the Executor (rightly) refuses empty circuits.
-  if (options.replay_shots > 0 && result.lowered_circuit.num_qubits() > 0) {
-    circ::ExecutionOptions exec_options;
-    exec_options.shots = options.replay_shots;
-    exec_options.seed = options.seed + 1;  // independent of the live run's draws
-    exec_options.backend = options.backend;
-    exec_options.max_bond_dim = options.max_bond_dim;
-    exec_options.truncation_threshold = options.truncation_threshold;
-    result.replay = circ::Executor(exec_options).run(result.lowered_circuit);
+  if (config.replay_shots > 0 && result.lowered_circuit.num_qubits() > 0) {
+    qutes::RunConfig replay_config;
+    replay_config.shots = config.replay_shots;
+    replay_config.seed = config.seed + 1;  // independent of the live run's draws
+    replay_config.backend = config.backend;
+    result.replay = circ::Executor(replay_config).run(result.lowered_circuit);
   }
   return result;
 }
 
-RunResult run_file(const std::string& path, RunOptions options) {
+RunResult run_file(const std::string& path, qutes::RunConfig config) {
   std::ifstream file(path);
   if (!file) throw Error("cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return run_source(buffer.str(), options);
+  return run_source(buffer.str(), std::move(config));
 }
 
 }  // namespace qutes::lang

@@ -10,6 +10,7 @@
 #include "qutes/algorithms/state_prep.hpp"
 #include "qutes/common/bitops.hpp"
 #include "qutes/lang/builtins.hpp"
+#include "qutes/obs/obs.hpp"
 
 namespace qutes::lang {
 
@@ -55,11 +56,15 @@ void Interpreter::emit_output(const std::string& text) {
 }
 
 void Interpreter::run(Program& program, FunctionTable& functions) {
+  obs::Span span("lang.interpret");
   functions_ = &functions;
   for (const StmtPtr& stmt : program.statements) execute(*stmt);
 }
 
 void Interpreter::execute(Stmt& stmt) {
+  static obs::Counter& executed_metric =
+      obs::metrics().counter(obs::names::kLangStmtsExecuted);
+  executed_metric.add(1);
   if (trace_ != nullptr) {
     StmtTagger tagger;
     stmt.accept(tagger);

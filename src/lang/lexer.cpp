@@ -3,6 +3,8 @@
 #include <cctype>
 #include <map>
 
+#include "qutes/obs/obs.hpp"
+
 namespace qutes::lang {
 
 const char* token_type_name(TokenType type) noexcept {
@@ -341,7 +343,12 @@ std::vector<Token> Lexer::tokenize() {
 }
 
 std::vector<Token> tokenize(const std::string& source) {
-  return Lexer(source).tokenize();
+  obs::Span span("lang.tokenize");
+  std::vector<Token> tokens = Lexer(source).tokenize();
+  static obs::Counter& tokens_metric =
+      obs::metrics().counter(obs::names::kLangTokens);
+  tokens_metric.add(tokens.size());
+  return tokens;
 }
 
 }  // namespace qutes::lang

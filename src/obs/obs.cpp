@@ -1,0 +1,392 @@
+#include "qutes/obs/obs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace qutes::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_metrics{false};
+
+/// Process trace epoch: all event timestamps are relative to the first time
+/// the obs layer is touched, so traces start near t=0.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+struct RawEvent {
+  std::string name;
+  std::chrono::steady_clock::time_point start;
+  std::chrono::steady_clock::duration dur;
+};
+
+/// One buffer per thread that ever recorded a span. Buffers are owned by the
+/// global registry and never destroyed (a worker thread may exit while its
+/// events are still awaiting collection); clear_trace() empties the event
+/// vectors but keeps the buffers, so the cached thread-local pointers stay
+/// valid for the life of the process.
+struct ThreadBuffer {
+  int tid = 0;
+  std::vector<RawEvent> events;
+  std::mutex mutex;  ///< events are appended by the owner, read by collectors
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+TraceState& trace_state() {
+  static TraceState* state = new TraceState();  // never destroyed: spans may
+  return *state;                                // outlive static teardown order
+}
+
+ThreadBuffer& this_thread_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    TraceState& state = trace_state();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->tid = static_cast<int>(state.buffers.size());
+    owned->events.reserve(1024);
+    state.buffers.push_back(std::move(owned));
+    return state.buffers.back().get();
+  }();
+  return *buffer;
+}
+
+double to_us(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+/// Minimal JSON string escaping for span/metric names.
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Shortest decimal form that round-trips to the same double. Six significant
+/// digits are not enough here: a span timestamp is microseconds since the
+/// trace epoch, so after ~10 s of process uptime "%.6g" quantizes ts to 10 us
+/// steps and child spans appear to straddle their parents.
+std::string format_double(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+// ---- enablement -------------------------------------------------------------
+
+void set_tracing_enabled(bool enabled) noexcept {
+  (void)trace_epoch();  // pin the epoch before the first span
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+  return g_metrics.load(std::memory_order_relaxed);
+}
+
+// ---- Span -------------------------------------------------------------------
+
+Span::~Span() {
+  if (!record_) return;
+  const auto dur = std::chrono::steady_clock::now() - start_;
+  ThreadBuffer& buffer = this_thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(
+      RawEvent{lit_ ? std::string(lit_) : owned_, start_, dur});
+}
+
+void clear_trace() {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::vector<TraceEvent> collect_trace() {
+  std::vector<TraceEvent> merged;
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  const auto epoch = trace_epoch();
+  for (auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const RawEvent& raw : buffer->events) {
+      merged.push_back(TraceEvent{raw.name, to_us(raw.start - epoch),
+                                  to_us(raw.dur), buffer->tid});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;  // parents before children
+            });
+  return merged;
+}
+
+std::string export_chrome_trace() {
+  const std::vector<TraceEvent> events = collect_trace();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    append_json_escaped(out, e.name);
+    out += "\",\"ph\":\"X\",\"ts\":" + format_double(e.ts_us) +
+           ",\"dur\":" + format_double(e.dur_us) +
+           ",\"pid\":0,\"tid\":" + std::to_string(e.tid) + "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << export_chrome_trace();
+  return static_cast<bool>(out);
+}
+
+// ---- instruments ------------------------------------------------------------
+
+void Gauge::set_max(double v) noexcept {
+  if (!metrics_enabled()) return;
+  double current = value_.load(std::memory_order_relaxed);
+  while (v > current &&
+         !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+void atomic_add(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v < current &&
+         !target.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v > current &&
+         !target.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(double v) noexcept {
+  if (!metrics_enabled()) return;
+  if (!has_value_.exchange(true, std::memory_order_relaxed)) {
+    // First record seeds min/max; racing recorders fix them up below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+  }
+  atomic_add(sum_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+double Histogram::min() const noexcept { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_value_.store(false, std::memory_order_relaxed);
+}
+
+// ---- registry ---------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // std::map nodes are stable: references handed out survive later inserts.
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* instance = new Impl();  // never destroyed, like the trace state
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  const auto it = state.counters.find(name);
+  if (it != state.counters.end()) return it->second;
+  return state.counters.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  const auto it = state.gauges.find(name);
+  if (it != state.gauges.end()) return it->second;
+  return state.gauges.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  const auto it = state.histograms.find(name);
+  if (it != state.histograms.end()) return it->second;
+  return state.histograms.try_emplace(std::string(name)).first->second;
+}
+
+void MetricsRegistry::reset() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [name, counter] : state.counters) counter.reset();
+  for (auto& [name, gauge] : state.gauges) gauge.reset();
+  for (auto& [name, histogram] : state.histograms) histogram.reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& [name, counter] : state.counters) {
+    snap.counters[name] = counter.value();
+  }
+  for (const auto& [name, gauge] : state.gauges) {
+    snap.gauges[name] = gauge.value();
+  }
+  for (const auto& [name, histogram] : state.histograms) {
+    snap.histograms[name] = HistogramSnapshot{histogram.count(), histogram.sum(),
+                                              histogram.min(), histogram.max()};
+  }
+  return snap;
+}
+
+MetricsRegistry& metrics() noexcept {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void reset_metrics() { metrics().reset(); }
+
+std::string export_metrics_json() {
+  const MetricsRegistry::Snapshot snap = metrics().snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_json_escaped(out, name);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_json_escaped(out, name);
+    out += "\":" + format_double(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_json_escaped(out, name);
+    out += "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + format_double(h.sum) +
+           ",\"min\":" + format_double(h.min) +
+           ",\"max\":" + format_double(h.max) + "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << export_metrics_json();
+  return static_cast<bool>(out);
+}
+
+std::string format_metrics_report() {
+  const MetricsRegistry::Snapshot snap = metrics().snapshot();
+  std::ostringstream out;
+  char line[192];
+  std::snprintf(line, sizeof line, "%-9s %-28s %s\n", "kind", "name", "value");
+  out << line;
+  for (const auto& [name, value] : snap.counters) {
+    if (value == 0) continue;
+    std::snprintf(line, sizeof line, "%-9s %-28s %llu\n", "counter",
+                  name.c_str(), static_cast<unsigned long long>(value));
+    out << line;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (value == 0.0) continue;
+    std::snprintf(line, sizeof line, "%-9s %-28s %.6g\n", "gauge", name.c_str(),
+                  value);
+    out << line;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (h.count == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "%-9s %-28s count=%llu sum=%.6g min=%.6g max=%.6g\n",
+                  "histogram", name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.sum, h.min, h.max);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace qutes::obs

@@ -222,6 +222,7 @@ Mps Mps::from_statevector(const StateVector& psi, MpsOptions options) {
     for (std::size_t j = 0; j < keep; ++j) kept2 += svd.s[j] * svd.s[j];
     if (total2 > 0.0 && kept2 < total2) {
       mps.truncation_error_ += (total2 - kept2) / total2;
+      ++mps.svd_truncations_;
       const double rescale = std::sqrt(total2 / kept2);
       for (std::size_t j = 0; j < keep; ++j) svd.s[j] *= rescale;
     }
@@ -421,6 +422,7 @@ void Mps::apply_2q_adjacent(const Matrix4& u, std::size_t i, bool low_site_is_q0
   for (std::size_t j = 0; j < keep; ++j) kept2 += svd.s[j] * svd.s[j];
   if (kept2 < total2) {
     truncation_error_ += (total2 - kept2) / total2;
+    ++svd_truncations_;
     // Renormalize the kept spectrum so the state stays a unit vector and
     // downstream sampling probabilities remain a distribution.
     const double rescale = std::sqrt(total2 / kept2);

@@ -28,7 +28,7 @@ constexpr Backend kAllBackends[] = {
 };
 
 circ::Executor single_shot_executor() {
-  circ::ExecutionOptions options;
+  qutes::RunConfig options;
   options.shots = 1;
   options.seed = 1;
   return circ::Executor(options);
@@ -444,10 +444,10 @@ DiffReport diff_dynamic_backends(const QuantumCircuit& circuit, std::uint64_t se
     return std::string("histograms identical");
   };
 
-  circ::ExecutionOptions exec;
+  qutes::RunConfig exec;
   exec.shots = options.shots;
   exec.seed = options.exec_seed;
-  exec.max_fused_qubits = 4;
+  exec.backend.max_fused_qubits = 4;
 
   try {
     const std::map<std::string, double> reference =
@@ -465,8 +465,8 @@ DiffReport diff_dynamic_backends(const QuantumCircuit& circuit, std::uint64_t se
     }
 
     ++report.comparisons;
-    circ::ExecutionOptions unfused_options = exec;
-    unfused_options.max_fused_qubits = 1;
+    qutes::RunConfig unfused_options = exec;
+    unfused_options.backend.max_fused_qubits = 1;
     const sim::Counts unfused = circ::Executor(unfused_options).run(circuit).counts;
     if (unfused != fused) {
       fail("fused-vs-unfused", 1.0,
@@ -501,12 +501,12 @@ DiffReport diff_dynamic_backends(const QuantumCircuit& circuit, std::uint64_t se
     // MPS trajectories cost far more than dense ones at these widths, so the
     // check samples a deterministic quarter of the seed space instead of
     // running 2 x shots trajectories for every circuit in a sweep.
-    if (!exec.noise.enabled() && seed % 4 == 0) {
+    if (!exec.backend.noise.enabled() && seed % 4 == 0) {
       ++report.comparisons;
-      circ::ExecutionOptions mps_options = exec;
-      mps_options.backend = "mps";
-      mps_options.max_bond_dim = 4096;
-      mps_options.truncation_threshold = 0.0;
+      qutes::RunConfig mps_options = exec;
+      mps_options.backend.name = "mps";
+      mps_options.backend.max_bond_dim = 4096;
+      mps_options.backend.truncation_threshold = 0.0;
       const sim::Counts mps_counts = circ::Executor(mps_options).run(circuit).counts;
       const double mps_tvd =
           total_variation_distance(reference, counts_to_distribution(mps_counts));
@@ -521,8 +521,8 @@ DiffReport diff_dynamic_backends(const QuantumCircuit& circuit, std::uint64_t se
       // Counter-derived per-shot RNG streams must make the histogram
       // bit-identical whether the shot loop runs serial or OpenMP-parallel.
       ++report.comparisons;
-      circ::ExecutionOptions serial_options = mps_options;
-      serial_options.parallel_shots = false;
+      qutes::RunConfig serial_options = mps_options;
+      serial_options.backend.parallel_shots = false;
       const sim::Counts mps_serial =
           circ::Executor(serial_options).run(circuit).counts;
       if (mps_serial != mps_counts) {

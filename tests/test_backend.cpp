@@ -14,6 +14,7 @@
 #include "qutes/circuit/executor.hpp"
 #include "qutes/common/error.hpp"
 #include "qutes/lang/compiler.hpp"
+#include "qutes/obs/obs.hpp"
 #include "qutes/testing/differential.hpp"
 #include "qutes/testing/generators.hpp"
 
@@ -66,8 +67,8 @@ TEST(BackendRegistry, UnknownNameThrowsListingKnownBackends) {
 }
 
 TEST(BackendRegistry, ExecutorRejectsUnknownBackendName) {
-  circ::ExecutionOptions options;
-  options.backend = "qpu";
+  qutes::RunConfig options;
+  options.backend.name = "qpu";
   EXPECT_THROW((void)circ::Executor(options).run(ghz(2)), CircuitError);
 }
 
@@ -89,7 +90,7 @@ public:
   [[nodiscard]] circ::BackendCapabilities capabilities() const override {
     return {};
   }
-  void execute(const circ::QuantumCircuit&, const circ::ExecutionOptions& options,
+  void execute(const circ::QuantumCircuit&, const qutes::RunConfig& options,
                circ::ExecutionResult& result) const override {
     result.counts["fixed"] = options.shots;
     result.trajectories = 1;
@@ -103,8 +104,8 @@ TEST(BackendRegistry, CustomBackendRunsThroughTheExecutor) {
     return std::make_unique<FixedCountsBackend>();
   });
   EXPECT_TRUE(circ::backend_known("fixed-counts"));
-  circ::ExecutionOptions options;
-  options.backend = "fixed-counts";
+  qutes::RunConfig options;
+  options.backend.name = "fixed-counts";
   options.shots = 77;
   const circ::ExecutionResult result = circ::Executor(options).run(ghz(2));
   EXPECT_EQ(result.backend, "fixed-counts");
@@ -114,9 +115,9 @@ TEST(BackendRegistry, CustomBackendRunsThroughTheExecutor) {
 // ---- executor-side validation and capability checks -------------------------
 
 TEST(BackendCapabilities, ZeroBondDimensionIsRejectedUpFront) {
-  circ::ExecutionOptions options;
-  options.backend = "mps";
-  options.max_bond_dim = 0;
+  qutes::RunConfig options;
+  options.backend.name = "mps";
+  options.backend.max_bond_dim = 0;
   try {
     (void)circ::Executor(options).run(ghz(2));
     FAIL() << "max_bond_dim=0 accepted";
@@ -129,7 +130,7 @@ TEST(BackendCapabilities, StatevectorQubitCeilingSuggestsMps) {
   circ::QuantumCircuit wide(sim::StateVector::kMaxQubits + 2, 1);
   wide.h(0);
   try {
-    (void)circ::Executor(circ::ExecutionOptions{}).run(wide);
+    (void)circ::Executor(qutes::RunConfig{}).run(wide);
     FAIL() << "statevector accepted a circuit past its qubit ceiling";
   } catch (const CircuitError& e) {
     const std::string what = e.what();
@@ -143,8 +144,8 @@ TEST(BackendCapabilities, StatevectorQubitCeilingSuggestsMps) {
 TEST(BackendCapabilities, MpsRunsPastTheDenseCeiling) {
   // The same width that makes the dense backend refuse is routine for the
   // MPS: a GHZ chain keeps every bond at dimension 2.
-  circ::ExecutionOptions options;
-  options.backend = "mps";
+  qutes::RunConfig options;
+  options.backend.name = "mps";
   options.shots = 256;
   const circ::ExecutionResult result =
       circ::Executor(options).run(ghz(sim::StateVector::kMaxQubits + 4));
@@ -155,9 +156,9 @@ TEST(BackendCapabilities, MpsRunsPastTheDenseCeiling) {
 }
 
 TEST(BackendCapabilities, MpsRefusesNoiseModels) {
-  circ::ExecutionOptions options;
-  options.backend = "mps";
-  options.noise.depolarizing_1q = 0.01;
+  qutes::RunConfig options;
+  options.backend.name = "mps";
+  options.backend.noise.depolarizing_1q = 0.01;
   try {
     (void)circ::Executor(options).run(ghz(3));
     FAIL() << "mps accepted a noise model";
@@ -172,8 +173,8 @@ TEST(BackendCapabilities, DensityRefusesDynamicCircuits) {
   c.h(0).measure(0, 0);
   c.x(1).c_if(0, 1);
   c.measure_all();
-  circ::ExecutionOptions options;
-  options.backend = "density";
+  qutes::RunConfig options;
+  options.backend.name = "density";
   try {
     (void)circ::Executor(options).run(c);
     FAIL() << "density accepted a dynamic circuit";
@@ -193,13 +194,13 @@ TEST(BackendSemantics, DensityMatchesTrajectoryAverageUnderNoise) {
   c.h(0).cx(0, 1).x(1);
   c.measure_all();
 
-  circ::ExecutionOptions options;
+  qutes::RunConfig options;
   options.shots = 20000;
-  options.noise.depolarizing_1q = 0.05;
-  options.noise.depolarizing_2q = 0.08;
-  options.backend = "density";
+  options.backend.noise.depolarizing_1q = 0.05;
+  options.backend.noise.depolarizing_2q = 0.08;
+  options.backend.name = "density";
   const sim::Counts exact = circ::Executor(options).run(c).counts;
-  options.backend = "statevector";
+  options.backend.name = "statevector";
   const sim::Counts sampled = circ::Executor(options).run(c).counts;
 
   const double tvd = qt::total_variation_distance(
@@ -212,10 +213,10 @@ TEST(BackendSemantics, DensityAppliesReadoutError) {
   // which only shows up if the density sampling path honors the model.
   circ::QuantumCircuit c(1, 1);
   c.measure(0, 0);
-  circ::ExecutionOptions options;
-  options.backend = "density";
+  qutes::RunConfig options;
+  options.backend.name = "density";
   options.shots = 20000;
-  options.noise.readout_error = 0.1;
+  options.backend.noise.readout_error = 0.1;
   const sim::Counts counts = circ::Executor(options).run(c).counts;
   const double p1 = static_cast<double>(counts.at("1")) / 20000.0;
   EXPECT_NEAR(p1, 0.1, 0.02);
@@ -224,13 +225,13 @@ TEST(BackendSemantics, DensityAppliesReadoutError) {
 TEST(BackendSemantics, MpsStaticCountsAreThreadInvariant) {
   // Counter-derived Rng(seed, shot) streams: the histogram may not depend on
   // whether the shot loop ran serial or across OpenMP threads.
-  circ::ExecutionOptions options;
-  options.backend = "mps";
+  qutes::RunConfig options;
+  options.backend.name = "mps";
   options.shots = 4096;
-  options.parallel_shots = true;
+  options.backend.parallel_shots = true;
   const circ::QuantumCircuit c = ghz(16);
   const sim::Counts parallel = circ::Executor(options).run(c).counts;
-  options.parallel_shots = false;
+  options.backend.parallel_shots = false;
   const sim::Counts serial = circ::Executor(options).run(c).counts;
   EXPECT_EQ(parallel, serial);
 }
@@ -242,12 +243,12 @@ TEST(BackendSemantics, MpsDynamicCountsAreThreadInvariant) {
   c.h(2).measure(2, 2);
   c.reset(2);
   c.measure_all();
-  circ::ExecutionOptions options;
-  options.backend = "mps";
+  qutes::RunConfig options;
+  options.backend.name = "mps";
   options.shots = 2048;
-  options.parallel_shots = true;
+  options.backend.parallel_shots = true;
   const circ::ExecutionResult parallel = circ::Executor(options).run(c);
-  options.parallel_shots = false;
+  options.backend.parallel_shots = false;
   const circ::ExecutionResult serial = circ::Executor(options).run(c);
   EXPECT_EQ(parallel.counts, serial.counts);
   EXPECT_FALSE(parallel.fast_path);
@@ -258,16 +259,16 @@ TEST(BackendSemantics, MpsReportsTruncationDiagnostics) {
   // Brickwork entangles the full register; a bond cap of 2 cannot hold it,
   // so the run must report the discarded weight instead of hiding it.
   const circ::QuantumCircuit c = qt::brickwork_circuit(10, 6, 0xbead);
-  circ::ExecutionOptions options;
-  options.backend = "mps";
+  qutes::RunConfig options;
+  options.backend.name = "mps";
   options.shots = 64;
-  options.max_bond_dim = 2;
+  options.backend.max_bond_dim = 2;
   const circ::ExecutionResult truncated = circ::Executor(options).run(c);
   EXPECT_GT(truncated.truncation_error, 0.0);
   EXPECT_EQ(truncated.max_bond_dim_reached, 2u);
 
-  options.max_bond_dim = 4096;
-  options.truncation_threshold = 0.0;
+  options.backend.max_bond_dim = 4096;
+  options.backend.truncation_threshold = 0.0;
   const circ::ExecutionResult exact = circ::Executor(options).run(c);
   EXPECT_EQ(exact.truncation_error, 0.0);
   EXPECT_GT(exact.max_bond_dim_reached, 2u);
@@ -280,11 +281,11 @@ TEST(BackendFusion, MpsClampsFusedBlocksToTwoAdjacentQubits) {
   // to 4 wires wide; the MPS capability entry clamps planning to 2-qubit
   // blocks on contiguous wires — no executor-side special case involved.
   const circ::QuantumCircuit c = qt::brickwork_circuit(8, 4, 0xfade);
-  circ::ExecutionOptions options;
+  qutes::RunConfig options;
   options.shots = 16;
-  options.max_fused_qubits = 4;
+  options.backend.max_fused_qubits = 4;
 
-  options.backend = "statevector";
+  options.backend.name = "statevector";
   const circ::ExecutionResult dense = circ::Executor(options).run(c);
   EXPECT_GT(dense.fused_blocks, 0u);
   std::size_t dense_widest = 0;
@@ -293,7 +294,7 @@ TEST(BackendFusion, MpsClampsFusedBlocksToTwoAdjacentQubits) {
   }
   EXPECT_GT(dense_widest, 2u);
 
-  options.backend = "mps";
+  options.backend.name = "mps";
   const circ::ExecutionResult mps = circ::Executor(options).run(c);
   EXPECT_GT(mps.fused_blocks, 0u);
   for (const auto& [width, blocks] : mps.fused_width_histogram) {
@@ -303,10 +304,10 @@ TEST(BackendFusion, MpsClampsFusedBlocksToTwoAdjacentQubits) {
 
 TEST(BackendFusion, DensityRunsGateAtATime) {
   const circ::QuantumCircuit c = qt::brickwork_circuit(4, 3, 0xd0d0);
-  circ::ExecutionOptions options;
-  options.backend = "density";
+  qutes::RunConfig options;
+  options.backend.name = "density";
   options.shots = 16;
-  options.max_fused_qubits = 4;
+  options.backend.max_fused_qubits = 4;
   const circ::ExecutionResult result = circ::Executor(options).run(c);
   EXPECT_EQ(result.fused_blocks, 0u);
   EXPECT_EQ(result.fused_gates, 0u);
@@ -315,8 +316,8 @@ TEST(BackendFusion, DensityRunsGateAtATime) {
 // ---- language facade plumbing -----------------------------------------------
 
 TEST(LangBackend, UnknownBackendNameThrowsLangErrorBeforeRunning) {
-  qutes::lang::RunOptions options;
-  options.backend = "qpu";
+  qutes::RunConfig options;
+  options.backend.name = "qpu";
   try {
     (void)qutes::lang::run_source("print 1;", options);
     FAIL() << "run_source accepted an unknown backend";
@@ -328,15 +329,15 @@ TEST(LangBackend, UnknownBackendNameThrowsLangErrorBeforeRunning) {
 }
 
 TEST(LangBackend, ZeroBondDimensionThrowsLangError) {
-  qutes::lang::RunOptions options;
-  options.max_bond_dim = 0;
+  qutes::RunConfig options;
+  options.backend.max_bond_dim = 0;
   EXPECT_THROW((void)qutes::lang::run_source("print 1;", options), LangError);
 }
 
 TEST(LangBackend, ReplayRunsOnTheRequestedBackend) {
-  qutes::lang::RunOptions options;
+  qutes::RunConfig options;
   options.replay_shots = 64;
-  options.backend = "mps";
+  options.backend.name = "mps";
   const qutes::lang::RunResult result =
       qutes::lang::run_source("qubit q = |+>; print q;", options);
   ASSERT_TRUE(result.replay.has_value());
@@ -345,9 +346,41 @@ TEST(LangBackend, ReplayRunsOnTheRequestedBackend) {
 }
 
 TEST(LangBackend, ReplayIsSkippedForPurelyClassicalPrograms) {
-  qutes::lang::RunOptions options;
+  qutes::RunConfig options;
   options.replay_shots = 16;
   const qutes::lang::RunResult result =
       qutes::lang::run_source("print 1 + 2;", options);
   EXPECT_FALSE(result.replay.has_value());
+}
+
+// ---- capability metrics -------------------------------------------------------
+
+// Each backend publishes its own obs instruments: gates applied, peak state
+// bytes, and (for MPS) bond-dimension / truncation gauges.
+TEST(BackendMetrics, EachBackendPublishesItsCapabilityMetrics) {
+  namespace obs = qutes::obs;
+  obs::set_metrics_enabled(true);
+  const auto snapshot_for = [](const std::string& backend) {
+    obs::reset_metrics();
+    qutes::RunConfig options;
+    options.shots = 16;
+    options.seed = 7;
+    options.backend.name = backend;
+    (void)circ::Executor(options).run(ghz(3));
+    return obs::metrics().snapshot();
+  };
+
+  const auto sv = snapshot_for("statevector");
+  EXPECT_GT(sv.counters.at("sv.gates_applied"), 0u);
+  EXPECT_EQ(sv.gauges.at("sv.peak_bytes"), 16.0 * 8.0);  // 2^3 amplitudes
+
+  const auto density = snapshot_for("density");
+  EXPECT_GT(density.counters.at("density.gates_applied"), 0u);
+  EXPECT_EQ(density.gauges.at("density.peak_bytes"), 16.0 * 64.0);  // 4^3
+
+  const auto mps = snapshot_for("mps");
+  EXPECT_GT(mps.counters.at("mps.gates_applied"), 0u);
+  EXPECT_GE(mps.gauges.at("mps.max_bond_dim"), 2.0);  // GHZ needs bond 2
+  obs::set_metrics_enabled(false);
+  obs::reset_metrics();
 }

@@ -12,7 +12,7 @@ using namespace qutes;
 using namespace qutes::lang;
 
 std::string run(const std::string& source, std::uint64_t seed = 7) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.seed = seed;
   return run_source(source, options).output;
 }
@@ -129,7 +129,7 @@ TEST(Conformance, Comments) {
 
 // barrier statement reaches the circuit log
 TEST(Conformance, BarrierStatement) {
-  RunOptions options;
+  qutes::RunConfig options;
   const auto result = run_source("qubit q = |0>; barrier; not q;", options);
   EXPECT_EQ(result.circuit.count_ops().count("barrier"), 1u);
 }

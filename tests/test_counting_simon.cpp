@@ -29,7 +29,7 @@ TEST(ControlledGrover, ControlOffIsIdentity) {
 
   const std::uint64_t marked[] = {5};
   append_controlled_grover_iteration(c, 0, qubits, marked);
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   EXPECT_NEAR(ex.run_single(c).state.fidelity(ex.run_single(ref).state), 1.0, 1e-9);
 }
 
@@ -57,7 +57,7 @@ TEST(ControlledGrover, ControlOnMatchesPlainIteration) {
   // corrects that sign (Z on the control), so match it with a global phase.
   plain.add_global_phase(M_PI);
 
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   const auto a = ex.run_single(controlled);
   const auto b = ex.run_single(plain);
   for (std::uint64_t i = 0; i < a.state.dim(); ++i) {
@@ -143,7 +143,7 @@ TEST(Simon, SamplesAreOrthogonalToTheSecret) {
   const auto circuit = build_simon_circuit(3, secret);
   Rng rng(5);
   for (int round = 0; round < 20; ++round) {
-    circ::Executor ex({.shots = 1, .seed = rng(), .noise = {}});
+    circ::Executor ex({.shots = 1, .seed = rng()});
     const std::uint64_t y = ex.run_single(circuit).clbits & 7u;
     EXPECT_EQ(std::popcount(y & secret) % 2, 0) << "y=" << y;
   }

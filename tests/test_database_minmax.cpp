@@ -31,7 +31,7 @@ TEST_P(LessThanOracle, MarksExactlyTheStatesBelow) {
   circ::QuantumCircuit c(n);
   for (std::size_t q : iota(n)) c.h(q);
   append_less_than_oracle(c, iota(n), bound);
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   for (std::uint64_t x = 0; x < 16; ++x) {
     const double expected = (x < bound ? -1.0 : 1.0) / 4.0;
@@ -56,7 +56,7 @@ TEST(LessThanOracle, SelfInverse) {
   circ::QuantumCircuit ref = c;
   append_less_than_oracle(c, iota(4), 11);
   append_less_than_oracle(c, iota(4), 11);
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   EXPECT_NEAR(ex.run_single(c).state.fidelity(ex.run_single(ref).state), 1.0, 1e-9);
 }
 
@@ -117,7 +117,7 @@ TEST(Database, LessThanSearchAmplifiesSmallEntries) {
   const QuantumDatabase db({12, 3, 14, 9, 13, 15, 11, 10});  // 3 and 9 below 10
   const circ::QuantumCircuit circuit = db.build_less_than_circuit(
       10, optimal_grover_iterations(8, 2));
-  circ::Executor ex({.shots = 1, .seed = 4, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 4});
   // Strip measurement, inspect index distribution.
   circ::QuantumCircuit unm;
   unm.add_register("idx", db.index_qubits());

@@ -13,7 +13,7 @@ using namespace qutes;
 using namespace qutes::lang;
 
 std::string run(const std::string& source, std::uint64_t seed = 7) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.seed = seed;
   return run_source(source, options).output;
 }
@@ -39,7 +39,7 @@ TEST(DbBuiltins, QsearchFindsIndex) {
 }
 
 TEST(DbBuiltins, QsearchInlinesARealCircuit) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.seed = 3;
   const auto result =
       run_source("int idx = qsearch([9, 4, 13, 2, 7, 11, 0, 6], 11);", options);
@@ -77,15 +77,15 @@ TEST(Debug, ProbReadsWithoutCollapsing) {
 }
 
 TEST(Debug, ProbAppendsNothingToTheCircuit) {
-  RunOptions options;
+  qutes::RunConfig options;
   const auto result = run_source("qubit q = |+>; float p = prob(q);", options);
   EXPECT_EQ(result.circuit.count_ops().count("measure"), 0u);
 }
 
 TEST(Debug, TraceEmitsOneLinePerStatement) {
-  RunOptions options;
+  qutes::RunConfig options;
   std::ostringstream trace;
-  options.trace = &trace;
+  options.debug_trace = &trace;
   (void)run_source("int x = 1; x += 2; print x;", options);
   const std::string text = trace.str();
   EXPECT_NE(text.find("[trace] 1:"), std::string::npos);
@@ -99,9 +99,9 @@ TEST(Debug, TraceEmitsOneLinePerStatement) {
 }
 
 TEST(Debug, TraceReportsCircuitGrowth) {
-  RunOptions options;
+  qutes::RunConfig options;
   std::ostringstream trace;
-  options.trace = &trace;
+  options.debug_trace = &trace;
   (void)run_source("qubit q = |0>; hadamard q; hadamard q;", options);
   const std::string text = trace.str();
   EXPECT_NE(text.find("qubits=0"), std::string::npos);  // before the decl
@@ -109,7 +109,7 @@ TEST(Debug, TraceReportsCircuitGrowth) {
 }
 
 TEST(Debug, TraceOffByDefault) {
-  RunOptions options;
+  qutes::RunConfig options;
   const auto result = run_source("print 1;", options);
   EXPECT_EQ(result.output, "1\n");  // no trace text mixed into output
 }

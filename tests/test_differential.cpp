@@ -277,12 +277,12 @@ TEST(Differential, FusionWithConditionsPinnedSeeds) {
         << "seed=" << seed << " no longer generates a conditioned gate; "
         << "pick a new pinned seed so this regression keeps biting";
 
-    circ::ExecutionOptions fused;
+    qutes::RunConfig fused;
     fused.shots = 2048;
     fused.seed = 0xc1fULL + seed;
-    fused.max_fused_qubits = 4;
-    circ::ExecutionOptions unfused = fused;
-    unfused.max_fused_qubits = 1;
+    fused.backend.max_fused_qubits = 4;
+    qutes::RunConfig unfused = fused;
+    unfused.backend.max_fused_qubits = 1;
     const auto counts_fused = circ::Executor(fused).run(c).counts;
     const auto counts_unfused = circ::Executor(unfused).run(c).counts;
     EXPECT_EQ(counts_fused, counts_unfused) << "seed=" << seed;

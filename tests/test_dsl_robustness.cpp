@@ -55,8 +55,8 @@ void expect_langerror_or_success(Fn&& fn, std::uint64_t seed,
   }
 }
 
-lang::RunOptions fast_run_options() {
-  lang::RunOptions options;
+qutes::RunConfig fast_run_options() {
+  qutes::RunConfig options;
   options.seed = 11;
   options.include_stdlib = false;  // generated programs don't call stdlib
   return options;

@@ -14,7 +14,7 @@ using namespace qutes;
 using namespace qutes::lang;
 
 std::string run(const std::string& source, std::uint64_t seed = 7) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.seed = seed;
   return run_source(source, options).output;
 }
@@ -211,10 +211,10 @@ TEST(Edge, DrawHandlesMcpAndCswap) {
 }
 
 TEST(Edge, TraceWithQuantumProgramDoesNotPerturbResults) {
-  RunOptions plain, traced;
+  qutes::RunConfig plain, traced;
   plain.seed = traced.seed = 31;
   std::ostringstream sink;
-  traced.trace = &sink;
+  traced.debug_trace = &sink;
   const std::string source = "quint s = [1, 3]q; print s;";
   EXPECT_EQ(run_source(source, plain).output, run_source(source, traced).output);
 }

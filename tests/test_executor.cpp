@@ -13,8 +13,8 @@ namespace {
 using namespace qutes;
 using namespace qutes::circ;
 
-ExecutionOptions opts(std::size_t shots, std::uint64_t seed) {
-  ExecutionOptions o;
+qutes::RunConfig opts(std::size_t shots, std::uint64_t seed) {
+  qutes::RunConfig o;
   o.shots = shots;
   o.seed = seed;
   return o;
@@ -109,8 +109,8 @@ TEST(Executor, GlobalPhaseAppliedOnRunSingle) {
 TEST(Executor, NoiseReducesDeterminism) {
   QuantumCircuit c(1, 1);
   c.x(0).measure(0, 0);
-  ExecutionOptions o = opts(5000, 8);
-  o.noise.depolarizing_1q = 0.2;
+  qutes::RunConfig o = opts(5000, 8);
+  o.backend.noise.depolarizing_1q = 0.2;
   const auto result = Executor(o).run(c);
   EXPECT_FALSE(result.fast_path);
   ASSERT_TRUE(result.counts.count("1"));
@@ -122,8 +122,8 @@ TEST(Executor, NoiseReducesDeterminism) {
 TEST(Executor, ReadoutErrorFlipsResults) {
   QuantumCircuit c(1, 1);
   c.measure(0, 0);  // ideal result: always 0
-  ExecutionOptions o = opts(5000, 9);
-  o.noise.readout_error = 0.25;
+  qutes::RunConfig o = opts(5000, 9);
+  o.backend.noise.readout_error = 0.25;
   const auto result = Executor(o).run(c);
   ASSERT_TRUE(result.counts.count("1"));
   const double p1 = static_cast<double>(result.counts.at("1")) / 5000.0;

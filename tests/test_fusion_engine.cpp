@@ -115,11 +115,11 @@ TEST(FusionEngine, DisabledFusionReplaysSourceVerbatim) {
   // sampling RNG stream does not depend on how the state was evolved.
   QuantumCircuit measured = c;
   measured.measure_all();
-  ExecutionOptions on;
+  qutes::RunConfig on;
   on.shots = 256;
   on.seed = 11;
-  ExecutionOptions off = on;
-  off.max_fused_qubits = 1;
+  qutes::RunConfig off = on;
+  off.backend.max_fused_qubits = 1;
   const auto fused = Executor(on).run(measured);
   const auto unfused = Executor(off).run(measured);
   EXPECT_GT(fused.fused_gates, 0u);
@@ -157,11 +157,11 @@ TEST(FusionEngine, MeasureAndConditionBreakFusionCorrectly) {
   c.h(0).h(1).cx(0, 1).measure(0, 0);
   c.x(1).c_if(0, 1);
   c.h(1).measure(1, 1);
-  ExecutionOptions on;
+  qutes::RunConfig on;
   on.shots = 400;
   on.seed = 3;
-  ExecutionOptions off = on;
-  off.max_fused_qubits = 1;
+  qutes::RunConfig off = on;
+  off.backend.max_fused_qubits = 1;
   const auto fused = Executor(on).run(c);
   const auto unfused = Executor(off).run(c);
   // Per-shot RNG streams are identical with fusion on or off (fused blocks
@@ -173,13 +173,13 @@ TEST(FusionEngine, NoisyCountsBitIdenticalAcrossThreadCounts) {
   Rng rng(9);
   QuantumCircuit c = random_circuit(4, 30, rng);
   c.measure_all();
-  ExecutionOptions o;
+  qutes::RunConfig o;
   o.shots = 500;
   o.seed = 21;
   o.record_memory = true;
-  o.noise.depolarizing_1q = 0.02;
-  o.noise.depolarizing_2q = 0.05;
-  o.noise.readout_error = 0.01;
+  o.backend.noise.depolarizing_1q = 0.02;
+  o.backend.noise.depolarizing_2q = 0.05;
+  o.backend.noise.readout_error = 0.01;
 
 #ifdef _OPENMP
   const int saved = omp_get_max_threads();
@@ -211,12 +211,12 @@ TEST(FusionEngine, ReadoutOnlyNoiseStillFusesAndMatchesUnfused) {
   Rng rng(31);
   QuantumCircuit c = random_circuit(5, 40, rng);
   c.measure_all();
-  ExecutionOptions o;
+  qutes::RunConfig o;
   o.shots = 300;
   o.seed = 8;
-  o.noise.readout_error = 0.1;  // measurement-only noise: gates stay fusable
-  ExecutionOptions off = o;
-  off.max_fused_qubits = 1;
+  o.backend.noise.readout_error = 0.1;  // measurement-only noise: gates stay fusable
+  qutes::RunConfig off = o;
+  off.backend.max_fused_qubits = 1;
   const auto fused = Executor(o).run(c);
   const auto unfused = Executor(off).run(c);
   EXPECT_GT(fused.fused_gates, 0u);
@@ -226,11 +226,11 @@ TEST(FusionEngine, ReadoutOnlyNoiseStillFusesAndMatchesUnfused) {
 TEST(FusionEngine, GateNoiseDisablesFusionOfNoisyGates) {
   QuantumCircuit c(3, 3);
   c.h(0).h(1).h(2).cx(0, 1).measure_all();
-  ExecutionOptions o;
+  qutes::RunConfig o;
   o.shots = 50;
   o.seed = 4;
-  o.noise.depolarizing_1q = 0.05;
-  o.noise.depolarizing_2q = 0.05;
+  o.backend.noise.depolarizing_1q = 0.05;
+  o.backend.noise.depolarizing_2q = 0.05;
   const auto result = Executor(o).run(c);
   // Every unitary is a noise insertion point, so nothing may fuse.
   EXPECT_EQ(result.fused_gates, 0u);

@@ -7,6 +7,11 @@
 // compared with the differential comparator, which tolerates global phase
 // and compilation ancillas.
 #include <gtest/gtest.h>
+// This file exercises the deprecated transpile()/route_linear() free
+// functions on purpose (legacy-vs-pipeline equivalence); silence their
+// deprecation warnings locally.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 
 #include <cmath>
 
@@ -38,7 +43,7 @@ QuantumCircuit fuzz_circuit(std::size_t n, std::size_t gates, std::uint64_t seed
 /// equivalence is up to global phase with no weight outside the original
 /// register.
 void expect_equiv(const QuantumCircuit& before, const QuantumCircuit& after) {
-  Executor ex({.shots = 1, .seed = 17, .noise = {}});
+  Executor ex({.shots = 1, .seed = 17});
   const auto a = ex.run_single(before).state;
   const auto b = ex.run_single(after).state;
   const auto cmp =
@@ -93,7 +98,7 @@ TEST_P(CircuitFuzz, FullPipelinePreservesState) {
 
 TEST_P(CircuitFuzz, NormAlwaysPreserved) {
   const QuantumCircuit c = fuzz_circuit(5, 80, GetParam() + 6000);
-  Executor ex({.shots = 1, .seed = 3, .noise = {}});
+  Executor ex({.shots = 1, .seed = 3});
   EXPECT_NEAR(ex.run_single(c).state.norm(), 1.0, 1e-9);
 }
 
@@ -150,8 +155,7 @@ TEST(FrontEndFuzz, RandomTokenSoupNeverCrashes) {
       source += "\n";
     }
     try {
-      (void)lang::run_source(source, {.seed = trial + 1u, .echo = nullptr,
-                                      .trace = nullptr, .include_stdlib = true});
+      (void)lang::run_source(source, {.seed = trial + 1u, .include_stdlib = true});
     } catch (const LangError&) {
       // acceptable: e.g. duplicate declarations from repeated fragments
     }
@@ -166,8 +170,7 @@ TEST(FrontEndFuzz, MutatedGeneratedProgramsNeverCrash) {
     const std::string source =
         qt::mutate_source(qt::random_qutes_program(seed), seed + 7);
     try {
-      (void)lang::run_source(source, {.seed = 5, .echo = nullptr,
-                                      .trace = nullptr, .include_stdlib = false});
+      (void)lang::run_source(source, {.seed = 5, .include_stdlib = false});
     } catch (const LangError&) {
       // rejected cleanly
     }

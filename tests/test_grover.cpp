@@ -91,7 +91,7 @@ TEST(Grover, DiffusionPreservesUniform) {
   std::vector<std::size_t> qubits = {0, 1, 2};
   for (std::size_t q : qubits) c.h(q);
   append_diffusion(c, qubits);
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   for (std::uint64_t i = 0; i < 8; ++i) {
     EXPECT_NEAR(std::norm(traj.state.amplitude(i)), 1.0 / 8.0, 1e-9);

@@ -14,13 +14,13 @@ using namespace qutes;
 using namespace qutes::lang;
 
 std::string run(const std::string& source, std::uint64_t seed = 7) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.seed = seed;
   return run_source(source, options).output;
 }
 
 RunResult run_full(const std::string& source, std::uint64_t seed = 7) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.seed = seed;
   return run_source(source, options);
 }
@@ -300,7 +300,7 @@ TEST(Interp, CircuitLogReplaysToSameOutcome) {
   // deterministic program.
   const auto result = run_full("quint<4> x = 5q; x += 9; int v = x; print v;");
   EXPECT_EQ(result.output, "14\n");
-  circ::Executor ex({.shots = 1, .seed = 99, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 99});
   const auto traj = ex.run_single(result.circuit);
   // The measured clbits of the replay encode 14 as well (deterministic).
   EXPECT_EQ(traj.clbits & 0xF, 14u);

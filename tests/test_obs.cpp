@@ -1,0 +1,368 @@
+// Observability tests: span recording and nesting (including the OpenMP
+// shot loop), disabled-mode inertness, Chrome-trace / metrics JSON schema,
+// counter determinism across identical runs, counters matching actual
+// instruction counts, and RunConfig validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qutes/circuit/circuit.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/obs/obs.hpp"
+#include "qutes/run_config.hpp"
+
+namespace circ = qutes::circ;
+namespace obs = qutes::obs;
+using qutes::CircuitError;
+
+// Global allocation counter (test-binary-wide operator new replacement) so
+// the disabled-mode test can assert the hot path literally never allocates.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+// GCC flags free() inside a replaced operator delete as mismatched even
+// though the paired operator new above allocates with malloc.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace {
+
+/// Reset every global obs switch and buffer so tests cannot leak into each
+/// other (the registry is process-wide by design).
+struct ObsTest : ::testing::Test {
+  void SetUp() override { scrub(); }
+  void TearDown() override { scrub(); }
+  static void scrub() {
+    obs::set_tracing_enabled(false);
+    obs::set_metrics_enabled(false);
+    obs::clear_trace();
+    obs::reset_metrics();
+  }
+};
+
+using TraceTest = ObsTest;
+using MetricsTest = ObsTest;
+using RunConfigTest = ObsTest;
+
+circ::QuantumCircuit ghz(std::size_t n) {
+  circ::QuantumCircuit c(n, n);
+  c.h(0);
+  for (std::size_t q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  for (std::size_t q = 0; q < n; ++q) c.measure(q, q);
+  return c;
+}
+
+/// A circuit with a mid-circuit measurement feeding a condition: forces the
+/// executor off the static fast path and into per-shot trajectories (the
+/// OpenMP loop).
+circ::QuantumCircuit dynamic_circuit() {
+  circ::QuantumCircuit c(2, 2);
+  c.h(0);
+  c.measure(0, 0);
+  c.x(1).c_if(0, 1);
+  c.measure(1, 1);
+  return c;
+}
+
+/// Events of one thread must form a laminar family: any two spans either
+/// nest or are disjoint. Checked with an interval stack over start-sorted
+/// events (eps absorbs double rounding of the ns clock).
+void expect_well_nested(std::vector<obs::TraceEvent> events) {
+  constexpr double eps = 0.5;  // microseconds
+  std::stable_sort(events.begin(), events.end(),
+                   [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;  // parents first on ties
+                   });
+  std::vector<double> open_ends;
+  for (const auto& e : events) {
+    ASSERT_GE(e.dur_us, 0.0) << e.name;
+    while (!open_ends.empty() && open_ends.back() <= e.ts_us + eps) {
+      open_ends.pop_back();
+    }
+    if (!open_ends.empty()) {
+      EXPECT_LE(e.ts_us + e.dur_us, open_ends.back() + eps)
+          << e.name << " straddles an enclosing span";
+    }
+    open_ends.push_back(e.ts_us + e.dur_us);
+  }
+}
+
+}  // namespace
+
+TEST_F(TraceTest, NestedSpansRecordWithNesting) {
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span outer("outer");
+    {
+      obs::Span inner("inner");
+    }
+  }
+  const auto events = obs::collect_trace();
+  ASSERT_EQ(events.size(), 2u);
+  // collect_trace sorts by start time: outer began first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us + 0.5);
+  expect_well_nested(events);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    obs::Span s("quiet");
+    obs::Span t(std::string("also-quiet"));
+    EXPECT_GE(s.elapsed_ms(), 0.0);  // timing still works when disabled
+    (void)t;
+  }
+  EXPECT_TRUE(obs::collect_trace().empty());
+}
+
+TEST_F(TraceTest, DisabledHotPathNeverAllocates) {
+  // Resolve the instrument before the measured window: lookup allocates by
+  // design (once), per-event updates must not.
+  obs::Counter& counter = obs::metrics().counter("test.hot");
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    obs::Span span("hot.literal");
+    counter.add(1);
+    (void)span.elapsed_ms();
+  }
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before)
+      << "disabled spans/counters must be allocation-free";
+}
+
+TEST_F(TraceTest, EnablementIsCapturedAtConstruction) {
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span s("started-enabled");
+    obs::set_tracing_enabled(false);
+  }  // still recorded: the span saw tracing on when it was constructed
+  const auto events = obs::collect_trace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "started-enabled");
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctDenseTids) {
+  obs::set_tracing_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([] { obs::Span s("worker"); });
+  }
+  for (auto& t : pool) t.join();
+  const auto events = obs::collect_trace();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads));
+  std::vector<int> tids;
+  for (const auto& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end())
+      << "each thread must own a distinct tid";
+  EXPECT_GE(tids.front(), 0);
+}
+
+TEST_F(TraceTest, OmpShotLoopSpansAreWellFormedPerThread) {
+  obs::set_tracing_enabled(true);
+  qutes::RunConfig config;
+  config.shots = 64;
+  config.seed = 9;
+  const auto result = circ::Executor(config).run(dynamic_circuit());
+  EXPECT_FALSE(result.fast_path);
+
+  const auto events = obs::collect_trace();
+  std::map<int, std::vector<obs::TraceEvent>> by_tid;
+  std::size_t shot_spans = 0;
+  for (const auto& e : events) {
+    by_tid[e.tid].push_back(e);
+    shot_spans += e.name == "sv.shot";
+  }
+  // One span per trajectory, spread over however many threads ran them.
+  EXPECT_EQ(shot_spans, 64u);
+  for (auto& [tid, thread_events] : by_tid) {
+    expect_well_nested(std::move(thread_events));
+  }
+}
+
+TEST_F(TraceTest, ChromeExportMatchesSchema) {
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span s("he said \"hi\"\\");
+  }
+  const std::string json = obs::export_chrome_trace();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Quotes and backslashes in span names must be escaped, not emitted raw.
+  EXPECT_NE(json.find("he said \\\"hi\\\"\\\\"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST_F(TraceTest, ClearTraceDropsEvents) {
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span s("dropped");
+  }
+  obs::clear_trace();
+  EXPECT_TRUE(obs::collect_trace().empty());
+  {
+    obs::Span s("kept");
+  }  // buffers survive a clear: new spans still record
+  EXPECT_EQ(obs::collect_trace().size(), 1u);
+}
+
+TEST_F(MetricsTest, DisabledInstrumentsDoNotAccumulate) {
+  obs::Counter& c = obs::metrics().counter("test.disabled");
+  obs::Gauge& g = obs::metrics().gauge("test.disabled_gauge");
+  c.add(5);
+  g.set(3.0);
+  g.set_max(7.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST_F(MetricsTest, InstrumentsRecordWhenEnabled) {
+  obs::set_metrics_enabled(true);
+  obs::Counter& c = obs::metrics().counter("test.counter");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  obs::Gauge& g = obs::metrics().gauge("test.gauge");
+  g.set_max(2.0);
+  g.set_max(9.0);
+  g.set_max(4.0);  // lower than the high-water mark: ignored
+  EXPECT_EQ(g.value(), 9.0);
+
+  obs::Histogram& h = obs::metrics().histogram("test.hist");
+  h.record(2.0);
+  h.record(-1.0);
+  h.record(5.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 6.0);
+  EXPECT_EQ(h.min(), -1.0);
+  EXPECT_EQ(h.max(), 5.0);
+  EXPECT_EQ(h.mean(), 2.0);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsReferencesValid) {
+  obs::set_metrics_enabled(true);
+  obs::Counter& c = obs::metrics().counter("test.reset");
+  c.add(3);
+  obs::reset_metrics();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // the pre-reset reference still points at the live instrument
+  EXPECT_EQ(obs::metrics().counter("test.reset").value(), 2u);
+}
+
+TEST_F(MetricsTest, ExecutorCountersAreDeterministicAcrossRuns) {
+  obs::set_metrics_enabled(true);
+  qutes::RunConfig config;
+  config.shots = 128;
+  config.seed = 5;
+
+  (void)circ::Executor(config).run(ghz(5));
+  const auto first = obs::metrics().snapshot();
+  obs::reset_metrics();
+  (void)circ::Executor(config).run(ghz(5));
+  const auto second = obs::metrics().snapshot();
+
+  EXPECT_EQ(first.counters, second.counters);
+  ASSERT_TRUE(first.counters.count("executor.shots"));
+  EXPECT_EQ(first.counters.at("executor.shots"), 128u);
+}
+
+TEST_F(MetricsTest, GateCounterMatchesInstructionCount) {
+  obs::set_metrics_enabled(true);
+  qutes::RunConfig config;
+  config.shots = 32;
+  config.seed = 3;
+  config.backend.max_fused_qubits = 1;  // no fusion: one metric tick per gate
+  const auto result = circ::Executor(config).run(ghz(4));
+  EXPECT_TRUE(result.fast_path);
+  const auto snap = obs::metrics().snapshot();
+  // GHZ(4) = 1 H + 3 CX unitaries; measurements are not gate applications.
+  EXPECT_EQ(snap.counters.at("sv.gates_applied"), 4u);
+  EXPECT_EQ(snap.counters.at("executor.runs"), 1u);
+  EXPECT_EQ(snap.counters.at("executor.shots"), 32u);
+  // One statevector of 2^4 amplitudes at 16 bytes each.
+  EXPECT_EQ(snap.gauges.at("sv.peak_bytes"), 16.0 * 16.0);
+}
+
+TEST_F(MetricsTest, JsonExportMatchesSchema) {
+  obs::set_metrics_enabled(true);
+  obs::metrics().counter("test.json").add(7);
+  obs::metrics().histogram("test.jhist").record(1.5);
+  const std::string json = obs::export_metrics_json();
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ReportOmitsIdleInstruments) {
+  obs::set_metrics_enabled(true);
+  obs::metrics().counter("test.live").add(1);
+  (void)obs::metrics().counter("test.idle");  // registered, never incremented
+  const std::string report = obs::format_metrics_report();
+  EXPECT_NE(report.find("test.live"), std::string::npos);
+  EXPECT_EQ(report.find("test.idle"), std::string::npos);
+}
+
+TEST_F(RunConfigTest, ValidateAcceptsDefaults) {
+  EXPECT_NO_THROW(qutes::RunConfig{}.validate());
+}
+
+TEST_F(RunConfigTest, ValidateRejectsUnknownBackend) {
+  qutes::RunConfig config;
+  config.backend.name = "qpu";
+  try {
+    config.validate();
+    FAIL() << "expected CircuitError";
+  } catch (const CircuitError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown backend \"qpu\""), std::string::npos);
+    EXPECT_NE(what.find("statevector"), std::string::npos);  // lists the registry
+  }
+}
+
+TEST_F(RunConfigTest, ValidateRejectsDegenerateLimits) {
+  qutes::RunConfig config;
+  config.backend.max_bond_dim = 0;
+  EXPECT_THROW(config.validate(), CircuitError);
+
+  qutes::RunConfig fused;
+  fused.backend.max_fused_qubits = 0;
+  EXPECT_THROW(fused.validate(), CircuitError);
+
+  qutes::RunConfig trunc;
+  trunc.backend.truncation_threshold = -1e-9;
+  EXPECT_THROW(trunc.validate(), CircuitError);
+}
+
+TEST_F(RunConfigTest, ExecutorValidatesItsConfig) {
+  qutes::RunConfig config;
+  config.backend.name = "qpu";
+  EXPECT_THROW((void)circ::Executor(config).run(ghz(2)), CircuitError);
+}

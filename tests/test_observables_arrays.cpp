@@ -13,7 +13,7 @@ using namespace qutes;
 using namespace qutes::sim;
 
 std::string run(const std::string& source, std::uint64_t seed = 7) {
-  lang::RunOptions options;
+  qutes::RunConfig options;
   options.seed = seed;
   return lang::run_source(source, options).output;
 }

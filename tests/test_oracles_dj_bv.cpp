@@ -25,7 +25,7 @@ TEST(Oracles, PhaseOracleFlipsExactlyTheMarkedState) {
   std::vector<std::size_t> qubits = {0, 1, 2};
   for (std::size_t q : qubits) c.h(q);
   append_phase_oracle_value(c, qubits, 5);
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   for (std::uint64_t i = 0; i < 8; ++i) {
     const double expected_sign = i == 5 ? -1.0 : 1.0;
@@ -41,7 +41,7 @@ TEST(Oracles, PhaseOracleSelfInverse) {
   circ::QuantumCircuit ref = c;
   append_phase_oracle_value(c, qubits, 6);
   append_phase_oracle_value(c, qubits, 6);
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   EXPECT_NEAR(ex.run_single(c).state.fidelity(ex.run_single(ref).state), 1.0, 1e-9);
 }
 
@@ -62,7 +62,7 @@ TEST(Oracles, TruthTableOracleMatchesFunction) {
       if (test_bit(x, q)) c.x(q);
     }
     append_truth_table_bit_oracle(c, inputs, 3, table);
-    circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+    circ::Executor ex({.shots = 1, .seed = 1});
     const auto traj = ex.run_single(c);
     const double p_out = traj.state.probability_one(3);
     EXPECT_NEAR(p_out, table[x] ? 1.0 : 0.0, 1e-9) << "x=" << x;

@@ -5,6 +5,11 @@
 // (no peephole cancellation across classical conditions, measurement clbit
 // remapping under a non-restored routing layout).
 #include <gtest/gtest.h>
+// This file exercises the deprecated transpile()/route_linear() free
+// functions on purpose (legacy-vs-pipeline equivalence); silence their
+// deprecation warnings locally.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 
 #include <algorithm>
 #include <cmath>
@@ -29,7 +34,7 @@ double circuit_fidelity(const QuantumCircuit& a, const QuantumCircuit& b) {
   for (std::size_t i = 0; i < b.num_qubits(); ++i) map_b[i] = i;
   wa.compose(a, map_a);
   wb.compose(b, map_b);
-  Executor ex({.shots = 1, .seed = 3, .noise = {}});
+  Executor ex({.shots = 1, .seed = 3});
   const auto ta = ex.run_single(wa);
   const auto tb = ex.run_single(wb);
   return ta.state.fidelity(tb.state);
@@ -174,7 +179,7 @@ TEST(PassManager, RouteThreadsNonIdentityFinalLayout) {
   EXPECT_FALSE(identity) << "restore_layout=false should leave a permutation";
 
   // Semantics: the routed circuit produces the same classical outcome.
-  Executor ex({.shots = 64, .seed = 11, .noise = {}});
+  Executor ex({.shots = 64, .seed = 11});
   const auto base_counts = ex.run(c).counts;
   const auto routed_counts = ex.run(routed).counts;
   EXPECT_EQ(base_counts, routed_counts);
@@ -202,7 +207,7 @@ TEST(PassManager, OptimizeNeverCancelsAcrossConditions) {
   // leave the c=0 branch reading 0.)
   QuantumCircuit checked = optimized;
   checked.measure(0, 0);
-  Executor ex({.shots = 128, .seed = 5, .noise = {}});
+  Executor ex({.shots = 128, .seed = 5});
   const auto counts = ex.run(checked).counts;
   ASSERT_EQ(counts.size(), 1u);
   EXPECT_EQ(counts.begin()->first, "1");
@@ -231,7 +236,7 @@ TEST(PassManager, DecomposePropagatesConditions) {
 
   // q0 measures 1, so the CSWAP fires and moves q1's excitation to q2:
   // the final measure of q1 must read 0.
-  Executor ex({.shots = 32, .seed = 7, .noise = {}});
+  Executor ex({.shots = 32, .seed = 7});
   for (const auto& [bits, count] : ex.run(lowered).counts) {
     EXPECT_EQ(bits, "0") << "conditioned lowering changed semantics";
     EXPECT_EQ(count, 32u);
@@ -254,15 +259,15 @@ TEST(PassManager, ExecutorConsumesPipeline) {
   c.h(0).cx(0, 1).cx(1, 2);
   c.measure_all();
 
-  ExecutionOptions plain;
+  qutes::RunConfig plain;
   plain.shots = 256;
   plain.seed = 21;
   const auto base = Executor(plain).run(c);
   EXPECT_TRUE(base.pass_stats.empty());
 
   const PassManager pipeline = make_pipeline(Preset::Hardware);
-  ExecutionOptions piped = plain;
-  piped.pipeline = &pipeline;
+  qutes::RunConfig piped = plain;
+  piped.pipeline.manager = &pipeline;
   const auto lowered = Executor(piped).run(c);
 
   EXPECT_FALSE(lowered.pass_stats.empty());

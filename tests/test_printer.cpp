@@ -80,7 +80,7 @@ TEST(Printer, FormattedCodeBehavesIdentically) {
       "int total = 0; foreach v in [1, 2, 3] { total += v; } print total;",
   };
   for (const char* source : sources) {
-    RunOptions options;
+    qutes::RunConfig options;
     options.seed = 31;
     const std::string original = run_source(source, options).output;
     const std::string formatted_output = run_source(fmt(source), options).output;

@@ -21,7 +21,7 @@ std::string path_of(const char* name) {
 }
 
 RunResult run_program(const char* name, std::uint64_t seed = 9) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.seed = seed;
   return run_file(path_of(name), options);
 }

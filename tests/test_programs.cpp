@@ -12,7 +12,7 @@ using namespace qutes;
 using namespace qutes::lang;
 
 std::string run(const std::string& source, std::uint64_t seed = 7) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.seed = seed;
   return run_source(source, options).output;
 }
@@ -173,7 +173,7 @@ TEST(Programs, ArraysOfQubits) {
 }
 
 TEST(Programs, QasmExportOfWholeProgram) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.seed = 4;
   const auto result = run_source(
       "quint<3> x = 5q; hadamard x; int v = x; print v;", options);

@@ -91,7 +91,7 @@ TEST(Ghz, ArbitraryWidth) {
   for (std::size_t n : {2u, 3u, 5u}) {
     circ::QuantumCircuit c(n);
     append_ghz(c, iota(n));
-    circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+    circ::Executor ex({.shots = 1, .seed = 1});
     const auto traj = ex.run_single(c);
     EXPECT_NEAR(std::norm(traj.state.amplitude(0)), 0.5, 1e-12);
     EXPECT_NEAR(std::norm(traj.state.amplitude(dim_of(n) - 1)), 0.5, 1e-12);
@@ -104,7 +104,7 @@ TEST(WState, OneHotSuperposition) {
   const std::size_t n = 4;
   circ::QuantumCircuit c(n);
   append_w_state(c, iota(n));
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   for (std::uint64_t basis = 0; basis < dim_of(n); ++basis) {
     const double expect = std::popcount(basis) == 1 ? 0.25 : 0.0;
@@ -120,7 +120,7 @@ TEST(WState, RobustToSingleMeasurement) {
   for (int trial = 0; trial < 30; ++trial) {
     circ::QuantumCircuit c(3);
     append_w_state(c, iota(3));
-    circ::Executor ex({.shots = 1, .seed = rng(), .noise = {}});
+    circ::Executor ex({.shots = 1, .seed = rng()});
     auto traj = ex.run_single(c);
     Rng mrng(rng());
     if (traj.state.measure(2, mrng) == 0) {
@@ -138,7 +138,7 @@ TEST(WState, RobustToSingleMeasurement) {
 TEST(ExecutorMemory, RecordsPerShotOutcomes) {
   circ::QuantumCircuit c(1, 1);
   c.h(0).measure(0, 0);
-  circ::ExecutionOptions options;
+  qutes::RunConfig options;
   options.shots = 64;
   options.seed = 5;
   options.record_memory = true;
@@ -155,11 +155,11 @@ TEST(ExecutorMemory, OffByDefaultAndWorksOnDynamicPath) {
   c.h(0).measure(0, 0);
   c.x(1).c_if(0, 1);  // dynamic path
   c.measure(1, 1);
-  circ::ExecutionOptions off;
+  qutes::RunConfig off;
   off.shots = 8;
   EXPECT_TRUE(circ::Executor(off).run(c).memory.empty());
 
-  circ::ExecutionOptions on = off;
+  qutes::RunConfig on = off;
   on.record_memory = true;
   const auto result = circ::Executor(on).run(c);
   ASSERT_EQ(result.memory.size(), 8u);

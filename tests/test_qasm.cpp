@@ -16,7 +16,7 @@ using namespace qutes;
 using namespace qutes::circ;
 
 double final_fidelity(const QuantumCircuit& a, const QuantumCircuit& b) {
-  Executor ex({.shots = 1, .seed = 5, .noise = {}});
+  Executor ex({.shots = 1, .seed = 5});
   return ex.run_single(a).state.fidelity(ex.run_single(b).state);
 }
 
@@ -196,7 +196,7 @@ TEST(QasmRoundTripDynamic, TeleportationCircuitSurvives) {
   const QuantumCircuit back = qasm::import_circuit(qasm::export_circuit(c));
   EXPECT_EQ(back.size(), c.size());
   // Same seeds -> same trajectory -> same final state.
-  Executor ex({.shots = 1, .seed = 21, .noise = {}});
+  Executor ex({.shots = 1, .seed = 21});
   EXPECT_NEAR(ex.run_single(c).state.fidelity(ex.run_single(back).state), 1.0, 1e-9);
 }
 

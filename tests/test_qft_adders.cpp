@@ -31,7 +31,7 @@ std::uint64_t run_on_basis(const QuantumCircuit& c, std::uint64_t basis) {
     if (test_bit(basis, q)) prep.x(q);
   }
   prep.compose(c, iota(0, c.num_qubits()));
-  Executor ex({.shots = 1, .seed = 2, .noise = {}});
+  Executor ex({.shots = 1, .seed = 2});
   const auto traj = ex.run_single(prep);
   // The result must be a computational basis state.
   for (std::uint64_t i = 0; i < traj.state.dim(); ++i) {
@@ -43,7 +43,7 @@ std::uint64_t run_on_basis(const QuantumCircuit& c, std::uint64_t basis) {
 
 TEST(Qft, QftOnZeroIsUniform) {
   const QuantumCircuit qft = make_qft(3);
-  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(qft);
   for (std::uint64_t i = 0; i < 8; ++i) {
     EXPECT_NEAR(std::norm(traj.state.amplitude(i)), 1.0 / 8.0, 1e-12);
@@ -57,7 +57,7 @@ TEST(Qft, InverseUndoes) {
   QuantumCircuit full = c;
   append_qft(full, qubits);
   append_iqft(full, qubits);
-  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  Executor ex({.shots = 1, .seed = 1});
   EXPECT_NEAR(ex.run_single(full).state.fidelity(ex.run_single(c).state), 1.0, 1e-9);
 }
 
@@ -70,7 +70,7 @@ TEST(Qft, MatchesAnalyticAmplitudes) {
     if (test_bit(x, q)) c.x(q);
   }
   append_qft(c, iota(0, n));
-  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   const double norm = 1.0 / std::sqrt(8.0);
   for (std::uint64_t k = 0; k < 8; ++k) {
@@ -133,7 +133,7 @@ TEST(DraperAdder, SuperposedInputProducesSuperposedSum) {
   c.x(2);            // b = 2 (qubits 2..3, bit 1 of b is qubit 3) -> b=1? no:
   // qubit 2 is b bit 0, so x(2) sets b = 1. Use b = 1 then.
   append_draper_adder(c, iota(0, 2), iota(2, 2));
-  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   // States |a=0, b=1> and |a=1, b=2>: indices 0b0100 and 0b1001.
   EXPECT_NEAR(std::norm(traj.state.amplitude(0b0100)), 0.5, 1e-9);
@@ -223,7 +223,7 @@ TEST(CuccaroAdder, AgreesWithDraperOnSuperpositions) {
   }
   append_draper_adder(c1, iota(0, n), iota(n, n));
   append_cuccaro_adder(c2, iota(0, n), iota(n, n), 2 * n);
-  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  Executor ex({.shots = 1, .seed = 1});
   EXPECT_NEAR(ex.run_single(c1).state.fidelity(ex.run_single(c2).state), 1.0, 1e-9);
 }
 

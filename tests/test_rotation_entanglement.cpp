@@ -27,7 +27,7 @@ std::uint64_t run_on_basis(const circ::QuantumCircuit& c, std::uint64_t basis) {
   }
   std::vector<std::size_t> map = iota(c.num_qubits());
   prep.compose(c, map);
-  circ::Executor ex({.shots = 1, .seed = 2, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 2});
   const auto traj = ex.run_single(prep);
   for (std::uint64_t i = 0; i < traj.state.dim(); ++i) {
     if (std::norm(traj.state.amplitude(i)) > 0.5) return i;
@@ -122,7 +122,7 @@ TEST(Rotation, PreservesSuperpositions) {
   circ::QuantumCircuit c(3);
   c.h(0);  // (|000> + |001>)/sqrt2
   append_rotate_constant_depth(c, iota(3), 1);
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   EXPECT_NEAR(std::norm(traj.state.amplitude(0b000)), 0.5, 1e-12);
   EXPECT_NEAR(std::norm(traj.state.amplitude(0b010)), 0.5, 1e-12);
@@ -139,7 +139,7 @@ TEST(Rotation, EmptyRegisterRejected) {
 TEST(Bell, PairHasUnitCorrelation) {
   circ::QuantumCircuit c(2);
   append_bell_pair(c, 0, 1);
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   EXPECT_NEAR(traj.state.expectation_zz(0, 1), 1.0, 1e-12);
 }

@@ -30,7 +30,7 @@ namespace qt = qutes::testing;
 
 void expect_equiv(const QuantumCircuit& before, const QuantumCircuit& after,
                   const std::string& label) {
-  Executor ex({.shots = 1, .seed = 3, .noise = {}});
+  Executor ex({.shots = 1, .seed = 3});
   const auto a = ex.run_single(before).state;
   const auto b = ex.run_single(after).state;
   // Lowered circuits may be wider (ancillas); the original never is.
@@ -89,7 +89,7 @@ TEST(RoundTripProperty, QasmPreservesConditionedCircuits) {
       conditioned_out += in.condition.has_value();
     EXPECT_EQ(conditioned_in, conditioned_out) << "seed " << seed;
 
-    Executor ex({.shots = 128, .seed = 1000 + seed, .noise = {}});
+    Executor ex({.shots = 128, .seed = 1000 + seed});
     EXPECT_EQ(ex.run(c).counts, ex.run(reimported).counts) << "seed " << seed;
   }
 }

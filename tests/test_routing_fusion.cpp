@@ -1,6 +1,11 @@
 // Gate-fusion and linear-routing pass tests: semantic preservation (exact
 // state fidelity), resource reduction, topology compliance.
 #include <gtest/gtest.h>
+// This file exercises the deprecated transpile()/route_linear() free
+// functions on purpose (legacy-vs-pipeline equivalence); silence their
+// deprecation warnings locally.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 
 #include <cmath>
 
@@ -15,7 +20,7 @@ using namespace qutes;
 using namespace qutes::circ;
 
 double final_fidelity(const QuantumCircuit& a, const QuantumCircuit& b) {
-  Executor ex({.shots = 1, .seed = 5, .noise = {}});
+  Executor ex({.shots = 1, .seed = 5});
   return ex.run_single(a).state.fidelity(ex.run_single(b).state);
 }
 
@@ -94,7 +99,7 @@ TEST(Fusion, TracksGlobalPhase) {
   QuantumCircuit c(2);
   c.h(0).t(0).s(0).z(0).rz(1.1, 0).h(1);
   const QuantumCircuit fused = fuse_single_qubit_gates(c);
-  Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  Executor ex({.shots = 1, .seed = 1});
   const auto a = ex.run_single(c);
   const auto b = ex.run_single(fused);
   for (std::uint64_t i = 0; i < a.state.dim(); ++i) {
@@ -187,7 +192,7 @@ TEST(Routing, MeasurementsFollowTheLayout) {
   c.measure(3, 0);
   const RoutingResult routed = route_linear(c, /*restore_layout=*/false);
   // Replay: clbit 0 must still read logical qubit 3's value (1).
-  Executor ex({.shots = 1, .seed = 3, .noise = {}});
+  Executor ex({.shots = 1, .seed = 3});
   EXPECT_EQ(ex.run_single(routed.circuit).clbits, 1u);
 }
 

@@ -23,7 +23,7 @@ std::vector<std::size_t> iota(std::size_t n) {
 }
 
 std::vector<double> final_probs(const circ::QuantumCircuit& c) {
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   return traj.state.probabilities();
 }
@@ -105,7 +105,7 @@ TEST(UniformSuperposition, AmplitudesAreRealNonNegative) {
   circ::QuantumCircuit c(3);
   const std::vector<std::uint64_t> values = {1, 4, 6};
   append_uniform_superposition(c, iota(3), values);
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   for (std::uint64_t i = 0; i < 8; ++i) {
     EXPECT_NEAR(traj.state.amplitude(i).imag(), 0.0, 1e-10);

@@ -14,7 +14,7 @@ using namespace qutes;
 using namespace qutes::lang;
 
 std::string run(const std::string& source, std::uint64_t seed = 7) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.seed = seed;
   return run_source(source, options).output;
 }
@@ -108,7 +108,7 @@ TEST(Stdlib, UserCannotRedefineStdlibFunctions) {
 }
 
 TEST(Stdlib, OptOutRemovesTheLibrary) {
-  RunOptions options;
+  qutes::RunConfig options;
   options.include_stdlib = false;
   EXPECT_THROW((void)run_source("print abs_i(1);", options), LangError);
   // ...and then redefining is allowed.
@@ -119,7 +119,7 @@ TEST(Stdlib, OptOutRemovesTheLibrary) {
 }
 
 TEST(Stdlib, PureDeclarationsAddNoQubitsOrGates) {
-  RunOptions options;
+  qutes::RunConfig options;
   const auto result = run_source("print 1;", options);
   EXPECT_EQ(result.num_qubits, 0u);
   EXPECT_EQ(result.gate_count, 0u);

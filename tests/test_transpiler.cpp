@@ -2,6 +2,11 @@
 // (state fidelity against the unlowered circuit), and the peephole
 // optimizer must shrink without changing meaning.
 #include <gtest/gtest.h>
+// This file exercises the deprecated transpile()/route_linear() free
+// functions on purpose (legacy-vs-pipeline equivalence); silence their
+// deprecation warnings locally.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 
 #include <cmath>
 
@@ -24,7 +29,7 @@ double circuit_fidelity(const QuantumCircuit& a, const QuantumCircuit& b) {
   for (std::size_t i = 0; i < b.num_qubits(); ++i) map_b[i] = i;
   wa.compose(a, map_a);
   wb.compose(b, map_b);
-  Executor ex({.shots = 1, .seed = 3, .noise = {}});
+  Executor ex({.shots = 1, .seed = 3});
   const auto ta = ex.run_single(wa);
   const auto tb = ex.run_single(wb);
   return ta.state.fidelity(tb.state);

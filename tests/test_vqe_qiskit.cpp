@@ -63,7 +63,7 @@ TEST(Ansatz, ParameterCountAndShape) {
 TEST(Ansatz, ZeroParametersIsIdentityOnZero) {
   const std::vector<double> params(4, 0.0);
   const auto c = build_ry_ansatz(2, 1, params);
-  circ::Executor ex({.shots = 1, .seed = 1, .noise = {}});
+  circ::Executor ex({.shots = 1, .seed = 1});
   const auto traj = ex.run_single(c);
   EXPECT_NEAR(std::norm(traj.state.amplitude(0)), 1.0, 1e-12);
 }
@@ -146,7 +146,7 @@ TEST(QiskitExport, MultiControlledGetLowered) {
 }
 
 TEST(QiskitExport, WholeDslProgramExports) {
-  qutes::lang::RunOptions options;
+  qutes::RunConfig options;
   options.seed = 2;
   const auto result = qutes::lang::run_source(
       "quint<3> x = 5q; hadamard x; int v = x;", options);

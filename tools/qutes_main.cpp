@@ -6,12 +6,20 @@
 // `run` executes a .qut file; `eval` executes source given inline. Output of
 // `print` statements goes to stdout; --qasm exports the compiled circuit,
 // --draw renders ASCII art, --stats prints circuit metrics.
+//
+// Observability (qutes::obs): --trace FILE writes a Chrome-trace JSON of the
+// whole run (open in chrome://tracing or Perfetto), --metrics prints the
+// metric report to stderr, --metrics-json FILE writes the raw snapshot. The
+// statement-level language trace that --trace used to mean is now
+// --debug-trace.
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "qutes/circuit/backend.hpp"
 #include "qutes/circuit/draw.hpp"
@@ -19,21 +27,23 @@
 #include "qutes/circuit/pass_manager.hpp"
 #include "qutes/circuit/qasm.hpp"
 #include "qutes/circuit/qiskit_export.hpp"
-#include "qutes/circuit/transpiler.hpp"
 #include "qutes/lang/compiler.hpp"
 #include "qutes/lang/parser.hpp"
 #include "qutes/lang/printer.hpp"
+#include "qutes/obs/obs.hpp"
+#include "qutes/run_config.hpp"
 
 namespace {
 
 void usage(std::ostream& out) {
   out << "usage:\n"
-      << "  qutes run <file.qut>  [--seed N] [--stats] [--qasm FILE] [--qiskit FILE] [--draw] [--trace] [--replay N]\n"
+      << "  qutes run <file.qut>  [--seed N] [--stats] [--qasm FILE] [--qiskit FILE] [--draw] [--debug-trace] [--replay N]\n"
       << "                        [--pipeline PRESET] [--dump-passes] [--backend NAME] [--max-bond-dim N]\n"
+      << "                        [--trace FILE] [--metrics] [--metrics-json FILE]\n"
       << "  qutes eval '<source>' [same flags as run]\n"
       << "  qutes fmt <file.qut>            # print canonically formatted source\n"
       << "  qutes sim <file.qasm> [--shots N] [--seed N] [--pipeline PRESET] [--dump-passes]\n"
-      << "                        [--backend NAME] [--max-bond-dim N]\n"
+      << "                        [--backend NAME] [--max-bond-dim N] [--trace FILE] [--metrics] [--metrics-json FILE]\n"
       << "\n"
       << "  --pipeline PRESET  compile through a PassManager preset: O0, O1, basis,\n"
       << "                     hardware (linear coupling). With run/eval the lowered\n"
@@ -46,7 +56,52 @@ void usage(std::ostream& out) {
       << "                     or mps (tensor network; scales with entanglement,\n"
       << "                     pair with --pipeline hardware for best layout).\n"
       << "  --max-bond-dim N   mps bond-dimension cap (default 64); larger is more\n"
-      << "                     accurate on highly entangled states, smaller is faster.\n";
+      << "                     accurate on highly entangled states, smaller is faster.\n"
+      << "  --trace FILE       record spans across the whole stack and write a\n"
+      << "                     Chrome-trace JSON (chrome://tracing / Perfetto).\n"
+      << "  --metrics          print the metrics report (counters/gauges) to stderr.\n"
+      << "  --metrics-json F   write the metrics snapshot as flat JSON.\n"
+      << "  --debug-trace      statement-level language trace to stderr (was --trace).\n";
+}
+
+/// Levenshtein edit distance, for did-you-mean flag suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// Report an unknown flag with the nearest known spelling (LangError-style
+/// diagnostic instead of the old bare "unknown flag" line). Returns the exit
+/// status for main.
+int unknown_flag(const std::string& arg, const std::vector<std::string>& known) {
+  // Compare on the flag name only ("--backend=x" suggests "--backend").
+  const std::string name = arg.substr(0, arg.find('='));
+  std::string best;
+  std::size_t best_distance = std::string::npos;
+  for (const std::string& candidate : known) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  std::cerr << "error: unknown flag '" << arg << "'";
+  // Suggest only when plausibly a typo (within a third of the flag length).
+  if (!best.empty() && best_distance <= std::max<std::size_t>(2, best.size() / 3)) {
+    std::cerr << "; did you mean '" << best << "'?";
+  }
+  std::cerr << "\n";
+  usage(std::cerr);
+  return 2;
 }
 
 /// Validate a --backend argument against the registry; false (with a
@@ -78,6 +133,70 @@ bool parse_pipeline_flag(const std::string& value, std::optional<qutes::circ::Pr
   return true;
 }
 
+/// Enable tracing/metrics before the run per the ObsConfig. Metrics are
+/// implied by --trace so one flag yields the full picture.
+void obs_begin(const qutes::ObsConfig& obs) {
+  if (obs.trace) qutes::obs::set_tracing_enabled(true);
+  if (obs.metrics) qutes::obs::set_metrics_enabled(true);
+}
+
+/// Write/print the requested exports after the run. Returns false if a file
+/// could not be written.
+bool obs_end(const qutes::ObsConfig& obs) {
+  bool ok = true;
+  if (!obs.trace_path.empty()) {
+    if (qutes::obs::write_chrome_trace(obs.trace_path)) {
+      std::cerr << "wrote " << obs.trace_path << "\n";
+    } else {
+      std::cerr << "cannot write " << obs.trace_path << "\n";
+      ok = false;
+    }
+  }
+  if (!obs.metrics_json_path.empty()) {
+    if (qutes::obs::write_metrics_json(obs.metrics_json_path)) {
+      std::cerr << "wrote " << obs.metrics_json_path << "\n";
+    } else {
+      std::cerr << "cannot write " << obs.metrics_json_path << "\n";
+      ok = false;
+    }
+  }
+  if (obs.metrics && obs.metrics_json_path.empty()) {
+    std::cerr << "--- metrics ---\n" << qutes::obs::format_metrics_report();
+  }
+  return ok;
+}
+
+/// Try to consume one observability flag at argv[i]; advances i past a
+/// consumed value argument. Returns true if the flag was recognized.
+bool parse_obs_flag(int argc, char** argv, int& i, qutes::ObsConfig& obs) {
+  const std::string arg = argv[i];
+  if (arg == "--trace" && i + 1 < argc) {
+    obs.trace = true;
+    obs.metrics = true;  // a trace without its counters is half a picture
+    obs.trace_path = argv[++i];
+    return true;
+  }
+  if (arg == "--metrics") {
+    obs.metrics = true;
+    return true;
+  }
+  if (arg == "--metrics-json" && i + 1 < argc) {
+    obs.metrics = true;
+    obs.metrics_json_path = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+const std::vector<std::string> kSimFlags = {
+    "--shots", "--seed", "--pipeline", "--dump-passes", "--backend",
+    "--max-bond-dim", "--trace", "--metrics", "--metrics-json"};
+
+const std::vector<std::string> kRunFlags = {
+    "--seed", "--stats", "--draw", "--debug-trace", "--dump-passes",
+    "--pipeline", "--qasm", "--qiskit", "--replay", "--backend",
+    "--max-bond-dim", "--trace", "--metrics", "--metrics-json"};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,18 +207,15 @@ int main(int argc, char** argv) {
   const std::string mode = argv[1];
   const std::string target = argv[2];
   if (mode == "sim") {
-    std::size_t shots = 1024;
-    std::uint64_t sim_seed = 0x5eed0f5eedULL;
+    qutes::RunConfig config;
     std::optional<qutes::circ::Preset> preset;
     bool dump_passes = false;
-    std::string backend = "statevector";
-    std::size_t max_bond_dim = 64;
     for (int i = 3; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--shots" && i + 1 < argc) {
-        shots = std::stoul(argv[++i]);
+        config.shots = std::stoul(argv[++i]);
       } else if (arg == "--seed" && i + 1 < argc) {
-        sim_seed = std::stoull(argv[++i]);
+        config.seed = std::stoull(argv[++i]);
       } else if (arg == "--pipeline" && i + 1 < argc) {
         if (!parse_pipeline_flag(argv[++i], preset)) return 2;
       } else if (arg.rfind("--pipeline=", 0) == 0) {
@@ -107,18 +223,19 @@ int main(int argc, char** argv) {
       } else if (arg == "--dump-passes") {
         dump_passes = true;
       } else if (arg == "--backend" && i + 1 < argc) {
-        if (!parse_backend_flag(argv[++i], backend)) return 2;
+        if (!parse_backend_flag(argv[++i], config.backend.name)) return 2;
       } else if (arg.rfind("--backend=", 0) == 0) {
-        if (!parse_backend_flag(arg.substr(10), backend)) return 2;
+        if (!parse_backend_flag(arg.substr(10), config.backend.name)) return 2;
       } else if (arg == "--max-bond-dim" && i + 1 < argc) {
-        max_bond_dim = std::stoul(argv[++i]);
-        if (max_bond_dim == 0) {
+        config.backend.max_bond_dim = std::stoul(argv[++i]);
+        if (config.backend.max_bond_dim == 0) {
           std::cerr << "--max-bond-dim must be >= 1\n";
           return 2;
         }
+      } else if (parse_obs_flag(argc, argv, i, config.obs)) {
+        // handled
       } else {
-        std::cerr << "unknown flag: " << arg << "\n";
-        return 2;
+        return unknown_flag(arg, kSimFlags);
       }
     }
     if (dump_passes && !preset) preset = qutes::circ::Preset::O1;
@@ -130,18 +247,14 @@ int main(int argc, char** argv) {
       }
       std::ostringstream buffer;
       buffer << file.rdbuf();
+      obs_begin(config.obs);
       const auto circuit = qutes::circ::qasm::import_circuit(buffer.str());
-      qutes::circ::ExecutionOptions options;
-      options.shots = shots;
-      options.seed = sim_seed;
-      options.backend = backend;
-      options.max_bond_dim = max_bond_dim;
       qutes::circ::PassManager pipeline;
       if (preset) {
         pipeline = qutes::circ::make_pipeline(*preset);
-        options.pipeline = &pipeline;
+        config.pipeline.manager = &pipeline;
       }
-      const auto result = qutes::circ::Executor(options).run(circuit);
+      const auto result = qutes::circ::Executor(config).run(circuit);
       if (dump_passes) {
         qutes::circ::PropertySet dump;
         dump.stats = result.pass_stats;
@@ -151,14 +264,14 @@ int main(int argc, char** argv) {
       }
       std::cout << "qubits: " << circuit.num_qubits()
                 << "  clbits: " << circuit.num_clbits()
-                << "  shots: " << shots
+                << "  shots: " << config.shots
                 << "  backend: " << result.backend
                 << (result.fast_path ? "  (static fast path)" : "  (trajectories)")
                 << "\n";
       for (const auto& [bits, count] : result.counts) {
         std::cout << bits << ": " << count << "\n";
       }
-      return 0;
+      return obs_end(config.obs) ? 0 : 1;
     } catch (const qutes::Error& error) {
       std::cerr << "error: " << error.what() << "\n";
       return 1;
@@ -186,27 +299,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::uint64_t seed = 0x5eed0f5eedULL;
+  qutes::RunConfig config;
   bool stats = false;
   bool draw = false;
-  bool trace = false;
   bool dump_passes = false;
   std::optional<qutes::circ::Preset> preset;
-  std::size_t replay_shots = 0;
-  std::string backend = "statevector";
-  std::size_t max_bond_dim = 64;
   std::string qasm_path;
   std::string qiskit_path;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
-      seed = std::stoull(argv[++i]);
+      config.seed = std::stoull(argv[++i]);
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--draw") {
       draw = true;
-    } else if (arg == "--trace") {
-      trace = true;
+    } else if (arg == "--debug-trace") {
+      config.debug_trace = &std::cerr;
     } else if (arg == "--dump-passes") {
       dump_passes = true;
     } else if (arg == "--pipeline" && i + 1 < argc) {
@@ -218,41 +327,36 @@ int main(int argc, char** argv) {
     } else if (arg == "--qiskit" && i + 1 < argc) {
       qiskit_path = argv[++i];
     } else if (arg == "--replay" && i + 1 < argc) {
-      replay_shots = std::stoul(argv[++i]);
+      config.replay_shots = std::stoul(argv[++i]);
     } else if (arg == "--backend" && i + 1 < argc) {
-      if (!parse_backend_flag(argv[++i], backend)) return 2;
+      if (!parse_backend_flag(argv[++i], config.backend.name)) return 2;
     } else if (arg.rfind("--backend=", 0) == 0) {
-      if (!parse_backend_flag(arg.substr(10), backend)) return 2;
+      if (!parse_backend_flag(arg.substr(10), config.backend.name)) return 2;
     } else if (arg == "--max-bond-dim" && i + 1 < argc) {
-      max_bond_dim = std::stoul(argv[++i]);
-      if (max_bond_dim == 0) {
+      config.backend.max_bond_dim = std::stoul(argv[++i]);
+      if (config.backend.max_bond_dim == 0) {
         std::cerr << "--max-bond-dim must be >= 1\n";
         return 2;
       }
+    } else if (parse_obs_flag(argc, argv, i, config.obs)) {
+      // handled
     } else {
-      std::cerr << "unknown flag: " << arg << "\n";
-      usage(std::cerr);
-      return 2;
+      return unknown_flag(arg, kRunFlags);
     }
   }
   if (dump_passes && !preset) preset = qutes::circ::Preset::O1;
 
   try {
+    obs_begin(config.obs);
     qutes::circ::PassManager pipeline;
-    qutes::lang::RunOptions options;
-    options.seed = seed;
-    options.echo = &std::cout;
-    if (trace) options.trace = &std::cerr;
+    config.echo = &std::cout;
     if (preset) {
       pipeline = qutes::circ::make_pipeline(*preset);
-      options.pipeline = &pipeline;
+      config.pipeline.manager = &pipeline;
     }
-    options.replay_shots = replay_shots;
-    options.backend = backend;
-    options.max_bond_dim = max_bond_dim;
     const qutes::lang::RunResult result =
-        mode == "run" ? qutes::lang::run_file(target, options)
-                      : qutes::lang::run_source(target, options);
+        mode == "run" ? qutes::lang::run_file(target, config)
+                      : qutes::lang::run_source(target, config);
     // With a pipeline, the lowered circuit is what every downstream flag
     // (--qasm, --qiskit, --draw, --replay, --stats) operates on.
     const qutes::circ::QuantumCircuit& circuit =
@@ -285,7 +389,7 @@ int main(int argc, char** argv) {
       std::cerr << qutes::circ::draw(circuit);
     }
     if (result.replay) {
-      std::cerr << "--- replay (" << replay_shots << " shots over "
+      std::cerr << "--- replay (" << config.replay_shots << " shots over "
                 << circuit.num_clbits() << " clbits, backend "
                 << result.replay->backend << ") ---\n";
       for (const auto& [bits, count] : result.replay->counts) {
@@ -293,9 +397,14 @@ int main(int argc, char** argv) {
       }
     }
     if (stats) {
-      // Without an explicit pipeline, show the legacy default (O1) numbers.
-      const auto lowered =
-          preset ? circuit : qutes::circ::transpile(result.circuit);
+      // Without an explicit pipeline, show the default (O1) preset numbers
+      // (what the deprecated transpile() free function used to run).
+      qutes::circ::QuantumCircuit o1_lowered;
+      if (!preset) {
+        o1_lowered = qutes::circ::make_pipeline(qutes::circ::Preset::O1)
+                         .run(result.circuit);
+      }
+      const qutes::circ::QuantumCircuit& lowered = preset ? circuit : o1_lowered;
       std::cerr << "qubits:           " << result.num_qubits << "\n"
                 << "instructions:     " << result.circuit.size() << "\n"
                 << "depth:            " << result.circuit_depth << "\n"
@@ -303,7 +412,7 @@ int main(int argc, char** argv) {
                 << "transpiled depth: " << lowered.depth() << "\n"
                 << "transpiled gates: " << lowered.gate_count() << "\n";
     }
-    return 0;
+    return obs_end(config.obs) ? 0 : 1;
   } catch (const qutes::Error& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
