@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -140,8 +141,26 @@ void print_fusion_json() {
                 bits, c.size(), bench_threads(), unfused_ms, fused_ms,
                 unfused_ms / fused_ms, gates_per_sec,
                 histogram_json(histogram).c_str());
+    // Regression guard: the planner once degenerated on Grover's layer
+    // structure (H/X walls fenced by the wide oracle) into all-singleton
+    // blocks ({"1":128}), which made "fusion" a pure overhead pass. Flush-time
+    // coalescing packs those disjoint singletons into multi-wire blocks; fail
+    // loudly if that ever regresses.
+    std::size_t wide_blocks = 0;
+    for (const auto& [width, count] : histogram) {
+      if (width >= 2) wide_blocks += count;
+    }
+    if (wide_blocks == 0) {
+      std::fprintf(stderr,
+                   "FUSION REGRESSION: Grover plan at %zu bits has only "
+                   "singleton blocks (%s)\n",
+                   bits, histogram_json(histogram).c_str());
+      std::exit(1);
+    }
   }
-  std::printf("shape check: fused H/diffusion layers cut full-state sweeps\n\n");
+  std::printf("shape check: fused H/diffusion layers cut full-state sweeps; "
+              "block histogram contains multi-wire blocks (no singleton "
+              "degeneracy)\n\n");
 }
 
 void BM_SubstringSearchRun(benchmark::State& state) {

@@ -11,13 +11,16 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 
 #include "qutes/circuit/executor.hpp"
 #include "qutes/circuit/fusion.hpp"
+#include "qutes/circuit/pass_manager.hpp"
 #include "qutes/obs/obs.hpp"
 #include "qutes/common/rng.hpp"
+#include "qutes/sim/kernels.hpp"
 #include "qutes/sim/statevector.hpp"
 #include "qutes/testing/generators.hpp"
 
@@ -63,12 +66,9 @@ circ::QuantumCircuit brickwork(std::size_t n, std::size_t depth,
   return qutes::testing::brickwork_circuit(n, depth, seed);
 }
 
-/// Evolve a zero state through the fusion plan of `c`; returns wall ms.
+/// Evolve a zero state through a prebuilt fusion plan of `c`; returns wall ms.
 double evolve_through_plan_ms(const circ::QuantumCircuit& c,
-                              std::size_t max_fused_qubits) {
-  circ::FusionOptions options;
-  options.max_fused_qubits = max_fused_qubits;
-  const circ::FusionPlan plan = build_fusion_plan(c.instructions(), options);
+                              const circ::FusionPlan& plan) {
   StateVector sv(c.num_qubits());
   std::uint64_t scratch = 0;
   Rng rng(0);
@@ -85,6 +85,20 @@ double evolve_through_plan_ms(const circ::QuantumCircuit& c,
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+circ::FusionPlan plan_with(const circ::QuantumCircuit& c, std::size_t max_fused,
+                           bool coalesce) {
+  circ::FusionOptions options;
+  options.max_fused_qubits = max_fused;
+  options.coalesce_blocks = coalesce;
+  return build_fusion_plan(c.instructions(), options);
+}
+
+circ::QuantumCircuit reorder_commuting(const circ::QuantumCircuit& c) {
+  circ::PassManager pm;
+  pm.emplace<circ::ReorderCommuting>();
+  return pm.run(c);
+}
+
 std::string histogram_json(const std::map<std::size_t, std::size_t>& hist) {
   std::string out = "{";
   for (const auto& [width, blocks] : hist) {
@@ -98,35 +112,95 @@ std::string histogram_json(const std::map<std::size_t, std::size_t>& hist) {
 }
 
 /// Machine-readable fusion comparison, collected into BENCH_fusion.json by
-/// scripts/run_experiments.sh. One line per workload size.
+/// scripts/run_experiments.sh. One line per workload size with four
+/// configurations measured on the same circuit:
+///   unfused        — gate-at-a-time replay, portable kernels;
+///   fused          — legacy planner shape (max width 4, no coalescing),
+///                    portable kernels;
+///   fused+reorder  — ReorderCommuting before planning, default planner
+///                    (width 5, flush-time coalescing), portable kernels;
+///   +simd          — same plan on the best ISA the CPU has.
 void print_fusion_json() {
+  namespace kn = sim::kernels;
   std::printf("=== fusion engine: brickwork evolution, fused vs unfused ===\n");
   for (const std::size_t n : {16u, 20u, 22u}) {
     const std::size_t depth = 8;
     const circ::QuantumCircuit c = brickwork(n, depth, 42 + n);
-    circ::FusionOptions options;
-    const circ::FusionPlan plan = build_fusion_plan(c.instructions(), options);
-    // min-of-reps, interleaved: both configs see the same machine noise, and
+    const circ::QuantumCircuit reordered = reorder_commuting(c);
+    const circ::FusionPlan plan_unfused = plan_with(c, 1, false);
+    const circ::FusionPlan plan_fused = plan_with(c, 4, false);
+    const circ::FusionPlan plan_reorder =
+        build_fusion_plan(reordered.instructions(), circ::FusionOptions{});
+    // min-of-reps, interleaved: every config sees the same machine noise, and
     // the min discards scheduler hiccups (this often runs on shared boxes).
-    const int reps = n <= 16 ? 7 : 4;
-    double unfused_ms = 1e300, fused_ms = 1e300;
-    evolve_through_plan_ms(c, 1);  // warm up the allocator / page cache
+    const int reps = n <= 16 ? 7 : 3;
+    double unfused_ms = 1e300, fused_ms = 1e300, reorder_ms = 1e300,
+           simd_ms = 1e300;
+    evolve_through_plan_ms(c, plan_unfused);  // warm the allocator/page cache
     for (int r = 0; r < reps; ++r) {
-      unfused_ms = std::min(unfused_ms, evolve_through_plan_ms(c, 1));
-      fused_ms = std::min(fused_ms, evolve_through_plan_ms(c, 4));
+      kn::force_isa(kn::Isa::Portable);
+      unfused_ms = std::min(unfused_ms, evolve_through_plan_ms(c, plan_unfused));
+      fused_ms = std::min(fused_ms, evolve_through_plan_ms(c, plan_fused));
+      reorder_ms =
+          std::min(reorder_ms, evolve_through_plan_ms(reordered, plan_reorder));
+      kn::reset_isa();
+      simd_ms =
+          std::min(simd_ms, evolve_through_plan_ms(reordered, plan_reorder));
     }
     const double gates_per_sec =
-        static_cast<double>(c.size()) / (fused_ms / 1000.0);
+        static_cast<double>(c.size()) / (simd_ms / 1000.0);
     std::printf("BENCH_JSON {\"bench\":\"simulator\",\"workload\":"
                 "\"brickwork\",\"qubits\":%zu,\"gates\":%zu,\"threads\":%d,"
-                "\"unfused_ms\":%.3f,\"fused_ms\":%.3f,\"speedup\":%.3f,"
+                "\"isa\":\"%s\",\"unfused_ms\":%.3f,\"fused_ms\":%.3f,"
+                "\"fused_reorder_ms\":%.3f,\"fused_reorder_simd_ms\":%.3f,"
+                "\"speedup\":%.3f,\"speedup_vs_fused\":%.3f,"
                 "\"gates_per_sec\":%.1f,\"blocks\":%s}\n",
-                n, c.size(), bench_threads(), unfused_ms, fused_ms,
-                unfused_ms / fused_ms, gates_per_sec,
-                histogram_json(plan.width_histogram).c_str());
+                n, c.size(), bench_threads(), kn::isa_name(kn::active_isa()),
+                unfused_ms, fused_ms, reorder_ms, simd_ms,
+                unfused_ms / simd_ms, fused_ms / simd_ms, gates_per_sec,
+                histogram_json(plan_reorder.width_histogram).c_str());
   }
-  std::printf("shape check: speedup > 1.5x at n >= 16 (fused blocks cut "
-              "full-state sweeps)\n\n");
+  std::printf("shape check: fused_reorder_simd_ms <= fused_ms / 2 at n >= 20 "
+              "(wider coalesced blocks + vector kernels), speedup vs unfused "
+              "> 2x\n\n");
+}
+
+/// QUTES_PERF_SMOKE=1: quick pass/fail guard wired into scripts/check.sh.
+/// Compares the portable gate-at-a-time path against the full pipeline
+/// (reorder + coalescing planner + best ISA) on one mid-size brickwork
+/// circuit and fails the process when the speedup drops below the floor — a
+/// regression tripwire for the kernel/fusion stack, not a benchmark.
+int run_perf_smoke() {
+  namespace kn = sim::kernels;
+  constexpr double kFloor = 1.3;
+  const std::size_t n = 16, depth = 8;
+  const circ::QuantumCircuit c = brickwork(n, depth, 42 + n);
+  const circ::QuantumCircuit reordered = reorder_commuting(c);
+  const circ::FusionPlan plan_unfused = plan_with(c, 1, false);
+  const circ::FusionPlan plan_reorder =
+      build_fusion_plan(reordered.instructions(), circ::FusionOptions{});
+  double unfused_ms = 1e300, simd_ms = 1e300;
+  evolve_through_plan_ms(c, plan_unfused);
+  for (int r = 0; r < 5; ++r) {
+    kn::force_isa(kn::Isa::Portable);
+    unfused_ms = std::min(unfused_ms, evolve_through_plan_ms(c, plan_unfused));
+    kn::reset_isa();
+    simd_ms = std::min(simd_ms, evolve_through_plan_ms(reordered, plan_reorder));
+  }
+  const double speedup = unfused_ms / simd_ms;
+  std::printf("PERF_SMOKE {\"qubits\":%zu,\"isa\":\"%s\",\"unfused_ms\":%.3f,"
+              "\"fused_reorder_simd_ms\":%.3f,\"speedup\":%.3f,\"floor\":%.2f,"
+              "\"pass\":%s}\n",
+              n, kn::isa_name(kn::active_isa()), unfused_ms, simd_ms, speedup,
+              kFloor, speedup >= kFloor ? "true" : "false");
+  if (speedup < kFloor) {
+    std::fprintf(stderr,
+                 "perf smoke FAILED: fused+reorder+simd speedup %.3f is below "
+                 "the %.2f floor\n",
+                 speedup, kFloor);
+    return 1;
+  }
+  return 0;
 }
 
 /// Machine-readable obs snapshot: run one executor workload with metrics on
@@ -250,6 +324,10 @@ BENCHMARK(BM_MeasureCollapse)->Arg(12)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const char* smoke = std::getenv("QUTES_PERF_SMOKE");
+      smoke != nullptr && smoke[0] != '\0' && smoke[0] != '0') {
+    return run_perf_smoke();
+  }
   print_summary();
   print_fusion_json();
   print_obs_json();

@@ -7,6 +7,10 @@
 #   (none)    -Werror build + full test suite in build-check/
 #   --asan    AddressSanitizer build + full test suite in build-asan/
 #   --ubsan   UndefinedBehaviorSanitizer build + full test suite in build-ubsan/
+#   --native  -march=native build (QUTES_NATIVE=ON) + full test suite in
+#             build-native/ — validates the tuned-for-this-machine
+#             configuration the runtime-dispatch kernels normally make
+#             unnecessary
 #   --quick   scale the differential/fuzz sweeps down (QUTES_DIFF_QUICK=1)
 #             for a fast smoke signal, e.g. `check.sh --asan --quick`
 set -euo pipefail
@@ -17,17 +21,26 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 BUILD_DIR=build-check
 SANITIZE=""
+NATIVE=0
 QUICK=0
 for arg in "$@"; do
   case "$arg" in
     --asan)  SANITIZE=address;   BUILD_DIR=build-asan ;;
     --ubsan) SANITIZE=undefined; BUILD_DIR=build-ubsan ;;
+    --native) NATIVE=1;          BUILD_DIR=build-native ;;
     --quick) QUICK=1 ;;
-    *) echo "usage: $0 [--asan|--ubsan] [--quick]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--asan|--ubsan|--native] [--quick]" >&2; exit 2 ;;
   esac
 done
+if [[ -n "$SANITIZE" && "$NATIVE" == 1 ]]; then
+  echo "check.sh: --native cannot be combined with a sanitizer mode" >&2
+  exit 2
+fi
 
 CMAKE_ARGS=(-B "$BUILD_DIR" -S . -DQUTES_WERROR=ON)
+if [[ "$NATIVE" == 1 ]]; then
+  CMAKE_ARGS+=(-DQUTES_NATIVE=ON)
+fi
 if [[ -n "$SANITIZE" ]]; then
   CMAKE_ARGS+=(-DQUTES_SANITIZE="$SANITIZE")
   # Die on the first report: a sanitizer finding must fail the test, not
@@ -63,6 +76,16 @@ python3 scripts/check_trace.py "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json" \
   --require lang.parse --require pipeline.run --require executor.run \
   --require backend.execute
 echo "check.sh: observability trace/metrics smoke passed."
+
+# Perf smoke: fused+reordered SIMD execution must beat the portable unfused
+# path by a comfortable floor on a small brickwork circuit. Catches "the fast
+# path silently fell back to scalar" regressions that correctness tests can't
+# see. Skipped under sanitizers — instrumentation skews timings too much for
+# a floor to be meaningful.
+if [[ -z "$SANITIZE" ]]; then
+  QUTES_PERF_SMOKE=1 "$BUILD_DIR"/bench/bench_simulator
+  echo "check.sh: statevector perf smoke passed."
+fi
 
 echo
 if [[ -n "$SANITIZE" ]]; then

@@ -122,20 +122,57 @@ FusionPlan build_fusion_plan(std::span<const Instruction> instructions,
     ++plan.width_histogram[op.qubits.size()];
     plan.ops.push_back(std::move(op));
   };
+  // Emit a batch of blocks that flush together. Open blocks are pairwise
+  // disjoint, hence commuting, so first-fit packing them into wider blocks
+  // (creation order, product composed via embedding) is exact — and a layer
+  // of narrow blocks becomes one sweep instead of one per block.
+  const auto emit_group = [&](std::vector<OpenBlock>&& group) {
+    if (options.coalesce_blocks && group.size() > 1) {
+      std::vector<OpenBlock> bins;
+      bins.reserve(group.size());
+      for (OpenBlock& b : group) {
+        bool placed = false;
+        for (OpenBlock& bin : bins) {
+          std::vector<std::size_t> merged = bin.qubits;
+          merged.insert(merged.end(), b.qubits.begin(), b.qubits.end());
+          if (merged.size() > max_width) continue;
+          if (options.require_adjacent_wires && !wires_contiguous(merged)) {
+            continue;
+          }
+          sim::MatrixN widened =
+              bin.matrix.embedded(merged.size(), positions_in(bin.qubits, merged));
+          bin.matrix =
+              b.matrix.embedded(merged.size(), positions_in(b.qubits, merged)) *
+              widened;
+          bin.qubits = std::move(merged);
+          bin.sources.insert(bin.sources.end(), b.sources.begin(),
+                             b.sources.end());
+          placed = true;
+          break;
+        }
+        if (!placed) bins.push_back(std::move(b));
+      }
+      for (OpenBlock& bin : bins) emit_block(std::move(bin));
+      return;
+    }
+    for (OpenBlock& b : group) emit_block(std::move(b));
+  };
   const auto flush_intersecting = [&](const std::vector<std::size_t>& qubits) {
     std::vector<OpenBlock> keep;
+    std::vector<OpenBlock> flushed;
     keep.reserve(open.size());
     for (OpenBlock& b : open) {
       if (intersects(b.qubits, qubits)) {
-        emit_block(std::move(b));
+        flushed.push_back(std::move(b));
       } else {
         keep.push_back(std::move(b));
       }
     }
     open = std::move(keep);
+    emit_group(std::move(flushed));
   };
   const auto flush_all = [&] {
-    for (OpenBlock& b : open) emit_block(std::move(b));
+    emit_group(std::move(open));
     open.clear();
   };
 

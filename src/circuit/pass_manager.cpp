@@ -464,6 +464,57 @@ bool peephole_once(std::vector<Instruction>& instrs) {
   return changed;
 }
 
+/// Gates diagonal in the computational basis. Two diagonal gates commute
+/// even on shared wires (diagonal matrices commute entrywise), which is the
+/// only same-wire exchange ReorderCommuting performs.
+bool is_diagonal_gate(GateType type) {
+  switch (type) {
+    case GateType::Z:
+    case GateType::S:
+    case GateType::Sdg:
+    case GateType::T:
+    case GateType::Tdg:
+    case GateType::RZ:
+    case GateType::P:
+    case GateType::CZ:
+    case GateType::CP:
+    case GateType::CRZ:
+    case GateType::MCZ:
+    case GateType::MCP:
+    case GateType::GlobalPhase:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool shares_wire(const Instruction& a, const Instruction& b) {
+  for (std::size_t q : a.qubits) {
+    for (std::size_t p : b.qubits) {
+      if (p == q) return true;
+    }
+  }
+  return false;
+}
+
+/// Instructions no gate may move across: they touch classical state or are
+/// explicit ordering fences.
+bool is_reorder_fence(const Instruction& in) {
+  return in.condition.has_value() || in.type == GateType::Barrier ||
+         in.type == GateType::Measure || in.type == GateType::Reset;
+}
+
+/// Sufficient (conservative) commutation test for two non-fence gates:
+/// disjoint wire sets always commute; on shared wires only diagonal-diagonal
+/// pairs do; GlobalPhase is a scalar and commutes with everything.
+bool gates_commute(const Instruction& a, const Instruction& b) {
+  if (a.type == GateType::GlobalPhase || b.type == GateType::GlobalPhase) {
+    return true;
+  }
+  if (!shares_wire(a, b)) return true;
+  return is_diagonal_gate(a.type) && is_diagonal_gate(b.type);
+}
+
 }  // namespace
 
 // ---- concrete passes -------------------------------------------------------
@@ -493,6 +544,43 @@ void Optimize::run(QuantumCircuit& circuit, PropertySet&) {
   QuantumCircuit out = clone_shell(circuit);
   for (Instruction& in : instrs) out.append(std::move(in));
   circuit = std::move(out);
+}
+
+std::string ReorderCommuting::name() const { return "reorder-commuting"; }
+
+void ReorderCommuting::run(QuantumCircuit& circuit, PropertySet&) {
+  // Single forward insertion pass. Each gate scans left across neighbors it
+  // commutes with, so the final placement is reachable through legal
+  // adjacent transpositions only — semantics are preserved by construction.
+  // A gate with a commuting same-wire neighbor (necessarily diagonal-
+  // diagonal) lands right after the earliest such mate, clustering diagonal
+  // chains for the peephole and fusion passes; otherwise it sinks as far
+  // left as legality allows, pulling gates of one layer next to each other.
+  std::vector<Instruction> out;
+  out.reserve(circuit.size());
+  for (const Instruction& in : circuit.instructions()) {
+    if (is_reorder_fence(in) || in.type == GateType::GlobalPhase) {
+      out.push_back(in);
+      continue;
+    }
+    std::size_t pos = out.size();
+    std::size_t after_mate = out.size();
+    bool found_mate = false;
+    while (pos > 0) {
+      const Instruction& prev = out[pos - 1];
+      if (is_reorder_fence(prev) || !gates_commute(prev, in)) break;
+      if (shares_wire(prev, in)) {
+        after_mate = pos;
+        found_mate = true;
+      }
+      --pos;
+    }
+    const std::size_t dest = found_mate ? after_mate : pos;
+    out.insert(out.begin() + static_cast<std::ptrdiff_t>(dest), in);
+  }
+  QuantumCircuit rebuilt = clone_shell(circuit);
+  for (Instruction& in : out) rebuilt.append(std::move(in));
+  circuit = std::move(rebuilt);
 }
 
 std::string FuseSingleQubitGates::name() const { return "fuse-1q"; }
@@ -637,6 +725,9 @@ PassManager make_pipeline(Preset preset, CouplingMap coupling) {
       break;
     case Preset::O1:
       pm.emplace<DecomposeMulticontrolled>();
+      // Reorder before the peephole so newly adjacent pairs can cancel, and
+      // before any fusion planning so the planner sees clustered layers.
+      pm.emplace<ReorderCommuting>();
       pm.emplace<Optimize>();
       break;
     case Preset::Basis:

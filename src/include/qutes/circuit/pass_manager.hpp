@@ -156,6 +156,20 @@ private:
   int max_passes_;
 };
 
+/// Commutation-aware reordering: a single forward pass moves each gate as
+/// far left as legal adjacent transpositions allow (disjoint wire sets
+/// always commute; same-wire pairs only when both gates are diagonal in the
+/// computational basis), landing next to the earliest commuting gate that
+/// shares a wire. Diagonal chains cluster together and gates of one logical
+/// layer pull adjacent, so downstream peephole and fusion passes see denser,
+/// more mergeable runs. Barriers, measurements, resets, and conditioned
+/// instructions fence all motion.
+class ReorderCommuting final : public Pass {
+public:
+  [[nodiscard]] std::string name() const override;
+  void run(QuantumCircuit& circuit, PropertySet& properties) override;
+};
+
 /// Collapse maximal runs of adjacent 1q unitaries per wire into one U gate
 /// (ZYZ decomposition; identity runs vanish).
 class FuseSingleQubitGates final : public Pass {
@@ -201,7 +215,8 @@ private:
 
 /// Named pipelines mirroring qiskit.transpile(optimization_level=...):
 ///  * O0       — multi-controlled lowering only (execution-legal, unoptimized);
-///  * O1       — O0 + peephole fixpoint (the legacy transpile() default);
+///  * O1       — O0 + commutation-aware reordering + peephole fixpoint (a
+///               superset of the legacy transpile() default);
 ///  * Basis    — {u, cx} lowering + 1q-run fusion + peephole;
 ///  * Hardware — Basis, then routing to the coupling map, then re-lowering
 ///               the inserted SWAPs and a final peephole.

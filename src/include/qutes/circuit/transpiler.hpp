@@ -40,9 +40,10 @@ struct TranspileOptions {
 
 /// Standard pipeline: lowerings per options, then optimization.
 /// Deprecated: compose the equivalent pipeline through PassManager presets —
-/// make_pipeline(Preset::O1) matches the default options, Preset::Basis the
-/// to_basis variant (pass_manager.hpp) — which adds per-pass instrumentation
-/// and a PropertySet the free function cannot return.
+/// make_pipeline(Preset::O1) subsumes the default options (it additionally
+/// runs ReorderCommuting before the peephole), Preset::Basis the to_basis
+/// variant (pass_manager.hpp) — which adds per-pass instrumentation and a
+/// PropertySet the free function cannot return.
 [[deprecated("use make_pipeline(Preset::O1) / make_pipeline(Preset::Basis)")]]
 [[nodiscard]] QuantumCircuit transpile(const QuantumCircuit& circuit,
                                        const TranspileOptions& options = {});

@@ -239,6 +239,16 @@ inline constexpr const char* kFusedGates = "fusion.gates_fused";        // count
 // statevector backend
 inline constexpr const char* kSvGatesApplied = "sv.gates_applied";      // counter (fused blocks count as 1)
 inline constexpr const char* kSvPeakBytes = "sv.peak_bytes";            // gauge (high-water, one state)
+// statevector kernel dispatch (one increment per kernel invocation)
+inline constexpr const char* kSvKernel1qDense = "sv.kernel.1q_dense";   // counter
+inline constexpr const char* kSvKernel1qDiag = "sv.kernel.1q_diag";     // counter (Z/S/T/RZ/P shapes)
+inline constexpr const char* kSvKernel1qPerm = "sv.kernel.1q_perm";     // counter (X/Y antidiagonal)
+inline constexpr const char* kSvKernelCtrlDense = "sv.kernel.ctrl_dense"; // counter
+inline constexpr const char* kSvKernelCtrlDiag = "sv.kernel.ctrl_diag"; // counter (CZ/CP/MCZ shapes)
+inline constexpr const char* kSvKernelCtrlPerm = "sv.kernel.ctrl_perm"; // counter (CX/CCX/MCX shapes)
+inline constexpr const char* kSvKernelKqDense = "sv.kernel.kq_dense";   // counter (fused dense blocks)
+inline constexpr const char* kSvKernelKqDiag = "sv.kernel.kq_diag";     // counter (fused diagonal blocks)
+inline constexpr const char* kSvKernelSimd = "sv.kernel.simd_dispatch"; // counter (kernels taken on a SIMD ISA)
 // density backend
 inline constexpr const char* kDensityGatesApplied = "density.gates_applied"; // counter
 inline constexpr const char* kDensityPeakBytes = "density.peak_bytes";  // gauge

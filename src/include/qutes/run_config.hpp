@@ -56,8 +56,9 @@ struct BackendConfig {
   std::string name = "statevector";
   /// Widest runtime-fused block; 1 disables gate fusion (gate-at-a-time
   /// execution). Clamped to sim::MatrixN::kMaxQubits and to the backend's
-  /// own capability cap. Was `ExecutionOptions::max_fused_qubits`.
-  std::size_t max_fused_qubits = 4;
+  /// own capability cap. 5 matches the vectorized kernels' sweet spot (see
+  /// FusionOptions). Was `ExecutionOptions::max_fused_qubits`.
+  std::size_t max_fused_qubits = 5;
   /// Run the per-shot trajectory loop across OpenMP threads. Results are
   /// independent of the thread count either way.
   bool parallel_shots = true;

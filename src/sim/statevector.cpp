@@ -8,6 +8,8 @@
 
 #include "qutes/common/bitops.hpp"
 #include "qutes/common/error.hpp"
+#include "qutes/obs/obs.hpp"
+#include "qutes/sim/kernels.hpp"
 
 namespace qutes::sim {
 
@@ -19,6 +21,24 @@ constexpr std::uint64_t kParallelThreshold = std::uint64_t{1} << 14;
 // Probabilities below this are treated as impossible outcomes when
 // collapsing; guards against dividing by ~0 norms from roundoff.
 constexpr double kProbEpsilon = 1e-15;
+
+// Kernel-dispatch counters, resolved once (adds are no-ops with metrics off).
+struct KernelMetrics {
+  obs::Counter& dense_1q = obs::metrics().counter(obs::names::kSvKernel1qDense);
+  obs::Counter& diag_1q = obs::metrics().counter(obs::names::kSvKernel1qDiag);
+  obs::Counter& perm_1q = obs::metrics().counter(obs::names::kSvKernel1qPerm);
+  obs::Counter& dense_ctrl = obs::metrics().counter(obs::names::kSvKernelCtrlDense);
+  obs::Counter& diag_ctrl = obs::metrics().counter(obs::names::kSvKernelCtrlDiag);
+  obs::Counter& perm_ctrl = obs::metrics().counter(obs::names::kSvKernelCtrlPerm);
+  obs::Counter& dense_kq = obs::metrics().counter(obs::names::kSvKernelKqDense);
+  obs::Counter& diag_kq = obs::metrics().counter(obs::names::kSvKernelKqDiag);
+  obs::Counter& simd = obs::metrics().counter(obs::names::kSvKernelSimd);
+};
+
+KernelMetrics& kernel_metrics() {
+  static KernelMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -89,18 +109,23 @@ void StateVector::check_qubit(std::size_t q, const char* what) const {
 
 void StateVector::apply_1q(const Matrix2& u, std::size_t target) {
   check_qubit(target, "apply_1q");
-  const std::uint64_t half = dim() >> 1;
-  const cplx u00 = u.m[0], u01 = u.m[1], u10 = u.m[2], u11 = u.m[3];
-  cplx* amps = amps_.data();
-#pragma omp parallel for schedule(static) if (half >= kParallelThreshold)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(half); ++i) {
-    const std::uint64_t i0 = insert_zero_bit(static_cast<std::uint64_t>(i), target);
-    const std::uint64_t i1 = set_bit(i0, target);
-    const cplx a0 = amps[i0];
-    const cplx a1 = amps[i1];
-    amps[i0] = u00 * a0 + u01 * a1;
-    amps[i1] = u10 * a0 + u11 * a1;
+  KernelMetrics& m = kernel_metrics();
+  const kernels::Isa isa = kernels::active_isa();
+  switch (kernels::classify_1q(u.m.data())) {
+    case kernels::Kind1q::Diagonal:
+      m.diag_1q.add(1);
+      kernels::apply_1q_diag(isa, amps_.data(), dim(), target, u.m[0], u.m[3]);
+      return;
+    case kernels::Kind1q::Antidiagonal:
+      m.perm_1q.add(1);
+      kernels::apply_1q_antidiag(isa, amps_.data(), dim(), target, u.m[1], u.m[2]);
+      return;
+    case kernels::Kind1q::Dense:
+      break;
   }
+  m.dense_1q.add(1);
+  if (isa != kernels::Isa::Portable) m.simd.add(1);
+  kernels::apply_1q_dense(isa, amps_.data(), dim(), target, u.m.data());
 }
 
 void StateVector::apply_controlled_1q(const Matrix2& u, std::size_t control,
@@ -121,51 +146,50 @@ void StateVector::apply_multi_controlled_1q(const Matrix2& u,
   for (std::size_t c : controls) {
     check_qubit(c, "apply_multi_controlled_1q");
     if (c == target) throw InvalidArgument("control equals target");
+    if (ctrl_mask & (std::uint64_t{1} << c)) {
+      throw InvalidArgument("apply_multi_controlled_1q: duplicate control");
+    }
     ctrl_mask |= std::uint64_t{1} << c;
   }
-  const std::uint64_t half = dim() >> 1;
-  const cplx u00 = u.m[0], u01 = u.m[1], u10 = u.m[2], u11 = u.m[3];
-  cplx* amps = amps_.data();
-#pragma omp parallel for schedule(static) if (half >= kParallelThreshold)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(half); ++i) {
-    const std::uint64_t i0 = insert_zero_bit(static_cast<std::uint64_t>(i), target);
-    if ((i0 & ctrl_mask) != ctrl_mask) continue;
-    const std::uint64_t i1 = set_bit(i0, target);
-    const cplx a0 = amps[i0];
-    const cplx a1 = amps[i1];
-    amps[i0] = u00 * a0 + u01 * a1;
-    amps[i1] = u10 * a0 + u11 * a1;
+  KernelMetrics& m = kernel_metrics();
+  const kernels::Isa isa = kernels::active_isa();
+  switch (kernels::classify_1q(u.m.data())) {
+    case kernels::Kind1q::Diagonal:
+      m.diag_ctrl.add(1);
+      kernels::apply_ctrl_1q_diag(isa, amps_.data(), dim(), controls.data(),
+                                  controls.size(), target, u.m[0], u.m[3]);
+      return;
+    case kernels::Kind1q::Antidiagonal:
+      m.perm_ctrl.add(1);
+      kernels::apply_ctrl_1q_antidiag(isa, amps_.data(), dim(), controls.data(),
+                                      controls.size(), target, u.m[1], u.m[2]);
+      return;
+    case kernels::Kind1q::Dense:
+      break;
   }
+  m.dense_ctrl.add(1);
+  kernels::apply_ctrl_1q_dense(isa, amps_.data(), dim(), controls.data(),
+                               controls.size(), target, u.m.data());
 }
 
 void StateVector::apply_2q(const Matrix4& u, std::size_t q0, std::size_t q1) {
   check_qubit(q0, "apply_2q");
   check_qubit(q1, "apply_2q");
   if (q0 == q1) throw InvalidArgument("apply_2q: identical qubits");
-  const std::uint64_t quarter = dim() >> 2;
-  const std::size_t lo = std::min(q0, q1);
-  const std::size_t hi = std::max(q0, q1);
-  cplx* amps = amps_.data();
-#pragma omp parallel for schedule(static) if (quarter >= kParallelThreshold)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(quarter); ++i) {
-    // Spread i over the non-participating bits, then enumerate the 4 basis
-    // combinations of (q1, q0).
-    const std::uint64_t base =
-        insert_zero_bit(insert_zero_bit(static_cast<std::uint64_t>(i), lo), hi);
-    std::array<std::uint64_t, 4> idx;
-    for (std::uint64_t b = 0; b < 4; ++b) {
-      std::uint64_t j = base;
-      if (b & 1) j = set_bit(j, q0);
-      if (b & 2) j = set_bit(j, q1);
-      idx[b] = j;
-    }
-    const std::array<cplx, 4> in{amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]};
-    for (std::size_t r = 0; r < 4; ++r) {
-      cplx acc = 0.0;
-      for (std::size_t c = 0; c < 4; ++c) acc += u(r, c) * in[c];
-      amps[idx[r]] = acc;
-    }
+  // Local bit 0 of the 4x4 matrix acts on q0, bit 1 on q1 — exactly the
+  // k-qubit kernel's convention.
+  const std::size_t targets[2] = {q0, q1};
+  KernelMetrics& m = kernel_metrics();
+  const kernels::Isa isa = kernels::active_isa();
+  if (kernels::is_diagonal_matrix(u.m.data(), 4)) {
+    const cplx diag[4] = {u.m[0], u.m[5], u.m[10], u.m[15]};
+    m.diag_kq.add(1);
+    kernels::apply_kq_diag(isa, amps_.data(), dim(), targets, 2, diag);
+    return;
   }
+  m.dense_kq.add(1);
+  if (isa != kernels::Isa::Portable) m.simd.add(1);
+  kernels::apply_kq_dense(isa, amps_.data(), dim(), targets, 2, u.m.data());
 }
 
 void StateVector::apply_kq(const MatrixN& u, std::span<const std::size_t> targets) {
@@ -187,79 +211,22 @@ void StateVector::apply_kq(const MatrixN& u, std::span<const std::size_t> target
     return;
   }
 
-  // Sorted targets drive the zero-bit insertion (ascending order keeps each
-  // later insertion position valid); the unsorted order defines local bits.
-  // Insertion sort: k <= kMaxQubits, and std::sort on the partial array
-  // trips GCC's -Warray-bounds.
-  std::array<std::size_t, MatrixN::kMaxQubits> sorted{};
-  for (std::size_t j = 0; j < k; ++j) {
-    std::size_t pos = j;
-    while (pos > 0 && sorted[pos - 1] > targets[j]) {
-      sorted[pos] = sorted[pos - 1];
-      --pos;
-    }
-    sorted[pos] = targets[j];
-  }
-
   const std::size_t block = std::size_t{1} << k;
-  // offset[l] = scattered bit pattern of local index l over the targets;
-  // group base + offset[l] = global index (disjoint bit sets).
-  std::array<std::uint64_t, std::size_t{1} << MatrixN::kMaxQubits> offset{};
-  for (std::size_t l = 0; l < block; ++l) {
-    std::uint64_t bits = 0;
-    for (std::size_t j = 0; j < k; ++j) {
-      if ((l >> j) & 1u) bits |= std::uint64_t{1} << targets[j];
-    }
-    offset[l] = bits;
+  KernelMetrics& m = kernel_metrics();
+  const kernels::Isa isa = kernels::active_isa();
+  if (kernels::is_diagonal_matrix(u.data(), block)) {
+    // Fused chains of phase-type gates land here: one multiply per
+    // amplitude instead of a dense 2^k x 2^k matvec.
+    std::array<cplx, std::size_t{1} << MatrixN::kMaxQubits> diag;
+    for (std::size_t l = 0; l < block; ++l) diag[l] = u(l, l);
+    m.diag_kq.add(1);
+    kernels::apply_kq_diag(isa, amps_.data(), dim(), targets.data(), k,
+                           diag.data());
+    return;
   }
-
-  const std::uint64_t groups = dim() >> k;
-  // Planar, column-major split of the matrix. Two reasons: std::complex
-  // arithmetic defeats auto-vectorization (strict FP semantics forbid
-  // reassociating the row dot product), and walking columns turns the inner
-  // loop into independent accumulations over contiguous doubles, which GCC
-  // vectorizes at -O3 without -ffast-math.
-  std::array<double, std::size_t{1} << (2 * MatrixN::kMaxQubits)> col_re;
-  std::array<double, std::size_t{1} << (2 * MatrixN::kMaxQubits)> col_im;
-  const cplx* mat = u.data();
-  for (std::size_t r = 0; r < block; ++r) {
-    for (std::size_t c = 0; c < block; ++c) {
-      col_re[c * block + r] = mat[r * block + c].real();
-      col_im[c * block + r] = mat[r * block + c].imag();
-    }
-  }
-  cplx* amps = amps_.data();
-#pragma omp parallel for schedule(static) if (groups >= kParallelThreshold)
-  for (std::int64_t g = 0; g < static_cast<std::int64_t>(groups); ++g) {
-    std::uint64_t base = static_cast<std::uint64_t>(g);
-    for (std::size_t j = 0; j < k; ++j) base = insert_zero_bit(base, sorted[j]);
-    std::array<double, std::size_t{1} << MatrixN::kMaxQubits> in_re;
-    std::array<double, std::size_t{1} << MatrixN::kMaxQubits> in_im;
-    std::array<double, std::size_t{1} << MatrixN::kMaxQubits> out_re;
-    std::array<double, std::size_t{1} << MatrixN::kMaxQubits> out_im;
-    for (std::size_t l = 0; l < block; ++l) {
-      const cplx a = amps[base + offset[l]];
-      in_re[l] = a.real();
-      in_im[l] = a.imag();
-      // Zero only the live entries: value-initializing the full kMaxQubits
-      // array costs more than the k=2 matmul itself.
-      out_re[l] = 0.0;
-      out_im[l] = 0.0;
-    }
-    for (std::size_t c = 0; c < block; ++c) {
-      const double b_re = in_re[c];
-      const double b_im = in_im[c];
-      const double* m_re = col_re.data() + c * block;
-      const double* m_im = col_im.data() + c * block;
-      for (std::size_t r = 0; r < block; ++r) {
-        out_re[r] += m_re[r] * b_re - m_im[r] * b_im;
-        out_im[r] += m_re[r] * b_im + m_im[r] * b_re;
-      }
-    }
-    for (std::size_t r = 0; r < block; ++r) {
-      amps[base + offset[r]] = cplx{out_re[r], out_im[r]};
-    }
-  }
+  m.dense_kq.add(1);
+  if (isa != kernels::Isa::Portable) m.simd.add(1);
+  kernels::apply_kq_dense(isa, amps_.data(), dim(), targets.data(), k, u.data());
 }
 
 void StateVector::apply_swap(std::size_t a, std::size_t b) {
@@ -282,30 +249,24 @@ void StateVector::apply_swap(std::size_t a, std::size_t b) {
 
 void StateVector::apply_phase(double lambda, std::size_t target) {
   check_qubit(target, "apply_phase");
-  const cplx phase = std::exp(cplx{0.0, lambda});
-  const std::uint64_t half = dim() >> 1;
-  cplx* amps = amps_.data();
-#pragma omp parallel for schedule(static) if (half >= kParallelThreshold)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(half); ++i) {
-    const std::uint64_t i1 =
-        set_bit(insert_zero_bit(static_cast<std::uint64_t>(i), target), target);
-    amps[i1] *= phase;
-  }
+  KernelMetrics& m = kernel_metrics();
+  m.diag_1q.add(1);
+  kernels::apply_1q_diag(kernels::active_isa(), amps_.data(), dim(), target,
+                         cplx{1.0, 0.0}, std::exp(cplx{0.0, lambda}));
 }
 
 void StateVector::apply_cphase(double lambda, std::size_t control, std::size_t target) {
   check_qubit(control, "apply_cphase");
   check_qubit(target, "apply_cphase");
   if (control == target) throw InvalidArgument("apply_cphase: identical qubits");
-  const cplx phase = std::exp(cplx{0.0, lambda});
-  const std::uint64_t mask =
-      (std::uint64_t{1} << control) | (std::uint64_t{1} << target);
-  const std::uint64_t n = dim();
-  cplx* amps = amps_.data();
-#pragma omp parallel for schedule(static) if (n >= kParallelThreshold)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
-    if ((static_cast<std::uint64_t>(i) & mask) == mask) amps[i] *= phase;
-  }
+  // diag(1, e^{i lambda}) on the control-selected pairs: touches dim/4
+  // amplitudes instead of scanning all of them.
+  KernelMetrics& m = kernel_metrics();
+  m.diag_ctrl.add(1);
+  const std::size_t ctrl[1] = {control};
+  kernels::apply_ctrl_1q_diag(kernels::active_isa(), amps_.data(), dim(), ctrl,
+                              1, target, cplx{1.0, 0.0},
+                              std::exp(cplx{0.0, lambda}));
 }
 
 void StateVector::apply_global_phase(double lambda) {

@@ -15,6 +15,8 @@
 #include "qutes/circuit/executor.hpp"
 #include "qutes/circuit/pass_manager.hpp"
 #include "qutes/circuit/qasm.hpp"
+#include "qutes/common/rng.hpp"
+#include "qutes/sim/statevector.hpp"
 #include "qutes/testing/differential.hpp"
 #include "qutes/testing/generators.hpp"
 #include "qutes/testing/reference_backend.hpp"
@@ -289,6 +291,57 @@ TEST(Differential, FusionWithConditionsPinnedSeeds) {
 
     const qt::DiffReport report = qt::diff_dynamic_backends(c, seed);
     EXPECT_TRUE(report.ok()) << report.summary();
+  }
+}
+
+// ---- pinned regressions (ReorderCommuting x presets) ------------------------
+
+namespace {
+
+/// Gate-at-a-time statevector evolution of a unitary circuit (no sampling).
+std::vector<cplx> evolve_statevector(const circ::QuantumCircuit& c) {
+  qutes::sim::StateVector sv(c.num_qubits());
+  std::uint64_t scratch = 0;
+  qutes::Rng rng(0);
+  for (const circ::Instruction& in : c.instructions()) {
+    circ::apply_instruction(sv, in, scratch, rng);
+  }
+  const auto amps = sv.amplitudes();
+  return {amps.begin(), amps.end()};
+}
+
+}  // namespace
+
+TEST(Differential, ReorderCommutingComposesWithEveryPresetPinnedSeeds) {
+  // ReorderCommuting alone only performs legal adjacent transpositions; the
+  // dangerous interactions are with the other passes. Running it before a
+  // preset changes what the lowering and peephole stages see; running it
+  // after one must respect the ancilla wires and SWAP chains they introduced.
+  // Sandwich the pass around every preset on pinned seeds and check the
+  // evolved state against the dense reference of the untouched circuit, up
+  // to global phase (ancilla weight shows up as residual and fails).
+  const std::uint64_t pinned[] = {3, 17, 42, 88, 123, 2024};
+  const circ::Preset presets[] = {circ::Preset::O0, circ::Preset::O1,
+                                  circ::Preset::Basis, circ::Preset::Hardware};
+  circ::PassManager reorder;
+  reorder.emplace<circ::ReorderCommuting>();
+  for (const std::uint64_t seed : pinned) {
+    const circ::QuantumCircuit c = qt::random_circuit(seed, unitary_options(seed));
+    const std::vector<cplx> reference = qt::reference_statevector(c);
+    for (const circ::Preset preset : presets) {
+      for (const bool reorder_first : {true, false}) {
+        circ::PropertySet properties;
+        circ::QuantumCircuit lowered = circ::make_pipeline(preset).run(
+            reorder_first ? reorder.run(c) : c, properties);
+        if (!reorder_first) lowered = reorder.run(lowered);
+        const auto cmp = qt::compare_states_up_to_global_phase(
+            reference, evolve_statevector(lowered));
+        EXPECT_TRUE(cmp.equivalent)
+            << "seed=" << seed << " preset=" << circ::preset_name(preset)
+            << (reorder_first ? " reorder-first: " : " reorder-last: ")
+            << cmp.detail;
+      }
+    }
   }
 }
 

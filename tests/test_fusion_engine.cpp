@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "qutes/algorithms/grover.hpp"
 #include "qutes/circuit/executor.hpp"
 #include "qutes/circuit/fusion.hpp"
 #include "qutes/common/error.hpp"
@@ -235,6 +236,63 @@ TEST(FusionEngine, GateNoiseDisablesFusionOfNoisyGates) {
   // Every unitary is a noise insertion point, so nothing may fuse.
   EXPECT_EQ(result.fused_gates, 0u);
   EXPECT_EQ(result.fused_blocks, 0u);
+}
+
+TEST(FusionEngine, GroverLayersCoalesceIntoMultiWireBlocks) {
+  // Regression: Grover's structure (an H/X wall on every wire, fenced by the
+  // wide multi-controlled oracle) once degenerated into all-singleton blocks
+  // ({"1": gates}) because each wire's run flushed as its own width-1 block.
+  // Flush-time coalescing must pack those disjoint blocks into multi-wire
+  // ones — and the packed plan must still be exact.
+  const std::uint64_t marked[] = {(std::uint64_t{1} << 10) - 1};
+  const QuantumCircuit c = algo::build_grover_circuit(10, marked, 3);
+  const FusionPlan plan = build_fusion_plan(c.instructions(), FusionOptions{});
+  std::size_t wide = 0, singleton = 0;
+  for (const auto& [width, blocks] : plan.width_histogram) {
+    (width >= 2 ? wide : singleton) += blocks;
+  }
+  EXPECT_GT(wide, 0u) << "Grover plan degenerated to singleton blocks";
+  EXPECT_GT(wide, singleton);
+
+  // The coalesced plan evolves to the same state as gate-at-a-time replay.
+  QuantumCircuit unitary_part(c.num_qubits(), c.num_clbits());
+  for (const Instruction& in : c.instructions()) {
+    if (in.type != GateType::Measure) unitary_part.append(in);
+  }
+  const sim::StateVector reference = evolve_unfused(unitary_part);
+  const sim::StateVector fused =
+      evolve_fused(unitary_part, FusionOptions{}.max_fused_qubits);
+  EXPECT_NEAR(fused.fidelity(reference), 1.0, 1e-9);
+}
+
+TEST(FusionEngine, CoalescingPacksDisjointSameLayerBlocks) {
+  // Six wires, each carrying a 2-gate 1q run: without coalescing the planner
+  // flushes six width-1 blocks; with it, the disjoint blocks pack first-fit
+  // into max_fused_qubits-wide bins. Disjoint operators commute, so packing
+  // is exact by construction — pin both the shape and the state.
+  QuantumCircuit c(6, 0);
+  for (std::size_t q = 0; q < 6; ++q) c.h(q).t(q);
+  FusionOptions off;
+  off.max_fused_qubits = 5;
+  off.coalesce_blocks = false;
+  const FusionPlan plain = build_fusion_plan(c.instructions(), off);
+  FusionOptions on = off;
+  on.coalesce_blocks = true;
+  const FusionPlan packed = build_fusion_plan(c.instructions(), on);
+
+  ASSERT_TRUE(plain.width_histogram.count(1));
+  EXPECT_EQ(plain.width_histogram.at(1), 6u);
+  std::size_t packed_blocks = 0;
+  for (const auto& [width, blocks] : packed.width_histogram) {
+    EXPECT_LE(width, on.max_fused_qubits);
+    packed_blocks += blocks;
+  }
+  EXPECT_LT(packed_blocks, 6u);  // strictly fewer sweeps than unpacked
+  EXPECT_TRUE(packed.width_histogram.count(5));
+
+  const sim::StateVector reference = evolve_unfused(c);
+  const sim::StateVector fused = evolve_fused(c, 5);
+  EXPECT_NEAR(fused.fidelity(reference), 1.0, 1e-12);
 }
 
 TEST(FusionEngine, ApplyKqValidatesArguments) {

@@ -1,0 +1,243 @@
+// Direct unit tests for the vectorized statevector kernels (sim/kernels.hpp),
+// below the StateVector wrapper: every structure fast path (diagonal,
+// antidiagonal, controlled, k-qubit diagonal) must agree with the generic
+// dense kernel, and every ISA variant the machine can run (Portable / Avx2 /
+// Avx512) must produce the same amplitudes. The higher-level differential
+// suites only exercise whichever ISA active_isa() picks; these tests pass the
+// Isa explicitly so one process covers the whole dispatch ladder, including
+// the sizes that cross the OpenMP parallel threshold.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "qutes/common/rng.hpp"
+#include "qutes/sim/kernels.hpp"
+
+namespace kn = qutes::sim::kernels;
+using cplx = kn::cplx;
+using qutes::Rng;
+
+namespace {
+
+std::vector<cplx> random_state(std::size_t num_qubits, std::uint64_t seed) {
+  std::vector<cplx> amps(std::uint64_t{1} << num_qubits);
+  Rng rng(seed);
+  for (cplx& a : amps) a = cplx{rng.uniform() - 0.5, rng.uniform() - 0.5};
+  return amps;
+}
+
+cplx random_cplx(Rng& rng) {
+  return cplx{rng.uniform() - 0.5, rng.uniform() - 0.5};
+}
+
+/// Every ISA this build + CPU can actually execute. Portable is always first
+/// and serves as the reference variant.
+std::vector<kn::Isa> available_isas() {
+  std::vector<kn::Isa> isas = {kn::Isa::Portable};
+  if (kn::isa_available(kn::Isa::Avx2)) isas.push_back(kn::Isa::Avx2);
+  if (kn::isa_available(kn::Isa::Avx512)) isas.push_back(kn::Isa::Avx512);
+  return isas;
+}
+
+/// FMA contraction reorders roundoff vs the portable loops; 1e-12 absolute
+/// on O(1) amplitudes leaves ~4 decimal digits of slack over double epsilon.
+void expect_amps_near(const std::vector<cplx>& expected,
+                      const std::vector<cplx>& actual, const char* what,
+                      kn::Isa isa) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(std::abs(expected[i] - actual[i]), 0.0, 1e-12)
+        << what << " isa=" << kn::isa_name(isa) << " amp=" << i;
+  }
+}
+
+}  // namespace
+
+TEST(Kernels, DiagonalFastPathMatchesDenseOnEveryIsa) {
+  Rng rng(0xd1a6);
+  for (const std::size_t num_qubits : {4u, 15u}) {  // 15 crosses the OMP gate
+    for (std::size_t target = 0; target < num_qubits; target += 3) {
+      const cplx d0 = random_cplx(rng), d1 = random_cplx(rng);
+      const cplx dense[4] = {d0, {}, {}, d1};
+      std::vector<cplx> reference = random_state(num_qubits, 11 * target + 1);
+      const std::vector<cplx> initial = reference;
+      kn::apply_1q_dense(kn::Isa::Portable, reference.data(), reference.size(),
+                         target, dense);
+      for (const kn::Isa isa : available_isas()) {
+        std::vector<cplx> amps = initial;
+        kn::apply_1q_diag(isa, amps.data(), amps.size(), target, d0, d1);
+        expect_amps_near(reference, amps, "1q-diag", isa);
+      }
+    }
+  }
+}
+
+TEST(Kernels, AntidiagonalFastPathMatchesDenseOnEveryIsa) {
+  Rng rng(0xa7d1);
+  for (const std::size_t num_qubits : {4u, 15u}) {
+    for (std::size_t target = 0; target < num_qubits; target += 3) {
+      const cplx a01 = random_cplx(rng), a10 = random_cplx(rng);
+      const cplx dense[4] = {{}, a01, a10, {}};
+      std::vector<cplx> reference = random_state(num_qubits, 13 * target + 7);
+      const std::vector<cplx> initial = reference;
+      kn::apply_1q_dense(kn::Isa::Portable, reference.data(), reference.size(),
+                         target, dense);
+      for (const kn::Isa isa : available_isas()) {
+        std::vector<cplx> amps = initial;
+        kn::apply_1q_antidiag(isa, amps.data(), amps.size(), target, a01, a10);
+        expect_amps_near(reference, amps, "1q-antidiag", isa);
+      }
+    }
+  }
+}
+
+TEST(Kernels, Dense1qAgreesAcrossIsas) {
+  Rng rng(0xde4e);
+  for (const std::size_t num_qubits : {5u, 15u}) {
+    for (std::size_t target = 0; target < num_qubits; target += 2) {
+      cplx u[4];
+      for (cplx& e : u) e = random_cplx(rng);
+      std::vector<cplx> reference = random_state(num_qubits, 17 * target + 3);
+      const std::vector<cplx> initial = reference;
+      kn::apply_1q_dense(kn::Isa::Portable, reference.data(), reference.size(),
+                         target, u);
+      for (const kn::Isa isa : available_isas()) {
+        std::vector<cplx> amps = initial;
+        kn::apply_1q_dense(isa, amps.data(), amps.size(), target, u);
+        expect_amps_near(reference, amps, "1q-dense", isa);
+      }
+    }
+  }
+}
+
+TEST(Kernels, ControlledFastPathsMatchControlledDense) {
+  // diag and antidiag controlled kernels vs the controlled dense kernel with
+  // the equivalent 2x2, across 1..3 unsorted controls and every ISA.
+  Rng rng(0xc7a1);
+  const std::size_t num_qubits = 10;
+  const std::vector<std::vector<std::size_t>> control_sets = {
+      {4}, {7, 2}, {9, 0, 5}};
+  for (const auto& controls : control_sets) {
+    const std::size_t target = 3;
+    const cplx d0 = random_cplx(rng), d1 = random_cplx(rng);
+    const cplx a01 = random_cplx(rng), a10 = random_cplx(rng);
+    const cplx diag_u[4] = {d0, {}, {}, d1};
+    const cplx anti_u[4] = {{}, a01, a10, {}};
+    const std::vector<cplx> initial = random_state(num_qubits, controls.size());
+
+    std::vector<cplx> ref_diag = initial;
+    kn::apply_ctrl_1q_dense(kn::Isa::Portable, ref_diag.data(), ref_diag.size(),
+                            controls.data(), controls.size(), target, diag_u);
+    std::vector<cplx> ref_anti = initial;
+    kn::apply_ctrl_1q_dense(kn::Isa::Portable, ref_anti.data(), ref_anti.size(),
+                            controls.data(), controls.size(), target, anti_u);
+    for (const kn::Isa isa : available_isas()) {
+      std::vector<cplx> amps = initial;
+      kn::apply_ctrl_1q_diag(isa, amps.data(), amps.size(), controls.data(),
+                             controls.size(), target, d0, d1);
+      expect_amps_near(ref_diag, amps, "ctrl-diag", isa);
+      amps = initial;
+      kn::apply_ctrl_1q_antidiag(isa, amps.data(), amps.size(), controls.data(),
+                                 controls.size(), target, a01, a10);
+      expect_amps_near(ref_anti, amps, "ctrl-antidiag", isa);
+    }
+  }
+}
+
+TEST(Kernels, KqDiagonalFastPathMatchesDenseMatrix) {
+  Rng rng(0x2bd1);
+  const std::size_t num_qubits = 10;
+  const std::vector<std::vector<std::size_t>> target_sets = {
+      {6, 1}, {2, 8, 4}, {9, 0, 5, 3}, {1, 7, 3, 9, 5}};
+  for (const auto& targets : target_sets) {
+    const std::size_t k = targets.size();
+    const std::size_t block = std::size_t{1} << k;
+    std::vector<cplx> diag(block);
+    for (cplx& d : diag) d = random_cplx(rng);
+    std::vector<cplx> dense(block * block, cplx{});
+    for (std::size_t l = 0; l < block; ++l) dense[l * block + l] = diag[l];
+    const std::vector<cplx> initial = random_state(num_qubits, 29 * k);
+
+    std::vector<cplx> reference = initial;
+    kn::apply_kq_dense(kn::Isa::Portable, reference.data(), reference.size(),
+                       targets.data(), k, dense.data());
+    for (const kn::Isa isa : available_isas()) {
+      std::vector<cplx> amps = initial;
+      kn::apply_kq_diag(isa, amps.data(), amps.size(), targets.data(), k,
+                        diag.data());
+      expect_amps_near(reference, amps, "kq-diag", isa);
+    }
+  }
+}
+
+TEST(Kernels, KqDenseAgreesAcrossIsas) {
+  // The load-bearing case for the AVX-512 tier: k >= 4 takes the zmm
+  // matvec + hardware gather/scatter path, k in {2, 3} the AVX2 ymm path.
+  // Random (non-unitary is fine — the kernel is plain linear algebra) dense
+  // blocks on unsorted target sets, checked entry-for-entry vs Portable.
+  Rng rng(0x6a7e);
+  const std::size_t num_qubits = 11;
+  const std::vector<std::vector<std::size_t>> target_sets = {
+      {6, 1}, {2, 8, 4}, {9, 0, 5, 3}, {1, 7, 3, 10, 5}, {4, 0, 8, 2, 10, 6}};
+  for (const auto& targets : target_sets) {
+    const std::size_t k = targets.size();
+    const std::size_t block = std::size_t{1} << k;
+    std::vector<cplx> matrix(block * block);
+    for (cplx& e : matrix) e = random_cplx(rng);
+    const std::vector<cplx> initial = random_state(num_qubits, 31 * k);
+
+    std::vector<cplx> reference = initial;
+    kn::apply_kq_dense(kn::Isa::Portable, reference.data(), reference.size(),
+                       targets.data(), k, matrix.data());
+    for (const kn::Isa isa : available_isas()) {
+      std::vector<cplx> amps = initial;
+      kn::apply_kq_dense(isa, amps.data(), amps.size(), targets.data(), k,
+                         matrix.data());
+      expect_amps_near(reference, amps, "kq-dense", isa);
+    }
+  }
+}
+
+TEST(Kernels, KqDenseAgreesAcrossIsasAboveParallelThreshold) {
+  // dim >> k >= 2^14 groups flips the kernels into their OpenMP-chunked
+  // loops; the decomposition must not change a single amplitude.
+  Rng rng(0x0317);
+  const std::size_t num_qubits = 18;
+  const std::vector<std::size_t> targets = {11, 3, 16, 7};
+  const std::size_t block = std::size_t{1} << targets.size();
+  std::vector<cplx> matrix(block * block);
+  for (cplx& e : matrix) e = random_cplx(rng);
+  const std::vector<cplx> initial = random_state(num_qubits, 0xb16);
+
+  std::vector<cplx> reference = initial;
+  kn::apply_kq_dense(kn::Isa::Portable, reference.data(), reference.size(),
+                     targets.data(), targets.size(), matrix.data());
+  for (const kn::Isa isa : available_isas()) {
+    std::vector<cplx> amps = initial;
+    kn::apply_kq_dense(isa, amps.data(), amps.size(), targets.data(),
+                       targets.size(), matrix.data());
+    expect_amps_near(reference, amps, "kq-dense-parallel", isa);
+  }
+}
+
+TEST(Kernels, EnvOverrideNamesAndAvailability) {
+  EXPECT_STREQ(kn::isa_name(kn::Isa::Portable), "portable");
+  EXPECT_STREQ(kn::isa_name(kn::Isa::Avx2), "avx2");
+  EXPECT_STREQ(kn::isa_name(kn::Isa::Avx512), "avx512");
+  EXPECT_TRUE(kn::isa_available(kn::Isa::Portable));
+  // Avx512 implies Avx2 in the detection ladder: the 1q paths of the
+  // AVX-512 tier are the AVX2 kernels.
+  if (kn::isa_available(kn::Isa::Avx512)) {
+    EXPECT_TRUE(kn::isa_available(kn::Isa::Avx2));
+  }
+  // force_isa must round-trip through any available ISA.
+  for (const kn::Isa isa : available_isas()) {
+    kn::force_isa(isa);
+    EXPECT_EQ(kn::active_isa(), isa);
+  }
+  kn::reset_isa();
+  EXPECT_TRUE(kn::isa_available(kn::active_isa()));
+}

@@ -173,7 +173,11 @@ TEST(Mps, RandomCircuitsMatchStatevectorExactly) {
     random_gates(mps, sv, 24, rng);
     expect_states_equal(mps, sv, 1e-9);
     EXPECT_NEAR(mps.norm(), 1.0, 1e-9);
-    EXPECT_EQ(mps.truncation_error(), 0.0);
+    // No singular value may actually be cut at these widths, but the
+    // discarded-weight accumulator sums tiny negative-rounding residues
+    // whose exact zeroness depends on FP contraction (-march=native builds
+    // produce ~1e-16 here); bound it at float noise instead of == 0.
+    EXPECT_LT(mps.truncation_error(), 1e-12);
   }
 }
 

@@ -42,6 +42,17 @@ void* operator new(std::size_t size) {
 }
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+// The nothrow pair must be replaced too: the default (or sanitizer) nothrow
+// new does not forward to the replaced ordinary new, so anything allocated
+// through it (e.g. std::stable_sort's temporary buffer) would hit the free()
+// above as an alloc/dealloc mismatch under ASan.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 #pragma GCC diagnostic pop
 
 namespace {

@@ -96,12 +96,13 @@ TEST(PassManager, PresetParsingRoundTrips) {
   EXPECT_FALSE(parse_preset("").has_value());
 }
 
-TEST(PassManager, O1PresetMatchesLegacyTranspile) {
+TEST(PassManager, O1PresetSubsumesLegacyTranspile) {
+  // O1 = legacy transpile() + commutation-aware reordering, so it must stay
+  // equivalent and can only expose more peephole cancellations, never fewer.
   const QuantumCircuit base = mixed_workload();
   const QuantumCircuit legacy = transpile(base);
   const QuantumCircuit preset = make_pipeline(Preset::O1).run(base);
-  EXPECT_EQ(preset.gate_count(), legacy.gate_count());
-  EXPECT_EQ(preset.depth(), legacy.depth());
+  EXPECT_LE(preset.gate_count(), legacy.gate_count());
   EXPECT_NEAR(circuit_fidelity(preset, legacy), 1.0, 1e-9);
 }
 
