@@ -6,11 +6,6 @@
 //   * V-chain MCX lowering: linear Toffoli growth vs control count;
 //   * linear routing: SWAP overhead vs circuit connectivity.
 #include <benchmark/benchmark.h>
-// This file exercises the deprecated transpile()/route_linear() free
-// functions on purpose (legacy-vs-pipeline equivalence); silence their
-// deprecation warnings locally.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 
 #include <cstdio>
 #include <string>
@@ -18,7 +13,7 @@
 #include "qutes/algorithms/grover.hpp"
 #include "qutes/algorithms/qft.hpp"
 #include "qutes/circuit/pass_manager.hpp"
-#include "qutes/circuit/routing.hpp"
+#include "qutes/circuit/routing.hpp"  // fuse_single_qubit_gates (not deprecated)
 #include "qutes/circuit/transpiler.hpp"
 
 namespace {
@@ -119,9 +114,12 @@ void print_summary() {
               "routed_gates", "swaps");
   for (std::size_t n : {4u, 6u, 8u, 10u}) {
     const QuantumCircuit qft = decompose_to_basis(algo::make_qft(n));
-    const RoutingResult routed = route_linear(qft);
+    PassManager router;
+    router.emplace<Route>();
+    PropertySet props;
+    const QuantumCircuit routed = router.run(qft, props);
     std::printf("%4zu | %12zu %10zu | %12zu %10zu\n", n, qft.gate_count(),
-                qft.depth(), routed.circuit.gate_count(), routed.swaps_inserted);
+                qft.depth(), routed.gate_count(), props.swaps_inserted);
   }
   std::printf("shape check: SWAP overhead grows with the QFT's long-range "
               "CX pattern (~n^2 total)\n\n");
@@ -156,8 +154,10 @@ BENCHMARK(BM_BasisLowering)->Arg(3)->Arg(5)->Arg(7);
 void BM_RouteLinear(benchmark::State& state) {
   const QuantumCircuit qft =
       decompose_to_basis(algo::make_qft(static_cast<std::size_t>(state.range(0))));
+  PassManager router;
+  router.emplace<Route>();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(route_linear(qft));
+    benchmark::DoNotOptimize(router.run(qft));
   }
 }
 BENCHMARK(BM_RouteLinear)->Arg(4)->Arg(8)->Arg(12);

@@ -56,6 +56,15 @@ cmake "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Engine parity gate: the pass above ran every suite on the default engine
+# (the bytecode VM); re-run the language-level suites on the tree-walk
+# reference so both engines stay green under the same build (including the
+# sanitizer configurations, where an engine-specific memory bug would hide
+# if only one engine ever executed).
+QUTES_EXEC_MODE=ast ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R 'test_(interpreter|programs|conformance|stdlib|bytecode|differential|dsl_robustness|program_files|edge_cases|debug_features|casting|printer)|cli_'
+echo "check.sh: language suites passed under QUTES_EXEC_MODE=ast (tree-walk reference)."
+
 # MPS backend smoke sweep: exercises the contraction/SVD kernels and the
 # dense-vs-MPS crossover path in this build's instrumentation (most valuable
 # under --asan/--ubsan, where the test binaries alone don't drive the bench

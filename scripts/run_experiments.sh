@@ -73,6 +73,18 @@ grep -o '"workload":"[a-z]*","qubits":[0-9]*' BENCH_mps.json | sort -u | paste -
 echo "Observability snapshots recorded in BENCH_obs.json:"
 grep -o '"bench":"[a-z]*","workload":"[a-z]*","qubits":[0-9]*' BENCH_obs.json || true
 
+# Collect the BENCH_JSON_LANG lines (one object per classical-heavy language
+# workload: lowering cost, per-engine execute cost, VM-vs-tree-walk speedup,
+# and the artifact-cache-hit cost, emitted by bench_lang) into a single JSON
+# array.
+{
+  echo '['
+  { grep -h '^BENCH_JSON_LANG ' bench_output.txt || true; } | sed 's/^BENCH_JSON_LANG //' | paste -sd, -
+  echo ']'
+} > BENCH_lang.json
+echo "Language-engine results recorded in BENCH_lang.json:"
+grep -o '"workload":"[a-z_]*"\|"speedup":[0-9.]*' BENCH_lang.json | paste - - || true
+
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   : > sanitizer_output.txt
   for mode in asan ubsan; do
@@ -87,7 +99,7 @@ if [[ "$RUN_SANITIZERS" == 1 ]]; then
 fi
 
 echo
-echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, BENCH_mps.json, and BENCH_obs.json."
+echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, BENCH_mps.json, BENCH_obs.json, and BENCH_lang.json."
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   echo "Sanitizer verdicts:"
   grep '^SANITIZER ' sanitizer_output.txt

@@ -15,9 +15,12 @@
 
 namespace qutes::lang {
 
-class Interpreter;
+class Runtime;
 
-using BuiltinFn = std::function<ValuePtr(Interpreter&, std::vector<ValuePtr>&,
+/// Builtins operate on the shared Runtime (runtime.hpp), so both execution
+/// engines — tree-walk interpreter and bytecode VM — call the same
+/// implementations.
+using BuiltinFn = std::function<ValuePtr(Runtime&, std::vector<ValuePtr>&,
                                          SourceLocation)>;
 
 /// Name -> implementation for every builtin. Stable across calls.

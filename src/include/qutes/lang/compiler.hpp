@@ -5,7 +5,12 @@
 //   result.circuit   -> the full circuit the program compiled to
 //
 // Internals follow the paper's pipeline: lex -> parse -> pass 1
-// (SymbolCollector) -> pass 2 (Interpreter with live circuit+state).
+// (SymbolCollector) -> pass 2. Pass 2 defaults to the bytecode engine
+// (lowering pass + dispatch VM, lang/lower.hpp + lang/vm.hpp); the original
+// tree-walking Interpreter stays available as `RunConfig::exec_mode =
+// ExecMode::Ast` and serves as the differential reference. Both engines share
+// lang::Runtime for every value-level operation, so results are
+// bit-identical either way.
 //
 // Options live in qutes::RunConfig (run_config.hpp) — the same struct the
 // Executor and the CLI consume. The front-end-specific fields are `echo`,
@@ -21,6 +26,7 @@
 #include "qutes/circuit/executor.hpp"
 #include "qutes/circuit/pass_manager.hpp"
 #include "qutes/lang/ast.hpp"
+#include "qutes/lang/bytecode.hpp"
 #include "qutes/lang/diagnostics.hpp"
 #include "qutes/lang/symbol_table.hpp"
 #include "qutes/run_config.hpp"
@@ -63,6 +69,14 @@ struct CompileResult {
 };
 [[nodiscard]] CompileResult compile_source(const std::string& source,
                                            bool include_stdlib = true);
+
+/// Compile then lower to bytecode (lex + parse + pass 1 + lowering), without
+/// executing. The artifact's `source_hash` is the fnv1a64 of `source`, so a
+/// cache can check `Bytecode::load(path).source_hash == fnv1a64(source)` and
+/// skip the whole front end on a hit. Throws LangError on malformed programs
+/// and on statically-detected over-deep nesting.
+[[nodiscard]] Bytecode lower_source(const std::string& source,
+                                    bool include_stdlib = true);
 
 /// Full pipeline: compile then interpret. Throws LangError on any language
 /// error (with source location) — including config validation failures

@@ -5,17 +5,20 @@
 // so quantum values used in classical contexts (conditions, print,
 // comparisons) trigger real measurements with real collapse — the paper's
 // automatic-measurement rule.
+//
+// All value-level semantics live in lang::Runtime (runtime.hpp), shared with
+// the bytecode Vm; this class contributes only the AST walk itself (scope
+// chain, visitors, eval/call depth guards). It remains the differential
+// reference for the Vm (`--exec-mode ast`).
 #pragma once
 
 #include <memory>
 #include <ostream>
-#include <sstream>
 #include <string>
 
 #include "qutes/lang/ast.hpp"
-#include "qutes/lang/casting_handler.hpp"
-#include "qutes/lang/circuit_handler.hpp"
 #include "qutes/lang/diagnostics.hpp"
+#include "qutes/lang/runtime.hpp"
 #include "qutes/lang/symbol_table.hpp"
 
 namespace qutes::lang {
@@ -39,10 +42,13 @@ public:
   void run(Program& program, FunctionTable& functions);
 
   // ---- services used by builtins & the compiler facade ---------------------
-  [[nodiscard]] QuantumCircuitHandler& handler() noexcept { return handler_; }
-  [[nodiscard]] TypeCastingHandler& casting() noexcept { return casting_; }
-  [[nodiscard]] const std::string captured_output() const { return captured_.str(); }
-  void emit_output(const std::string& text);
+  [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
+  [[nodiscard]] QuantumCircuitHandler& handler() noexcept { return runtime_.handler(); }
+  [[nodiscard]] TypeCastingHandler& casting() noexcept { return runtime_.casting(); }
+  [[nodiscard]] const std::string captured_output() const {
+    return runtime_.captured_output();
+  }
+  void emit_output(const std::string& text) { runtime_.emit_output(text); }
 
   /// Evaluate an expression to a value (used recursively and by builtins).
   ValuePtr evaluate(Expr& expr);
@@ -52,12 +58,16 @@ public:
                               SourceLocation loc);
 
   /// Render a value for `print`: quantum operands are measured first.
-  [[nodiscard]] std::string render_for_print(const ValuePtr& value);
+  [[nodiscard]] std::string render_for_print(const ValuePtr& value) {
+    return runtime_.render_for_print(value);
+  }
 
   /// Grover position search (the `indexof` builtin): like the `in` operator
   /// but returning the matched position (-1 on miss).
   [[nodiscard]] ValuePtr index_of(const ValuePtr& pattern, const ValuePtr& text,
-                                  SourceLocation loc);
+                                  SourceLocation loc) {
+    return runtime_.index_of(pattern, text, loc);
+  }
 
   // ---- visitor interface ----------------------------------------------------
   void visit(IntLitExpr&) override;
@@ -93,32 +103,13 @@ private:
   };
 
   void execute(Stmt& stmt);
-  ValuePtr evaluate_binary(BinaryOp op, const ValuePtr& lhs, const ValuePtr& rhs,
-                           SourceLocation loc);
-  ValuePtr quantum_add_sub(BinaryOp op, const ValuePtr& lhs, const ValuePtr& rhs,
-                           SourceLocation loc);
-  ValuePtr quantum_shift(BinaryOp op, const ValuePtr& lhs, const ValuePtr& rhs,
-                         SourceLocation loc, bool in_place);
-  ValuePtr substring_in(const ValuePtr& pattern, const ValuePtr& text,
-                        SourceLocation loc, bool want_index);
-  ValuePtr classical_binary(BinaryOp op, const ValuePtr& lhs, const ValuePtr& rhs,
-                            SourceLocation loc);
-  void compound_quantum_assign(Symbol& symbol, BinaryOp op, const ValuePtr& rhs,
-                               SourceLocation loc);
   /// Resolve an lvalue expression to its storage slot.
   ValuePtr& resolve_slot(Expr& lvalue);
 
-  ValuePtr classical_of(const ValuePtr& value);  ///< measure iff quantum
-
-  friend struct BuiltinAccess;
-
   std::shared_ptr<Scope> scope_;
   FunctionTable* functions_ = nullptr;
-  QuantumCircuitHandler handler_;
-  TypeCastingHandler casting_;
+  Runtime runtime_;
   DiagnosticEngine diagnostics_;
-  std::ostringstream captured_;
-  std::ostream* echo_ = nullptr;
   std::ostream* trace_ = nullptr;
   ValuePtr result_;  ///< expression result channel for the visitor
   std::size_t call_depth_ = 0;
@@ -126,7 +117,8 @@ private:
   /// *nested* constructs, but a flat chain (`1+1+…+1`) parses iteratively
   /// into an arbitrarily deep left-leaning tree; this bounds the recursive
   /// walk so pathological programs raise LangError instead of overflowing
-  /// the stack (found by the ASan run of the tests/corpus replay).
+  /// the stack (found by the ASan run of the tests/corpus replay). The
+  /// lowering pass enforces the same limit statically (lower.hpp).
   std::size_t eval_depth_ = 0;
 };
 

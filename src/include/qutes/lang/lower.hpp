@@ -1,0 +1,35 @@
+// AST -> bytecode lowering (the Vm's compile step).
+//
+// One pass over the typed AST per chunk, mirroring the tree-walk's scope
+// state in lowering-time scope maps so every name resolves to a frame slot
+// index exactly where the reference interpreter would have resolved it —
+// names that don't resolve lower to Throw* ops that reproduce the runtime
+// diagnostics if (and only if) the statement executes.
+//
+// The pass also performs the classical optimizations the tree-walk cannot:
+// literal subtrees fold through the exact runtime operator rules
+// (Runtime::classical_binary — same two's-complement wraparound, same IEEE
+// results; subtrees whose evaluation would throw are left unfolded so the
+// error still surfaces at runtime), short-circuit operators fold when the
+// lhs decides, and statically-false/true conditions eliminate dead branches.
+//
+// Guards: the tree-walk bounds evaluate() recursion at kMaxEvalDepth; the
+// lowerer enforces the same limit on static expression depth with the same
+// message, and bounds statement nesting (belt over the parser's own guard),
+// so lowering a pathological program raises LangError instead of
+// overflowing the C++ stack.
+#pragma once
+
+#include "qutes/lang/ast.hpp"
+#include "qutes/lang/bytecode.hpp"
+#include "qutes/lang/symbol_table.hpp"
+
+namespace qutes::lang {
+
+/// Lower a parsed program (pass 1 must already have filled `functions`).
+/// `source_hash` is stored in the artifact for cache keying (see
+/// Bytecode::save); pass fnv1a64 of the source text.
+[[nodiscard]] Bytecode lower(Program& program, const FunctionTable& functions,
+                             std::uint64_t source_hash = 0);
+
+}  // namespace qutes::lang

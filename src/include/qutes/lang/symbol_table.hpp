@@ -55,6 +55,11 @@ public:
   void declare(FuncDeclStmt& decl);
   [[nodiscard]] FuncDeclStmt* lookup(const std::string& name) const;
   [[nodiscard]] std::size_t size() const noexcept { return functions_.size(); }
+  /// Name-ordered view (the lowering pass assigns chunk indices from it, so
+  /// chunk order is deterministic).
+  [[nodiscard]] const std::map<std::string, FuncDeclStmt*>& items() const noexcept {
+    return functions_;
+  }
 
 private:
   std::map<std::string, FuncDeclStmt*> functions_;

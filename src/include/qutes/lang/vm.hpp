@@ -1,0 +1,105 @@
+// The bytecode dispatch VM — the compiled execution engine.
+//
+// Executes lang::Bytecode (lower.hpp) with an explicit value stack and an
+// explicit frame stack: no per-node virtual dispatch, no recursion, no name
+// lookups (slots were resolved at lowering time). Every value-level
+// operation delegates to the same lang::Runtime the tree-walking
+// Interpreter uses, so the two engines produce bit-identical circuits,
+// measurement draws, outputs, and diagnostics; `--exec-mode ast` keeps the
+// tree-walk available as the differential reference.
+//
+// The VM is defensive against adversarial artifacts (a load()ed file is
+// attacker-controlled input for a future qutesd daemon): the loader
+// validates all static indices, and the dispatch loop uses checked stack
+// pops so even a semantically-nonsense instruction stream raises a clean
+// LangError instead of corrupting memory.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "qutes/lang/bytecode.hpp"
+#include "qutes/lang/builtins.hpp"
+#include "qutes/lang/runtime.hpp"
+
+namespace qutes::lang {
+
+struct VmOptions {
+  std::uint64_t seed = 0x5eed0f5eedULL;
+  /// Mirror `print` output here as well as capturing it (nullptr = capture
+  /// only).
+  std::ostream* echo = nullptr;
+};
+
+class Vm {
+public:
+  explicit Vm(const Bytecode& bytecode, VmOptions options = {});
+
+  /// Execute the top-level chunk. Single-use, like the Interpreter: a thrown
+  /// LangError leaves the VM dead.
+  void run();
+
+  [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
+
+private:
+  struct Frame {
+    const Chunk* chunk = nullptr;
+    std::size_t pc = 0;
+    std::vector<ValuePtr> slots;          ///< null = unbound (reads as undeclared)
+    std::vector<std::uint8_t> declared;   ///< Declare executed (may be unbound)
+    std::vector<std::uint32_t> declared_at;  ///< location pool idx per slot
+    std::vector<std::uint64_t> loops;     ///< while-iteration budgets
+    struct Iter {
+      std::vector<ValuePtr> items;
+      std::size_t next = 0;
+    };
+    std::vector<Iter> iters;
+    std::uint32_t call_loc = 0;  ///< location pool idx of the call site
+  };
+
+  void exec_loop(std::uint64_t& steps);
+  Frame make_frame(const Chunk& chunk, std::uint32_t call_loc) const;
+
+  [[nodiscard]] SourceLocation loc_of(std::uint32_t idx) const {
+    return bc_.locations[idx];
+  }
+  ValuePtr pop(std::uint32_t loc_idx);
+  ValuePtr& peek(std::uint32_t loc_idx);
+  const BuiltinFn& builtin_of(std::uint32_t name_idx, std::uint32_t loc_idx);
+
+  // --- scalar temporary recycling -----------------------------------------
+  // Classical-heavy programs churn through one heap-allocated Value per
+  // pushed literal and per binary result. A temporary whose use_count() is 1
+  // is provably unaliased (variables alias their values by reference, so a
+  // captured pointer always shows up in the count), which makes reusing its
+  // heap cell safe: no other observer exists. Recycled cells feed the next
+  // PushInt/PushBool/result instead of a fresh allocation.
+  void push_scalar(Value&& scratch);
+  void push_int(std::int64_t v);
+  void push_bool(bool v);
+  void recycle(ValuePtr&& v) noexcept;
+  /// Same-kind classical-scalar assignment inline (Runtime's coerce is an
+  /// identity there); anything else delegates to Runtime::assign_plain.
+  void assign_scalar_or_plain(const ValuePtr& slot, const ValuePtr& rhs,
+                              std::uint32_t loc_idx);
+  /// Inline `int op int` evaluation, bit-exact with Runtime::classical_binary
+  /// (wraparound arithmetic, identical error strings). Returns false for any
+  /// operand/op shape it does not cover; the caller falls back to Runtime.
+  bool try_int_binary(BinaryOp op, const ValuePtr& lhs, const ValuePtr& rhs,
+                      std::uint32_t loc_idx);
+
+  const Bytecode& bc_;
+  Runtime runtime_;
+  std::vector<ValuePtr> stack_;
+  std::vector<Frame> frames_;
+  std::vector<Runtime::SupBuilder> sups_;
+  std::vector<Runtime::ArrBuilder> arrs_;
+  /// Builtins resolved once per name (index = string pool slot).
+  std::vector<const BuiltinFn*> builtin_cache_;
+  /// Unaliased scalar cells awaiting reuse (see push_scalar/recycle).
+  std::vector<ValuePtr> free_cells_;
+  std::size_t call_depth_ = 0;
+};
+
+}  // namespace qutes::lang

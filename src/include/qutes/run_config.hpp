@@ -35,6 +35,23 @@ namespace circ {
 class PassManager;
 }  // namespace circ
 
+/// Which engine executes the language front end (lang::run_source).
+enum class ExecMode {
+  /// Resolve at run time: the QUTES_EXEC_MODE environment variable ("vm" or
+  /// "ast") if set and recognised, otherwise Vm. This is the CLI default, so
+  /// `QUTES_EXEC_MODE=ast check.sh` can sweep a whole test suite through the
+  /// tree-walk without touching per-call options.
+  Default,
+  /// Bytecode compiler + dispatch VM (lang/lower.hpp + lang/vm.hpp) — the
+  /// fast path. Same Runtime underneath as the tree-walk, so outputs,
+  /// circuits, and diagnostics are bit-identical.
+  Vm,
+  /// Tree-walking interpreter (lang/interpreter.hpp) — the differential
+  /// reference. Also selected implicitly when `debug_trace` is set, since
+  /// statement-level tracing is a tree-walk feature.
+  Ast,
+};
+
 /// Compilation-pipeline stage (consumed by the executor before hand-off to
 /// the backend, and by `lang::run_source` for the logged circuit).
 struct PipelineConfig {
@@ -98,6 +115,8 @@ struct RunConfig {
   std::ostream* debug_trace = nullptr;
   /// Language front end: load the Qutes standard library first.
   bool include_stdlib = true;
+  /// Language front end: which engine runs the program (see ExecMode).
+  ExecMode exec_mode = ExecMode::Default;
   /// Language front end: when > 0, re-run the logged (pipeline-lowered)
   /// circuit as a shots experiment on `backend.name` after the live run:
   /// every trajectory re-rolls every mid-circuit measurement, so the

@@ -8,7 +8,7 @@
 #include "qutes/algorithms/entanglement.hpp"
 #include "qutes/algorithms/qft.hpp"
 #include "qutes/common/bitops.hpp"
-#include "qutes/lang/interpreter.hpp"
+#include "qutes/lang/runtime.hpp"
 
 namespace qutes::lang {
 
@@ -44,10 +44,10 @@ std::size_t single_qubit_arg(const std::vector<ValuePtr>& args, std::size_t i,
   return ref.offset;
 }
 
-double number_arg(Interpreter& interp, const std::vector<ValuePtr>& args, std::size_t i,
+double number_arg(Runtime& rt, const std::vector<ValuePtr>& args, std::size_t i,
                   const char* name, SourceLocation loc) {
   ValuePtr v = args[i];
-  if (v->is_quantum()) v = interp.casting().measure_to_classical(*v);
+  if (v->is_quantum()) v = rt.casting().measure_to_classical(*v);
   if (v->kind() != TypeKind::Int && v->kind() != TypeKind::Float) {
     throw LangError(std::string(name) + ": argument " + std::to_string(i + 1) +
                         " must be a number",
@@ -66,7 +66,7 @@ circ::Instruction make_gate(circ::GateType type, std::vector<std::size_t> qubits
 }
 
 /// Every qubit across a set of quantum/array arguments, flattened.
-std::vector<std::size_t> flatten_qubits(Interpreter& interp,
+std::vector<std::size_t> flatten_qubits(Runtime& rt,
                                         const std::vector<ValuePtr>& args,
                                         const char* name, SourceLocation loc) {
   std::vector<std::size_t> qubits;
@@ -86,7 +86,7 @@ std::vector<std::size_t> flatten_qubits(Interpreter& interp,
       }
     }
   }
-  (void)interp;
+  (void)rt;
   return qubits;
 }
 
@@ -94,58 +94,58 @@ std::map<std::string, BuiltinFn> build_table() {
   std::map<std::string, BuiltinFn> table;
 
   // ---- two/three-qubit gates ------------------------------------------------
-  table["cx"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["cx"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                    SourceLocation loc) -> ValuePtr {
     need_args(args, 2, "cx", loc);
-    interp.handler().apply(make_gate(circ::GateType::CX,
+    rt.handler().apply(make_gate(circ::GateType::CX,
                                      {single_qubit_arg(args, 0, "cx", loc),
                                       single_qubit_arg(args, 1, "cx", loc)}));
     return Value::make_void();
   };
-  table["cz"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["cz"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                    SourceLocation loc) -> ValuePtr {
     need_args(args, 2, "cz", loc);
-    interp.handler().apply(make_gate(circ::GateType::CZ,
+    rt.handler().apply(make_gate(circ::GateType::CZ,
                                      {single_qubit_arg(args, 0, "cz", loc),
                                       single_qubit_arg(args, 1, "cz", loc)}));
     return Value::make_void();
   };
-  table["ccx"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["ccx"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                     SourceLocation loc) -> ValuePtr {
     need_args(args, 3, "ccx", loc);
-    interp.handler().apply(make_gate(circ::GateType::CCX,
+    rt.handler().apply(make_gate(circ::GateType::CCX,
                                      {single_qubit_arg(args, 0, "ccx", loc),
                                       single_qubit_arg(args, 1, "ccx", loc),
                                       single_qubit_arg(args, 2, "ccx", loc)}));
     return Value::make_void();
   };
-  table["swapq"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["swapq"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                       SourceLocation loc) -> ValuePtr {
     need_args(args, 2, "swapq", loc);
-    interp.handler().swap(single_qubit_arg(args, 0, "swapq", loc),
+    rt.handler().swap(single_qubit_arg(args, 0, "swapq", loc),
                           single_qubit_arg(args, 1, "swapq", loc));
     return Value::make_void();
   };
-  table["mcz"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["mcz"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                     SourceLocation loc) -> ValuePtr {
-    const std::vector<std::size_t> qubits = flatten_qubits(interp, args, "mcz", loc);
+    const std::vector<std::size_t> qubits = flatten_qubits(rt, args, "mcz", loc);
     if (qubits.size() < 2) throw LangError("mcz needs at least 2 qubits", loc);
     circ::Instruction in;
     in.type = circ::GateType::MCZ;
     in.qubits = qubits;
-    interp.handler().apply(std::move(in));
+    rt.handler().apply(std::move(in));
     return Value::make_void();
   };
 
   // ---- parameterized single-qubit rotations ----------------------------------
   const auto rotation = [](circ::GateType type, const char* name) {
-    return [type, name](Interpreter& interp, std::vector<ValuePtr>& args,
+    return [type, name](Runtime& rt, std::vector<ValuePtr>& args,
                         SourceLocation loc) -> ValuePtr {
       need_args(args, 2, name, loc);
-      const double theta = number_arg(interp, args, 0, name, loc);
+      const double theta = number_arg(rt, args, 0, name, loc);
       const QuantumRef& ref = quantum_arg(args, 1, name, loc);
       for (std::size_t q : QuantumCircuitHandler::qubits_of(ref)) {
-        interp.handler().apply(make_gate(type, {q}, {theta}));
+        rt.handler().apply(make_gate(type, {q}, {theta}));
       }
       return Value::make_void();
     };
@@ -156,52 +156,52 @@ std::map<std::string, BuiltinFn> build_table() {
   table["p"] = rotation(circ::GateType::P, "p");
 
   // ---- measurement & conversion ----------------------------------------------
-  table["measure"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["measure"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                         SourceLocation loc) -> ValuePtr {
     need_args(args, 1, "measure", loc);
     if (!args[0]->is_quantum()) return args[0];  // already classical: identity
-    return interp.casting().measure_to_classical(*args[0]);
+    return rt.casting().measure_to_classical(*args[0]);
   };
 
   // ---- structure / library ---------------------------------------------------
-  table["bell"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["bell"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                      SourceLocation loc) -> ValuePtr {
     need_args(args, 2, "bell", loc);
     const std::size_t a = single_qubit_arg(args, 0, "bell", loc);
     const std::size_t b = single_qubit_arg(args, 1, "bell", loc);
-    interp.handler().apply(make_gate(circ::GateType::H, {a}));
-    interp.handler().apply(make_gate(circ::GateType::CX, {a, b}));
+    rt.handler().apply(make_gate(circ::GateType::H, {a}));
+    rt.handler().apply(make_gate(circ::GateType::CX, {a, b}));
     return Value::make_void();
   };
-  table["qft"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["qft"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                     SourceLocation loc) -> ValuePtr {
     need_args(args, 1, "qft", loc);
     const QuantumRef& ref = quantum_arg(args, 0, "qft", loc);
     circ::QuantumCircuit sub(
-        std::max<std::size_t>(interp.handler().num_qubits(), 1));
+        std::max<std::size_t>(rt.handler().num_qubits(), 1));
     algo::append_qft(sub, QuantumCircuitHandler::qubits_of(ref));
-    for (const auto& in : sub.instructions()) interp.handler().apply(in);
+    for (const auto& in : sub.instructions()) rt.handler().apply(in);
     return Value::make_void();
   };
-  table["iqft"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["iqft"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                      SourceLocation loc) -> ValuePtr {
     need_args(args, 1, "iqft", loc);
     const QuantumRef& ref = quantum_arg(args, 0, "iqft", loc);
     circ::QuantumCircuit sub(
-        std::max<std::size_t>(interp.handler().num_qubits(), 1));
+        std::max<std::size_t>(rt.handler().num_qubits(), 1));
     algo::append_iqft(sub, QuantumCircuitHandler::qubits_of(ref));
-    for (const auto& in : sub.instructions()) interp.handler().apply(in);
+    for (const auto& in : sub.instructions()) rt.handler().apply(in);
     return Value::make_void();
   };
 
-  table["indexof"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["indexof"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                         SourceLocation loc) -> ValuePtr {
     need_args(args, 2, "indexof", loc);
-    return interp.index_of(args[0], args[1], loc);
+    return rt.index_of(args[0], args[1], loc);
   };
 
   // ---- database operations (paper §6 future work, implemented) ---------------
-  const auto int_table = [](Interpreter& interp, const ValuePtr& arg,
+  const auto int_table = [](Runtime& rt, const ValuePtr& arg,
                             const char* name, SourceLocation loc) {
     if (!arg->is_array()) {
       throw LangError(std::string(name) + " expects an int array", loc);
@@ -209,7 +209,7 @@ std::map<std::string, BuiltinFn> build_table() {
     std::vector<std::uint64_t> values;
     for (const ValuePtr& item : arg->as_array().items) {
       ValuePtr v = item;
-      if (v->is_quantum()) v = interp.casting().measure_to_classical(*v);
+      if (v->is_quantum()) v = rt.casting().measure_to_classical(*v);
       const std::int64_t i = v->as_int();
       if (i < 0) {
         throw LangError(std::string(name) + ": entries must be non-negative", loc);
@@ -221,32 +221,32 @@ std::map<std::string, BuiltinFn> build_table() {
     }
     return values;
   };
-  table["qmin"] = [int_table](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["qmin"] = [int_table](Runtime& rt, std::vector<ValuePtr>& args,
                               SourceLocation loc) -> ValuePtr {
     need_args(args, 1, "qmin", loc);
-    const auto values = int_table(interp, args[0], "qmin", loc);
+    const auto values = int_table(rt, args[0], "qmin", loc);
     const auto result =
-        algo::find_minimum(values, interp.handler().rng()());
+        algo::find_minimum(values, rt.handler().rng()());
     return Value::make_int(static_cast<std::int64_t>(result.value));
   };
-  table["qmax"] = [int_table](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["qmax"] = [int_table](Runtime& rt, std::vector<ValuePtr>& args,
                               SourceLocation loc) -> ValuePtr {
     need_args(args, 1, "qmax", loc);
-    const auto values = int_table(interp, args[0], "qmax", loc);
+    const auto values = int_table(rt, args[0], "qmax", loc);
     const auto result =
-        algo::find_maximum(values, interp.handler().rng()());
+        algo::find_maximum(values, rt.handler().rng()());
     return Value::make_int(static_cast<std::int64_t>(result.value));
   };
-  table["qsearch"] = [int_table](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["qsearch"] = [int_table](Runtime& rt, std::vector<ValuePtr>& args,
                                  SourceLocation loc) -> ValuePtr {
     // Grover equality search over an int array: returns the index of a
     // matching entry (-1 if absent). The search circuit is inlined into the
     // program circuit like the `in` operator's.
     need_args(args, 2, "qsearch", loc);
-    const auto values = int_table(interp, args[0], "qsearch", loc);
+    const auto values = int_table(rt, args[0], "qsearch", loc);
     ValuePtr key_value = args[1];
     if (key_value->is_quantum()) {
-      key_value = interp.casting().measure_to_classical(*key_value);
+      key_value = rt.casting().measure_to_classical(*key_value);
     }
     const std::int64_t key_signed = key_value->as_int();
     if (key_signed < 0) return Value::make_int(-1);
@@ -254,18 +254,18 @@ std::map<std::string, BuiltinFn> build_table() {
 
     const algo::QuantumDatabase db(values);
     const circ::QuantumCircuit sub = db.build_equal_circuit(key);
-    const std::uint64_t clbits = interp.handler().compose_inline(sub, "qsearch");
+    const std::uint64_t clbits = rt.handler().compose_inline(sub, "qsearch");
     const std::uint64_t pos = clbits & (dim_of(db.index_qubits()) - 1);
     const bool hit = pos < values.size() && values[pos] == key;
     return Value::make_int(hit ? static_cast<std::int64_t>(pos) : -1);
   };
 
   // ---- debugging tools (paper §6: "quantum specific debugging tools") ---------
-  table["dump_state"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["dump_state"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                            SourceLocation loc) -> ValuePtr {
     need_args(args, 0, "dump_state", loc);
-    if (!interp.handler().has_state()) return Value::make_string("(no qubits)");
-    const auto& state = interp.handler().state();
+    if (!rt.handler().has_state()) return Value::make_string("(no qubits)");
+    const auto& state = rt.handler().state();
     std::ostringstream out;
     out.precision(4);
     bool first = true;
@@ -280,18 +280,18 @@ std::map<std::string, BuiltinFn> build_table() {
     }
     return Value::make_string(first ? "0" : out.str());
   };
-  table["prob"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["prob"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                      SourceLocation loc) -> ValuePtr {
     // Non-destructive P(qubit = 1): a debugger read of the live state, NOT a
     // measurement (no collapse, nothing appended to the circuit).
     need_args(args, 1, "prob", loc);
     const std::size_t q = single_qubit_arg(args, 0, "prob", loc);
-    return Value::make_float(interp.handler().state().probability_one(q));
+    return Value::make_float(rt.handler().state().probability_one(q));
   };
 
   // ---- introspection -----------------------------------------------------------
   // ---- array utilities ---------------------------------------------------------
-  table["range"] = [](Interpreter&, std::vector<ValuePtr>& args,
+  table["range"] = [](Runtime&, std::vector<ValuePtr>& args,
                       SourceLocation loc) -> ValuePtr {
     need_args(args, 1, "range", loc);
     const std::int64_t n = args[0]->as_int();
@@ -301,7 +301,7 @@ std::map<std::string, BuiltinFn> build_table() {
     for (std::int64_t i = 0; i < n; ++i) items.push_back(Value::make_int(i));
     return Value::make_array(TypeKind::Int, std::move(items));
   };
-  table["append"] = [](Interpreter&, std::vector<ValuePtr>& args,
+  table["append"] = [](Runtime&, std::vector<ValuePtr>& args,
                        SourceLocation loc) -> ValuePtr {
     // Mutates the array in place (arrays are reference values), returns it.
     need_args(args, 2, "append", loc);
@@ -311,7 +311,7 @@ std::map<std::string, BuiltinFn> build_table() {
     arr.items.push_back(args[1]);
     return args[0];
   };
-  table["reverse"] = [](Interpreter&, std::vector<ValuePtr>& args,
+  table["reverse"] = [](Runtime&, std::vector<ValuePtr>& args,
                         SourceLocation loc) -> ValuePtr {
     need_args(args, 1, "reverse", loc);
     if (!args[0]->is_array()) throw LangError("reverse: needs an array", loc);
@@ -320,7 +320,7 @@ std::map<std::string, BuiltinFn> build_table() {
     return args[0];
   };
 
-  table["len"] = [](Interpreter&, std::vector<ValuePtr>& args,
+  table["len"] = [](Runtime&, std::vector<ValuePtr>& args,
                     SourceLocation loc) -> ValuePtr {
     need_args(args, 1, "len", loc);
     const ValuePtr& v = args[0];
@@ -336,22 +336,22 @@ std::map<std::string, BuiltinFn> build_table() {
     throw LangError("len: unsupported operand", loc);
   };
   table["width"] = table["len"];
-  table["depth"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["depth"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                       SourceLocation loc) -> ValuePtr {
     need_args(args, 0, "depth", loc);
     return Value::make_int(
-        static_cast<std::int64_t>(interp.handler().circuit().depth()));
+        static_cast<std::int64_t>(rt.handler().circuit().depth()));
   };
-  table["gate_count"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["gate_count"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                            SourceLocation loc) -> ValuePtr {
     need_args(args, 0, "gate_count", loc);
     return Value::make_int(
-        static_cast<std::int64_t>(interp.handler().circuit().gate_count()));
+        static_cast<std::int64_t>(rt.handler().circuit().gate_count()));
   };
-  table["num_qubits"] = [](Interpreter& interp, std::vector<ValuePtr>& args,
+  table["num_qubits"] = [](Runtime& rt, std::vector<ValuePtr>& args,
                            SourceLocation loc) -> ValuePtr {
     need_args(args, 0, "num_qubits", loc);
-    return Value::make_int(static_cast<std::int64_t>(interp.handler().num_qubits()));
+    return Value::make_int(static_cast<std::int64_t>(rt.handler().num_qubits()));
   };
 
   return table;

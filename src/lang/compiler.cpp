@@ -1,16 +1,35 @@
 #include "qutes/lang/compiler.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "qutes/lang/interpreter.hpp"
 #include "qutes/lang/lexer.hpp"
+#include "qutes/lang/lower.hpp"
 #include "qutes/lang/parser.hpp"
 #include "qutes/lang/stdlib.hpp"
 #include "qutes/lang/symbol_collector.hpp"
+#include "qutes/lang/vm.hpp"
 #include "qutes/obs/obs.hpp"
 
 namespace qutes::lang {
+
+namespace {
+
+// Default resolves through the environment so whole suites can be swept
+// through either engine (QUTES_EXEC_MODE=ast ctest) without code changes.
+ExecMode resolve_exec_mode(ExecMode requested) {
+  if (requested != ExecMode::Default) return requested;
+  if (const char* env = std::getenv("QUTES_EXEC_MODE")) {
+    if (std::strcmp(env, "ast") == 0) return ExecMode::Ast;
+    if (std::strcmp(env, "vm") == 0) return ExecMode::Vm;
+  }
+  return ExecMode::Vm;
+}
+
+}  // namespace
 
 CompileResult compile_source(const std::string& source, bool include_stdlib) {
   obs::Span span("lang.compile");
@@ -48,13 +67,29 @@ RunResult run_source(const std::string& source, qutes::RunConfig config) {
   }
   CompileResult compiled = compile_source(source, config.include_stdlib);
 
-  Interpreter interpreter(
-      {.seed = config.seed, .echo = config.echo, .trace = config.debug_trace});
-  interpreter.run(compiled.program, compiled.functions);
+  // Statement-level tracing is a tree-walk feature: it fires per AST node,
+  // which the flat bytecode stream no longer has. Requesting it selects the
+  // tree-walk regardless of exec_mode.
+  const ExecMode mode = config.debug_trace != nullptr
+                            ? ExecMode::Ast
+                            : resolve_exec_mode(config.exec_mode);
 
   RunResult result;
-  result.output = interpreter.captured_output();
-  result.circuit = interpreter.handler().circuit();
+  if (mode == ExecMode::Vm) {
+    const Bytecode bytecode =
+        lower(compiled.program, compiled.functions, fnv1a64(source));
+    Vm vm(bytecode, {.seed = config.seed, .echo = config.echo});
+    vm.run();
+    result.output = vm.runtime().captured_output();
+    result.circuit = vm.runtime().handler().circuit();
+  } else {
+    Interpreter interpreter({.seed = config.seed,
+                             .echo = config.echo,
+                             .trace = config.debug_trace});
+    interpreter.run(compiled.program, compiled.functions);
+    result.output = interpreter.captured_output();
+    result.circuit = interpreter.handler().circuit();
+  }
   result.num_qubits = result.circuit.num_qubits();
   result.circuit_depth = result.circuit.depth();
   result.gate_count = result.circuit.gate_count();
@@ -74,6 +109,11 @@ RunResult run_source(const std::string& source, qutes::RunConfig config) {
     result.replay = circ::Executor(replay_config).run(result.lowered_circuit);
   }
   return result;
+}
+
+Bytecode lower_source(const std::string& source, bool include_stdlib) {
+  CompileResult compiled = compile_source(source, include_stdlib);
+  return lower(compiled.program, compiled.functions, fnv1a64(source));
 }
 
 RunResult run_file(const std::string& path, qutes::RunConfig config) {

@@ -1,31 +1,13 @@
 #include "qutes/lang/interpreter.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "qutes/algorithms/adders.hpp"
-#include "qutes/algorithms/grover.hpp"
-#include "qutes/algorithms/qft.hpp"
-#include "qutes/algorithms/rotation.hpp"
-#include "qutes/algorithms/state_prep.hpp"
-#include "qutes/common/bitops.hpp"
 #include "qutes/lang/builtins.hpp"
 #include "qutes/obs/obs.hpp"
 
 namespace qutes::lang {
 
-namespace {
-
-constexpr std::size_t kMaxCallDepth = 200;
-constexpr std::size_t kDefaultQuintWidth = 4;
-
-}  // namespace
-
 Interpreter::Interpreter(InterpreterOptions options)
     : scope_(std::make_shared<Scope>()),
-      handler_(options.seed),
-      casting_(handler_),
-      echo_(options.echo),
+      runtime_(options.seed, options.echo),
       trace_(options.trace) {}
 
 namespace {
@@ -50,11 +32,6 @@ public:
 
 }  // namespace
 
-void Interpreter::emit_output(const std::string& text) {
-  captured_ << text;
-  if (echo_ != nullptr) (*echo_) << text;
-}
-
 void Interpreter::run(Program& program, FunctionTable& functions) {
   obs::Span span("lang.interpret");
   functions_ = &functions;
@@ -69,14 +46,13 @@ void Interpreter::execute(Stmt& stmt) {
     StmtTagger tagger;
     stmt.accept(tagger);
     (*trace_) << "[trace] " << stmt.location.to_string() << " " << tagger.tag
-              << "  (qubits=" << handler_.num_qubits()
-              << " gates=" << handler_.circuit().gate_count() << ")\n";
+              << "  (qubits=" << handler().num_qubits()
+              << " gates=" << handler().circuit().gate_count() << ")\n";
   }
   stmt.accept(*this);
 }
 
 ValuePtr Interpreter::evaluate(Expr& expr) {
-  static constexpr std::size_t kMaxEvalDepth = 1000;
   if (eval_depth_ >= kMaxEvalDepth) {
     throw LangError("expression too deep to evaluate (depth limit " +
                         std::to_string(kMaxEvalDepth) + ")",
@@ -95,33 +71,6 @@ ValuePtr Interpreter::evaluate(Expr& expr) {
   return value;
 }
 
-ValuePtr Interpreter::classical_of(const ValuePtr& value) {
-  if (value->is_quantum()) return casting_.measure_to_classical(*value);
-  return value;
-}
-
-// ---------------------------------------------------------------------------
-// Quantum construction helpers
-// ---------------------------------------------------------------------------
-
-namespace {
-
-/// Apply a sub-circuit whose instructions already use the handler's global
-/// qubit numbering (built against a scratch QuantumCircuit of equal width).
-void apply_global_subcircuit(QuantumCircuitHandler& handler,
-                             const circ::QuantumCircuit& sub) {
-  for (const circ::Instruction& in : sub.instructions()) {
-    handler.apply(in);
-  }
-}
-
-/// Scratch circuit wide enough to address every allocated qubit.
-circ::QuantumCircuit scratch_circuit(const QuantumCircuitHandler& handler) {
-  return circ::QuantumCircuit(std::max<std::size_t>(handler.num_qubits(), 1));
-}
-
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // Expression visitors
 // ---------------------------------------------------------------------------
@@ -134,77 +83,32 @@ void Interpreter::visit(StringLitExpr& expr) {
 }
 
 void Interpreter::visit(QuantumIntLitExpr& expr) {
-  if (expr.value < 0) {
-    throw LangError("quantum integer literals must be non-negative", expr.location);
-  }
-  const Value classical(QType::scalar(TypeKind::Int), expr.value);
-  result_ = casting_.promote(classical, "qlit", 0, expr.location);
+  result_ = runtime_.quantum_int_lit(expr.value, expr.location);
 }
 
 void Interpreter::visit(QuantumStringLitExpr& expr) {
-  const Value classical(QType::scalar(TypeKind::String), expr.bits);
-  result_ = casting_.promote(classical, "qslit", 0, expr.location);
+  result_ = runtime_.quantum_string_lit(expr.bits, expr.location);
 }
 
-void Interpreter::visit(KetLitExpr& expr) {
-  const QuantumRef ref = handler_.allocate("ket", 1, TypeKind::Qubit);
-  switch (expr.kind) {
-    case KetKind::Zero: break;
-    case KetKind::One: handler_.x(ref); break;
-    case KetKind::Plus: handler_.h(ref); break;
-    case KetKind::Minus:
-      handler_.x(ref);
-      handler_.h(ref);
-      break;
-  }
-  result_ = Value::make_quantum(ref);
-}
+void Interpreter::visit(KetLitExpr& expr) { result_ = runtime_.ket_lit(expr.kind); }
 
 void Interpreter::visit(ArrayLitExpr& expr) {
   if (expr.superposition) {
     // `[v0, v1, ...]q`: equal superposition of the listed basis values on a
     // fresh quint.
-    std::vector<std::uint64_t> values;
-    std::uint64_t max_value = 0;
+    Runtime::SupBuilder builder;
     for (const ExprPtr& element : expr.elements) {
-      const ValuePtr v = classical_of(evaluate(*element));
-      const std::int64_t i = v->as_int();
-      if (i < 0) {
-        throw LangError("superposition values must be non-negative", expr.location);
-      }
-      if (std::find(values.begin(), values.end(),
-                    static_cast<std::uint64_t>(i)) != values.end()) {
-        throw LangError("duplicate value " + std::to_string(i) +
-                            " in superposition literal",
-                        expr.location);
-      }
-      values.push_back(static_cast<std::uint64_t>(i));
-      max_value = std::max(max_value, values.back());
+      runtime_.sup_element(builder, evaluate(*element), expr.location);
     }
-    if (values.empty()) {
-      throw LangError("empty superposition literal", expr.location);
-    }
-    const std::size_t width = bits_for(max_value);
-    const QuantumRef ref = handler_.allocate("sup", width, TypeKind::Quint);
-    circ::QuantumCircuit prep = scratch_circuit(handler_);
-    algo::append_uniform_superposition(prep, QuantumCircuitHandler::qubits_of(ref),
-                                       values);
-    apply_global_subcircuit(handler_, prep);
-    result_ = Value::make_quantum(ref);
+    result_ = runtime_.sup_finish(builder, expr.location);
     return;
   }
 
-  std::vector<ValuePtr> items;
-  TypeKind element = TypeKind::Void;
+  Runtime::ArrBuilder builder;
   for (const ExprPtr& node : expr.elements) {
-    ValuePtr v = evaluate(*node);
-    if (v->is_array()) {
-      throw LangError("nested arrays are not supported", expr.location);
-    }
-    if (element == TypeKind::Void) element = v->kind();
-    items.push_back(std::move(v));
+    Runtime::arr_element(builder, evaluate(*node), expr.location);
   }
-  result_ = Value::make_array(element, std::move(items));
+  result_ = Value::make_array(builder.element, std::move(builder.items));
 }
 
 void Interpreter::visit(VarRefExpr& expr) {
@@ -217,37 +121,8 @@ void Interpreter::visit(VarRefExpr& expr) {
 
 void Interpreter::visit(IndexExpr& expr) {
   const ValuePtr target = evaluate(*expr.target);
-  const std::int64_t index = classical_of(evaluate(*expr.index))->as_int();
-  if (target->is_array()) {
-    auto& arr = target->as_array();
-    if (index < 0 || static_cast<std::size_t>(index) >= arr.items.size()) {
-      throw LangError("array index " + std::to_string(index) + " out of range (size " +
-                          std::to_string(arr.items.size()) + ")",
-                      expr.location);
-    }
-    result_ = arr.items[static_cast<std::size_t>(index)];
-    return;
-  }
-  if (target->kind() == TypeKind::String) {
-    const std::string& s = target->as_string();
-    if (index < 0 || static_cast<std::size_t>(index) >= s.size()) {
-      throw LangError("string index out of range", expr.location);
-    }
-    result_ = Value::make_string(std::string(1, s[static_cast<std::size_t>(index)]));
-    return;
-  }
-  if (target->is_quantum()) {
-    // Indexing a quantum register yields the single qubit at that position.
-    const QuantumRef& ref = target->as_quantum();
-    if (index < 0 || static_cast<std::size_t>(index) >= ref.width) {
-      throw LangError("qubit index out of range", expr.location);
-    }
-    result_ = Value::make_quantum(
-        QuantumRef{ref.offset + static_cast<std::size_t>(index), 1, TypeKind::Qubit});
-    return;
-  }
-  throw LangError("value of type " + target->type().to_string() + " is not indexable",
-                  expr.location);
+  const ValuePtr index = evaluate(*expr.index);
+  result_ = runtime_.index_value(target, index, expr.location);
 }
 
 void Interpreter::visit(CallExpr& expr) {
@@ -258,7 +133,7 @@ void Interpreter::visit(CallExpr& expr) {
   const auto& builtins = builtin_table();
   const auto bit = builtins.find(expr.callee);
   if (bit != builtins.end()) {
-    result_ = bit->second(*this, args, expr.location);
+    result_ = bit->second(runtime_, args, expr.location);
     if (!result_) result_ = Value::make_void();
     return;
   }
@@ -293,7 +168,7 @@ ValuePtr Interpreter::call_user_function(FuncDeclStmt& fn, std::vector<ValuePtr>
     Symbol& symbol = fn_scope->declare(fn.params[i].name, fn.params[i].type, loc);
     // coerce() returns the same ValuePtr for matching types, so arguments
     // alias caller storage: pass-by-reference (paper §4).
-    symbol.value = casting_.coerce(args[i], fn.params[i].type, fn.params[i].name, loc);
+    symbol.value = casting().coerce(args[i], fn.params[i].type, fn.params[i].name, loc);
   }
 
   const std::shared_ptr<Scope> saved = scope_;
@@ -312,42 +187,17 @@ ValuePtr Interpreter::call_user_function(FuncDeclStmt& fn, std::vector<ValuePtr>
   --call_depth_;
 
   if (fn.return_type.kind == TypeKind::Void) return Value::make_void();
-  return casting_.coerce(returned, fn.return_type, fn.name + "() result", loc);
+  return casting().coerce(returned, fn.return_type, fn.name + "() result", loc);
 }
 
 void Interpreter::visit(UnaryExpr& expr) {
-  ValuePtr operand = evaluate(*expr.operand);
-  switch (expr.op) {
-    case UnaryOp::Neg: {
-      const ValuePtr v = classical_of(operand);
-      if (v->kind() == TypeKind::Float) {
-        result_ = Value::make_float(-v->as_float());
-      } else {
-        // Through uint64_t: -INT64_MIN is signed overflow (wraps to itself).
-        result_ = Value::make_int(static_cast<std::int64_t>(
-            std::uint64_t{0} - static_cast<std::uint64_t>(v->as_int())));
-      }
-      return;
-    }
-    case UnaryOp::Not:
-      result_ = Value::make_bool(!casting_.condition_bool(*operand, expr.location));
-      return;
-    case UnaryOp::BitNot:
-      if (operand->is_quantum()) {
-        // In-place bit flip of the whole register (the X-all operation).
-        handler_.x(operand->as_quantum());
-        result_ = operand;
-      } else {
-        result_ = Value::make_int(~classical_of(operand)->as_int());
-      }
-      return;
-  }
+  result_ = runtime_.unary(expr.op, evaluate(*expr.operand), expr.location);
 }
 
 void Interpreter::visit(BinaryExpr& expr) {
   // Short-circuit logic first.
   if (expr.op == BinaryOp::And || expr.op == BinaryOp::Or) {
-    const bool lhs = casting_.condition_bool(*evaluate(*expr.lhs), expr.location);
+    const bool lhs = casting().condition_bool(*evaluate(*expr.lhs), expr.location);
     if (expr.op == BinaryOp::And && !lhs) {
       result_ = Value::make_bool(false);
       return;
@@ -357,307 +207,12 @@ void Interpreter::visit(BinaryExpr& expr) {
       return;
     }
     result_ = Value::make_bool(
-        casting_.condition_bool(*evaluate(*expr.rhs), expr.location));
+        casting().condition_bool(*evaluate(*expr.rhs), expr.location));
     return;
   }
   ValuePtr lhs = evaluate(*expr.lhs);
   ValuePtr rhs = evaluate(*expr.rhs);
-  result_ = evaluate_binary(expr.op, lhs, rhs, expr.location);
-}
-
-ValuePtr Interpreter::evaluate_binary(BinaryOp op, const ValuePtr& lhs,
-                                      const ValuePtr& rhs, SourceLocation loc) {
-  if (op == BinaryOp::In) return substring_in(lhs, rhs, loc, /*want_index=*/false);
-
-  const bool lq = lhs->is_quantum();
-  const bool rq = rhs->is_quantum();
-  const auto register_like = [](const ValuePtr& v) {
-    if (!v->is_quantum()) return false;
-    const TypeKind k = v->as_quantum().kind;
-    return k == TypeKind::Qubit || k == TypeKind::Quint;
-  };
-
-  if ((op == BinaryOp::Add || op == BinaryOp::Sub) &&
-      ((lq && register_like(lhs)) || (rq && register_like(rhs)))) {
-    return quantum_add_sub(op, lhs, rhs, loc);
-  }
-  if ((op == BinaryOp::Shl || op == BinaryOp::Shr) && lq) {
-    return quantum_shift(op, lhs, rhs, loc, /*in_place=*/false);
-  }
-  if (op == BinaryOp::Mul && lq != rq && (lq ? register_like(lhs) : register_like(rhs))) {
-    // quint * classical constant -> fresh accumulator register.
-    const ValuePtr& quantum = lq ? lhs : rhs;
-    const ValuePtr& classical = lq ? rhs : lhs;
-    const ValuePtr k = classical_of(classical);
-    if (k->kind() != TypeKind::Int && k->kind() != TypeKind::Bool) {
-      return classical_binary(op, classical_of(lhs), classical_of(rhs), loc);
-    }
-    const std::int64_t factor = k->as_int();
-    if (factor < 0) {
-      throw LangError("quantum multiplication needs a non-negative constant", loc);
-    }
-    const QuantumRef& src = quantum->as_quantum();
-    const std::size_t out_width =
-        src.width + TypeCastingHandler::width_for_int(factor);
-    const QuantumRef out = handler_.allocate("prod", out_width, TypeKind::Quint);
-    circ::QuantumCircuit sub = scratch_circuit(handler_);
-    algo::append_mul_const_accumulate(sub, QuantumCircuitHandler::qubits_of(src),
-                                      QuantumCircuitHandler::qubits_of(out),
-                                      static_cast<std::uint64_t>(factor));
-    apply_global_subcircuit(handler_, sub);
-    return Value::make_quantum(out);
-  }
-
-  // Everything else: measure quantum operands and compute classically (the
-  // paper's automatic-measurement rule for mixed expressions).
-  return classical_binary(op, classical_of(lhs), classical_of(rhs), loc);
-}
-
-ValuePtr Interpreter::quantum_add_sub(BinaryOp op, const ValuePtr& lhs,
-                                      const ValuePtr& rhs, SourceLocation loc) {
-  const bool lq = lhs->is_quantum();
-
-  if (!lq && op == BinaryOp::Sub) {
-    // classical - quantum: no reversible in-place form without negation
-    // machinery on a copy; measure (documented behaviour).
-    return classical_binary(op, classical_of(lhs), classical_of(rhs), loc);
-  }
-
-  const ValuePtr& base = lq ? lhs : rhs;        // the operand to copy
-  const ValuePtr& other = lq ? rhs : lhs;
-  const QuantumRef& src = base->as_quantum();
-
-  std::size_t width = src.width;
-  if (other->is_quantum()) {
-    width = std::max(width, other->as_quantum().width);
-  } else {
-    const std::int64_t k = classical_of(other)->as_int();
-    if (k < 0) throw LangError("quantum addition needs a non-negative constant", loc);
-    width = std::max(width, TypeCastingHandler::width_for_int(k));
-  }
-  // Binary `+` allocates a fresh result, so give it a carry bit; compound
-  // `+=` stays modular in the destination's own width (see
-  // compound_quantum_assign).
-  if (op == BinaryOp::Add) ++width;
-
-  // result := basis-copy(base); result (+|-)= other.
-  const QuantumRef res = handler_.allocate("sum", width, TypeKind::Quint);
-  handler_.copy_basis(src, res);
-
-  circ::QuantumCircuit sub = scratch_circuit(handler_);
-  const auto res_qubits = QuantumCircuitHandler::qubits_of(res);
-  if (other->is_quantum()) {
-    const QuantumRef& oref = other->as_quantum();
-    if (oref.width > res.width) {
-      throw LangError("quantum adder: rhs register wider than the result", loc);
-    }
-    const auto o_qubits = QuantumCircuitHandler::qubits_of(oref);
-    if (op == BinaryOp::Add) {
-      algo::append_draper_adder(sub, o_qubits, res_qubits);
-    } else {
-      algo::append_draper_subtractor(sub, o_qubits, res_qubits);
-    }
-  } else {
-    const auto k = static_cast<std::uint64_t>(classical_of(other)->as_int());
-    if (op == BinaryOp::Add) {
-      algo::append_draper_add_const(sub, res_qubits, k);
-    } else {
-      algo::append_draper_sub_const(sub, res_qubits, k);
-    }
-  }
-  apply_global_subcircuit(handler_, sub);
-  return Value::make_quantum(res);
-}
-
-ValuePtr Interpreter::quantum_shift(BinaryOp op, const ValuePtr& lhs,
-                                    const ValuePtr& rhs, SourceLocation loc,
-                                    bool in_place) {
-  const QuantumRef& src = lhs->as_quantum();
-  const std::int64_t k_signed = classical_of(rhs)->as_int();
-  if (k_signed < 0) throw LangError("shift amount must be non-negative", loc);
-  const auto k = static_cast<std::size_t>(k_signed);
-
-  QuantumRef target = src;
-  if (!in_place) {
-    target = handler_.allocate("rot", src.width, src.kind);
-    handler_.copy_basis(src, target);
-  }
-  circ::QuantumCircuit sub = scratch_circuit(handler_);
-  const auto qubits = QuantumCircuitHandler::qubits_of(target);
-  if (op == BinaryOp::Shl) {
-    algo::append_rotate_constant_depth(sub, qubits, k % std::max<std::size_t>(src.width, 1));
-  } else {
-    algo::append_rotate_right_constant_depth(
-        sub, qubits, k % std::max<std::size_t>(src.width, 1));
-  }
-  apply_global_subcircuit(handler_, sub);
-  return in_place ? lhs : Value::make_quantum(target);
-}
-
-ValuePtr Interpreter::substring_in(const ValuePtr& pattern_value,
-                                   const ValuePtr& text_value, SourceLocation loc,
-                                   bool want_index) {
-  const ValuePtr pattern_c = classical_of(pattern_value);
-  if (pattern_c->kind() != TypeKind::String) {
-    throw LangError("'in' needs a (qu)string pattern on the left", loc);
-  }
-  const std::string pattern = pattern_c->as_string();
-
-  // Classical containment for classical text and for arrays.
-  if (!text_value->is_quantum()) {
-    if (text_value->is_array()) {
-      // value in array -> membership test.
-      const auto& arr = text_value->as_array();
-      std::int64_t position = -1;
-      for (std::size_t i = 0; i < arr.items.size(); ++i) {
-        const ValuePtr item = classical_of(arr.items[i]);
-        if (item->kind() == TypeKind::String && item->as_string() == pattern) {
-          position = static_cast<std::int64_t>(i);
-          break;
-        }
-      }
-      return want_index ? Value::make_int(position)
-                        : Value::make_bool(position >= 0);
-    }
-    if (text_value->kind() != TypeKind::String) {
-      throw LangError("'in' needs a (qu)string or array on the right", loc);
-    }
-    const std::string& text = text_value->as_string();
-    const auto pos = text.find(pattern);
-    return want_index
-               ? Value::make_int(pos == std::string::npos
-                                     ? -1
-                                     : static_cast<std::int64_t>(pos))
-               : Value::make_bool(pos != std::string::npos);
-  }
-
-  // Quantum text: the `in` operator compiles Grover substring search (the
-  // paper's Figure listing). Reading the text requires a measurement (the
-  // paper's rule); the search itself then runs as a genuine Grover circuit
-  // inlined into the program circuit on fresh index/window registers.
-  const QuantumRef& text_ref = text_value->as_quantum();
-  if (text_ref.kind != TypeKind::Qustring) {
-    throw LangError("'in' expects a qustring on the right", loc);
-  }
-  const ValuePtr text_c = casting_.measure_to_classical(*text_value);
-  const std::string text = text_c->as_string();
-  if (pattern.empty() || pattern.size() > text.size()) {
-    return want_index ? Value::make_int(-1) : Value::make_bool(false);
-  }
-  for (char c : pattern) {
-    if (c != '0' && c != '1') {
-      throw LangError("Grover substring search needs a bitstring pattern", loc);
-    }
-  }
-
-  const algo::SubstringSearch search(text, pattern);
-  const circ::QuantumCircuit sub = search.build_circuit();
-  const std::uint64_t clbits = handler_.compose_inline(sub, "grover");
-  const std::uint64_t position = clbits & (dim_of(search.index_qubits()) - 1);
-  const bool hit = position + pattern.size() <= text.size() &&
-                   text.compare(position, pattern.size(), pattern) == 0;
-  if (want_index) {
-    return Value::make_int(hit ? static_cast<std::int64_t>(position) : -1);
-  }
-  return Value::make_bool(hit);
-}
-
-ValuePtr Interpreter::index_of(const ValuePtr& pattern, const ValuePtr& text,
-                               SourceLocation loc) {
-  return substring_in(pattern, text, loc, /*want_index=*/true);
-}
-
-ValuePtr Interpreter::classical_binary(BinaryOp op, const ValuePtr& lhs,
-                                       const ValuePtr& rhs, SourceLocation loc) {
-  // String operations.
-  if (lhs->kind() == TypeKind::String || rhs->kind() == TypeKind::String) {
-    if (lhs->kind() != rhs->kind()) {
-      throw LangError("cannot mix string and non-string operands", loc);
-    }
-    const std::string& a = lhs->as_string();
-    const std::string& b = rhs->as_string();
-    switch (op) {
-      case BinaryOp::Add: return Value::make_string(a + b);
-      case BinaryOp::Eq: return Value::make_bool(a == b);
-      case BinaryOp::Ne: return Value::make_bool(a != b);
-      case BinaryOp::Lt: return Value::make_bool(a < b);
-      case BinaryOp::Le: return Value::make_bool(a <= b);
-      case BinaryOp::Gt: return Value::make_bool(a > b);
-      case BinaryOp::Ge: return Value::make_bool(a >= b);
-      default:
-        throw LangError(std::string("operator '") + binary_op_name(op) +
-                            "' is not defined on strings",
-                        loc);
-    }
-  }
-
-  const bool use_float =
-      lhs->kind() == TypeKind::Float || rhs->kind() == TypeKind::Float;
-  if (use_float) {
-    const double a = lhs->as_float();
-    const double b = rhs->as_float();
-    switch (op) {
-      case BinaryOp::Add: return Value::make_float(a + b);
-      case BinaryOp::Sub: return Value::make_float(a - b);
-      case BinaryOp::Mul: return Value::make_float(a * b);
-      case BinaryOp::Div:
-        if (b == 0.0) throw LangError("division by zero", loc);
-        return Value::make_float(a / b);
-      case BinaryOp::Eq: return Value::make_bool(a == b);
-      case BinaryOp::Ne: return Value::make_bool(a != b);
-      case BinaryOp::Lt: return Value::make_bool(a < b);
-      case BinaryOp::Le: return Value::make_bool(a <= b);
-      case BinaryOp::Gt: return Value::make_bool(a > b);
-      case BinaryOp::Ge: return Value::make_bool(a >= b);
-      default:
-        throw LangError(std::string("operator '") + binary_op_name(op) +
-                            "' is not defined on floats",
-                        loc);
-    }
-  }
-
-  const std::int64_t a = lhs->as_int();
-  const std::int64_t b = rhs->as_int();
-  // Qutes `int` arithmetic is two's-complement with wraparound on overflow
-  // (matching the quantum registers, which are modular by construction), so
-  // compute through uint64_t: signed overflow would be UB.
-  const auto wrap = [](std::uint64_t u) {
-    return Value::make_int(static_cast<std::int64_t>(u));
-  };
-  const auto ua = static_cast<std::uint64_t>(a);
-  const auto ub = static_cast<std::uint64_t>(b);
-  switch (op) {
-    case BinaryOp::Add: return wrap(ua + ub);
-    case BinaryOp::Sub: return wrap(ua - ub);
-    case BinaryOp::Mul: return wrap(ua * ub);
-    case BinaryOp::Div:
-      if (b == 0) throw LangError("division by zero", loc);
-      // INT64_MIN / -1 overflows (hardware-traps); it wraps to INT64_MIN.
-      if (b == -1) return wrap(std::uint64_t{0} - ua);
-      return Value::make_int(a / b);
-    case BinaryOp::Mod:
-      if (b == 0) throw LangError("modulo by zero", loc);
-      if (b == -1) return Value::make_int(0);  // avoids the INT64_MIN trap
-      return Value::make_int(a % b);
-    case BinaryOp::Shl:
-      if (b < 0 || b > 62) throw LangError("bad shift amount", loc);
-      return Value::make_int(a << b);
-    case BinaryOp::Shr:
-      if (b < 0 || b > 62) throw LangError("bad shift amount", loc);
-      return Value::make_int(a >> b);
-    case BinaryOp::Eq: return Value::make_bool(a == b);
-    case BinaryOp::Ne: return Value::make_bool(a != b);
-    case BinaryOp::Lt: return Value::make_bool(a < b);
-    case BinaryOp::Le: return Value::make_bool(a <= b);
-    case BinaryOp::Gt: return Value::make_bool(a > b);
-    case BinaryOp::Ge: return Value::make_bool(a >= b);
-    case BinaryOp::And: return Value::make_bool(a != 0 && b != 0);
-    case BinaryOp::Or: return Value::make_bool(a != 0 || b != 0);
-    default: break;
-  }
-  throw LangError(std::string("operator '") + binary_op_name(op) +
-                      "' is not defined on these operands",
-                  loc);
+  result_ = runtime_.evaluate_binary(expr.op, lhs, rhs, expr.location);
 }
 
 // ---------------------------------------------------------------------------
@@ -668,29 +223,7 @@ void Interpreter::visit(VarDeclStmt& stmt) {
   Symbol& symbol = scope_->declare(stmt.name, stmt.type, stmt.location);
 
   if (!stmt.init) {
-    switch (stmt.type.kind) {
-      case TypeKind::Bool: symbol.value = Value::make_bool(false); break;
-      case TypeKind::Int: symbol.value = Value::make_int(0); break;
-      case TypeKind::Float: symbol.value = Value::make_float(0.0); break;
-      case TypeKind::String: symbol.value = Value::make_string(""); break;
-      case TypeKind::Qubit:
-        symbol.value = Value::make_quantum(
-            handler_.allocate(stmt.name, 1, TypeKind::Qubit));
-        break;
-      case TypeKind::Quint: {
-        const std::size_t width =
-            stmt.type.quint_width > 0 ? stmt.type.quint_width : kDefaultQuintWidth;
-        symbol.value = Value::make_quantum(
-            handler_.allocate(stmt.name, width, TypeKind::Quint));
-        break;
-      }
-      case TypeKind::Array:
-        symbol.value = Value::make_array(stmt.type.element, {});
-        break;
-      default:
-        throw LangError("variable '" + stmt.name + "' needs an initializer",
-                        stmt.location);
-    }
+    symbol.value = runtime_.default_init(stmt.type, stmt.name, stmt.location);
     return;
   }
 
@@ -701,43 +234,24 @@ void Interpreter::visit(VarDeclStmt& stmt) {
     if (auto* lit = dynamic_cast<QuantumIntLitExpr*>(stmt.init.get())) {
       const Value classical(QType::scalar(TypeKind::Int), lit->value);
       symbol.value =
-          casting_.promote(classical, stmt.name, stmt.type.quint_width, stmt.location);
+          casting().promote(classical, stmt.name, stmt.type.quint_width, stmt.location);
       return;
     }
     if (auto* lit = dynamic_cast<IntLitExpr*>(stmt.init.get())) {
       const Value classical(QType::scalar(TypeKind::Int), lit->value);
       symbol.value =
-          casting_.promote(classical, stmt.name, stmt.type.quint_width, stmt.location);
+          casting().promote(classical, stmt.name, stmt.type.quint_width, stmt.location);
       return;
     }
     if (auto* lit = dynamic_cast<QuantumStringLitExpr*>(stmt.init.get())) {
       const Value classical(QType::scalar(TypeKind::String), lit->bits);
-      symbol.value = casting_.promote(classical, stmt.name, 0, stmt.location);
+      symbol.value = casting().promote(classical, stmt.name, 0, stmt.location);
       return;
     }
   }
 
   ValuePtr value = evaluate(*stmt.init);
-
-  // Arrays: coerce every element to the declared element type.
-  if (stmt.type.is_array()) {
-    if (!value->is_array()) {
-      throw LangError("expected an array initializer for '" + stmt.name + "'",
-                      stmt.location);
-    }
-    auto& arr = value->as_array();
-    const QType element_type = QType::scalar(stmt.type.element);
-    for (std::size_t i = 0; i < arr.items.size(); ++i) {
-      arr.items[i] = casting_.coerce(arr.items[i], element_type,
-                                     stmt.name + "[" + std::to_string(i) + "]",
-                                     stmt.location);
-    }
-    arr.element = stmt.type.element;
-    symbol.value = value;
-    return;
-  }
-
-  symbol.value = casting_.coerce(value, stmt.type, stmt.name, stmt.location);
+  symbol.value = runtime_.bind_decl_init(value, stmt.type, stmt.name, stmt.location);
 }
 
 ValuePtr& Interpreter::resolve_slot(Expr& lvalue) {
@@ -754,7 +268,8 @@ ValuePtr& Interpreter::resolve_slot(Expr& lvalue) {
     if (!target->is_array()) {
       throw LangError("only array elements can be assigned by index", idx->location);
     }
-    const std::int64_t index = classical_of(evaluate(*idx->index))->as_int();
+    const std::int64_t index =
+        runtime_.classical_of(evaluate(*idx->index))->as_int();
     auto& arr = target->as_array();
     if (index < 0 || static_cast<std::size_t>(index) >= arr.items.size()) {
       throw LangError("array index out of range", idx->location);
@@ -764,84 +279,23 @@ ValuePtr& Interpreter::resolve_slot(Expr& lvalue) {
   throw LangError("invalid assignment target", lvalue.location);
 }
 
-void Interpreter::compound_quantum_assign(Symbol& symbol, BinaryOp op,
-                                          const ValuePtr& rhs, SourceLocation loc) {
-  const QuantumRef& dst = symbol.value->as_quantum();
-  circ::QuantumCircuit sub = scratch_circuit(handler_);
-  const auto dst_qubits = QuantumCircuitHandler::qubits_of(dst);
-
-  switch (op) {
-    case BinaryOp::Add:
-    case BinaryOp::Sub: {
-      if (rhs->is_quantum()) {
-        const QuantumRef& src = rhs->as_quantum();
-        if (src.width > dst.width) {
-          throw LangError("in-place quantum addition: rhs wider than '" +
-                              symbol.name + "'",
-                          loc);
-        }
-        const auto src_qubits = QuantumCircuitHandler::qubits_of(src);
-        if (op == BinaryOp::Add) {
-          algo::append_draper_adder(sub, src_qubits, dst_qubits);
-        } else {
-          algo::append_draper_subtractor(sub, src_qubits, dst_qubits);
-        }
-      } else {
-        const std::int64_t k = classical_of(rhs)->as_int();
-        if (k < 0) throw LangError("quantum addition needs non-negative constants", loc);
-        if (op == BinaryOp::Add) {
-          algo::append_draper_add_const(sub, dst_qubits, static_cast<std::uint64_t>(k));
-        } else {
-          algo::append_draper_sub_const(sub, dst_qubits, static_cast<std::uint64_t>(k));
-        }
-      }
-      apply_global_subcircuit(handler_, sub);
-      return;
-    }
-    case BinaryOp::Shl:
-    case BinaryOp::Shr: {
-      (void)quantum_shift(op, symbol.value, rhs, loc, /*in_place=*/true);
-      return;
-    }
-    default:
-      throw LangError(std::string("compound operator '") + binary_op_name(op) +
-                          "=' is not supported on quantum variables; use '" +
-                          symbol.name + " = " + symbol.name + " " +
-                          binary_op_name(op) + " ...'",
-                      loc);
-  }
-}
-
 void Interpreter::visit(AssignStmt& stmt) {
   ValuePtr& slot = resolve_slot(*stmt.lvalue);
 
   if (stmt.compound) {
-    if (slot->is_quantum()) {
-      // In-place quantum update: find the symbol for error messages; fall
-      // back to a synthetic symbol for array elements.
-      Symbol synthetic{"<element>", slot->type(), stmt.location, slot};
-      Symbol* symbol = &synthetic;
-      if (auto* ref = dynamic_cast<VarRefExpr*>(stmt.lvalue.get())) {
-        symbol = scope_->lookup(ref->name);
-      }
-      const ValuePtr rhs = evaluate(*stmt.value);
-      compound_quantum_assign(*symbol, *stmt.compound, rhs, stmt.location);
-      return;
+    // Name for in-place quantum error messages; array elements get a
+    // synthetic one.
+    std::string name = "<element>";
+    if (auto* ref = dynamic_cast<VarRefExpr*>(stmt.lvalue.get())) {
+      name = ref->name;
     }
     const ValuePtr rhs = evaluate(*stmt.value);
-    const ValuePtr computed = evaluate_binary(*stmt.compound, slot, rhs, stmt.location);
-    slot->assign(*casting_.coerce(computed, slot->type(), "assignment", stmt.location));
+    runtime_.compound_assign(name, slot, *stmt.compound, rhs, stmt.location);
     return;
   }
 
   const ValuePtr rhs = evaluate(*stmt.value);
-  const QType target = slot->type();
-  // Fresh (void) slots adopt the value's type; typed slots keep theirs.
-  if (target.kind == TypeKind::Void) {
-    slot->assign(*rhs);
-  } else {
-    slot->assign(*casting_.coerce(rhs, target, "assignment", stmt.location));
-  }
+  runtime_.assign_plain(slot, rhs, stmt.location);
 }
 
 void Interpreter::visit(ExprStmt& stmt) { (void)evaluate(*stmt.expr); }
@@ -860,7 +314,7 @@ void Interpreter::visit(BlockStmt& stmt) {
 
 void Interpreter::visit(IfStmt& stmt) {
   const bool condition =
-      casting_.condition_bool(*evaluate(*stmt.condition), stmt.location);
+      casting().condition_bool(*evaluate(*stmt.condition), stmt.location);
   if (condition) {
     execute(*stmt.then_branch);
   } else if (stmt.else_branch) {
@@ -869,11 +323,10 @@ void Interpreter::visit(IfStmt& stmt) {
 }
 
 void Interpreter::visit(WhileStmt& stmt) {
-  constexpr std::size_t kMaxIterations = 1u << 20;
   std::size_t iterations = 0;
-  while (casting_.condition_bool(*evaluate(*stmt.condition), stmt.location)) {
+  while (casting().condition_bool(*evaluate(*stmt.condition), stmt.location)) {
     execute(*stmt.body);
-    if (++iterations > kMaxIterations) {
+    if (++iterations > kMaxWhileIterations) {
       throw LangError("while loop exceeded the iteration budget", stmt.location);
     }
   }
@@ -881,24 +334,7 @@ void Interpreter::visit(WhileStmt& stmt) {
 
 void Interpreter::visit(ForeachStmt& stmt) {
   const ValuePtr iterable = evaluate(*stmt.iterable);
-  std::vector<ValuePtr> items;
-  if (iterable->is_array()) {
-    items = iterable->as_array().items;  // shared: iteration is by reference
-  } else if (iterable->kind() == TypeKind::String) {
-    for (char c : iterable->as_string()) {
-      items.push_back(Value::make_string(std::string(1, c)));
-    }
-  } else if (iterable->is_quantum()) {
-    // Iterate the individual qubits of a register.
-    const QuantumRef& ref = iterable->as_quantum();
-    for (std::size_t i = 0; i < ref.width; ++i) {
-      items.push_back(Value::make_quantum(
-          QuantumRef{ref.offset + i, 1, TypeKind::Qubit}));
-    }
-  } else {
-    throw LangError("foreach needs an array, string, or quantum register",
-                    stmt.location);
-  }
+  const std::vector<ValuePtr> items = runtime_.iterate_items(iterable, stmt.location);
 
   for (const ValuePtr& item : items) {
     const std::shared_ptr<Scope> saved = scope_;
@@ -925,62 +361,17 @@ void Interpreter::visit(ReturnStmt& stmt) {
   throw signal;
 }
 
-std::string Interpreter::render_for_print(const ValuePtr& value) {
-  if (value->is_quantum()) {
-    return classical_of(value)->to_display_string();
-  }
-  if (value->is_array()) {
-    std::string out = "[";
-    const auto& arr = value->as_array();
-    for (std::size_t i = 0; i < arr.items.size(); ++i) {
-      out += (i ? ", " : "");
-      out += render_for_print(arr.items[i]);
-    }
-    return out + "]";
-  }
-  return value->to_display_string();
-}
-
 void Interpreter::visit(PrintStmt& stmt) {
   const ValuePtr value = evaluate(*stmt.value);
   emit_output(render_for_print(value) + "\n");
 }
 
-void Interpreter::visit(BarrierStmt&) { handler_.barrier(); }
+void Interpreter::visit(BarrierStmt&) { handler().barrier(); }
 
 void Interpreter::visit(GateStmt& stmt) {
   for (const ExprPtr& operand : stmt.operands) {
     const ValuePtr value = evaluate(*operand);
-
-    // Arrays broadcast the gate across their (quantum) elements.
-    std::vector<ValuePtr> targets;
-    if (value->is_array()) {
-      targets = value->as_array().items;
-    } else {
-      targets.push_back(value);
-    }
-
-    for (const ValuePtr& target : targets) {
-      if (!target->is_quantum()) {
-        throw LangError(std::string("'") + gate_kind_name(stmt.gate) +
-                            "' needs quantum operands",
-                        stmt.location);
-      }
-      const QuantumRef& ref = target->as_quantum();
-      switch (stmt.gate) {
-        case GateKind::Not: handler_.x(ref); break;
-        case GateKind::PauliY: handler_.y(ref); break;
-        case GateKind::PauliZ: handler_.z(ref); break;
-        case GateKind::Hadamard: handler_.h(ref); break;
-        case GateKind::Phase: handler_.s(ref); break;
-        case GateKind::SGate: handler_.s(ref); break;
-        case GateKind::TGate: handler_.t(ref); break;
-        case GateKind::MeasureStmt:
-          (void)casting_.measure_to_classical(*target);
-          break;
-        case GateKind::ResetStmt: handler_.reset(ref); break;
-      }
-    }
+    runtime_.apply_gate_value(stmt.gate, value, stmt.location);
   }
 }
 

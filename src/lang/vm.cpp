@@ -1,0 +1,609 @@
+#include "qutes/lang/vm.hpp"
+
+#include "qutes/obs/obs.hpp"
+
+namespace qutes::lang {
+
+namespace {
+/// Free-list depth: deep enough to cover every live scalar temporary of a
+/// realistic expression, small enough to pin negligible memory.
+constexpr std::size_t kFreeCellCap = 32;
+}  // namespace
+
+Vm::Vm(const Bytecode& bytecode, VmOptions options)
+    : bc_(bytecode),
+      runtime_(options.seed, options.echo),
+      builtin_cache_(bytecode.strings.size(), nullptr) {
+  free_cells_.reserve(kFreeCellCap);  // recycle() never reallocates
+}
+
+Vm::Frame Vm::make_frame(const Chunk& chunk, std::uint32_t call_loc) const {
+  Frame frame;
+  frame.chunk = &chunk;
+  frame.slots.resize(chunk.num_slots);
+  frame.declared.assign(chunk.num_slots, 0);
+  frame.declared_at.assign(chunk.num_slots, 0);
+  frame.loops.assign(chunk.num_loops, 0);
+  frame.iters.resize(chunk.num_iters);
+  frame.call_loc = call_loc;
+  return frame;
+}
+
+ValuePtr Vm::pop(std::uint32_t loc_idx) {
+  if (stack_.empty()) {
+    throw LangError("bytecode: stack underflow", loc_of(loc_idx));
+  }
+  ValuePtr v = std::move(stack_.back());
+  stack_.pop_back();
+  return v;
+}
+
+ValuePtr& Vm::peek(std::uint32_t loc_idx) {
+  if (stack_.empty()) {
+    throw LangError("bytecode: stack underflow", loc_of(loc_idx));
+  }
+  return stack_.back();
+}
+
+void Vm::push_scalar(Value&& scratch) {
+  if (free_cells_.empty()) {
+    stack_.push_back(std::make_shared<Value>(std::move(scratch)));
+    return;
+  }
+  ValuePtr cell = std::move(free_cells_.back());
+  free_cells_.pop_back();
+  *cell = std::move(scratch);
+  stack_.push_back(std::move(cell));
+}
+
+void Vm::push_int(std::int64_t v) {
+  push_scalar(Value(QType::scalar(TypeKind::Int), v));
+}
+
+void Vm::push_bool(bool v) {
+  push_scalar(Value(QType::scalar(TypeKind::Bool), v));
+}
+
+void Vm::recycle(ValuePtr&& v) noexcept {
+  // use_count()==1 proves the cell is unaliased: variables and containers
+  // hold values by shared_ptr, so any capture shows up in the count. Only
+  // plain scalars are pooled — strings pin buffers, arrays/quantum refs
+  // carry structure worth letting go.
+  if (!v || v.use_count() != 1 || free_cells_.size() >= kFreeCellCap) return;
+  switch (v->kind()) {
+    case TypeKind::Bool:
+    case TypeKind::Int:
+    case TypeKind::Float:
+      free_cells_.push_back(std::move(v));
+      break;
+    default:
+      break;
+  }
+}
+
+void Vm::assign_scalar_or_plain(const ValuePtr& slot, const ValuePtr& rhs,
+                                std::uint32_t loc_idx) {
+  // Same-kind classical scalar assignment: Runtime::assign_plain's coerce is
+  // an identity here (matching classical kinds return the value unchanged),
+  // so it reduces to copying the variant into the slot's own cell.
+  const TypeKind k = slot->kind();
+  if ((k == TypeKind::Int || k == TypeKind::Bool || k == TypeKind::Float) &&
+      !slot->is_array() && rhs->kind() == k && !rhs->is_array()) {
+    slot->assign(*rhs);
+    return;
+  }
+  runtime_.assign_plain(slot, rhs, loc_of(loc_idx));
+}
+
+bool Vm::try_int_binary(BinaryOp op, const ValuePtr& lhs, const ValuePtr& rhs,
+                        std::uint32_t loc_idx) {
+  if (lhs->kind() != TypeKind::Int || rhs->kind() != TypeKind::Int) {
+    return false;
+  }
+  const std::int64_t a = lhs->as_int();
+  const std::int64_t b = rhs->as_int();
+  // Mirrors the int branch of Runtime::classical_binary exactly — wraparound
+  // two's-complement arithmetic through uint64_t and identical error strings
+  // — so taking this path is observationally indistinguishable from the
+  // Runtime call it skips.
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  switch (op) {
+    case BinaryOp::Add: push_int(static_cast<std::int64_t>(ua + ub)); return true;
+    case BinaryOp::Sub: push_int(static_cast<std::int64_t>(ua - ub)); return true;
+    case BinaryOp::Mul: push_int(static_cast<std::int64_t>(ua * ub)); return true;
+    case BinaryOp::Div:
+      if (b == 0) throw LangError("division by zero", loc_of(loc_idx));
+      if (b == -1) {
+        push_int(static_cast<std::int64_t>(std::uint64_t{0} - ua));
+        return true;
+      }
+      push_int(a / b);
+      return true;
+    case BinaryOp::Mod:
+      if (b == 0) throw LangError("modulo by zero", loc_of(loc_idx));
+      if (b == -1) {
+        push_int(0);
+        return true;
+      }
+      push_int(a % b);
+      return true;
+    case BinaryOp::Shl:
+      if (b < 0 || b > 62) throw LangError("bad shift amount", loc_of(loc_idx));
+      push_int(a << b);
+      return true;
+    case BinaryOp::Shr:
+      if (b < 0 || b > 62) throw LangError("bad shift amount", loc_of(loc_idx));
+      push_int(a >> b);
+      return true;
+    case BinaryOp::Eq: push_bool(a == b); return true;
+    case BinaryOp::Ne: push_bool(a != b); return true;
+    case BinaryOp::Lt: push_bool(a < b); return true;
+    case BinaryOp::Le: push_bool(a <= b); return true;
+    case BinaryOp::Gt: push_bool(a > b); return true;
+    case BinaryOp::Ge: push_bool(a >= b); return true;
+    case BinaryOp::And: push_bool(a != 0 && b != 0); return true;
+    case BinaryOp::Or: push_bool(a != 0 || b != 0); return true;
+    default:
+      return false;  // `in`, unknown ops: let the Runtime diagnose
+  }
+}
+
+const BuiltinFn& Vm::builtin_of(std::uint32_t name_idx, std::uint32_t loc_idx) {
+  const BuiltinFn*& cached = builtin_cache_[name_idx];
+  if (cached == nullptr) {
+    const auto& table = builtin_table();
+    const auto it = table.find(bc_.strings[name_idx]);
+    if (it == table.end()) {
+      throw LangError("bytecode: unknown builtin '" + bc_.strings[name_idx] + "'",
+                      loc_of(loc_idx));
+    }
+    cached = &it->second;
+  }
+  return *cached;
+}
+
+void Vm::run() {
+  obs::Span span("lang.vm");
+  std::uint64_t steps = 0;
+  struct StepsRecorder {
+    std::uint64_t& steps;
+    ~StepsRecorder() {
+      obs::metrics().counter(obs::names::kLangVmSteps).add(steps);
+    }
+  } recorder{steps};
+  frames_.push_back(make_frame(bc_.chunks.front(), 0));
+  exec_loop(steps);
+}
+
+void Vm::exec_loop(std::uint64_t& steps) {
+  Frame* fr = &frames_.back();
+  const std::vector<Instr>* code = &fr->chunk->code;
+  const auto refresh = [&] {
+    fr = &frames_.back();
+    code = &fr->chunk->code;
+  };
+
+  // Pop the current frame and hand `value` back through the callee's
+  // return-type coercion (tree-walk: call_user_function's epilogue).
+  // Returns false when the popped frame was the top level.
+  const auto do_return = [&](ValuePtr value) -> bool {
+    Frame done = std::move(frames_.back());
+    frames_.pop_back();
+    if (frames_.empty()) return false;  // top level finished
+    --call_depth_;
+    const Chunk& ck = *done.chunk;
+    const QType& rtype = bc_.types[ck.return_type];
+    if (rtype.kind == TypeKind::Void) {
+      stack_.push_back(Value::make_void());
+    } else {
+      stack_.push_back(runtime_.casting().coerce(
+          value, rtype, bc_.strings[ck.name] + "() result",
+          loc_of(done.call_loc)));
+    }
+    refresh();
+    return true;
+  };
+
+  for (;;) {
+    if (fr->pc >= code->size()) {
+      // Only the top-level chunk ends without an explicit Return.
+      if (!do_return(Value::make_void())) return;
+      continue;
+    }
+    const Instr& in = (*code)[fr->pc++];
+    ++steps;
+    switch (in.op) {
+      case Op::PushInt:
+        push_int(in.a);
+        break;
+      case Op::PushFloat:
+        push_scalar(Value(QType::scalar(TypeKind::Float), bc_.floats[in.b]));
+        break;
+      case Op::PushBool:
+        push_bool(in.a != 0);
+        break;
+      case Op::PushString:
+        stack_.push_back(Value::make_string(bc_.strings[in.b]));
+        break;
+      case Op::Pop:
+        recycle(pop(in.loc));
+        break;
+
+      case Op::QuintLit:
+        stack_.push_back(runtime_.quantum_int_lit(in.a, loc_of(in.loc)));
+        break;
+      case Op::QustringLit:
+        stack_.push_back(
+            runtime_.quantum_string_lit(bc_.strings[in.b], loc_of(in.loc)));
+        break;
+      case Op::KetState:
+        stack_.push_back(runtime_.ket_lit(static_cast<KetKind>(in.a)));
+        break;
+
+      case Op::SupBegin:
+        sups_.emplace_back();
+        break;
+      case Op::SupElem: {
+        if (sups_.empty()) {
+          throw LangError("bytecode: stray literal-builder op", loc_of(in.loc));
+        }
+        const ValuePtr element = pop(in.loc);
+        runtime_.sup_element(sups_.back(), element, loc_of(in.loc));
+        break;
+      }
+      case Op::SupEnd: {
+        if (sups_.empty()) {
+          throw LangError("bytecode: stray literal-builder op", loc_of(in.loc));
+        }
+        stack_.push_back(runtime_.sup_finish(sups_.back(), loc_of(in.loc)));
+        sups_.pop_back();
+        break;
+      }
+      case Op::ArrBegin:
+        arrs_.emplace_back();
+        break;
+      case Op::ArrElem: {
+        if (arrs_.empty()) {
+          throw LangError("bytecode: stray literal-builder op", loc_of(in.loc));
+        }
+        Runtime::arr_element(arrs_.back(), pop(in.loc), loc_of(in.loc));
+        break;
+      }
+      case Op::ArrEnd: {
+        if (arrs_.empty()) {
+          throw LangError("bytecode: stray literal-builder op", loc_of(in.loc));
+        }
+        Runtime::ArrBuilder builder = std::move(arrs_.back());
+        arrs_.pop_back();
+        stack_.push_back(
+            Value::make_array(builder.element, std::move(builder.items)));
+        break;
+      }
+
+      case Op::LoadLocal:
+      case Op::LoadGlobal: {
+        Frame& owner = in.op == Op::LoadGlobal ? frames_.front() : *fr;
+        const ValuePtr& v = owner.slots[in.b];
+        if (!v) {
+          throw LangError(
+              "use of undeclared variable '" +
+                  bc_.strings[owner.chunk->slot_names[in.b]] + "'",
+              loc_of(in.loc));
+        }
+        stack_.push_back(v);
+        break;
+      }
+      case Op::CheckLocal:
+      case Op::CheckGlobal: {
+        Frame& owner = in.op == Op::CheckGlobal ? frames_.front() : *fr;
+        if (!owner.slots[in.b]) {
+          throw LangError(
+              "assignment to undeclared variable '" +
+                  bc_.strings[owner.chunk->slot_names[in.b]] + "'",
+              loc_of(in.loc));
+        }
+        break;
+      }
+      case Op::AssignLocal:
+      case Op::AssignGlobal: {
+        ValuePtr rhs = pop(in.loc);
+        Frame& owner = in.op == Op::AssignGlobal ? frames_.front() : *fr;
+        const ValuePtr& slot = owner.slots[in.b];
+        if (!slot) {
+          throw LangError(
+              "assignment to undeclared variable '" +
+                  bc_.strings[owner.chunk->slot_names[in.b]] + "'",
+              loc_of(in.loc));
+        }
+        assign_scalar_or_plain(slot, rhs, in.loc);
+        recycle(std::move(rhs));  // assign copies into the slot's own cell
+        break;
+      }
+      case Op::CompoundLocal:
+      case Op::CompoundGlobal: {
+        ValuePtr rhs = pop(in.loc);
+        Frame& owner = in.op == Op::CompoundGlobal ? frames_.front() : *fr;
+        const std::string& name = bc_.strings[owner.chunk->slot_names[in.b]];
+        const ValuePtr& slot = owner.slots[in.b];
+        if (!slot) {
+          throw LangError("assignment to undeclared variable '" + name + "'",
+                          loc_of(in.loc));
+        }
+        runtime_.compound_assign(name, slot, static_cast<BinaryOp>(in.a), rhs,
+                                 loc_of(in.loc));
+        recycle(std::move(rhs));
+        break;
+      }
+
+      case Op::CheckIndexTarget: {
+        const ValuePtr& target = peek(in.loc);
+        if (!target->is_array()) {
+          throw LangError("only array elements can be assigned by index",
+                          loc_of(in.loc));
+        }
+        break;
+      }
+      case Op::IndexPrep: {
+        ValuePtr index_v = pop(in.loc);
+        const ValuePtr& target = peek(in.loc);
+        const std::int64_t index = runtime_.classical_of(index_v)->as_int();
+        const auto& arr = target->as_array();
+        if (index < 0 || static_cast<std::size_t>(index) >= arr.items.size()) {
+          throw LangError("array index out of range", loc_of(in.loc));
+        }
+        recycle(std::move(index_v));
+        push_int(index);
+        break;
+      }
+      case Op::AssignIndex:
+      case Op::CompoundIndex: {
+        ValuePtr rhs = pop(in.loc);
+        ValuePtr index_v = pop(in.loc);
+        ValuePtr target = pop(in.loc);
+        // Re-check: the rhs ran with the array reachable and may have
+        // resized it (the tree-walk holds a raw element reference across
+        // that window — undefined; the VM stays defined and re-indexes).
+        const std::int64_t index = index_v->as_int();
+        auto& arr = target->as_array();
+        if (index < 0 || static_cast<std::size_t>(index) >= arr.items.size()) {
+          throw LangError("array index out of range", loc_of(in.loc));
+        }
+        const ValuePtr& item = arr.items[static_cast<std::size_t>(index)];
+        if (in.op == Op::CompoundIndex) {
+          runtime_.compound_assign("<element>", item,
+                                   static_cast<BinaryOp>(in.a), rhs,
+                                   loc_of(in.loc));
+        } else {
+          assign_scalar_or_plain(item, rhs, in.loc);
+        }
+        recycle(std::move(rhs));
+        recycle(std::move(index_v));
+        break;
+      }
+      case Op::IndexGet: {
+        ValuePtr index_v = pop(in.loc);
+        ValuePtr target = pop(in.loc);
+        stack_.push_back(runtime_.index_value(target, index_v, loc_of(in.loc)));
+        recycle(std::move(index_v));
+        break;
+      }
+
+      case Op::Declare:
+      case Op::BindInit:
+      case Op::DeclareDefault:
+      case Op::DeclarePromoteInt:
+      case Op::DeclarePromoteString: {
+        const std::string& name = bc_.strings[fr->chunk->slot_names[in.b]];
+        if (in.op != Op::BindInit) {
+          // Scope::declare's redeclaration rule, slot-indexed.
+          if (fr->declared[in.b]) {
+            throw LangError("redeclaration of '" + name +
+                                "' (first declared at " +
+                                loc_of(fr->declared_at[in.b]).to_string() + ")",
+                            loc_of(in.loc));
+          }
+          fr->declared[in.b] = 1;
+          fr->declared_at[in.b] = in.loc;
+          fr->slots[in.b] = nullptr;
+        }
+        const QType& type = bc_.types[in.c];
+        switch (in.op) {
+          case Op::Declare:
+            break;  // value bound by the BindInit after the initializer
+          case Op::BindInit: {
+            const ValuePtr init = pop(in.loc);
+            fr->slots[in.b] =
+                runtime_.bind_decl_init(init, type, name, loc_of(in.loc));
+            break;
+          }
+          case Op::DeclareDefault:
+            fr->slots[in.b] = runtime_.default_init(type, name, loc_of(in.loc));
+            break;
+          case Op::DeclarePromoteInt: {
+            const Value classical(QType::scalar(TypeKind::Int), in.a);
+            fr->slots[in.b] = runtime_.casting().promote(
+                classical, name, type.quint_width, loc_of(in.loc));
+            break;
+          }
+          case Op::DeclarePromoteString: {
+            const Value classical(QType::scalar(TypeKind::String),
+                                  bc_.strings[static_cast<std::uint32_t>(in.a)]);
+            fr->slots[in.b] =
+                runtime_.casting().promote(classical, name, 0, loc_of(in.loc));
+            break;
+          }
+          default:
+            break;
+        }
+        break;
+      }
+      case Op::ScopeExit:
+        for (const std::uint32_t slot : fr->chunk->scopes[in.b]) {
+          fr->slots[slot] = nullptr;
+          fr->declared[slot] = 0;
+          fr->declared_at[slot] = 0;
+        }
+        break;
+
+      case Op::UnaryApply: {
+        ValuePtr v = pop(in.loc);
+        stack_.push_back(
+            runtime_.unary(static_cast<UnaryOp>(in.a), v, loc_of(in.loc)));
+        // Push before recycling: the result may BE the operand (in-place
+        // quantum ops return it), and the alias then keeps use_count > 1.
+        recycle(std::move(v));
+        break;
+      }
+      case Op::BinaryApply: {
+        ValuePtr rhs = pop(in.loc);
+        ValuePtr lhs = pop(in.loc);
+        const auto op = static_cast<BinaryOp>(in.a);
+        if (!try_int_binary(op, lhs, rhs, in.loc)) {
+          stack_.push_back(runtime_.evaluate_binary(op, lhs, rhs,
+                                                    loc_of(in.loc)));
+        }
+        recycle(std::move(lhs));
+        recycle(std::move(rhs));
+        break;
+      }
+      case Op::ToBool: {
+        ValuePtr v = pop(in.loc);
+        const bool truthy =
+            runtime_.casting().condition_bool(*v, loc_of(in.loc));
+        recycle(std::move(v));
+        push_bool(truthy);
+        break;
+      }
+
+      case Op::Jump:
+        fr->pc = static_cast<std::size_t>(in.a);
+        break;
+      case Op::JumpIfFalse: {
+        ValuePtr v = pop(in.loc);
+        const bool truthy =
+            runtime_.casting().condition_bool(*v, loc_of(in.loc));
+        recycle(std::move(v));
+        if (!truthy) fr->pc = static_cast<std::size_t>(in.a);
+        break;
+      }
+      case Op::JumpIfFalsePeek:
+        if (!peek(in.loc)->as_bool()) fr->pc = static_cast<std::size_t>(in.a);
+        break;
+      case Op::JumpIfTruePeek:
+        if (peek(in.loc)->as_bool()) fr->pc = static_cast<std::size_t>(in.a);
+        break;
+      case Op::LoopReset:
+        fr->loops[in.b] = 0;
+        break;
+      case Op::LoopBump:
+        if (++fr->loops[in.b] > kMaxWhileIterations) {
+          throw LangError("while loop exceeded the iteration budget",
+                          loc_of(in.loc));
+        }
+        break;
+      case Op::ForeachInit: {
+        const ValuePtr iterable = pop(in.loc);
+        fr->iters[in.b] = {runtime_.iterate_items(iterable, loc_of(in.loc)), 0};
+        break;
+      }
+      case Op::ForeachNext: {
+        Frame::Iter& iter = fr->iters[in.b];
+        if (iter.next >= iter.items.size()) {
+          iter = {};
+          fr->pc = static_cast<std::size_t>(in.a);
+        } else {
+          fr->slots[in.c] = iter.items[iter.next++];
+          fr->declared[in.c] = 1;
+          fr->declared_at[in.c] = in.loc;
+        }
+        break;
+      }
+
+      case Op::CallBuiltin: {
+        const auto argc = static_cast<std::size_t>(in.a);
+        std::vector<ValuePtr> args(argc);
+        for (std::size_t i = argc; i-- > 0;) args[i] = pop(in.loc);
+        const BuiltinFn& fn = builtin_of(in.b, in.loc);
+        ValuePtr result = fn(runtime_, args, loc_of(in.loc));
+        if (!result) result = Value::make_void();
+        stack_.push_back(std::move(result));
+        break;
+      }
+      case Op::CallUser: {
+        const Chunk& callee = bc_.chunks[in.b];
+        const std::string& fname = bc_.strings[callee.name];
+        const auto argc = static_cast<std::size_t>(in.a);
+        if (argc != callee.params.size()) {
+          throw LangError("function '" + fname + "' expects " +
+                              std::to_string(callee.params.size()) +
+                              " arguments, got " + std::to_string(argc),
+                          loc_of(in.loc));
+        }
+        if (++call_depth_ > kMaxCallDepth) {
+          --call_depth_;
+          throw LangError(
+              "call depth exceeded (" + std::to_string(kMaxCallDepth) + ")",
+              loc_of(in.loc));
+        }
+        std::vector<ValuePtr> args(argc);
+        for (std::size_t i = argc; i-- > 0;) args[i] = pop(in.loc);
+        Frame frame = make_frame(callee, in.loc);
+        for (std::size_t i = 0; i < argc; ++i) {
+          // The reference binds parameters in order and trips the
+          // redeclaration error when it reaches a duplicate name — after
+          // coercing (possibly measuring) the earlier arguments.
+          if (callee.duplicate_param && *callee.duplicate_param == i) {
+            throw LangError(
+                "redeclaration of '" + bc_.strings[callee.params[i].name] +
+                    "' (first declared at " + loc_of(in.loc).to_string() + ")",
+                loc_of(in.loc));
+          }
+          frame.slots[i] = runtime_.casting().coerce(
+              args[i], bc_.types[callee.params[i].type],
+              bc_.strings[callee.params[i].name], loc_of(in.loc));
+          frame.declared[i] = 1;
+          frame.declared_at[i] = in.loc;
+        }
+        frames_.push_back(std::move(frame));
+        refresh();
+        break;
+      }
+      case Op::Return: {
+        ValuePtr value = in.a != 0 ? pop(in.loc) : Value::make_void();
+        if (!do_return(std::move(value))) return;
+        break;
+      }
+
+      case Op::Print: {
+        ValuePtr v = pop(in.loc);
+        runtime_.emit_output(runtime_.render_for_print(v) + "\n");
+        recycle(std::move(v));
+        break;
+      }
+      case Op::Barrier:
+        runtime_.handler().barrier();
+        break;
+      case Op::GateApply: {
+        const ValuePtr v = pop(in.loc);
+        runtime_.apply_gate_value(static_cast<GateKind>(in.a), v,
+                                  loc_of(in.loc));
+        break;
+      }
+
+      case Op::ThrowUseUndeclared:
+        throw LangError(
+            "use of undeclared variable '" + bc_.strings[in.b] + "'",
+            loc_of(in.loc));
+      case Op::ThrowAssignUndeclared:
+        throw LangError(
+            "assignment to undeclared variable '" + bc_.strings[in.b] + "'",
+            loc_of(in.loc));
+      case Op::ThrowUnknownFunction:
+        throw LangError("call to unknown function '" + bc_.strings[in.b] + "'",
+                        loc_of(in.loc));
+    }
+  }
+}
+
+}  // namespace qutes::lang

@@ -1,0 +1,396 @@
+// Bytecode engine suite: lowering (constant folding, dead-branch
+// elimination), the versioned serialized artifact (round trip, corrupt and
+// truncated rejection), VM/tree-walk semantic parity on the tricky scope and
+// call-time cases, the static nesting guards against the deep-nesting crash
+// corpus, and exec-mode selection (flag + QUTES_EXEC_MODE environment).
+//
+// The broad randomized parity sweep lives in test_differential.cpp
+// (Differential.VmMatchesTreeWalkOnRandomPrograms); this file pins the
+// corner cases a random generator is unlikely to hit.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qutes/lang/bytecode.hpp"
+#include "qutes/lang/compiler.hpp"
+#include "qutes/lang/lower.hpp"
+#include "qutes/lang/vm.hpp"
+#include "qutes/obs/obs.hpp"
+
+namespace lang = qutes::lang;
+using qutes::ExecMode;
+using qutes::LangError;
+
+namespace {
+
+/// Observable result of one engine: print output on success, LangError text
+/// (with its "line:col:" prefix) on rejection.
+struct Outcome {
+  bool ok = false;
+  std::string text;
+};
+
+Outcome run_mode(const std::string& source, ExecMode mode,
+                 bool include_stdlib = false) {
+  qutes::RunConfig config;
+  config.seed = 7;
+  config.include_stdlib = include_stdlib;
+  config.exec_mode = mode;
+  Outcome out;
+  try {
+    out.text = lang::run_source(source, config).output;
+    out.ok = true;
+  } catch (const LangError& e) {
+    out.text = e.what();
+  }
+  return out;
+}
+
+/// Both engines must agree exactly — success/failure, output, diagnostic.
+void expect_parity(const std::string& source, bool include_stdlib = false) {
+  const Outcome vm = run_mode(source, ExecMode::Vm, include_stdlib);
+  const Outcome ast = run_mode(source, ExecMode::Ast, include_stdlib);
+  EXPECT_EQ(vm.ok, ast.ok) << "vm: " << vm.text << "\nast: " << ast.text
+                           << "\nsource:\n" << source;
+  EXPECT_EQ(vm.text, ast.text) << "source:\n" << source;
+}
+
+std::string listing(const std::string& source) {
+  return lang::lower_source(source, /*include_stdlib=*/false).disassemble();
+}
+
+}  // namespace
+
+// ---- lowering --------------------------------------------------------------
+
+TEST(Lowering, FoldsClassicalConstantExpressions) {
+  const std::string text = listing("print 2 + 3 * 4;");
+  EXPECT_NE(text.find("push_int 14"), std::string::npos) << text;
+  EXPECT_EQ(text.find("binary"), std::string::npos) << text;
+}
+
+TEST(Lowering, FoldsWithTwosComplementWraparound) {
+  // Folding must reproduce the runtime's wraparound arithmetic, not the
+  // host compiler's UB: INT64_MAX + 1 folds to INT64_MIN.
+  const Outcome vm = run_mode("print 9223372036854775807 + 1;", ExecMode::Vm);
+  ASSERT_TRUE(vm.ok) << vm.text;
+  EXPECT_EQ(vm.text, "-9223372036854775808\n");
+  expect_parity("print 9223372036854775807 + 1;");
+}
+
+TEST(Lowering, NeverFoldsFailingExpressions) {
+  // 1 / 0 must raise at run time (with the runtime's message), not at
+  // lowering time and not fold into garbage.
+  expect_parity("print 1 / 0;");
+  // ... and not at all when the division never executes.
+  expect_parity("if (false) { print 1 / 0; } print 7;");
+}
+
+TEST(Lowering, EliminatesDeadBranches) {
+  const std::string text = listing("if (1 < 2) { print 10; } else { print 20; }");
+  EXPECT_NE(text.find("push_int 10"), std::string::npos) << text;
+  EXPECT_EQ(text.find("push_int 20"), std::string::npos) << text;
+  EXPECT_EQ(text.find("jump_if_false"), std::string::npos) << text;
+}
+
+TEST(Lowering, DropsWhileFalseEntirely) {
+  const std::string text = listing("while (false) { print 1; } print 2;");
+  EXPECT_EQ(text.find("push_int 1\t"), std::string::npos) << text;
+  EXPECT_NE(text.find("push_int 2"), std::string::npos) << text;
+}
+
+TEST(Lowering, ShortCircuitSkipsRhs) {
+  // `false && (1/0 == 0)` must not evaluate the rhs — and folding the
+  // decided lhs must drop the rhs without tripping over its division.
+  expect_parity("print false && (1 / 0 == 0);");
+  expect_parity("print true || (1 / 0 == 0);");
+}
+
+TEST(Lowering, StatementNestingGuardFiresCleanly) {
+  // 1100 nested blocks exceed the statement-nesting ceiling: the lowerer
+  // rejects statically, the tree-walk dynamically — both via LangError.
+  std::string source;
+  for (int i = 0; i < 1100; ++i) source += "{ ";
+  source += "print 1;";
+  for (int i = 0; i < 1100; ++i) source += " }";
+  EXPECT_FALSE(run_mode(source, ExecMode::Vm).ok);
+  EXPECT_FALSE(run_mode(source, ExecMode::Ast).ok);
+}
+
+TEST(Lowering, ExpressionDepthGuardMatchesTreeWalk) {
+  // The parser's recursion ceiling (512) sits below the evaluators' depth
+  // limit (1000), so over-deep expressions are rejected before either
+  // engine runs — with one identical diagnostic from both paths.
+  std::string source = "print ";
+  for (int i = 0; i < 1100; ++i) source += "(";
+  source += "1";
+  for (int i = 0; i < 1100; ++i) source += ")";
+  source += ";";
+  const Outcome vm = run_mode(source, ExecMode::Vm);
+  const Outcome ast = run_mode(source, ExecMode::Ast);
+  ASSERT_FALSE(vm.ok);
+  ASSERT_FALSE(ast.ok);
+  EXPECT_EQ(vm.text, ast.text);
+  EXPECT_NE(vm.text.find("nesting exceeds the maximum depth"),
+            std::string::npos)
+      << vm.text;
+}
+
+// ---- semantic parity corner cases ------------------------------------------
+
+TEST(VmParity, RedeclarationDiagnosticsMatch) {
+  expect_parity("int x = 1; int x = 2;");
+  // A fresh lexical scope per iteration: re-entering a block redeclares
+  // legally, so this must succeed in both engines.
+  expect_parity("int i = 0; while (i < 3) { int x = i; print x; i = i + 1; }");
+  // Shadowing in a foreach body, fresh per element.
+  expect_parity("foreach v in [1, 2, 3] { int d = v * 2; print d; }");
+}
+
+TEST(VmParity, UndeclaredVariableDiagnosticsMatch) {
+  expect_parity("print nope;");
+  expect_parity("nope = 3;");
+  expect_parity("int x = 1; { int y = 2; } print y;");  // y out of scope
+  expect_parity("if (false) { print nope; } print 1;"); // never executes
+}
+
+TEST(VmParity, GlobalsAreTemporal) {
+  // Function bodies see globals through the call-time scope chain: a global
+  // declared after the call site's execution point is invisible, the same
+  // global declared before is visible.
+  expect_parity(
+      "int f() { return g; }\n"
+      "int g = 41;\n"
+      "print f() + 1;");
+  expect_parity(
+      "int f() { return g; }\n"
+      "print f();\n"
+      "int g = 41;");
+}
+
+TEST(VmParity, DuplicateParameterFailsAtCallTime) {
+  const std::string decl = "int f(int a, int a) { return a; }\n";
+  // Never called: no error, the body is dead.
+  expect_parity(decl + "print 5;");
+  // Called: the redeclaration diagnostic fires, in both engines.
+  expect_parity(decl + "print f(1, 2);");
+}
+
+TEST(VmParity, CallDiagnosticsMatch) {
+  expect_parity("print missing_fn(1);");
+  expect_parity("int f(int a) { return a; } print f(1, 2);");
+  expect_parity("int f(int a) { return a; } print f();");
+  // Runaway recursion trips the call-depth cap identically.
+  expect_parity("int f(int n) { return f(n + 1); } print f(0);");
+}
+
+TEST(VmParity, LoopBudgetMatches) {
+  expect_parity("while (true) { }");
+  expect_parity("int i = 0; while (i < 5) { i = i + 1; } print i;");
+}
+
+TEST(VmParity, IndexAssignmentDiagnosticsMatch) {
+  expect_parity("int[] a = [1, 2, 3]; a[1] = 9; print a[1];");
+  expect_parity("int[] a = [1, 2, 3]; a[7] = 9;");
+  expect_parity("int[] a = [1, 2, 3]; a[1] += 9; print a[1];");
+  expect_parity("int x = 1; x[0] = 2;");
+}
+
+TEST(VmParity, QuantumProgramsMatchBitForBit) {
+  // Same Runtime, same RNG draw order: measured results must agree exactly.
+  expect_parity("qubit q = |+>; print q; print q;");
+  expect_parity("quint x = 5q; x += 3; print x;");
+  expect_parity("qustring s = \"101\"; print s;");
+}
+
+// ---- corpus: deep nesting against both engines -----------------------------
+
+TEST(VmCorpus, DeepNestingCorpusReplaysCleanlyInBothModes) {
+  const std::filesystem::path dir = QUTES_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  const char* files[] = {"deep_nested_blocks.qut", "deep_nested_if.qut",
+                         "deep_nested_parens.qut", "deep_not_chain.qut",
+                         "long_flat_sum.qut"};
+  for (const char* name : files) {
+    const std::filesystem::path path = dir / name;
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+    for (const ExecMode mode : {ExecMode::Vm, ExecMode::Ast}) {
+      try {
+        (void)run_mode(source, mode, /*include_stdlib=*/true);
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << name << " escaped with " << e.what();
+      }
+    }
+  }
+}
+
+// ---- artifact: round trip, corruption, truncation --------------------------
+
+TEST(Artifact, SerializeRoundTripIsByteIdentical) {
+  const std::string source =
+      "int f(int a, int b) { return a * b; }\n"
+      "qubit q = |+>;\n"
+      "foreach v in [1, 2, 3] { print f(v, 2); }\n"
+      "print q;";
+  const lang::Bytecode bc = lang::lower_source(source, /*include_stdlib=*/false);
+  EXPECT_EQ(bc.source_hash, lang::fnv1a64(source));
+
+  const std::vector<std::uint8_t> image = bc.serialize();
+  const lang::Bytecode round = lang::Bytecode::deserialize(image.data(), image.size());
+  EXPECT_EQ(round.serialize(), image);
+  EXPECT_EQ(round.source_hash, bc.source_hash);
+  EXPECT_EQ(round.disassemble(), bc.disassemble());
+}
+
+TEST(Artifact, SaveLoadRoundTripAndExecutes) {
+  const std::string source = "int x = 6; print x * 7;";
+  const lang::Bytecode bc = lang::lower_source(source, /*include_stdlib=*/false);
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "qutes_test_artifact.qbc";
+  bc.save(path.string());
+  const lang::Bytecode loaded = lang::Bytecode::load(path.string());
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded.serialize(), bc.serialize());
+
+  lang::Vm vm(loaded);
+  vm.run();
+  EXPECT_EQ(vm.runtime().captured_output(), "42\n");
+}
+
+TEST(Artifact, LoadOfMissingFileIsCleanError) {
+  EXPECT_THROW((void)lang::Bytecode::load("/nonexistent/qutes.qbc"), LangError);
+}
+
+TEST(Artifact, EveryTruncationRejectsCleanly) {
+  const lang::Bytecode bc = lang::lower_source(
+      "int f(int a) { return a + 1; } print f(1);", /*include_stdlib=*/false);
+  const std::vector<std::uint8_t> image = bc.serialize();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    try {
+      (void)lang::Bytecode::deserialize(image.data(), len);
+      ADD_FAILURE() << "truncation to " << len << " bytes was accepted";
+    } catch (const LangError& e) {
+      EXPECT_NE(std::string(e.what()).find("bytecode"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Artifact, MutatedArtifactsNeverCrashTheLoader) {
+  // Loader fuzzing: the artifact is attacker-controlled input for a future
+  // qutesd daemon, so a corrupted image must either still validate (the flip
+  // hit a don't-care byte such as string content) or raise LangError —
+  // never crash, loop, or escape with another exception type.
+  const lang::Bytecode bc = lang::lower_source(
+      "int f(int a, int b) { if (a < b) { return b; } return a; }\n"
+      "int[] xs = [3, 1, 4, 1, 5];\n"
+      "foreach x in xs { print f(x, 3); }",
+      /*include_stdlib=*/false);
+  const std::vector<std::uint8_t> image = bc.serialize();
+  std::mt19937_64 rng(0xbadc0de);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<std::uint8_t> mutant = image;
+    const std::size_t flips = 1 + rng() % 4;
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutant[rng() % mutant.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    try {
+      const lang::Bytecode parsed =
+          lang::Bytecode::deserialize(mutant.data(), mutant.size());
+      // If it validated, it must also be safe to run: the VM's checked
+      // dispatch turns residual nonsense into LangError, not memory
+      // corruption.
+      try {
+        lang::Vm vm(parsed);
+        vm.run();
+      } catch (const LangError&) {
+        // rejected at run time — fine
+      }
+    } catch (const LangError&) {
+      // rejected at load time — fine
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "trial " << trial << " escaped with " << e.what();
+    }
+  }
+}
+
+TEST(Vm, SemanticallyNonsenseStreamsRaiseCleanErrors) {
+  // Hand-built bytecode that validates structurally but underflows the
+  // stack: the dispatch loop must raise LangError, not read garbage.
+  lang::Bytecode bc;
+  bc.strings = {""};
+  bc.types.push_back(lang::QType::scalar(lang::TypeKind::Void));
+  bc.locations.push_back(qutes::SourceLocation{});
+  lang::Chunk main_chunk;
+  main_chunk.code.push_back({lang::Op::Pop, 0, 0, 0, 0});
+  bc.chunks.push_back(std::move(main_chunk));
+  ASSERT_NO_THROW(bc.validate());
+  lang::Vm vm(bc);
+  try {
+    vm.run();
+    ADD_FAILURE() << "stack underflow was not detected";
+  } catch (const LangError& e) {
+    EXPECT_NE(std::string(e.what()).find("stack underflow"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- exec-mode selection ---------------------------------------------------
+
+TEST(ExecMode, EnvironmentVariableSelectsEngine) {
+  // lang.vm_steps only advances when the dispatch loop runs, so it
+  // distinguishes the engines even though their outputs are identical.
+  const bool metrics_were_enabled = qutes::obs::metrics_enabled();
+  qutes::obs::set_metrics_enabled(true);
+  auto& steps =
+      qutes::obs::metrics().counter(qutes::obs::names::kLangVmSteps);
+
+  setenv("QUTES_EXEC_MODE", "ast", 1);
+  const std::uint64_t before_ast = steps.value();
+  (void)run_mode("print 1;", ExecMode::Default);
+  EXPECT_EQ(steps.value(), before_ast) << "ast mode ran the VM";
+
+  setenv("QUTES_EXEC_MODE", "vm", 1);
+  const std::uint64_t before_vm = steps.value();
+  (void)run_mode("print 1;", ExecMode::Default);
+  EXPECT_GT(steps.value(), before_vm) << "vm mode did not run the VM";
+
+  unsetenv("QUTES_EXEC_MODE");
+  const std::uint64_t before_default = steps.value();
+  (void)run_mode("print 1;", ExecMode::Default);
+  EXPECT_GT(steps.value(), before_default) << "default mode is not the VM";
+
+  qutes::obs::set_metrics_enabled(metrics_were_enabled);
+}
+
+TEST(ExecMode, DebugTraceForcesTreeWalk) {
+  // Statement tracing is per AST node; requesting it must select the
+  // tree-walk even when the VM is asked for explicitly.
+  const bool metrics_were_enabled = qutes::obs::metrics_enabled();
+  qutes::obs::set_metrics_enabled(true);
+  auto& steps =
+      qutes::obs::metrics().counter(qutes::obs::names::kLangVmSteps);
+  std::ostringstream trace;
+  qutes::RunConfig config;
+  config.include_stdlib = false;
+  config.exec_mode = ExecMode::Vm;
+  config.debug_trace = &trace;
+  const std::uint64_t before = steps.value();
+  (void)lang::run_source("print 1;", config);
+  EXPECT_EQ(steps.value(), before);
+  EXPECT_FALSE(trace.str().empty());
+  qutes::obs::set_metrics_enabled(metrics_were_enabled);
+}

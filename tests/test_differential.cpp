@@ -16,6 +16,7 @@
 #include "qutes/circuit/pass_manager.hpp"
 #include "qutes/circuit/qasm.hpp"
 #include "qutes/common/rng.hpp"
+#include "qutes/lang/compiler.hpp"
 #include "qutes/sim/statevector.hpp"
 #include "qutes/testing/differential.hpp"
 #include "qutes/testing/generators.hpp"
@@ -341,6 +342,62 @@ TEST(Differential, ReorderCommutingComposesWithEveryPresetPinnedSeeds) {
             << (reorder_first ? " reorder-first: " : " reorder-last: ")
             << cmp.detail;
       }
+    }
+  }
+}
+
+// ---- language-engine differential ------------------------------------------
+
+namespace {
+
+/// One engine's observable result: printed output + the compiled circuit's
+/// QASM on success, or the LangError text (which embeds "line:col:") on
+/// rejection. Two engines are equivalent iff these compare equal.
+struct EngineOutcome {
+  bool ok = false;
+  std::string output;
+  std::string qasm;
+  std::string error;
+};
+
+EngineOutcome run_engine(const std::string& source, qutes::ExecMode mode) {
+  qutes::RunConfig config;
+  config.seed = 11;
+  config.include_stdlib = false;  // generated programs don't call stdlib
+  config.exec_mode = mode;
+  EngineOutcome out;
+  try {
+    const qutes::lang::RunResult result = qutes::lang::run_source(source, config);
+    out.ok = true;
+    out.output = result.output;
+    out.qasm = circ::qasm::export_circuit(result.circuit);
+  } catch (const qutes::LangError& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Differential, VmMatchesTreeWalkOnRandomPrograms) {
+  // The bytecode VM is the default language engine; the tree-walking
+  // interpreter is the reference. Both share lang::Runtime for every
+  // value-level operation, so over hundreds of seeded random programs the
+  // printed output, the compiled circuit (QASM), and every diagnostic —
+  // message text and source location — must be bit-identical.
+  const std::size_t programs = sweep(220, 24);
+  for (std::uint64_t seed = 0; seed < programs; ++seed) {
+    const std::string source = qt::random_qutes_program(seed);
+    const EngineOutcome vm = run_engine(source, qutes::ExecMode::Vm);
+    const EngineOutcome ast = run_engine(source, qutes::ExecMode::Ast);
+    ASSERT_EQ(vm.ok, ast.ok) << "seed=" << seed << "\nvm error: " << vm.error
+                             << "\nast error: " << ast.error << "\nsource:\n"
+                             << source;
+    if (vm.ok) {
+      EXPECT_EQ(vm.output, ast.output) << "seed=" << seed << "\nsource:\n" << source;
+      EXPECT_EQ(vm.qasm, ast.qasm) << "seed=" << seed << "\nsource:\n" << source;
+    } else {
+      EXPECT_EQ(vm.error, ast.error) << "seed=" << seed << "\nsource:\n" << source;
     }
   }
 }

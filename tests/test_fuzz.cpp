@@ -7,17 +7,13 @@
 // compared with the differential comparator, which tolerates global phase
 // and compilation ancillas.
 #include <gtest/gtest.h>
-// This file exercises the deprecated transpile()/route_linear() free
-// functions on purpose (legacy-vs-pipeline equivalence); silence their
-// deprecation warnings locally.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 
 #include <cmath>
 
 #include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/pass_manager.hpp"
 #include "qutes/circuit/qasm.hpp"
-#include "qutes/circuit/routing.hpp"
+#include "qutes/circuit/routing.hpp"  // fuse_single_qubit_gates (not deprecated)
 #include "qutes/circuit/transpiler.hpp"
 #include "qutes/common/rng.hpp"
 #include "qutes/lang/compiler.hpp"
@@ -81,10 +77,11 @@ TEST_P(CircuitFuzz, FusionPreservesState) {
 }
 
 TEST_P(CircuitFuzz, RoutingPreservesState) {
-  // route_linear wants at-most-2-qubit gates, so no CCX/MCX here.
+  // Route wants at-most-2-qubit gates, so no CCX/MCX here.
   const QuantumCircuit c = fuzz_circuit(5, 30, GetParam() + 4000, /*allow_wide=*/false);
-  const RoutingResult routed = route_linear(c);
-  expect_equiv(c, routed.circuit);
+  PassManager router;
+  router.emplace<Route>();
+  expect_equiv(c, router.run(c));
 }
 
 TEST_P(CircuitFuzz, FullPipelinePreservesState) {
@@ -92,8 +89,9 @@ TEST_P(CircuitFuzz, FullPipelinePreservesState) {
   const QuantumCircuit lowered = decompose_to_basis(c);
   const QuantumCircuit fused = fuse_single_qubit_gates(lowered);
   const QuantumCircuit opt = optimize(fused);
-  const RoutingResult routed = route_linear(opt);
-  expect_equiv(c, routed.circuit);
+  PassManager router;
+  router.emplace<Route>();
+  expect_equiv(c, router.run(opt));
 }
 
 TEST_P(CircuitFuzz, NormAlwaysPreserved) {

@@ -5,19 +5,12 @@
 // (no peephole cancellation across classical conditions, measurement clbit
 // remapping under a non-restored routing layout).
 #include <gtest/gtest.h>
-// This file exercises the deprecated transpile()/route_linear() free
-// functions on purpose (legacy-vs-pipeline equivalence); silence their
-// deprecation warnings locally.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 
 #include <algorithm>
 #include <cmath>
 
 #include "qutes/circuit/executor.hpp"
 #include "qutes/circuit/pass_manager.hpp"
-#include "qutes/circuit/routing.hpp"
-#include "qutes/circuit/transpiler.hpp"
 
 namespace {
 
@@ -97,10 +90,15 @@ TEST(PassManager, PresetParsingRoundTrips) {
 }
 
 TEST(PassManager, O1PresetSubsumesLegacyTranspile) {
-  // O1 = legacy transpile() + commutation-aware reordering, so it must stay
-  // equivalent and can only expose more peephole cancellations, never fewer.
+  // O1 = the legacy default transpile() pipeline (multicontrolled lowering +
+  // peephole, spelled as passes here) plus commutation-aware reordering, so
+  // it must stay equivalent and can only expose more peephole cancellations,
+  // never fewer.
   const QuantumCircuit base = mixed_workload();
-  const QuantumCircuit legacy = transpile(base);
+  PassManager legacy_pm;
+  legacy_pm.emplace<DecomposeMulticontrolled>();
+  legacy_pm.emplace<Optimize>();
+  const QuantumCircuit legacy = legacy_pm.run(base);
   const QuantumCircuit preset = make_pipeline(Preset::O1).run(base);
   EXPECT_LE(preset.gate_count(), legacy.gate_count());
   EXPECT_NEAR(circuit_fidelity(preset, legacy), 1.0, 1e-9);

@@ -39,6 +39,7 @@ void usage(std::ostream& out) {
   out << "usage:\n"
       << "  qutes run <file.qut>  [--seed N] [--stats] [--qasm FILE] [--qiskit FILE] [--draw] [--debug-trace] [--replay N]\n"
       << "                        [--pipeline PRESET] [--dump-passes] [--backend NAME] [--max-bond-dim N]\n"
+      << "                        [--exec-mode vm|ast] [--dump-bytecode]\n"
       << "                        [--trace FILE] [--metrics] [--metrics-json FILE]\n"
       << "  qutes eval '<source>' [same flags as run]\n"
       << "  qutes fmt <file.qut>            # print canonically formatted source\n"
@@ -61,7 +62,14 @@ void usage(std::ostream& out) {
       << "                     Chrome-trace JSON (chrome://tracing / Perfetto).\n"
       << "  --metrics          print the metrics report (counters/gauges) to stderr.\n"
       << "  --metrics-json F   write the metrics snapshot as flat JSON.\n"
-      << "  --debug-trace      statement-level language trace to stderr (was --trace).\n";
+      << "  --debug-trace      statement-level language trace to stderr (was --trace).\n"
+      << "                     Implies --exec-mode ast (tracing is per AST node).\n"
+      << "  --exec-mode MODE   language engine: vm (bytecode compiler + dispatch\n"
+      << "                     loop, the default) or ast (tree-walking reference).\n"
+      << "                     Results are bit-identical; the QUTES_EXEC_MODE\n"
+      << "                     environment variable sets the default.\n"
+      << "  --dump-bytecode    print the lowered bytecode listing to stderr\n"
+      << "                     (chunks, opcodes, constant pools) before running.\n";
 }
 
 /// Levenshtein edit distance, for did-you-mean flag suggestions.
@@ -195,7 +203,23 @@ const std::vector<std::string> kSimFlags = {
 const std::vector<std::string> kRunFlags = {
     "--seed", "--stats", "--draw", "--debug-trace", "--dump-passes",
     "--pipeline", "--qasm", "--qiskit", "--replay", "--backend",
-    "--max-bond-dim", "--trace", "--metrics", "--metrics-json"};
+    "--max-bond-dim", "--exec-mode", "--dump-bytecode", "--trace",
+    "--metrics", "--metrics-json"};
+
+/// Validate an --exec-mode argument; false (with a message) on anything
+/// other than the two engine names.
+bool parse_exec_mode_flag(const std::string& value, qutes::ExecMode& mode) {
+  if (value == "vm") {
+    mode = qutes::ExecMode::Vm;
+    return true;
+  }
+  if (value == "ast") {
+    mode = qutes::ExecMode::Ast;
+    return true;
+  }
+  std::cerr << "unknown exec mode '" << value << "' (expected vm or ast)\n";
+  return false;
+}
 
 }  // namespace
 
@@ -303,6 +327,7 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool draw = false;
   bool dump_passes = false;
+  bool dump_bytecode = false;
   std::optional<qutes::circ::Preset> preset;
   std::string qasm_path;
   std::string qiskit_path;
@@ -338,6 +363,12 @@ int main(int argc, char** argv) {
         std::cerr << "--max-bond-dim must be >= 1\n";
         return 2;
       }
+    } else if (arg == "--exec-mode" && i + 1 < argc) {
+      if (!parse_exec_mode_flag(argv[++i], config.exec_mode)) return 2;
+    } else if (arg.rfind("--exec-mode=", 0) == 0) {
+      if (!parse_exec_mode_flag(arg.substr(12), config.exec_mode)) return 2;
+    } else if (arg == "--dump-bytecode") {
+      dump_bytecode = true;
     } else if (parse_obs_flag(argc, argv, i, config.obs)) {
       // handled
     } else {
@@ -353,6 +384,21 @@ int main(int argc, char** argv) {
     if (preset) {
       pipeline = qutes::circ::make_pipeline(*preset);
       config.pipeline.manager = &pipeline;
+    }
+    if (dump_bytecode) {
+      std::string source = target;
+      if (mode == "run") {
+        std::ifstream file(target);
+        if (!file) {
+          std::cerr << "cannot open " << target << "\n";
+          return 1;
+        }
+        std::ostringstream buffer;
+        buffer << file.rdbuf();
+        source = buffer.str();
+      }
+      std::cerr << qutes::lang::lower_source(source, config.include_stdlib)
+                       .disassemble();
     }
     const qutes::lang::RunResult result =
         mode == "run" ? qutes::lang::run_file(target, config)
