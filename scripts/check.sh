@@ -72,6 +72,15 @@ echo "check.sh: language suites passed under QUTES_EXEC_MODE=ast (tree-walk refe
 QUTES_MPS_QUICK="$QUICK" "$BUILD_DIR"/bench/bench_mps --benchmark_filter='^$' >/dev/null
 echo "check.sh: MPS backend smoke sweep completed."
 
+# Stabilizer backend smoke sweep: drives the tableau column updates, the
+# rank-update measurement path, and the dense-vs-stabilizer crossover under
+# this build's instrumentation (the bit-packed word ops are exactly where
+# ASan/UBSan would catch an out-of-bounds word index the tests' widths
+# might miss). Always quick here; run_experiments.sh --stabilizer does the
+# full-width sweep.
+QUTES_STAB_QUICK=1 "$BUILD_DIR"/bench/bench_stabilizer --benchmark_filter='^$' >/dev/null
+echo "check.sh: stabilizer backend smoke sweep completed."
+
 # Observability smoke: a traced GHZ run through the CLI must produce a
 # well-formed Chrome trace (per-thread span nesting) with spans from every
 # layer, and a metrics snapshot whose schema/invariants hold.

@@ -7,20 +7,45 @@
 # Pass --sanitizers to also run the quick differential smoke suite under
 # ASan and UBSan (scripts/check.sh --asan/--ubsan --quick); the verdicts
 # land in sanitizer_output.txt and are echoed in the final report.
+#
+# Pass --stabilizer to regenerate only the E15 stabilizer-backend tables
+# (bench_stabilizer -> BENCH_stab.json) without rerunning the full suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_SANITIZERS=0
+STABILIZER_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --sanitizers) RUN_SANITIZERS=1 ;;
-    *) echo "usage: $0 [--sanitizers]" >&2; exit 2 ;;
+    --stabilizer) STABILIZER_ONLY=1 ;;
+    *) echo "usage: $0 [--sanitizers] [--stabilizer]" >&2; exit 2 ;;
   esac
 done
 
 cmake -B build -G Ninja
 cmake --build build
+
+collect_stab_json() {
+  # Collect the BENCH_JSON_STAB lines (one object per Clifford workload x
+  # width, plus the dense-vs-stabilizer crossover rows, emitted by
+  # bench_stabilizer) into a single JSON array.
+  {
+    echo '['
+    { grep -h '^BENCH_JSON_STAB ' "$1" || true; } | sed 's/^BENCH_JSON_STAB //' | paste -sd, -
+    echo ']'
+  } > BENCH_stab.json
+  echo "Stabilizer backend results recorded in BENCH_stab.json:"
+  grep -o '"workload":"[a-z_]*","qubits":[0-9]*' BENCH_stab.json | sort -u | paste - - - - || true
+}
+
+if [[ "$STABILIZER_ONLY" == 1 ]]; then
+  build/bench/bench_stabilizer 2>&1 | tee bench_stab_output.txt
+  collect_stab_json bench_stab_output.txt
+  echo "Done. See bench_stab_output.txt and BENCH_stab.json."
+  exit 0
+fi
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
@@ -62,9 +87,12 @@ grep -o '"workload":"[a-z0-9]*","qubits":[0-9]*,"preset":"[a-z01A-Z]*"' BENCH_tr
 echo "MPS backend results recorded in BENCH_mps.json:"
 grep -o '"workload":"[a-z]*","qubits":[0-9]*' BENCH_mps.json | sort -u | paste - - - - || true
 
+collect_stab_json bench_output.txt
+
 # Collect the BENCH_JSON_OBS lines (one metric-registry snapshot per
-# executor workload, emitted by bench_simulator and bench_mps with metrics
-# enabled; same names as the CLI's --metrics-json) into a single JSON array.
+# executor workload, emitted by bench_simulator, bench_mps, and
+# bench_stabilizer with metrics enabled; same names as the CLI's
+# --metrics-json) into a single JSON array.
 {
   echo '['
   { grep -h '^BENCH_JSON_OBS ' bench_output.txt || true; } | sed 's/^BENCH_JSON_OBS //' | paste -sd, -
@@ -99,7 +127,7 @@ if [[ "$RUN_SANITIZERS" == 1 ]]; then
 fi
 
 echo
-echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, BENCH_mps.json, BENCH_obs.json, and BENCH_lang.json."
+echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, BENCH_mps.json, BENCH_stab.json, BENCH_obs.json, and BENCH_lang.json."
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   echo "Sanitizer verdicts:"
   grep '^SANITIZER ' sanitizer_output.txt

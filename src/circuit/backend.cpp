@@ -143,6 +143,61 @@ void apply_instruction_mps(sim::Mps& mps, const Instruction& in,
   }
 }
 
+/// The stabilizer gate set: every Clifford-group generator the tableau
+/// implements directly. This doubles as the BackendCapabilities allowlist
+/// and the `--backend auto` dispatch predicate.
+constexpr const char* kCliffordGateNames[] = {"h",  "s",  "sdg", "x", "y",
+                                              "z",  "cx", "cz",  "swap"};
+
+bool is_clifford_gate(GateType type) noexcept {
+  switch (type) {
+    case GateType::H: case GateType::S: case GateType::Sdg: case GateType::X:
+    case GateType::Y: case GateType::Z: case GateType::CX: case GateType::CZ:
+    case GateType::SWAP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Apply one instruction to a stabilizer tableau (measure writes into
+/// `clbits`, one byte per classical bit — the tableau runs at widths far
+/// past what a packed uint64 register could hold). The tableau analog of
+/// apply_instruction(StateVector&, ...); non-Clifford gates cannot reach it
+/// (the executor rejects them by name first) but throw defensively anyway.
+void apply_instruction_stab(sim::Stabilizer& tab, const Instruction& in,
+                            std::vector<std::uint8_t>& clbits, Rng& rng) {
+  switch (in.type) {
+    case GateType::H: tab.apply_h(in.qubits[0]); break;
+    case GateType::S: tab.apply_s(in.qubits[0]); break;
+    case GateType::Sdg: tab.apply_sdg(in.qubits[0]); break;
+    case GateType::X: tab.apply_x(in.qubits[0]); break;
+    case GateType::Y: tab.apply_y(in.qubits[0]); break;
+    case GateType::Z: tab.apply_z(in.qubits[0]); break;
+    case GateType::CX: tab.apply_cx(in.qubits[0], in.qubits[1]); break;
+    case GateType::CZ: tab.apply_cz(in.qubits[0], in.qubits[1]); break;
+    case GateType::SWAP: tab.apply_swap(in.qubits[0], in.qubits[1]); break;
+    case GateType::Measure:
+      for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+        clbits[in.clbits[i]] =
+            static_cast<std::uint8_t>(tab.measure(in.qubits[i], rng));
+      }
+      break;
+    case GateType::Reset:
+      tab.reset_qubit(in.qubits[0], rng);
+      break;
+    case GateType::Barrier:
+      break;
+    case GateType::GlobalPhase:
+      break;  // a tableau is phase-free; counts and Paulis are unaffected
+    default:
+      throw CircuitError(std::string("stabilizer backend: non-Clifford gate ") +
+                         gate_name(in.type) +
+                         " reached the dispatcher (executor capability check "
+                         "missed it)");
+  }
+}
+
 /// Bitstring for the classical register given a sampled basis state and the
 /// measure wiring (wire[c] = qubit feeding clbit c, if any). MSB-first,
 /// matching sim::Counts keys.
@@ -686,6 +741,215 @@ public:
   }
 };
 
+// ---- stabilizer -------------------------------------------------------------
+
+/// Phase-tableau (Aaronson–Gottesman) simulation: polynomial in the qubit
+/// count, Clifford gates only (published via capabilities().supported_gates,
+/// so the executor rejects anything else by name and fusion is clamped to
+/// width 1 — no dense blocks ever reach the tableau). Static circuits evolve
+/// the unitary prefix once, then every shot copies the evolved tableau and
+/// measures it; dynamic circuits run one tableau trajectory per shot. Both
+/// shot loops draw from Rng(seed, shot) streams, so counts are bit-identical
+/// at any thread count.
+class StabilizerBackend final : public Backend {
+public:
+  std::string name() const override { return "stabilizer"; }
+
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps;
+    caps.max_fused_qubits = 1;  // a tableau cannot replay dense matrices
+    caps.supports_noise = false;
+    caps.max_qubits = 0;  // polynomial scaling: no backend-specific ceiling
+    caps.supported_gates.assign(std::begin(kCliffordGateNames),
+                                std::end(kCliffordGateNames));
+    return caps;
+  }
+
+  void execute(const QuantumCircuit& circ, const RunConfig& config,
+               ExecutionResult& result) const override {
+    static obs::Counter& gates_metric =
+        obs::metrics().counter(obs::names::kStabGatesApplied);
+    static obs::Counter& measurements_metric =
+        obs::metrics().counter(obs::names::kStabMeasurements);
+    static obs::Counter& random_metric =
+        obs::metrics().counter(obs::names::kStabRandomOutcomes);
+    static obs::Gauge& peak_bytes =
+        obs::metrics().gauge(obs::names::kStabPeakBytes);
+
+    // Fusion is capability-clamped to width 1, so the plan is always
+    // gate-at-a-time; run it anyway so fusion stats land in the result the
+    // same way they do for every other backend.
+    const FusionPlan plan =
+        plan_fusion(circ, config, capabilities(), /*pin_noise=*/false);
+    record_fusion_stats(result, plan);
+    const auto& instrs = circ.instructions();
+
+    const auto shots = static_cast<std::int64_t>(config.shots);
+    if (config.record_memory) result.memory.assign(config.shots, {});
+
+    const auto key_of = [&](const std::vector<std::uint8_t>& clbits) {
+      std::string key(circ.num_clbits(), '0');
+      for (std::size_t c = 0; c < clbits.size(); ++c) {
+        if (clbits[c]) key[circ.num_clbits() - 1 - c] = '1';
+      }
+      return key;
+    };
+
+    const auto run_instruction = [&](sim::Stabilizer& tab, const Instruction& in,
+                                     std::vector<std::uint8_t>& clbits,
+                                     Rng& rng, std::size_t& applied) {
+      if (in.condition && static_cast<int>(clbits[in.condition->clbit]) !=
+                              in.condition->value) {
+        return;
+      }
+      apply_instruction_stab(tab, in, clbits, rng);
+      if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
+        ++applied;
+      }
+    };
+
+    if (Executor::is_static(circ)) {
+      // Evolve the unitary prefix once (a static circuit's measurements only
+      // record wiring), then each shot copies the evolved tableau and
+      // performs its measurements with its own Rng(seed, shot) stream — a
+      // copy is O(n^2 / 64) bytes, far cheaper than replaying the gates.
+      sim::Stabilizer evolved(circ.num_qubits());
+      std::vector<std::pair<std::size_t, std::size_t>> wire;  // (qubit, clbit)
+      {
+        obs::Span span("stab.evolve");
+        Rng rng(config.seed);
+        std::vector<std::uint8_t> scratch(circ.num_clbits(), 0);
+        std::size_t applied = 0;
+        for (const FusedOp& op : plan.ops) {
+          if (op.fused) {
+            throw CircuitError(
+                "stabilizer backend received a fused dense block (fusion "
+                "should be capability-clamped to width 1)");
+          }
+          const Instruction& in = instrs[op.instruction];
+          if (in.type == GateType::Measure) {
+            for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+              wire.emplace_back(in.qubits[i], in.clbits[i]);
+            }
+            continue;
+          }
+          run_instruction(evolved, in, scratch, rng, applied);
+        }
+        gates_metric.add(applied);
+      }
+      peak_bytes.set_max(static_cast<double>(evolved.memory_bytes()));
+
+      obs::Span sample_span("stab.sample");
+      std::atomic<bool> failed{false};
+      std::exception_ptr error;
+      std::size_t total_measurements = 0, total_random = 0;
+#pragma omp parallel if (config.backend.parallel_shots && shots > 1)
+      {
+        sim::Counts local;
+        std::size_t local_measurements = 0, local_random = 0;
+#pragma omp for schedule(static)
+        for (std::int64_t s = 0; s < shots; ++s) {
+          if (failed.load(std::memory_order_relaxed)) continue;
+          try {
+            Rng rng(config.seed, static_cast<std::uint64_t>(s));
+            sim::Stabilizer tab = evolved;
+            std::vector<std::uint8_t> clbits(circ.num_clbits(), 0);
+            for (const auto& [qubit, clbit] : wire) {
+              clbits[clbit] = static_cast<std::uint8_t>(tab.measure(qubit, rng));
+            }
+            const std::string key = key_of(clbits);
+            ++local[key];
+            local_measurements += tab.measurements();
+            local_random += tab.random_outcomes();
+            if (config.record_memory) {
+              result.memory[static_cast<std::size_t>(s)] = key;
+            }
+          } catch (...) {
+            if (!failed.exchange(true)) {
+#pragma omp critical(qutes_stab_error)
+              error = std::current_exception();
+            }
+          }
+        }
+#pragma omp critical(qutes_stab_merge)
+        {
+          for (const auto& [key, n] : local) result.counts[key] += n;
+          total_measurements += local_measurements;
+          total_random += local_random;
+        }
+      }
+      if (error) std::rethrow_exception(error);
+      measurements_metric.add(total_measurements);
+      random_metric.add(total_random);
+
+      result.trajectories = 1;
+      result.fast_path = true;
+      return;
+    }
+
+    // Dynamic path (mid-circuit measurement feeding gates, reset, c_if): one
+    // tableau trajectory per shot, same counter-derived RNG discipline as
+    // the statevector backend.
+    obs::Span shots_span("stab.shots");
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::size_t total_measurements = 0, total_random = 0;
+#pragma omp parallel if (config.backend.parallel_shots && shots > 1)
+    {
+      sim::Counts local;
+      std::size_t local_applied = 0;
+      std::size_t local_measurements = 0, local_random = 0;
+#pragma omp for schedule(static)
+      for (std::int64_t s = 0; s < shots; ++s) {
+        if (failed.load(std::memory_order_relaxed)) continue;
+        try {
+          obs::Span span("stab.shot");
+          Rng rng(config.seed, static_cast<std::uint64_t>(s));
+          sim::Stabilizer tab(circ.num_qubits());
+          std::vector<std::uint8_t> clbits(circ.num_clbits(), 0);
+          for (const FusedOp& op : plan.ops) {
+            if (op.fused) {
+              throw CircuitError(
+                  "stabilizer backend received a fused dense block (fusion "
+                  "should be capability-clamped to width 1)");
+            }
+            run_instruction(tab, instrs[op.instruction], clbits, rng,
+                            local_applied);
+          }
+          const std::string key = key_of(clbits);
+          ++local[key];
+          local_measurements += tab.measurements();
+          local_random += tab.random_outcomes();
+          if (s == 0) {
+            peak_bytes.set_max(static_cast<double>(tab.memory_bytes()));
+          }
+          if (config.record_memory) {
+            result.memory[static_cast<std::size_t>(s)] = key;
+          }
+        } catch (...) {
+          if (!failed.exchange(true)) {
+#pragma omp critical(qutes_stab_error)
+            error = std::current_exception();
+          }
+        }
+      }
+#pragma omp critical(qutes_stab_merge)
+      {
+        for (const auto& [key, n] : local) result.counts[key] += n;
+        gates_metric.add(local_applied);
+        total_measurements += local_measurements;
+        total_random += local_random;
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    measurements_metric.add(total_measurements);
+    random_metric.add(total_random);
+
+    result.trajectories = config.shots;
+    result.fast_path = false;
+  }
+};
+
 // ---- registry ---------------------------------------------------------------
 
 std::map<std::string, BackendFactory>& registry() {
@@ -696,6 +960,8 @@ std::map<std::string, BackendFactory>& registry() {
        +[]() -> std::unique_ptr<Backend> { return std::make_unique<DensityBackend>(); }},
       {"mps",
        +[]() -> std::unique_ptr<Backend> { return std::make_unique<MpsBackend>(); }},
+      {"stabilizer",
+       +[]() -> std::unique_ptr<Backend> { return std::make_unique<StabilizerBackend>(); }},
   };
   return backends;
 }
@@ -757,6 +1023,54 @@ sim::Mps evolve_mps(const QuantumCircuit& circuit, sim::MpsOptions options) {
   }
   if (circ.global_phase() != 0.0) mps.apply_global_phase(circ.global_phase());
   return mps;
+}
+
+sim::Stabilizer evolve_stabilizer(const QuantumCircuit& circuit) {
+  sim::Stabilizer tab(circuit.num_qubits());
+  Rng rng(0);
+  std::vector<std::uint8_t> scratch;
+  for (const Instruction& in : circuit.instructions()) {
+    if (in.condition || in.type == GateType::Measure ||
+        in.type == GateType::Reset) {
+      throw CircuitError(
+          "evolve_stabilizer: circuit has measurement/reset/conditions; use "
+          "the executor's stabilizer backend instead");
+    }
+    if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase &&
+        !is_clifford_gate(in.type)) {
+      throw CircuitError("evolve_stabilizer: non-Clifford gate " +
+                         std::string(gate_name(in.type)));
+    }
+    apply_instruction_stab(tab, in, scratch, rng);
+  }
+  // Global phase is unobservable on a tableau; nothing to record.
+  return tab;
+}
+
+bool is_clifford_circuit(const QuantumCircuit& circuit) {
+  for (const Instruction& in : circuit.instructions()) {
+    if (!is_unitary_gate(in.type) || in.type == GateType::GlobalPhase) {
+      continue;  // measure/reset/barrier/phase are tableau-representable
+    }
+    if (!is_clifford_gate(in.type)) return false;
+  }
+  return true;
+}
+
+std::string resolve_backend_name(const std::string& name,
+                                 const QuantumCircuit& circuit,
+                                 const RunConfig& config) {
+  if (name != "auto") return name;
+  static obs::Counter& auto_stab =
+      obs::metrics().counter(obs::names::kAutoStabilizer);
+  static obs::Counter& auto_sv =
+      obs::metrics().counter(obs::names::kAutoStatevector);
+  if (!config.backend.noise.enabled() && is_clifford_circuit(circuit)) {
+    auto_stab.add(1);
+    return "stabilizer";
+  }
+  auto_sv.add(1);
+  return "statevector";
 }
 
 }  // namespace qutes::circ

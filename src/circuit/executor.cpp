@@ -1,5 +1,6 @@
 #include "qutes/circuit/executor.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "qutes/circuit/backend.hpp"
@@ -145,9 +146,7 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
 
   config_.validate();
   if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
-  const std::unique_ptr<Backend> backend = make_backend(config_.backend.name);
   ExecutionResult result;
-  result.backend = backend->name();
 
   // Stage 1: the caller's compilation pipeline (lowering, optimization,
   // routing, ...) runs over the circuit first; we execute its output.
@@ -161,6 +160,13 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
   }
   const QuantumCircuit& circ = *target;
 
+  // Backend resolution happens after the pipeline so "--backend auto" can
+  // inspect the prepared circuit (lowering may introduce — or eliminate —
+  // non-Clifford gates).
+  const std::unique_ptr<Backend> backend =
+      make_backend(resolve_backend_name(config_.backend.name, circ, config_));
+  result.backend = backend->name();
+
   // Stage 2: capability checks, on the prepared circuit (the pipeline may
   // have added ancilla wires). The backend publishes what it can run; the
   // executor enforces it here so every method fails the same way.
@@ -170,9 +176,13 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
                           " qubits but the " + backend->name() +
                           " backend supports at most " +
                           std::to_string(caps.max_qubits);
-    if (config_.backend.name != "mps") {
+    if (backend->name() != "mps") {
       message += "; the mps backend scales with entanglement instead of qubit "
                  "count — try --backend mps";
+      if (!config_.backend.noise.enabled() && is_clifford_circuit(circ)) {
+        message += ", or, since this circuit is all-Clifford, the stabilizer "
+                   "backend runs it at any width — try --backend stabilizer";
+      }
     }
     throw CircuitError(message);
   }
@@ -186,6 +196,26 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
     throw CircuitError("the " + backend->name() +
                        " backend only runs static circuits (no reset, no "
                        "conditions, no mid-circuit measurement feeding gates)");
+  }
+  if (!caps.supported_gates.empty()) {
+    for (const Instruction& in : circ.instructions()) {
+      if (!is_unitary_gate(in.type) || in.type == GateType::GlobalPhase) {
+        continue;  // structural instructions are governed by supports_dynamic
+      }
+      const std::string mnemonic = gate_name(in.type);
+      if (std::find(caps.supported_gates.begin(), caps.supported_gates.end(),
+                    mnemonic) == caps.supported_gates.end()) {
+        std::string supported;
+        for (const std::string& g : caps.supported_gates) {
+          if (!supported.empty()) supported += ", ";
+          supported += g;
+        }
+        throw CircuitError(
+            "the " + backend->name() + " backend does not implement gate " +
+            mnemonic + " (supported gates: " + supported +
+            "); transpile to the Clifford set or pick --backend statevector");
+      }
+    }
   }
 
   // Stage 3: the backend evolves the state and samples. Fusion planning

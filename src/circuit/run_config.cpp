@@ -10,14 +10,17 @@ namespace qutes {
 // through here so "unknown backend" / "max_bond_dim" fail identically from
 // every entry point.
 void RunConfig::validate() const {
-  if (!circ::backend_known(backend.name)) {
+  // "auto" is not a registry entry: the executor resolves it against the
+  // prepared circuit (stabilizer when all-Clifford and noiseless, statevector
+  // otherwise) after the pipeline runs.
+  if (backend.name != "auto" && !circ::backend_known(backend.name)) {
     std::string known;
     for (const std::string& n : circ::backend_names()) {
       if (!known.empty()) known += ", ";
       known += n;
     }
     throw CircuitError("unknown backend \"" + backend.name +
-                       "\"; known backends: " + known);
+                       "\"; known backends: " + known + ", auto");
   }
   if (backend.max_bond_dim == 0) {
     throw CircuitError("RunConfig::backend.max_bond_dim must be >= 1 (an MPS "

@@ -4,7 +4,7 @@
 // validation) and delegates the actual state evolution + sampling to a
 // Backend resolved by name from a registry — the same split Qiskit Aer makes
 // between `AerSimulator` and its `method=` strings, which is where the paper
-// sends every circuit. Three methods ship built in:
+// sends every circuit. Four methods ship built in:
 //
 //   "statevector"  dense 2^n amplitudes; exact, fast path + per-shot
 //                  trajectories, trajectory (Monte-Carlo) noise; ~30 qubits.
@@ -13,6 +13,15 @@
 //   "mps"          matrix-product state; memory scales with entanglement,
 //                  not qubit count, so low-entanglement circuits run at
 //                  40-64+ qubits (cf. Aer's `matrix_product_state`).
+//   "stabilizer"   Aaronson–Gottesman phase tableau; Clifford gates only
+//                  (H, S, Sdg, X, Y, Z, CX, CZ, SWAP) but polynomial in the
+//                  qubit count, so GHZ/teleportation/error-correction
+//                  workloads run at thousands of qubits (cf. Aer's
+//                  `stabilizer` method and Stim).
+//
+// `RunConfig::backend.name` may also be "auto": the executor then picks the
+// stabilizer method when the prepared circuit is all-Clifford and noiseless,
+// and the statevector method otherwise (resolve_backend_name).
 //
 // Each backend publishes BackendCapabilities, which the executor-side fusion
 // planning respects instead of hard-coding per-backend rules: the MPS, for
@@ -26,6 +35,7 @@
 
 #include "qutes/circuit/executor.hpp"
 #include "qutes/sim/mps.hpp"
+#include "qutes/sim/stabilizer.hpp"
 
 namespace qutes::circ {
 
@@ -44,6 +54,14 @@ struct BackendCapabilities {
   /// `hardware` pipeline preset (linear-topology routing) to feed it that
   /// layout.
   bool prefers_linear_layout = false;
+  /// Gate mnemonics (gate_name() spellings) the backend implements; empty =
+  /// the full gate set. When non-empty the executor rejects every other
+  /// unitary gate by name before execution — the stabilizer backend lists
+  /// only the Clifford generators here, so neither validation nor
+  /// capability-clamped fusion needs a per-backend special case. Structural
+  /// instructions (measure/reset/barrier/global phase) are governed by
+  /// supports_dynamic, not this list.
+  std::vector<std::string> supported_gates;
 };
 
 /// One simulation method. Stateless across runs: `execute` gets the prepared
@@ -89,5 +107,24 @@ void register_backend(const std::string& name, BackendFactory factory);
 /// reference.
 [[nodiscard]] sim::Mps evolve_mps(const QuantumCircuit& circuit,
                                   sim::MpsOptions options = {});
+
+/// Evolve `circuit` (Clifford unitaries + barriers + global phase only —
+/// throws CircuitError on measure/reset/conditions or non-Clifford gates) on
+/// a fresh stabilizer tableau. Exposed for the differential harness, which
+/// extracts the dense state at small n and diffs it against the reference.
+[[nodiscard]] sim::Stabilizer evolve_stabilizer(const QuantumCircuit& circuit);
+
+/// True when every instruction is representable on the stabilizer tableau:
+/// unitary gates from {h, s, sdg, x, y, z, cx, cz, swap} plus structural
+/// instructions (measure/reset/barrier/global phase, with or without
+/// conditions). This is the `--backend auto` dispatch predicate.
+[[nodiscard]] bool is_clifford_circuit(const QuantumCircuit& circuit);
+
+/// Resolve the "auto" backend name against a prepared circuit: "stabilizer"
+/// for noiseless all-Clifford circuits, "statevector" otherwise. Names other
+/// than "auto" pass through unchanged.
+[[nodiscard]] std::string resolve_backend_name(const std::string& name,
+                                               const QuantumCircuit& circuit,
+                                               const RunConfig& config);
 
 }  // namespace qutes::circ

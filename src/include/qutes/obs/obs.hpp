@@ -217,7 +217,7 @@ bool write_metrics_json(const std::string& path);
 //
 // Every name the built-in stack emits, one place (mirrored in DESIGN.md §11
 // and in the BENCH_JSON_OBS rows). Layer prefixes: lang.*, pipeline.*,
-// executor.*, fusion.*, sv.*, density.*, mps.*, backend.*.
+// executor.*, fusion.*, sv.*, density.*, mps.*, stab.*, backend.*.
 namespace names {
 // language front end
 inline constexpr const char* kLangTokens = "lang.tokens";               // counter
@@ -235,6 +235,8 @@ inline constexpr const char* kExecutorRuns = "executor.runs";           // count
 inline constexpr const char* kExecutorShots = "executor.shots";         // counter
 inline constexpr const char* kTrajectories = "executor.trajectories";   // counter
 inline constexpr const char* kShotsPerSec = "executor.shots_per_sec";   // gauge (latest run)
+inline constexpr const char* kAutoStabilizer = "executor.auto_stabilizer";   // counter (--backend auto -> stabilizer)
+inline constexpr const char* kAutoStatevector = "executor.auto_statevector"; // counter (--backend auto -> statevector)
 // runtime gate fusion
 inline constexpr const char* kFusedBlocks = "fusion.blocks";            // counter
 inline constexpr const char* kFusedGates = "fusion.gates_fused";        // counter
@@ -259,6 +261,11 @@ inline constexpr const char* kMpsGatesApplied = "mps.gates_applied";    // count
 inline constexpr const char* kMpsSvdTruncations = "mps.svd_truncations";// counter (lossy SVD splits)
 inline constexpr const char* kMpsMaxBondDim = "mps.max_bond_dim";       // gauge (high-water)
 inline constexpr const char* kMpsTruncationError = "mps.truncation_error"; // gauge (high-water)
+// stabilizer backend
+inline constexpr const char* kStabGatesApplied = "stab.gates_applied";  // counter
+inline constexpr const char* kStabMeasurements = "stab.measurements";   // counter (resets included)
+inline constexpr const char* kStabRandomOutcomes = "stab.random_outcomes"; // counter (rank-update branch)
+inline constexpr const char* kStabPeakBytes = "stab.peak_bytes";        // gauge (one tableau, high-water)
 }  // namespace names
 
 }  // namespace qutes::obs

@@ -67,9 +67,12 @@ struct PipelineConfig {
 struct BackendConfig {
   /// Backend name, looked up in the registry (circ/backend.hpp):
   /// "statevector" (dense, exact, ~30-qubit wall), "density" (exact mixed
-  /// states, ~13 qubits), or "mps" (tensor network; scales with
-  /// entanglement, not qubit count). Unknown names fail validate() with a
-  /// CircuitError listing the registry. Was the flat `backend` string.
+  /// states, ~13 qubits), "mps" (tensor network; scales with entanglement,
+  /// not qubit count), or "stabilizer" (Clifford-only phase tableau;
+  /// thousands of qubits). "auto" defers the choice to the executor, which
+  /// picks stabilizer for noiseless all-Clifford circuits and statevector
+  /// otherwise. Unknown names fail validate() with a CircuitError listing
+  /// the registry. Was the flat `backend` string.
   std::string name = "statevector";
   /// Widest runtime-fused block; 1 disables gate fusion (gate-at-a-time
   /// execution). Clamped to sim::MatrixN::kMaxQubits and to the backend's

@@ -83,11 +83,14 @@ enum class Backend {
   PresetHardware,  ///< make_pipeline(Preset::Hardware) then statevector
   QasmRoundTrip,   ///< export -> import -> statevector
   Mps,             ///< circ::evolve_mps (truncation disabled) -> to_statevector
+  Stabilizer,      ///< circ::evolve_stabilizer -> to_statevector (Clifford only)
 };
 
 [[nodiscard]] const char* backend_name(Backend backend) noexcept;
 
-/// All nine backends, in declaration order.
+/// The nine backends every random circuit is diffed through, in declaration
+/// order. The Stabilizer lane is NOT in this set — it only runs Clifford
+/// circuits, so sweeps opt into it via DiffOptions::backends.
 [[nodiscard]] std::span<const Backend> all_backends() noexcept;
 
 /// Final statevector of a unitary-only circuit through one backend. The

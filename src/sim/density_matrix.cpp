@@ -35,7 +35,8 @@ DensityMatrix::DensityMatrix(std::size_t num_qubits)
         "density matrix over " + std::to_string(num_qubits) + " qubits needs 4^" +
         std::to_string(num_qubits) + " entries (limit " +
         std::to_string(kMaxQubits) + "); for noiseless circuits the mps "
-        "backend scales with entanglement instead — try --backend mps");
+        "backend scales with entanglement instead — try --backend mps — and "
+        "Clifford-only circuits run at any width on --backend stabilizer");
   }
   try {
     rho_.assign(dim_ * dim_, cplx{});

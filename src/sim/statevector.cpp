@@ -49,7 +49,8 @@ StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
         "statevector over " + std::to_string(num_qubits) + " qubits needs 2^" +
         std::to_string(num_qubits) + " dense amplitudes (limit " +
         std::to_string(kMaxQubits) + "); the mps backend scales with "
-        "entanglement instead — try --backend mps");
+        "entanglement instead — try --backend mps — and Clifford-only "
+        "circuits run at any width on --backend stabilizer");
   }
   try {
     amps_.assign(dim_of(num_qubits), cplx{});
@@ -92,7 +93,8 @@ void StateVector::add_qubits(std::size_t count) {
   if (count == 0) return;
   if (num_qubits_ + count > kMaxQubits) {
     throw SimulationError("register growth past " + std::to_string(kMaxQubits) +
-                          " qubits; try --backend mps");
+                          " qubits; try --backend mps (or --backend "
+                          "stabilizer for Clifford-only circuits)");
   }
   // New qubits sit at the high end in |0>, so the existing amplitudes keep
   // their indices and the tail is zero.

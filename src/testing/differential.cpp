@@ -243,6 +243,7 @@ const char* backend_name(Backend backend) noexcept {
     case Backend::PresetHardware: return "preset-hardware";
     case Backend::QasmRoundTrip: return "qasm-roundtrip";
     case Backend::Mps: return "mps";
+    case Backend::Stabilizer: return "stabilizer";
   }
   return "unknown";
 }
@@ -268,6 +269,11 @@ std::vector<cplx> backend_statevector(const QuantumCircuit& circuit,
       // Exact regime: default MpsOptions disable truncation (unlimited bond,
       // zero threshold), so any divergence is a semantics bug, not loss.
       return circ::evolve_mps(circuit).to_statevector();
+    case Backend::Stabilizer:
+      // Clifford-only; evolve_stabilizer throws on anything else, which the
+      // harness reports as a failure — sweeps feed this lane
+      // random_clifford_circuit output.
+      return circ::evolve_stabilizer(circuit).to_statevector();
     case Backend::DensityMatrix:
       throw CircuitError(
           "backend_statevector: the density-matrix backend has no statevector; "
@@ -529,6 +535,39 @@ DiffReport diff_dynamic_backends(const QuantumCircuit& circuit, std::uint64_t se
         fail("mps-parallel-vs-serial", 1.0,
              "mps counts depend on the shot-loop threading: " +
                  first_diff(mps_counts, mps_serial));
+      }
+    }
+
+    // The stabilizer backend samples the same distribution from a phase
+    // tableau. Its measurement collapse consumes RNG differently from the
+    // dense path, so the cross-backend check is distribution-level (TVD);
+    // threading-independence is still bit-identical. Only all-Clifford
+    // noiseless circuits qualify — exactly the `--backend auto` predicate.
+    if (!exec.backend.noise.enabled() && circ::is_clifford_circuit(circuit)) {
+      ++report.comparisons;
+      qutes::RunConfig stab_options = exec;
+      stab_options.backend.name = "stabilizer";
+      const sim::Counts stab_counts =
+          circ::Executor(stab_options).run(circuit).counts;
+      const double stab_tvd = total_variation_distance(
+          reference, counts_to_distribution(stab_counts));
+      if (stab_tvd > options.tvd_tol) {
+        std::ostringstream os;
+        os << "stabilizer sampled counts diverge from the exact reference "
+              "distribution: TVD=" << stab_tvd << " over " << options.shots
+           << " shots";
+        fail("stabilizer-vs-reference", stab_tvd, os.str());
+      }
+
+      ++report.comparisons;
+      qutes::RunConfig stab_serial = stab_options;
+      stab_serial.backend.parallel_shots = false;
+      const sim::Counts stab_serial_counts =
+          circ::Executor(stab_serial).run(circuit).counts;
+      if (stab_serial_counts != stab_counts) {
+        fail("stabilizer-parallel-vs-serial", 1.0,
+             "stabilizer counts depend on the shot-loop threading: " +
+                 first_diff(stab_counts, stab_serial_counts));
       }
     }
   } catch (const std::exception& e) {

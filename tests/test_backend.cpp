@@ -46,7 +46,7 @@ std::uint64_t total_shots(const sim::Counts& counts) {
 
 TEST(BackendRegistry, BuiltInsAreRegistered) {
   const std::vector<std::string> names = circ::backend_names();
-  for (const char* name : {"density", "mps", "statevector"}) {
+  for (const char* name : {"density", "mps", "stabilizer", "statevector"}) {
     EXPECT_TRUE(circ::backend_known(name)) << name;
     EXPECT_NE(std::find(names.begin(), names.end(), name), names.end()) << name;
   }
@@ -138,6 +138,21 @@ TEST(BackendCapabilities, StatevectorQubitCeilingSuggestsMps) {
               std::string::npos)
         << what;
     EXPECT_NE(what.find("--backend mps"), std::string::npos) << what;
+    // The too-wide circuit above is all-Clifford (a lone H), so the message
+    // must also point at the width-unbounded stabilizer method.
+    EXPECT_NE(what.find("--backend stabilizer"), std::string::npos) << what;
+  }
+}
+
+TEST(BackendCapabilities, NonCliffordCeilingMessageOmitsStabilizer) {
+  circ::QuantumCircuit wide(sim::StateVector::kMaxQubits + 2, 1);
+  wide.t(0);
+  try {
+    (void)circ::Executor(qutes::RunConfig{}).run(wide);
+    FAIL() << "statevector accepted a circuit past its qubit ceiling";
+  } catch (const CircuitError& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("--backend stabilizer"), std::string::npos) << what;
   }
 }
 
@@ -313,6 +328,77 @@ TEST(BackendFusion, DensityRunsGateAtATime) {
   EXPECT_EQ(result.fused_gates, 0u);
 }
 
+TEST(BackendFusion, StabilizerNeverReceivesFusedDenseBlocks) {
+  // The tableau cannot replay a dense unitary, so its capability entry caps
+  // fusion at width 1; even an aggressive fusion request must plan zero
+  // blocks rather than rely on a backend-side rejection.
+  qutes::RunConfig options;
+  options.backend.name = "stabilizer";
+  options.shots = 64;
+  options.backend.max_fused_qubits = 5;
+  const circ::ExecutionResult result = circ::Executor(options).run(ghz(6));
+  EXPECT_EQ(result.fused_blocks, 0u);
+  EXPECT_EQ(result.fused_gates, 0u);
+  EXPECT_EQ(total_shots(result.counts), 64u);
+}
+
+// ---- the "auto" method ------------------------------------------------------
+
+TEST(BackendAuto, PicksStabilizerForCliffordCircuits) {
+  qutes::RunConfig options;
+  options.backend.name = "auto";
+  options.shots = 64;
+  const circ::ExecutionResult result = circ::Executor(options).run(ghz(4));
+  EXPECT_EQ(result.backend, "stabilizer");
+  EXPECT_EQ(total_shots(result.counts), 64u);
+}
+
+TEST(BackendAuto, FallsBackToStatevectorOnNonClifford) {
+  circ::QuantumCircuit c(2, 2);
+  c.h(0);
+  c.t(0);
+  c.cx(0, 1);
+  c.measure_all();
+  qutes::RunConfig options;
+  options.backend.name = "auto";
+  options.shots = 64;
+  const circ::ExecutionResult result = circ::Executor(options).run(c);
+  EXPECT_EQ(result.backend, "statevector");
+  EXPECT_EQ(total_shots(result.counts), 64u);
+}
+
+TEST(BackendAuto, FallsBackToStatevectorUnderNoise) {
+  // Noise keeps Clifford circuits off the tableau (supports_noise=false).
+  qutes::RunConfig options;
+  options.backend.name = "auto";
+  options.shots = 64;
+  options.backend.noise.depolarizing_1q = 0.01;
+  const circ::ExecutionResult result = circ::Executor(options).run(ghz(3));
+  EXPECT_EQ(result.backend, "statevector");
+}
+
+TEST(BackendAuto, ResolvesAgainstThePipelineOutput) {
+  // A Hardware-preset pipeline lowers to the {u, cx} basis, so a circuit
+  // that *starts* all-Clifford is no longer Clifford when the backend is
+  // chosen: auto must inspect the prepared circuit, not the input.
+  circ::PassManager pipeline = circ::make_pipeline(circ::Preset::Basis);
+  qutes::RunConfig options;
+  options.backend.name = "auto";
+  options.shots = 16;
+  options.pipeline.manager = &pipeline;
+  const circ::ExecutionResult result = circ::Executor(options).run(ghz(3));
+  // H lowers to u(...) under the basis preset; the dense method must run it.
+  EXPECT_EQ(result.backend, "statevector");
+  EXPECT_EQ(total_shots(result.counts), 16u);
+}
+
+TEST(BackendAuto, ValidateAcceptsAutoWithoutRegistryEntry) {
+  qutes::RunConfig options;
+  options.backend.name = "auto";
+  EXPECT_NO_THROW(options.validate());
+  EXPECT_FALSE(circ::backend_known("auto"));  // not a registry entry
+}
+
 // ---- language facade plumbing -----------------------------------------------
 
 TEST(LangBackend, UnknownBackendNameThrowsLangErrorBeforeRunning) {
@@ -381,6 +467,12 @@ TEST(BackendMetrics, EachBackendPublishesItsCapabilityMetrics) {
   const auto mps = snapshot_for("mps");
   EXPECT_GT(mps.counters.at("mps.gates_applied"), 0u);
   EXPECT_GE(mps.gauges.at("mps.max_bond_dim"), 2.0);  // GHZ needs bond 2
+
+  const auto stab = snapshot_for("stabilizer");
+  EXPECT_GT(stab.counters.at("stab.gates_applied"), 0u);
+  EXPECT_GT(stab.counters.at("stab.measurements"), 0u);
+  EXPECT_GT(stab.counters.at("stab.random_outcomes"), 0u);  // GHZ coin flips
+  EXPECT_GT(stab.gauges.at("stab.peak_bytes"), 0.0);
   obs::set_metrics_enabled(false);
   obs::reset_metrics();
 }

@@ -38,6 +38,8 @@ TEST(Density, TooWideRegisterErrorNamesLimitAndMpsEscapeHatch) {
               std::string::npos)
         << message;
     EXPECT_NE(message.find("--backend mps"), std::string::npos) << message;
+    EXPECT_NE(message.find("--backend stabilizer"), std::string::npos)
+        << message;
   }
 }
 

@@ -256,6 +256,46 @@ TEST(Differential, MpsHandlesNonAdjacentAndWideGates) {
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 
+// ---- stabilizer-vs-dense sweeps (Clifford circuits) -------------------------
+
+TEST(Differential, StabilizerMatchesReferenceOnCliffordCircuits) {
+  // Pinned-seed sweep of the tableau simulator against the dense reference:
+  // random Clifford circuits at n <= 10, where the stabilizer state can be
+  // extracted as a full statevector and compared up to global phase. Every
+  // divergence is a tableau-update bug (wrong conjugation rule or phase
+  // bookkeeping), since both sides are exact. Failures delta-debug down to a
+  // minimal instruction subset like every other lane.
+  const std::size_t seeds = sweep(220, 16);
+  qt::DiffOptions options;
+  options.backends = {Backend::Stabilizer};
+  qt::DiffReport report;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const circ::QuantumCircuit c = qt::random_clifford_circuit(
+        0x57ab0000ULL + seed, 2 + seed % 9, 20 + seed % 30);
+    report.merge(qt::diff_backends(c, seed, options));
+  }
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.circuits, seeds);
+  EXPECT_EQ(report.comparisons, seeds);
+}
+
+TEST(Differential, StabilizerCountsMatchReferenceOnCliffordCircuits) {
+  // Counts-level lane: Clifford circuit + measure-all through
+  // diff_dynamic_backends, whose stabilizer block (gated on
+  // is_clifford_circuit) checks sampled counts against the exact reference
+  // distribution (TVD) and serial-vs-parallel bit-identity.
+  const std::size_t seeds = sweep(60, 8);
+  qt::DiffReport report;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    circ::QuantumCircuit c = qt::random_clifford_circuit(
+        0x57abc000ULL + seed, 2 + seed % 5, 16 + seed % 16);
+    c.measure_all();
+    report.merge(qt::diff_dynamic_backends(c, seed));
+  }
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.circuits, seeds);
+}
+
 // ---- pinned regressions (fusion x c_if) ------------------------------------
 
 TEST(Differential, FusionWithConditionsPinnedSeeds) {
@@ -447,5 +487,8 @@ TEST(Harness, BackendNamesAreStable) {
   EXPECT_STREQ(qt::backend_name(Backend::PresetHardware), "preset-hardware");
   EXPECT_STREQ(qt::backend_name(Backend::QasmRoundTrip), "qasm-roundtrip");
   EXPECT_STREQ(qt::backend_name(Backend::Mps), "mps");
+  EXPECT_STREQ(qt::backend_name(Backend::Stabilizer), "stabilizer");
+  // The stabilizer lane is Clifford-only and opt-in, so the every-circuit
+  // sweep set stays at nine.
   EXPECT_EQ(qt::all_backends().size(), 9u);
 }

@@ -51,6 +51,8 @@ TEST(StateVector, TooWideRegisterErrorNamesLimitAndMpsEscapeHatch) {
               std::string::npos)
         << message;
     EXPECT_NE(message.find("--backend mps"), std::string::npos) << message;
+    EXPECT_NE(message.find("--backend stabilizer"), std::string::npos)
+        << message;
   }
 }
 

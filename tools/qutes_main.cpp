@@ -53,6 +53,9 @@ void usage(std::ostream& out) {
       << "                     wall ms, depth/gates/2q before -> after); implies\n"
       << "                     --pipeline O1 unless one is given.\n"
       << "  --backend NAME     simulation backend for sim / --replay: statevector\n"
+      << "                     (default), density, mps, stabilizer (Clifford-only\n"
+      << "                     tableau; thousands of qubits), or auto (stabilizer\n"
+      << "                     when the circuit is all-Clifford, else statevector)\n"
       << "                     (default, ~30 qubits), density (exact noise, ~13),\n"
       << "                     or mps (tensor network; scales with entanglement,\n"
       << "                     pair with --pipeline hardware for best layout).\n"
@@ -112,16 +115,16 @@ int unknown_flag(const std::string& arg, const std::vector<std::string>& known) 
   return 2;
 }
 
-/// Validate a --backend argument against the registry; false (with a
-/// message) on an unknown name.
+/// Validate a --backend argument against the registry ("auto" is resolved by
+/// the executor, not the registry); false (with a message) on an unknown name.
 bool parse_backend_flag(const std::string& value, std::string& out) {
-  if (!qutes::circ::backend_known(value)) {
+  if (value != "auto" && !qutes::circ::backend_known(value)) {
     std::cerr << "unknown backend: " << value << " (expected";
     const auto names = qutes::circ::backend_names();
     for (std::size_t i = 0; i < names.size(); ++i) {
       std::cerr << (i == 0 ? " " : ", ") << names[i];
     }
-    std::cerr << ")\n";
+    std::cerr << ", auto)\n";
     return false;
   }
   out = value;
