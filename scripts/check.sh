@@ -95,6 +95,37 @@ python3 scripts/check_trace.py "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json" \
   --require backend.execute
 echo "check.sh: observability trace/metrics smoke passed."
 
+# qutesd daemon smoke: boot the daemon on a private socket, issue a
+# cold/warm request pair through the CLI client (the warm one must report a
+# cache hit), then SIGTERM and require a graceful exit that unlinks the
+# socket and writes a metrics snapshot showing the hit. Exercises the whole
+# socket server / compile cache / batched scheduler stack under this build's
+# instrumentation (under --asan/--ubsan this is the only place the daemon
+# threads run). The socket lives in /tmp: sun_path caps at ~107 bytes and a
+# deep build tree could overflow it.
+QUTESD_SOCK="/tmp/qutesd_check_$$.sock"
+QUTESD_METRICS="$BUILD_DIR/obs-smoke/qutesd_metrics.json"
+"$BUILD_DIR"/tools/qutesd --socket "$QUTESD_SOCK" \
+  --metrics-json "$QUTESD_METRICS" >/dev/null 2>&1 &
+QUTESD_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "$QUTESD_SOCK" ]] && break
+  sleep 0.05
+done
+[[ -S "$QUTESD_SOCK" ]] || { echo "check.sh: qutesd did not come up" >&2; exit 1; }
+COLD=$("$BUILD_DIR"/tools/qutes run examples/programs/ghz.qut \
+  --connect "$QUTESD_SOCK" 2>&1 >/dev/null)
+WARM=$("$BUILD_DIR"/tools/qutes run examples/programs/ghz.qut \
+  --connect "$QUTESD_SOCK" 2>&1 >/dev/null)
+grep -q 'cache miss' <<<"$COLD" || { echo "check.sh: expected a cold-cache miss, got: $COLD" >&2; exit 1; }
+grep -q 'cache hit' <<<"$WARM" || { echo "check.sh: expected a warm-cache hit, got: $WARM" >&2; exit 1; }
+kill -TERM "$QUTESD_PID"
+wait "$QUTESD_PID" || { echo "check.sh: qutesd exited non-zero after SIGTERM" >&2; exit 1; }
+[[ ! -e "$QUTESD_SOCK" ]] || { echo "check.sh: qutesd left its socket behind" >&2; exit 1; }
+grep -q '"service.cache_hits": *1' "$QUTESD_METRICS" \
+  || { echo "check.sh: qutesd metrics snapshot missing the cache hit" >&2; exit 1; }
+echo "check.sh: qutesd daemon smoke passed (cold miss, warm hit, graceful drain)."
+
 # Perf smoke: fused+reordered SIMD execution must beat the portable unfused
 # path by a comfortable floor on a small brickwork circuit. Catches "the fast
 # path silently fell back to scalar" regressions that correctness tests can't

@@ -113,6 +113,17 @@ grep -o '"bench":"[a-z]*","workload":"[a-z]*","qubits":[0-9]*' BENCH_obs.json ||
 echo "Language-engine results recorded in BENCH_lang.json:"
 grep -o '"workload":"[a-z_]*"\|"speedup":[0-9.]*' BENCH_lang.json | paste - - || true
 
+# Collect the BENCH_JSON_QUTESD lines (cold-vs-warm request latency,
+# warm-cache throughput, and batched-vs-sequential shot-request rows,
+# emitted by bench_qutesd) into a single JSON array.
+{
+  echo '['
+  { grep -h '^BENCH_JSON_QUTESD ' bench_output.txt || true; } | sed 's/^BENCH_JSON_QUTESD //' | paste -sd, -
+  echo ']'
+} > BENCH_qutesd.json
+echo "qutesd service results recorded in BENCH_qutesd.json:"
+grep -o '"mode":"[a-z]*","workload":"[a-z0-9_]*"\|"speedup":[0-9.]*' BENCH_qutesd.json | paste - - || true
+
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   : > sanitizer_output.txt
   for mode in asan ubsan; do
@@ -127,7 +138,7 @@ if [[ "$RUN_SANITIZERS" == 1 ]]; then
 fi
 
 echo
-echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, BENCH_mps.json, BENCH_stab.json, BENCH_obs.json, and BENCH_lang.json."
+echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, BENCH_mps.json, BENCH_stab.json, BENCH_obs.json, BENCH_lang.json, and BENCH_qutesd.json."
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   echo "Sanitizer verdicts:"
   grep '^SANITIZER ' sanitizer_output.txt

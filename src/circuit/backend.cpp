@@ -240,56 +240,11 @@ public:
     peak_bytes.set_max(16.0 * std::pow(2.0, static_cast<double>(circ.num_qubits())));
 
     if (fast) {
-      // Evolve once, skipping measurements (a static circuit never reuses a
-      // measured qubit, so a measure only records the clbit -> qubit wiring),
-      // then sample the measured qubits from the final distribution.
-      Rng rng(config.seed);
       sim::StateVector sv(circ.num_qubits());
-      std::uint64_t scratch = 0;
       std::vector<std::optional<std::size_t>> wire(circ.num_clbits());
-      {
-        obs::Span span("sv.evolve");
-        std::size_t applied = 0;
-        for (const FusedOp& op : plan.ops) {
-          if (op.fused) {
-            sv.apply_kq(op.matrix, op.qubits);
-            ++applied;
-            continue;
-          }
-          const Instruction& in = instrs[op.instruction];
-          if (in.type == GateType::Measure) {
-            for (std::size_t i = 0; i < in.qubits.size(); ++i) {
-              wire[in.clbits[i]] = in.qubits[i];
-            }
-            continue;
-          }
-          apply_instruction(sv, in, scratch, rng);
-          if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
-            ++applied;
-          }
-        }
-        gates_metric.add(applied);
-      }
-
-      // Sample shots: build the CDF once and binary-search per shot instead
-      // of an O(dim) linear scan.
-      obs::Span span("sv.sample");
-      const auto amps = sv.amplitudes();
-      std::vector<double> cdf(amps.size());
-      double acc = 0.0;
-      for (std::size_t i = 0; i < amps.size(); ++i) {
-        acc += std::norm(amps[i]);
-        cdf[i] = acc;
-      }
-      for (std::size_t s = 0; s < config.shots; ++s) {
-        const double r = rng.uniform() * acc;
-        const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
-        std::uint64_t basis = static_cast<std::uint64_t>(it - cdf.begin());
-        if (basis >= sv.dim()) basis = sv.dim() - 1;
-        const std::string key = key_from_basis(basis, wire);
-        ++result.counts[key];
-        if (config.record_memory) result.memory.push_back(key);
-      }
+      const std::vector<double> cdf = evolve_static(circ, plan, sv, wire);
+      sample_static(cdf, sv.dim(), wire, config.seed, config.shots,
+                    config.record_memory, result);
       result.trajectories = 1;
       result.fast_path = true;
       return;
@@ -386,6 +341,106 @@ public:
 
     result.trajectories = config.shots;
     result.fast_path = false;
+  }
+
+  void execute_batch(const QuantumCircuit& circ, const RunConfig& config,
+                     std::span<const ShotBatchItem> items,
+                     std::vector<ExecutionResult>& results) const override {
+    const bool fast = !config.backend.noise.enabled() && Executor::is_static(circ);
+    if (!fast) {
+      // The dynamic/noisy path is per-shot trajectories either way; there is
+      // no seed-independent work worth sharing. The base loop is already
+      // bit-identical to sequential execution.
+      Backend::execute_batch(circ, config, items, results);
+      return;
+    }
+    static obs::Gauge& peak_bytes =
+        obs::metrics().gauge(obs::names::kSvPeakBytes);
+    const FusionPlan plan =
+        plan_fusion(circ, config, capabilities(), /*pin_noise=*/false);
+    peak_bytes.set_max(16.0 * std::pow(2.0, static_cast<double>(circ.num_qubits())));
+
+    // The batch payoff: one state evolution (the 2^n-amplitude sweeps) for
+    // the whole batch; each item then samples from the shared CDF with its
+    // own Rng(seed) — exactly the stream execute() would use, since the
+    // static evolution consumes no randomness.
+    sim::StateVector sv(circ.num_qubits());
+    std::vector<std::optional<std::size_t>> wire(circ.num_clbits());
+    const std::vector<double> cdf = evolve_static(circ, plan, sv, wire);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      record_fusion_stats(results[i], plan);
+      sample_static(cdf, sv.dim(), wire, items[i].seed, items[i].shots,
+                    items[i].record_memory, results[i]);
+      results[i].trajectories = 1;
+      results[i].fast_path = true;
+    }
+  }
+
+private:
+  /// Evolve the unitary prefix of a static circuit once, skipping
+  /// measurements (a static circuit never reuses a measured qubit, so a
+  /// measure only records the clbit -> qubit wiring into `wire`), and return
+  /// the cumulative distribution over the final state. No randomness is
+  /// consumed, so callers may seed their sampling Rng afterwards.
+  static std::vector<double> evolve_static(
+      const QuantumCircuit& circ, const FusionPlan& plan, sim::StateVector& sv,
+      std::vector<std::optional<std::size_t>>& wire) {
+    static obs::Counter& gates_metric =
+        obs::metrics().counter(obs::names::kSvGatesApplied);
+    const auto& instrs = circ.instructions();
+    Rng rng(0);  // never drawn from: no measure/reset reaches apply_instruction
+    std::uint64_t scratch = 0;
+    {
+      obs::Span span("sv.evolve");
+      std::size_t applied = 0;
+      for (const FusedOp& op : plan.ops) {
+        if (op.fused) {
+          sv.apply_kq(op.matrix, op.qubits);
+          ++applied;
+          continue;
+        }
+        const Instruction& in = instrs[op.instruction];
+        if (in.type == GateType::Measure) {
+          for (std::size_t i = 0; i < in.qubits.size(); ++i) {
+            wire[in.clbits[i]] = in.qubits[i];
+          }
+          continue;
+        }
+        apply_instruction(sv, in, scratch, rng);
+        if (is_unitary_gate(in.type) && in.type != GateType::GlobalPhase) {
+          ++applied;
+        }
+      }
+      gates_metric.add(applied);
+    }
+    const auto amps = sv.amplitudes();
+    std::vector<double> cdf(amps.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+      acc += std::norm(amps[i]);
+      cdf[i] = acc;
+    }
+    return cdf;
+  }
+
+  /// Sample `shots` outcomes from the CDF by binary search, drawing from a
+  /// fresh Rng(seed) — the stream the single-run fast path uses.
+  static void sample_static(const std::vector<double>& cdf, std::uint64_t dim,
+                            const std::vector<std::optional<std::size_t>>& wire,
+                            std::uint64_t seed, std::size_t shots,
+                            bool record_memory, ExecutionResult& result) {
+    obs::Span span("sv.sample");
+    Rng rng(seed);
+    const double acc = cdf.empty() ? 0.0 : cdf.back();
+    for (std::size_t s = 0; s < shots; ++s) {
+      const double r = rng.uniform() * acc;
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+      std::uint64_t basis = static_cast<std::uint64_t>(it - cdf.begin());
+      if (basis >= dim) basis = dim - 1;
+      const std::string key = key_from_basis(basis, wire);
+      ++result.counts[key];
+      if (record_memory) result.memory.push_back(key);
+    }
   }
 };
 
@@ -967,6 +1022,22 @@ std::map<std::string, BackendFactory>& registry() {
 }
 
 }  // namespace
+
+void Backend::execute_batch(const QuantumCircuit& circuit,
+                            const RunConfig& config,
+                            std::span<const ShotBatchItem> items,
+                            std::vector<ExecutionResult>& results) const {
+  // Reference implementation: per-item execute() with the item's own
+  // seed/shots/record_memory. Bit-identity to sequential runs is trivial;
+  // backends override this only when they can share seed-independent work.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    RunConfig item_config = config;
+    item_config.seed = items[i].seed;
+    item_config.shots = items[i].shots;
+    item_config.record_memory = items[i].record_memory;
+    execute(circuit, item_config, results[i]);
+  }
+}
 
 void register_backend(const std::string& name, BackendFactory factory) {
   if (name.empty() || factory == nullptr) {

@@ -135,65 +135,65 @@ bool Executor::is_static(const QuantumCircuit& circuit) {
   return true;
 }
 
-ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
-  obs::Span run_span("executor.run");
-  static obs::Counter& runs_metric =
-      obs::metrics().counter(obs::names::kExecutorRuns);
-  static obs::Counter& shots_metric =
-      obs::metrics().counter(obs::names::kExecutorShots);
-  static obs::Gauge& shots_per_sec =
-      obs::metrics().gauge(obs::names::kShotsPerSec);
+namespace {
 
-  config_.validate();
-  if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
-  ExecutionResult result;
+/// The shared pre-execution stages of run() and run_batch(): the caller's
+/// compilation pipeline, backend resolution (after the pipeline, so
+/// "--backend auto" sees the prepared circuit), and capability checks.
+struct PreparedRun {
+  QuantumCircuit lowered;              ///< pipeline output (when one ran)
+  const QuantumCircuit* circ = nullptr; ///< the circuit to execute
+  std::unique_ptr<Backend> backend;
+  std::vector<PassStats> pass_stats;
+};
+
+PreparedRun prepare_run(const QuantumCircuit& circuit, const RunConfig& config) {
+  PreparedRun prep;
 
   // Stage 1: the caller's compilation pipeline (lowering, optimization,
   // routing, ...) runs over the circuit first; we execute its output.
-  QuantumCircuit prepared;
-  const QuantumCircuit* target = &circuit;
-  if (config_.pipeline.manager) {
+  prep.circ = &circuit;
+  if (config.pipeline.manager) {
     PropertySet pipeline_properties;
-    prepared = config_.pipeline.manager->run(circuit, pipeline_properties);
-    result.pass_stats = std::move(pipeline_properties.stats);
-    target = &prepared;
+    prep.lowered = config.pipeline.manager->run(circuit, pipeline_properties);
+    prep.pass_stats = std::move(pipeline_properties.stats);
+    prep.circ = &prep.lowered;
   }
-  const QuantumCircuit& circ = *target;
+  const QuantumCircuit& circ = *prep.circ;
 
   // Backend resolution happens after the pipeline so "--backend auto" can
   // inspect the prepared circuit (lowering may introduce — or eliminate —
   // non-Clifford gates).
-  const std::unique_ptr<Backend> backend =
-      make_backend(resolve_backend_name(config_.backend.name, circ, config_));
-  result.backend = backend->name();
+  prep.backend =
+      make_backend(resolve_backend_name(config.backend.name, circ, config));
 
   // Stage 2: capability checks, on the prepared circuit (the pipeline may
   // have added ancilla wires). The backend publishes what it can run; the
   // executor enforces it here so every method fails the same way.
-  const BackendCapabilities caps = backend->capabilities();
+  const BackendCapabilities caps = prep.backend->capabilities();
   if (caps.max_qubits != 0 && circ.num_qubits() > caps.max_qubits) {
     std::string message = "circuit has " + std::to_string(circ.num_qubits()) +
-                          " qubits but the " + backend->name() +
+                          " qubits but the " + prep.backend->name() +
                           " backend supports at most " +
                           std::to_string(caps.max_qubits);
-    if (backend->name() != "mps") {
+    if (prep.backend->name() != "mps") {
       message += "; the mps backend scales with entanglement instead of qubit "
                  "count — try --backend mps";
-      if (!config_.backend.noise.enabled() && is_clifford_circuit(circ)) {
+      if (!config.backend.noise.enabled() && is_clifford_circuit(circ)) {
         message += ", or, since this circuit is all-Clifford, the stabilizer "
                    "backend runs it at any width — try --backend stabilizer";
       }
     }
     throw CircuitError(message);
   }
-  if (!caps.supports_noise && config_.backend.noise.enabled()) {
-    throw CircuitError("the " + backend->name() +
+  if (!caps.supports_noise && config.backend.noise.enabled()) {
+    throw CircuitError("the " + prep.backend->name() +
                        " backend does not support noise models; use the "
                        "statevector (trajectory) or density (exact channel) "
                        "backend");
   }
-  if (!caps.supports_dynamic && !is_static(circ)) {
-    throw CircuitError("the " + backend->name() +
+  if (!caps.supports_dynamic && !Executor::is_static(circ)) {
+    throw CircuitError("the " + prep.backend->name() +
                        " backend only runs static circuits (no reset, no "
                        "conditions, no mid-circuit measurement feeding gates)");
   }
@@ -211,18 +211,39 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
           supported += g;
         }
         throw CircuitError(
-            "the " + backend->name() + " backend does not implement gate " +
+            "the " + prep.backend->name() + " backend does not implement gate " +
             mnemonic + " (supported gates: " + supported +
             "); transpile to the Clifford set or pick --backend statevector");
       }
     }
   }
+  return prep;
+}
+
+}  // namespace
+
+ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
+  obs::Span run_span("executor.run");
+  static obs::Counter& runs_metric =
+      obs::metrics().counter(obs::names::kExecutorRuns);
+  static obs::Counter& shots_metric =
+      obs::metrics().counter(obs::names::kExecutorShots);
+  static obs::Gauge& shots_per_sec =
+      obs::metrics().gauge(obs::names::kShotsPerSec);
+
+  config_.validate();
+  if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
+  ExecutionResult result;
+
+  PreparedRun prep = prepare_run(circuit, config_);
+  result.pass_stats = std::move(prep.pass_stats);
+  result.backend = prep.backend->name();
 
   // Stage 3: the backend evolves the state and samples. Fusion planning
   // happens inside, clamped to the backend's capability caps.
   {
     obs::Span backend_span("backend.execute");
-    backend->execute(circ, config_, result);
+    prep.backend->execute(*prep.circ, config_, result);
   }
 
   runs_metric.add(1);
@@ -241,6 +262,45 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
   fused_blocks_metric.add(result.fused_blocks);
   fused_gates_metric.add(result.fused_gates);
   return result;
+}
+
+std::vector<ExecutionResult> Executor::run_batch(
+    const QuantumCircuit& circuit, std::span<const ShotBatchItem> items) const {
+  obs::Span run_span("executor.run_batch");
+  static obs::Counter& runs_metric =
+      obs::metrics().counter(obs::names::kExecutorRuns);
+  static obs::Counter& shots_metric =
+      obs::metrics().counter(obs::names::kExecutorShots);
+
+  config_.validate();
+  if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
+  if (items.empty()) return {};
+
+  // Pipeline + resolution + capability checks run once for the whole batch;
+  // only seed/shots vary per item, and none of those stages read either.
+  PreparedRun prep = prepare_run(circuit, config_);
+  std::vector<ExecutionResult> results(items.size());
+  for (ExecutionResult& result : results) {
+    result.pass_stats = prep.pass_stats;
+    result.backend = prep.backend->name();
+  }
+  {
+    obs::Span backend_span("backend.execute_batch");
+    prep.backend->execute_batch(*prep.circ, config_, items, results);
+  }
+
+  runs_metric.add(items.size());
+  std::size_t total_shots = 0;
+  std::size_t total_trajectories = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    total_shots += items[i].shots;
+    total_trajectories += results[i].trajectories;
+  }
+  shots_metric.add(total_shots);
+  static obs::Counter& trajectories_metric =
+      obs::metrics().counter(obs::names::kTrajectories);
+  trajectories_metric.add(total_trajectories);
+  return results;
 }
 
 Executor::Trajectory Executor::run_single(const QuantumCircuit& circuit) const {

@@ -1,0 +1,83 @@
+#include "qutes/common/cache_key.hpp"
+
+#include <cstdio>
+
+namespace qutes {
+
+namespace {
+
+/// Doubles in the config (truncation threshold, noise probabilities) are
+/// canonicalized through %.17g — enough digits to round-trip any double, so
+/// distinct values never collide and equal values always agree.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+const char* exec_mode_name(ExecMode mode) noexcept {
+  switch (mode) {
+    case ExecMode::Vm: return "vm";
+    case ExecMode::Ast: return "ast";
+    case ExecMode::Default: return "default";
+  }
+  return "default";
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string canonical_run_config(const RunConfig& config,
+                                 std::string_view pipeline_preset) {
+  std::string out;
+  out.reserve(160);
+  out += "pipeline=";
+  out += pipeline_preset;
+  out += ";backend=";
+  out += config.backend.name;
+  out += ";exec=";
+  out += exec_mode_name(config.exec_mode);
+  out += ";shots=";
+  out += std::to_string(config.shots);
+  out += ";stdlib=";
+  out += config.include_stdlib ? '1' : '0';
+  out += ";fused=";
+  out += std::to_string(config.backend.max_fused_qubits);
+  out += ";bond=";
+  out += std::to_string(config.backend.max_bond_dim);
+  out += ";trunc=";
+  append_double(out, config.backend.truncation_threshold);
+  // Noise changes both the sampled counts and --backend auto resolution, so
+  // it is part of entry identity even though the service protocol does not
+  // currently surface it.
+  out += ";noise=";
+  append_double(out, config.backend.noise.depolarizing_1q);
+  out += ',';
+  append_double(out, config.backend.noise.depolarizing_2q);
+  out += ',';
+  append_double(out, config.backend.noise.amplitude_damping);
+  out += ',';
+  append_double(out, config.backend.noise.readout_error);
+  return out;
+}
+
+std::uint64_t cache_key(std::string_view source, const RunConfig& config,
+                        std::string_view pipeline_preset) {
+  std::string keyed;
+  const std::string canonical = canonical_run_config(config, pipeline_preset);
+  keyed.reserve(source.size() + 1 + canonical.size());
+  keyed.append(source);
+  keyed.push_back('\0');  // source/config boundary cannot be forged by either
+  keyed.append(canonical);
+  return fnv1a64(keyed);
+}
+
+}  // namespace qutes

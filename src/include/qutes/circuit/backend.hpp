@@ -79,6 +79,19 @@ public:
   /// Executor has already filled).
   virtual void execute(const QuantumCircuit& circuit, const RunConfig& config,
                        ExecutionResult& result) const = 0;
+
+  /// Run one circuit for several (seed, shots) requests
+  /// (Executor::run_batch). `results` arrives pre-sized to `items.size()`
+  /// with the pipeline-level fields filled. The contract is bit-identity:
+  /// results[i] must equal what execute() would produce under items[i]'s
+  /// seed/shots/record_memory. The base implementation just loops execute()
+  /// per item (trivially identical); backends override it to share
+  /// seed-independent work — the statevector method evolves static noiseless
+  /// circuits once and re-samples per item from its own Rng(seed) stream.
+  virtual void execute_batch(const QuantumCircuit& circuit,
+                             const RunConfig& config,
+                             std::span<const ShotBatchItem> items,
+                             std::vector<ExecutionResult>& results) const;
 };
 
 // ---- registry ---------------------------------------------------------------

@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "qutes/circuit/circuit.hpp"
 #include "qutes/circuit/pass_manager.hpp"
@@ -75,6 +77,15 @@ struct ExecutionResult {
   std::size_t max_bond_dim_reached = 0;
 };
 
+/// One request in a same-circuit shot batch (Executor::run_batch): its own
+/// seed and shot count. Everything else — backend, pipeline, noise, fusion —
+/// comes from the shared RunConfig, which is what makes the batch a batch.
+struct ShotBatchItem {
+  std::uint64_t seed = 0x5eed0f5eedULL;
+  std::size_t shots = 1024;
+  bool record_memory = false;
+};
+
 class Executor {
 public:
   explicit Executor(RunConfig config = {}) : config_(std::move(config)) {}
@@ -83,6 +94,18 @@ public:
   /// RunConfig::validate() first, so a bad config throws CircuitError before
   /// any work happens.
   [[nodiscard]] ExecutionResult run(const QuantumCircuit& circuit) const;
+
+  /// Run one circuit for several (seed, shots) requests at once — the qutesd
+  /// batched executor's entry point. The pipeline, backend resolution, and
+  /// capability checks run once; backends that can share work across items do
+  /// (the statevector method evolves the state once for static noiseless
+  /// circuits and only re-samples per item). Guarantee: results[i] has
+  /// bit-identical counts/memory to
+  /// `Executor(config with items[i].seed/shots).run(circuit)`, because every
+  /// per-item draw comes from that item's own Rng(seed, ...) streams — the
+  /// same invariant that makes the shot loops thread-count-invariant.
+  [[nodiscard]] std::vector<ExecutionResult> run_batch(
+      const QuantumCircuit& circuit, std::span<const ShotBatchItem> items) const;
 
   /// Run a single trajectory and return the final state plus the classical
   /// bits (as a packed integer, clbit 0 = LSB). Useful for tests that

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "qutes/common/cache_key.hpp"
 #include "qutes/common/error.hpp"
 #include "qutes/lang/qtype.hpp"
 
@@ -164,7 +165,12 @@ struct Bytecode {
   [[nodiscard]] std::string disassemble() const;
 };
 
-/// FNV-1a 64-bit content hash (artifact cache key ingredient).
-[[nodiscard]] std::uint64_t fnv1a64(const std::string& data) noexcept;
+/// FNV-1a 64-bit content hash (artifact cache key ingredient). The
+/// implementation moved to qutes::fnv1a64 (common/cache_key.hpp) so the
+/// service compile cache shares it; this alias keeps existing callers
+/// working.
+[[nodiscard]] inline std::uint64_t fnv1a64(const std::string& data) noexcept {
+  return qutes::fnv1a64(data);
+}
 
 }  // namespace qutes::lang

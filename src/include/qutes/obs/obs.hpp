@@ -266,6 +266,17 @@ inline constexpr const char* kStabGatesApplied = "stab.gates_applied";  // count
 inline constexpr const char* kStabMeasurements = "stab.measurements";   // counter (resets included)
 inline constexpr const char* kStabRandomOutcomes = "stab.random_outcomes"; // counter (rank-update branch)
 inline constexpr const char* kStabPeakBytes = "stab.peak_bytes";        // gauge (one tableau, high-water)
+// qutesd compile+run service
+inline constexpr const char* kServiceRequests = "service.requests";     // counter
+inline constexpr const char* kServiceCacheHits = "service.cache_hits";  // counter
+inline constexpr const char* kServiceCacheMisses = "service.cache_misses"; // counter
+inline constexpr const char* kServiceCompiles = "service.compiles";     // counter (single-flight: one per entry, not per requester)
+inline constexpr const char* kServiceEvictions = "service.evictions";   // counter (LRU byte-budget evictions)
+inline constexpr const char* kServiceCacheBytes = "service.cache_bytes"; // gauge (current accounted bytes)
+inline constexpr const char* kServiceQueueDepth = "service.queue_depth"; // gauge (requests waiting for a worker)
+inline constexpr const char* kServiceBatchedRequests = "service.batched_requests"; // counter (requests served from a >1 batch)
+inline constexpr const char* kServiceBatchedShots = "service.batched_shots"; // counter (shots executed inside a >1 batch)
+inline constexpr const char* kServiceRequestMs = "service.request_ms";  // histogram (per-request wall latency)
 }  // namespace names
 
 }  // namespace qutes::obs

@@ -1,0 +1,91 @@
+// Minimal JSON value type for the qutesd wire protocol.
+//
+// The daemon speaks newline-delimited JSON over a local socket
+// (service/protocol.hpp), so it needs to parse attacker-controlled request
+// lines defensively and serialize responses without pulling in an external
+// dependency (the container bakes none in). This is a deliberately small
+// implementation: one variant value type, a recursive-descent parser with a
+// hard nesting-depth cap, and a serializer that escapes every control
+// character. It supports exactly the JSON the protocol uses — null, bool,
+// 64-bit integers, doubles, strings (with \uXXXX escapes), arrays, objects —
+// and rejects everything else (trailing garbage, unpaired surrogates are
+// replaced, duplicate keys keep the last).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "qutes/common/error.hpp"
+
+namespace qutes::service {
+
+/// Raised by the service layer: malformed protocol lines, socket failures,
+/// daemon-side request errors surfaced to the client.
+class ServiceError : public Error {
+public:
+  explicit ServiceError(const std::string& what) : Error(what) {}
+};
+
+class Json;
+using JsonObject = std::map<std::string, Json>;
+using JsonArray = std::vector<Json>;
+
+class Json {
+public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : value_(b) {}
+  Json(std::int64_t v) : value_(v) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(std::uint64_t v);  // stored as Int when it fits, Double otherwise
+  Json(double v) : value_(v) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const noexcept;
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type() == Type::Int || type() == Type::Double;
+  }
+  [[nodiscard]] bool is_string() const noexcept { return type() == Type::String; }
+  [[nodiscard]] bool is_array() const noexcept { return type() == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return type() == Type::Object; }
+
+  /// Typed reads with a fallback — protocol code never throws on a missing
+  /// or mistyped optional field, it just takes the default.
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept;
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const noexcept;
+  [[nodiscard]] std::uint64_t as_uint(std::uint64_t fallback = 0) const noexcept;
+  [[nodiscard]] double as_double(double fallback = 0.0) const noexcept;
+  [[nodiscard]] const std::string& as_string() const;  ///< "" when not a string
+  [[nodiscard]] const JsonArray& as_array() const;     ///< empty when not an array
+  [[nodiscard]] const JsonObject& as_object() const;   ///< empty when not an object
+
+  /// Object member lookup; a shared null value when absent or not an object.
+  [[nodiscard]] const Json& get(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Compact serialization (no whitespace). NaN/Inf serialize as null —
+  /// they are not representable in JSON.
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of a complete JSON document. Throws ServiceError naming
+  /// the byte offset on malformed input, trailing garbage, or nesting
+  /// deeper than 64 levels.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               JsonArray, JsonObject>
+      value_;
+};
+
+}  // namespace qutes::service

@@ -1,0 +1,94 @@
+// The qutesd wire protocol: newline-delimited JSON over a local socket.
+//
+// Every request is one JSON object on one line; every response is one JSON
+// object on one line. Responses carry the request's `id` (client-chosen,
+// echoed verbatim), so a client may pipeline many requests on a single
+// connection and match completions out of order — the daemon's scheduler is
+// free to batch and reorder independent requests.
+//
+// Request fields (all optional except `source` for run/trace):
+//   op       "run" (default) compile+sample | "trace" seed-specific program
+//            output | "ping" | "stats" | "shutdown"
+//   id       opaque string echoed into the response
+//   source   Qutes program text
+//   shots    sample count (default 1024)
+//   seed     RNG seed for this request's draws (default canonical seed)
+//   backend  backend name incl. "auto" (default "statevector")
+//   pipeline pass preset name: "" none | o0 | o1 | basis | hardware
+//   exec     "vm" (default) | "ast" — which language engine compiles/runs
+//   stdlib   load the Qutes standard library first (default true)
+//   memory   also return per-shot bitstrings in shot order (default false)
+//
+// Response fields:
+//   ok       false => `error` holds the message, nothing else is meaningful
+//   id       echoed from the request
+//   cache    "hit" | "miss" for run/trace (whether compilation was skipped)
+//   backend  resolved backend the counts were produced on ("auto" resolved
+//            to its concrete method at compile time and cached)
+//   counts   {"bits": n, ...} histogram (run)
+//   memory   ["bits", ...] per-shot outcomes when requested (run)
+//   output   program print output — trace always; run only when the program
+//            logged no qubits (a classical program's output is deterministic)
+//   elapsed_ms daemon-side handling time for this request
+//   stats    object payload for the stats op
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qutes/run_config.hpp"
+#include "qutes/service/json.hpp"
+#include "qutes/sim/statevector.hpp"
+
+namespace qutes::service {
+
+struct Request {
+  std::string op = "run";
+  std::string id;
+  std::string source;
+  std::size_t shots = 1024;
+  std::uint64_t seed = 0x5eed0f5eedULL;
+  std::string backend = "statevector";
+  std::string pipeline;  ///< preset name; "" = no pipeline
+  std::string exec = "vm";
+  bool include_stdlib = true;
+  bool record_memory = false;
+};
+
+struct Response {
+  bool ok = true;
+  std::string id;
+  std::string error;
+  std::string cache;    ///< "hit" | "miss" | "" (ops that never compile)
+  std::string backend;  ///< resolved backend name
+  sim::Counts counts;
+  std::vector<std::string> memory;
+  std::string output;
+  double elapsed_ms = 0.0;
+  JsonObject stats;  ///< stats-op payload
+};
+
+/// Parse one request line. Throws ServiceError on malformed JSON, a
+/// non-object document, an unknown op, or an unknown exec/pipeline value —
+/// the daemon turns the exception into an ok:false response.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// One line, no trailing newline.
+[[nodiscard]] std::string serialize_request(const Request& request);
+
+[[nodiscard]] Response parse_response(const std::string& line);
+
+[[nodiscard]] std::string serialize_response(const Response& response);
+
+/// The RunConfig a request describes (seed/shots/backend/exec/stdlib/memory
+/// filled in; pipeline left for the service to resolve from the preset
+/// name). `validate()` is NOT called — the service does that inside the
+/// request span so failures become error responses.
+[[nodiscard]] RunConfig request_config(const Request& request);
+
+/// Convenience for error paths: an ok:false response echoing `id`.
+[[nodiscard]] Response error_response(const std::string& id,
+                                      const std::string& message);
+
+}  // namespace qutes::service

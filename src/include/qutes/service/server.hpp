@@ -1,0 +1,80 @@
+// qutesd transport: newline-delimited JSON over an AF_UNIX stream socket.
+//
+// The Server owns the listening socket and a thread per connection; every
+// parsed request is submitted to the Service's worker pool, so requests from
+// different connections (and pipelined requests on one connection) share the
+// compile cache and batch into joint executions. Responses are written in
+// completion order, matched by the echoed `id`.
+//
+// Shutdown is graceful either way it arrives — a {"op":"shutdown"} request
+// or request_stop() (the signal handler's self-pipe): the server stops
+// accepting, half-closes every open connection (SHUT_RD, so in-flight
+// requests still get their responses), drains the worker pool, joins, and
+// unlinks the socket path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "qutes/service/service.hpp"
+
+namespace qutes::service {
+
+struct ServerOptions {
+  /// Filesystem path of the AF_UNIX socket. Must fit sockaddr_un::sun_path
+  /// (~107 bytes); a stale file from a previous run is unlinked at bind.
+  std::string socket_path;
+  ServiceOptions service;
+  /// Log one line per connection and per shutdown stage to stderr.
+  bool verbose = false;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and serve until a shutdown request arrives; returns after
+  /// the graceful drain completes. Throws ServiceError when the socket
+  /// cannot be created/bound.
+  void run();
+
+  /// Ask the accept loop to begin the graceful drain. Async-signal-safe
+  /// (one write to a self-pipe), callable from any thread.
+  void request_stop() noexcept;
+
+  [[nodiscard]] Service& service() noexcept { return service_; }
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+
+private:
+  void handle_connection(int fd);
+
+  ServerOptions options_;
+  Service service_;
+  int stop_pipe_[2] = {-1, -1};
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::vector<int> conn_fds_;       ///< open connection fds (for SHUT_RD)
+  std::size_t live_connections_ = 0;
+};
+
+/// Client side: connect to `socket_path`, send one request line, read one
+/// response line. Throws ServiceError on connect/IO failure or a malformed
+/// response.
+[[nodiscard]] Response request_over_socket(const std::string& socket_path,
+                                           const Request& request);
+
+/// Shared daemon entry for `qutesd` and `qutes serve`: install
+/// SIGTERM/SIGINT handlers wired to request_stop(), print the listening
+/// line, run to completion. Returns a process exit code.
+int run_daemon(const ServerOptions& options);
+
+}  // namespace qutes::service

@@ -569,13 +569,4 @@ std::string Bytecode::disassemble() const {
   return out.str();
 }
 
-std::uint64_t fnv1a64(const std::string& data) noexcept {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char ch : data) {
-    hash ^= static_cast<std::uint8_t>(ch);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
 }  // namespace qutes::lang

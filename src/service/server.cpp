@@ -1,0 +1,281 @@
+#include "qutes/service/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace qutes::service {
+
+namespace {
+
+/// Longest request/response line a connection may send before it is dropped
+/// (source cap is 4 MiB; leave headroom for escaping).
+constexpr std::size_t kMaxLineBytes = 16u << 20;
+
+void close_quiet(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+bool write_all(int fd, const char* data, std::size_t size) noexcept {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw ServiceError("socket path must be 1.." +
+                       std::to_string(sizeof(addr.sun_path) - 1) +
+                       " bytes: \"" + path + "\"");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {}
+
+Server::~Server() {
+  close_quiet(stop_pipe_[0]);
+  close_quiet(stop_pipe_[1]);
+}
+
+void Server::request_stop() noexcept {
+  const int fd = stop_pipe_[1];
+  if (fd < 0) return;
+  const char byte = 1;
+  // Best-effort and async-signal-safe; a full pipe means a stop is already
+  // pending.
+  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+}
+
+void Server::run() {
+  if (::pipe(stop_pipe_) != 0) {
+    throw ServiceError(std::string("pipe: ") + std::strerror(errno));
+  }
+  ::fcntl(stop_pipe_[1], F_SETFL, O_NONBLOCK);
+
+  const sockaddr_un addr = make_address(options_.socket_path);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw ServiceError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a prior run
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close_quiet(listen_fd);
+    throw ServiceError("bind " + options_.socket_path + ": " + err);
+  }
+  if (::listen(listen_fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    close_quiet(listen_fd);
+    ::unlink(options_.socket_path.c_str());
+    throw ServiceError("listen " + options_.socket_path + ": " + err);
+  }
+
+  service_.start();
+
+  while (true) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    // The poll timeout doubles as the shutdown-op check: a worker thread
+    // flips shutdown_requested() after answering {"op":"shutdown"}.
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (service_.shutdown_requested() || (fds[1].revents & POLLIN) != 0) break;
+    if (ready <= 0 || (fds[0].revents & POLLIN) == 0) continue;
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.push_back(conn_fd);
+      ++live_connections_;
+    }
+    if (options_.verbose) std::cerr << "qutesd: connection opened\n";
+    std::thread([this, conn_fd] { handle_connection(conn_fd); }).detach();
+  }
+
+  // Graceful drain: stop accepting, half-close every live connection so its
+  // reader sees EOF, wait for the handlers (which wait for their in-flight
+  // responses), then drain the worker pool.
+  if (options_.verbose) std::cerr << "qutesd: draining\n";
+  close_quiet(listen_fd);
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+    conn_cv_.wait(lock, [&] { return live_connections_ == 0; });
+  }
+  service_.stop();
+  ::unlink(options_.socket_path.c_str());
+  if (options_.verbose) std::cerr << "qutesd: stopped\n";
+}
+
+void Server::handle_connection(int fd) {
+  // Completion bookkeeping: responses arrive on worker threads; EOF handling
+  // must wait for every submitted request before closing the fd.
+  auto state = std::make_shared<std::tuple<std::mutex, std::condition_variable,
+                                           std::size_t>>();
+  auto write_response = [fd, state](const Response& resp) {
+    const std::string line = serialize_response(resp) + "\n";
+    std::lock_guard<std::mutex> lock(std::get<0>(*state));
+    write_all(fd, line.data(), line.size());
+    --std::get<2>(*state);
+    std::get<1>(*state).notify_all();
+  };
+
+  std::string buffer;
+  char chunk[4096];
+  bool overlong = false;
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxLineBytes && buffer.find('\n') == std::string::npos) {
+      overlong = true;
+      break;
+    }
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      Request request;
+      try {
+        request = parse_request(line);
+      } catch (const std::exception& e) {
+        const Response resp = error_response("", e.what());
+        const std::string out = serialize_response(resp) + "\n";
+        std::lock_guard<std::mutex> lock(std::get<0>(*state));
+        write_all(fd, out.data(), out.size());
+        continue;
+      }
+      const bool is_shutdown = request.op == "shutdown";
+      {
+        std::lock_guard<std::mutex> lock(std::get<0>(*state));
+        ++std::get<2>(*state);
+      }
+      service_.submit(std::move(request), write_response);
+      if (is_shutdown) request_stop();
+    }
+    buffer.erase(0, start);
+  }
+  if (overlong) {
+    const Response resp = error_response("", "request line too long");
+    const std::string out = serialize_response(resp) + "\n";
+    std::lock_guard<std::mutex> lock(std::get<0>(*state));
+    write_all(fd, out.data(), out.size());
+  }
+  {
+    std::unique_lock<std::mutex> lock(std::get<0>(*state));
+    std::get<1>(*state).wait(lock, [&] { return std::get<2>(*state) == 0; });
+  }
+  close_quiet(fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+    --live_connections_;
+  }
+  conn_cv_.notify_all();
+  if (options_.verbose) std::cerr << "qutesd: connection closed\n";
+}
+
+// ---- client -----------------------------------------------------------------
+
+Response request_over_socket(const std::string& socket_path,
+                             const Request& request) {
+  const sockaddr_un addr = make_address(socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ServiceError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    close_quiet(fd);
+    throw ServiceError("connect " + socket_path + ": " + err +
+                       " (is qutesd running?)");
+  }
+  const std::string line = serialize_request(request) + "\n";
+  if (!write_all(fd, line.data(), line.size())) {
+    close_quiet(fd);
+    throw ServiceError("write " + socket_path + ": " + std::strerror(errno));
+  }
+  std::string buffer;
+  char chunk[4096];
+  while (buffer.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close_quiet(fd);
+      throw ServiceError("daemon closed the connection without a response");
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxLineBytes) {
+      close_quiet(fd);
+      throw ServiceError("response line too long");
+    }
+  }
+  close_quiet(fd);
+  return parse_response(buffer.substr(0, buffer.find('\n')));
+}
+
+// ---- daemon entry -----------------------------------------------------------
+
+namespace {
+
+std::atomic<Server*> g_signal_server{nullptr};
+
+extern "C" void daemon_signal_handler(int) {
+  Server* server = g_signal_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->request_stop();
+}
+
+}  // namespace
+
+int run_daemon(const ServerOptions& options) {
+  Server server(options);
+  g_signal_server.store(&server, std::memory_order_relaxed);
+  struct sigaction action{};
+  action.sa_handler = daemon_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a client hanging up must not kill the daemon
+
+  try {
+    std::cout << "qutesd listening on " << options.socket_path << std::endl;
+    server.run();
+  } catch (const std::exception& e) {
+    std::cerr << "qutesd: " << e.what() << "\n";
+    g_signal_server.store(nullptr, std::memory_order_relaxed);
+    return 1;
+  }
+  g_signal_server.store(nullptr, std::memory_order_relaxed);
+  return 0;
+}
+
+}  // namespace qutes::service

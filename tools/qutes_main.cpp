@@ -32,6 +32,7 @@
 #include "qutes/lang/printer.hpp"
 #include "qutes/obs/obs.hpp"
 #include "qutes/run_config.hpp"
+#include "qutes/service/server.hpp"
 
 namespace {
 
@@ -45,7 +46,14 @@ void usage(std::ostream& out) {
       << "  qutes fmt <file.qut>            # print canonically formatted source\n"
       << "  qutes sim <file.qasm> [--shots N] [--seed N] [--pipeline PRESET] [--dump-passes]\n"
       << "                        [--backend NAME] [--max-bond-dim N] [--trace FILE] [--metrics] [--metrics-json FILE]\n"
+      << "  qutes serve <socket>  [--workers N] [--cache-mb N] [--max-batch N] [--verbose]\n"
+      << "                        [--trace FILE] [--metrics-json FILE]   # embed the qutesd daemon\n"
       << "\n"
+      << "  --connect SOCKET   (run/eval) send the program to a running qutesd\n"
+      << "                     instead of compiling locally: warm programs skip\n"
+      << "                     the front end via the daemon's compile cache.\n"
+      << "                     Prints the counts histogram (--replay N sets the\n"
+      << "                     shot count; cache hit/miss goes to stderr).\n"
       << "  --pipeline PRESET  compile through a PassManager preset: O0, O1, basis,\n"
       << "                     hardware (linear coupling). With run/eval the lowered\n"
       << "                     circuit is what --qasm/--qiskit/--draw/--replay see.\n"
@@ -207,7 +215,7 @@ const std::vector<std::string> kRunFlags = {
     "--seed", "--stats", "--draw", "--debug-trace", "--dump-passes",
     "--pipeline", "--qasm", "--qiskit", "--replay", "--backend",
     "--max-bond-dim", "--exec-mode", "--dump-bytecode", "--trace",
-    "--metrics", "--metrics-json"};
+    "--metrics", "--metrics-json", "--connect"};
 
 /// Validate an --exec-mode argument; false (with a message) on anything
 /// other than the two engine names.
@@ -321,6 +329,45 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (mode == "serve") {
+    qutes::service::ServerOptions options;
+    options.socket_path = target;
+    std::string metrics_json_path;
+    std::string trace_path;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--workers" && i + 1 < argc) {
+        options.service.workers = std::stoul(argv[++i]);
+      } else if (arg == "--cache-mb" && i + 1 < argc) {
+        options.service.cache_bytes = std::stoul(argv[++i]) * (1u << 20);
+      } else if (arg == "--max-batch" && i + 1 < argc) {
+        options.service.max_batch =
+            std::max<std::size_t>(1, std::stoul(argv[++i]));
+      } else if (arg == "--verbose") {
+        options.verbose = true;
+      } else if (arg == "--metrics-json" && i + 1 < argc) {
+        metrics_json_path = argv[++i];
+      } else if (arg == "--trace" && i + 1 < argc) {
+        trace_path = argv[++i];
+      } else {
+        return unknown_flag(arg, {"--workers", "--cache-mb", "--max-batch",
+                                  "--verbose", "--metrics-json", "--trace"});
+      }
+    }
+    qutes::obs::set_metrics_enabled(true);
+    if (!trace_path.empty()) qutes::obs::set_tracing_enabled(true);
+    const int code = qutes::service::run_daemon(options);
+    if (!metrics_json_path.empty() &&
+        !qutes::obs::write_metrics_json(metrics_json_path)) {
+      std::cerr << "cannot write " << metrics_json_path << "\n";
+      return 1;
+    }
+    if (!trace_path.empty() && !qutes::obs::write_chrome_trace(trace_path)) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    return code;
+  }
   if (mode != "run" && mode != "eval") {
     usage(std::cerr);
     return 2;
@@ -334,6 +381,7 @@ int main(int argc, char** argv) {
   std::optional<qutes::circ::Preset> preset;
   std::string qasm_path;
   std::string qiskit_path;
+  std::string connect_path;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
@@ -372,6 +420,8 @@ int main(int argc, char** argv) {
       if (!parse_exec_mode_flag(arg.substr(12), config.exec_mode)) return 2;
     } else if (arg == "--dump-bytecode") {
       dump_bytecode = true;
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_path = argv[++i];
     } else if (parse_obs_flag(argc, argv, i, config.obs)) {
       // handled
     } else {
@@ -379,6 +429,49 @@ int main(int argc, char** argv) {
     }
   }
   if (dump_passes && !preset) preset = qutes::circ::Preset::O1;
+
+  if (!connect_path.empty()) {
+    // Client mode: ship the program to a running qutesd instead of compiling
+    // locally. The daemon's "run" op samples the compiled circuit (the
+    // --replay semantics), so --replay N sets the shot count here.
+    try {
+      qutes::service::Request request;
+      request.op = "run";
+      if (mode == "run") {
+        std::ifstream file(target);
+        if (!file) {
+          std::cerr << "cannot open " << target << "\n";
+          return 1;
+        }
+        std::ostringstream buffer;
+        buffer << file.rdbuf();
+        request.source = buffer.str();
+      } else {
+        request.source = target;
+      }
+      request.seed = config.seed;
+      if (config.replay_shots > 0) request.shots = config.replay_shots;
+      request.backend = config.backend.name;
+      if (preset) request.pipeline = qutes::circ::preset_name(*preset);
+      request.exec = config.exec_mode == qutes::ExecMode::Ast ? "ast" : "vm";
+      const qutes::service::Response response =
+          qutes::service::request_over_socket(connect_path, request);
+      if (!response.ok) {
+        std::cerr << "error: " << response.error << "\n";
+        return 1;
+      }
+      std::cerr << "qutesd: cache " << response.cache << ", backend "
+                << response.backend << ", " << response.elapsed_ms << " ms\n";
+      if (!response.output.empty()) std::cout << response.output;
+      for (const auto& [bits, count] : response.counts) {
+        std::cout << bits << ": " << count << "\n";
+      }
+      return 0;
+    } catch (const qutes::Error& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 1;
+    }
+  }
 
   try {
     obs_begin(config.obs);

@@ -1,0 +1,97 @@
+// qutesd — the long-lived Qutes compile+run daemon.
+//
+// Serves newline-delimited JSON requests (service/protocol.hpp) over an
+// AF_UNIX socket: programs compile once into a content-addressed LRU cache,
+// warm requests skip the whole front end, and same-program shot requests
+// batch into one shared execution. SIGTERM/SIGINT (or an {"op":"shutdown"}
+// request) triggers a graceful drain: in-flight requests finish, then the
+// socket is unlinked and the process exits 0.
+//
+//   qutesd --socket /tmp/qutesd.sock [--workers N] [--cache-mb N]
+//          [--metrics-json FILE] [--trace FILE] [--verbose]
+//
+// Talk to it with `qutes run prog.qut --connect /tmp/qutesd.sock` or any
+// NDJSON client:
+//   printf '{"op":"run","source":"qubit q; h q; print q;"}\n' | nc -U ...
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "qutes/obs/obs.hpp"
+#include "qutes/service/server.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "usage: qutesd --socket PATH [options]\n"
+      << "\n"
+      << "  --socket PATH        AF_UNIX socket path to listen on (required)\n"
+      << "  --workers N          request worker threads (default: min(cores, 4))\n"
+      << "  --cache-mb N         compile-cache budget in MiB (default 64)\n"
+      << "  --max-batch N        largest same-program batch (default 64)\n"
+      << "  --metrics-json FILE  write a metrics snapshot at shutdown\n"
+      << "  --trace FILE         write a Chrome trace at shutdown\n"
+      << "  --verbose            log connections and shutdown stages\n"
+      << "  --help               this text\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qutes::service::ServerOptions options;
+  std::string metrics_json_path;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--socket" && i + 1 < argc) {
+      options.socket_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      options.service.workers = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--cache-mb" && i + 1 < argc) {
+      options.service.cache_bytes =
+          std::strtoul(argv[++i], nullptr, 10) * (1u << 20);
+    } else if (arg == "--max-batch" && i + 1 < argc) {
+      options.service.max_batch =
+          std::max<std::size_t>(1, std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      std::cerr << "qutesd: unknown argument \"" << arg << "\"\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::cerr << "qutesd: --socket PATH is required\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  // The daemon always meters itself (counters are near-free); tracing only
+  // when an export destination was given.
+  qutes::obs::set_metrics_enabled(true);
+  if (!trace_path.empty()) qutes::obs::set_tracing_enabled(true);
+
+  const int code = qutes::service::run_daemon(options);
+
+  if (!metrics_json_path.empty() &&
+      !qutes::obs::write_metrics_json(metrics_json_path)) {
+    std::cerr << "qutesd: cannot write metrics to " << metrics_json_path
+              << "\n";
+    return 1;
+  }
+  if (!trace_path.empty() && !qutes::obs::write_chrome_trace(trace_path)) {
+    std::cerr << "qutesd: cannot write trace to " << trace_path << "\n";
+    return 1;
+  }
+  return code;
+}
