@@ -1,0 +1,298 @@
+// E17 — variational workloads on symbolic parameters: what bind-before-run
+// buys the hybrid loop. Three tables:
+//
+//   * optimizer throughput — full algo::minimize runs (VQE ground state,
+//     QAOA MaxCut) with parameter-shift gradients: iterations/s and
+//     energy evaluations/s, plus the converged objective as a shape check.
+//   * batched vs sequential binds — N bindings of one symbolic ansatz
+//     through Executor::run_bound_batch (pipeline runs once) vs N
+//     pipeline+bind+run round trips. Counts are bit-identical by
+//     construction; the bench asserts it.
+//   * qutesd bind rate — a parameter sweep POSTed to a warm daemon: the
+//     unbound artifact compiles once, every request is a cache hit plus a
+//     bind. The bench asserts exactly one compile across the sweep.
+//
+// Machine-readable rows go to stdout as BENCH_JSON_VARIATIONAL lines;
+// scripts/run_experiments.sh collects them into BENCH_variational.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "qutes/algorithms/variational.hpp"
+#include "qutes/circuit/executor.hpp"
+#include "qutes/circuit/pass_manager.hpp"
+#include "qutes/common/rng.hpp"
+#include "qutes/service/protocol.hpp"
+#include "qutes/service/service.hpp"
+
+namespace {
+
+namespace algo = qutes::algo;
+namespace circ = qutes::circ;
+namespace service = qutes::service;
+using clock_type = std::chrono::steady_clock;
+
+bool quick_mode() {
+  const char* flag = std::getenv("QUTES_VARIATIONAL_QUICK");
+  return flag != nullptr && std::string(flag) != "0";
+}
+
+double ms_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - t0)
+      .count();
+}
+
+// ---- E17a: optimizer throughput ---------------------------------------------
+
+void print_optimizer_json() {
+  std::printf("=== E17: variational — optimizer throughput "
+              "(parameter-shift Adam) ===\n");
+  std::printf("%-22s %8s %8s %10s %10s %12s\n", "problem", "iters", "evals",
+              "wall_ms", "evals/s", "objective");
+
+  struct Case {
+    const char* name;
+    algo::VariationalProblem problem;
+    double target;  ///< shape check: objective must land within 0.05
+  };
+  std::vector<Case> cases;
+  {
+    algo::VariationalProblem bell;
+    bell.ansatz = algo::build_ry_ansatz(2, 1);
+    bell.hamiltonian = algo::Hamiltonian{{{-1.0, "XX"}, {-1.0, "ZZ"}}};
+    bell.initial_parameters = {0.3, -0.2, 0.5, 0.1};
+    cases.push_back({"vqe_bell_2q", bell, -2.0});
+
+    algo::VariationalProblem chain;
+    chain.ansatz = algo::build_ry_ansatz(quick_mode() ? 4 : 6, 2);
+    chain.hamiltonian = algo::Hamiltonian{{{-1.0, quick_mode() ? "ZZII" : "ZZIIII"},
+                                           {-1.0, quick_mode() ? "IZZI" : "IZZIII"},
+                                           {-1.0, quick_mode() ? "IIZZ" : "IIZZII"}}};
+    qutes::Rng rng(11);
+    chain.initial_parameters.resize(chain.ansatz.num_parameters());
+    for (double& p : chain.initial_parameters) {
+      p = (rng.uniform() - 0.5) * 0.2;
+    }
+    cases.push_back({quick_mode() ? "vqe_chain_4q" : "vqe_chain_6q", chain,
+                     -3.0});
+
+    const algo::MaxCutInstance ring{4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}};
+    algo::VariationalProblem qaoa;
+    qaoa.ansatz = algo::build_qaoa_ansatz(ring, 2);
+    qaoa.hamiltonian = algo::maxcut_hamiltonian(ring);
+    qaoa.maximize = true;
+    qutes::Rng qrng(23);
+    qaoa.initial_parameters.resize(4);
+    for (double& a : qaoa.initial_parameters) a = 0.1 + 0.3 * qrng.uniform();
+    cases.push_back({"qaoa_ring4_p2", qaoa, 4.0});
+  }
+
+  for (Case& c : cases) {
+    algo::MinimizeOptions options;
+    options.max_iterations = quick_mode() ? 60 : 200;
+    const clock_type::time_point t0 = clock_type::now();
+    const algo::MinimizeResult result = algo::minimize(c.problem, options);
+    const double wall_ms = ms_since(t0);
+    const double evals_per_s =
+        1e3 * static_cast<double>(result.evaluations) / wall_ms;
+    std::printf("%-22s %8zu %8zu %10.1f %10.0f %12.4f\n", c.name,
+                result.iterations, result.evaluations, wall_ms, evals_per_s,
+                result.value);
+    std::printf(
+        "BENCH_JSON_VARIATIONAL {\"bench\":\"variational\","
+        "\"mode\":\"optimizer\",\"problem\":\"%s\",\"parameters\":%zu,"
+        "\"iterations\":%zu,\"evaluations\":%zu,\"wall_ms\":%.3f,"
+        "\"evals_per_s\":%.0f,\"objective\":%.6f}\n",
+        c.name, c.problem.ansatz.num_parameters(), result.iterations,
+        result.evaluations, wall_ms, evals_per_s, result.value);
+    if (std::abs(result.value - c.target) > 0.05) {
+      std::fprintf(stderr, "bench_variational: %s converged to %.4f, want %.4f\n",
+                   c.name, result.value, c.target);
+      std::exit(1);
+    }
+  }
+  std::printf("shape check: every objective lands on its exact optimum "
+              "(variational convergence)\n\n");
+}
+
+// ---- E17b: batched vs sequential binds --------------------------------------
+
+void print_bind_batch_json() {
+  std::printf("=== E17: variational — batched binds vs per-binding "
+              "compile round trips ===\n");
+  const std::size_t qubits = quick_mode() ? 8 : 12;
+  const std::size_t n_items = 32;
+  circ::QuantumCircuit ansatz = algo::build_ry_ansatz(qubits, 2);
+  for (std::size_t q = 0; q < qubits; ++q) {
+    ansatz.add_classical_register("m" + std::to_string(q), 1);
+  }
+  for (std::size_t q = 0; q < qubits; ++q) ansatz.measure(q, q);
+
+  qutes::Rng rng(7);
+  std::vector<circ::BindBatchItem> items(n_items);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    items[i].params.resize(ansatz.num_parameters());
+    for (double& p : items[i].params) p = 0.3 + 2.5 * rng.uniform();
+    items[i].seed = 100 + i;
+    items[i].shots = 256;
+  }
+
+  circ::PassManager pipeline = circ::make_pipeline(circ::Preset::O1);
+  qutes::RunConfig config;
+  config.pipeline.manager = &pipeline;
+
+  // Sequential: every binding pays the full pipeline on its bound circuit —
+  // what a fixed-angle driver that rebuilds per evaluation used to do.
+  clock_type::time_point t0 = clock_type::now();
+  std::vector<circ::ExecutionResult> sequential;
+  for (const circ::BindBatchItem& item : items) {
+    qutes::RunConfig per = config;
+    per.seed = item.seed;
+    per.shots = item.shots;
+    sequential.push_back(circ::Executor(per).run(ansatz.bind(item.params)));
+  }
+  const double sequential_ms = ms_since(t0);
+
+  // Batched: the pipeline runs ONCE on the symbolic ansatz; each item is a
+  // cheap bind + execute.
+  t0 = clock_type::now();
+  const std::vector<circ::ExecutionResult> batched =
+      circ::Executor(config).run_bound_batch(ansatz, items);
+  const double batched_ms = ms_since(t0);
+
+  for (std::size_t i = 0; i < n_items; ++i) {
+    if (batched[i].counts != sequential[i].counts) {
+      std::fprintf(stderr,
+                   "bench_variational: bound-batch counts diverged at %zu\n",
+                   i);
+      std::exit(1);
+    }
+  }
+
+  const double speedup = sequential_ms / batched_ms;
+  std::printf("RY(%zuq, 2 layers), %zu bindings x 256 shots under O1: "
+              "sequential %.1f ms, batched %.1f ms (%.2fx), counts "
+              "bit-identical\n",
+              qubits, n_items, sequential_ms, batched_ms, speedup);
+  std::printf(
+      "BENCH_JSON_VARIATIONAL {\"bench\":\"variational\","
+      "\"mode\":\"bind_batch\",\"qubits\":%zu,\"parameters\":%zu,"
+      "\"items\":%zu,\"shots\":256,\"sequential_ms\":%.3f,"
+      "\"batched_ms\":%.3f,\"speedup\":%.2f}\n",
+      qubits, ansatz.num_parameters(), n_items, sequential_ms, batched_ms,
+      speedup);
+  std::printf("shape check: the batch amortizes the one pipeline run, so "
+              "speedup grows with circuit size and item count\n\n");
+}
+
+// ---- E17c: qutesd bind rate -------------------------------------------------
+
+void print_service_sweep_json() {
+  std::printf("=== E17: variational — parameter sweep through qutesd ===\n");
+  const std::size_t requests = quick_mode() ? 100 : 500;
+  service::Service svc;
+  service::Request request;
+  request.op = "run";
+  request.source = "qubit q = |0>; ry(param(\"t\"), q); print q;";
+  request.shots = 64;
+
+  // Cold request: pays the one compile of the unbound artifact.
+  request.params = {0.1};
+  request.seed = 1;
+  clock_type::time_point t0 = clock_type::now();
+  if (service::Response r = svc.handle(request); !r.ok || r.cache != "miss") {
+    std::fprintf(stderr, "bench_variational: sweep warmup failed: %s\n",
+                 r.error.c_str());
+    std::exit(1);
+  }
+  const double cold_ms = ms_since(t0);
+
+  // Warm sweep: every request re-binds the cached artifact.
+  t0 = clock_type::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    request.params = {0.01 * static_cast<double>(i + 1)};
+    request.seed = i + 2;
+    service::Response r = svc.handle(request);
+    if (!r.ok || r.cache != "hit") {
+      std::fprintf(stderr, "bench_variational: sweep request %zu failed: %s\n",
+                   i, r.error.c_str());
+      std::exit(1);
+    }
+  }
+  const double sweep_ms = ms_since(t0);
+  const double binds_per_s = 1e3 * static_cast<double>(requests) / sweep_ms;
+
+  if (svc.cache().stats().compiles != 1) {
+    std::fprintf(stderr,
+                 "bench_variational: sweep compiled %zu times, want 1\n",
+                 svc.cache().stats().compiles);
+    std::exit(1);
+  }
+
+  std::printf("%zu bindings in %.1f ms = %.0f binds/s (cold compile %.2f ms, "
+              "1 compile total)\n",
+              requests, sweep_ms, binds_per_s, cold_ms);
+  std::printf(
+      "BENCH_JSON_VARIATIONAL {\"bench\":\"variational\","
+      "\"mode\":\"service_sweep\",\"requests\":%zu,\"cold_ms\":%.4f,"
+      "\"sweep_ms\":%.3f,\"binds_per_s\":%.0f,\"compiles\":1}\n",
+      requests, cold_ms, sweep_ms, binds_per_s);
+  std::printf("shape check: the whole sweep is ONE compile and N binds — "
+              "parameter values are not part of the cache key\n\n");
+}
+
+void print_summary() {
+  print_optimizer_json();
+  print_bind_batch_json();
+  print_service_sweep_json();
+}
+
+// ---- google-benchmark timings ----------------------------------------------
+
+void BM_ParameterShiftGradient(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const circ::QuantumCircuit ansatz = algo::build_ry_ansatz(n, 2);
+  const algo::Hamiltonian h{{{-1.0, std::string(n, 'Z')}}};
+  std::vector<double> at(ansatz.num_parameters(), 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo::parameter_shift_gradient(ansatz, h, at).size());
+  }
+}
+BENCHMARK(BM_ParameterShiftGradient)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_BindOnly(benchmark::State& state) {
+  const circ::QuantumCircuit ansatz = algo::build_ry_ansatz(8, 2);
+  const std::vector<double> values(ansatz.num_parameters(), 0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ansatz.bind(values).size());
+  }
+}
+BENCHMARK(BM_BindOnly);
+
+void BM_MinimizeIteration(benchmark::State& state) {
+  algo::VariationalProblem problem;
+  problem.ansatz = algo::build_ry_ansatz(4, 1);
+  problem.hamiltonian = algo::Hamiltonian{{{-1.0, "ZZZZ"}}};
+  problem.initial_parameters.assign(problem.ansatz.num_parameters(), 0.3);
+  algo::MinimizeOptions options;
+  options.max_iterations = 1;
+  options.tolerance = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::minimize(problem, options).evaluations);
+  }
+}
+BENCHMARK(BM_MinimizeIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -81,6 +81,15 @@ echo "check.sh: MPS backend smoke sweep completed."
 QUTES_STAB_QUICK=1 "$BUILD_DIR"/bench/bench_stabilizer --benchmark_filter='^$' >/dev/null
 echo "check.sh: stabilizer backend smoke sweep completed."
 
+# Variational smoke sweep: drives the parameter-shift gradient engine, the
+# Adam minimize loop, the batched bind-before-run executor path, and the
+# one-compile parameter sweep through the qutesd service (the bench asserts
+# convergence, bit-identical batch counts, and compiles==1, so this is a
+# correctness gate, not a timing). Always quick here — the bind/execute hot
+# loops are exactly where ASan/UBSan would catch a stale param-table index.
+QUTES_VARIATIONAL_QUICK=1 "$BUILD_DIR"/bench/bench_variational --benchmark_filter='^$' >/dev/null
+echo "check.sh: variational smoke sweep completed."
+
 # Observability smoke: a traced GHZ run through the CLI must produce a
 # well-formed Chrome trace (per-thread span nesting) with spans from every
 # layer, and a metrics snapshot whose schema/invariants hold.

@@ -124,6 +124,18 @@ grep -o '"workload":"[a-z_]*"\|"speedup":[0-9.]*' BENCH_lang.json | paste - - ||
 echo "qutesd service results recorded in BENCH_qutesd.json:"
 grep -o '"mode":"[a-z]*","workload":"[a-z0-9_]*"\|"speedup":[0-9.]*' BENCH_qutesd.json | paste - - || true
 
+# Collect the BENCH_JSON_VARIATIONAL lines (optimizer-convergence rows,
+# the batched-bind-vs-sequential comparison, and the one-compile parameter
+# sweep through qutesd, emitted by bench_variational) into a single JSON
+# array.
+{
+  echo '['
+  { grep -h '^BENCH_JSON_VARIATIONAL ' bench_output.txt || true; } | sed 's/^BENCH_JSON_VARIATIONAL //' | paste -sd, -
+  echo ']'
+} > BENCH_variational.json
+echo "Variational results recorded in BENCH_variational.json:"
+grep -o '"mode":"[a-z_]*"\|"problem":"[a-z0-9_]*"\|"compiles":[0-9]*' BENCH_variational.json | paste - - || true
+
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   : > sanitizer_output.txt
   for mode in asan ubsan; do
@@ -138,7 +150,7 @@ if [[ "$RUN_SANITIZERS" == 1 ]]; then
 fi
 
 echo
-echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, BENCH_mps.json, BENCH_stab.json, BENCH_obs.json, BENCH_lang.json, and BENCH_qutesd.json."
+echo "Done. See test_output.txt, bench_output.txt, BENCH_fusion.json, BENCH_transpile.json, BENCH_mps.json, BENCH_stab.json, BENCH_obs.json, BENCH_lang.json, BENCH_qutesd.json, and BENCH_variational.json."
 if [[ "$RUN_SANITIZERS" == 1 ]]; then
   echo "Sanitizer verdicts:"
   grep '^SANITIZER ' sanitizer_output.txt

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "qutes/algorithms/variational.hpp"
 #include "qutes/circuit/executor.hpp"
 #include "qutes/common/bitops.hpp"
 #include "qutes/common/error.hpp"
@@ -60,65 +61,33 @@ circ::QuantumCircuit build_qaoa_circuit(const MaxCutInstance& instance,
   return circuit;
 }
 
-namespace {
-
-/// <C> = sum over edges of 0.5 (1 - <Z_u Z_v>).
-double expected_cut(const MaxCutInstance& instance, const sim::StateVector& psi) {
-  double total = 0.0;
-  for (const auto& [u, v] : instance.edges) {
-    std::string pauli(instance.num_vertices, 'I');
-    pauli[instance.num_vertices - 1 - u] = 'Z';
-    pauli[instance.num_vertices - 1 - v] = 'Z';
-    total += 0.5 * (1.0 - sim::expectation_pauli(psi, pauli));
-  }
-  return total;
-}
-
-}  // namespace
-
 QaoaResult run_qaoa(const MaxCutInstance& instance, QaoaOptions options) {
   const std::size_t p = options.layers;
   Rng rng(options.seed);
   std::vector<double> angles(2 * p);  // [gammas | betas]
   for (double& a : angles) a = 0.1 + 0.3 * rng.uniform();
 
+  // Gradient ASCENT on the expected cut via the shared variational driver.
+  // The symbolic ansatz's mixer parameter is the raw RX angle, i.e. 2*beta.
+  VariationalProblem problem;
+  problem.ansatz = build_qaoa_ansatz(instance, p);
+  problem.hamiltonian = maxcut_hamiltonian(instance);
+  problem.initial_parameters = angles;
+  for (std::size_t i = p; i < 2 * p; ++i) problem.initial_parameters[i] *= 2.0;
+  problem.maximize = true;
+
+  MinimizeOptions mo;
+  mo.max_iterations = options.max_sweeps * 5;  // sweeps were coarser steps
+  mo.tolerance = std::max(options.tolerance, 1e-8);
+  const MinimizeResult r = minimize(problem, mo);
+
   QaoaResult result;
-  const auto evaluate = [&](const std::vector<double>& a) {
-    const std::span<const double> gammas(a.data(), p);
-    const std::span<const double> betas(a.data() + p, p);
-    const circ::QuantumCircuit circuit =
-        build_qaoa_circuit(instance, gammas, betas);
-    circ::Executor ex({.shots = 1, .seed = 1});
-    ++result.evaluations;
-    return expected_cut(instance, ex.run_single(circuit).state);
-  };
-
-  // Coordinate ASCENT (maximize the cut).
-  double best = evaluate(angles);
-  double step = options.initial_step;
-  std::size_t sweeps = 0;
-  while (sweeps < options.max_sweeps && step > options.tolerance) {
-    ++sweeps;
-    bool improved = false;
-    for (std::size_t i = 0; i < angles.size(); ++i) {
-      for (const double delta : {step, -step}) {
-        std::vector<double> trial = angles;
-        trial[i] += delta;
-        const double value = evaluate(trial);
-        if (value > best + 1e-12) {
-          best = value;
-          angles = std::move(trial);
-          improved = true;
-          break;
-        }
-      }
-    }
-    if (!improved) step *= 0.5;
-  }
-
-  result.expected_cut = best;
-  result.gammas.assign(angles.begin(), angles.begin() + static_cast<long>(p));
-  result.betas.assign(angles.begin() + static_cast<long>(p), angles.end());
+  result.evaluations = r.evaluations;
+  result.expected_cut = r.value;
+  result.gammas.assign(r.parameters.begin(),
+                       r.parameters.begin() + static_cast<long>(p));
+  result.betas.resize(p);
+  for (std::size_t i = 0; i < p; ++i) result.betas[i] = 0.5 * r.parameters[p + i];
 
   // Sample assignments from the optimized state; keep the best cut seen.
   const circ::QuantumCircuit circuit =

@@ -1,0 +1,240 @@
+#include "qutes/algorithms/variational.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "qutes/circuit/executor.hpp"
+#include "qutes/common/error.hpp"
+#include "qutes/common/rng.hpp"
+
+namespace qutes::algo {
+
+namespace {
+
+constexpr double kHalfPi = 1.5707963267948966;
+
+/// Can the two-term parameter-shift rule differentiate this gate's angle?
+/// True for every generator with exactly two eigenvalues a gap of 1 apart
+/// (rx/ry/rz: +-1/2; p/cp/mcp: {0, 1}; each u angle individually).
+bool shift_rule_applies(circ::GateType type) {
+  switch (type) {
+    case circ::GateType::RX: case circ::GateType::RY: case circ::GateType::RZ:
+    case circ::GateType::P: case circ::GateType::CP: case circ::GateType::MCP:
+    case circ::GateType::U:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Evolve |0...0> through the ansatz with the given bindings, optionally
+/// adding `delta` to the angle of one symbolic occurrence (occurrence = k-th
+/// symbolic param slot in instruction order; -1 = no shift), and return <H>.
+double evolve_energy(const circ::QuantumCircuit& ansatz,
+                     const Hamiltonian& hamiltonian,
+                     std::span<const double> values, long shift_occurrence,
+                     double delta) {
+  sim::StateVector psi(ansatz.num_qubits());
+  Rng rng(1);  // the ansatz is unitary-only; no draws happen
+  std::uint64_t clbits = 0;
+  long occurrence = 0;
+  for (const circ::Instruction& in : ansatz.instructions()) {
+    if (in.param_refs.empty()) {
+      circ::apply_instruction(psi, in, clbits, rng);
+      continue;
+    }
+    circ::Instruction bound = in;
+    for (std::size_t i = 0; i < bound.param_refs.size(); ++i) {
+      const int ref = bound.param_refs[i];
+      if (ref < 0) continue;
+      bound.params[i] = values[static_cast<std::size_t>(ref)];
+      if (occurrence == shift_occurrence) bound.params[i] += delta;
+      ++occurrence;
+    }
+    bound.param_refs.clear();
+    circ::apply_instruction(psi, bound, clbits, rng);
+  }
+  return hamiltonian.energy(psi);
+}
+
+void check_binding_size(const circ::QuantumCircuit& ansatz,
+                        std::span<const double> parameters, const char* who) {
+  if (parameters.size() != ansatz.num_parameters()) {
+    throw InvalidArgument(std::string(who) + ": ansatz has " +
+                          std::to_string(ansatz.num_parameters()) +
+                          " parameter(s), got " +
+                          std::to_string(parameters.size()) + " value(s)");
+  }
+}
+
+}  // namespace
+
+double expectation(const circ::QuantumCircuit& ansatz,
+                   const Hamiltonian& hamiltonian,
+                   std::span<const double> parameters) {
+  check_binding_size(ansatz, parameters, "expectation");
+  return evolve_energy(ansatz, hamiltonian, parameters, -1, 0.0);
+}
+
+std::vector<double> parameter_shift_gradient(
+    const circ::QuantumCircuit& ansatz, const Hamiltonian& hamiltonian,
+    std::span<const double> parameters) {
+  check_binding_size(ansatz, parameters, "parameter_shift_gradient");
+  std::vector<double> grad(parameters.size(), 0.0);
+  // One occurrence = one symbolic angle slot; shared parameters accumulate
+  // one shift pair per occurrence.
+  long occurrence = 0;
+  for (const circ::Instruction& in : ansatz.instructions()) {
+    for (std::size_t i = 0; i < in.param_refs.size(); ++i) {
+      const int ref = in.param_refs[i];
+      if (ref < 0) continue;
+      if (!shift_rule_applies(in.type)) {
+        throw InvalidArgument(
+            std::string("parameter_shift_gradient: symbolic ") +
+            circ::gate_name(in.type) +
+            " has no two-term shift rule (crz's generator has eigenvalues "
+            "{0, +-1/2}); decompose to rz/cx first");
+      }
+      const double plus =
+          evolve_energy(ansatz, hamiltonian, parameters, occurrence, kHalfPi);
+      const double minus =
+          evolve_energy(ansatz, hamiltonian, parameters, occurrence, -kHalfPi);
+      grad[static_cast<std::size_t>(ref)] += 0.5 * (plus - minus);
+      ++occurrence;
+    }
+  }
+  return grad;
+}
+
+MinimizeResult minimize(const VariationalProblem& problem,
+                        MinimizeOptions options) {
+  if (!problem.ansatz.is_parameterized()) {
+    throw InvalidArgument("minimize: ansatz has no unbound parameters");
+  }
+  check_binding_size(problem.ansatz, problem.initial_parameters, "minimize");
+
+  // The pipeline runs exactly once, on the symbolic circuit; every later
+  // evaluation is a bind of this prepared form.
+  circ::QuantumCircuit prepared;
+  const circ::QuantumCircuit* ansatz = &problem.ansatz;
+  if (options.pipeline != nullptr) {
+    prepared = options.pipeline->run(problem.ansatz);
+    ansatz = &prepared;
+  }
+
+  const double sign = problem.maximize ? -1.0 : 1.0;
+  const std::size_t n = problem.initial_parameters.size();
+  MinimizeResult result;
+  result.parameters = problem.initial_parameters;
+
+  double value = evolve_energy(*ansatz, problem.hamiltonian, result.parameters,
+                               -1, 0.0);
+  ++result.evaluations;
+  result.history.push_back(value);
+
+  std::vector<double> m(n, 0.0);  // Adam first moment
+  std::vector<double> v(n, 0.0);  // Adam second moment
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    std::vector<double> grad = parameter_shift_gradient(
+        *ansatz, problem.hamiltonian, result.parameters);
+    // Each gradient entry cost one +-pi/2 evaluation pair per occurrence.
+    std::size_t occurrences = 0;
+    for (const circ::Instruction& in : ansatz->instructions()) {
+      for (const int ref : in.param_refs) occurrences += ref >= 0 ? 1 : 0;
+    }
+    result.evaluations += 2 * occurrences;
+
+    double grad_norm = 0.0;
+    for (double g : grad) grad_norm = std::max(grad_norm, std::abs(g));
+    if (grad_norm < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    const double bc1 = 1.0 - std::pow(options.beta1, static_cast<double>(iter));
+    const double bc2 = 1.0 - std::pow(options.beta2, static_cast<double>(iter));
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = sign * grad[i];
+      m[i] = options.beta1 * m[i] + (1.0 - options.beta1) * g;
+      v[i] = options.beta2 * v[i] + (1.0 - options.beta2) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      result.parameters[i] -=
+          options.learning_rate * mhat / (std::sqrt(vhat) + options.epsilon);
+    }
+    ++result.iterations;
+
+    value = evolve_energy(*ansatz, problem.hamiltonian, result.parameters, -1,
+                          0.0);
+    ++result.evaluations;
+    result.history.push_back(value);
+  }
+
+  result.value = value;
+  return result;
+}
+
+circ::QuantumCircuit build_ry_ansatz(std::size_t num_qubits,
+                                     std::size_t layers) {
+  if (num_qubits == 0) throw InvalidArgument("ansatz: no qubits");
+  circ::QuantumCircuit circuit(num_qubits);
+  std::size_t p = 0;
+  const auto next = [&] {
+    return circuit.parameter("t" + std::to_string(p++));
+  };
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (std::size_t q = 0; q < num_qubits; ++q) circuit.ry(next(), q);
+    for (std::size_t q = 0; q + 1 < num_qubits; ++q) circuit.cx(q, q + 1);
+  }
+  for (std::size_t q = 0; q < num_qubits; ++q) circuit.ry(next(), q);
+  return circuit;
+}
+
+circ::QuantumCircuit build_qaoa_ansatz(const MaxCutInstance& instance,
+                                       std::size_t layers) {
+  if (instance.num_vertices == 0) throw InvalidArgument("qaoa: empty graph");
+  if (layers == 0) throw InvalidArgument("qaoa: need at least one layer");
+  for (const auto& [u, v] : instance.edges) {
+    if (u >= instance.num_vertices || v >= instance.num_vertices || u == v) {
+      throw InvalidArgument("qaoa: bad edge");
+    }
+  }
+  circ::QuantumCircuit circuit(instance.num_vertices);
+  // Declare in [gammas | betas] order so bindings line up with run_qaoa's
+  // angle vector.
+  std::vector<circ::Param> gammas, betas;
+  for (std::size_t l = 0; l < layers; ++l) {
+    gammas.push_back(circuit.parameter("g" + std::to_string(l)));
+  }
+  for (std::size_t l = 0; l < layers; ++l) {
+    betas.push_back(circuit.parameter("b" + std::to_string(l)));
+  }
+  for (std::size_t q = 0; q < instance.num_vertices; ++q) circuit.h(q);
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (const auto& [u, v] : instance.edges) {
+      circuit.cx(u, v);
+      circuit.rz(gammas[layer], v);
+      circuit.cx(u, v);
+    }
+    for (std::size_t q = 0; q < instance.num_vertices; ++q) {
+      circuit.rx(betas[layer], q);
+    }
+  }
+  return circuit;
+}
+
+Hamiltonian maxcut_hamiltonian(const MaxCutInstance& instance) {
+  Hamiltonian h;
+  const std::string identity(instance.num_vertices, 'I');
+  h.terms.push_back({0.5 * static_cast<double>(instance.edges.size()), identity});
+  for (const auto& [u, v] : instance.edges) {
+    std::string pauli = identity;
+    pauli[instance.num_vertices - 1 - u] = 'Z';
+    pauli[instance.num_vertices - 1 - v] = 'Z';
+    h.terms.push_back({-0.5, pauli});
+  }
+  return h;
+}
+
+}  // namespace qutes::algo

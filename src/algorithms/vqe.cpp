@@ -3,6 +3,7 @@
 #include <cmath>
 #include <complex>
 
+#include "qutes/algorithms/variational.hpp"
 #include "qutes/circuit/executor.hpp"
 #include "qutes/common/bitops.hpp"
 #include "qutes/common/error.hpp"
@@ -122,41 +123,24 @@ VqeResult run_vqe(const Hamiltonian& hamiltonian, std::size_t num_qubits,
                   VqeOptions options) {
   const std::size_t count = num_qubits * (options.layers + 1);
   Rng rng(options.seed);
-  std::vector<double> params(count);
-  for (double& p : params) p = (rng.uniform() - 0.5) * 0.2;
+  std::vector<double> init(count);
+  for (double& p : init) p = (rng.uniform() - 0.5) * 0.2;
+
+  VariationalProblem problem;
+  problem.ansatz = build_ry_ansatz(num_qubits, options.layers);
+  problem.hamiltonian = hamiltonian;
+  problem.initial_parameters = std::move(init);
+
+  MinimizeOptions mo;
+  mo.max_iterations = options.max_sweeps * 5;  // sweeps were coarser steps
+  mo.tolerance = std::max(options.tolerance, 1e-8);
+  const MinimizeResult r = minimize(problem, mo);
 
   VqeResult result;
-  const auto evaluate = [&](const std::vector<double>& p) {
-    const circ::QuantumCircuit ansatz =
-        build_ry_ansatz(num_qubits, options.layers, p);
-    circ::Executor ex({.shots = 1, .seed = 1});
-    ++result.evaluations;
-    return hamiltonian.energy(ex.run_single(ansatz).state);
-  };
-
-  double energy = evaluate(params);
-  double step = options.initial_step;
-  while (result.sweeps < options.max_sweeps && step > options.tolerance) {
-    ++result.sweeps;
-    bool improved = false;
-    for (std::size_t i = 0; i < count; ++i) {
-      for (const double delta : {step, -step}) {
-        std::vector<double> trial = params;
-        trial[i] += delta;
-        const double e = evaluate(trial);
-        if (e < energy - 1e-12) {
-          energy = e;
-          params = std::move(trial);
-          improved = true;
-          break;
-        }
-      }
-    }
-    if (!improved) step *= 0.5;
-  }
-
-  result.energy = energy;
-  result.parameters = std::move(params);
+  result.energy = r.value;
+  result.parameters = r.parameters;
+  result.evaluations = r.evaluations;
+  result.sweeps = r.iterations;
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "qutes/circuit/circuit.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 
 #include "qutes/common/error.hpp"
@@ -149,6 +150,21 @@ QuantumCircuit& QuantumCircuit::append(Instruction instr) {
     throw CircuitError(std::string("gate ") + gate_name(instr.type) + " expects " +
                        std::to_string(param_count(instr.type)) + " params");
   }
+  if (!instr.param_refs.empty()) {
+    if (instr.param_refs.size() != instr.params.size()) {
+      throw CircuitError(std::string("gate ") + gate_name(instr.type) +
+                         ": param_refs must be empty or match params length");
+    }
+    for (int r : instr.param_refs) {
+      if (r < -1 || r >= static_cast<int>(param_names_.size())) {
+        throw CircuitError(std::string("gate ") + gate_name(instr.type) +
+                           ": parameter reference " + std::to_string(r) +
+                           " outside the circuit's parameter table (size " +
+                           std::to_string(param_names_.size()) + ")");
+      }
+    }
+    if (!instr.is_parameterized()) instr.param_refs.clear();
+  }
   switch (instr.type) {
     case GateType::MCX: case GateType::MCZ: case GateType::MCP:
       if (instr.qubits.size() < 2) {
@@ -187,7 +203,77 @@ Instruction make(GateType t, std::initializer_list<std::size_t> qs,
   in.params = ps;
   return in;
 }
+
+/// Variant for angle operands that may be symbolic: params carry the concrete
+/// value (0.0 placeholder for unbound), param_refs only materializes when at
+/// least one operand is symbolic.
+Instruction make_angles(GateType t, std::initializer_list<std::size_t> qs,
+                        std::initializer_list<Angle> angles) {
+  Instruction in;
+  in.type = t;
+  in.qubits = qs;
+  bool symbolic = false;
+  for (const Angle& a : angles) {
+    in.params.push_back(a.value);
+    symbolic = symbolic || a.is_symbolic();
+  }
+  if (symbolic) {
+    for (const Angle& a : angles) in.param_refs.push_back(a.param);
+  }
+  return in;
+}
 }  // namespace
+
+Param QuantumCircuit::parameter(const std::string& name) {
+  const auto valid = [&] {
+    if (name.empty() || name == "pi") return false;
+    if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_')) {
+      return false;
+    }
+    for (char c : name) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+    }
+    return true;
+  }();
+  if (!valid) {
+    throw CircuitError("invalid parameter name '" + name +
+                       "' (must be an identifier, not \"pi\")");
+  }
+  for (std::size_t i = 0; i < param_names_.size(); ++i) {
+    if (param_names_[i] == name) return Param{name, i};
+  }
+  param_names_.push_back(name);
+  return Param{name, param_names_.size() - 1};
+}
+
+std::vector<Param> QuantumCircuit::parameters() const {
+  std::vector<Param> out;
+  out.reserve(param_names_.size());
+  for (std::size_t i = 0; i < param_names_.size(); ++i) {
+    out.push_back(Param{param_names_[i], i});
+  }
+  return out;
+}
+
+QuantumCircuit QuantumCircuit::bind(std::span<const double> values) const {
+  if (values.size() != param_names_.size()) {
+    throw CircuitError("bind: circuit has " + std::to_string(param_names_.size()) +
+                       " parameter(s), got " + std::to_string(values.size()) +
+                       " value(s)");
+  }
+  QuantumCircuit bound = *this;
+  bound.param_names_.clear();
+  for (Instruction& in : bound.instructions_) {
+    if (in.param_refs.empty()) continue;
+    for (std::size_t i = 0; i < in.param_refs.size(); ++i) {
+      if (in.param_refs[i] >= 0) {
+        in.params[i] = values[static_cast<std::size_t>(in.param_refs[i])];
+      }
+    }
+    in.param_refs.clear();
+  }
+  return bound;
+}
 
 QuantumCircuit& QuantumCircuit::h(std::size_t q) { return append(make(GateType::H, {q})); }
 QuantumCircuit& QuantumCircuit::x(std::size_t q) { return append(make(GateType::X, {q})); }
@@ -199,20 +285,20 @@ QuantumCircuit& QuantumCircuit::t(std::size_t q) { return append(make(GateType::
 QuantumCircuit& QuantumCircuit::tdg(std::size_t q) { return append(make(GateType::Tdg, {q})); }
 QuantumCircuit& QuantumCircuit::sx(std::size_t q) { return append(make(GateType::SX, {q})); }
 
-QuantumCircuit& QuantumCircuit::rx(double theta, std::size_t q) {
-  return append(make(GateType::RX, {q}, {theta}));
+QuantumCircuit& QuantumCircuit::rx(Angle theta, std::size_t q) {
+  return append(make_angles(GateType::RX, {q}, {theta}));
 }
-QuantumCircuit& QuantumCircuit::ry(double theta, std::size_t q) {
-  return append(make(GateType::RY, {q}, {theta}));
+QuantumCircuit& QuantumCircuit::ry(Angle theta, std::size_t q) {
+  return append(make_angles(GateType::RY, {q}, {theta}));
 }
-QuantumCircuit& QuantumCircuit::rz(double theta, std::size_t q) {
-  return append(make(GateType::RZ, {q}, {theta}));
+QuantumCircuit& QuantumCircuit::rz(Angle theta, std::size_t q) {
+  return append(make_angles(GateType::RZ, {q}, {theta}));
 }
-QuantumCircuit& QuantumCircuit::p(double lambda, std::size_t q) {
-  return append(make(GateType::P, {q}, {lambda}));
+QuantumCircuit& QuantumCircuit::p(Angle lambda, std::size_t q) {
+  return append(make_angles(GateType::P, {q}, {lambda}));
 }
-QuantumCircuit& QuantumCircuit::u(double theta, double phi, double lambda, std::size_t q) {
-  return append(make(GateType::U, {q}, {theta, phi, lambda}));
+QuantumCircuit& QuantumCircuit::u(Angle theta, Angle phi, Angle lambda, std::size_t q) {
+  return append(make_angles(GateType::U, {q}, {theta, phi, lambda}));
 }
 QuantumCircuit& QuantumCircuit::cx(std::size_t c, std::size_t t) {
   return append(make(GateType::CX, {c, t}));
@@ -226,11 +312,11 @@ QuantumCircuit& QuantumCircuit::cz(std::size_t c, std::size_t t) {
 QuantumCircuit& QuantumCircuit::ch(std::size_t c, std::size_t t) {
   return append(make(GateType::CH, {c, t}));
 }
-QuantumCircuit& QuantumCircuit::cp(double lambda, std::size_t c, std::size_t t) {
-  return append(make(GateType::CP, {c, t}, {lambda}));
+QuantumCircuit& QuantumCircuit::cp(Angle lambda, std::size_t c, std::size_t t) {
+  return append(make_angles(GateType::CP, {c, t}, {lambda}));
 }
-QuantumCircuit& QuantumCircuit::crz(double theta, std::size_t c, std::size_t t) {
-  return append(make(GateType::CRZ, {c, t}, {theta}));
+QuantumCircuit& QuantumCircuit::crz(Angle theta, std::size_t c, std::size_t t) {
+  return append(make_angles(GateType::CRZ, {c, t}, {theta}));
 }
 QuantumCircuit& QuantumCircuit::swap(std::size_t a, std::size_t b) {
   return append(make(GateType::SWAP, {a, b}));
@@ -260,13 +346,14 @@ QuantumCircuit& QuantumCircuit::mcz(std::span<const std::size_t> controls,
   return append(std::move(in));
 }
 
-QuantumCircuit& QuantumCircuit::mcp(double lambda, std::span<const std::size_t> controls,
+QuantumCircuit& QuantumCircuit::mcp(Angle lambda, std::span<const std::size_t> controls,
                                     std::size_t target) {
   Instruction in;
   in.type = GateType::MCP;
   in.qubits.assign(controls.begin(), controls.end());
   in.qubits.push_back(target);
-  in.params = {lambda};
+  in.params = {lambda.value};
+  if (lambda.is_symbolic()) in.param_refs = {lambda.param};
   return append(std::move(in));
 }
 
@@ -338,11 +425,20 @@ QuantumCircuit& QuantumCircuit::compose(const QuantumCircuit& other,
   if (other.num_clbits() > 0 && clbit_map.size() != other.num_clbits()) {
     throw CircuitError("compose: clbit map size mismatch");
   }
+  // Parameters merge by name: an inlined sub-circuit's "theta" is this
+  // circuit's "theta" (find-or-add), so refs remap through the name table.
+  std::vector<int> param_map(other.param_names_.size());
+  for (std::size_t i = 0; i < other.param_names_.size(); ++i) {
+    param_map[i] = static_cast<int>(parameter(other.param_names_[i]).index);
+  }
   for (const Instruction& src : other.instructions_) {
     Instruction in = src;
     for (std::size_t& q : in.qubits) q = qubit_map[q];
     for (std::size_t& c : in.clbits) c = clbit_map[c];
     if (in.condition) in.condition->clbit = clbit_map[in.condition->clbit];
+    for (int& r : in.param_refs) {
+      if (r >= 0) r = param_map[static_cast<std::size_t>(r)];
+    }
     append(std::move(in));
   }
   global_phase_ += other.global_phase_;
@@ -382,6 +478,11 @@ Instruction invert_instruction(const Instruction& in) {
 }  // namespace
 
 QuantumCircuit QuantumCircuit::inverse() const {
+  if (is_parameterized()) {
+    throw CircuitError(
+        "inverse of a parameterized circuit (bind " +
+        std::to_string(param_names_.size()) + " parameter(s) first)");
+  }
   QuantumCircuit inv;
   inv.num_qubits_ = num_qubits_;
   inv.num_clbits_ = num_clbits_;
@@ -411,6 +512,7 @@ QuantumCircuit QuantumCircuit::repeat(std::size_t power) const {
   out.num_clbits_ = num_clbits_;
   out.qregs_ = qregs_;
   out.cregs_ = cregs_;
+  out.param_names_ = param_names_;
   for (std::size_t i = 0; i < power; ++i) {
     out.instructions_.insert(out.instructions_.end(), instructions_.begin(),
                              instructions_.end());

@@ -10,7 +10,7 @@ namespace qutes::circ {
 namespace {
 
 /// Label for the "body" cell of an instruction on its target qubit.
-std::string body_label(const Instruction& in) {
+std::string body_label(const QuantumCircuit& circuit, const Instruction& in) {
   switch (in.type) {
     case GateType::Measure: return "M";
     case GateType::Reset: return "|0>";
@@ -25,10 +25,16 @@ std::string body_label(const Instruction& in) {
   std::string name = gate_name(in.type);
   for (char& c : name) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   if (!in.params.empty()) {
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "(%.3g", in.params[0]);
-    name += buf;
-    name += ")";
+    // Unbound symbolic angles render by parameter name: "RX(theta)".
+    const int ref = in.param_ref(0);
+    if (ref >= 0) {
+      name += "(" + circuit.parameter_names()[static_cast<std::size_t>(ref)] + ")";
+    } else {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "(%.3g", in.params[0]);
+      name += buf;
+      name += ")";
+    }
   }
   return name;
 }
@@ -100,7 +106,7 @@ std::string draw(const QuantumCircuit& circuit) {
                    (in->type == GateType::CSWAP && i >= 1)) {
           cells[q] = "x";
         } else {
-          cells[q] = body_label(*in);
+          cells[q] = body_label(circuit, *in);
         }
       }
     }

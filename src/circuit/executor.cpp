@@ -147,6 +147,21 @@ struct PreparedRun {
   std::vector<PassStats> pass_stats;
 };
 
+/// Sampling executors require fully bound circuits: an unbound symbolic
+/// angle would silently evolve under its 0.0 placeholder. Callers with
+/// parameterized circuits go through bind() or run_bound_batch().
+void reject_unbound(const QuantumCircuit& circuit, const char* method) {
+  if (!circuit.is_parameterized()) return;
+  std::string names;
+  for (const std::string& p : circuit.parameter_names()) {
+    if (!names.empty()) names += ", ";
+    names += p;
+  }
+  throw CircuitError(std::string("Executor::") + method +
+                     ": circuit has unbound parameter(s) [" + names +
+                     "]; call bind() first or use run_bound_batch()");
+}
+
 PreparedRun prepare_run(const QuantumCircuit& circuit, const RunConfig& config) {
   PreparedRun prep;
 
@@ -233,6 +248,7 @@ ExecutionResult Executor::run(const QuantumCircuit& circuit) const {
 
   config_.validate();
   if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
+  reject_unbound(circuit, "run");
   ExecutionResult result;
 
   PreparedRun prep = prepare_run(circuit, config_);
@@ -274,6 +290,7 @@ std::vector<ExecutionResult> Executor::run_batch(
 
   config_.validate();
   if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
+  reject_unbound(circuit, "run_batch");
   if (items.empty()) return {};
 
   // Pipeline + resolution + capability checks run once for the whole batch;
@@ -303,8 +320,63 @@ std::vector<ExecutionResult> Executor::run_batch(
   return results;
 }
 
+std::vector<ExecutionResult> Executor::run_bound_batch(
+    const QuantumCircuit& circuit, std::span<const BindBatchItem> items) const {
+  obs::Span run_span("executor.run_bound_batch");
+  static obs::Counter& runs_metric =
+      obs::metrics().counter(obs::names::kExecutorRuns);
+  static obs::Counter& shots_metric =
+      obs::metrics().counter(obs::names::kExecutorShots);
+  static obs::Counter& binds_metric =
+      obs::metrics().counter(obs::names::kExecutorBinds);
+  static obs::Counter& batches_metric =
+      obs::metrics().counter(obs::names::kExecutorBoundBatches);
+
+  config_.validate();
+  if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
+  if (items.empty()) return {};
+
+  // The whole point of bind-before-run: the pipeline, backend resolution,
+  // and capability checks run ONCE on the unbound circuit (every pass relays
+  // symbolic angles untouched). Each binding then only substitutes concrete
+  // values into the prepared instruction list before execution — fusion
+  // plans are built per bound circuit inside the backend, so the arithmetic
+  // matches the pre-bound path bit for bit.
+  PreparedRun prep = prepare_run(circuit, config_);
+  batches_metric.add(1);
+
+  std::vector<ExecutionResult> results(items.size());
+  std::size_t total_shots = 0;
+  std::size_t total_trajectories = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const QuantumCircuit bound = prep.circ->bind(items[i].params);
+    RunConfig item_config = config_;
+    item_config.seed = items[i].seed;
+    item_config.shots = items[i].shots;
+    item_config.record_memory = items[i].record_memory;
+    ExecutionResult& result = results[i];
+    result.pass_stats = prep.pass_stats;
+    result.backend = prep.backend->name();
+    {
+      obs::Span backend_span("backend.execute");
+      prep.backend->execute(bound, item_config, result);
+    }
+    total_shots += items[i].shots;
+    total_trajectories += result.trajectories;
+  }
+
+  runs_metric.add(items.size());
+  binds_metric.add(items.size());
+  shots_metric.add(total_shots);
+  static obs::Counter& trajectories_metric =
+      obs::metrics().counter(obs::names::kTrajectories);
+  trajectories_metric.add(total_trajectories);
+  return results;
+}
+
 Executor::Trajectory Executor::run_single(const QuantumCircuit& circuit) const {
   if (circuit.num_qubits() == 0) throw CircuitError("executing an empty circuit");
+  reject_unbound(circuit, "run_single");
   Rng rng(config_.seed);
   Trajectory traj{sim::StateVector(circuit.num_qubits()), 0};
   for (const Instruction& in : circuit.instructions()) {

@@ -50,6 +50,10 @@ sim::MatrixN instruction_matrix(const Instruction& in) {
     throw CircuitError(std::string("instruction_matrix: not a wire-local unitary: ") +
                        gate_name(in.type));
   }
+  if (in.is_parameterized()) {
+    throw CircuitError(std::string("instruction_matrix: ") + gate_name(in.type) +
+                       " has unbound symbolic parameters");
+  }
   const std::size_t k = in.qubits.size();
   if (k > sim::MatrixN::kMaxQubits) {
     throw CircuitError("instruction_matrix: gate spans " + std::to_string(k) +
@@ -77,7 +81,7 @@ sim::MatrixN instruction_matrix(const Instruction& in) {
 
 bool is_fusable(const Instruction& in, std::size_t max_fused_qubits) {
   return is_unitary_gate(in.type) && in.type != GateType::GlobalPhase &&
-         !in.condition && !in.qubits.empty() &&
+         !in.condition && !in.qubits.empty() && !in.is_parameterized() &&
          in.qubits.size() <= max_fused_qubits;
 }
 

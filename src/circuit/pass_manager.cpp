@@ -91,12 +91,15 @@ bool is_identity_angle(double a) { return std::abs(fold_angle(a)) < 1e-12; }
 
 bool near_zero(double v) { return std::abs(v) < 1e-12; }
 
-/// Copy circuit structure (registers, sizes) without instructions.
+/// Copy circuit structure (registers, sizes, parameter table) without
+/// instructions. The parameter table must come along so relayed symbolic
+/// refs stay valid in the rebuilt circuit.
 QuantumCircuit clone_shell(const QuantumCircuit& src) {
   QuantumCircuit out;
   for (const auto& r : src.qregs()) out.add_register(r.name, r.size);
   for (const auto& r : src.cregs()) out.add_classical_register(r.name, r.size);
   out.add_global_phase(src.global_phase());
+  for (const std::string& name : src.parameter_names()) out.parameter(name);
   return out;
 }
 
@@ -161,7 +164,8 @@ void emit_lowered_mc(QuantumCircuit& out, const Instruction& in,
       out.h(target);
       break;
     case GateType::MCP: {
-      const double lambda = in.params[0];
+      // angle_of keeps a symbolic lambda symbolic through the lowering.
+      const Angle lambda = angle_of(in, 0);
       if (controls.size() == 1) {
         out.cp(lambda, controls[0], target);
         return;
@@ -236,6 +240,15 @@ QuantumCircuit lower_multicontrolled(const QuantumCircuit& circuit) {
 
 /// Emit the {u, cx} lowering of one non-MC instruction.
 void emit_basis(QuantumCircuit& out, const Instruction& in) {
+  if (in.is_parameterized()) {
+    // RZ/CP/CRZ lowerings do arithmetic on the angle (halving, phase
+    // correction) that a symbolic reference cannot express, and relaying
+    // only some gates would make basis coverage depend on which operands
+    // are symbolic. Parameterized gates therefore pass through unchanged;
+    // every backend executes them natively.
+    out.append(in);
+    return;
+  }
   const auto u1 = [&](double lambda, std::size_t q) { out.u(0, 0, lambda, q); };
   switch (in.type) {
     case GateType::H: out.u(M_PI / 2, 0, M_PI, in.qubits[0]); break;
@@ -423,9 +436,11 @@ bool peephole_once(std::vector<Instruction>& instrs) {
         touches(cur, [&](std::size_t q) { last_open[q] = std::nullopt; });
         continue;
       }
-      // Fuse consecutive phase rotations on one qubit.
+      // Fuse consecutive phase rotations on one qubit. Symbolic angles have
+      // no value to add yet, so parameterized instructions never merge.
       if (same_operands && cur.qubits.size() == 1 && is_phase_like(p.type) &&
-          p.type == cur.type) {
+          p.type == cur.type && !p.is_parameterized() &&
+          !cur.is_parameterized()) {
         p.params[0] += cur.params[0];
         dead[i] = true;
         changed = true;
@@ -447,7 +462,7 @@ bool peephole_once(std::vector<Instruction>& instrs) {
          in.type == GateType::RX || in.type == GateType::RY ||
          in.type == GateType::CP || in.type == GateType::CRZ ||
          in.type == GateType::MCP) &&
-        is_identity_angle(in.params[0])) {
+        !in.is_parameterized() && is_identity_angle(in.params[0])) {
       dead[i] = true;
       changed = true;
     }
@@ -602,7 +617,8 @@ void FuseSingleQubitGates::run(QuantumCircuit& circuit, PropertySet&) {
 
   for (const Instruction& in : circuit.instructions()) {
     const bool fusable = in.qubits.size() == 1 && is_unitary_gate(in.type) &&
-                         in.type != GateType::GlobalPhase && !in.condition;
+                         in.type != GateType::GlobalPhase && !in.condition &&
+                         !in.is_parameterized();
     if (fusable) {
       const sim::Matrix2 m = matrix_of_1q(in);
       const std::size_t q = in.qubits[0];

@@ -93,7 +93,17 @@ std::string export_circuit(const QuantumCircuit& circuit) {
     if (!in.params.empty()) {
       out << "(";
       for (std::size_t i = 0; i < in.params.size(); ++i) {
-        out << (i ? ", " : "") << format_param(in.params[i]);
+        out << (i ? ", " : "");
+        // Unbound symbolic angles export as their parameter name (the same
+        // extension Qiskit uses for unbound ParameterExpressions); the
+        // importer resolves identifiers back into the parameter table, so
+        // unbound circuits round-trip.
+        const int ref = in.param_ref(i);
+        if (ref >= 0) {
+          out << c.parameter_names()[static_cast<std::size_t>(ref)];
+        } else {
+          out << format_param(in.params[i]);
+        }
       }
       out << ")";
     }
@@ -213,6 +223,15 @@ std::string trim(const std::string& s) {
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
   return s.substr(b, e - b);
+}
+
+bool is_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_')) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+  }
+  return true;
 }
 
 const std::map<std::string, GateType>& name_to_gate() {
@@ -397,19 +416,34 @@ QuantumCircuit import_circuit(const std::string& source) {
     }
     std::string rest = trim(stmt.substr(name_end));
     std::vector<double> params;
+    std::vector<int> param_refs;
+    bool any_symbolic = false;
     if (!rest.empty() && rest[0] == '(') {
       const auto rp = rest.find(')');
       if (rp == std::string::npos) {
         throw CircuitError("line " + std::to_string(line_no) + ": missing ')'");
       }
       for (const std::string& piece : split(rest.substr(1, rp - 1), ',')) {
-        params.push_back(ParamParser(trim(piece)).parse());
+        const std::string text = trim(piece);
+        // A bare identifier (other than "pi") is a symbolic parameter
+        // reference; find-or-add it in the circuit's table so repeated uses
+        // share one index.
+        if (is_identifier(text) && text != "pi") {
+          const Param p = circuit.parameter(text);
+          params.push_back(0.0);
+          param_refs.push_back(static_cast<int>(p.index));
+          any_symbolic = true;
+        } else {
+          params.push_back(ParamParser(text).parse());
+          param_refs.push_back(-1);
+        }
       }
       rest = trim(rest.substr(rp + 1));
     }
     Instruction in;
     in.type = git->second;
     in.params = std::move(params);
+    if (any_symbolic) in.param_refs = std::move(param_refs);
     for (const std::string& piece : split(rest, ',')) {
       const auto qs = resolve_q(parse_bit_ref(trim(piece), line_no), line_no);
       if (qs.size() != 1) {

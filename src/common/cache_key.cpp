@@ -37,6 +37,10 @@ std::uint64_t fnv1a64(std::string_view data) noexcept {
 
 std::string canonical_run_config(const RunConfig& config,
                                  std::string_view pipeline_preset) {
+  // NOTE: like the seed, `bind_params` is deliberately absent. A compiled
+  // entry is the *unbound* artifact — the lowered circuit still carrying
+  // symbolic parameters — and every binding replays against it, so parameter
+  // values must never key distinctly (a VQE sweep is one compile, N binds).
   std::string out;
   out.reserve(160);
   out += "pipeline=";

@@ -51,6 +51,10 @@ struct QaoaOptions {
 };
 
 /// Optimize the angles, then sample assignments and report the best cut.
+/// Now a thin wrapper over algo::minimize() (variational.hpp): symbolic
+/// QAOA ansatz, parameter-shift gradients, Adam ascent on the expected cut.
+/// `initial_step` is ignored; `max_sweeps` scales the iteration budget.
+[[deprecated("use algo::minimize with a VariationalProblem (variational.hpp)")]]
 [[nodiscard]] QaoaResult run_qaoa(const MaxCutInstance& instance,
                                   QaoaOptions options = {});
 

@@ -1,0 +1,103 @@
+// Unified variational driver — the hybrid quantum-classical loop behind VQE
+// and QAOA, rebuilt on symbolic circuit parameters (circ::Param).
+//
+// The problem is stated once as an *unbound* ansatz plus an observable; the
+// optimizer never rebuilds the circuit. Each objective evaluation is a cheap
+// `bind` of the prepared ansatz (the compilation pipeline, when one is
+// supplied, runs exactly once on the symbolic circuit — symbolic angles
+// survive every pass), and gradients come from the exact two-term
+// parameter-shift rule rather than finite differences. This mirrors the
+// qutesd service path, where a VQE sweep is one compile and N binds.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "qutes/algorithms/qaoa.hpp"
+#include "qutes/algorithms/vqe.hpp"
+#include "qutes/circuit/circuit.hpp"
+#include "qutes/circuit/pass_manager.hpp"
+
+namespace qutes::algo {
+
+/// A variational optimization problem: minimize (or maximize)
+/// <psi(theta)| H |psi(theta)> over the ansatz parameters.
+struct VariationalProblem {
+  /// Parameterized ansatz (unbound circ::Param angles). A fully concrete
+  /// circuit is rejected by minimize() — there is nothing to optimize.
+  circ::QuantumCircuit ansatz;
+  Hamiltonian hamiltonian;
+  /// Starting point, one value per ansatz parameter (declaration order).
+  std::vector<double> initial_parameters;
+  /// Maximize instead of minimize (QAOA's expected cut).
+  bool maximize = false;
+};
+
+struct MinimizeOptions {
+  std::size_t max_iterations = 300;
+  /// Adam step size.
+  double learning_rate = 0.1;
+  /// Stop when the gradient infinity-norm drops below this.
+  double tolerance = 1e-7;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Optional compilation pipeline, run ONCE on the unbound ansatz before
+  /// the first evaluation (nullptr = evaluate the ansatz as given).
+  const circ::PassManager* pipeline = nullptr;
+};
+
+struct MinimizeResult {
+  double value = 0.0;  ///< final objective (<H> at `parameters`)
+  std::vector<double> parameters;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;  ///< statevector evolutions performed
+  bool converged = false;       ///< gradient norm fell below tolerance
+  /// Objective value after each iteration (iterations + 1 entries,
+  /// starting with the initial point).
+  std::vector<double> history;
+};
+
+/// <H> at one binding of the ansatz (exact statevector expectation). The
+/// binding length must match ansatz.num_parameters().
+[[nodiscard]] double expectation(const circ::QuantumCircuit& ansatz,
+                                 const Hamiltonian& hamiltonian,
+                                 std::span<const double> parameters);
+
+/// Exact gradient of expectation() by the two-term parameter-shift rule
+/// (f'(t) = [f(t + pi/2) - f(t - pi/2)] / 2 per symbolic occurrence, summed
+/// over occurrences for shared parameters). Supported symbolic gates: rx,
+/// ry, rz, p, cp, mcp, u (all have two-eigenvalue generators). A symbolic
+/// crz is rejected — its generator has eigenvalues {0, +-1/2}, so the
+/// two-term rule does not apply; decompose to rz/cx first.
+[[nodiscard]] std::vector<double> parameter_shift_gradient(
+    const circ::QuantumCircuit& ansatz, const Hamiltonian& hamiltonian,
+    std::span<const double> parameters);
+
+/// Adam descent on the parameter-shift gradient. Deterministic: no
+/// randomness beyond what the caller baked into initial_parameters.
+[[nodiscard]] MinimizeResult minimize(const VariationalProblem& problem,
+                                      MinimizeOptions options = {});
+
+// ---- symbolic ansatz builders ----------------------------------------------
+
+/// Hardware-efficient RY ansatz as an *unbound* circuit: parameters
+/// t0..t{n*(layers+1)-1} in the same order the concrete build_ry_ansatz
+/// overload consumes them.
+[[nodiscard]] circ::QuantumCircuit build_ry_ansatz(std::size_t num_qubits,
+                                                   std::size_t layers);
+
+/// The p-layer QAOA MaxCut circuit as an *unbound* circuit: parameters
+/// g0..g{p-1} then b0..b{p-1} in the [gammas | betas] layout of run_qaoa.
+/// Note b{l} is the raw RX mixer angle (2*beta of the concrete
+/// build_qaoa_circuit overload) — a symbolic angle cannot carry the 2x
+/// arithmetic.
+[[nodiscard]] circ::QuantumCircuit build_qaoa_ansatz(
+    const MaxCutInstance& instance, std::size_t layers);
+
+/// The MaxCut cost observable: sum over edges of 0.5 (I - Z_u Z_v), so
+/// <H> is the expected cut (maximize it).
+[[nodiscard]] Hamiltonian maxcut_hamiltonian(const MaxCutInstance& instance);
+
+}  // namespace qutes::algo

@@ -35,7 +35,8 @@ struct Hamiltonian {
 
 /// Hardware-efficient ansatz: `layers` repetitions of per-qubit RY
 /// rotations followed by a CX entangling ladder, then one final RY layer.
-/// Parameter count: num_qubits * (layers + 1).
+/// Parameter count: num_qubits * (layers + 1). A symbolic overload (no
+/// angle vector, unbound circ::Param angles) lives in variational.hpp.
 [[nodiscard]] circ::QuantumCircuit build_ry_ansatz(std::size_t num_qubits,
                                                    std::size_t layers,
                                                    std::span<const double> parameters);
@@ -55,8 +56,11 @@ struct VqeOptions {
   std::uint64_t seed = 7;  ///< initial-parameter randomization
 };
 
-/// Minimize <H> over the ansatz parameters with adaptive coordinate
-/// descent. Deterministic given the seed.
+/// Minimize <H> over the ansatz parameters. Deterministic given the seed.
+/// Now a thin wrapper over algo::minimize() (variational.hpp): symbolic RY
+/// ansatz, parameter-shift gradients, Adam. `initial_step` is ignored;
+/// `max_sweeps` scales the iteration budget.
+[[deprecated("use algo::minimize with a VariationalProblem (variational.hpp)")]]
 [[nodiscard]] VqeResult run_vqe(const Hamiltonian& hamiltonian,
                                 std::size_t num_qubits, VqeOptions options = {});
 

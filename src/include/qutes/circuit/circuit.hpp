@@ -65,6 +65,32 @@ public:
   [[nodiscard]] double global_phase() const noexcept { return global_phase_; }
   void add_global_phase(double lambda) noexcept { global_phase_ += lambda; }
 
+  // ---- symbolic parameters --------------------------------------------------
+
+  /// Find-or-create the named symbolic parameter. Names must be identifiers
+  /// ([A-Za-z_][A-Za-z0-9_]*, and not "pi") so unbound circuits round-trip
+  /// through QASM. The returned Param is usable anywhere an angle goes.
+  Param parameter(const std::string& name);
+
+  /// Parameter table in binding order (index i binds values[i]).
+  [[nodiscard]] std::vector<Param> parameters() const;
+  [[nodiscard]] std::size_t num_parameters() const noexcept {
+    return param_names_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& parameter_names() const noexcept {
+    return param_names_;
+  }
+  /// True when the circuit still carries unbound symbolic parameters.
+  [[nodiscard]] bool is_parameterized() const noexcept {
+    return !param_names_.empty();
+  }
+
+  /// Substitute concrete angles for every symbolic parameter and return the
+  /// fully-bound circuit. Cheap — a copy plus angle writes; no pipeline work.
+  /// Throws CircuitError naming the expected count when `values.size() !=
+  /// num_parameters()`.
+  [[nodiscard]] QuantumCircuit bind(std::span<const double> values) const;
+
   // ---- fluent gate builders -------------------------------------------------
 
   QuantumCircuit& h(std::size_t q);
@@ -76,23 +102,23 @@ public:
   QuantumCircuit& t(std::size_t q);
   QuantumCircuit& tdg(std::size_t q);
   QuantumCircuit& sx(std::size_t q);
-  QuantumCircuit& rx(double theta, std::size_t q);
-  QuantumCircuit& ry(double theta, std::size_t q);
-  QuantumCircuit& rz(double theta, std::size_t q);
-  QuantumCircuit& p(double lambda, std::size_t q);
-  QuantumCircuit& u(double theta, double phi, double lambda, std::size_t q);
+  QuantumCircuit& rx(Angle theta, std::size_t q);
+  QuantumCircuit& ry(Angle theta, std::size_t q);
+  QuantumCircuit& rz(Angle theta, std::size_t q);
+  QuantumCircuit& p(Angle lambda, std::size_t q);
+  QuantumCircuit& u(Angle theta, Angle phi, Angle lambda, std::size_t q);
   QuantumCircuit& cx(std::size_t control, std::size_t target);
   QuantumCircuit& cy(std::size_t control, std::size_t target);
   QuantumCircuit& cz(std::size_t control, std::size_t target);
   QuantumCircuit& ch(std::size_t control, std::size_t target);
-  QuantumCircuit& cp(double lambda, std::size_t control, std::size_t target);
-  QuantumCircuit& crz(double theta, std::size_t control, std::size_t target);
+  QuantumCircuit& cp(Angle lambda, std::size_t control, std::size_t target);
+  QuantumCircuit& crz(Angle theta, std::size_t control, std::size_t target);
   QuantumCircuit& swap(std::size_t a, std::size_t b);
   QuantumCircuit& ccx(std::size_t c0, std::size_t c1, std::size_t target);
   QuantumCircuit& cswap(std::size_t control, std::size_t a, std::size_t b);
   QuantumCircuit& mcx(std::span<const std::size_t> controls, std::size_t target);
   QuantumCircuit& mcz(std::span<const std::size_t> controls, std::size_t target);
-  QuantumCircuit& mcp(double lambda, std::span<const std::size_t> controls,
+  QuantumCircuit& mcp(Angle lambda, std::span<const std::size_t> controls,
                       std::size_t target);
   QuantumCircuit& measure(std::size_t qubit, std::size_t clbit);
   /// Measure a run of qubits into a run of clbits, index-aligned.
@@ -154,6 +180,7 @@ private:
   double global_phase_ = 0.0;
   std::vector<QuantumRegister> qregs_;
   std::vector<ClassicalRegister> cregs_;
+  std::vector<std::string> param_names_;  ///< symbolic-parameter table
   std::vector<Instruction> instructions_;
 };
 

@@ -86,6 +86,16 @@ struct ShotBatchItem {
   bool record_memory = false;
 };
 
+/// One request in a bind-before-run batch (Executor::run_bound_batch): a
+/// full parameter binding for the shared symbolic circuit, plus the per-item
+/// sampling knobs of ShotBatchItem.
+struct BindBatchItem {
+  std::vector<double> params;
+  std::uint64_t seed = 0x5eed0f5eedULL;
+  std::size_t shots = 1024;
+  bool record_memory = false;
+};
+
 class Executor {
 public:
   explicit Executor(RunConfig config = {}) : config_(std::move(config)) {}
@@ -106,6 +116,18 @@ public:
   /// same invariant that makes the shot loops thread-count-invariant.
   [[nodiscard]] std::vector<ExecutionResult> run_batch(
       const QuantumCircuit& circuit, std::span<const ShotBatchItem> items) const;
+
+  /// The variational inner loop: run one *parameterized* circuit under many
+  /// parameter bindings. The pipeline, backend resolution, and capability
+  /// checks run once on the unbound circuit (symbolic angles survive every
+  /// pass); each item then binds the prepared circuit and executes it.
+  /// Guarantee: results[i] is bit-identical to running
+  /// `pipeline(circuit).bind(items[i].params)` through `run` without a
+  /// pipeline — fusion plans are built per bound circuit, so concrete-angle
+  /// arithmetic is byte-for-byte the same as the pre-bound path. Also
+  /// accepts a fully concrete circuit (items must then carry empty params).
+  [[nodiscard]] std::vector<ExecutionResult> run_bound_batch(
+      const QuantumCircuit& circuit, std::span<const BindBatchItem> items) const;
 
   /// Run a single trajectory and return the final state plus the classical
   /// bits (as a packed integer, clbit 0 = LSB). Useful for tests that

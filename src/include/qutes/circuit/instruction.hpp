@@ -51,10 +51,40 @@ struct Condition {
   int value = 1;
 };
 
+/// A symbolic circuit parameter: a name plus its index into the owning
+/// circuit's parameter table. Obtained from QuantumCircuit::parameter() and
+/// usable anywhere a rotation angle goes (the Qiskit ParameterVector analog):
+/// `qc.rx(qc.parameter("theta"), 0)`.
+struct Param {
+  std::string name;
+  std::size_t index = 0;
+};
+
+/// A rotation angle operand: either a concrete value or a reference to a
+/// circuit parameter. Implicitly convertible from double and Param so
+/// existing `qc.rx(0.5, q)` call sites keep compiling unchanged.
+struct Angle {
+  double value = 0.0;  ///< concrete angle, or the current binding of `param`
+  int param = -1;      ///< parameter-table index, or -1 for concrete
+
+  Angle(double v) : value(v) {}  // NOLINT(google-explicit-constructor)
+  Angle(const Param& p)          // NOLINT(google-explicit-constructor)
+      : value(0.0), param(static_cast<int>(p.index)) {}
+
+  [[nodiscard]] bool is_symbolic() const noexcept { return param >= 0; }
+};
+
 struct Instruction {
   GateType type;
   std::vector<std::size_t> qubits;  // for MC*: [controls..., target]
   std::vector<double> params;
+  /// Symbolic-parameter references, parallel to `params`. Empty means fully
+  /// concrete (the common case — no per-instruction overhead). Otherwise the
+  /// same length as `params`: entry i is -1 when params[i] is a plain number,
+  /// or the parameter-table index whose binding params[i] currently mirrors
+  /// (0.0 until bound). Simulation always reads `params`, so an unbound
+  /// symbolic instruction still *evaluates* — executors reject it up front.
+  std::vector<int> param_refs;
   std::vector<std::size_t> clbits;  // Measure: destination bits, 1:1 with qubits
   std::optional<Condition> condition;
 
@@ -67,6 +97,27 @@ struct Instruction {
     }
     return qubits.back();
   }
+
+  /// True when any operand is a symbolic (unbound) parameter reference.
+  [[nodiscard]] bool is_parameterized() const noexcept {
+    for (int r : param_refs) {
+      if (r >= 0) return true;
+    }
+    return false;
+  }
+
+  /// Parameter-table index behind params[i], or -1 when concrete.
+  [[nodiscard]] int param_ref(std::size_t i) const noexcept {
+    return i < param_refs.size() ? param_refs[i] : -1;
+  }
 };
+
+/// Operand i of `in` as an Angle, preserving a symbolic reference. Lowering
+/// passes use this to relay an angle into a decomposition unchanged.
+[[nodiscard]] inline Angle angle_of(const Instruction& in, std::size_t i) {
+  Angle a(in.params[i]);
+  a.param = in.param_ref(i);
+  return a;
+}
 
 }  // namespace qutes::circ

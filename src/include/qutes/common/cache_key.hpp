@@ -13,8 +13,11 @@
 //    request on it returns. Deliberately excluded: the seed (the whole point
 //    of the per-shot Rng(seed, shot) streams is that one compiled entry
 //    serves every seed), `parallel_shots` (counts are thread-invariant),
-//    `record_memory` (response shape, not compiled content), and the
-//    echo/trace/replay/obs plumbing (per-call I/O, not program identity).
+//    `record_memory` (response shape, not compiled content),
+//    `bind_params`/`allow_unbound_params` (a cached entry is the *unbound*
+//    artifact; every parameter binding replays against it, so values must
+//    never cause a miss), and the echo/trace/replay/obs plumbing (per-call
+//    I/O, not program identity).
 //  * cache_key    — fnv1a64 over source + '\0' + canonical_run_config.
 //
 // Lives in qutes::common (not lang or service) so the language artifact

@@ -37,6 +37,12 @@ public:
   [[nodiscard]] const circ::QuantumCircuit& circuit() const noexcept {
     return circuit_;
   }
+
+  /// Find-or-add a symbolic parameter in the logged circuit's table (the
+  /// `param(...)` builtin). Throws CircuitError on a non-identifier name.
+  circ::Param declare_parameter(const std::string& name) {
+    return circuit_.parameter(name);
+  }
   [[nodiscard]] const sim::StateVector& state() const;
   [[nodiscard]] bool has_state() const noexcept { return state_.has_value(); }
   [[nodiscard]] std::size_t num_qubits() const noexcept {

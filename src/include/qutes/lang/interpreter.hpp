@@ -32,6 +32,12 @@ struct InterpreterOptions {
   /// debugging tools" direction): one line per executed statement with the
   /// source location and running circuit size, written to `trace`.
   std::ostream* trace = nullptr;
+  /// Bindings for `param(...)` declarations, in declaration order
+  /// (RunConfig::bind_params).
+  std::vector<double> bind_params{};
+  /// Evaluate unbound `param(...)` uses as 0.0 placeholders instead of
+  /// erroring (the qutesd canonical compile).
+  bool allow_unbound_params = false;
 };
 
 class Interpreter final : public ExprVisitor, public StmtVisitor {

@@ -40,6 +40,21 @@ public:
   [[nodiscard]] std::string captured_output() const { return captured_.str(); }
   void emit_output(const std::string& text);
 
+  /// Configure symbolic-parameter bindings for this run (RunConfig::
+  /// bind_params / allow_unbound_params, set by both engines before
+  /// execution). Values bind `param(...)` declarations in declaration order.
+  void set_bind_params(std::vector<double> values, bool allow_unbound) {
+    bind_params_ = std::move(values);
+    allow_unbound_params_ = allow_unbound;
+  }
+
+  /// The `param(name)` builtin: find-or-add the symbolic parameter in the
+  /// logged circuit and return its current binding as a param-tagged Float.
+  /// Unbound use (declaration index beyond the provided bindings) is a
+  /// LangError naming the parameter — unless allow_unbound was set, in which
+  /// case the placeholder binding 0.0 is used (the qutesd canonical compile).
+  ValuePtr declare_param(const std::string& name, SourceLocation loc);
+
   /// Measure iff quantum; classical values pass through untouched.
   [[nodiscard]] ValuePtr classical_of(const ValuePtr& value);
 
@@ -123,6 +138,8 @@ private:
   TypeCastingHandler casting_;
   std::ostringstream captured_;
   std::ostream* echo_ = nullptr;
+  std::vector<double> bind_params_;
+  bool allow_unbound_params_ = false;
 };
 
 }  // namespace qutes::lang

@@ -49,6 +49,10 @@ public:
   [[nodiscard]] static ValuePtr make_quantum(QuantumRef ref);
   [[nodiscard]] static ValuePtr make_array(TypeKind element,
                                            std::vector<ValuePtr> items);
+  /// A Float carrying its symbolic-parameter identity: `param("theta")`
+  /// evaluates to the current binding but remembers which circuit parameter
+  /// it is, so rotation builtins can log a symbolic instruction.
+  [[nodiscard]] static ValuePtr make_param(double bound_value, int param_index);
 
   [[nodiscard]] const QType& type() const noexcept { return type_; }
   [[nodiscard]] TypeKind kind() const noexcept { return type_.kind; }
@@ -69,7 +73,13 @@ public:
   void assign(const Value& other) {
     type_ = other.type_;
     data_ = other.data_;
+    param_index_ = other.param_index_;
   }
+
+  /// Parameter-table index when this Float came from `param(...)` (and has
+  /// flowed through nothing but plain assignment); -1 otherwise. Arithmetic
+  /// produces fresh Values, so any computed angle is concrete again.
+  [[nodiscard]] int param_index() const noexcept { return param_index_; }
 
   /// Debug/print rendering of a classical value ("true", "42", "1.5", ...).
   [[nodiscard]] std::string to_display_string() const;
@@ -77,6 +87,7 @@ public:
 private:
   QType type_ = QType::scalar(TypeKind::Void);
   Data data_;
+  int param_index_ = -1;
 };
 
 }  // namespace qutes::lang

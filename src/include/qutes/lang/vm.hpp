@@ -30,6 +30,12 @@ struct VmOptions {
   /// Mirror `print` output here as well as capturing it (nullptr = capture
   /// only).
   std::ostream* echo = nullptr;
+  /// Bindings for `param(...)` declarations, in declaration order
+  /// (RunConfig::bind_params).
+  std::vector<double> bind_params{};
+  /// Evaluate unbound `param(...)` uses as 0.0 placeholders instead of
+  /// erroring (the qutesd canonical compile).
+  bool allow_unbound_params = false;
 };
 
 class Vm {

@@ -237,6 +237,8 @@ inline constexpr const char* kTrajectories = "executor.trajectories";   // count
 inline constexpr const char* kShotsPerSec = "executor.shots_per_sec";   // gauge (latest run)
 inline constexpr const char* kAutoStabilizer = "executor.auto_stabilizer";   // counter (--backend auto -> stabilizer)
 inline constexpr const char* kAutoStatevector = "executor.auto_statevector"; // counter (--backend auto -> statevector)
+inline constexpr const char* kExecutorBinds = "executor.binds";         // counter (parameter bindings executed via run_bound_batch)
+inline constexpr const char* kExecutorBoundBatches = "executor.bound_batches"; // counter (run_bound_batch calls = pipeline preparations)
 // runtime gate fusion
 inline constexpr const char* kFusedBlocks = "fusion.blocks";            // counter
 inline constexpr const char* kFusedGates = "fusion.gates_fused";        // counter

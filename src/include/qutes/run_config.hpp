@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "qutes/sim/noise.hpp"
 
@@ -127,6 +128,18 @@ struct RunConfig {
   /// live run's draw. Lands in RunResult::replay. Ignored when the program
   /// logged no qubits.
   std::size_t replay_shots = 0;
+  /// Language front end: concrete values for the program's `param(...)`
+  /// declarations, in declaration order (CLI `--bind v1,v2,...`). A program
+  /// that declares more parameters than provided here fails with a LangError
+  /// naming the parameter — unless `allow_unbound_params` is set.
+  /// Run-identity data like seed: NOT part of qutes::cache_key's canonical
+  /// config, so rebinding a cached program never causes a cache miss.
+  std::vector<double> bind_params{};
+  /// Let `param(...)` declarations beyond `bind_params` evaluate to 0.0
+  /// instead of failing. The qutesd canonical compile uses this (mirroring
+  /// its canonical-seed trick): the artifact is compiled once under
+  /// placeholder bindings, and each request rebinds the lowered circuit.
+  bool allow_unbound_params = false;
 
   PipelineConfig pipeline = {};
   BackendConfig backend = {};

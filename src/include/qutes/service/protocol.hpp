@@ -18,6 +18,11 @@
 //   exec     "vm" (default) | "ast" — which language engine compiles/runs
 //   stdlib   load the Qutes standard library first (default true)
 //   memory   also return per-shot bitstrings in shot order (default false)
+//   params   [v1, v2, ...] bindings for the program's `param(...)`
+//            declarations, in declaration order. Params are NOT part of the
+//            compile cache key: the daemon compiles the program once with
+//            placeholder bindings and re-binds the cached symbolic circuit
+//            per request, so a parameter sweep is one compile and N binds.
 //
 // Response fields:
 //   ok       false => `error` holds the message, nothing else is meaningful
@@ -54,6 +59,9 @@ struct Request {
   std::string exec = "vm";
   bool include_stdlib = true;
   bool record_memory = false;
+  /// `param(...)` bindings in declaration order (excluded from the compile
+  /// cache key — see cache_key.hpp).
+  std::vector<double> params{};
 };
 
 struct Response {

@@ -97,6 +97,10 @@ private:
   [[nodiscard]] Response run_request(const Request& request);
   [[nodiscard]] Response trace_request(const Request& request);
   [[nodiscard]] Response stats_request(const Request& request);
+  /// Program output under the request's `param` bindings (classical
+  /// parameterized programs, where the canonical output is a placeholder).
+  [[nodiscard]] std::string rerun_output(const CompiledProgram& entry,
+                                         const Request& request) const;
   [[nodiscard]] CompileCache::GetResult entry_for(const Request& request);
   [[nodiscard]] std::shared_ptr<const CompiledProgram> compile_entry(
       const Request& request, std::uint64_t key) const;

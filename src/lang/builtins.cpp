@@ -138,14 +138,21 @@ std::map<std::string, BuiltinFn> build_table() {
   };
 
   // ---- parameterized single-qubit rotations ----------------------------------
+  // When the angle argument came from `param(...)` (still carrying its
+  // parameter tag), the logged instruction records the symbolic reference so
+  // the exported circuit stays rebindable; the live state still uses the
+  // current binding.
   const auto rotation = [](circ::GateType type, const char* name) {
     return [type, name](Runtime& rt, std::vector<ValuePtr>& args,
                         SourceLocation loc) -> ValuePtr {
       need_args(args, 2, name, loc);
+      const int pref = args[0]->param_index();
       const double theta = number_arg(rt, args, 0, name, loc);
       const QuantumRef& ref = quantum_arg(args, 1, name, loc);
       for (std::size_t q : QuantumCircuitHandler::qubits_of(ref)) {
-        rt.handler().apply(make_gate(type, {q}, {theta}));
+        circ::Instruction in = make_gate(type, {q}, {theta});
+        if (pref >= 0) in.param_refs = {pref};
+        rt.handler().apply(std::move(in));
       }
       return Value::make_void();
     };
@@ -154,6 +161,16 @@ std::map<std::string, BuiltinFn> build_table() {
   table["ry"] = rotation(circ::GateType::RY, "ry");
   table["rz"] = rotation(circ::GateType::RZ, "rz");
   table["p"] = rotation(circ::GateType::P, "p");
+
+  // ---- symbolic parameters ----------------------------------------------------
+  table["param"] = [](Runtime& rt, std::vector<ValuePtr>& args,
+                      SourceLocation loc) -> ValuePtr {
+    need_args(args, 1, "param", loc);
+    if (args[0]->kind() != TypeKind::String) {
+      throw LangError("param: argument 1 must be a string name", loc);
+    }
+    return rt.declare_param(args[0]->as_string(), loc);
+  };
 
   // ---- measurement & conversion ----------------------------------------------
   table["measure"] = [](Runtime& rt, std::vector<ValuePtr>& args,

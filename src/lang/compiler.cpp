@@ -78,14 +78,19 @@ RunResult run_source(const std::string& source, qutes::RunConfig config) {
   if (mode == ExecMode::Vm) {
     const Bytecode bytecode =
         lower(compiled.program, compiled.functions, fnv1a64(source));
-    Vm vm(bytecode, {.seed = config.seed, .echo = config.echo});
+    Vm vm(bytecode, {.seed = config.seed,
+                     .echo = config.echo,
+                     .bind_params = config.bind_params,
+                     .allow_unbound_params = config.allow_unbound_params});
     vm.run();
     result.output = vm.runtime().captured_output();
     result.circuit = vm.runtime().handler().circuit();
   } else {
     Interpreter interpreter({.seed = config.seed,
                              .echo = config.echo,
-                             .trace = config.debug_trace});
+                             .trace = config.debug_trace,
+                             .bind_params = config.bind_params,
+                             .allow_unbound_params = config.allow_unbound_params});
     interpreter.run(compiled.program, compiled.functions);
     result.output = interpreter.captured_output();
     result.circuit = interpreter.handler().circuit();
@@ -106,7 +111,20 @@ RunResult run_source(const std::string& source, qutes::RunConfig config) {
     replay_config.shots = config.replay_shots;
     replay_config.seed = config.seed + 1;  // independent of the live run's draws
     replay_config.backend = config.backend;
-    result.replay = circ::Executor(replay_config).run(result.lowered_circuit);
+    // A `param(...)` program logs a symbolic circuit; replay it under the
+    // same bindings the live run used (unbound-under-allow stays at the 0.0
+    // placeholder).
+    circ::QuantumCircuit* replayed = &result.lowered_circuit;
+    circ::QuantumCircuit bound;
+    if (result.lowered_circuit.is_parameterized()) {
+      std::vector<double> values(result.lowered_circuit.num_parameters(), 0.0);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i < config.bind_params.size()) values[i] = config.bind_params[i];
+      }
+      bound = result.lowered_circuit.bind(values);
+      replayed = &bound;
+    }
+    result.replay = circ::Executor(replay_config).run(*replayed);
   }
   return result;
 }

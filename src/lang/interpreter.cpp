@@ -8,7 +8,10 @@ namespace qutes::lang {
 Interpreter::Interpreter(InterpreterOptions options)
     : scope_(std::make_shared<Scope>()),
       runtime_(options.seed, options.echo),
-      trace_(options.trace) {}
+      trace_(options.trace) {
+  runtime_.set_bind_params(std::move(options.bind_params),
+                           options.allow_unbound_params);
+}
 
 namespace {
 

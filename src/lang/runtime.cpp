@@ -42,6 +42,25 @@ ValuePtr Runtime::classical_of(const ValuePtr& value) {
   return value;
 }
 
+ValuePtr Runtime::declare_param(const std::string& name, SourceLocation loc) {
+  circ::Param p;
+  try {
+    p = handler_.declare_parameter(name);
+  } catch (const CircuitError& err) {
+    throw LangError(std::string("param: ") + err.what(), loc);
+  }
+  double value = 0.0;
+  if (p.index < bind_params_.size()) {
+    value = bind_params_[p.index];
+  } else if (!allow_unbound_params_) {
+    throw LangError("parameter '" + name + "' (index " + std::to_string(p.index) +
+                        ") has no binding; pass values with --bind v1,v2,... in "
+                        "declaration order",
+                    loc);
+  }
+  return Value::make_param(value, static_cast<int>(p.index));
+}
+
 // ---------------------------------------------------------------------------
 // Literals
 // ---------------------------------------------------------------------------

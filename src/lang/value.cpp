@@ -45,6 +45,12 @@ ValuePtr Value::make_array(TypeKind element, std::vector<ValuePtr> items) {
                                  ArrayValue{element, std::move(items)});
 }
 
+ValuePtr Value::make_param(double bound_value, int param_index) {
+  ValuePtr v = make_float(bound_value);
+  v->param_index_ = param_index;
+  return v;
+}
+
 bool Value::as_bool() const {
   if (const bool* b = std::get_if<bool>(&data_)) return *b;
   kind_error("bool", type_);

@@ -14,6 +14,8 @@ Vm::Vm(const Bytecode& bytecode, VmOptions options)
     : bc_(bytecode),
       runtime_(options.seed, options.echo),
       builtin_cache_(bytecode.strings.size(), nullptr) {
+  runtime_.set_bind_params(std::move(options.bind_params),
+                           options.allow_unbound_params);
   free_cells_.reserve(kFreeCellCap);  // recycle() never reallocates
 }
 

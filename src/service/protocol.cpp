@@ -45,6 +45,10 @@ Request parse_request(const std::string& line) {
   }
   req.include_stdlib = doc.get("stdlib").as_bool(req.include_stdlib);
   req.record_memory = doc.get("memory").as_bool(req.record_memory);
+  for (const Json& v : doc.get("params").as_array()) {
+    if (!v.is_number()) throw ServiceError("params must be an array of numbers");
+    req.params.push_back(v.as_double());
+  }
   return req;
 }
 
@@ -60,6 +64,12 @@ std::string serialize_request(const Request& request) {
   obj["exec"] = request.exec;
   obj["stdlib"] = request.include_stdlib;
   if (request.record_memory) obj["memory"] = true;
+  if (!request.params.empty()) {
+    JsonArray params;
+    params.reserve(request.params.size());
+    for (const double v : request.params) params.emplace_back(v);
+    obj["params"] = std::move(params);
+  }
   return Json(std::move(obj)).dump();
 }
 
@@ -116,6 +126,7 @@ RunConfig request_config(const Request& request) {
   config.include_stdlib = request.include_stdlib;
   config.exec_mode = request.exec == "ast" ? ExecMode::Ast : ExecMode::Vm;
   config.backend.name = request.backend;
+  config.bind_params = request.params;
   return config;
 }
 

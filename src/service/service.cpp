@@ -66,6 +66,12 @@ std::shared_ptr<const CompiledProgram> Service::compile_entry(
   RunConfig compile_config = request_config(request);
   compile_config.seed = kCanonicalSeed;
   compile_config.record_memory = false;
+  // Canonical compile: `param(...)` declarations evaluate to 0.0
+  // placeholders (mirroring the canonical-seed trick), so the cached
+  // symbolic artifact is a pure function of the cache key and every
+  // request's bindings are applied at execution time.
+  compile_config.bind_params.clear();
+  compile_config.allow_unbound_params = true;
   circ::PassManager pipeline;
   if (!request.pipeline.empty()) {
     pipeline = circ::make_pipeline(*circ::parse_preset(request.pipeline));
@@ -84,6 +90,7 @@ std::shared_ptr<const CompiledProgram> Service::compile_entry(
   // Clifford scan (and re-bumping the executor.auto_* counters) per request.
   RunConfig exec_config = request_config(request);
   exec_config.pipeline.manager = nullptr;  // `lowered` is already lowered
+  exec_config.bind_params.clear();  // bindings are per request, not cached
   program->resolved_backend =
       program->lowered.num_qubits() == 0
           ? request.backend
@@ -149,6 +156,13 @@ Response Service::run_request(const Request& request) {
   resp.cache = got.hit ? "hit" : "miss";
   resp.backend = entry.resolved_backend;
   if (entry.lowered.num_qubits() == 0) {
+    if (entry.lowered.num_parameters() > 0 || !request.params.empty()) {
+      // A classical program whose output depends on `param(...)` bindings:
+      // the canonical (placeholder-bound) output is wrong for this request,
+      // so re-run under the request's bindings, like an ast trace.
+      resp.output = rerun_output(entry, request);
+      return resp;
+    }
     // No qubits were logged: nothing to sample, and the program's output is
     // deterministic, so return it.
     resp.output = entry.canonical_output;
@@ -158,10 +172,41 @@ Response Service::run_request(const Request& request) {
   config.seed = request.seed;
   config.shots = request.shots;
   config.record_memory = request.record_memory;
+  if (entry.lowered.is_parameterized() || !request.params.empty()) {
+    // Bind the cached symbolic artifact against this request's params. A
+    // wrong-length vector throws from bind(), naming the expected count —
+    // handle() turns that into an error response.
+    circ::BindBatchItem item;
+    item.params = request.params;
+    item.seed = request.seed;
+    item.shots = request.shots;
+    item.record_memory = request.record_memory;
+    std::vector<circ::ExecutionResult> results =
+        circ::Executor(config).run_bound_batch(entry.lowered, {&item, 1});
+    resp.counts = std::move(results[0].counts);
+    resp.memory = std::move(results[0].memory);
+    return resp;
+  }
   circ::ExecutionResult result = circ::Executor(config).run(entry.lowered);
   resp.counts = std::move(result.counts);
   resp.memory = std::move(result.memory);
   return resp;
+}
+
+std::string Service::rerun_output(const CompiledProgram& entry,
+                                  const Request& request) const {
+  // Unbound use must fail loudly here (allow_unbound_params stays false):
+  // the client asked for real output, not the canonical placeholder run.
+  if (entry.bytecode) {
+    lang::VmOptions vm_options;
+    vm_options.seed = request.seed;
+    vm_options.bind_params = request.params;
+    lang::Vm vm(*entry.bytecode, vm_options);
+    vm.run();
+    return vm.runtime().captured_output();
+  }
+  RunConfig config = request_config(request);
+  return lang::run_source(request.source, config).output;
 }
 
 Response Service::trace_request(const Request& request) {
@@ -176,6 +221,7 @@ Response Service::trace_request(const Request& request) {
     // Vm reads the artifact const, so concurrent traces share one entry.
     lang::VmOptions vm_options;
     vm_options.seed = request.seed;
+    vm_options.bind_params = request.params;
     lang::Vm vm(*entry.bytecode, vm_options);
     vm.run();
     resp.output = vm.runtime().captured_output();
@@ -326,11 +372,63 @@ void Service::process_batch(std::vector<Pending> batch) {
     const CompiledProgram& entry = *got.program;
     const char* cache_state = got.hit ? "hit" : "miss";
     if (entry.lowered.num_qubits() == 0) {
+      const bool parameterized_output = entry.lowered.num_parameters() > 0;
       for (std::size_t i = 0; i < batch.size(); ++i) {
         responses[i].id = batch[i].request.id;
         responses[i].cache = cache_state;
         responses[i].backend = entry.resolved_backend;
-        responses[i].output = entry.canonical_output;
+        if (parameterized_output || !batch[i].request.params.empty()) {
+          try {
+            responses[i].output = rerun_output(entry, batch[i].request);
+          } catch (const std::exception& e) {
+            responses[i] = error_response(batch[i].request.id, e.what());
+          }
+        } else {
+          responses[i].output = entry.canonical_output;
+        }
+      }
+    } else if (entry.lowered.is_parameterized() ||
+               std::any_of(batch.begin(), batch.end(), [](const Pending& p) {
+                 return !p.request.params.empty();
+               })) {
+      // Params share the cache key by design, so one batch may mix
+      // bindings: the bound-batch executor binds the cached symbolic
+      // circuit per item. Wrong-length bindings fail per item, not per
+      // batch.
+      const std::size_t expected = entry.lowered.num_parameters();
+      std::vector<circ::BindBatchItem> items;
+      std::vector<std::size_t> item_to_batch;
+      std::uint64_t total_shots = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Request& req = batch[i].request;
+        if (req.params.size() != expected) {
+          responses[i] = error_response(
+              req.id, "bind: circuit has " + std::to_string(expected) +
+                          " parameter(s), got " +
+                          std::to_string(req.params.size()) + " value(s)");
+          continue;
+        }
+        circ::BindBatchItem item;
+        item.params = req.params;
+        item.seed = req.seed;
+        item.shots = req.shots;
+        item.record_memory = req.record_memory;
+        items.push_back(std::move(item));
+        item_to_batch.push_back(i);
+        total_shots += req.shots;
+      }
+      const circ::Executor executor(entry.exec_config);
+      std::vector<circ::ExecutionResult> results =
+          executor.run_bound_batch(entry.lowered, items);
+      batched_requests_metric.add(items.size());
+      batched_shots_metric.add(total_shots);
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        const std::size_t i = item_to_batch[k];
+        responses[i].id = batch[i].request.id;
+        responses[i].cache = cache_state;
+        responses[i].backend = entry.resolved_backend;
+        responses[i].counts = std::move(results[k].counts);
+        responses[i].memory = std::move(results[k].memory);
       }
     } else {
       std::vector<circ::ShotBatchItem> items(batch.size());

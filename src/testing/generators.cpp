@@ -87,7 +87,7 @@ QuantumCircuit random_circuit(std::uint64_t seed, const CircuitGenOptions& optio
       continue;
     }
     if (options.allow_global_phase && rng.below(8) == 0) {
-      c.append({GateType::GlobalPhase, {}, {angle(rng)}, {}, {}});
+      c.append({GateType::GlobalPhase, {}, {angle(rng)}, {}, {}, {}});
       continue;
     }
     if (options.allow_dynamic && rng.below(8) == 0) {

@@ -278,9 +278,9 @@ TEST(PassManager, ExecutorConsumesPipeline) {
 }
 
 TEST(PassManager, InstructionTargetThrowsOnEmptyOperands) {
-  Instruction barrier{GateType::Barrier, {}, {}, {}, {}};
+  Instruction barrier{GateType::Barrier, {}, {}, {}, {}, {}};
   EXPECT_THROW((void)barrier.target(), CircuitError);
-  Instruction x{GateType::X, {2}, {}, {}, {}};
+  Instruction x{GateType::X, {2}, {}, {}, {}, {}};
   EXPECT_EQ(x.target(), 2u);
 }
 

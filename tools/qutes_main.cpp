@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,7 +41,7 @@ void usage(std::ostream& out) {
   out << "usage:\n"
       << "  qutes run <file.qut>  [--seed N] [--stats] [--qasm FILE] [--qiskit FILE] [--draw] [--debug-trace] [--replay N]\n"
       << "                        [--pipeline PRESET] [--dump-passes] [--backend NAME] [--max-bond-dim N]\n"
-      << "                        [--exec-mode vm|ast] [--dump-bytecode]\n"
+      << "                        [--exec-mode vm|ast] [--dump-bytecode] [--bind v1,v2,...]\n"
       << "                        [--trace FILE] [--metrics] [--metrics-json FILE]\n"
       << "  qutes eval '<source>' [same flags as run]\n"
       << "  qutes fmt <file.qut>            # print canonically formatted source\n"
@@ -49,6 +50,10 @@ void usage(std::ostream& out) {
       << "  qutes serve <socket>  [--workers N] [--cache-mb N] [--max-batch N] [--verbose]\n"
       << "                        [--trace FILE] [--metrics-json FILE]   # embed the qutesd daemon\n"
       << "\n"
+      << "  --bind v1,v2,...   (run/eval) values for param(\"name\") declarations, in\n"
+      << "                     declaration order. With --connect the values ride the\n"
+      << "                     request's params field, so a parameter sweep reuses one\n"
+      << "                     cached compile (params are not part of the cache key).\n"
       << "  --connect SOCKET   (run/eval) send the program to a running qutesd\n"
       << "                     instead of compiling locally: warm programs skip\n"
       << "                     the front end via the daemon's compile cache.\n"
@@ -215,7 +220,31 @@ const std::vector<std::string> kRunFlags = {
     "--seed", "--stats", "--draw", "--debug-trace", "--dump-passes",
     "--pipeline", "--qasm", "--qiskit", "--replay", "--backend",
     "--max-bond-dim", "--exec-mode", "--dump-bytecode", "--trace",
-    "--metrics", "--metrics-json", "--connect"};
+    "--metrics", "--metrics-json", "--connect", "--bind"};
+
+/// Parse a --bind argument: comma-separated doubles in parameter-declaration
+/// order. Returns false (with a message) on malformed input.
+bool parse_bind_flag(const std::string& value, std::vector<double>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    std::size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    const std::string token = value.substr(pos, comma - pos);
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+      out.push_back(v);
+    } catch (const std::exception&) {
+      std::cerr << "--bind expects comma-separated numbers, got '" << token
+                << "' in '" << value << "'\n";
+      return false;
+    }
+    pos = comma + 1;
+  }
+  return true;
+}
 
 /// Validate an --exec-mode argument; false (with a message) on anything
 /// other than the two engine names.
@@ -422,6 +451,10 @@ int main(int argc, char** argv) {
       dump_bytecode = true;
     } else if (arg == "--connect" && i + 1 < argc) {
       connect_path = argv[++i];
+    } else if (arg == "--bind" && i + 1 < argc) {
+      if (!parse_bind_flag(argv[++i], config.bind_params)) return 2;
+    } else if (arg.rfind("--bind=", 0) == 0) {
+      if (!parse_bind_flag(arg.substr(7), config.bind_params)) return 2;
     } else if (parse_obs_flag(argc, argv, i, config.obs)) {
       // handled
     } else {
@@ -450,6 +483,7 @@ int main(int argc, char** argv) {
         request.source = target;
       }
       request.seed = config.seed;
+      request.params = config.bind_params;
       if (config.replay_shots > 0) request.shots = config.replay_shots;
       request.backend = config.backend.name;
       if (preset) request.pipeline = qutes::circ::preset_name(*preset);
